@@ -1,0 +1,72 @@
+//! Ablation (beyond the paper's tables): structural fault collapsing.
+//!
+//! The paper reports collapsed fault counts for its own netlists (40 for
+//! `lion`); our tables use the full uncollapsed line-fault universe. This
+//! binary measures the structural-equivalence collapse ratio on our
+//! netlists and verifies that simulating representatives only does not
+//! change coverage.
+
+use scanft_bench::{pct, plan_circuits, Args, Budget};
+use scanft_core::generate::{generate, GenConfig};
+use scanft_fsm::benchmarks;
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+use scanft_sim::{campaign, collapse, faults};
+use scanft_synth::{synthesize, SynthConfig};
+
+fn main() {
+    let args = Args::parse();
+    println!("Ablation: structural stuck-at fault collapsing");
+    println!();
+    println!("  circuit  |  faults | classes |  ratio | coverage full | coverage reps | agree");
+    scanft_bench::rule(88);
+    for (spec, run) in plan_circuits(&args, Budget::GateLevel) {
+        if !run {
+            println!("  {:<8} | {:>64}", spec.name, "skipped(budget)");
+            continue;
+        }
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
+        let set = generate(&table, &uios, &GenConfig::default());
+        let circuit = synthesize(&table, &SynthConfig::default());
+        let stuck = faults::enumerate_stuck(circuit.netlist());
+        let collapsed = collapse::collapse_stuck(circuit.netlist(), &stuck);
+        let tests = set.to_scan_tests(&circuit);
+
+        let full = campaign::run(circuit.netlist(), &tests, &faults::as_fault_list(&stuck));
+        let reps: Vec<faults::Fault> = collapsed
+            .representatives
+            .iter()
+            .copied()
+            .map(faults::Fault::Stuck)
+            .collect();
+        let rep_report = campaign::run(circuit.netlist(), &tests, &reps);
+
+        // Expanding the representative verdicts must reproduce the full
+        // per-fault verdicts (equivalence soundness).
+        let rep_flags: Vec<bool> = rep_report
+            .detecting_test
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        let expanded = collapsed.expand(&rep_flags);
+        let agree = expanded
+            .iter()
+            .zip(&full.detecting_test)
+            .all(|(e, d)| *e == d.is_some());
+
+        println!(
+            "  {:<8} | {:>7} | {:>7} | {:>6} | {:>13} | {:>13} | {:>5}",
+            spec.name,
+            stuck.len(),
+            collapsed.representatives.len(),
+            pct(100.0 * collapsed.ratio()),
+            pct(full.coverage_percent()),
+            pct(rep_report.coverage_percent()),
+            if agree { "yes" } else { "NO" },
+        );
+        assert!(agree, "{}: collapsing changed a verdict", spec.name);
+    }
+    scanft_bench::rule(88);
+    println!("  `ratio` = classes/faults in percent; `agree` checks every individual");
+    println!("  fault verdict after expanding the representative results.");
+}

@@ -1,0 +1,66 @@
+//! Ablation (beyond the paper's tables): the scan-clock ratio.
+//!
+//! Section 3 of the paper notes that "in practice, the scan clock may be
+//! much slower than the circuit clock, and then it is necessary to multiply
+//! the contribution of the scan operations by the ratio of the two clock
+//! cycles" — and Section 2 adds that a slow scan clock lets proportionally
+//! longer UIO/transfer sequences be used for free. This binary quantifies
+//! the first half: how the functional tests' advantage over per-transition
+//! testing grows with the scan ratio `M` (their whole point is using fewer
+//! scan operations).
+
+use scanft_bench::{pct, plan_circuits, Args, Budget};
+use scanft_core::cycles::{clock_cycles_with_scan_ratio, percent_of};
+use scanft_core::generate::{generate, GenConfig};
+use scanft_fsm::benchmarks;
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+
+const RATIOS: &[u64] = &[1, 2, 4, 8, 16];
+
+fn main() {
+    let args = Args::parse();
+    println!("Ablation: functional-test cycles as % of the per-transition baseline,");
+    println!("for scan clocks M times slower than the circuit clock");
+    println!();
+    print!("  circuit  |");
+    for m in RATIOS {
+        print!("   M={m:<3}|");
+    }
+    println!();
+    scanft_bench::rule(12 + 8 * RATIOS.len());
+    let mut sums = vec![0.0f64; RATIOS.len()];
+    let mut rows = 0usize;
+    for (spec, run) in plan_circuits(&args, Budget::Functional) {
+        if !run {
+            println!("  {:<8} | skipped(budget)", spec.name);
+            continue;
+        }
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let sv = table.num_state_vars();
+        let uios = derive_uios_with(&table, &UioConfig::with_max_len(sv));
+        let set = generate(&table, &uios, &GenConfig::default());
+        let trans = table.num_transitions();
+        print!("  {:<8} |", spec.name);
+        for (k, &m) in RATIOS.iter().enumerate() {
+            let funct =
+                clock_cycles_with_scan_ratio(sv, set.tests.len(), set.total_length(), m);
+            let base = clock_cycles_with_scan_ratio(sv, trans, trans, m);
+            let p = percent_of(funct, base);
+            sums[k] += p;
+            print!(" {:>6} |", pct(p));
+        }
+        println!();
+        rows += 1;
+    }
+    scanft_bench::rule(12 + 8 * RATIOS.len());
+    if rows > 0 {
+        print!("  average  |");
+        for s in &sums {
+            print!(" {:>6} |", pct(s / rows as f64));
+        }
+        println!();
+    }
+    println!();
+    println!("the slower the scan clock, the larger the win from chaining transitions");
+    println!("into fewer tests (scan operations dominate the baseline's cost).");
+}

@@ -1,0 +1,40 @@
+//! Table 1 of the paper: the state table of MCNC benchmark `lion`.
+//!
+//! The embedded machine is checked cell-by-cell against the published
+//! table; this binary prints it in the paper's layout.
+
+fn main() {
+    let lion = scanft_fsm::benchmarks::lion();
+    println!("Table 1: State table of lion (embedded verbatim from the paper)");
+    println!();
+    println!("       NS, z for x1x2 =");
+    println!("  PS |   00    01    10    11");
+    scanft_bench::rule(34);
+    for s in 0..lion.num_states() as u32 {
+        print!("  {s:>2} |");
+        for i in 0..lion.num_input_combos() as u32 {
+            let (ns, z) = lion.step(s, i);
+            print!("  {ns},{z} ");
+        }
+        println!();
+    }
+    println!();
+
+    // Verify against the published entries.
+    let expect: [[(u32, u64); 4]; 4] = [
+        [(0, 0), (1, 1), (0, 0), (0, 0)],
+        [(1, 1), (1, 1), (3, 1), (0, 0)],
+        [(2, 1), (2, 1), (3, 1), (3, 1)],
+        [(1, 1), (2, 1), (3, 1), (3, 1)],
+    ];
+    let mut mismatches = 0;
+    for s in 0..4u32 {
+        for i in 0..4u32 {
+            if lion.step(s, i) != expect[s as usize][i as usize] {
+                mismatches += 1;
+            }
+        }
+    }
+    println!("verification vs paper: {}/16 entries match", 16 - mismatches);
+    assert_eq!(mismatches, 0, "embedded lion deviates from Table 1");
+}

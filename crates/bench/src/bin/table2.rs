@@ -1,0 +1,39 @@
+//! Table 2 of the paper: unique input-output sequences for `lion`.
+//!
+//! This experiment reproduces **exactly**: state 0 has UIO `(00)` ending in
+//! state 0, state 2 has `(00 11)` ending in state 3, states 1 and 3 have
+//! none.
+
+use scanft_fsm::{format_input_seq, uio};
+
+fn main() {
+    let lion = scanft_fsm::benchmarks::lion();
+    let uios = uio::derive_uios(&lion, lion.num_state_vars());
+
+    println!("Table 2: Unique input-output sequences for lion (L = sv = 2)");
+    println!();
+    println!("  state | unique  | f.stat ||  paper: unique | f.stat");
+    scanft_bench::rule(58);
+    let paper: [(&str, &str); 4] = [("00", "0"), ("-", "-"), ("00 11", "3"), ("-", "-")];
+    let mut ok = true;
+    for s in 0..lion.num_states() as u32 {
+        let (ours_seq, ours_fin) = match uios.sequence(s) {
+            Some(u) => (
+                format_input_seq(&u.inputs, lion.num_inputs()),
+                u.final_state.to_string(),
+            ),
+            None => ("-".to_owned(), "-".to_owned()),
+        };
+        let (p_seq, p_fin) = paper[s as usize];
+        if ours_seq != p_seq || ours_fin != p_fin {
+            ok = false;
+        }
+        println!("  {s:>5} | {ours_seq:<7} | {ours_fin:<6} ||  {p_seq:<13} | {p_fin}");
+    }
+    println!();
+    println!(
+        "verification vs paper: {}",
+        if ok { "all rows match exactly" } else { "MISMATCH" }
+    );
+    assert!(ok, "Table 2 deviates from the paper");
+}

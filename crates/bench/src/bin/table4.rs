@@ -1,0 +1,56 @@
+//! Table 4 of the paper: circuit parameters and UIO derivation results.
+//!
+//! The `pi`, `states` and `sv` columns match the paper exactly (they define
+//! the benchmark suite). `unique`, `m.len` and `time` are measured on our
+//! machines (synthetic contents; `lion` matches exactly).
+
+use scanft_bench::{paper::paper_row, pct, plan_circuits, Args, Budget};
+use scanft_fsm::benchmarks;
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+
+fn main() {
+    let args = Args::parse();
+    println!("Table 4: Circuit parameters (ours vs paper; pi/states/sv identical)");
+    println!();
+    println!(
+        "  circuit  | pi | states | sv || unique | m.len |   time  || paper: unique | m.len |    time"
+    );
+    scanft_bench::rule(96);
+    for (spec, run) in plan_circuits(&args, Budget::Functional) {
+        let p = paper_row(spec.name).expect("paper row exists");
+        if !run {
+            println!(
+                "  {:<8} | {:>2} | {:>6} | {:>2} || {:>22} || {:>13} | {:>5} | {:>7}",
+                spec.name,
+                spec.num_inputs,
+                spec.num_states,
+                spec.num_state_vars,
+                "skipped(budget)",
+                p.t4_unique,
+                p.t4_mlen,
+                p.t4_time
+            );
+            continue;
+        }
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let config = UioConfig::with_max_len(table.num_state_vars());
+        let uios = derive_uios_with(&table, &config);
+        let note = if uios.any_budget_exceeded() { "*" } else { " " };
+        println!(
+            "  {:<8} | {:>2} | {:>6} | {:>2} || {:>5}{note} | {:>5} | {:>7} || {:>13} | {:>5} | {:>7}",
+            spec.name,
+            spec.num_inputs,
+            spec.num_states,
+            spec.num_state_vars,
+            uios.num_with_uio(),
+            uios.max_found_len(),
+            pct(uios.elapsed_secs()),
+            p.t4_unique,
+            p.t4_mlen,
+            p.t4_time
+        );
+    }
+    println!();
+    println!("* = UIO search hit its node budget for at least one state");
+    println!("(paper time column: HP J210 CPU seconds, shape only)");
+}

@@ -1,0 +1,87 @@
+//! Table 7 of the paper: clock cycles for test application.
+//!
+//! Columns: per-transition baseline (`trans`, matches the paper exactly —
+//! it depends only on the published parameters), the functional tests, and
+//! the effective tests after stuck-at / bridging simulation. All our
+//! percentages are relative to the baseline (the paper's bridging column
+//! divides by the functional cycles instead; its printed values are shown
+//! verbatim for reference).
+
+use scanft_bench::{paper::paper_row, pct, plan_circuits, Args, Budget};
+use scanft_core::cycles::percent_of;
+use scanft_core::flow::{run_flow, FlowConfig};
+use scanft_fsm::benchmarks;
+
+fn main() {
+    let args = Args::parse();
+    println!("Table 7: Numbers of clock cycles (N_SV*(N_T+1) + N_PIC)");
+    println!();
+    println!(
+        "  circuit  |   trans ||  funct |      % ||   s.a. |     % || bridg |     % || paper:  funct% |  s.a.% | bridg%"
+    );
+    scanft_bench::rule(112);
+    let mut funct_pcts: Vec<f64> = Vec::new();
+    for (spec, run) in plan_circuits(&args, Budget::GateLevel) {
+        let p = paper_row(spec.name).expect("paper row exists");
+        let gate_ok = run;
+        let funct_ok = args.full
+            || !args.only.is_empty()
+            || scanft_bench::within_budget(spec, Budget::Functional);
+        if !funct_ok {
+            println!(
+                "  {:<8} | {:>7} || {:>42} || {:>14} | {:>6} | {:>6}",
+                spec.name,
+                p.t7_trans,
+                "skipped(budget)",
+                pct(p.t7_funct.1),
+                pct(p.t7_sa.1),
+                pct(p.t7_br.1)
+            );
+            continue;
+        }
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let config = FlowConfig {
+            gate_level: gate_ok,
+            ..FlowConfig::default()
+        };
+        let report = run_flow(&table, &config);
+        assert_eq!(report.baseline_cycles, p.t7_trans, "{}", spec.name);
+        funct_pcts.push(report.functional_percent());
+        let (sa_txt, br_txt) = match &report.gate {
+            Some(gate) => (
+                format!(
+                    "{:>6} | {:>5}",
+                    gate.stuck.effective_cycles,
+                    pct(percent_of(gate.stuck.effective_cycles, report.baseline_cycles))
+                ),
+                format!(
+                    "{:>5} | {:>6}",
+                    gate.bridging.effective_cycles,
+                    pct(percent_of(gate.bridging.effective_cycles, report.baseline_cycles))
+                ),
+            ),
+            None => ("   (functional only)".to_owned(), String::new()),
+        };
+        println!(
+            "  {:<8} | {:>7} || {:>6} | {:>6} || {} || {} || {:>14} | {:>6} | {:>6}",
+            spec.name,
+            report.baseline_cycles,
+            report.functional_cycles,
+            pct(report.functional_percent()),
+            sa_txt,
+            br_txt,
+            pct(p.t7_funct.1),
+            pct(p.t7_sa.1),
+            pct(p.t7_br.1)
+        );
+    }
+    scanft_bench::rule(112);
+    if !funct_pcts.is_empty() {
+        let avg = funct_pcts.iter().sum::<f64>() / funct_pcts.len() as f64;
+        println!(
+            "  average functional-test percentage over {} rows: {}  (paper, all 31 rows: 92.09)",
+            funct_pcts.len(),
+            pct(avg)
+        );
+    }
+}

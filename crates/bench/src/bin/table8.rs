@@ -1,0 +1,81 @@
+//! Table 8 of the paper: test generation **without transfer sequences**.
+//!
+//! The paper reports the circuits whose functional-test cycle percentage in
+//! Table 7 reached 100% or more; disabling transfers trades chained tests
+//! for shorter application time. This binary runs both configurations on
+//! the paper's four circuits (plus any circuit whose measured percentage is
+//! >= 100 on our suite) and prints the comparison.
+
+use scanft_bench::{paper::PAPER_TABLE8, pct, Args, Budget};
+use scanft_core::cycles::{percent_of, test_set_cycles};
+use scanft_core::generate::{generate, GenConfig};
+use scanft_fsm::benchmarks;
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+
+fn main() {
+    let args = Args::parse();
+
+    // Candidate set: the paper's four circuits plus our own >= 100% rows.
+    let mut names: Vec<&str> = PAPER_TABLE8.iter().map(|r| r.0).collect();
+    for (spec, run) in scanft_bench::plan_circuits(&args, Budget::Functional) {
+        if !run || names.contains(&spec.name) {
+            continue;
+        }
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
+        let set = generate(&table, &uios, &GenConfig::default());
+        let base = scanft_core::generate::per_transition_baseline(&table);
+        let sv = table.num_state_vars();
+        if percent_of(test_set_cycles(&set, sv), test_set_cycles(&base, sv)) >= 100.0 {
+            names.push(spec.name);
+        }
+    }
+
+    println!("Table 8: Test generation without transfer sequences");
+    println!("(paper rows for its four circuits shown on the right)");
+    println!();
+    println!(
+        "  circuit  | trans | tests |  len |  1len | cycles |      % || paper: tests |  len |  1len | cycles |      %"
+    );
+    scanft_bench::rule(112);
+    for name in names {
+        if !args.selected(name) {
+            continue;
+        }
+        let table = benchmarks::build(name).expect("known circuit");
+        let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
+        let set = generate(
+            &table,
+            &uios,
+            &GenConfig {
+                transfer_max_len: 0,
+                ..GenConfig::default()
+            },
+        );
+        let base = scanft_core::generate::per_transition_baseline(&table);
+        let sv = table.num_state_vars();
+        let cycles = test_set_cycles(&set, sv);
+        let base_cycles = test_set_cycles(&base, sv);
+        let paper = PAPER_TABLE8.iter().find(|r| r.0 == name);
+        let paper_txt = match paper {
+            Some(&(_, _, tests, len, l1, cyc, p)) => format!(
+                "{tests:>12} | {len:>4} | {:>5} | {cyc:>6} | {:>6}",
+                pct(l1),
+                pct(p)
+            ),
+            None => format!("{:>47}", "(not in the paper's Table 8)"),
+        };
+        println!(
+            "  {:<8} | {:>5} | {:>5} | {:>4} | {:>5} | {:>6} | {:>6} || {paper_txt}",
+            name,
+            set.num_transitions,
+            set.tests.len(),
+            set.total_length(),
+            pct(set.percent_unit_tested()),
+            cycles,
+            pct(percent_of(cycles, base_cycles)),
+        );
+    }
+    println!();
+    println!("claim: disabling transfers lowers cycles at the cost of more, shorter tests");
+}

@@ -1,0 +1,69 @@
+//! Table 9 of the paper: the effect of the UIO length limit.
+//!
+//! For each of the paper's four sweep circuits (dk512, ex4, mark1, rie) the
+//! UIO length limit L is raised from 1 until the number of states with a
+//! UIO saturates; each row regenerates the tests and the cycle counts. The
+//! shape to reproduce: more UIOs chain more transitions per test (lower
+//! `1len`), while overly long UIOs start costing more cycles than scan
+//! (percentages creep back up past L ~ sv).
+
+use scanft_bench::{paper::PAPER_TABLE9, pct, Args, Budget};
+use scanft_core::cycles::{percent_of, test_set_cycles};
+use scanft_core::generate::{generate, per_transition_baseline, GenConfig};
+use scanft_fsm::benchmarks;
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+
+fn main() {
+    let args = Args::parse();
+    println!("Table 9: Results with different UIO length limits (transfer len <= 1)");
+
+    for &(name, paper_rows) in PAPER_TABLE9 {
+        if !args.selected(name) {
+            continue;
+        }
+        let spec = benchmarks::find_spec(name).expect("sweep circuit");
+        let run = args.full
+            || !args.only.is_empty()
+            || scanft_bench::within_budget(spec, Budget::Functional);
+        println!();
+        println!("  ({name})");
+        if !run {
+            println!("  skipped(budget): pass --full or --only {name}");
+            continue;
+        }
+        let table = benchmarks::build(name).expect("registry circuit");
+        let base_cycles = test_set_cycles(&per_transition_baseline(&table), table.num_state_vars());
+
+        println!(
+            "  unique | m.len | tests |  len |  1len | cycles |      % || paper: unique | tests | cycles |      %"
+        );
+        scanft_bench::rule(104);
+        let mut prev_unique = usize::MAX;
+        let mut limit = 1usize;
+        loop {
+            let uios = derive_uios_with(&table, &UioConfig::with_max_len(limit));
+            let unique = uios.num_with_uio();
+            let set = generate(&table, &uios, &GenConfig::default());
+            let cycles = test_set_cycles(&set, table.num_state_vars());
+            let paper = paper_rows.iter().find(|r| r.1 == limit);
+            let paper_txt = match paper {
+                Some(&(u, _, tests, _, _, cyc, p)) => {
+                    format!("{u:>13} | {tests:>5} | {cyc:>6} | {:>6}", pct(p))
+                }
+                None => format!("{:>40}", "-"),
+            };
+            println!(
+                "  {unique:>6} | {limit:>5} | {:>5} | {:>4} | {:>5} | {cycles:>6} | {:>6} || {paper_txt}",
+                set.tests.len(),
+                set.total_length(),
+                pct(set.percent_unit_tested()),
+                pct(percent_of(cycles, base_cycles)),
+            );
+            if unique == prev_unique || limit >= table.num_state_vars() + 4 {
+                break;
+            }
+            prev_unique = unique;
+            limit += 1;
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! `scanft` — command-line driver for the functional test generation flow.
+//!
+//! ```text
+//! scanft list
+//! scanft show <circuit> [--kiss]
+//! scanft uio <circuit> [--max-len N]
+//! scanft generate <circuit> [--no-transfer] [--uio-cap N]
+//! scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
+//! scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
+//! ```
+//!
+//! Circuits are the 31 benchmarks of the paper's Table 4, or a path to a
+//! KISS2 file.
+
+use std::process::ExitCode;
+
+use scanft_core::flow::{run_flow, FlowConfig};
+use scanft_core::generate::{generate, GenConfig};
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+use scanft_fsm::{benchmarks, format_input_seq, kiss, StateTable};
+use scanft_synth::{synthesize, Encoding, SynthConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  scanft list
+  scanft show <circuit> [--kiss]
+  scanft uio <circuit> [--max-len N]
+  scanft generate <circuit> [--no-transfer] [--uio-cap N] [--out FILE]
+  scanft simulate <circuit> --tests FILE
+  scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
+  scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
+  scanft dot <circuit>
+
+<circuit> is a benchmark name from `scanft list` or a path to a KISS2 file.";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "list" => cmd_list(),
+        "show" => cmd_show(rest),
+        "uio" => cmd_uio(rest),
+        "generate" => cmd_generate(rest),
+        "simulate" => cmd_simulate(rest),
+        "evaluate" => cmd_evaluate(rest),
+        "synth" => cmd_synth(rest),
+        "dot" => cmd_dot(rest),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_circuit(rest: &[String]) -> Result<StateTable, String> {
+    let name = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing circuit name")?;
+    if std::path::Path::new(name).exists() {
+        let text = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
+        return kiss::parse_with(&text, name, kiss::Completion::SelfLoop)
+            .map_err(|e| e.to_string());
+    }
+    benchmarks::build(name).map_err(|e| e.to_string())
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn string_of(rest: &[String], name: &str) -> Result<Option<String>, String> {
+    let Some(pos) = rest.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    rest.get(pos + 1)
+        .cloned()
+        .map(Some)
+        .ok_or_else(|| format!("{name} needs a value"))
+}
+
+fn value_of(rest: &[String], name: &str) -> Result<Option<usize>, String> {
+    let Some(pos) = rest.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    rest.get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .map(Some)
+        .ok_or_else(|| format!("{name} needs an integer value"))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<10} {:>3} {:>7} {:>3} {:>8} {:>7}",
+        "circuit", "pi", "states", "sv", "outputs", "trans"
+    );
+    for spec in benchmarks::CIRCUITS {
+        println!(
+            "{:<10} {:>3} {:>7} {:>3} {:>8} {:>7}",
+            spec.name,
+            spec.num_inputs,
+            spec.num_states,
+            spec.num_state_vars,
+            spec.num_outputs,
+            spec.num_transitions()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_show(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    if flag(rest, "--kiss") {
+        print!("{}", kiss::write(&table));
+    } else {
+        print!("{table}");
+    }
+    Ok(())
+}
+
+fn cmd_uio(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    let max_len = value_of(rest, "--max-len")?.unwrap_or(table.num_state_vars());
+    let uios = derive_uios_with(&table, &UioConfig::with_max_len(max_len));
+    println!("UIO sequences for {} (L = {max_len}):", table.name());
+    for s in 0..table.num_states() as u32 {
+        match uios.sequence(s) {
+            Some(u) => println!(
+                "  state {:<6} -> ({})  final state {}",
+                table.state_name(s),
+                format_input_seq(&u.inputs, table.num_inputs()),
+                table.state_name(u.final_state)
+            ),
+            None => println!("  state {:<6} -> none", table.state_name(s)),
+        }
+    }
+    println!(
+        "{} of {} states have a UIO (max length {}), derived in {:.2}s",
+        uios.num_with_uio(),
+        table.num_states(),
+        uios.max_found_len(),
+        uios.elapsed_secs()
+    );
+    if uios.any_budget_exceeded() {
+        println!("note: the search budget was exhausted for at least one state");
+    }
+    Ok(())
+}
+
+fn cmd_generate(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
+    let config = GenConfig {
+        uio_len_cap: value_of(rest, "--uio-cap")?,
+        transfer_max_len: if flag(rest, "--no-transfer") { 0 } else { 1 },
+    };
+    let set = generate(&table, &uios, &config);
+    if let Some(path) = string_of(rest, "--out")? {
+        std::fs::write(&path, scanft_core::io::write_tests(&set, &table))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {} tests (total length {}) to {path}",
+            set.tests.len(),
+            set.total_length()
+        );
+        return Ok(());
+    }
+    println!("functional tests for {}:", table.name());
+    for (k, t) in set.tests.iter().enumerate() {
+        println!("  tau_{k:<4} = {}", t.display(&table));
+    }
+    println!(
+        "{} tests, total length {}, {:.2}% of {} transitions tested by length-1 tests",
+        set.tests.len(),
+        set.total_length(),
+        set.percent_unit_tested(),
+        set.num_transitions
+    );
+    let cycles = scanft_core::cycles::test_set_cycles(&set, table.num_state_vars());
+    let base = scanft_core::cycles::clock_cycles(
+        table.num_state_vars(),
+        table.num_transitions(),
+        table.num_transitions(),
+    );
+    println!(
+        "test application: {cycles} clock cycles ({:.2}% of the {base}-cycle per-transition baseline)",
+        scanft_core::cycles::percent_of(cycles, base)
+    );
+    Ok(())
+}
+
+fn cmd_simulate(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    let path = string_of(rest, "--tests")?.ok_or("--tests FILE is required")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let set = scanft_core::io::parse_tests(&text, &table).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {} tests (total length {}) for {}",
+        set.tests.len(),
+        set.total_length(),
+        table.name()
+    );
+    let circuit = synthesize(&table, &SynthConfig::default());
+    let scan_tests = set.to_scan_tests(&circuit);
+    for (label, faults) in [
+        (
+            "stuck-at",
+            scanft_sim::faults::as_fault_list(&scanft_sim::faults::enumerate_stuck(
+                circuit.netlist(),
+            )),
+        ),
+        (
+            "bridging",
+            scanft_sim::faults::bridges_as_fault_list(
+                &scanft_sim::faults::enumerate_bridging(circuit.netlist(), 3000).faults,
+            ),
+        ),
+        (
+            "delay",
+            scanft_sim::faults::delays_as_fault_list(&scanft_sim::faults::enumerate_delay(
+                circuit.netlist(),
+            )),
+        ),
+    ] {
+        let report =
+            scanft_sim::campaign::run_decreasing_length(circuit.netlist(), &scan_tests, &faults);
+        println!(
+            "  {label}: {}/{} detected ({:.2}%), {} effective tests",
+            report.detected(),
+            faults.len(),
+            report.coverage_percent(),
+            report.effective_tests().len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    let config = FlowConfig {
+        gate_level: !flag(rest, "--functional-only"),
+        top_up: flag(rest, "--top-up"),
+        synth: SynthConfig {
+            encoding: if flag(rest, "--gray") {
+                Encoding::Gray
+            } else {
+                Encoding::Binary
+            },
+            ..SynthConfig::default()
+        },
+        ..FlowConfig::default()
+    };
+    let report = run_flow(&table, &config);
+    println!("evaluation of {}:", report.name);
+    println!(
+        "  UIOs: {}/{} states (max length {}), {:.2}s",
+        report.uio.num_with_uio,
+        table.num_states(),
+        report.uio.max_len,
+        report.uio.secs
+    );
+    println!(
+        "  tests: {} (total length {}, {:.2}% unit-tested), {:.2}s",
+        report.tests.tests.len(),
+        report.tests.total_length(),
+        report.tests.percent_unit_tested(),
+        report.tests.elapsed_secs
+    );
+    println!(
+        "  cycles: {} functional vs {} per-transition ({:.2}%)",
+        report.functional_cycles,
+        report.baseline_cycles,
+        report.functional_percent()
+    );
+    if let Some(gate) = &report.gate {
+        println!("  netlist: {}", gate.netlist);
+        for (label, m) in [("stuck-at", &gate.stuck), ("bridging", &gate.bridging)] {
+            println!(
+                "  {label}: {}/{} detected ({:.2}%), {} proven undetectable, {} unclassified, {} effective tests ({} cycles){}",
+                m.detected,
+                m.total_faults,
+                m.coverage,
+                m.proven_undetectable,
+                m.unclassified,
+                m.effective_tests,
+                m.effective_cycles,
+                if m.top_up_tests > 0 {
+                    format!(", {} top-up tests", m.top_up_tests)
+                } else {
+                    String::new()
+                }
+            );
+            println!(
+                "    complete coverage of detectable faults: {}",
+                if m.complete_detectable_coverage() { "yes" } else { "no" }
+            );
+        }
+        if gate.bridge_truncated {
+            println!(
+                "  note: bridging universe subsampled to {} of {} structural pairs",
+                gate.bridging.total_faults / 2,
+                gate.bridge_pairs_total
+            );
+        }
+    }
+    println!("  total: {:.2}s", report.total_secs);
+    Ok(())
+}
+
+fn cmd_dot(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    print!("{}", scanft_fsm::dot::to_dot(&table));
+    Ok(())
+}
+
+fn cmd_synth(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    let config = SynthConfig {
+        encoding: if flag(rest, "--gray") {
+            Encoding::Gray
+        } else {
+            Encoding::Binary
+        },
+        minimize: !flag(rest, "--flat"),
+        ..SynthConfig::default()
+    };
+    let circuit = synthesize(&table, &config);
+    if flag(rest, "--dot") {
+        print!("{}", scanft_netlist::to_dot(circuit.netlist(), table.name()));
+    } else if flag(rest, "--blif") {
+        print!("{}", scanft_netlist::blif::write(circuit.netlist(), table.name()));
+    } else {
+        println!("{}: {}", table.name(), circuit.netlist().stats());
+        scanft_synth::verify_against_table(&circuit, &table, None)
+            .map_err(|m| format!("synthesis self-check failed: {m:?}"))?;
+        println!("self-check: netlist behaviour matches the state table on all transitions");
+    }
+    Ok(())
+}

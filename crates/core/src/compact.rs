@@ -1,0 +1,163 @@
+//! Static test compaction by test combining — the technique of the paper's
+//! reference \[7\] (Pomeranz & Reddy, ATS 1998), implemented as an extension.
+//!
+//! Combining tests `τ_i` and `τ_j` whose states line up
+//! (`final(τ_i) = initial(τ_j)`) removes the scan-out of `τ_i` and the
+//! scan-in of `τ_j`: the combined test is
+//! `(initial(τ_i), inputs_i ++ inputs_j, final(τ_j))`, saving one scan
+//! operation (`N_SV` cycles). The catch is that `τ_i`'s ending scan-out also
+//! *verified* `τ_i`'s final state, so combining can lose coverage; following
+//! \[7\], a combination is accepted only when gate-level fault coverage is
+//! preserved, which the caller checks through the provided oracle.
+
+use scanft_fsm::StateId;
+
+use crate::test_set::{FunctionalTest, TestSet};
+
+/// Outcome of a compaction run.
+#[derive(Debug, Clone)]
+pub struct CompactionResult {
+    /// The compacted test set.
+    pub tests: Vec<FunctionalTest>,
+    /// Number of combinations performed (scan operations saved).
+    pub combinations: usize,
+    /// Number of candidate combinations rejected by the coverage oracle.
+    pub rejected: usize,
+}
+
+/// Greedily combines chainable tests, accepting each combination only when
+/// `accept` returns `true` for the tentative test list.
+///
+/// `accept` receives the candidate test set (all tests, with the tentative
+/// combination applied) and must say whether it still meets the caller's
+/// coverage requirement — typically by gate-level fault simulation, as in
+/// \[7\]. Use `|_| true` for unconditional structural chaining.
+///
+/// The scan is deterministic: for each test (in order), the first later
+/// test whose initial state matches its final state is tried.
+pub fn combine_tests<F>(set: &TestSet, mut accept: F) -> CompactionResult
+where
+    F: FnMut(&[FunctionalTest]) -> bool,
+{
+    let mut tests: Vec<FunctionalTest> = set.tests.clone();
+    let mut combinations = 0usize;
+    let mut rejected = 0usize;
+
+    let mut i = 0;
+    while i < tests.len() {
+        let mut advanced = false;
+        // Find a chainable partner after position i.
+        let fin: StateId = tests[i].final_state;
+        if let Some(j) = (i + 1..tests.len()).find(|&j| tests[j].initial_state == fin) {
+            let mut candidate = tests.clone();
+            let tail = candidate.remove(j);
+            let head = &mut candidate[i];
+            head.inputs.extend_from_slice(&tail.inputs);
+            head.final_state = tail.final_state;
+            head.targets.extend_from_slice(&tail.targets);
+            if accept(&candidate) {
+                tests = candidate;
+                combinations += 1;
+                // Stay on i: its new final state may chain again.
+                advanced = true;
+            } else {
+                rejected += 1;
+            }
+        }
+        if !advanced {
+            i += 1;
+        }
+    }
+
+    CompactionResult {
+        tests,
+        combinations,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GenConfig};
+    use scanft_fsm::{benchmarks, uio};
+
+    fn lion_set() -> (scanft_fsm::StateTable, TestSet) {
+        let lion = benchmarks::lion();
+        let uios = uio::derive_uios(&lion, 2);
+        let set = generate(&lion, &uios, &GenConfig::default());
+        (lion, set)
+    }
+
+    #[test]
+    fn unconditional_chaining_reduces_tests_and_preserves_behaviour() {
+        let (lion, set) = lion_set();
+        let result = combine_tests(&set, |_| true);
+        assert!(result.combinations > 0);
+        assert_eq!(result.tests.len(), set.tests.len() - result.combinations);
+        assert_eq!(result.rejected, 0);
+        // Combined tests still run consistently on the machine and keep
+        // every targeted transition.
+        let mut targeted = 0;
+        for t in &result.tests {
+            let (fin, _) = lion.run(t.initial_state, &t.inputs);
+            assert_eq!(fin, t.final_state);
+            targeted += t.targets.len();
+        }
+        assert_eq!(targeted, 16);
+    }
+
+    #[test]
+    fn rejecting_oracle_blocks_all_combinations() {
+        let (_, set) = lion_set();
+        let result = combine_tests(&set, |_| false);
+        assert_eq!(result.combinations, 0);
+        assert_eq!(result.tests.len(), set.tests.len());
+        assert!(result.rejected > 0);
+    }
+
+    #[test]
+    fn oracle_sees_the_tentative_candidate() {
+        let (_, set) = lion_set();
+        let original = set.tests.len();
+        let mut calls = 0;
+        let result = combine_tests(&set, |candidate| {
+            calls += 1;
+            assert!(candidate.len() < original + 1);
+            // Accept only the first combination.
+            calls == 1
+        });
+        assert_eq!(result.combinations, 1);
+        assert_eq!(result.tests.len(), original - 1);
+    }
+
+    #[test]
+    fn coverage_preserving_compaction_with_fault_simulation() {
+        // End-to-end: accept a combination only if gate-level stuck-at
+        // coverage is preserved — the actual criterion of [7].
+        let (lion, set) = lion_set();
+        let circuit = scanft_synth::synthesize(&lion, &scanft_synth::SynthConfig::default());
+        let stuck = scanft_sim::faults::enumerate_stuck(circuit.netlist());
+        let faults = scanft_sim::faults::as_fault_list(&stuck);
+        let baseline = scanft_sim::campaign::run(
+            circuit.netlist(),
+            &set.to_scan_tests(&circuit),
+            &faults,
+        )
+        .detected();
+        let result = combine_tests(&set, |candidate| {
+            let scan_tests: Vec<_> = candidate
+                .iter()
+                .map(|t| t.to_scan_test(&circuit))
+                .collect();
+            scanft_sim::campaign::run(circuit.netlist(), &scan_tests, &faults).detected()
+                >= baseline
+        });
+        // Whatever was accepted must preserve coverage.
+        let scan_tests: Vec<_> = result.tests.iter().map(|t| t.to_scan_test(&circuit)).collect();
+        let after = scanft_sim::campaign::run(circuit.netlist(), &scan_tests, &faults).detected();
+        assert_eq!(after, baseline);
+        // Fewer scan operations than the uncompacted set.
+        assert!(result.tests.len() <= set.tests.len());
+    }
+}

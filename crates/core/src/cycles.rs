@@ -1,0 +1,149 @@
+//! The paper's test-application-time model.
+//!
+//! For a circuit with `N_SV` state variables, a test set of `N_T` tests with
+//! `N_PIC` input combinations in total costs
+//!
+//! ```text
+//! N_SV * (N_T + 1) + N_PIC
+//! ```
+//!
+//! clock cycles: consecutive tests share one scan operation (the scan-out of
+//! a test overlaps the scan-in of the next), giving `N_T + 1` scan
+//! operations of `N_SV` cycles each, plus one cycle per applied input
+//! combination. A scan clock `M` times slower than the circuit clock scales
+//! the scan contribution by `M`.
+
+use crate::test_set::TestSet;
+
+/// Clock cycles to apply `num_tests` tests of `total_length` input
+/// combinations on a circuit with `num_state_vars` scan flip-flops
+/// (scan clock = circuit clock).
+///
+/// # Examples
+///
+/// ```
+/// // lion, per-transition baseline (Table 7): 2*(16+1) + 16 = 50.
+/// assert_eq!(scanft_core::cycles::clock_cycles(2, 16, 16), 50);
+/// // lion, functional tests: 2*(9+1) + 28 = 48.
+/// assert_eq!(scanft_core::cycles::clock_cycles(2, 9, 28), 48);
+/// ```
+#[must_use]
+pub fn clock_cycles(num_state_vars: usize, num_tests: usize, total_length: usize) -> u64 {
+    clock_cycles_with_scan_ratio(num_state_vars, num_tests, total_length, 1)
+}
+
+/// Like [`clock_cycles`], with a scan clock `scan_ratio` times slower than
+/// the circuit clock.
+///
+/// # Panics
+///
+/// Panics if `scan_ratio == 0`.
+#[must_use]
+pub fn clock_cycles_with_scan_ratio(
+    num_state_vars: usize,
+    num_tests: usize,
+    total_length: usize,
+    scan_ratio: u64,
+) -> u64 {
+    assert!(scan_ratio > 0, "scan_ratio must be positive");
+    num_state_vars as u64 * (num_tests as u64 + 1) * scan_ratio + total_length as u64
+}
+
+/// Like [`clock_cycles_with_scan_ratio`], with the flip-flops distributed
+/// over `num_chains` balanced scan chains: each scan operation shifts for
+/// `ceil(N_SV / num_chains)` cycles.
+///
+/// The paper assumes a single chain; multiple chains shrink the scan
+/// contribution and therefore *reduce* the relative advantage of the
+/// chained functional tests (they save scan operations).
+///
+/// # Panics
+///
+/// Panics if `num_chains == 0` or `scan_ratio == 0`.
+#[must_use]
+pub fn clock_cycles_multi_chain(
+    num_state_vars: usize,
+    num_chains: usize,
+    num_tests: usize,
+    total_length: usize,
+    scan_ratio: u64,
+) -> u64 {
+    assert!(num_chains > 0, "num_chains must be positive");
+    assert!(scan_ratio > 0, "scan_ratio must be positive");
+    let shift = num_state_vars.div_ceil(num_chains) as u64;
+    shift * (num_tests as u64 + 1) * scan_ratio + total_length as u64
+}
+
+/// Clock cycles for a [`TestSet`] on a machine with `num_state_vars` state
+/// variables.
+#[must_use]
+pub fn test_set_cycles(set: &TestSet, num_state_vars: usize) -> u64 {
+    clock_cycles(num_state_vars, set.tests.len(), set.total_length())
+}
+
+/// Percentage of `cycles` relative to `baseline_cycles`, as printed in
+/// Table 7 (`100 * cycles / baseline`).
+#[must_use]
+pub fn percent_of(cycles: u64, baseline_cycles: u64) -> f64 {
+    if baseline_cycles == 0 {
+        return 0.0;
+    }
+    100.0 * cycles as f64 / baseline_cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, per_transition_baseline, GenConfig};
+    use scanft_fsm::{benchmarks, uio};
+
+    /// Table 7, row lion: trans 50 cycles, functional tests 48 (96.00%).
+    #[test]
+    fn lion_table7_exact() {
+        let lion = benchmarks::lion();
+        let baseline = per_transition_baseline(&lion);
+        let base_cycles = test_set_cycles(&baseline, lion.num_state_vars());
+        assert_eq!(base_cycles, 50);
+        let uios = uio::derive_uios(&lion, 2);
+        let set = generate(&lion, &uios, &GenConfig::default());
+        let cycles = test_set_cycles(&set, lion.num_state_vars());
+        assert_eq!(cycles, 48);
+        assert!((percent_of(cycles, base_cycles) - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_ratio_scales_scan_cost_only() {
+        assert_eq!(clock_cycles_with_scan_ratio(2, 9, 28, 1), 48);
+        assert_eq!(clock_cycles_with_scan_ratio(2, 9, 28, 10), 228);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan_ratio")]
+    fn zero_scan_ratio_panics() {
+        let _ = clock_cycles_with_scan_ratio(2, 9, 28, 0);
+    }
+
+    #[test]
+    fn multi_chain_reduces_scan_cost() {
+        // One chain reproduces the base formula.
+        assert_eq!(clock_cycles_multi_chain(4, 1, 9, 28, 1), clock_cycles(4, 9, 28));
+        // Two chains of a 4-bit state: 2 shift cycles per scan op.
+        assert_eq!(clock_cycles_multi_chain(4, 2, 9, 28, 1), 2 * 10 + 28);
+        // Odd split rounds up.
+        assert_eq!(clock_cycles_multi_chain(5, 2, 9, 28, 1), 3 * 10 + 28);
+        // More chains than flip-flops: one shift cycle per op.
+        assert_eq!(clock_cycles_multi_chain(2, 8, 9, 28, 1), 10 + 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_chains")]
+    fn zero_chains_panics() {
+        let _ = clock_cycles_multi_chain(2, 0, 1, 1, 1);
+    }
+
+    #[test]
+    fn percent_handles_zero_baseline() {
+        assert!((percent_of(10, 0)).abs() < f64::EPSILON);
+        assert!((percent_of(50, 100) - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! End-to-end evaluation flow: UIO derivation → test generation → synthesis
+//! → fault simulation → effective-test selection — one call produces every
+//! number the paper's tables report for one circuit.
+
+use std::time::Instant;
+
+use scanft_fsm::uio::{derive_uios_with, UioConfig, UioSet};
+use scanft_fsm::StateTable;
+use scanft_netlist::NetlistStats;
+use scanft_sim::exhaustive::Detectability;
+use scanft_sim::{campaign, exhaustive, faults};
+use scanft_synth::{synthesize, SynthConfig, SynthesizedCircuit};
+
+use crate::cycles::{clock_cycles, percent_of, test_set_cycles};
+use crate::generate::{generate, per_transition_baseline, GenConfig};
+use crate::test_set::TestSet;
+
+/// Configuration for the whole flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// UIO length bound; `None` means the paper's default `L = N_SV`.
+    pub uio_max_len: Option<usize>,
+    /// UIO search node budget per state.
+    pub uio_node_budget: usize,
+    /// Test generation parameters.
+    pub gen: GenConfig,
+    /// Synthesis parameters for the gate-level evaluation.
+    pub synth: SynthConfig,
+    /// Whether to run the gate-level part (synthesis + fault simulation).
+    pub gate_level: bool,
+    /// Cap on bridging pairs (deterministic subsample above this).
+    pub max_bridge_pairs: usize,
+    /// Budget (input points) for exhaustive classification of undetected
+    /// faults; classification is skipped when `2^(pi+sv)` exceeds it.
+    pub exhaustive_budget: u64,
+    /// Append a length-1 top-up test for every fault the functional tests
+    /// miss despite being detectable (a `scanft` extension: the paper
+    /// accepts these rare maskings — Section 2's UIO-masking caveat — while
+    /// the top-up restores exactly-complete detectable coverage).
+    pub top_up: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            uio_max_len: None,
+            uio_node_budget: 2_000_000,
+            gen: GenConfig::default(),
+            synth: SynthConfig::default(),
+            gate_level: true,
+            max_bridge_pairs: 3000,
+            exhaustive_budget: 1 << 22,
+            top_up: false,
+        }
+    }
+}
+
+/// UIO-derivation numbers (the data of Table 4).
+#[derive(Debug, Clone)]
+pub struct UioReport {
+    /// States with a UIO (`unique` column).
+    pub num_with_uio: usize,
+    /// Longest UIO found (`m.len` column).
+    pub max_len: usize,
+    /// Derivation wall-clock seconds (`time` column).
+    pub secs: f64,
+    /// Whether any state's search exceeded the node budget.
+    pub budget_exceeded: bool,
+}
+
+/// Per-fault-model simulation numbers (the data of Tables 6 and 7).
+#[derive(Debug, Clone)]
+pub struct FaultModelReport {
+    /// Total faults simulated (`tot`).
+    pub total_faults: usize,
+    /// Faults detected (`det`).
+    pub detected: usize,
+    /// Coverage percentage (`f.c.`).
+    pub coverage: f64,
+    /// Number of effective tests (`tsts`).
+    pub effective_tests: usize,
+    /// Total length of the effective tests (`len`).
+    pub effective_length: usize,
+    /// Clock cycles to apply only the effective tests.
+    pub effective_cycles: u64,
+    /// Undetected faults proven undetectable by exhaustive analysis.
+    pub proven_undetectable: usize,
+    /// Undetected faults whose classification exceeded the budget.
+    pub unclassified: usize,
+    /// Length-1 top-up tests appended (0 unless [`FlowConfig::top_up`]).
+    pub top_up_tests: usize,
+}
+
+impl FaultModelReport {
+    /// Whether every detectable fault (among those classified) is detected —
+    /// the paper's headline claim.
+    #[must_use]
+    pub fn complete_detectable_coverage(&self) -> bool {
+        self.detected + self.proven_undetectable + self.unclassified == self.total_faults
+    }
+}
+
+/// Gate-level portion of the flow report.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Netlist summary.
+    pub netlist: NetlistStats,
+    /// Stuck-at results.
+    pub stuck: FaultModelReport,
+    /// Bridging results.
+    pub bridging: FaultModelReport,
+    /// Structurally qualifying bridging pairs before the cap.
+    pub bridge_pairs_total: usize,
+    /// Whether the bridging universe was subsampled.
+    pub bridge_truncated: bool,
+}
+
+/// Everything the paper's tables report about one circuit.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Circuit name.
+    pub name: String,
+    /// UIO numbers (Table 4).
+    pub uio: UioReport,
+    /// The generated functional tests.
+    pub tests: TestSet,
+    /// Clock cycles for the per-transition baseline (Table 7 `trans`).
+    pub baseline_cycles: u64,
+    /// Clock cycles for the functional tests (Table 7 `funct.tests`).
+    pub functional_cycles: u64,
+    /// Gate-level results, when enabled.
+    pub gate: Option<GateReport>,
+    /// Total flow wall-clock seconds.
+    pub total_secs: f64,
+}
+
+impl FlowReport {
+    /// Table 7's percentage for the functional tests.
+    #[must_use]
+    pub fn functional_percent(&self) -> f64 {
+        percent_of(self.functional_cycles, self.baseline_cycles)
+    }
+}
+
+/// Runs the full flow on one machine.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_core::flow::{run_flow, FlowConfig};
+///
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let report = run_flow(&lion, &FlowConfig::default());
+/// assert_eq!(report.tests.tests.len(), 9); // Table 5
+/// assert_eq!(report.functional_cycles, 48); // Table 7
+/// let gate = report.gate.expect("gate level enabled");
+/// assert!(gate.stuck.complete_detectable_coverage()); // Table 6's claim
+/// ```
+#[must_use]
+pub fn run_flow(table: &StateTable, config: &FlowConfig) -> FlowReport {
+    let start = Instant::now();
+    let sv = table.num_state_vars();
+
+    // 1. UIO derivation (Table 4).
+    let uio_config = UioConfig {
+        max_len: config.uio_max_len.unwrap_or(sv),
+        node_budget: config.uio_node_budget,
+    };
+    let uios: UioSet = derive_uios_with(table, &uio_config);
+    let uio_report = UioReport {
+        num_with_uio: uios.num_with_uio(),
+        max_len: uios.max_found_len(),
+        secs: uios.elapsed_secs(),
+        budget_exceeded: uios.any_budget_exceeded(),
+    };
+
+    // 2. Test generation (Table 5).
+    let tests = generate(table, &uios, &config.gen);
+
+    // 3. Clock cycles (Table 7).
+    let baseline = per_transition_baseline(table);
+    let baseline_cycles = test_set_cycles(&baseline, sv);
+    let functional_cycles = test_set_cycles(&tests, sv);
+
+    // 4. Gate level (Tables 3, 6, 7).
+    let gate = config.gate_level.then(|| {
+        let circuit = synthesize(table, &config.synth);
+        let scan_tests = tests.to_scan_tests(&circuit);
+
+        let stuck_faults = faults::enumerate_stuck(circuit.netlist());
+        let stuck_list = faults::as_fault_list(&stuck_faults);
+        let stuck = evaluate_model(&circuit, &scan_tests, &stuck_list, sv, config);
+
+        let bridges = faults::enumerate_bridging(circuit.netlist(), config.max_bridge_pairs);
+        let bridge_list = faults::bridges_as_fault_list(&bridges.faults);
+        let bridging = evaluate_model(&circuit, &scan_tests, &bridge_list, sv, config);
+
+        GateReport {
+            netlist: circuit.netlist().stats(),
+            stuck,
+            bridging,
+            bridge_pairs_total: bridges.total_pairs,
+            bridge_truncated: bridges.truncated(),
+        }
+    });
+
+    FlowReport {
+        name: table.name().to_owned(),
+        uio: uio_report,
+        tests,
+        baseline_cycles,
+        functional_cycles,
+        gate,
+        total_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn evaluate_model(
+    circuit: &SynthesizedCircuit,
+    scan_tests: &[scanft_sim::ScanTest],
+    fault_list: &[faults::Fault],
+    sv: usize,
+    config: &FlowConfig,
+) -> FaultModelReport {
+    let report = campaign::run_decreasing_length(circuit.netlist(), scan_tests, fault_list);
+    let effective: Vec<usize> = report.effective_tests();
+    let effective_length: usize = effective.iter().map(|&t| scan_tests[t].len()).sum();
+    let effective_cycles = clock_cycles(sv, effective.len(), effective_length);
+
+    let mut proven_undetectable = 0;
+    let mut unclassified = 0;
+    let mut top_ups: Vec<scanft_sim::ScanTest> = Vec::new();
+    for f in report.undetected_faults() {
+        let (verdict, witness) = exhaustive::find_detecting_test(
+            circuit.netlist(),
+            &fault_list[f],
+            config.exhaustive_budget,
+        );
+        match verdict {
+            Detectability::Undetectable => proven_undetectable += 1,
+            Detectability::BudgetExceeded => unclassified += 1,
+            Detectability::Detectable => {
+                // A genuine miss: the fault was masked inside a chained test
+                // (the paper's Section 2 caveat). Optionally top up.
+                if config.top_up {
+                    top_ups.push(witness.expect("detectable faults have a witness"));
+                }
+            }
+        }
+    }
+
+    let (detected, effective_tests, effective_length, effective_cycles) = if top_ups.is_empty() {
+        (
+            report.detected(),
+            effective.len(),
+            effective_length,
+            effective_cycles,
+        )
+    } else {
+        // Re-simulate with the top-up tests appended (they are length 1, so
+        // they run last in the decreasing-length order).
+        let mut extended = scan_tests.to_vec();
+        extended.extend(top_ups.iter().cloned());
+        let report = campaign::run_decreasing_length(circuit.netlist(), &extended, fault_list);
+        let effective = report.effective_tests();
+        let len: usize = effective.iter().map(|&t| extended[t].len()).sum();
+        (
+            report.detected(),
+            effective.len(),
+            len,
+            clock_cycles(sv, effective.len(), len),
+        )
+    };
+
+    FaultModelReport {
+        total_faults: fault_list.len(),
+        detected,
+        coverage: if fault_list.is_empty() {
+            100.0
+        } else {
+            100.0 * detected as f64 / fault_list.len() as f64
+        },
+        effective_tests,
+        effective_length,
+        effective_cycles,
+        proven_undetectable,
+        unclassified,
+        top_up_tests: top_ups.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lion_flow_reproduces_paper_shape() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let report = run_flow(&lion, &FlowConfig::default());
+        // Table 4: 2 states with UIOs of max length 2.
+        assert_eq!(report.uio.num_with_uio, 2);
+        assert_eq!(report.uio.max_len, 2);
+        assert!(!report.uio.budget_exceeded);
+        // Table 5: 9 tests, length 28, 25% by unit tests.
+        assert_eq!(report.tests.tests.len(), 9);
+        assert_eq!(report.tests.total_length(), 28);
+        // Table 7: 50 baseline cycles, 48 functional (96%).
+        assert_eq!(report.baseline_cycles, 50);
+        assert_eq!(report.functional_cycles, 48);
+        assert!((report.functional_percent() - 96.0).abs() < 1e-9);
+        // Table 6's claim: complete coverage of detectable faults, both
+        // models.
+        let gate = report.gate.expect("gate level on");
+        assert!(gate.stuck.complete_detectable_coverage());
+        assert_eq!(gate.stuck.unclassified, 0);
+        assert!(gate.bridging.complete_detectable_coverage());
+        // Effective tests need fewer cycles than the full functional set.
+        assert!(gate.stuck.effective_cycles <= report.functional_cycles);
+    }
+
+    #[test]
+    fn functional_tests_beat_baseline_on_scan_count() {
+        for name in ["bbtas", "dk15", "dk27", "beecount", "ex5"] {
+            let t = scanft_fsm::benchmarks::build(name).unwrap();
+            let report = run_flow(
+                &t,
+                &FlowConfig {
+                    gate_level: false,
+                    ..FlowConfig::default()
+                },
+            );
+            assert!(report.gate.is_none());
+            assert!(
+                report.tests.tests.len() <= t.num_transitions(),
+                "{name}: {} tests vs {} transitions",
+                report.tests.tests.len(),
+                t.num_transitions()
+            );
+        }
+    }
+
+    #[test]
+    fn top_up_restores_complete_coverage_on_dk17() {
+        // dk17's chained tests mask a handful of detectable stuck-at faults
+        // (the paper's Section 2 caveat); the top-up extension appends
+        // length-1 tests for exactly those and completes the coverage.
+        let t = scanft_fsm::benchmarks::build("dk17").unwrap();
+        let plain = run_flow(&t, &FlowConfig::default());
+        let topped = run_flow(
+            &t,
+            &FlowConfig {
+                top_up: true,
+                ..FlowConfig::default()
+            },
+        );
+        let g0 = plain.gate.expect("gate level on");
+        let g1 = topped.gate.expect("gate level on");
+        assert!(g1.stuck.detected >= g0.stuck.detected);
+        assert!(g1.stuck.top_up_tests > 0 || g0.stuck.complete_detectable_coverage());
+        assert_eq!(
+            g1.stuck.detected + g1.stuck.proven_undetectable + g1.stuck.unclassified,
+            g1.stuck.total_faults
+        );
+    }
+
+    #[test]
+    fn complete_detectable_coverage_on_small_benchmarks() {
+        for name in ["bbtas", "dk15", "shiftreg"] {
+            let t = scanft_fsm::benchmarks::build(name).unwrap();
+            let report = run_flow(&t, &FlowConfig::default());
+            let gate = report.gate.expect("gate level on");
+            assert!(
+                gate.stuck.complete_detectable_coverage(),
+                "{name}: stuck {}/{} (+{} undet)",
+                gate.stuck.detected,
+                gate.stuck.total_faults,
+                gate.stuck.proven_undetectable
+            );
+            assert!(
+                gate.bridging.complete_detectable_coverage(),
+                "{name}: bridging {}/{} (+{} undet)",
+                gate.bridging.detected,
+                gate.bridging.total_faults,
+                gate.bridging.proven_undetectable
+            );
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The test generation procedure of Section 2 of the paper.
+//!
+//! Determinism rules (pinned by the paper's `lion` walkthrough, which this
+//! implementation reproduces verbatim — see the golden tests):
+//!
+//! - transitions are considered in canonical order (states ascending,
+//!   input combinations ascending);
+//! - a new test **starts** from the first untested transition whose next
+//!   state has a UIO; transitions failing this are *postponed* (the paper's
+//!   rule for avoiding premature length-1 tests) and, when no eligible
+//!   starter remains, emitted as length-1 tests in canonical order;
+//! - within a test, the next targeted transition out of the current state
+//!   is the untested one with the smallest input combination;
+//! - after targeting a transition into `s`: if `s` has no UIO the test ends
+//!   (scan-out verifies `s`); otherwise, with `s'` the state after `s`'s
+//!   UIO, the UIO is applied iff `s'` has an untested outgoing transition
+//!   or a transfer sequence (length ≤ `transfer_max_len`) from `s'` reaches
+//!   a state that does — otherwise the test ends at `s` *without* applying
+//!   the UIO.
+
+use std::time::Instant;
+
+use scanft_fsm::transfer::find_transfer;
+use scanft_fsm::uio::UioSet;
+use scanft_fsm::{InputId, StateId, StateTable};
+
+use crate::test_set::{FunctionalTest, TestSet};
+
+/// Configuration of the test generation procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Upper bound on the UIO lengths used, as a cap applied to the derived
+    /// [`UioSet`] (UIOs are shortest, so capping equals deriving with the
+    /// smaller bound). `None` uses every derived UIO — the paper's default
+    /// is deriving with `L = N_SV`, so `None` over such a set matches the
+    /// main experiments; `Some(l)` drives the Table 9 sweeps.
+    pub uio_len_cap: Option<usize>,
+    /// Maximum transfer-sequence length; `0` disables transfer sequences
+    /// (Table 8). The paper's main experiments use `1`.
+    pub transfer_max_len: usize,
+}
+
+impl Default for GenConfig {
+    /// The paper's main-experiment parameters: every derived UIO (derive
+    /// with `L = N_SV`), transfer sequences of length at most one.
+    fn default() -> Self {
+        GenConfig {
+            uio_len_cap: None,
+            transfer_max_len: 1,
+        }
+    }
+}
+
+/// Generates a functional test set for all single state-transition faults
+/// of `table`, using the UIOs in `uios`.
+///
+/// Every state transition is targeted by exactly one test. See the module
+/// docs for the precise procedure.
+///
+/// # Panics
+///
+/// Panics if `uios` was derived for a machine with a different state count.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_core::generate::{generate, GenConfig};
+/// use scanft_fsm::{benchmarks, uio};
+///
+/// let lion = benchmarks::lion();
+/// let uios = uio::derive_uios(&lion, 2);
+/// let set = generate(&lion, &uios, &GenConfig::default());
+/// // The paper's tau_0 is the first generated test.
+/// assert_eq!(set.tests[0].display(&lion), "(0, (00 00 01), 1)");
+/// ```
+#[must_use]
+pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSet {
+    let start = Instant::now();
+    let npic = table.num_input_combos();
+    let num_states = table.num_states();
+    let cap = config.uio_len_cap.unwrap_or(usize::MAX);
+
+    let uio_of = |state: StateId| uios.sequence_capped(state, cap);
+
+    // untested[s * npic + a]
+    let mut untested = vec![true; table.num_transitions()];
+    let mut untested_count_per_state: Vec<usize> = vec![npic; num_states];
+    let mut remaining = table.num_transitions();
+
+    let mut tests: Vec<FunctionalTest> = Vec::new();
+
+    // Starter eligibility is static: a transition may start a test iff its
+    // next state has a usable UIO. Precomputing the eligible cells lets the
+    // starter search use a monotone cursor (tested cells never revive), so
+    // the whole generation is near-linear in the number of transitions.
+    let eligible: Vec<usize> = (0..untested.len())
+        .filter(|&cell| {
+            let s = (cell / npic) as StateId;
+            let a = (cell % npic) as InputId;
+            uio_of(table.next_state(s, a)).is_some()
+        })
+        .collect();
+    let mut eligible_cursor = 0usize;
+
+    // Per-state monotone pointer to the smallest possibly-untested input.
+    let mut first_input: Vec<usize> = vec![0; num_states];
+
+    while remaining > 0 {
+        // Find the next starter: first untested transition whose next state
+        // has a usable UIO.
+        while eligible_cursor < eligible.len() && !untested[eligible[eligible_cursor]] {
+            eligible_cursor += 1;
+        }
+        let starter: Option<(StateId, InputId)> = (eligible_cursor < eligible.len()).then(|| {
+            let cell = eligible[eligible_cursor];
+            ((cell / npic) as StateId, (cell % npic) as InputId)
+        });
+
+        let Some((s0, a0)) = starter else {
+            // Postponed leftovers: every remaining transition ends in a
+            // UIO-less state; emit length-1 tests in canonical order.
+            for (cell, flag) in untested.iter().enumerate() {
+                if *flag {
+                    let s = (cell / npic) as StateId;
+                    let a = (cell % npic) as InputId;
+                    tests.push(FunctionalTest {
+                        initial_state: s,
+                        inputs: vec![a],
+                        final_state: table.next_state(s, a),
+                        targets: vec![(s, a)],
+                    });
+                }
+            }
+            break;
+        };
+
+        // Build one test starting from (s0, a0).
+        let mut inputs: Vec<InputId> = Vec::new();
+        let mut targets: Vec<(StateId, InputId)> = Vec::new();
+        let mark = |s: StateId,
+                        a: InputId,
+                        untested: &mut Vec<bool>,
+                        counts: &mut Vec<usize>,
+                        remaining: &mut usize| {
+            let cell = s as usize * npic + a as usize;
+            debug_assert!(untested[cell]);
+            untested[cell] = false;
+            counts[s as usize] -= 1;
+            *remaining -= 1;
+        };
+
+        let mut cur = s0;
+        let mut next_input = Some(a0);
+        let final_state;
+        loop {
+            // Target a transition out of `cur`: the starter first, then the
+            // smallest untested input combination.
+            let a = match next_input.take() {
+                Some(a) => a,
+                None => {
+                    let base = cur as usize * npic;
+                    let ptr = &mut first_input[cur as usize];
+                    while *ptr < npic && !untested[base + *ptr] {
+                        *ptr += 1;
+                    }
+                    debug_assert!(*ptr < npic, "current state has an untested transition");
+                    *ptr as InputId
+                }
+            };
+            inputs.push(a);
+            targets.push((cur, a));
+            mark(cur, a, &mut untested, &mut untested_count_per_state, &mut remaining);
+            let arrived = table.next_state(cur, a);
+
+            // Verify `arrived`: by UIO if useful, else scan-out.
+            let Some(uio) = uio_of(arrived) else {
+                final_state = arrived;
+                break;
+            };
+            let after = uio.final_state;
+            if untested_count_per_state[after as usize] > 0 {
+                inputs.extend_from_slice(&uio.inputs);
+                cur = after;
+                continue;
+            }
+            let transfer = if config.transfer_max_len == 0 {
+                None
+            } else {
+                find_transfer(table, after, config.transfer_max_len, |s| {
+                    untested_count_per_state[s as usize] > 0
+                })
+            };
+            match transfer {
+                Some(tr) => {
+                    inputs.extend_from_slice(&uio.inputs);
+                    inputs.extend_from_slice(&tr.inputs);
+                    cur = tr.target;
+                }
+                None => {
+                    // End without applying the UIO; scan-out verifies
+                    // `arrived`.
+                    final_state = arrived;
+                    break;
+                }
+            }
+        }
+        tests.push(FunctionalTest {
+            initial_state: s0,
+            inputs,
+            final_state,
+            targets,
+        });
+    }
+
+    TestSet {
+        tests,
+        num_transitions: table.num_transitions(),
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The paper's baseline: one length-1 test per state transition, in
+/// canonical order (`N_ST * N_PIC` tests).
+#[must_use]
+pub fn per_transition_baseline(table: &StateTable) -> TestSet {
+    let start = Instant::now();
+    let tests = table
+        .transitions()
+        .map(|t| FunctionalTest {
+            initial_state: t.from,
+            inputs: vec![t.input],
+            final_state: t.to,
+            targets: vec![(t.from, t.input)],
+        })
+        .collect();
+    TestSet {
+        tests,
+        num_transitions: table.num_transitions(),
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanft_fsm::benchmarks;
+    use scanft_fsm::uio::derive_uios;
+
+    fn lion_tests() -> (StateTable, TestSet) {
+        let lion = benchmarks::lion();
+        let uios = derive_uios(&lion, lion.num_state_vars());
+        let set = generate(&lion, &uios, &GenConfig::default());
+        (lion, set)
+    }
+
+    /// The paper's Section 2 walkthrough, verbatim: tests tau_0 .. tau_8.
+    #[test]
+    fn lion_walkthrough_exact() {
+        let (lion, set) = lion_tests();
+        let expect = [
+            "(0, (00 00 01), 1)",
+            "(0, (10 00 11 00 01 00), 1)",
+            "(1, (11 00 01 01), 1)",
+            "(2, (00 00 11 00), 1)",
+            "(2, (01 00 11 01 00 11 10), 3)",
+            "(1, (10), 3)",
+            "(2, (10), 3)",
+            "(2, (11), 3)",
+            "(3, (11), 3)",
+        ];
+        assert_eq!(set.tests.len(), expect.len());
+        for (k, (t, e)) in set.tests.iter().zip(expect).enumerate() {
+            assert_eq!(t.display(&lion), e, "tau_{k}");
+        }
+    }
+
+    /// Table 5, row lion: trans 16, tests 9, len 28, 1len 25.00.
+    #[test]
+    fn lion_table5_row_exact() {
+        let (_, set) = lion_tests();
+        assert_eq!(set.num_transitions, 16);
+        assert_eq!(set.tests.len(), 9);
+        assert_eq!(set.total_length(), 28);
+        assert!((set.percent_unit_tested() - 25.0).abs() < 1e-9);
+    }
+
+    /// Every transition is targeted exactly once, and the recorded final
+    /// state matches simulation of the machine.
+    #[test]
+    fn coverage_and_consistency_on_lion() {
+        let (lion, set) = lion_tests();
+        assert_covers_all(&lion, &set);
+    }
+
+    fn assert_covers_all(table: &StateTable, set: &TestSet) {
+        let mut seen = vec![false; table.num_transitions()];
+        for t in &set.tests {
+            let (fin, _) = table.run(t.initial_state, &t.inputs);
+            assert_eq!(fin, t.final_state, "{}", t.display(table));
+            for &(s, a) in &t.targets {
+                let cell = s as usize * table.num_input_combos() + a as usize;
+                assert!(!seen[cell], "transition targeted twice");
+                seen[cell] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some transition never targeted");
+    }
+
+    #[test]
+    fn coverage_on_several_benchmarks() {
+        for name in ["bbtas", "dk15", "dk27", "shiftreg", "beecount", "ex5", "mc", "tav"] {
+            let t = benchmarks::build(name).unwrap();
+            let uios = derive_uios(&t, t.num_state_vars());
+            let set = generate(&t, &uios, &GenConfig::default());
+            assert_covers_all(&t, &set);
+            assert!(set.tests.len() <= t.num_transitions(), "{name}");
+        }
+    }
+
+    #[test]
+    fn without_transfers_still_covers() {
+        for name in ["bbtas", "dk15", "dk27", "shiftreg", "lion"] {
+            let t = benchmarks::build(name).unwrap();
+            let uios = derive_uios(&t, t.num_state_vars());
+            let with = generate(&t, &uios, &GenConfig::default());
+            let without = generate(
+                &t,
+                &uios,
+                &GenConfig {
+                    transfer_max_len: 0,
+                    ..GenConfig::default()
+                },
+            );
+            assert_covers_all(&t, &without);
+            // Table 8's direction: disabling transfers never yields fewer
+            // tests.
+            assert!(without.tests.len() >= with.tests.len(), "{name}");
+            // And no transfer segments means total length cannot grow.
+            assert!(without.total_length() <= with.total_length(), "{name}");
+        }
+    }
+
+    #[test]
+    fn uio_cap_zero_degenerates_to_per_transition() {
+        let lion = benchmarks::lion();
+        let uios = derive_uios(&lion, lion.num_state_vars());
+        let set = generate(
+            &lion,
+            &uios,
+            &GenConfig {
+                uio_len_cap: Some(0),
+                transfer_max_len: 1,
+            },
+        );
+        // No usable UIOs -> every transition gets a length-1 test.
+        assert_eq!(set.tests.len(), 16);
+        assert!(set.tests.iter().all(|t| t.len() == 1));
+        assert!((set.percent_unit_tested() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_is_one_test_per_transition() {
+        let lion = benchmarks::lion();
+        let base = per_transition_baseline(&lion);
+        assert_eq!(base.tests.len(), 16);
+        assert_eq!(base.total_length(), 16);
+        assert!((base.percent_unit_tested() - 100.0).abs() < 1e-9);
+        assert_covers_all(&lion, &base);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = benchmarks::build("beecount").unwrap();
+        let uios = derive_uios(&t, t.num_state_vars());
+        let a = generate(&t, &uios, &GenConfig::default());
+        let b = generate(&t, &uios, &GenConfig::default());
+        assert_eq!(a.tests, b.tests);
+    }
+}

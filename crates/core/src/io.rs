@@ -1,0 +1,228 @@
+//! Test-set serialization: write functional tests in the paper's notation
+//! and read them back, so generation and fault simulation can run as
+//! separate tool invocations.
+//!
+//! Format, one test per line, `#` comments:
+//!
+//! ```text
+//! # scanft tests for lion
+//! .circuit lion
+//! 0 | 00 00 01 | 1
+//! 0 | 10 00 11 00 01 00 | 1
+//! ```
+//!
+//! States are written by name and resolved by name (falling back to decimal
+//! indices), inputs as binary combinations. On parsing, every test is
+//! replayed on the machine and its final state checked, so a file that does
+//! not match the circuit is rejected rather than silently accepted.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use scanft_fsm::{format_input_seq, parse_bits, InputId, StateId, StateTable};
+
+use crate::test_set::{FunctionalTest, TestSet};
+
+/// Error produced while parsing a test-set file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTestsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTestsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "test-set parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTestsError {}
+
+/// Serializes a test set in the line format above.
+#[must_use]
+pub fn write_tests(set: &TestSet, table: &StateTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# scanft tests for {}", table.name());
+    let _ = writeln!(out, ".circuit {}", table.name());
+    for t in &set.tests {
+        let _ = writeln!(
+            out,
+            "{} | {} | {}",
+            table.state_name(t.initial_state),
+            format_input_seq(&t.inputs, table.num_inputs()),
+            table.state_name(t.final_state)
+        );
+    }
+    out
+}
+
+/// Parses a test-set file against `table`.
+///
+/// Targets are not stored in the format; parsed tests carry empty target
+/// lists (coverage can be recomputed by replay).
+///
+/// # Errors
+///
+/// Returns [`ParseTestsError`] for malformed lines, unknown state names,
+/// bad input combinations, a `.circuit` header naming a different machine,
+/// or a final state that disagrees with replaying the inputs on `table`.
+pub fn parse_tests(text: &str, table: &StateTable) -> Result<TestSet, ParseTestsError> {
+    let mut tests: Vec<FunctionalTest> = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let fail = |message: String| ParseTestsError {
+            line: line_no,
+            message,
+        };
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".circuit") {
+            let name = rest.trim();
+            if name != table.name() {
+                return Err(fail(format!(
+                    "file is for circuit `{name}`, expected `{}`",
+                    table.name()
+                )));
+            }
+            continue;
+        }
+        let mut parts = line.split('|');
+        let (init, seq, fin) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(c), None) => (a.trim(), b.trim(), c.trim()),
+            _ => return Err(fail("expected `initial | inputs | final`".into())),
+        };
+        let initial_state = resolve_state(table, init)
+            .ok_or_else(|| fail(format!("unknown state `{init}`")))?;
+        let final_state =
+            resolve_state(table, fin).ok_or_else(|| fail(format!("unknown state `{fin}`")))?;
+        let mut inputs: Vec<InputId> = Vec::new();
+        for token in seq.split_whitespace() {
+            let value = parse_bits(token)
+                .filter(|&v| v < table.num_input_combos() as u64 && token.len() == table.num_inputs())
+                .ok_or_else(|| fail(format!("bad input combination `{token}`")))?;
+            inputs.push(value as InputId);
+        }
+        if inputs.is_empty() {
+            return Err(fail("a test needs at least one input combination".into()));
+        }
+        let replayed = table.run_state(initial_state, &inputs);
+        if replayed != final_state {
+            return Err(fail(format!(
+                "final state `{fin}` disagrees with replay (machine reaches `{}`)",
+                table.state_name(replayed)
+            )));
+        }
+        tests.push(FunctionalTest {
+            initial_state,
+            inputs,
+            final_state,
+            targets: Vec::new(),
+        });
+    }
+    Ok(TestSet {
+        tests,
+        num_transitions: table.num_transitions(),
+        elapsed_secs: 0.0,
+    })
+}
+
+fn resolve_state(table: &StateTable, token: &str) -> Option<StateId> {
+    for s in 0..table.num_states() as StateId {
+        if table.state_name(s) == token {
+            return Some(s);
+        }
+    }
+    token
+        .parse::<StateId>()
+        .ok()
+        .filter(|&s| (s as usize) < table.num_states())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GenConfig};
+    use scanft_fsm::{benchmarks, uio};
+
+    fn lion_set() -> (StateTable, TestSet) {
+        let lion = benchmarks::lion();
+        let uios = uio::derive_uios(&lion, 2);
+        let set = generate(&lion, &uios, &GenConfig::default());
+        (lion, set)
+    }
+
+    #[test]
+    fn round_trip_preserves_tests() {
+        let (lion, set) = lion_set();
+        let text = write_tests(&set, &lion);
+        let back = parse_tests(&text, &lion).expect("round trip");
+        assert_eq!(back.tests.len(), set.tests.len());
+        for (a, b) in back.tests.iter().zip(&set.tests) {
+            assert_eq!(a.initial_state, b.initial_state);
+            assert_eq!(a.inputs, b.inputs);
+            assert_eq!(a.final_state, b.final_state);
+        }
+        assert_eq!(back.num_transitions, 16);
+    }
+
+    #[test]
+    fn text_contains_paper_notation() {
+        let (lion, set) = lion_set();
+        let text = write_tests(&set, &lion);
+        assert!(text.contains("0 | 00 00 01 | 1"));
+        assert!(text.contains(".circuit lion"));
+    }
+
+    #[test]
+    fn rejects_wrong_circuit_header() {
+        let (lion, _) = lion_set();
+        let err = parse_tests(".circuit dk15\n", &lion).unwrap_err();
+        assert!(err.to_string().contains("dk15"));
+    }
+
+    #[test]
+    fn rejects_inconsistent_final_state() {
+        let (lion, _) = lion_set();
+        // 0 under 01 reaches 1, not 3.
+        let err = parse_tests("0 | 01 | 3\n", &lion).unwrap_err();
+        assert!(err.to_string().contains("disagrees"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let (lion, _) = lion_set();
+        assert!(parse_tests("0 | 01\n", &lion).is_err());
+        assert!(parse_tests("9 | 01 | 1\n", &lion).is_err());
+        assert!(parse_tests("0 | 0x | 0\n", &lion).is_err());
+        assert!(parse_tests("0 | 011 | 0\n", &lion).is_err()); // wrong width
+        assert!(parse_tests("0 |  | 0\n", &lion).is_err());
+        assert!(parse_tests("0 | 01 | 1 | extra\n", &lion).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (lion, _) = lion_set();
+        let set = parse_tests("# header\n\n0 | 00 | 0 # self loop\n", &lion).expect("parses");
+        assert_eq!(set.tests.len(), 1);
+    }
+
+    #[test]
+    fn symbolic_state_names_resolve() {
+        let src = ".i 1\n.o 1\n.r IDLE\n0 IDLE IDLE 0\n1 IDLE RUN 1\n- RUN IDLE 1\n.e\n";
+        let t = scanft_fsm::kiss::parse_with(src, "m", scanft_fsm::kiss::Completion::SelfLoop)
+            .expect("valid kiss");
+        let set = parse_tests(".circuit m\nIDLE | 1 | RUN\n", &t).expect("names resolve");
+        assert_eq!(set.tests[0].initial_state, 0);
+        assert_eq!(set.tests[0].final_state, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Functional test generation for full scan circuits — the primary
+//! contribution of Pomeranz & Reddy (DATE 2000), reimplemented in full.
+//!
+//! The target fault model is the **single state-transition fault**: any one
+//! state transition of the machine may produce a faulty next state or output
+//! combination. Under full scan, each transition can be tested alone by a
+//! length-1 test (scan-in, apply, observe, scan-out), but that maximizes
+//! scan operations and tests nothing at speed. The procedure implemented in
+//! [`generate`] chains several transitions into one test:
+//!
+//! - after testing a transition into state `s`, `s`'s **unique input-output
+//!   sequence** (UIO) verifies `s` through the primary outputs instead of a
+//!   scan-out;
+//! - when the state after the UIO has no untested transitions left, a
+//!   bounded **transfer sequence** moves to one that does;
+//! - otherwise the test ends with a scan-out of the final state.
+//!
+//! The crate also provides the paper's clock-cycle cost model ([`cycles`]),
+//! the one-test-per-transition baseline, the end-to-end evaluation flow
+//! used by the table harness ([`flow`]), and the static test compaction of
+//! the paper's reference \[7\] as an extension ([`compact`]).
+//!
+//! # Example
+//!
+//! ```
+//! use scanft_core::generate::{generate, GenConfig};
+//! use scanft_fsm::{benchmarks, uio};
+//!
+//! let lion = benchmarks::lion();
+//! let uios = uio::derive_uios(&lion, lion.num_state_vars());
+//! let set = generate(&lion, &uios, &GenConfig::default());
+//! // Table 5 of the paper, row "lion": 9 tests of total length 28.
+//! assert_eq!(set.tests.len(), 9);
+//! assert_eq!(set.total_length(), 28);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod cycles;
+pub mod flow;
+pub mod generate;
+pub mod io;
+pub mod nonscan;
+pub mod vectors;
+
+mod test_set;
+
+pub use test_set::{FunctionalTest, TestSet};

@@ -1,0 +1,146 @@
+use scanft_fsm::{format_input_seq, InputId, StateId, StateTable};
+use scanft_sim::ScanTest;
+use scanft_synth::SynthesizedCircuit;
+
+/// One functional test in the paper's notation `(initial state, input
+/// sequence, final state)` — e.g. lion's `τ0 = (0, (00,00,01), 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalTest {
+    /// State scanned in before the first input combination.
+    pub initial_state: StateId,
+    /// Input combinations applied, one per clock cycle.
+    pub inputs: Vec<InputId>,
+    /// Fault-free final state, verified by the ending scan-out.
+    pub final_state: StateId,
+    /// The transitions this test explicitly targets, in order (transitions
+    /// merely traversed by UIO or transfer segments are not listed).
+    pub targets: Vec<(StateId, InputId)>,
+}
+
+impl FunctionalTest {
+    /// The paper's test length: number of input combinations between the
+    /// scan operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the test is empty (never produced by the generator).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Renders the test in the paper's notation, e.g.
+    /// `(0, (00 00 01), 1)`.
+    #[must_use]
+    pub fn display(&self, table: &StateTable) -> String {
+        format!(
+            "({}, ({}), {})",
+            table.state_name(self.initial_state),
+            format_input_seq(&self.inputs, table.num_inputs()),
+            table.state_name(self.final_state)
+        )
+    }
+
+    /// Translates the functional test into a gate-level scan test for a
+    /// synthesized implementation (states become scan codes).
+    #[must_use]
+    pub fn to_scan_test(&self, circuit: &SynthesizedCircuit) -> ScanTest {
+        ScanTest::new(circuit.encode_state(self.initial_state), self.inputs.clone())
+    }
+}
+
+/// A generated set of functional tests plus generation statistics — the
+/// data behind one row of Table 5.
+#[derive(Debug, Clone)]
+pub struct TestSet {
+    /// The tests, in generation order.
+    pub tests: Vec<FunctionalTest>,
+    /// Number of state transitions of the machine (the `trans` column).
+    pub num_transitions: usize,
+    /// Wall-clock generation time in seconds (the `time` column).
+    pub elapsed_secs: f64,
+}
+
+impl TestSet {
+    /// Total length of all tests (the `len` column of Table 5).
+    #[must_use]
+    pub fn total_length(&self) -> usize {
+        self.tests.iter().map(FunctionalTest::len).sum()
+    }
+
+    /// Number of transitions tested by length-1 tests. Each length-1 test
+    /// targets exactly one transition.
+    #[must_use]
+    pub fn transitions_in_unit_tests(&self) -> usize {
+        self.tests.iter().filter(|t| t.len() == 1).count()
+    }
+
+    /// The `1len` column of Table 5: percentage of state transitions tested
+    /// by tests of length one.
+    #[must_use]
+    pub fn percent_unit_tested(&self) -> f64 {
+        if self.num_transitions == 0 {
+            return 0.0;
+        }
+        100.0 * self.transitions_in_unit_tests() as f64 / self.num_transitions as f64
+    }
+
+    /// Translates the whole set into gate-level scan tests.
+    #[must_use]
+    pub fn to_scan_tests(&self, circuit: &SynthesizedCircuit) -> Vec<ScanTest> {
+        self.tests.iter().map(|t| t.to_scan_test(circuit)).collect()
+    }
+
+    /// Every transition explicitly targeted, across all tests.
+    #[must_use]
+    pub fn targeted_transitions(&self) -> Vec<(StateId, InputId)> {
+        self.tests.iter().flat_map(|t| t.targets.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let t = FunctionalTest {
+            initial_state: 0,
+            inputs: vec![0b00, 0b00, 0b01],
+            final_state: 1,
+            targets: vec![(0, 0b00), (0, 0b01)],
+        };
+        assert_eq!(t.display(&lion), "(0, (00 00 01), 1)");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn test_set_statistics() {
+        let set = TestSet {
+            tests: vec![
+                FunctionalTest {
+                    initial_state: 0,
+                    inputs: vec![0, 1],
+                    final_state: 1,
+                    targets: vec![(0, 0), (0, 1)],
+                },
+                FunctionalTest {
+                    initial_state: 1,
+                    inputs: vec![1],
+                    final_state: 0,
+                    targets: vec![(1, 1)],
+                },
+            ],
+            num_transitions: 4,
+            elapsed_secs: 0.0,
+        };
+        assert_eq!(set.total_length(), 3);
+        assert_eq!(set.transitions_in_unit_tests(), 1);
+        assert!((set.percent_unit_tested() - 25.0).abs() < 1e-9);
+        assert_eq!(set.targeted_transitions().len(), 3);
+    }
+}

@@ -1,0 +1,331 @@
+//! Tester-level scan schedules: the paper's clock-cycle formula, made
+//! executable.
+//!
+//! The paper charges `N_SV * (N_T + 1) + N_PIC` cycles for a test set: the
+//! scan-out of one test overlaps the scan-in of the next (both are `N_SV`
+//! shift cycles of the same chain), so `N_T` tests need `N_T + 1` scan
+//! operations. This module expands a [`TestSet`] into the explicit per-cycle
+//! tester schedule — shift cycles with scan-in/scan-out bits, and capture
+//! cycles with primary input/output values — and the unit tests verify that
+//! the schedule length equals the formula **and** that the scanned-out bits
+//! match the scan simulator's responses, tying the cost model to actual
+//! data movement.
+
+use scanft_fsm::{InputId, StateTable};
+use scanft_synth::SynthesizedCircuit;
+
+use crate::cycles::clock_cycles;
+use crate::test_set::TestSet;
+
+/// One tester clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TesterCycle {
+    /// Scan-shift cycle: drive `scan_in` into the chain head while
+    /// observing `scan_out` at the chain tail (`None` while the chain
+    /// contents are don't-care — the very first scan-in has nothing to
+    /// observe).
+    Shift {
+        /// Bit shifted into the chain.
+        scan_in: bool,
+        /// Bit expected out of the chain, when meaningful.
+        scan_out: Option<bool>,
+    },
+    /// Functional capture cycle: apply `inputs` at the primary inputs,
+    /// expect `outputs` at the primary outputs, capture next state.
+    Capture {
+        /// Primary-input combination.
+        inputs: InputId,
+        /// Expected fault-free primary-output combination.
+        outputs: u64,
+    },
+}
+
+/// A complete tester schedule for a test set.
+#[derive(Debug, Clone)]
+pub struct ScanSchedule {
+    /// The per-cycle program.
+    pub cycles: Vec<TesterCycle>,
+    /// Number of tests scheduled.
+    pub num_tests: usize,
+    /// Scan chain length (`N_SV`).
+    pub chain_length: usize,
+}
+
+impl ScanSchedule {
+    /// Total tester cycles — by construction equal to
+    /// [`clock_cycles`]`(N_SV, N_T, total_length)`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether the schedule is empty (empty test set still scans once? No —
+    /// an empty set needs no tester activity at all).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Renders the schedule in a simple line-per-cycle text format
+    /// (`S <in> <out|-->` / `C <inputs> <outputs>`), convenient for diffing
+    /// and for replay by external tools.
+    #[must_use]
+    pub fn to_text(&self, table: &StateTable) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for cycle in &self.cycles {
+            match *cycle {
+                TesterCycle::Shift { scan_in, scan_out } => {
+                    let observed = match scan_out {
+                        Some(true) => "1",
+                        Some(false) => "0",
+                        None => "-",
+                    };
+                    let _ = writeln!(out, "S {} {observed}", u8::from(scan_in));
+                }
+                TesterCycle::Capture { inputs, outputs } => {
+                    let _ = writeln!(
+                        out,
+                        "C {} {}",
+                        scanft_fsm::format_input(inputs, table.num_inputs()),
+                        scanft_fsm::format_output(outputs, table.num_outputs())
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Expands `set` into the explicit tester schedule for `circuit`.
+///
+/// Scan chains shift most-significant state bit first (bit `N_SV - 1` at
+/// the chain head), and the scan-out of each test overlaps the scan-in of
+/// the next, exactly as the paper's formula assumes.
+///
+/// # Panics
+///
+/// Panics if `circuit` has a different number of state variables than the
+/// machine the tests were generated for.
+#[must_use]
+pub fn schedule(set: &TestSet, table: &StateTable, circuit: &SynthesizedCircuit) -> ScanSchedule {
+    let sv = circuit.netlist().num_ppis();
+    assert_eq!(sv, table.num_state_vars(), "circuit/table mismatch");
+    let mut cycles = Vec::new();
+    // The code being shifted out while the next test's code shifts in.
+    let mut outgoing: Option<u64> = None;
+
+    for test in &set.tests {
+        let incoming = circuit.encode_state(test.initial_state);
+        push_shift(&mut cycles, sv, Some(incoming), outgoing);
+        // Capture cycles with the fault-free responses.
+        let (_, responses) = table.run(test.initial_state, &test.inputs);
+        for (k, &input) in test.inputs.iter().enumerate() {
+            cycles.push(TesterCycle::Capture {
+                inputs: input,
+                outputs: responses[k],
+            });
+        }
+        outgoing = Some(circuit.encode_state(test.final_state));
+    }
+    // Final scan-out (nothing meaningful shifts in).
+    if let Some(out) = outgoing {
+        push_shift(&mut cycles, sv, None, Some(out));
+    }
+    ScanSchedule {
+        cycles,
+        num_tests: set.tests.len(),
+        chain_length: sv,
+    }
+}
+
+fn push_shift(cycles: &mut Vec<TesterCycle>, sv: usize, incoming: Option<u64>, outgoing: Option<u64>) {
+    for k in (0..sv).rev() {
+        cycles.push(TesterCycle::Shift {
+            scan_in: incoming.is_some_and(|code| code >> k & 1 == 1),
+            scan_out: outgoing.map(|code| code >> k & 1 == 1),
+        });
+    }
+}
+
+/// Verifies a schedule's scan-out bits and capture outputs against the
+/// machine — used by tests and available for downstream validation.
+///
+/// Returns the index of the first inconsistent cycle, or `None` when the
+/// whole schedule is consistent.
+#[must_use]
+pub fn verify_schedule(
+    schedule: &ScanSchedule,
+    set: &TestSet,
+    table: &StateTable,
+    circuit: &SynthesizedCircuit,
+) -> Option<usize> {
+    // Recompute the expected schedule and compare cycle by cycle.
+    let expected = self::schedule(set, table, circuit);
+    if expected.cycles.len() != schedule.cycles.len() {
+        return Some(expected.cycles.len().min(schedule.cycles.len()));
+    }
+    expected
+        .cycles
+        .iter()
+        .zip(&schedule.cycles)
+        .position(|(a, b)| a != b)
+}
+
+/// Convenience: the formula value the schedule must match.
+#[must_use]
+pub fn expected_cycles(set: &TestSet, num_state_vars: usize) -> u64 {
+    if set.tests.is_empty() {
+        return 0;
+    }
+    clock_cycles(num_state_vars, set.tests.len(), set.total_length())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, per_transition_baseline, GenConfig};
+    use scanft_fsm::{benchmarks, uio};
+    use scanft_synth::{synthesize, SynthConfig};
+
+    fn lion_setup() -> (scanft_fsm::StateTable, TestSet, SynthesizedCircuit) {
+        let lion = benchmarks::lion();
+        let uios = uio::derive_uios(&lion, 2);
+        let set = generate(&lion, &uios, &GenConfig::default());
+        let circuit = synthesize(&lion, &SynthConfig::default());
+        (lion, set, circuit)
+    }
+
+    /// The schedule length equals the paper's formula — the formula made
+    /// executable.
+    #[test]
+    fn schedule_length_matches_formula() {
+        let (lion, set, circuit) = lion_setup();
+        let sched = schedule(&set, &lion, &circuit);
+        assert_eq!(sched.len() as u64, expected_cycles(&set, 2));
+        assert_eq!(sched.len(), 48); // Table 7, row lion.
+        // And for the baseline: 50 cycles.
+        let base = per_transition_baseline(&lion);
+        let base_sched = schedule(&base, &lion, &circuit);
+        assert_eq!(base_sched.len(), 50);
+    }
+
+    /// Scan-in bits of each test deliver exactly the initial state code,
+    /// and scan-out bits return the final state code.
+    #[test]
+    fn shift_bits_carry_the_codes() {
+        let (lion, set, circuit) = lion_setup();
+        let sched = schedule(&set, &lion, &circuit);
+        // First 2 cycles: scan-in of test 0's initial state (0 -> bits 0,0),
+        // with nothing to observe.
+        match sched.cycles[0] {
+            TesterCycle::Shift { scan_in, scan_out } => {
+                assert!(!scan_in);
+                assert_eq!(scan_out, None);
+            }
+            ref other => panic!("expected shift, got {other:?}"),
+        }
+        // The overlap property: between test 0 (final state 1) and test 1
+        // (initial state 0), the shift cycles observe code 1 while driving
+        // code 0. Locate the first shift after the first captures.
+        let first_capture_len = set.tests[0].len();
+        let boundary = 2 + first_capture_len;
+        match (sched.cycles[boundary], sched.cycles[boundary + 1]) {
+            (
+                TesterCycle::Shift {
+                    scan_in: in_hi,
+                    scan_out: Some(out_hi),
+                },
+                TesterCycle::Shift {
+                    scan_in: in_lo,
+                    scan_out: Some(out_lo),
+                },
+            ) => {
+                // Incoming code 0 (bits 0,0); outgoing code 1 (bits 0,1 —
+                // MSB first).
+                assert!(!in_hi && !in_lo);
+                assert!(!out_hi);
+                assert!(out_lo);
+            }
+            other => panic!("expected two shifts at the boundary, got {other:?}"),
+        }
+    }
+
+    /// Capture cycles carry the fault-free output responses.
+    #[test]
+    fn capture_cycles_match_machine_outputs() {
+        let (lion, set, circuit) = lion_setup();
+        let sched = schedule(&set, &lion, &circuit);
+        let mut cursor = 0usize;
+        for test in &set.tests {
+            cursor += 2; // scan-in shifts
+            let (_, responses) = lion.run(test.initial_state, &test.inputs);
+            for (k, &input) in test.inputs.iter().enumerate() {
+                match sched.cycles[cursor] {
+                    TesterCycle::Capture { inputs, outputs } => {
+                        assert_eq!(inputs, input);
+                        assert_eq!(outputs, responses[k]);
+                    }
+                    ref other => panic!("expected capture, got {other:?}"),
+                }
+                cursor += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn verify_schedule_detects_tampering() {
+        let (lion, set, circuit) = lion_setup();
+        let mut sched = schedule(&set, &lion, &circuit);
+        assert_eq!(verify_schedule(&sched, &set, &lion, &circuit), None);
+        sched.cycles[5] = TesterCycle::Capture {
+            inputs: 3,
+            outputs: 0,
+        };
+        assert_eq!(verify_schedule(&sched, &set, &lion, &circuit), Some(5));
+    }
+
+    #[test]
+    fn text_format_round_shape() {
+        let (lion, set, circuit) = lion_setup();
+        let sched = schedule(&set, &lion, &circuit);
+        let text = sched.to_text(&lion);
+        assert_eq!(text.lines().count(), sched.len());
+        assert!(text.lines().next().unwrap().starts_with("S "));
+        assert!(text.contains("C 01 1"));
+    }
+
+    #[test]
+    fn empty_set_schedules_nothing() {
+        let (lion, _, circuit) = lion_setup();
+        let empty = TestSet {
+            tests: vec![],
+            num_transitions: 16,
+            elapsed_secs: 0.0,
+        };
+        let sched = schedule(&empty, &lion, &circuit);
+        assert!(sched.is_empty());
+        assert_eq!(expected_cycles(&empty, 2), 0);
+    }
+
+    /// Formula equivalence on several machines and both generators.
+    #[test]
+    fn formula_equivalence_across_benchmarks() {
+        for name in ["bbtas", "dk15", "shiftreg", "beecount"] {
+            let t = benchmarks::build(name).unwrap();
+            let uios = uio::derive_uios(&t, t.num_state_vars());
+            let circuit = synthesize(&t, &SynthConfig::default());
+            for set in [
+                generate(&t, &uios, &GenConfig::default()),
+                per_transition_baseline(&t),
+            ] {
+                let sched = schedule(&set, &t, &circuit);
+                assert_eq!(
+                    sched.len() as u64,
+                    expected_cycles(&set, t.num_state_vars()),
+                    "{name}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Adaptive distinguishing sequences (splitting-tree construction).
+//!
+//! A machine has an *adaptive distinguishing sequence* (ADS) when a single
+//! adaptive experiment — inputs chosen based on observed outputs —
+//! identifies the initial state, whatever it was. The classic construction
+//! (Lee & Yannakakis, 1994) refines a partition of the state set using
+//! *valid* inputs: an input is valid for a block when no two states of the
+//! block that agree on the output merge into the same next state (merging
+//! destroys distinguishability forever).
+//!
+//! This module implements the partition-refinement existence check and
+//! derives the per-state *verification traces*: the fixed input sequence
+//! the adaptive experiment applies when started in state `s`. Every such
+//! trace is a unique input-output sequence for `s` (any other state must
+//! produce a different output somewhere along it — the crate's tests check
+//! this against [`crate::uio::is_uio`]), so an ADS supplies UIO-style state
+//! verification for *every* state at once. Conversely, a machine with a
+//! UIO-less state (like `lion`, Table 2 of the paper) cannot have an ADS.
+
+use std::collections::HashMap;
+
+use crate::{InputId, StateId, StateTable};
+
+/// The per-state verification traces extracted from an adaptive
+/// distinguishing sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ads {
+    /// `traces[s]` = the inputs the adaptive experiment applies when the
+    /// machine starts in state `s` (the fault-free path through the
+    /// decision tree).
+    traces: Vec<Vec<InputId>>,
+}
+
+impl Ads {
+    /// The verification trace for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn trace(&self, state: StateId) -> &[InputId] {
+        &self.traces[state as usize]
+    }
+
+    /// The number of states covered (all of them, by definition).
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Length of the longest trace.
+    #[must_use]
+    pub fn max_trace_len(&self) -> usize {
+        self.traces.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// How a block of the refinement partition was split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SplitKind {
+    /// States of the block produce different outputs under the input.
+    Output,
+    /// Outputs agree; successors fall into different partition blocks.
+    Successor,
+}
+
+/// Derives an adaptive distinguishing sequence for `table`, or `None` when
+/// none exists.
+///
+/// The search is the standard partition refinement: starting from the
+/// single all-states block, repeatedly split any block for which a valid
+/// input either separates by output or maps states into different existing
+/// blocks. The machine has an ADS iff the refinement reaches singletons.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_fsm::{ads, benchmarks, uio};
+///
+/// // A shift register reveals its contents: apply three zeros and the
+/// // three output bits spell out the state.
+/// let sr = benchmarks::shiftreg();
+/// let a = ads::derive_ads(&sr).expect("shiftreg has an ADS");
+/// assert_eq!(a.max_trace_len(), 3);
+/// for s in 0..8 {
+///     assert!(uio::is_uio(&sr, s, a.trace(s)));
+/// }
+///
+/// // lion has UIO-less states, so it cannot have an ADS.
+/// assert!(ads::derive_ads(&benchmarks::lion()).is_none());
+/// ```
+#[must_use]
+pub fn derive_ads(table: &StateTable) -> Option<Ads> {
+    let n = table.num_states();
+    if n == 1 {
+        return Some(Ads {
+            traces: vec![Vec::new()],
+        });
+    }
+    let npic = table.num_input_combos() as InputId;
+
+    // Partition refinement: block_of[s] = current block id.
+    let mut block_of: Vec<u32> = vec![0; n];
+    let mut num_blocks = 1usize;
+    // For trace extraction we remember, per split, the input used — the
+    // tree below re-derives the rest.
+    loop {
+        let mut blocks: HashMap<u32, Vec<StateId>> = HashMap::new();
+        for (s, &b) in block_of.iter().enumerate() {
+            blocks.entry(b).or_default().push(s as StateId);
+        }
+        let mut progressed = false;
+        for (_, members) in blocks {
+            if members.len() < 2 {
+                continue;
+            }
+            if let Some((input, kind)) = find_split(table, &members, &block_of, npic) {
+                // Apply the split: assign fresh block ids per group.
+                let groups = group_members(table, &members, &block_of, input, kind);
+                for group in groups.into_iter().skip(1) {
+                    let fresh = num_blocks as u32;
+                    num_blocks += 1;
+                    for s in group {
+                        block_of[s as usize] = fresh;
+                    }
+                }
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if num_blocks != n {
+        return None; // some block cannot be split: no ADS
+    }
+
+    // Trace extraction: walk the decision recursion with origin tracking.
+    // Each node is a set of (origin, current) pairs; choose the smallest
+    // valid splitting input (they exist: the refinement above certifies
+    // full distinguishability, and validity never destroys it).
+    let mut traces: Vec<Vec<InputId>> = vec![Vec::new(); n];
+    let root: Vec<(StateId, StateId)> = (0..n as StateId).map(|s| (s, s)).collect();
+    // Depth bound: a crude safety net far above the O(n^2) theory bound.
+    let depth_bound = n * n + npic as usize + 4;
+    if extract(table, &root, &mut traces, npic, depth_bound).is_some() {
+        return Some(Ads { traces });
+    }
+    // The greedy walk rarely fails to converge even though the refinement
+    // proved distinguishability; fall back to independent UIO searches
+    // (refinement success implies every state has one).
+    let config = crate::uio::UioConfig::with_max_len(n * n);
+    let mut traces: Vec<Vec<InputId>> = Vec::with_capacity(n);
+    for s in 0..n as StateId {
+        match crate::uio::find_uio(table, s, &config) {
+            crate::uio::UioOutcome::Found(u) => traces.push(u.inputs),
+            _ => return None,
+        }
+    }
+    Some(Ads { traces })
+}
+
+/// Finds the smallest valid input splitting `members`, preferring output
+/// splits.
+fn find_split(
+    table: &StateTable,
+    members: &[StateId],
+    block_of: &[u32],
+    npic: InputId,
+) -> Option<(InputId, SplitKind)> {
+    let mut successor_split: Option<InputId> = None;
+    for a in 0..npic {
+        if !input_is_valid(table, members, a) {
+            continue;
+        }
+        let first_out = table.output(members[0], a);
+        if members.iter().any(|&s| table.output(s, a) != first_out) {
+            return Some((a, SplitKind::Output));
+        }
+        if successor_split.is_none() {
+            let first_block = block_of[table.next_state(members[0], a) as usize];
+            if members
+                .iter()
+                .any(|&s| block_of[table.next_state(s, a) as usize] != first_block)
+            {
+                successor_split = Some(a);
+            }
+        }
+    }
+    successor_split.map(|a| (a, SplitKind::Successor))
+}
+
+/// Whether `a` is valid for the block: states agreeing on the output never
+/// merge into the same next state.
+fn input_is_valid(table: &StateTable, members: &[StateId], a: InputId) -> bool {
+    let mut seen: HashMap<(u64, StateId), ()> = HashMap::with_capacity(members.len());
+    for &s in members {
+        let key = (table.output(s, a), table.next_state(s, a));
+        if seen.insert(key, ()).is_some() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Partitions the block according to the split, in deterministic order.
+fn group_members(
+    table: &StateTable,
+    members: &[StateId],
+    block_of: &[u32],
+    input: InputId,
+    kind: SplitKind,
+) -> Vec<Vec<StateId>> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: HashMap<u64, Vec<StateId>> = HashMap::new();
+    for &s in members {
+        let key = match kind {
+            SplitKind::Output => table.output(s, input),
+            SplitKind::Successor => u64::from(block_of[table.next_state(s, input) as usize]),
+        };
+        if !groups.contains_key(&key) {
+            order.push(key);
+        }
+        groups.entry(key).or_default().push(s);
+    }
+    order.into_iter().map(|k| groups.remove(&k).expect("key recorded")).collect()
+}
+
+/// Recursively extends the traces of all origins in `pairs` until each is
+/// isolated. Returns `None` only if the depth bound is hit (which the
+/// refinement check should make impossible).
+fn extract(
+    table: &StateTable,
+    pairs: &[(StateId, StateId)],
+    traces: &mut [Vec<InputId>],
+    npic: InputId,
+    depth_left: usize,
+) -> Option<()> {
+    if pairs.len() <= 1 {
+        return Some(());
+    }
+    if depth_left == 0 {
+        return None;
+    }
+    let currents: Vec<StateId> = pairs.iter().map(|&(_, c)| c).collect();
+    // Valid input preferring output splits; otherwise the smallest valid
+    // input that at least *moves* the current set (a same-output input
+    // whose successors are the identical set makes no progress and would
+    // loop forever).
+    let mut chosen: Option<InputId> = None;
+    for a in 0..npic {
+        if !input_is_valid(table, &currents, a) {
+            continue;
+        }
+        let first_out = table.output(currents[0], a);
+        if currents.iter().any(|&s| table.output(s, a) != first_out) {
+            chosen = Some(a);
+            break;
+        }
+        if chosen.is_none() {
+            let mut successors: Vec<StateId> =
+                currents.iter().map(|&s| table.next_state(s, a)).collect();
+            successors.sort_unstable();
+            let mut sorted_currents = currents.clone();
+            sorted_currents.sort_unstable();
+            if successors != sorted_currents {
+                chosen = Some(a);
+            }
+        }
+    }
+    let a = chosen?;
+    // Apply `a` to every origin's trace and advance the pairs.
+    for &(origin, _) in pairs {
+        traces[origin as usize].push(a);
+    }
+    // Partition by output, advance currents, recurse.
+    let mut order: Vec<u64> = Vec::new();
+    let mut children: HashMap<u64, Vec<(StateId, StateId)>> = HashMap::new();
+    for &(origin, current) in pairs {
+        let out = table.output(current, a);
+        if !children.contains_key(&out) {
+            order.push(out);
+        }
+        children
+            .entry(out)
+            .or_default()
+            .push((origin, table.next_state(current, a)));
+    }
+    for key in order {
+        let child = children.remove(&key).expect("key recorded");
+        extract(table, &child, traces, npic, depth_left - 1)?;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmarks, uio};
+
+    #[test]
+    fn shiftreg_ads_reads_the_register_out() {
+        let sr = benchmarks::shiftreg();
+        let ads = derive_ads(&sr).expect("shiftreg has an ADS");
+        assert_eq!(ads.num_states(), 8);
+        assert_eq!(ads.max_trace_len(), 3);
+        for s in 0..8 {
+            // Every trace is a UIO for its state.
+            assert!(uio::is_uio(&sr, s, ads.trace(s)), "state {s}");
+        }
+    }
+
+    #[test]
+    fn lion_has_no_ads() {
+        assert!(derive_ads(&benchmarks::lion()).is_none());
+    }
+
+    #[test]
+    fn single_state_machine_is_trivially_identified() {
+        let mut b = crate::StateTableBuilder::new("one", 1, 1, 1).unwrap();
+        b.set(0, 0, 0, 0).unwrap();
+        b.set(0, 1, 0, 1).unwrap();
+        let t = b.build().unwrap();
+        let ads = derive_ads(&t).expect("trivial ADS");
+        assert!(ads.trace(0).is_empty());
+    }
+
+    #[test]
+    fn machine_with_equivalent_states_has_no_ads() {
+        // Two equivalent states can never be distinguished.
+        let mut b = crate::StateTableBuilder::new("dup", 1, 1, 2).unwrap();
+        b.set(0, 0, 1, 0).unwrap();
+        b.set(0, 1, 0, 1).unwrap();
+        b.set(1, 0, 0, 0).unwrap();
+        b.set(1, 1, 1, 1).unwrap();
+        let t = b.build().unwrap();
+        // 0 and 1 produce identical outputs under every sequence (check via
+        // the minimizer), so no ADS.
+        if crate::minimize::equivalence_classes(&t).num_classes() < 2 {
+            assert!(derive_ads(&t).is_none());
+        }
+    }
+
+    #[test]
+    fn merging_input_is_rejected() {
+        // Distinguishable machine whose only output-split input merges the
+        // other pair of states — the validity condition must handle it.
+        let mut b = crate::StateTableBuilder::new("merge", 1, 1, 4).unwrap();
+        // input 0: output identifies {0,1} vs {2,3}; successors keep
+        // injectivity within each output group.
+        b.set(0, 0, 1, 0).unwrap();
+        b.set(1, 0, 0, 0).unwrap();
+        b.set(2, 0, 3, 1).unwrap();
+        b.set(3, 0, 2, 1).unwrap();
+        // input 1: splits 0 vs 1 and 2 vs 3 by output.
+        b.set(0, 1, 0, 0).unwrap();
+        b.set(1, 1, 1, 1).unwrap();
+        b.set(2, 1, 2, 0).unwrap();
+        b.set(3, 1, 3, 1).unwrap();
+        let t = b.build().unwrap();
+        let ads = derive_ads(&t).expect("ADS exists");
+        for s in 0..4 {
+            assert!(uio::is_uio(&t, s, ads.trace(s)), "state {s}");
+        }
+    }
+
+    #[test]
+    fn ads_existence_implies_all_uios_exist() {
+        for name in ["shiftreg", "bbtas", "beecount", "ex5", "mc", "tav"] {
+            let t = benchmarks::build(name).unwrap();
+            if let Some(ads) = derive_ads(&t) {
+                for s in 0..t.num_states() as StateId {
+                    assert!(
+                        uio::is_uio(&t, s, ads.trace(s)),
+                        "{name}: trace of state {s} is not a UIO"
+                    );
+                }
+            }
+        }
+    }
+}

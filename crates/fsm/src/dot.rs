@@ -1,0 +1,91 @@
+//! Graphviz DOT export of the state graph.
+
+use std::fmt::Write as _;
+
+use crate::{InputId, StateTable};
+
+/// Renders the state-transition graph as a DOT digraph. Edges are labelled
+/// `input/output`; parallel transitions between the same pair of states are
+/// merged into one multi-label edge to keep the diagram readable.
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let dot = scanft_fsm::dot::to_dot(&lion);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("00/0")); // the 0 --00/0--> 0 self loop
+/// ```
+#[must_use]
+pub fn to_dot(table: &StateTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", table.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for s in 0..table.num_states() as u32 {
+        let _ = writeln!(out, "  s{s} [label=\"{}\"];", table.state_name(s));
+    }
+    for from in 0..table.num_states() as u32 {
+        // Group labels by destination.
+        let mut labels: Vec<(u32, Vec<String>)> = Vec::new();
+        for input in 0..table.num_input_combos() as InputId {
+            let (to, z) = table.step(from, input);
+            let label = format!(
+                "{}/{}",
+                crate::format_input(input, table.num_inputs()),
+                crate::format_output(z, table.num_outputs())
+            );
+            match labels.iter_mut().find(|(t, _)| *t == to) {
+                Some((_, list)) => list.push(label),
+                None => labels.push((to, vec![label])),
+            }
+        }
+        for (to, list) in labels {
+            let _ = writeln!(
+                out,
+                "  s{from} -> s{to} [label=\"{}\"];",
+                list.join("\\n")
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lion_dot_structure() {
+        let lion = crate::benchmarks::lion();
+        let dot = to_dot(&lion);
+        assert!(dot.contains("s0 [label=\"0\"]"));
+        // 0 goes to 0 under 00, 10, 11 (merged) and to 1 under 01.
+        assert!(dot.contains("s0 -> s1 [label=\"01/1\"]"));
+        assert!(dot.contains("00/0\\n10/0\\n11/0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn every_state_and_edge_group_present() {
+        let t = crate::benchmarks::build("bbtas").unwrap();
+        let dot = to_dot(&t);
+        for s in 0..t.num_states() {
+            assert!(dot.contains(&format!("s{s} [label=")));
+        }
+        // Edge lines = sum over states of distinct destinations.
+        let edges = dot.matches(" -> ").count();
+        let expected: usize = (0..t.num_states() as u32)
+            .map(|s| {
+                let mut dests: Vec<u32> = (0..t.num_input_combos() as u32)
+                    .map(|i| t.next_state(s, i))
+                    .collect();
+                dests.sort_unstable();
+                dests.dedup();
+                dests.len()
+            })
+            .sum();
+        assert_eq!(edges, expected);
+    }
+}

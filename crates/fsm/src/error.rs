@@ -1,0 +1,127 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing, parsing, or querying a state table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsmError {
+    /// A dimension (inputs, outputs, state variables, states) is out of the
+    /// supported range.
+    InvalidDimension {
+        /// Which dimension was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A state index is outside the table.
+    StateOutOfRange {
+        /// The offending state index.
+        state: u32,
+        /// Number of states in the table.
+        num_states: usize,
+    },
+    /// An input-combination index is outside the table.
+    InputOutOfRange {
+        /// The offending input-combination index.
+        input: u32,
+        /// Number of input combinations in the table.
+        num_inputs: usize,
+    },
+    /// The table has at least one unspecified (state, input) entry and the
+    /// requested operation needs a completely-specified machine.
+    IncompletelySpecified {
+        /// A state with an unspecified entry.
+        state: u32,
+        /// An input combination with an unspecified entry for `state`.
+        input: u32,
+    },
+    /// A KISS2 source could not be parsed.
+    ParseKiss {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The named benchmark circuit is not in the registry.
+    UnknownCircuit {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::InvalidDimension {
+                what,
+                value,
+                constraint,
+            } => write!(f, "invalid {what} {value}: {constraint}"),
+            FsmError::StateOutOfRange { state, num_states } => {
+                write!(f, "state {state} out of range for table with {num_states} states")
+            }
+            FsmError::InputOutOfRange { input, num_inputs } => write!(
+                f,
+                "input combination {input} out of range for table with {num_inputs} input combinations"
+            ),
+            FsmError::IncompletelySpecified { state, input } => write!(
+                f,
+                "state table is incompletely specified (state {state}, input {input})"
+            ),
+            FsmError::ParseKiss { line, message } => {
+                write!(f, "KISS2 parse error at line {line}: {message}")
+            }
+            FsmError::UnknownCircuit { name } => {
+                write!(f, "unknown benchmark circuit \"{name}\"")
+            }
+        }
+    }
+}
+
+impl Error for FsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            FsmError::InvalidDimension {
+                what: "inputs",
+                value: 99,
+                constraint: "must be at most 16",
+            },
+            FsmError::StateOutOfRange {
+                state: 7,
+                num_states: 4,
+            },
+            FsmError::InputOutOfRange {
+                input: 9,
+                num_inputs: 4,
+            },
+            FsmError::IncompletelySpecified { state: 1, input: 2 },
+            FsmError::ParseKiss {
+                line: 3,
+                message: "bad cube".into(),
+            },
+            FsmError::UnknownCircuit {
+                name: "nope".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("KISS2"));
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FsmError>();
+    }
+}

@@ -1,0 +1,194 @@
+//! Structural queries on the state graph of a [`StateTable`].
+
+use std::collections::VecDeque;
+
+use crate::{InputId, StateId, StateTable};
+
+/// Set of states reachable from `start` (including `start` itself) by
+/// applying any input sequence.
+///
+/// Full-scan circuits can be loaded into *any* state, so reachability is not
+/// a constraint on test generation; this query is still useful for
+/// validating benchmark machines and for non-scan comparisons.
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// // Every state of lion is reachable from state 0 (0 -> 1 -> 3 -> 2).
+/// assert!(scanft_fsm::graph::reachable_from(&lion, 0).iter().all(|&r| r));
+/// ```
+#[must_use]
+pub fn reachable_from(table: &StateTable, start: StateId) -> Vec<bool> {
+    let mut seen = vec![false; table.num_states()];
+    let mut queue = VecDeque::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(s) = queue.pop_front() {
+        for i in 0..table.num_input_combos() as InputId {
+            let n = table.next_state(s, i);
+            if !seen[n as usize] {
+                seen[n as usize] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+/// Shortest input sequence taking the machine from `from` to `to`, or `None`
+/// if `to` is unreachable. Ties are broken toward the lexicographically
+/// smallest sequence (inputs explored in ascending order).
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// // 0 --01--> 1 is the shortest path from state 0 to state 1.
+/// assert_eq!(scanft_fsm::graph::shortest_path(&lion, 0, 1), Some(vec![0b01]));
+/// assert_eq!(scanft_fsm::graph::shortest_path(&lion, 0, 0), Some(vec![]));
+/// // Reaching state 2 from state 0 takes three steps: 0 -> 1 -> 3 -> 2.
+/// assert_eq!(scanft_fsm::graph::shortest_path(&lion, 0, 2).map(|p| p.len()), Some(3));
+/// ```
+#[must_use]
+pub fn shortest_path(table: &StateTable, from: StateId, to: StateId) -> Option<Vec<InputId>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let mut pred: Vec<Option<(StateId, InputId)>> = vec![None; table.num_states()];
+    let mut seen = vec![false; table.num_states()];
+    seen[from as usize] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(s) = queue.pop_front() {
+        for i in 0..table.num_input_combos() as InputId {
+            let n = table.next_state(s, i);
+            if seen[n as usize] {
+                continue;
+            }
+            seen[n as usize] = true;
+            pred[n as usize] = Some((s, i));
+            if n == to {
+                let mut seq = Vec::new();
+                let mut cur = to;
+                while cur != from {
+                    let (p, input) = pred[cur as usize].expect("predecessor chain");
+                    seq.push(input);
+                    cur = p;
+                }
+                seq.reverse();
+                return Some(seq);
+            }
+            queue.push_back(n);
+        }
+    }
+    None
+}
+
+/// In-degree of every state (number of transitions entering it, counting one
+/// per `(state, input)` pair).
+#[must_use]
+pub fn in_degrees(table: &StateTable) -> Vec<usize> {
+    let mut deg = vec![0usize; table.num_states()];
+    for t in table.transitions() {
+        deg[t.to as usize] += 1;
+    }
+    deg
+}
+
+/// Whether the state graph is strongly connected (every state reachable from
+/// every other).
+#[must_use]
+pub fn is_strongly_connected(table: &StateTable) -> bool {
+    // Forward reachability from 0 plus backward reachability from 0 over the
+    // reversed graph.
+    if !reachable_from(table, 0).iter().all(|&r| r) {
+        return false;
+    }
+    let n = table.num_states();
+    let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for t in table.transitions() {
+        rev[t.to as usize].push(t.from);
+    }
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut queue = VecDeque::from([0 as StateId]);
+    while let Some(s) = queue.pop_front() {
+        for &p in &rev[s as usize] {
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    seen.into_iter().all(|r| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateTableBuilder;
+
+    fn chain3() -> StateTable {
+        // 0 -> 1 -> 2 -> 2 on input 1; self loops on 0.
+        let mut b = StateTableBuilder::new("chain", 1, 1, 3).unwrap();
+        b.set(0, 0, 0, 0).unwrap();
+        b.set(0, 1, 1, 0).unwrap();
+        b.set(1, 0, 1, 0).unwrap();
+        b.set(1, 1, 2, 0).unwrap();
+        b.set(2, 0, 2, 1).unwrap();
+        b.set(2, 1, 2, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_on_chain() {
+        let t = chain3();
+        assert_eq!(reachable_from(&t, 0), vec![true, true, true]);
+        assert_eq!(reachable_from(&t, 2), vec![false, false, true]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_short_then_lex() {
+        let t = chain3();
+        assert_eq!(shortest_path(&t, 0, 2), Some(vec![1, 1]));
+        assert_eq!(shortest_path(&t, 2, 0), None);
+        let lion = crate::benchmarks::lion();
+        // From 2 to 1: 2 --10--> 3 --00--> 1 (input 00 out of 2 self-loops,
+        // 01 self-loops; 10 is the smallest input leaving state 2).
+        let path = shortest_path(&lion, 2, 1).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(lion.run_state(2, &path), 1);
+    }
+
+    #[test]
+    fn path_endpoints_verified_by_run() {
+        let lion = crate::benchmarks::lion();
+        for from in 0..4 {
+            for to in 0..4 {
+                if let Some(p) = shortest_path(&lion, from, to) {
+                    assert_eq!(lion.run_state(from, &p), to);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_degree_sums_to_transitions() {
+        let t = chain3();
+        assert_eq!(in_degrees(&t).iter().sum::<usize>(), t.num_transitions());
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        assert!(!is_strongly_connected(&chain3()));
+        // lion is strongly connected: 0 -> 1 -> 3 -> 2 and back via 1 --11--> 0.
+        assert!(is_strongly_connected(&crate::benchmarks::lion()));
+        let mut b = StateTableBuilder::new("ring", 1, 1, 2).unwrap();
+        b.set(0, 0, 1, 0).unwrap();
+        b.set(0, 1, 1, 0).unwrap();
+        b.set(1, 0, 0, 0).unwrap();
+        b.set(1, 1, 0, 0).unwrap();
+        assert!(is_strongly_connected(&b.build().unwrap()));
+    }
+}

@@ -1,0 +1,438 @@
+//! KISS2 state-table interchange format.
+//!
+//! KISS2 is the format the MCNC FSM benchmarks are distributed in. A file
+//! declares `.i` inputs, `.o` outputs, optionally `.p` product terms, `.s`
+//! states and `.r` reset state, followed by one line per product term:
+//!
+//! ```text
+//! .i 2
+//! .o 1
+//! .s 4
+//! .r st0
+//! 00 st0 st0 0
+//! -1 st0 st1 1
+//! ...
+//! .e
+//! ```
+//!
+//! Input cubes may contain `-` (don't care) and are expanded to all matching
+//! input combinations. Output cubes may contain `-` for unspecified output
+//! bits, which this reader resolves to `0` (the conventional completion).
+//! Next states may be `*` or `-` for "unspecified"; such entries are left
+//! unspecified and resolved by the chosen [`Completion`] policy.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::table::{StateTable, StateTableBuilder};
+use crate::{FsmError, InputId, OutputWord, StateId};
+
+/// Policy for entries a KISS2 source leaves unspecified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Completion {
+    /// Fail with [`FsmError::IncompletelySpecified`] if any `(state, input)`
+    /// has no product term.
+    Reject,
+    /// Complete unspecified entries with a self-loop and all-zero outputs.
+    /// This is how the benchmark machines are made completely specified
+    /// before test generation (full scan makes every state reachable, so the
+    /// machine must define behaviour everywhere).
+    #[default]
+    SelfLoop,
+}
+
+/// Parses KISS2 text into a [`StateTable`].
+///
+/// State symbols are assigned indices in order of first appearance, except
+/// that the `.r` reset state (when declared) gets index 0, matching the
+/// all-zero scan-in state.
+///
+/// # Errors
+///
+/// Returns [`FsmError::ParseKiss`] on malformed input, or
+/// [`FsmError::IncompletelySpecified`] under [`Completion::Reject`] when a
+/// `(state, input)` pair is not covered by any product term. Conflicting
+/// product terms (same state and overlapping input cubes with different
+/// behaviour) are reported as parse errors.
+///
+/// # Examples
+///
+/// ```
+/// let src = "\
+/// .i 1
+/// .o 1
+/// .s 2
+/// .r a
+/// 0 a a 0
+/// 1 a b 1
+/// - b a 1
+/// .e
+/// ";
+/// let t = scanft_fsm::kiss::parse(src)?;
+/// assert_eq!(t.num_states(), 2);
+/// assert_eq!(t.next_state(0, 1), 1);
+/// # Ok::<(), scanft_fsm::FsmError>(())
+/// ```
+pub fn parse(text: &str) -> Result<StateTable, FsmError> {
+    parse_with(text, "kiss2", Completion::default())
+}
+
+/// Parses KISS2 text with an explicit machine name and completion policy.
+///
+/// # Errors
+///
+/// See [`parse`].
+pub fn parse_with(text: &str, name: &str, completion: Completion) -> Result<StateTable, FsmError> {
+    let mut decl_inputs: Option<usize> = None;
+    let mut decl_outputs: Option<usize> = None;
+    let mut decl_states: Option<usize> = None;
+    let mut reset: Option<String> = None;
+    let mut terms: Vec<(usize, String, String, String, String)> = Vec::new();
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let value = parts.next();
+            match key {
+                "i" => decl_inputs = Some(parse_count(value, line_no, "`.i`")?),
+                "o" => decl_outputs = Some(parse_count(value, line_no, "`.o`")?),
+                "s" => decl_states = Some(parse_count(value, line_no, "`.s`")?),
+                "p" => {
+                    // Product-term count: informational, validated after read.
+                    let _ = parse_count(value, line_no, "`.p`")?;
+                }
+                "r" => {
+                    reset = Some(
+                        value
+                            .ok_or_else(|| FsmError::ParseKiss {
+                                line: line_no,
+                                message: "`.r` needs a state symbol".into(),
+                            })?
+                            .to_owned(),
+                    );
+                }
+                "e" | "end" => break,
+                other => {
+                    return Err(FsmError::ParseKiss {
+                        line: line_no,
+                        message: format!("unknown directive `.{other}`"),
+                    });
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(FsmError::ParseKiss {
+                line: line_no,
+                message: format!("expected 4 fields in product term, found {}", fields.len()),
+            });
+        }
+        terms.push((
+            line_no,
+            fields[0].to_owned(),
+            fields[1].to_owned(),
+            fields[2].to_owned(),
+            fields[3].to_owned(),
+        ));
+    }
+
+    let num_inputs = decl_inputs.ok_or_else(|| FsmError::ParseKiss {
+        line: 0,
+        message: "missing `.i` declaration".into(),
+    })?;
+    let num_outputs = decl_outputs.ok_or_else(|| FsmError::ParseKiss {
+        line: 0,
+        message: "missing `.o` declaration".into(),
+    })?;
+
+    // Assign state indices: reset first, then order of first appearance.
+    let mut state_index: HashMap<String, StateId> = HashMap::new();
+    let mut state_names: Vec<String> = Vec::new();
+    let mut intern = |sym: &str, state_names: &mut Vec<String>| -> StateId {
+        *state_index.entry(sym.to_owned()).or_insert_with(|| {
+            state_names.push(sym.to_owned());
+            (state_names.len() - 1) as StateId
+        })
+    };
+    if let Some(r) = &reset {
+        intern(r, &mut state_names);
+    }
+    // Present states first (in order of appearance), then any next states
+    // that never occur as present states. This keeps the numbering stable
+    // for row-grouped files, so `write` followed by `parse` round-trips.
+    for (_, _, ps, _, _) in &terms {
+        intern(ps, &mut state_names);
+    }
+    for (_, _, _, ns, _) in &terms {
+        if ns != "*" && ns != "-" {
+            intern(ns, &mut state_names);
+        }
+    }
+    let num_states = state_names.len().max(decl_states.unwrap_or(0)).max(1);
+    for extra in state_names.len()..num_states {
+        state_names.push(format!("s{extra}"));
+    }
+
+    let mut builder = StateTableBuilder::new(name, num_inputs, num_outputs, num_states)?;
+    for (s, n) in state_names.iter().enumerate() {
+        builder.name_state(s as StateId, n)?;
+    }
+
+    // Track which cells were set to detect conflicting overlapping terms.
+    let mut seen: Vec<Option<(StateId, OutputWord)>> = vec![None; num_states << num_inputs];
+    for (line_no, cube, ps, ns, out_cube) in &terms {
+        let ps_id = state_index[ps];
+        let ns_id = if ns == "*" || ns == "-" {
+            None
+        } else {
+            Some(state_index[ns])
+        };
+        let output = parse_output_cube(out_cube, num_outputs, *line_no)?;
+        for input in expand_cube(cube, num_inputs, *line_no)? {
+            let Some(ns_id) = ns_id else { continue };
+            let cell = ps_id as usize * (1 << num_inputs) + input as usize;
+            if let Some((prev_ns, prev_out)) = seen[cell] {
+                if (prev_ns, prev_out) != (ns_id, output) {
+                    return Err(FsmError::ParseKiss {
+                        line: *line_no,
+                        message: format!(
+                            "conflicting product terms for state {ps}, input {}",
+                            crate::format_input(input, num_inputs)
+                        ),
+                    });
+                }
+                continue;
+            }
+            seen[cell] = Some((ns_id, output));
+            builder.set(ps_id, input, ns_id, output)?;
+        }
+    }
+
+    match completion {
+        Completion::Reject => builder.build(),
+        Completion::SelfLoop => Ok(builder.build_completed()),
+    }
+}
+
+/// Serializes a [`StateTable`] to KISS2 text (completely specified, one
+/// product term per `(state, input)` entry, reset state = state 0).
+///
+/// The output round-trips through [`parse`].
+#[must_use]
+pub fn write(table: &StateTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", table.name());
+    let _ = writeln!(out, ".i {}", table.num_inputs());
+    let _ = writeln!(out, ".o {}", table.num_outputs());
+    let _ = writeln!(out, ".p {}", table.num_transitions());
+    let _ = writeln!(out, ".s {}", table.num_states());
+    let _ = writeln!(out, ".r {}", table.state_name(0));
+    for t in table.transitions() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            crate::format_input(t.input, table.num_inputs()),
+            table.state_name(t.from),
+            table.state_name(t.to),
+            crate::format_output(t.output, table.num_outputs()),
+        );
+    }
+    out.push_str(".e\n");
+    out
+}
+
+fn parse_count(value: Option<&str>, line: usize, what: &str) -> Result<usize, FsmError> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| FsmError::ParseKiss {
+            line,
+            message: format!("{what} needs a non-negative integer"),
+        })
+}
+
+fn parse_output_cube(cube: &str, num_outputs: usize, line: usize) -> Result<OutputWord, FsmError> {
+    if cube.len() != num_outputs {
+        return Err(FsmError::ParseKiss {
+            line,
+            message: format!(
+                "output cube `{cube}` has {} bits, expected {num_outputs}",
+                cube.len()
+            ),
+        });
+    }
+    let mut word: OutputWord = 0;
+    for ch in cube.chars() {
+        word = (word << 1)
+            | match ch {
+                '1' => 1,
+                // `-` = unspecified output bit: resolve to 0.
+                '0' | '-' => 0,
+                other => {
+                    return Err(FsmError::ParseKiss {
+                        line,
+                        message: format!("invalid output digit `{other}`"),
+                    });
+                }
+            };
+    }
+    Ok(word)
+}
+
+fn expand_cube(cube: &str, num_inputs: usize, line: usize) -> Result<Vec<InputId>, FsmError> {
+    if cube.len() != num_inputs {
+        return Err(FsmError::ParseKiss {
+            line,
+            message: format!(
+                "input cube `{cube}` has {} bits, expected {num_inputs}",
+                cube.len()
+            ),
+        });
+    }
+    let mut base: InputId = 0;
+    let mut free_bits: Vec<u32> = Vec::new();
+    for (pos, ch) in cube.chars().enumerate() {
+        let bit = (num_inputs - 1 - pos) as u32;
+        match ch {
+            '1' => base |= 1 << bit,
+            '0' => {}
+            '-' => free_bits.push(bit),
+            other => {
+                return Err(FsmError::ParseKiss {
+                    line,
+                    message: format!("invalid input digit `{other}`"),
+                });
+            }
+        }
+    }
+    let mut combos = Vec::with_capacity(1 << free_bits.len());
+    for mask in 0..(1u32 << free_bits.len()) {
+        let mut input = base;
+        for (k, bit) in free_bits.iter().enumerate() {
+            if mask >> k & 1 == 1 {
+                input |= 1 << bit;
+            }
+        }
+        combos.push(input);
+    }
+    combos.sort_unstable();
+    Ok(combos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+.i 2
+.o 1
+.s 2
+.r a
+# a comment line
+0- a a 0
+1- a b 1
+-- b a 1
+.e
+";
+
+    #[test]
+    fn parses_cubes_and_symbols() {
+        let t = parse(SMALL).unwrap();
+        assert_eq!(t.num_inputs(), 2);
+        assert_eq!(t.num_states(), 2);
+        assert_eq!(t.state_name(0), "a");
+        assert_eq!(t.state_name(1), "b");
+        assert_eq!(t.step(0, 0b00), (0, 0));
+        assert_eq!(t.step(0, 0b01), (0, 0));
+        assert_eq!(t.step(0, 0b10), (1, 1));
+        assert_eq!(t.step(0, 0b11), (1, 1));
+        for i in 0..4 {
+            assert_eq!(t.step(1, i), (0, 1));
+        }
+    }
+
+    #[test]
+    fn reset_state_gets_index_zero() {
+        let src = ".i 1\n.o 1\n.r z\n0 a z 0\n1 a a 1\n0 z a 1\n1 z z 0\n.e\n";
+        let t = parse(src).unwrap();
+        assert_eq!(t.state_name(0), "z");
+        assert_eq!(t.state_name(1), "a");
+    }
+
+    #[test]
+    fn incomplete_table_rejected_or_completed() {
+        let src = ".i 1\n.o 1\n0 a b 1\n0 b a 0\n.e\n";
+        let err = parse_with(src, "x", Completion::Reject).unwrap_err();
+        assert!(matches!(err, FsmError::IncompletelySpecified { .. }));
+        let t = parse_with(src, "x", Completion::SelfLoop).unwrap();
+        assert_eq!(t.step(0, 1), (0, 0));
+        assert_eq!(t.step(1, 1), (1, 0));
+    }
+
+    #[test]
+    fn conflicting_terms_detected() {
+        let src = ".i 1\n.o 1\n- a a 0\n1 a b 1\n.e\n";
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, FsmError::ParseKiss { .. }));
+    }
+
+    #[test]
+    fn duplicate_consistent_terms_allowed() {
+        let src = ".i 1\n.o 1\n- a a 0\n1 a a 0\n.e\n";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn unspecified_next_state_star() {
+        let src = ".i 1\n.o 1\n0 a b 1\n1 a * 0\n- b b 0\n.e\n";
+        let t = parse(src).unwrap();
+        // (a, 1) unspecified -> self loop, output 0.
+        assert_eq!(t.step(0, 1), (0, 0));
+    }
+
+    #[test]
+    fn write_round_trips() {
+        let t = parse(SMALL).unwrap();
+        let text = write(&t);
+        let t2 = parse_with(&text, t.name(), Completion::Reject).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn lion_round_trips() {
+        let lion = crate::benchmarks::lion();
+        let text = write(&lion);
+        let back = parse_with(&text, "lion", Completion::Reject).unwrap();
+        assert_eq!(lion, back);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let src = ".i 1\n.o 1\nbogus line here extra\n.e\n";
+        match parse(src) {
+            Err(FsmError::ParseKiss { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_digits_rejected() {
+        assert!(parse(".i 1\n.o 1\n2 a a 0\n.e\n").is_err());
+        assert!(parse(".i 1\n.o 1\n0 a a x\n.e\n").is_err());
+        assert!(parse(".i 1\n.o 1\n00 a a 0\n.e\n").is_err());
+        assert!(parse(".i 1\n.o 1\n0 a a 00\n.e\n").is_err());
+        assert!(parse(".i 1\n.o 1\n.q 3\n.e\n").is_err());
+        assert!(parse(".o 1\n0 a a 0\n.e\n").is_err());
+        assert!(parse(".i 1\n0 a a 0\n.e\n").is_err());
+    }
+}

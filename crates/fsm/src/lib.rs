@@ -1,0 +1,63 @@
+//! State-table finite-state machine substrate for `scanft`.
+//!
+//! This crate provides everything the functional test generation procedure of
+//! Pomeranz & Reddy (DATE 2000) consumes at the functional level:
+//!
+//! - [`StateTable`]: a completely-specified Mealy machine over binary input
+//!   combinations, the circuit description used throughout the paper;
+//! - [`kiss`]: the KISS2 interchange format used by the MCNC FSM benchmarks;
+//! - [`benchmarks`]: the paper's 31-circuit benchmark suite (`lion` embedded
+//!   exactly from Table 1 of the paper, the others as deterministic synthetic
+//!   machines with the published parameters);
+//! - [`uio`]: unique input-output sequence derivation (Table 2);
+//! - [`transfer`]: bounded-length transfer sequences between states;
+//! - [`minimize`]: Mealy state-equivalence analysis (partition refinement);
+//! - [`graph`]: reachability and structural queries on the state graph.
+//!
+//! # Example
+//!
+//! ```
+//! use scanft_fsm::{benchmarks, uio};
+//!
+//! let lion = benchmarks::lion();
+//! // Reproduce Table 2 of the paper: state 0 has the UIO (00), state 1 none.
+//! let uios = uio::derive_uios(&lion, lion.num_state_vars());
+//! assert_eq!(uios.sequence(0).map(|u| u.inputs.as_slice()), Some(&[0u32][..]));
+//! assert!(uios.sequence(1).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod seq;
+mod table;
+
+pub mod ads;
+pub mod benchmarks;
+pub mod checking;
+pub mod dot;
+pub mod graph;
+pub mod kiss;
+pub mod minimize;
+pub mod rng;
+pub mod sta;
+pub mod transfer;
+pub mod uio;
+pub mod wset;
+
+pub use error::FsmError;
+pub use seq::{format_input, format_input_seq, format_output, parse_bits, InputSeq};
+pub use table::{StateTable, StateTableBuilder, Transition, TransitionIter, MAX_INPUTS, MAX_OUTPUTS, MAX_STATE_VARS};
+
+/// Index of a state in a [`StateTable`] (row index, also the binary code
+/// assigned by the default state encoding).
+pub type StateId = u32;
+
+/// Index of a primary-input combination: the integer whose binary expansion
+/// (bit `k` = input `x_{k+1}`, most-significant bit first in display) is the
+/// applied input vector.
+pub type InputId = u32;
+
+/// A packed primary-output combination (bit `k` = output `z_{k+1}`).
+pub type OutputWord = u64;

@@ -1,0 +1,292 @@
+//! Mealy state-equivalence analysis by partition refinement.
+//!
+//! Two states are *equivalent* when no input sequence distinguishes them by
+//! outputs. Equivalence interacts directly with UIO existence: a state that
+//! is equivalent to another state can never have a unique input-output
+//! sequence, because the equivalent state produces identical output
+//! responses to every sequence.
+
+use std::collections::HashMap;
+
+use crate::{InputId, StateId, StateTable};
+
+/// Result of partition refinement over the states of a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Equivalence {
+    /// `class_of[s]` is the equivalence-class index of state `s`.
+    class_of: Vec<u32>,
+    /// Number of distinct classes.
+    num_classes: usize,
+}
+
+impl Equivalence {
+    /// Equivalence-class index of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn class_of(&self, state: StateId) -> u32 {
+        self.class_of[state as usize]
+    }
+
+    /// Number of equivalence classes (the size of the minimized machine).
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Whether two states are equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    #[must_use]
+    pub fn equivalent(&self, a: StateId, b: StateId) -> bool {
+        self.class_of[a as usize] == self.class_of[b as usize]
+    }
+
+    /// Whether `state` has no equivalent partner (a necessary condition for
+    /// a UIO sequence to exist for it).
+    #[must_use]
+    pub fn is_distinguishable(&self, state: StateId) -> bool {
+        let c = self.class_of[state as usize];
+        self.class_of
+            .iter()
+            .enumerate()
+            .all(|(s, &cs)| s == state as usize || cs != c)
+    }
+}
+
+/// Computes state equivalence classes by Moore-style partition refinement.
+///
+/// Runs in `O(num_states * num_input_combos * rounds)` with `rounds` bounded
+/// by `num_states`.
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let eq = scanft_fsm::minimize::equivalence_classes(&lion);
+/// // lion is reduced: all 4 states are pairwise distinguishable.
+/// assert_eq!(eq.num_classes(), 4);
+/// ```
+#[must_use]
+pub fn equivalence_classes(table: &StateTable) -> Equivalence {
+    let n = table.num_states();
+    let npic = table.num_input_combos();
+
+    // Initial partition: by output row.
+    let mut class_of: Vec<u32> = vec![0; n];
+    {
+        let mut index: HashMap<Vec<u64>, u32> = HashMap::new();
+        for (s, class) in class_of.iter_mut().enumerate() {
+            let row: Vec<u64> = (0..npic as InputId)
+                .map(|i| table.output(s as StateId, i))
+                .collect();
+            let next = index.len() as u32;
+            *class = *index.entry(row).or_insert(next);
+        }
+    }
+
+    // Refine: signature = (own class, classes of successors).
+    loop {
+        let mut index: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+        let mut new_class: Vec<u32> = vec![0; n];
+        for s in 0..n {
+            let sig: Vec<u32> = (0..npic as InputId)
+                .map(|i| class_of[table.next_state(s as StateId, i) as usize])
+                .collect();
+            let key = (class_of[s], sig);
+            let next = index.len() as u32;
+            new_class[s] = *index.entry(key).or_insert(next);
+        }
+        let stable = index.len() == class_count(&class_of);
+        class_of = new_class;
+        if stable {
+            break;
+        }
+    }
+
+    let num_classes = class_count(&class_of);
+    Equivalence {
+        class_of,
+        num_classes,
+    }
+}
+
+/// Whether the machine is reduced (no two states are equivalent).
+#[must_use]
+pub fn is_reduced(table: &StateTable) -> bool {
+    equivalence_classes(table).num_classes() == table.num_states()
+}
+
+/// Builds the reduced (quotient) machine: one state per equivalence class,
+/// behaviourally identical to `table` from corresponding states.
+///
+/// The class containing state 0 becomes state 0 of the quotient (so reset
+/// behaviour is preserved); the remaining classes are numbered by their
+/// smallest member. State names are taken from that smallest member.
+///
+/// # Errors
+///
+/// Propagates [`crate::FsmError`] from table construction (cannot happen
+/// for valid inputs, but the builder API is fallible).
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let q = scanft_fsm::minimize::quotient(&lion)?;
+/// // lion is already reduced: the quotient has the same size.
+/// assert_eq!(q.num_states(), 4);
+/// # Ok::<(), scanft_fsm::FsmError>(())
+/// ```
+pub fn quotient(table: &StateTable) -> Result<StateTable, crate::FsmError> {
+    let eq = equivalence_classes(table);
+    // Representative (smallest member) per class, ordered with state 0's
+    // class first, the rest by representative.
+    let mut reps: Vec<StateId> = Vec::with_capacity(eq.num_classes());
+    let mut class_to_new: HashMap<u32, StateId> = HashMap::new();
+    let mut push_class = |class: u32, rep: StateId, reps: &mut Vec<StateId>| {
+        if let std::collections::hash_map::Entry::Vacant(e) = class_to_new.entry(class) {
+            e.insert(reps.len() as StateId);
+            reps.push(rep);
+        }
+    };
+    push_class(eq.class_of(0), 0, &mut reps);
+    for s in 0..table.num_states() as StateId {
+        push_class(eq.class_of(s), s, &mut reps);
+    }
+
+    let mut b = crate::StateTableBuilder::new(
+        table.name(),
+        table.num_inputs(),
+        table.num_outputs(),
+        reps.len(),
+    )?;
+    for (new_id, &rep) in reps.iter().enumerate() {
+        b.name_state(new_id as StateId, table.state_name(rep))?;
+        for i in 0..table.num_input_combos() as InputId {
+            let (next, out) = table.step(rep, i);
+            let new_next = class_to_new[&eq.class_of(next)];
+            b.set(new_id as StateId, i, new_next, out)?;
+        }
+    }
+    b.build()
+}
+
+fn class_count(class_of: &[u32]) -> usize {
+    let mut seen = vec![false; class_of.len()];
+    let mut count = 0;
+    for &c in class_of {
+        if !seen[c as usize] {
+            seen[c as usize] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateTableBuilder;
+
+    #[test]
+    fn lion_is_reduced() {
+        assert!(is_reduced(&crate::benchmarks::lion()));
+    }
+
+    #[test]
+    fn duplicate_states_are_merged() {
+        // States 1 and 2 behave identically.
+        let mut b = StateTableBuilder::new("dup", 1, 1, 3).unwrap();
+        b.set(0, 0, 1, 0).unwrap();
+        b.set(0, 1, 2, 1).unwrap();
+        b.set(1, 0, 0, 1).unwrap();
+        b.set(1, 1, 1, 0).unwrap();
+        b.set(2, 0, 0, 1).unwrap();
+        b.set(2, 1, 2, 0).unwrap();
+        let t = b.build().unwrap();
+        let eq = equivalence_classes(&t);
+        assert_eq!(eq.num_classes(), 2);
+        assert!(eq.equivalent(1, 2));
+        assert!(!eq.equivalent(0, 1));
+        assert!(eq.is_distinguishable(0));
+        assert!(!eq.is_distinguishable(1));
+    }
+
+    #[test]
+    fn refinement_propagates_through_successors() {
+        // Same outputs everywhere, but state 2 loops while 0/1 swap; with
+        // identical output rows everything is equivalent regardless of
+        // structure (outputs never differ).
+        let mut b = StateTableBuilder::new("quiet", 1, 1, 3).unwrap();
+        for s in 0..3 {
+            b.set(s, 0, (s + 1) % 3, 0).unwrap();
+            b.set(s, 1, s, 0).unwrap();
+        }
+        let t = b.build().unwrap();
+        assert_eq!(equivalence_classes(&t).num_classes(), 1);
+    }
+
+    #[test]
+    fn quotient_of_reduced_machine_is_isomorphic_in_size() {
+        let lion = crate::benchmarks::lion();
+        let q = quotient(&lion).unwrap();
+        assert_eq!(q.num_states(), 4);
+        // Identical behaviour from state 0 on some sequences.
+        for seq in [[0u32, 1, 2].as_slice(), &[3, 3, 0, 1], &[2, 2, 1]] {
+            assert_eq!(lion.run(0, seq).1, q.run(0, seq).1);
+        }
+    }
+
+    #[test]
+    fn quotient_merges_duplicates_and_preserves_behaviour() {
+        let mut b = StateTableBuilder::new("dup", 1, 1, 3).unwrap();
+        b.set(0, 0, 1, 0).unwrap();
+        b.set(0, 1, 2, 1).unwrap();
+        b.set(1, 0, 0, 1).unwrap();
+        b.set(1, 1, 1, 0).unwrap();
+        b.set(2, 0, 0, 1).unwrap();
+        b.set(2, 1, 2, 0).unwrap();
+        let t = b.build().unwrap();
+        let q = quotient(&t).unwrap();
+        assert_eq!(q.num_states(), 2);
+        assert!(is_reduced(&q));
+        // Behaviour from every original state matches the quotient started
+        // at the representative's class.
+        let eq = equivalence_classes(&t);
+        for s in 0..3u32 {
+            // Locate the quotient state whose name matches a member class.
+            let class_of_zero = eq.class_of(0);
+            let q_state = if eq.class_of(s) == class_of_zero { 0 } else { 1 };
+            for seq in [[0u32, 1, 0].as_slice(), &[1, 1, 0, 0]] {
+                assert_eq!(t.run(s, seq).1, q.run(q_state, seq).1, "state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_round_refinement_needed() {
+        // 0 and 1 share output rows but their successors differ in output.
+        let mut b = StateTableBuilder::new("deep", 1, 1, 4).unwrap();
+        b.set(0, 0, 2, 0).unwrap();
+        b.set(0, 1, 0, 0).unwrap();
+        b.set(1, 0, 3, 0).unwrap();
+        b.set(1, 1, 1, 0).unwrap();
+        b.set(2, 0, 2, 0).unwrap();
+        b.set(2, 1, 2, 0).unwrap();
+        b.set(3, 0, 3, 1).unwrap();
+        b.set(3, 1, 3, 1).unwrap();
+        let t = b.build().unwrap();
+        let eq = equivalence_classes(&t);
+        // State 1 reaches the always-1 state 3, state 0 never does, so the
+        // second refinement round splits them apart...
+        assert!(!eq.equivalent(0, 1));
+        // ...while 0 and 2 both produce all-zero outputs forever and merge.
+        assert!(eq.equivalent(0, 2));
+        assert_eq!(eq.num_classes(), 3);
+    }
+}

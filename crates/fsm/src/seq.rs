@@ -1,0 +1,103 @@
+use crate::{InputId, OutputWord};
+
+/// A sequence of primary-input combinations, applied one per clock cycle.
+///
+/// This is the payload of a functional test between its scan-in and scan-out
+/// operations, and the representation of UIO and transfer sequences.
+pub type InputSeq = Vec<InputId>;
+
+/// Formats a packed input combination as a binary string of `bits` digits,
+/// most-significant input first (the paper writes `x1 x2` left to right, with
+/// `x1` as the most significant digit).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(scanft_fsm::format_input(0b01, 2), "01");
+/// assert_eq!(scanft_fsm::format_input(5, 4), "0101");
+/// ```
+#[must_use]
+pub fn format_input(input: InputId, bits: usize) -> String {
+    format_bits(u64::from(input), bits)
+}
+
+/// Formats a packed output combination as a binary string of `bits` digits,
+/// most-significant output first.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(scanft_fsm::format_output(1, 1), "1");
+/// assert_eq!(scanft_fsm::format_output(0b10, 3), "010");
+/// ```
+#[must_use]
+pub fn format_output(output: OutputWord, bits: usize) -> String {
+    format_bits(output, bits)
+}
+
+fn format_bits(word: u64, bits: usize) -> String {
+    debug_assert!(bits <= 64);
+    (0..bits)
+        .rev()
+        .map(|k| if word >> k & 1 == 1 { '1' } else { '0' })
+        .collect()
+}
+
+/// Formats an input sequence as space-separated binary combinations, the way
+/// the paper prints test sequences, e.g. `(00,00,01)` prints as `00 00 01`.
+#[must_use]
+pub fn format_input_seq(seq: &[InputId], bits: usize) -> String {
+    seq.iter()
+        .map(|&i| format_input(i, bits))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses a binary combination string (e.g. `"01"`) into a packed word,
+/// most-significant digit first. Returns `None` on a non-binary digit or on
+/// more than 64 digits.
+#[must_use]
+pub fn parse_bits(text: &str) -> Option<u64> {
+    if text.len() > 64 || text.is_empty() {
+        return None;
+    }
+    let mut word = 0u64;
+    for ch in text.chars() {
+        word = (word << 1)
+            | match ch {
+                '0' => 0,
+                '1' => 1,
+                _ => return None,
+            };
+    }
+    Some(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_and_parse_round_trip() {
+        for bits in 1..=8usize {
+            for value in 0..(1u64 << bits) {
+                let text = format_bits(value, bits);
+                assert_eq!(text.len(), bits);
+                assert_eq!(parse_bits(&text), Some(value));
+            }
+        }
+    }
+
+    #[test]
+    fn format_input_seq_matches_paper_style() {
+        assert_eq!(format_input_seq(&[0b10, 0b00, 0b11], 2), "10 00 11");
+        assert_eq!(format_input_seq(&[], 2), "");
+    }
+
+    #[test]
+    fn parse_bits_rejects_garbage() {
+        assert_eq!(parse_bits(""), None);
+        assert_eq!(parse_bits("01x"), None);
+        assert_eq!(parse_bits(&"1".repeat(65)), None);
+    }
+}

@@ -1,0 +1,609 @@
+use std::fmt;
+
+use crate::{FsmError, InputId, OutputWord, StateId};
+
+/// Maximum number of primary inputs supported (input combinations are
+/// enumerated densely as `2^pi` table columns).
+pub const MAX_INPUTS: usize = 16;
+/// Maximum number of primary outputs supported (packed into a [`OutputWord`]).
+pub const MAX_OUTPUTS: usize = 64;
+/// Maximum number of state variables supported.
+pub const MAX_STATE_VARS: usize = 20;
+
+/// A completely-specified Mealy machine described by its state table, the
+/// circuit description used throughout the paper.
+///
+/// The table has one row per state and one column per primary-input
+/// combination; each entry holds the next state and the primary-output
+/// combination. State indices double as the binary state encoding used by
+/// the default synthesis flow, and — because the circuits are fully scanned —
+/// every state of the `2^sv` code space is loadable, so the benchmark
+/// machines are completely specified over all `2^sv` states.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_fsm::StateTable;
+///
+/// let lion = scanft_fsm::benchmarks::lion();
+/// assert_eq!(lion.num_states(), 4);
+/// assert_eq!(lion.num_input_combos(), 4);
+/// // Transition 0 --01--> 1 with output 1 (Table 1 of the paper).
+/// assert_eq!(lion.next_state(0, 0b01), 1);
+/// assert_eq!(lion.output(0, 0b01), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateTable {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    num_state_vars: usize,
+    num_states: usize,
+    /// `next[state * num_input_combos + input]`
+    next: Vec<StateId>,
+    /// `out[state * num_input_combos + input]`
+    out: Vec<OutputWord>,
+    state_names: Vec<String>,
+}
+
+impl StateTable {
+    /// Name of the circuit (benchmark name or user-assigned).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs (`pi` in Table 4 of the paper).
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary-input combinations, `N_PIC = 2^pi`.
+    #[must_use]
+    pub fn num_input_combos(&self) -> usize {
+        1 << self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of state variables, `sv` (the scan chain length `N_SV`).
+    #[must_use]
+    pub fn num_state_vars(&self) -> usize {
+        self.num_state_vars
+    }
+
+    /// Number of states `N_ST`.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of state transitions, `N_ST * N_PIC` — also the number of
+    /// tests when every transition is tested separately (the `trans` column
+    /// of Table 5).
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.num_states * self.num_input_combos()
+    }
+
+    /// Display name of a state (symbolic name when parsed from KISS2,
+    /// decimal index otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn state_name(&self, state: StateId) -> &str {
+        &self.state_names[state as usize]
+    }
+
+    /// Next state for `(state, input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `input` is out of range.
+    #[must_use]
+    pub fn next_state(&self, state: StateId, input: InputId) -> StateId {
+        self.next[self.idx(state, input)]
+    }
+
+    /// Output combination for `(state, input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `input` is out of range.
+    #[must_use]
+    pub fn output(&self, state: StateId, input: InputId) -> OutputWord {
+        self.out[self.idx(state, input)]
+    }
+
+    /// Next state and output combination for `(state, input)` in one lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `input` is out of range.
+    #[must_use]
+    pub fn step(&self, state: StateId, input: InputId) -> (StateId, OutputWord) {
+        let i = self.idx(state, input);
+        (self.next[i], self.out[i])
+    }
+
+    /// Applies an input sequence starting from `state`, returning the final
+    /// state and the produced output sequence `B(seq, state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or any input in `seq` is out of range.
+    #[must_use]
+    pub fn run(&self, state: StateId, seq: &[InputId]) -> (StateId, Vec<OutputWord>) {
+        let mut current = state;
+        let mut outputs = Vec::with_capacity(seq.len());
+        for &input in seq {
+            let (next, out) = self.step(current, input);
+            outputs.push(out);
+            current = next;
+        }
+        (current, outputs)
+    }
+
+    /// Final state reached from `state` under `seq`, without collecting
+    /// outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or any input in `seq` is out of range.
+    #[must_use]
+    pub fn run_state(&self, state: StateId, seq: &[InputId]) -> StateId {
+        seq.iter().fold(state, |s, &i| self.next_state(s, i))
+    }
+
+    /// Iterates over all transitions in the canonical order used by the test
+    /// generation procedure: states ascending, input combinations ascending.
+    #[must_use]
+    pub fn transitions(&self) -> TransitionIter<'_> {
+        TransitionIter {
+            table: self,
+            pos: 0,
+        }
+    }
+
+    /// Bounds-checked transition lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::StateOutOfRange`] or [`FsmError::InputOutOfRange`]
+    /// when the coordinates fall outside the table.
+    pub fn transition(&self, state: StateId, input: InputId) -> Result<Transition, FsmError> {
+        if (state as usize) >= self.num_states {
+            return Err(FsmError::StateOutOfRange {
+                state,
+                num_states: self.num_states,
+            });
+        }
+        if (input as usize) >= self.num_input_combos() {
+            return Err(FsmError::InputOutOfRange {
+                input,
+                num_inputs: self.num_input_combos(),
+            });
+        }
+        let (next_state, output) = self.step(state, input);
+        Ok(Transition {
+            from: state,
+            input,
+            to: next_state,
+            output,
+        })
+    }
+
+    fn idx(&self, state: StateId, input: InputId) -> usize {
+        assert!(
+            (state as usize) < self.num_states,
+            "state {state} out of range ({} states)",
+            self.num_states
+        );
+        assert!(
+            (input as usize) < self.num_input_combos(),
+            "input {input} out of range ({} combinations)",
+            self.num_input_combos()
+        );
+        state as usize * self.num_input_combos() + input as usize
+    }
+}
+
+impl fmt::Display for StateTable {
+    /// Renders the table in the style of Table 1 of the paper.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "state table \"{}\": {} inputs, {} outputs, {} states, {} state vars",
+            self.name, self.num_inputs, self.num_outputs, self.num_states, self.num_state_vars
+        )?;
+        for s in 0..self.num_states as StateId {
+            write!(f, "{:>6} |", self.state_name(s))?;
+            for i in 0..self.num_input_combos() as InputId {
+                let (ns, z) = self.step(s, i);
+                write!(
+                    f,
+                    " {},{}",
+                    self.state_name(ns),
+                    crate::format_output(z, self.num_outputs)
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// One state transition `from --input/output--> to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// Present state.
+    pub from: StateId,
+    /// Applied primary-input combination.
+    pub input: InputId,
+    /// Next state.
+    pub to: StateId,
+    /// Primary-output combination.
+    pub output: OutputWord,
+}
+
+/// Iterator over all transitions of a [`StateTable`] in canonical order.
+#[derive(Debug, Clone)]
+pub struct TransitionIter<'a> {
+    table: &'a StateTable,
+    pos: usize,
+}
+
+impl Iterator for TransitionIter<'_> {
+    type Item = Transition;
+
+    fn next(&mut self) -> Option<Transition> {
+        if self.pos >= self.table.num_transitions() {
+            return None;
+        }
+        let npic = self.table.num_input_combos();
+        let from = (self.pos / npic) as StateId;
+        let input = (self.pos % npic) as InputId;
+        self.pos += 1;
+        let (to, output) = self.table.step(from, input);
+        Some(Transition {
+            from,
+            input,
+            to,
+            output,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.table.num_transitions() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TransitionIter<'_> {}
+
+/// Incremental builder for a [`StateTable`].
+///
+/// Entries may be set in any order; [`StateTableBuilder::build`] verifies the
+/// machine is completely specified, while
+/// [`StateTableBuilder::build_completed`] fills unspecified entries with a
+/// self-loop and all-zero output (the conventional completion for benchmark
+/// tables).
+///
+/// # Examples
+///
+/// ```
+/// use scanft_fsm::StateTableBuilder;
+///
+/// # fn main() -> Result<(), scanft_fsm::FsmError> {
+/// let mut b = StateTableBuilder::new("toggle", 1, 1, 2)?;
+/// b.set(0, 0, 0, 0)?; // hold
+/// b.set(0, 1, 1, 1)?; // toggle up
+/// b.set(1, 0, 1, 0)?;
+/// b.set(1, 1, 0, 1)?;
+/// let t = b.build()?;
+/// assert_eq!(t.next_state(0, 1), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateTableBuilder {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    num_state_vars: usize,
+    num_states: usize,
+    next: Vec<Option<StateId>>,
+    out: Vec<OutputWord>,
+    state_names: Vec<String>,
+}
+
+impl StateTableBuilder {
+    /// Creates a builder for a machine with `num_inputs` primary inputs,
+    /// `num_outputs` primary outputs and `num_states` states.
+    ///
+    /// The number of state variables is `ceil(log2(num_states))` (at least
+    /// one). All entries start unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::InvalidDimension`] if any dimension is zero or
+    /// exceeds the supported maximum ([`MAX_INPUTS`], [`MAX_OUTPUTS`],
+    /// `2^`[`MAX_STATE_VARS`] states).
+    pub fn new(
+        name: &str,
+        num_inputs: usize,
+        num_outputs: usize,
+        num_states: usize,
+    ) -> Result<Self, FsmError> {
+        if num_inputs == 0 || num_inputs > MAX_INPUTS {
+            return Err(FsmError::InvalidDimension {
+                what: "number of primary inputs",
+                value: num_inputs,
+                constraint: "must be between 1 and 16",
+            });
+        }
+        if num_outputs == 0 || num_outputs > MAX_OUTPUTS {
+            return Err(FsmError::InvalidDimension {
+                what: "number of primary outputs",
+                value: num_outputs,
+                constraint: "must be between 1 and 64",
+            });
+        }
+        if num_states == 0 || num_states > (1 << MAX_STATE_VARS) {
+            return Err(FsmError::InvalidDimension {
+                what: "number of states",
+                value: num_states,
+                constraint: "must be between 1 and 2^20",
+            });
+        }
+        let num_state_vars = num_states.next_power_of_two().trailing_zeros().max(1) as usize;
+        let cells = num_states << num_inputs;
+        Ok(StateTableBuilder {
+            name: name.to_owned(),
+            num_inputs,
+            num_outputs,
+            num_state_vars,
+            num_states,
+            next: vec![None; cells],
+            out: vec![0; cells],
+            state_names: (0..num_states).map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Number of states the builder was created with.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of primary-input combinations (`2^pi`).
+    #[must_use]
+    pub fn num_input_combos(&self) -> usize {
+        1 << self.num_inputs
+    }
+
+    /// Specifies the entry for `(state, input)`.
+    ///
+    /// Later calls overwrite earlier ones, so a builder can be seeded with a
+    /// default row and refined.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-range error if `state`, `input`, or `next` does not
+    /// fit the declared dimensions, or [`FsmError::InvalidDimension`] if
+    /// `output` has bits above `num_outputs`.
+    pub fn set(
+        &mut self,
+        state: StateId,
+        input: InputId,
+        next: StateId,
+        output: OutputWord,
+    ) -> Result<&mut Self, FsmError> {
+        let cell = self.check_cell(state, input)?;
+        if (next as usize) >= self.num_states {
+            return Err(FsmError::StateOutOfRange {
+                state: next,
+                num_states: self.num_states,
+            });
+        }
+        if self.num_outputs < 64 && output >> self.num_outputs != 0 {
+            return Err(FsmError::InvalidDimension {
+                what: "output combination",
+                value: output as usize,
+                constraint: "has bits set above the declared output width",
+            });
+        }
+        self.next[cell] = Some(next);
+        self.out[cell] = output;
+        Ok(self)
+    }
+
+    /// Assigns a symbolic display name to a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::StateOutOfRange`] if `state` is out of range.
+    pub fn name_state(&mut self, state: StateId, name: &str) -> Result<&mut Self, FsmError> {
+        if (state as usize) >= self.num_states {
+            return Err(FsmError::StateOutOfRange {
+                state,
+                num_states: self.num_states,
+            });
+        }
+        self.state_names[state as usize] = name.to_owned();
+        Ok(self)
+    }
+
+    /// Finishes the builder, requiring every entry to be specified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::IncompletelySpecified`] naming the first
+    /// unspecified `(state, input)` cell.
+    pub fn build(self) -> Result<StateTable, FsmError> {
+        let npic = self.num_input_combos();
+        if let Some(cell) = self.next.iter().position(Option::is_none) {
+            return Err(FsmError::IncompletelySpecified {
+                state: (cell / npic) as StateId,
+                input: (cell % npic) as InputId,
+            });
+        }
+        Ok(self.finish())
+    }
+
+    /// Finishes the builder, completing unspecified entries with a self-loop
+    /// and an all-zero output combination.
+    #[must_use]
+    pub fn build_completed(mut self) -> StateTable {
+        let npic = self.num_input_combos();
+        for (cell, next) in self.next.iter_mut().enumerate() {
+            if next.is_none() {
+                *next = Some((cell / npic) as StateId);
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> StateTable {
+        StateTable {
+            name: self.name,
+            num_inputs: self.num_inputs,
+            num_outputs: self.num_outputs,
+            num_state_vars: self.num_state_vars,
+            num_states: self.num_states,
+            next: self.next.into_iter().map(Option::unwrap).collect(),
+            out: self.out,
+            state_names: self.state_names,
+        }
+    }
+
+    fn check_cell(&self, state: StateId, input: InputId) -> Result<usize, FsmError> {
+        if (state as usize) >= self.num_states {
+            return Err(FsmError::StateOutOfRange {
+                state,
+                num_states: self.num_states,
+            });
+        }
+        if (input as usize) >= self.num_input_combos() {
+            return Err(FsmError::InputOutOfRange {
+                input,
+                num_inputs: self.num_input_combos(),
+            });
+        }
+        Ok(state as usize * self.num_input_combos() + input as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> StateTable {
+        let mut b = StateTableBuilder::new("toggle", 1, 1, 2).unwrap();
+        b.set(0, 0, 0, 0).unwrap();
+        b.set(0, 1, 1, 1).unwrap();
+        b.set(1, 0, 1, 0).unwrap();
+        b.set(1, 1, 0, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let t = toggle();
+        assert_eq!(t.num_states(), 2);
+        assert_eq!(t.num_state_vars(), 1);
+        assert_eq!(t.num_transitions(), 4);
+        assert_eq!(t.step(0, 1), (1, 1));
+        assert_eq!(t.step(1, 1), (0, 1));
+    }
+
+    #[test]
+    fn builder_rejects_bad_dimensions() {
+        assert!(StateTableBuilder::new("x", 0, 1, 2).is_err());
+        assert!(StateTableBuilder::new("x", 17, 1, 2).is_err());
+        assert!(StateTableBuilder::new("x", 1, 0, 2).is_err());
+        assert!(StateTableBuilder::new("x", 1, 65, 2).is_err());
+        assert!(StateTableBuilder::new("x", 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_cells() {
+        let mut b = StateTableBuilder::new("x", 1, 1, 2).unwrap();
+        assert!(b.set(2, 0, 0, 0).is_err());
+        assert!(b.set(0, 2, 0, 0).is_err());
+        assert!(b.set(0, 0, 2, 0).is_err());
+        assert!(b.set(0, 0, 0, 0b10).is_err());
+    }
+
+    #[test]
+    fn build_detects_incomplete_specification() {
+        let mut b = StateTableBuilder::new("x", 1, 1, 2).unwrap();
+        b.set(0, 0, 0, 0).unwrap();
+        let err = b.build().unwrap_err();
+        assert_eq!(err, FsmError::IncompletelySpecified { state: 0, input: 1 });
+    }
+
+    #[test]
+    fn build_completed_self_loops() {
+        let mut b = StateTableBuilder::new("x", 1, 1, 2).unwrap();
+        b.set(0, 1, 1, 1).unwrap();
+        let t = b.build_completed();
+        assert_eq!(t.step(0, 0), (0, 0));
+        assert_eq!(t.step(1, 0), (1, 0));
+        assert_eq!(t.step(1, 1), (1, 0));
+        assert_eq!(t.step(0, 1), (1, 1));
+    }
+
+    #[test]
+    fn run_produces_output_sequence() {
+        let t = toggle();
+        let (fin, outs) = t.run(0, &[1, 1, 0]);
+        assert_eq!(fin, 0);
+        assert_eq!(outs, vec![1, 1, 0]);
+        assert_eq!(t.run_state(0, &[1, 1, 0]), 0);
+    }
+
+    #[test]
+    fn transition_iter_is_canonical_and_exact() {
+        let t = toggle();
+        let all: Vec<_> = t.transitions().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(t.transitions().len(), 4);
+        assert_eq!((all[0].from, all[0].input), (0, 0));
+        assert_eq!((all[1].from, all[1].input), (0, 1));
+        assert_eq!((all[2].from, all[2].input), (1, 0));
+        assert_eq!((all[3].from, all[3].input), (1, 1));
+    }
+
+    #[test]
+    fn transition_lookup_checks_bounds() {
+        let t = toggle();
+        assert!(t.transition(0, 0).is_ok());
+        assert!(t.transition(5, 0).is_err());
+        assert!(t.transition(0, 5).is_err());
+    }
+
+    #[test]
+    fn state_vars_cover_state_count() {
+        for (states, sv) in [(2usize, 1usize), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+            let b = StateTableBuilder::new("x", 1, 1, states).unwrap();
+            let t = b.build_completed();
+            assert_eq!(t.num_state_vars(), sv, "states={states}");
+        }
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let t = toggle();
+        let s = t.to_string();
+        assert!(s.contains("toggle"));
+        assert!(s.contains("0 |"));
+    }
+}

@@ -1,0 +1,511 @@
+//! Unique input-output (UIO) sequence derivation.
+//!
+//! A sequence `D_s` is a *unique input-output sequence* for state `s` when
+//! the output response identifies the state: `B(D_s, s) != B(D_s, s')` for
+//! every state `s' != s`, where `B(A, q)` is the output sequence produced
+//! from starting state `q` under input sequence `A` (Sabnani & Dahbura's
+//! definition, as used in the paper).
+//!
+//! The derivation below finds, for every state, the **lexicographically
+//! first shortest** UIO of length at most `L`, matching the paper's policy
+//! of deriving at most one UIO per state and using it throughout test
+//! generation. The length bound `L` is the paper's knob trading at-speed
+//! sequence length against scan time (Sections 2 and 3, Table 9).
+//!
+//! # Search
+//!
+//! The search walks a product automaton breadth-first. A node is the pair
+//! `(c, S)` where `c` is the current state of the `s`-track and `S` is the
+//! set of current states of the *survivor* tracks — states not yet
+//! distinguished from `s` by the input prefix. Applying input `a` keeps a
+//! survivor `t` only if `output(t, a) == output(c, a)`, moving it to
+//! `next(t, a)`. Two prunings keep the search tractable:
+//!
+//! 1. **merge pruning** — if a survivor's next state coincides with the
+//!    `s`-track's next state, no extension can ever distinguish it, so the
+//!    whole branch is abandoned;
+//! 2. **visited-set deduplication** — `(c, S)` nodes already expanded are
+//!    skipped (survivor identity is irrelevant, only current states matter).
+//!
+//! Because the queue is FIFO and inputs are expanded in ascending order, the
+//! first success is the lexicographically-first shortest UIO. The search is
+//! budgeted ([`UioConfig::node_budget`]); exceeding the budget is recorded
+//! per state so a truncated search is never silently reported as "no UIO".
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use crate::{InputId, StateId, StateTable};
+
+/// A unique input-output sequence for one state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Uio {
+    /// The input sequence `D_s`.
+    pub inputs: Vec<InputId>,
+    /// The expected (fault-free) output response `B(D_s, s)`.
+    pub outputs: Vec<crate::OutputWord>,
+    /// Final state reached from `s` under `inputs` (the `f.stat` column of
+    /// Table 2 in the paper).
+    pub final_state: StateId,
+}
+
+impl Uio {
+    /// Length of the sequence in clock cycles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the sequence is empty (never true for a derived UIO).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Outcome of the UIO search for one state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UioOutcome {
+    /// A UIO was found.
+    Found(Uio),
+    /// No UIO of length `<= max_len` exists (search exhausted).
+    None,
+    /// The node budget was exhausted before the search completed; a UIO
+    /// longer than the deepest completed level may still exist.
+    BudgetExceeded {
+        /// Number of nodes expanded before giving up.
+        nodes: usize,
+    },
+}
+
+/// Configuration for UIO derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UioConfig {
+    /// Maximum sequence length `L`. The paper's default is `L = N_SV` (the
+    /// number of state variables) so a UIO costs at most as many cycles as
+    /// a scan operation.
+    pub max_len: usize,
+    /// Maximum number of product-automaton nodes expanded per state before
+    /// the search gives up. Prevents pathological blowup on machines with
+    /// huge input alphabets (the paper spent 4.3 CPU-days on `nucpwr`).
+    pub node_budget: usize,
+}
+
+impl UioConfig {
+    /// Configuration with the given length bound and the default node
+    /// budget.
+    #[must_use]
+    pub fn with_max_len(max_len: usize) -> Self {
+        UioConfig {
+            max_len,
+            node_budget: 2_000_000,
+        }
+    }
+}
+
+/// The per-state UIO sequences of a machine, plus derivation statistics
+/// (the data behind Tables 2 and 4 of the paper).
+#[derive(Debug, Clone)]
+pub struct UioSet {
+    outcomes: Vec<UioOutcome>,
+    max_len: usize,
+    elapsed_secs: f64,
+}
+
+impl UioSet {
+    /// The UIO for `state`, if one was found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn sequence(&self, state: StateId) -> Option<&Uio> {
+        match &self.outcomes[state as usize] {
+            UioOutcome::Found(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The UIO for `state` only if its length is at most `limit`.
+    ///
+    /// Because derived UIOs are shortest, restricting the length bound after
+    /// the fact is equivalent to deriving with the smaller bound (used for
+    /// the Table 9 sweep).
+    #[must_use]
+    pub fn sequence_capped(&self, state: StateId, limit: usize) -> Option<&Uio> {
+        self.sequence(state).filter(|u| u.len() <= limit)
+    }
+
+    /// Full outcome (found / none / budget-exceeded) for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn outcome(&self, state: StateId) -> &UioOutcome {
+        &self.outcomes[state as usize]
+    }
+
+    /// Number of states with a UIO (the `unique` column of Table 4).
+    #[must_use]
+    pub fn num_with_uio(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, UioOutcome::Found(_)))
+            .count()
+    }
+
+    /// Number of states with a UIO of length at most `limit`.
+    #[must_use]
+    pub fn num_with_uio_capped(&self, limit: usize) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, UioOutcome::Found(u) if u.len() <= limit))
+            .count()
+    }
+
+    /// Longest derived UIO (the `m.len` column of Table 4), or 0 when no
+    /// state has one.
+    #[must_use]
+    pub fn max_found_len(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                UioOutcome::Found(u) => Some(u.len()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The length bound `L` the set was derived with.
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Wall-clock derivation time in seconds (the `time` column of Table 4).
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_secs
+    }
+
+    /// Whether any state's search ran out of budget (results for those
+    /// states are lower bounds, not proofs of nonexistence).
+    #[must_use]
+    pub fn any_budget_exceeded(&self) -> bool {
+        self.outcomes
+            .iter()
+            .any(|o| matches!(o, UioOutcome::BudgetExceeded { .. }))
+    }
+}
+
+/// Derives the UIO (if any) for a single state, bounded by `config`.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_fsm::uio::{find_uio, UioConfig, UioOutcome};
+///
+/// let lion = scanft_fsm::benchmarks::lion();
+/// // Table 2: state 2 has the UIO (00, 11) ending in state 3.
+/// match find_uio(&lion, 2, &UioConfig::with_max_len(2)) {
+///     UioOutcome::Found(u) => {
+///         assert_eq!(u.inputs, vec![0b00, 0b11]);
+///         assert_eq!(u.final_state, 3);
+///     }
+///     other => panic!("expected a UIO, got {other:?}"),
+/// }
+/// ```
+#[must_use]
+pub fn find_uio(table: &StateTable, state: StateId, config: &UioConfig) -> UioOutcome {
+    let npic = table.num_input_combos() as InputId;
+    let num_states = table.num_states();
+
+    // BFS node: (current s-track state, sorted survivor states, path).
+    // Survivors are stored as a sorted Vec<StateId> for hashing.
+    struct Node {
+        cur: StateId,
+        survivors: Vec<StateId>,
+        path: Vec<InputId>,
+    }
+
+    let initial_survivors: Vec<StateId> = (0..num_states as StateId)
+        .filter(|&t| t != state)
+        .collect();
+    if initial_survivors.is_empty() {
+        // A one-state machine: the empty sequence vacuously identifies it,
+        // but the paper's UIOs are applied sequences; report none.
+        return UioOutcome::None;
+    }
+
+    let mut queue = std::collections::VecDeque::new();
+    let mut visited: HashSet<(StateId, Vec<StateId>)> = HashSet::new();
+    visited.insert((state, initial_survivors.clone()));
+    queue.push_back(Node {
+        cur: state,
+        survivors: initial_survivors,
+        path: Vec::new(),
+    });
+
+    while let Some(node) = queue.pop_front() {
+        if node.path.len() >= config.max_len {
+            continue;
+        }
+        'inputs: for a in 0..npic {
+            let (next_cur, out_cur) = table.step(node.cur, a);
+            let mut next_survivors: Vec<StateId> = Vec::with_capacity(node.survivors.len());
+            for &t in &node.survivors {
+                let (nt, ot) = table.step(t, a);
+                if ot != out_cur {
+                    continue; // distinguished by this input
+                }
+                if nt == next_cur {
+                    // Survivor merged with the s-track: this branch can
+                    // never distinguish it. Abandon the input.
+                    continue 'inputs;
+                }
+                next_survivors.push(nt);
+            }
+            if next_survivors.is_empty() {
+                let mut inputs = node.path.clone();
+                inputs.push(a);
+                let (final_state, outputs) = table.run(state, &inputs);
+                return UioOutcome::Found(Uio {
+                    inputs,
+                    outputs,
+                    final_state,
+                });
+            }
+            next_survivors.sort_unstable();
+            next_survivors.dedup();
+            let key = (next_cur, next_survivors);
+            if visited.contains(&key) {
+                continue;
+            }
+            let (next_cur, next_survivors) = key;
+            visited.insert((next_cur, next_survivors.clone()));
+            // Budget is charged on enqueue so that both time and memory stay
+            // bounded even with very large input alphabets.
+            if visited.len() > config.node_budget {
+                return UioOutcome::BudgetExceeded {
+                    nodes: visited.len(),
+                };
+            }
+            let mut path = node.path.clone();
+            path.push(a);
+            queue.push_back(Node {
+                cur: next_cur,
+                survivors: next_survivors,
+                path,
+            });
+        }
+    }
+    UioOutcome::None
+}
+
+/// Derives UIO sequences for every state with the default node budget and
+/// length bound `max_len` (the paper uses `max_len = N_SV`).
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let uios = scanft_fsm::uio::derive_uios(&lion, 2);
+/// assert_eq!(uios.num_with_uio(), 2); // Table 4: lion has 2 states with UIOs
+/// assert_eq!(uios.max_found_len(), 2); // Table 4: m.len = 2
+/// ```
+#[must_use]
+pub fn derive_uios(table: &StateTable, max_len: usize) -> UioSet {
+    derive_uios_with(table, &UioConfig::with_max_len(max_len))
+}
+
+/// Derives UIO sequences for every state with an explicit configuration.
+#[must_use]
+pub fn derive_uios_with(table: &StateTable, config: &UioConfig) -> UioSet {
+    let start = Instant::now();
+    let outcomes = (0..table.num_states() as StateId)
+        .map(|s| find_uio(table, s, config))
+        .collect();
+    UioSet {
+        outcomes,
+        max_len: config.max_len,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Checks the defining UIO property directly: the response of `state` to
+/// `inputs` differs from the response of every other state.
+///
+/// Used by tests and available for downstream validation of hand-written
+/// sequences.
+#[must_use]
+pub fn is_uio(table: &StateTable, state: StateId, inputs: &[InputId]) -> bool {
+    if inputs.is_empty() {
+        return table.num_states() == 1;
+    }
+    let (_, reference) = table.run(state, inputs);
+    (0..table.num_states() as StateId)
+        .filter(|&t| t != state)
+        .all(|t| table.run(t, inputs).1 != reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::lion;
+    use crate::StateTableBuilder;
+
+    fn cfg(l: usize) -> UioConfig {
+        UioConfig::with_max_len(l)
+    }
+
+    /// Table 2 of the paper, verbatim.
+    #[test]
+    fn lion_table2_exact() {
+        let t = lion();
+        match find_uio(&t, 0, &cfg(2)) {
+            UioOutcome::Found(u) => {
+                assert_eq!(u.inputs, vec![0b00]);
+                assert_eq!(u.final_state, 0);
+                assert_eq!(u.outputs, vec![0]);
+            }
+            o => panic!("state 0: {o:?}"),
+        }
+        assert_eq!(find_uio(&t, 1, &cfg(2)), UioOutcome::None);
+        match find_uio(&t, 2, &cfg(2)) {
+            UioOutcome::Found(u) => {
+                assert_eq!(u.inputs, vec![0b00, 0b11]);
+                assert_eq!(u.final_state, 3);
+            }
+            o => panic!("state 2: {o:?}"),
+        }
+        assert_eq!(find_uio(&t, 3, &cfg(2)), UioOutcome::None);
+    }
+
+    /// The paper's argument that state 1 of lion has no UIO of any length:
+    /// every first input leaves an indistinguishable partner.
+    #[test]
+    fn lion_state1_has_no_uio_even_longer() {
+        let t = lion();
+        assert_eq!(find_uio(&t, 1, &cfg(10)), UioOutcome::None);
+        assert_eq!(find_uio(&t, 3, &cfg(10)), UioOutcome::None);
+    }
+
+    #[test]
+    fn derive_uios_matches_per_state_search() {
+        let t = lion();
+        let set = derive_uios(&t, 2);
+        assert_eq!(set.num_with_uio(), 2);
+        assert_eq!(set.max_found_len(), 2);
+        assert_eq!(set.max_len(), 2);
+        assert!(!set.any_budget_exceeded());
+        assert!(set.sequence(0).is_some());
+        assert!(set.sequence(1).is_none());
+        assert_eq!(set.sequence_capped(2, 1), None);
+        assert!(set.sequence_capped(2, 2).is_some());
+    }
+
+    #[test]
+    fn found_uios_satisfy_definition() {
+        let t = lion();
+        let set = derive_uios(&t, 3);
+        for s in 0..t.num_states() as StateId {
+            if let Some(u) = set.sequence(s) {
+                assert!(is_uio(&t, s, &u.inputs), "state {s}");
+                let (fin, outs) = t.run(s, &u.inputs);
+                assert_eq!(fin, u.final_state);
+                assert_eq!(outs, u.outputs);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_and_lexicographically_first() {
+        // Machine where state 0 has both (1) and (0,1) as identifying
+        // prefixes — must return the length-1 one.
+        let mut b = StateTableBuilder::new("m", 1, 1, 2).unwrap();
+        b.set(0, 0, 0, 0).unwrap();
+        b.set(0, 1, 1, 1).unwrap();
+        b.set(1, 0, 1, 0).unwrap();
+        b.set(1, 1, 0, 0).unwrap();
+        let t = b.build().unwrap();
+        match find_uio(&t, 0, &cfg(4)) {
+            UioOutcome::Found(u) => assert_eq!(u.inputs, vec![1]),
+            o => panic!("{o:?}"),
+        }
+        match find_uio(&t, 1, &cfg(4)) {
+            UioOutcome::Found(u) => assert_eq!(u.inputs, vec![1]),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let t = crate::benchmarks::build("bbsse").unwrap();
+        let config = UioConfig {
+            max_len: 4,
+            node_budget: 1,
+        };
+        let mut saw_budget = false;
+        for s in 0..t.num_states() as StateId {
+            if matches!(
+                find_uio(&t, s, &config),
+                UioOutcome::BudgetExceeded { .. }
+            ) {
+                saw_budget = true;
+            }
+        }
+        // With a budget of one node, any state lacking a length-1 UIO must
+        // report budget exhaustion rather than "no UIO".
+        let full = derive_uios(&t, 4);
+        if full.num_with_uio() > full.num_with_uio_capped(1) {
+            assert!(saw_budget);
+        }
+    }
+
+    #[test]
+    fn single_state_machine_has_no_uio() {
+        let mut b = StateTableBuilder::new("one", 1, 1, 1).unwrap();
+        b.set(0, 0, 0, 0).unwrap();
+        b.set(0, 1, 0, 1).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(find_uio(&t, 0, &cfg(3)), UioOutcome::None);
+        assert!(is_uio(&t, 0, &[]));
+    }
+
+    #[test]
+    fn equivalent_states_never_have_uios() {
+        // Cross-check with the minimizer on a machine with duplicate states.
+        let mut b = StateTableBuilder::new("dup", 1, 1, 4).unwrap();
+        b.set(0, 0, 1, 0).unwrap();
+        b.set(0, 1, 2, 1).unwrap();
+        b.set(1, 0, 0, 1).unwrap();
+        b.set(1, 1, 1, 0).unwrap();
+        b.set(2, 0, 0, 1).unwrap();
+        b.set(2, 1, 2, 0).unwrap();
+        b.set(3, 0, 3, 1).unwrap();
+        b.set(3, 1, 0, 1).unwrap();
+        let t = b.build().unwrap();
+        let eq = crate::minimize::equivalence_classes(&t);
+        let set = derive_uios(&t, 6);
+        for s in 0..4 {
+            if !eq.is_distinguishable(s) {
+                assert!(set.sequence(s).is_none(), "state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn capped_counts_are_monotone() {
+        let t = crate::benchmarks::build("beecount").unwrap();
+        let set = derive_uios(&t, t.num_state_vars());
+        let mut prev = 0;
+        for l in 1..=t.num_state_vars() {
+            let c = set.num_with_uio_capped(l);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(prev, set.num_with_uio());
+    }
+}

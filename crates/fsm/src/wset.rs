@@ -1,0 +1,207 @@
+//! Characterizing sets (the *W-set* of the W-method).
+//!
+//! A characterizing set is a set `W` of input sequences such that every
+//! pair of distinct states is separated by at least one sequence of `W`
+//! (their output responses differ). Unlike a UIO (which may not exist for
+//! a state) or an ADS (which may not exist at all), a characterizing set
+//! exists for **every reduced machine** — at the price of applying several
+//! sequences per state verification. It completes the classic toolbox of
+//! state-verification methods this crate provides alongside [`crate::uio`]
+//! and [`crate::ads`].
+
+use std::collections::VecDeque;
+
+use crate::{InputId, StateId, StateTable};
+
+/// A characterizing set plus derivation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WSet {
+    /// The separating sequences.
+    pub sequences: Vec<Vec<InputId>>,
+}
+
+impl WSet {
+    /// Whether `w` separates states `a` and `b` of `table` for some member
+    /// sequence.
+    #[must_use]
+    pub fn separates(&self, table: &StateTable, a: StateId, b: StateId) -> bool {
+        self.sequences
+            .iter()
+            .any(|seq| table.run(a, seq).1 != table.run(b, seq).1)
+    }
+
+    /// Total length of all member sequences.
+    #[must_use]
+    pub fn total_length(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+}
+
+/// Derives a characterizing set for `table` greedily: walk all state pairs;
+/// whenever the current set fails to separate a pair, add that pair's
+/// shortest separating sequence (ties: lexicographically first).
+///
+/// Returns `None` when the machine is not reduced (an inseparable pair
+/// exists) — use [`crate::minimize::quotient`] first.
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let w = scanft_fsm::wset::characterizing_set(&lion).expect("lion is reduced");
+/// for a in 0..4 {
+///     for b in (a + 1)..4 {
+///         assert!(w.separates(&lion, a, b));
+///     }
+/// }
+/// // At most n-1 sequences are ever needed.
+/// assert!(w.sequences.len() <= 3);
+/// ```
+#[must_use]
+pub fn characterizing_set(table: &StateTable) -> Option<WSet> {
+    let n = table.num_states() as StateId;
+    let mut w = WSet {
+        sequences: Vec::new(),
+    };
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if w.separates(table, a, b) {
+                continue;
+            }
+            let seq = separating_sequence(table, a, b)?;
+            w.sequences.push(seq);
+        }
+    }
+    Some(w)
+}
+
+/// Shortest input sequence whose output responses differ between `a` and
+/// `b` (lexicographically first among shortest), or `None` when the states
+/// are equivalent.
+///
+/// # Examples
+///
+/// ```
+/// let lion = scanft_fsm::benchmarks::lion();
+/// // States 0 and 1 differ immediately under input 00 (outputs 0 vs 1).
+/// assert_eq!(scanft_fsm::wset::separating_sequence(&lion, 0, 1), Some(vec![0b00]));
+/// ```
+#[must_use]
+pub fn separating_sequence(
+    table: &StateTable,
+    a: StateId,
+    b: StateId,
+) -> Option<Vec<InputId>> {
+    if a == b {
+        return None;
+    }
+    let n = table.num_states();
+    let npic = table.num_input_combos() as InputId;
+    // BFS over unordered pairs.
+    let key = |u: StateId, v: StateId| -> usize {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        lo as usize * n + hi as usize
+    };
+    let mut pred: Vec<Option<(StateId, StateId, InputId)>> = vec![None; n * n];
+    let mut seen = vec![false; n * n];
+    seen[key(a, b)] = true;
+    let mut queue = VecDeque::from([(a, b)]);
+    while let Some((u, v)) = queue.pop_front() {
+        for input in 0..npic {
+            let (nu, ou) = table.step(u, input);
+            let (nv, ov) = table.step(v, input);
+            if ou != ov {
+                // Reconstruct: path to (u, v), then `input`.
+                let mut seq = vec![input];
+                let mut cur = (u, v);
+                while cur != (a, b) && cur != (b, a) {
+                    let (pu, pv, pi) = pred[key(cur.0, cur.1)].expect("predecessor chain");
+                    seq.push(pi);
+                    cur = (pu, pv);
+                }
+                seq.reverse();
+                return Some(seq);
+            }
+            if nu == nv {
+                continue; // merged: this branch can never separate
+            }
+            let k = key(nu, nv);
+            if !seen[k] {
+                seen[k] = true;
+                pred[k] = Some((u, v, input));
+                queue.push_back((nu, nv));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn lion_wset_separates_all_pairs() {
+        let lion = benchmarks::lion();
+        let w = characterizing_set(&lion).expect("reduced");
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert!(w.separates(&lion, a, b), "({a},{b})");
+            }
+        }
+        assert!(!w.sequences.is_empty());
+        assert!(w.total_length() >= w.sequences.len());
+    }
+
+    #[test]
+    fn separating_sequences_are_minimal_on_lion() {
+        let lion = benchmarks::lion();
+        // 1 vs 2: under 00 both output 1 and go to 1 / 2; under 11 outputs
+        // 0 vs 1 — so the length-1 separator (11) exists.
+        let seq = separating_sequence(&lion, 1, 2).expect("separable");
+        assert_eq!(seq.len(), 1);
+        let (_, o1) = lion.run(1, &seq);
+        let (_, o2) = lion.run(2, &seq);
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn equivalent_states_have_no_separator() {
+        let mut b = crate::StateTableBuilder::new("dup", 1, 1, 2).unwrap();
+        b.set(0, 0, 1, 0).unwrap();
+        b.set(0, 1, 0, 1).unwrap();
+        b.set(1, 0, 0, 0).unwrap();
+        b.set(1, 1, 1, 1).unwrap();
+        let t = b.build().unwrap();
+        if crate::minimize::equivalence_classes(&t).num_classes() == 1 {
+            assert_eq!(separating_sequence(&t, 0, 1), None);
+            assert_eq!(characterizing_set(&t), None);
+        }
+    }
+
+    #[test]
+    fn identical_states_rejected() {
+        let lion = benchmarks::lion();
+        assert_eq!(separating_sequence(&lion, 2, 2), None);
+    }
+
+    #[test]
+    fn wset_on_benchmarks_matches_reduced_status() {
+        for name in ["lion", "shiftreg", "bbtas", "dk27", "beecount", "mc"] {
+            let t = benchmarks::build(name).unwrap();
+            let reduced = crate::minimize::is_reduced(&t);
+            let w = characterizing_set(&t);
+            assert_eq!(w.is_some(), reduced, "{name}");
+            if let Some(w) = w {
+                for a in 0..t.num_states() as StateId {
+                    for b in (a + 1)..t.num_states() as StateId {
+                        assert!(w.separates(&t, a, b), "{name}: ({a},{b})");
+                    }
+                }
+                // Classic bound: at most n - 1 sequences.
+                assert!(w.sequences.len() < t.num_states(), "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+use crate::net::{Gate, GateKind, Netlist};
+use crate::{NetId, NetlistError};
+
+/// Incremental constructor for a [`Netlist`].
+///
+/// Gates may only reference already-created nets, which makes the result
+/// acyclic by construction and creation order a valid topological order.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), scanft_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(2, 0);
+/// let sum = b.add_gate(GateKind::Xor, &[b.pi(0), b.pi(1)])?;
+/// let carry = b.add_gate(GateKind::And, &[b.pi(0), b.pi(1)])?;
+/// let half_adder = b.finish(vec![sum, carry], vec![])?;
+/// assert_eq!(half_adder.num_gates(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    num_pis: usize,
+    num_ppis: usize,
+    gates: Vec<Gate>,
+}
+
+impl NetlistBuilder {
+    /// Creates a builder for a netlist with the given scan boundary.
+    #[must_use]
+    pub fn new(num_pis: usize, num_ppis: usize) -> Self {
+        NetlistBuilder {
+            num_pis,
+            num_ppis,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Net id of primary input `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn pi(&self, k: usize) -> NetId {
+        assert!(k < self.num_pis, "PI {k} out of range");
+        k as NetId
+    }
+
+    /// Net id of pseudo-primary input `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn ppi(&self, k: usize) -> NetId {
+        assert!(k < self.num_ppis, "PPI {k} out of range");
+        (self.num_pis + k) as NetId
+    }
+
+    /// Number of nets defined so far.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.num_pis + self.num_ppis + self.gates.len()
+    }
+
+    /// Adds a gate and returns its output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] when an input net does not exist
+    /// yet, or [`NetlistError::BadFanin`] when the input count does not suit
+    /// the gate kind (unary kinds take exactly one input, the others at
+    /// least one; single-input AND/OR act as buffers).
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> Result<NetId, NetlistError> {
+        if kind.is_unary() {
+            if inputs.len() != 1 {
+                return Err(NetlistError::BadFanin {
+                    kind: kind.name(),
+                    fanin: inputs.len(),
+                    expected: "exactly 1",
+                });
+            }
+        } else if inputs.is_empty() {
+            return Err(NetlistError::BadFanin {
+                kind: kind.name(),
+                fanin: 0,
+                expected: "at least 1",
+            });
+        }
+        let defined = self.num_nets();
+        for &net in inputs {
+            if net as usize >= defined {
+                return Err(NetlistError::UnknownNet {
+                    net,
+                    num_nets: defined,
+                });
+            }
+        }
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+        });
+        Ok((defined) as NetId)
+    }
+
+    /// Builds a balanced tree of `kind` gates over `inputs`, each gate with
+    /// at most `max_fanin` inputs. Returns the root net.
+    ///
+    /// With a single input, no gate is created for AND/OR (the input net is
+    /// returned directly); for NAND/NOR a NOT gate is emitted so inversion
+    /// is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadFanin`] when `inputs` is empty or
+    /// `max_fanin < 2`, and propagates [`NetlistError::UnknownNet`].
+    pub fn add_tree(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        max_fanin: usize,
+    ) -> Result<NetId, NetlistError> {
+        if inputs.is_empty() || max_fanin < 2 {
+            return Err(NetlistError::BadFanin {
+                kind: kind.name(),
+                fanin: inputs.len(),
+                expected: "at least 1, with max_fanin >= 2",
+            });
+        }
+        if inputs.len() == 1 {
+            return match kind {
+                GateKind::And | GateKind::Or | GateKind::Xor | GateKind::Buf => Ok(inputs[0]),
+                GateKind::Nand | GateKind::Nor | GateKind::Not => {
+                    self.add_gate(GateKind::Not, inputs)
+                }
+            };
+        }
+        // Inner levels use the non-inverting counterpart; only the root
+        // applies the inversion for NAND/NOR.
+        let (inner, root): (GateKind, GateKind) = match kind {
+            GateKind::Nand => (GateKind::And, GateKind::Nand),
+            GateKind::Nor => (GateKind::Or, GateKind::Nor),
+            k => (k, k),
+        };
+        let mut layer: Vec<NetId> = inputs.to_vec();
+        while layer.len() > max_fanin {
+            let mut next_layer = Vec::with_capacity(layer.len().div_ceil(max_fanin));
+            for chunk in layer.chunks(max_fanin) {
+                if chunk.len() == 1 {
+                    next_layer.push(chunk[0]);
+                } else {
+                    next_layer.push(self.add_gate(inner, chunk)?);
+                }
+            }
+            layer = next_layer;
+        }
+        self.add_gate(root, &layer)
+    }
+
+    /// Finishes construction, declaring the primary-output and pseudo-
+    /// primary-output (next-state) nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadOutputs`] when an output net does not
+    /// exist.
+    pub fn finish(self, pos: Vec<NetId>, ppos: Vec<NetId>) -> Result<Netlist, NetlistError> {
+        let num_nets = self.num_nets();
+        for &net in pos.iter().chain(&ppos) {
+            if net as usize >= num_nets {
+                return Err(NetlistError::BadOutputs {
+                    message: format!("output net {net} does not exist"),
+                });
+            }
+        }
+        let inputs = self.num_pis + self.num_ppis;
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); num_nets];
+        let mut level: Vec<u32> = vec![0; num_nets];
+        for (g, gate) in self.gates.iter().enumerate() {
+            let mut lvl = 0;
+            for &input in &gate.inputs {
+                fanout[input as usize].push(g as u32);
+                lvl = lvl.max(level[input as usize] + 1);
+            }
+            level[inputs + g] = lvl;
+        }
+        Ok(Netlist {
+            num_pis: self.num_pis,
+            num_ppis: self.num_ppis,
+            gates: self.gates,
+            pos,
+            ppos,
+            fanout,
+            level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_forward_references() {
+        let mut b = NetlistBuilder::new(1, 0);
+        let err = b.add_gate(GateKind::And, &[0, 7]).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownNet { net: 7, num_nets: 1 });
+    }
+
+    #[test]
+    fn rejects_bad_fanin() {
+        let mut b = NetlistBuilder::new(2, 0);
+        assert!(b.add_gate(GateKind::Not, &[0, 1]).is_err());
+        assert!(b.add_gate(GateKind::And, &[]).is_err());
+        assert!(b.add_gate(GateKind::Buf, &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_outputs() {
+        let b = NetlistBuilder::new(1, 0);
+        assert!(b.finish(vec![5], vec![]).is_err());
+    }
+
+    #[test]
+    fn tree_respects_max_fanin_and_function() {
+        let mut b = NetlistBuilder::new(7, 0);
+        let inputs: Vec<NetId> = (0..7).collect();
+        let root = b.add_tree(GateKind::And, &inputs, 2).unwrap();
+        let n = b.finish(vec![root], vec![]).unwrap();
+        for g in n.gates() {
+            assert!(g.inputs.len() <= 2);
+            assert_eq!(g.kind, GateKind::And);
+        }
+        // Functional check over all 128 input combinations via eval by hand.
+        for pattern in 0u32..128 {
+            let mut vals = vec![0u64; n.num_nets()];
+            for (k, val) in vals.iter_mut().enumerate().take(7) {
+                *val = if pattern >> k & 1 == 1 { u64::MAX } else { 0 };
+            }
+            for (g, gate) in n.gates().iter().enumerate() {
+                let ins: Vec<u64> = gate.inputs.iter().map(|&i| vals[i as usize]).collect();
+                vals[n.gate_output(g) as usize] = gate.kind.eval_words(&ins);
+            }
+            let expect = if pattern == 127 { u64::MAX } else { 0 };
+            assert_eq!(vals[root as usize], expect, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn tree_single_input_identity_and_inversion() {
+        let mut b = NetlistBuilder::new(1, 0);
+        assert_eq!(b.add_tree(GateKind::And, &[0], 4).unwrap(), 0);
+        assert_eq!(b.gates.len(), 0);
+        let n = b.add_tree(GateKind::Nand, &[0], 4).unwrap();
+        assert_eq!(b.gates.len(), 1);
+        assert_eq!(b.gates[0].kind, GateKind::Not);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn nand_tree_inverts_only_root() {
+        let mut b = NetlistBuilder::new(5, 0);
+        let inputs: Vec<NetId> = (0..5).collect();
+        let root = b.add_tree(GateKind::Nand, &inputs, 2).unwrap();
+        let n = b.finish(vec![root], vec![]).unwrap();
+        let nands = n
+            .gates()
+            .iter()
+            .filter(|g| g.kind == GateKind::Nand)
+            .count();
+        assert_eq!(nands, 1);
+        // Root must be the NAND.
+        assert_eq!(n.driver(root).unwrap().kind, GateKind::Nand);
+    }
+
+    #[test]
+    fn tree_rejects_degenerate_args() {
+        let mut b = NetlistBuilder::new(2, 0);
+        assert!(b.add_tree(GateKind::And, &[], 2).is_err());
+        assert!(b.add_tree(GateKind::And, &[0, 1], 1).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NetId;
+
+/// Error produced while constructing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate referenced a net that does not exist yet.
+    UnknownNet {
+        /// The offending net index.
+        net: NetId,
+        /// Number of nets that exist at the point of reference.
+        num_nets: usize,
+    },
+    /// A gate was created with an input count its kind does not allow.
+    BadFanin {
+        /// The gate kind.
+        kind: &'static str,
+        /// Number of inputs supplied.
+        fanin: usize,
+        /// Allowed range, e.g. "exactly 1" or "at least 2".
+        expected: &'static str,
+    },
+    /// `finish` was called with an output list of the wrong length or with
+    /// an unknown net.
+    BadOutputs {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNet { net, num_nets } => {
+                write!(f, "net {net} does not exist ({num_nets} nets defined)")
+            }
+            NetlistError::BadFanin {
+                kind,
+                fanin,
+                expected,
+            } => write!(f, "{kind} gate with {fanin} inputs, expected {expected}"),
+            NetlistError::BadOutputs { message } => write!(f, "invalid outputs: {message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = NetlistError::UnknownNet { net: 9, num_nets: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = NetlistError::BadFanin {
+            kind: "NOT",
+            fanin: 2,
+            expected: "exactly 1",
+        };
+        assert!(e.to_string().contains("NOT"));
+        let e = NetlistError::BadOutputs {
+            message: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Integration test: BLIF round trip of a real synthesized circuit (lives
+//! outside the unit tests because it pulls in the synthesis crate).
+
+use scanft_netlist::blif;
+
+#[test]
+fn synthesized_circuit_round_trips() {
+    let lion = scanft_fsm::benchmarks::lion();
+    let circuit = scanft_synth::synthesize(&lion, &scanft_synth::SynthConfig::default());
+    let text = blif::write(circuit.netlist(), "lion");
+    let parsed = blif::parse(&text).expect("round trip");
+    assert_eq!(parsed.num_pis(), 2);
+    assert_eq!(parsed.num_ppis(), 2);
+    assert_eq!(parsed.pos().len(), 1);
+    assert_eq!(parsed.ppos().len(), 2);
+    // Behavioural check against the state table through the scan simulator
+    // would need scanft-sim; structural + per-gate checks suffice here, and
+    // the in-crate round-trip test covers behaviour on a hand netlist.
+    assert!(parsed.num_gates() >= circuit.netlist().num_gates());
+}
+
+#[test]
+fn all_small_benchmarks_export_and_reimport() {
+    for name in ["bbtas", "dk15", "dk27", "shiftreg", "mc", "tav"] {
+        let table = scanft_fsm::benchmarks::build(name).expect("registry circuit");
+        let circuit = scanft_synth::synthesize(&table, &scanft_synth::SynthConfig::default());
+        let text = blif::write(circuit.netlist(), name);
+        let parsed = blif::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed.num_ppis(), table.num_state_vars(), "{name}");
+        assert_eq!(parsed.pos().len(), table.num_outputs(), "{name}");
+    }
+}

@@ -1,0 +1,435 @@
+//! Whole-test-set fault simulation with fault dropping, plus the paper's
+//! effective-test selection.
+//!
+//! The paper simulates the functional tests *in decreasing order of length*
+//! (ties keep the generation order) with fault dropping, and keeps a test —
+//! calls it *effective* — iff it newly detects at least one fault (Table 3
+//! for `lion`, Tables 6 and 7 in aggregate). Dropping a test drops one scan
+//! operation regardless of its length, so pruning short tests shrinks test
+//! application time most.
+
+use scanft_netlist::Netlist;
+
+use crate::engine::{FaultEngine, InjectionPlan};
+use crate::faults::Fault;
+use crate::logic;
+use crate::{ScanResponse, ScanTest};
+
+/// Outcome of simulating an ordered test set against a fault list.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// For each fault (input order), the index *into the simulated order*
+    /// of the first test that detects it, or `None` if undetected.
+    pub detecting_test: Vec<Option<usize>>,
+    /// The simulation order as indices into the caller's test list.
+    pub order: Vec<usize>,
+    /// Number of faults newly detected by each test of `order`.
+    pub new_detections: Vec<usize>,
+}
+
+impl CampaignReport {
+    /// Total number of faults simulated.
+    #[must_use]
+    pub fn num_faults(&self) -> usize {
+        self.detecting_test.len()
+    }
+
+    /// Number of detected faults.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.detecting_test.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Fault coverage in percent (100.0 when there are no faults).
+    #[must_use]
+    pub fn coverage_percent(&self) -> f64 {
+        if self.detecting_test.is_empty() {
+            return 100.0;
+        }
+        100.0 * self.detected() as f64 / self.detecting_test.len() as f64
+    }
+
+    /// Indices (into the caller's test list) of the effective tests — those
+    /// that newly detect at least one fault — in simulated order.
+    #[must_use]
+    pub fn effective_tests(&self) -> Vec<usize> {
+        self.order
+            .iter()
+            .zip(&self.new_detections)
+            .filter_map(|(&t, &n)| (n > 0).then_some(t))
+            .collect()
+    }
+
+    /// Indices of the undetected faults (into the caller's fault list).
+    #[must_use]
+    pub fn undetected_faults(&self) -> Vec<usize> {
+        self.detecting_test
+            .iter()
+            .enumerate()
+            .filter_map(|(f, d)| d.is_none().then_some(f))
+            .collect()
+    }
+}
+
+/// Simulates `tests` in the given order against `faults` with fault
+/// dropping.
+///
+/// Faults are processed in batches of 64 lanes; each batch walks the test
+/// list once, skipping lanes already detected, so the result is identical
+/// to per-fault sequential simulation with dropping.
+#[must_use]
+pub fn run(netlist: &Netlist, tests: &[ScanTest], faults: &[Fault]) -> CampaignReport {
+    let order: Vec<usize> = (0..tests.len()).collect();
+    run_ordered(netlist, tests, &order, faults)
+}
+
+/// Simulates tests in the paper's effective-test order: decreasing length,
+/// ties in original order.
+#[must_use]
+pub fn run_decreasing_length(
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    faults: &[Fault],
+) -> CampaignReport {
+    let mut order: Vec<usize> = (0..tests.len()).collect();
+    order.sort_by(|&a, &b| tests[b].len().cmp(&tests[a].len()).then(a.cmp(&b)));
+    run_ordered(netlist, tests, &order, faults)
+}
+
+/// Simulates tests in an explicit order (indices into `tests`) with fault
+/// dropping.
+///
+/// # Panics
+///
+/// Panics if `order` references a test out of range.
+#[must_use]
+pub fn run_ordered(
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    order: &[usize],
+    faults: &[Fault],
+) -> CampaignReport {
+    run_ordered_observing(netlist, tests, order, faults, true)
+}
+
+/// Like [`run_ordered`], with the scan-out observation made optional —
+/// `observe_scan_out = false` models non-scan test application where faults
+/// are visible only at the primary outputs.
+#[must_use]
+pub fn run_ordered_observing(
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    order: &[usize],
+    faults: &[Fault],
+    observe_scan_out: bool,
+) -> CampaignReport {
+    // Fault-free responses, computed once per referenced test.
+    let mut responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
+    for &t in order {
+        if responses[t].is_none() {
+            responses[t] = Some(logic::simulate(netlist, &tests[t]));
+        }
+    }
+
+    let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut engine = FaultEngine::new(netlist);
+    for (batch_start, batch) in faults.chunks(64).enumerate().map(|(i, b)| (i * 64, b)) {
+        let plan = InjectionPlan::new(netlist, batch);
+        let mut detected: u64 = 0;
+        let all = plan.lane_mask();
+        for (pos, &t) in order.iter().enumerate() {
+            let response = responses[t].as_ref().expect("response precomputed");
+            let newly =
+                engine.run_test_observing(&tests[t], response, &plan, detected, observe_scan_out);
+            if newly != 0 {
+                let mut lanes = newly;
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros() as usize;
+                    detecting_test[batch_start + lane] = Some(pos);
+                    lanes &= lanes - 1;
+                }
+                detected |= newly;
+            }
+            if detected == all {
+                break;
+            }
+        }
+    }
+
+    let mut new_detections = vec![0usize; order.len()];
+    for d in detecting_test.iter().flatten() {
+        new_detections[*d] += 1;
+    }
+    CampaignReport {
+        detecting_test,
+        order: order.to_vec(),
+        new_detections,
+    }
+}
+
+/// Like [`run_ordered_observing`], with the 64-fault batches distributed
+/// over `num_threads` worker threads. Batches are independent (each owns
+/// its lanes), so the result is bit-identical to the sequential runner.
+///
+/// # Panics
+///
+/// Panics if `num_threads == 0` or `order` references a test out of range.
+#[must_use]
+pub fn run_parallel(
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    order: &[usize],
+    faults: &[Fault],
+    observe_scan_out: bool,
+    num_threads: usize,
+) -> CampaignReport {
+    assert!(num_threads > 0, "num_threads must be positive");
+    // Fault-free responses, computed once up front and shared read-only.
+    let mut responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
+    for &t in order {
+        if responses[t].is_none() {
+            responses[t] = Some(logic::simulate(netlist, &tests[t]));
+        }
+    }
+
+    let batches: Vec<(usize, &[Fault])> = faults
+        .chunks(64)
+        .enumerate()
+        .map(|(i, b)| (i * 64, b))
+        .collect();
+    let next_batch = std::sync::atomic::AtomicUsize::new(0);
+    let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..num_threads.min(batches.len().max(1)) {
+            let batches = &batches;
+            let next_batch = &next_batch;
+            let responses = &responses;
+            handles.push(scope.spawn(move || {
+                let mut engine = FaultEngine::new(netlist);
+                let mut results: Vec<(usize, Vec<Option<usize>>)> = Vec::new();
+                loop {
+                    let k = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(batch_start, batch)) = batches.get(k) else {
+                        break;
+                    };
+                    let plan = InjectionPlan::new(netlist, batch);
+                    let mut local: Vec<Option<usize>> = vec![None; batch.len()];
+                    let mut detected: u64 = 0;
+                    let all = plan.lane_mask();
+                    for (pos, &t) in order.iter().enumerate() {
+                        let response = responses[t].as_ref().expect("precomputed");
+                        let newly = engine.run_test_observing(
+                            &tests[t],
+                            response,
+                            &plan,
+                            detected,
+                            observe_scan_out,
+                        );
+                        let mut lanes = newly;
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            local[lane] = Some(pos);
+                            lanes &= lanes - 1;
+                        }
+                        detected |= newly;
+                        if detected == all {
+                            break;
+                        }
+                    }
+                    results.push((batch_start, local));
+                }
+                results
+            }));
+        }
+        for handle in handles {
+            for (batch_start, local) in handle.join().expect("worker thread panicked") {
+                for (lane, verdict) in local.into_iter().enumerate() {
+                    detecting_test[batch_start + lane] = verdict;
+                }
+            }
+        }
+    });
+
+    let mut new_detections = vec![0usize; order.len()];
+    for d in detecting_test.iter().flatten() {
+        new_detections[*d] += 1;
+    }
+    CampaignReport {
+        detecting_test,
+        order: order.to_vec(),
+        new_detections,
+    }
+}
+
+/// Per-test row of an effectiveness table (Table 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffectivenessRow {
+    /// Index into the caller's test list.
+    pub test: usize,
+    /// Test length.
+    pub length: usize,
+    /// Cumulative faults detected after simulating this test.
+    pub cumulative_detected: usize,
+    /// Whether the test newly detected any fault.
+    pub effective: bool,
+}
+
+/// Produces the rows of a Table-3-style effectiveness table from a
+/// decreasing-length campaign.
+#[must_use]
+pub fn effectiveness_table(
+    tests: &[ScanTest],
+    report: &CampaignReport,
+) -> Vec<EffectivenessRow> {
+    let mut cumulative = 0usize;
+    report
+        .order
+        .iter()
+        .zip(&report.new_detections)
+        .map(|(&t, &n)| {
+            cumulative += n;
+            EffectivenessRow {
+                test: t,
+                length: tests[t].len(),
+                cumulative_detected: cumulative,
+                effective: n > 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults;
+    use scanft_synth::{synthesize, SynthConfig};
+
+    fn lion_setup() -> (scanft_synth::SynthesizedCircuit, Vec<ScanTest>) {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let tests = lion
+            .transitions()
+            .map(|t| ScanTest::new(c.encode_state(t.from), vec![t.input]))
+            .collect();
+        (c, tests)
+    }
+
+    #[test]
+    fn exhaustive_transition_tests_detect_everything_detectable() {
+        // Length-1 tests for every transition exercise every (state, input)
+        // pair, so they must detect exactly the detectable faults — the
+        // faults they miss are combinationally redundant (the situation the
+        // paper describes for its sub-100% rows of Table 6).
+        let (c, tests) = lion_setup();
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let list = faults::as_fault_list(&stuck);
+        let report = run(c.netlist(), &tests, &list);
+        let (detectable, undetectable, over) =
+            crate::exhaustive::classify(c.netlist(), &list, 1 << 20);
+        assert!(over.is_empty());
+        assert_eq!(report.detected(), detectable.len());
+        for f in report.undetected_faults() {
+            assert!(undetectable.contains(&f), "fault {f} detectable but missed");
+        }
+    }
+
+    #[test]
+    fn order_does_not_change_coverage() {
+        let (c, tests) = lion_setup();
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let list = faults::as_fault_list(&stuck);
+        let forward = run(c.netlist(), &tests, &list);
+        let reversed_order: Vec<usize> = (0..tests.len()).rev().collect();
+        let backward = run_ordered(c.netlist(), &tests, &reversed_order, &list);
+        assert_eq!(forward.detected(), backward.detected());
+    }
+
+    #[test]
+    fn decreasing_length_order_is_stable() {
+        let tests = vec![
+            ScanTest::new(0, vec![0]),
+            ScanTest::new(0, vec![0, 1, 2]),
+            ScanTest::new(0, vec![1]),
+            ScanTest::new(0, vec![1, 2]),
+        ];
+        let (c, _) = lion_setup();
+        let report = run_decreasing_length(c.netlist(), &tests, &[]);
+        assert_eq!(report.order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn effectiveness_rows_accumulate() {
+        let (c, tests) = lion_setup();
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let report = run_decreasing_length(c.netlist(), &tests, &faults::as_fault_list(&stuck));
+        let rows = effectiveness_table(&tests, &report);
+        assert_eq!(rows.len(), tests.len());
+        let last = rows.last().unwrap();
+        assert_eq!(last.cumulative_detected, report.detected());
+        // Cumulative counts never decrease.
+        for pair in rows.windows(2) {
+            assert!(pair[1].cumulative_detected >= pair[0].cumulative_detected);
+        }
+        // Every effective row adds detections.
+        for pair in rows.windows(2) {
+            assert_eq!(
+                pair[1].effective,
+                pair[1].cumulative_detected > pair[0].cumulative_detected
+            );
+        }
+    }
+
+    #[test]
+    fn effective_tests_cover_like_full_set() {
+        // Re-simulating only the effective tests yields the same coverage —
+        // the invariant behind the paper's test-set pruning.
+        let (c, tests) = lion_setup();
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let list = faults::as_fault_list(&stuck);
+        let report = run_decreasing_length(c.netlist(), &tests, &list);
+        let effective = report.effective_tests();
+        assert!(!effective.is_empty());
+        assert!(effective.len() < tests.len());
+        let pruned: Vec<ScanTest> = effective.iter().map(|&t| tests[t].clone()).collect();
+        let pruned_report = run(c.netlist(), &pruned, &list);
+        assert_eq!(pruned_report.detected(), report.detected());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (c, tests) = lion_setup();
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let list = faults::as_fault_list(&stuck);
+        let order: Vec<usize> = (0..tests.len()).collect();
+        let sequential = run_ordered(c.netlist(), &tests, &order, &list);
+        for threads in [1, 2, 4] {
+            let parallel = run_parallel(c.netlist(), &tests, &order, &list, true, threads);
+            assert_eq!(parallel.detecting_test, sequential.detecting_test, "{threads}");
+            assert_eq!(parallel.new_detections, sequential.new_detections);
+        }
+        // Non-observing variant agrees too.
+        let seq_po = run_ordered_observing(c.netlist(), &tests, &order, &list, false);
+        let par_po = run_parallel(c.netlist(), &tests, &order, &list, false, 3);
+        assert_eq!(par_po.detecting_test, seq_po.detecting_test);
+    }
+
+    #[test]
+    fn more_than_64_faults_batch_correctly() {
+        let (c, tests) = lion_setup();
+        let stuck = faults::enumerate_stuck(c.netlist());
+        assert!(stuck.len() > 64, "need multiple batches, got {}", stuck.len());
+        let list = faults::as_fault_list(&stuck);
+        let report = run(c.netlist(), &tests, &list);
+        // Cross-check a sample of faults against single-fault simulation.
+        for (f, fault) in list.iter().enumerate().step_by(7) {
+            let single = run(c.netlist(), &tests, std::slice::from_ref(fault));
+            assert_eq!(
+                single.detecting_test[0].is_some(),
+                report.detecting_test[f].is_some(),
+                "fault {f}"
+            );
+        }
+    }
+}

@@ -1,0 +1,830 @@
+//! 64-way fault-parallel scan-test simulation.
+//!
+//! The engine simulates up to 64 faults simultaneously: every net carries a
+//! 64-bit word whose lane `l` is the value under fault `l` of the current
+//! batch. Faulty next-state words feed the next cycle's present-state lines,
+//! so faulty-state propagation across the cycles of a test — the effect that
+//! makes multi-transition functional tests interesting — is captured
+//! per lane. A fault is detected when its lane differs from the fault-free
+//! response at a primary output in any cycle, or in the scanned-out final
+//! state (exactly the paper's observation model).
+//!
+//! # Injection
+//!
+//! - stuck-at **stem** faults force a net's word in their lane after the net
+//!   is driven (and at PI/PPI load);
+//! - stuck-at **branch** faults force the value read by one specific gate
+//!   input pin;
+//! - **bridging** faults replace the value read from either bridged net by
+//!   the wired-AND/OR of the two driven values. Because qualifying pairs
+//!   are non-feedback (no structural path either way), neither driven value
+//!   depends on the bridge, so evaluating the netlist **twice** per cycle
+//!   yields exact values: the first pass settles both driven values, the
+//!   second re-derives every consumer from the bridged readings.
+
+use scanft_netlist::{NetId, Netlist};
+
+use crate::faults::{BridgeKind, Fault, FaultSite};
+use crate::logic::eval_gate;
+use crate::{ScanResponse, ScanTest};
+
+// Delay-fault modelling note: a gross transition-delay fault on net `n`
+// makes the value *read* from `n` in cycle `k` lag by one cycle whenever a
+// transition in the slow direction was launched at `k`:
+//
+//   late_k = slow_mask & (driven_k XOR-direction driven_{k-1})
+//   observed_k = driven_k, with late lanes reading the previous value
+//
+// The driven value of `n` itself is unaffected (its cone cannot contain
+// `n`), so a second evaluation pass — the same trick used for bridging
+// faults — propagates the late readings exactly. No transition can be
+// launched at the first cycle of a test (scan shifting is slow), so
+// length-1 tests never detect delay faults, which is precisely the paper's
+// at-speed argument for chaining transitions.
+
+/// Lane-masked forcing of a value word.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Force {
+    to_zero: u64,
+    to_one: u64,
+}
+
+impl Force {
+    fn apply(self, word: u64) -> u64 {
+        (word | self.to_one) & !self.to_zero
+    }
+
+    fn is_noop(self) -> bool {
+        self.to_zero == 0 && self.to_one == 0
+    }
+}
+
+/// A bridge tap attached to one net: lanes in `mask` read the wired value
+/// of (this net, `partner`) instead of the driven value.
+#[derive(Debug, Clone, Copy)]
+struct BridgeTap {
+    partner: NetId,
+    mask: u64,
+    kind: BridgeKind,
+}
+
+/// A delay-fault attachment to one net: lanes in `rise_mask` are
+/// slow-to-rise, lanes in `fall_mask` slow-to-fall.
+#[derive(Debug, Clone, Copy)]
+struct DelaySite {
+    net: NetId,
+    rise_mask: u64,
+    fall_mask: u64,
+}
+
+/// Prepared lane-parallel injection for a batch of at most 64 faults.
+#[derive(Debug, Clone)]
+pub struct InjectionPlan {
+    num_faults: usize,
+    stem: Vec<Force>,
+    /// Branch forces keyed by (gate, pin); linear scan is fine — batches
+    /// rarely contain more than a handful.
+    branch: Vec<(u32, u32, Force)>,
+    /// Per-net bridge taps (empty vectors for untapped nets).
+    taps: Vec<Vec<BridgeTap>>,
+    /// Delay-faulted nets of the batch.
+    delays: Vec<DelaySite>,
+    has_bridges: bool,
+}
+
+impl InjectionPlan {
+    /// Builds the injection plan for `faults` (one lane each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 faults are supplied.
+    #[must_use]
+    pub fn new(netlist: &Netlist, faults: &[Fault]) -> Self {
+        assert!(faults.len() <= 64, "a batch holds at most 64 faults");
+        let mut plan = InjectionPlan {
+            num_faults: faults.len(),
+            stem: vec![Force::default(); netlist.num_nets()],
+            branch: Vec::new(),
+            taps: vec![Vec::new(); netlist.num_nets()],
+            delays: Vec::new(),
+            has_bridges: false,
+        };
+        for (lane, fault) in faults.iter().enumerate() {
+            let mask = 1u64 << lane;
+            match *fault {
+                Fault::Stuck(f) => {
+                    let force = |slot: &mut Force| {
+                        if f.stuck_at_one {
+                            slot.to_one |= mask;
+                        } else {
+                            slot.to_zero |= mask;
+                        }
+                    };
+                    match f.site {
+                        FaultSite::Net(net) => force(&mut plan.stem[net as usize]),
+                        FaultSite::Branch { gate, pin } => {
+                            if let Some(entry) = plan
+                                .branch
+                                .iter_mut()
+                                .find(|(g, p, _)| *g == gate && *p == pin)
+                            {
+                                force(&mut entry.2);
+                            } else {
+                                let mut f2 = Force::default();
+                                force(&mut f2);
+                                plan.branch.push((gate, pin, f2));
+                            }
+                        }
+                    }
+                }
+                Fault::Bridge(f) => {
+                    plan.has_bridges = true;
+                    let mut attach = |net: NetId, partner: NetId| {
+                        let taps = &mut plan.taps[net as usize];
+                        match taps
+                            .iter_mut()
+                            .find(|t| t.partner == partner && t.kind == f.kind)
+                        {
+                            Some(tap) => tap.mask |= mask,
+                            None => taps.push(BridgeTap {
+                                partner,
+                                mask,
+                                kind: f.kind,
+                            }),
+                        }
+                    };
+                    attach(f.a, f.b);
+                    attach(f.b, f.a);
+                }
+                Fault::Delay(f) => {
+                    let site = match plan.delays.iter_mut().find(|d| d.net == f.net) {
+                        Some(site) => site,
+                        None => {
+                            plan.delays.push(DelaySite {
+                                net: f.net,
+                                rise_mask: 0,
+                                fall_mask: 0,
+                            });
+                            plan.delays.last_mut().expect("just pushed")
+                        }
+                    };
+                    if f.slow_to_rise {
+                        site.rise_mask |= mask;
+                    } else {
+                        site.fall_mask |= mask;
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Whether the batch contains delay faults (needs launch cycles).
+    #[must_use]
+    pub fn has_delays(&self) -> bool {
+        !self.delays.is_empty()
+    }
+
+    /// Number of lanes in use.
+    #[must_use]
+    pub fn num_faults(&self) -> usize {
+        self.num_faults
+    }
+
+    /// Lane mask covering the batch (`num_faults` low bits).
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        if self.num_faults == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.num_faults) - 1
+        }
+    }
+
+    fn read(&self, net: NetId, values: &[u64], late: &[Force]) -> u64 {
+        let mut word = values[net as usize];
+        for tap in &self.taps[net as usize] {
+            let wired = match tap.kind {
+                BridgeKind::And => values[net as usize] & values[tap.partner as usize],
+                BridgeKind::Or => values[net as usize] | values[tap.partner as usize],
+            };
+            word = (word & !tap.mask) | (wired & tap.mask);
+        }
+        if let Some(force) = late.get(net as usize) {
+            word = force.apply(word);
+        }
+        word
+    }
+}
+
+/// Reusable fault-parallel simulation state for one netlist.
+#[derive(Debug)]
+pub struct FaultEngine<'a> {
+    netlist: &'a Netlist,
+    values: Vec<u64>,
+    inputs_scratch: Vec<u64>,
+    /// Per-net late-reading overlay for delay faults, rebuilt every cycle.
+    late: Vec<Force>,
+    /// Nets whose `late` slot may be non-default from a previous run —
+    /// cleared on the next run so engines can be reused across batches
+    /// with different plans.
+    late_dirty: Vec<NetId>,
+    /// Previous-cycle driven values of the delay-faulted nets, parallel to
+    /// the plan's delay list.
+    delay_prev: Vec<u64>,
+}
+
+impl<'a> FaultEngine<'a> {
+    /// Creates an engine for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        FaultEngine {
+            netlist,
+            values: vec![0; netlist.num_nets()],
+            inputs_scratch: Vec::new(),
+            late: Vec::new(),
+            late_dirty: Vec::new(),
+            delay_prev: Vec::new(),
+        }
+    }
+
+    /// Clears any late-reading overlay left by a previous plan and
+    /// registers this plan's delay sites as the new dirty set.
+    fn reset_late_overlay(&mut self, plan: &InjectionPlan) {
+        for net in self.late_dirty.drain(..) {
+            if let Some(slot) = self.late.get_mut(net as usize) {
+                *slot = Force::default();
+            }
+        }
+        if plan.has_delays() {
+            if self.late.len() != self.netlist.num_nets() {
+                self.late = vec![Force::default(); self.netlist.num_nets()];
+            }
+            self.late_dirty
+                .extend(plan.delays.iter().map(|site| site.net));
+        }
+    }
+
+    /// Simulates `test` under the batch `plan`, given the precomputed
+    /// fault-free response, and returns the mask of lanes whose fault was
+    /// detected (PO mismatch at any cycle or final-state mismatch).
+    ///
+    /// `skip_lanes` marks lanes that need no simulation (already detected by
+    /// an earlier test); they are excluded from the result. The test is cut
+    /// short once every live lane has been detected.
+    #[must_use]
+    pub fn run_test(
+        &mut self,
+        test: &ScanTest,
+        fault_free: &ScanResponse,
+        plan: &InjectionPlan,
+        skip_lanes: u64,
+    ) -> u64 {
+        self.run_test_observing(test, fault_free, plan, skip_lanes, true)
+    }
+
+    /// Like [`FaultEngine::run_test`], but with the final scan-out
+    /// comparison made optional: pass `observe_scan_out = false` to model a
+    /// **non-scan** application where only the primary outputs are observed
+    /// (the setting of the paper's references \[2\]\[3\], used by the
+    /// scan-vs-non-scan ablation).
+    #[must_use]
+    pub fn run_test_observing(
+        &mut self,
+        test: &ScanTest,
+        fault_free: &ScanResponse,
+        plan: &InjectionPlan,
+        skip_lanes: u64,
+        observe_scan_out: bool,
+    ) -> u64 {
+        debug_assert_eq!(fault_free.outputs.len(), test.inputs.len());
+        let live = plan.lane_mask() & !skip_lanes;
+        if live == 0 {
+            return 0;
+        }
+        let netlist = self.netlist;
+        let num_pis = netlist.num_pis();
+        let num_ppis = netlist.num_ppis();
+        let mut detected = 0u64;
+
+        // Delay-fault state: late overlay (per net) and previous driven
+        // values per delayed net.
+        self.reset_late_overlay(plan);
+        self.delay_prev.clear();
+        self.delay_prev.resize(plan.delays.len(), 0);
+
+        // Scan-in: broadcast the initial code, then stem forces on PPIs.
+        let mut state_words: Vec<u64> = (0..num_ppis)
+            .map(|k| {
+                if test.init_code >> k & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        for (cycle, &input) in test.inputs.iter().enumerate() {
+            // Load PIs (broadcast + stem forces).
+            for k in 0..num_pis {
+                let net = netlist.pi(k);
+                let word = if input >> k & 1 == 1 { u64::MAX } else { 0 };
+                self.values[net as usize] = plan.stem[net as usize].apply(word);
+            }
+            // Load PPIs (per-lane faulty state + stem forces).
+            for (k, &word) in state_words.iter().enumerate() {
+                let net = netlist.ppi(k);
+                self.values[net as usize] = plan.stem[net as usize].apply(word);
+            }
+
+            // Pass 1 settles the driven values (late overlay cleared).
+            if plan.has_delays() {
+                for site in &plan.delays {
+                    self.late[site.net as usize] = Force::default();
+                }
+            }
+            self.eval_pass(plan);
+            // Compute late readings from this cycle's launches, then
+            // re-derive all consumers in a second exact pass (the first
+            // test cycle launches nothing: scan shifting is slow).
+            let mut needs_second_pass = plan.has_bridges;
+            if plan.has_delays() {
+                for (site, prev) in plan.delays.iter().zip(self.delay_prev.iter_mut()) {
+                    let driven = self.values[site.net as usize];
+                    if cycle > 0 {
+                        let late_rise = site.rise_mask & driven & !*prev;
+                        let late_fall = site.fall_mask & !driven & *prev;
+                        self.late[site.net as usize] = Force {
+                            to_zero: late_rise,
+                            to_one: late_fall,
+                        };
+                        needs_second_pass |= late_rise != 0 || late_fall != 0;
+                    }
+                    *prev = driven;
+                }
+            }
+            if needs_second_pass {
+                self.eval_pass(plan);
+            }
+
+            // Observe POs against the fault-free response.
+            let late = &self.late;
+            let ff_out = fault_free.outputs[cycle];
+            for (z, &net) in netlist.pos().iter().enumerate() {
+                let observed = plan.read(net, &self.values, late);
+                let reference = if ff_out >> z & 1 == 1 { u64::MAX } else { 0 };
+                detected |= (observed ^ reference) & live;
+            }
+
+            // Capture next state per lane (bridged/late readings included).
+            for (k, slot) in state_words.iter_mut().enumerate() {
+                *slot = plan.read(netlist.ppos()[k], &self.values, late);
+            }
+
+            if detected == live {
+                return detected;
+            }
+        }
+
+        // Scan-out: compare the captured final state.
+        if observe_scan_out {
+            for (k, &word) in state_words.iter().enumerate() {
+                let reference = if fault_free.final_code >> k & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                };
+                detected |= (word ^ reference) & live;
+            }
+        }
+        detected
+    }
+
+    /// Evaluates one combinational cycle with **pattern-parallel lanes**:
+    /// each bit lane carries a different (input, state) point while the
+    /// plan's faults are injected in every lane (build the plan from 64
+    /// copies of one fault). Returns the per-PO and per-PPO value words.
+    ///
+    /// This is the kernel of the exhaustive detectability analysis: no
+    /// launch cycle exists, so delay faults never show up here (their
+    /// detectability is inherently sequential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word slices do not match the netlist's PI/PPI counts.
+    #[must_use]
+    pub fn eval_single_cycle_patterns(
+        &mut self,
+        pi_words: &[u64],
+        ppi_words: &[u64],
+        plan: &InjectionPlan,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let netlist = self.netlist;
+        assert_eq!(pi_words.len(), netlist.num_pis());
+        assert_eq!(ppi_words.len(), netlist.num_ppis());
+        self.reset_late_overlay(plan);
+        for (k, &word) in pi_words.iter().enumerate() {
+            let net = netlist.pi(k);
+            self.values[net as usize] = plan.stem[net as usize].apply(word);
+        }
+        for (k, &word) in ppi_words.iter().enumerate() {
+            let net = netlist.ppi(k);
+            self.values[net as usize] = plan.stem[net as usize].apply(word);
+        }
+        self.eval_pass(plan);
+        if plan.has_bridges {
+            self.eval_pass(plan);
+        }
+        let late = &self.late;
+        let pos = netlist
+            .pos()
+            .iter()
+            .map(|&net| plan.read(net, &self.values, late))
+            .collect();
+        let ppos = netlist
+            .ppos()
+            .iter()
+            .map(|&net| plan.read(net, &self.values, late))
+            .collect();
+        (pos, ppos)
+    }
+
+    fn eval_pass(&mut self, plan: &InjectionPlan) {
+        let netlist = self.netlist;
+        let offset = netlist.num_pis() + netlist.num_ppis();
+        let branchy = !plan.branch.is_empty();
+        let tapped = plan.has_bridges || plan.has_delays();
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            let out = offset + g;
+            let stem = plan.stem[out];
+            let word = if tapped || branchy {
+                // Slow path: gather inputs through bridge taps, late
+                // readings, and branch forces.
+                self.inputs_scratch.clear();
+                for (pin, &input) in gate.inputs.iter().enumerate() {
+                    let mut v = plan.read(input, &self.values, &self.late);
+                    if branchy {
+                        for &(bg, bp, force) in &plan.branch {
+                            if bg as usize == g && bp as usize == pin {
+                                v = force.apply(v);
+                            }
+                        }
+                    }
+                    self.inputs_scratch.push(v);
+                }
+                gate.kind.eval_words(&self.inputs_scratch)
+            } else {
+                eval_gate(gate, &self.values)
+            };
+            self.values[out] = if stem.is_noop() { word } else { stem.apply(word) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{BridgingFault, StuckFault};
+    use crate::logic;
+    use scanft_netlist::{GateKind, NetlistBuilder};
+    use scanft_synth::{synthesize, SynthConfig};
+
+    fn lion_netlist() -> scanft_synth::SynthesizedCircuit {
+        synthesize(&scanft_fsm::benchmarks::lion(), &SynthConfig::default())
+    }
+
+    #[test]
+    fn empty_plan_detects_nothing() {
+        let c = lion_netlist();
+        let test = ScanTest::new(0, vec![0b01, 0b11]);
+        let ff = logic::simulate(c.netlist(), &test);
+        let plan = InjectionPlan::new(c.netlist(), &[]);
+        let mut engine = FaultEngine::new(c.netlist());
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 0);
+    }
+
+    #[test]
+    fn stem_stuck_fault_on_po_net_is_detected() {
+        let c = lion_netlist();
+        let n = c.netlist();
+        // Stuck-at-0 on the PO net: any test whose fault-free output has a 1
+        // detects it.
+        let po_net = n.pos()[0];
+        let fault = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(po_net),
+            stuck_at_one: false,
+        });
+        let test = ScanTest::new(0, vec![0b01]); // output 1 fault-free
+        let ff = logic::simulate(n, &test);
+        assert_eq!(ff.outputs, vec![1]);
+        let plan = InjectionPlan::new(n, &[fault]);
+        let mut engine = FaultEngine::new(n);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 1);
+    }
+
+    #[test]
+    fn fault_free_lanes_stay_silent() {
+        // A batch of one fault leaves lanes 1..64 unused; they must not
+        // produce detections.
+        let c = lion_netlist();
+        let n = c.netlist();
+        let fault = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(n.pos()[0]),
+            stuck_at_one: true,
+        });
+        let test = ScanTest::new(0, vec![0b00]); // output 0 fault-free
+        let ff = logic::simulate(n, &test);
+        let plan = InjectionPlan::new(n, &[fault]);
+        let mut engine = FaultEngine::new(n);
+        let det = engine.run_test(&test, &ff, &plan, 0);
+        assert_eq!(det, 1);
+    }
+
+    #[test]
+    fn skip_lanes_are_excluded() {
+        let c = lion_netlist();
+        let n = c.netlist();
+        let fault = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(n.pos()[0]),
+            stuck_at_one: false,
+        });
+        let test = ScanTest::new(0, vec![0b01]);
+        let ff = logic::simulate(n, &test);
+        let plan = InjectionPlan::new(n, &[fault]);
+        let mut engine = FaultEngine::new(n);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 1), 0);
+    }
+
+    #[test]
+    fn final_state_mismatch_detects() {
+        // A fault on a next-state line only (not observable at the PO in
+        // one cycle) is caught by the scan-out comparison.
+        let c = lion_netlist();
+        let n = c.netlist();
+        let ns0 = n.ppos()[0];
+        let fault = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(ns0),
+            stuck_at_one: true,
+        });
+        // From state 0 input 00: ns = 0 (bit0 = 0 fault-free), output 0.
+        let test = ScanTest::new(0, vec![0b00]);
+        let ff = logic::simulate(n, &test);
+        assert_eq!(ff.final_code, 0);
+        let plan = InjectionPlan::new(n, &[fault]);
+        let mut engine = FaultEngine::new(n);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 1);
+    }
+
+    #[test]
+    fn faulty_state_propagates_across_cycles() {
+        // Build a tiny machine by hand where a fault flips the state in
+        // cycle 1 and the difference surfaces at the PO only in cycle 2.
+        // ns = x XOR ps, z = ps.
+        let mut b = NetlistBuilder::new(1, 1);
+        let x = b.pi(0);
+        let ps = b.ppi(0);
+        let ns = b.add_gate(GateKind::Xor, &[x, ps]).unwrap();
+        let z = b.add_gate(GateKind::Buf, &[ps]).unwrap();
+        let n = b.finish(vec![z], vec![ns]).unwrap();
+        // Fault: ns stuck-at-1.
+        let fault = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(ns),
+            stuck_at_one: true,
+        });
+        // Test: start 0, apply (0, 0): fault-free states 0,0 outputs 0,0.
+        // Faulty: cycle1 captures 1, cycle2 output = 1 -> detected at PO.
+        let test = ScanTest::new(0, vec![0, 0]);
+        let ff = logic::simulate(&n, &test);
+        assert_eq!(ff.outputs, vec![0, 0]);
+        let plan = InjectionPlan::new(&n, &[fault]);
+        let mut engine = FaultEngine::new(&n);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 1);
+        // With a length-1 test the same fault is caught at scan-out instead.
+        let short = ScanTest::new(0, vec![0]);
+        let ff_short = logic::simulate(&n, &short);
+        assert_eq!(engine.run_test(&short, &ff_short, &plan, 0), 1);
+    }
+
+    #[test]
+    fn branch_fault_differs_from_stem() {
+        // x1 fans out to two ANDs; a branch fault on one pin must leave the
+        // other path healthy.
+        let mut b = NetlistBuilder::new(2, 0);
+        let a1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let a2 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let n = b.finish(vec![a1, a2], vec![]).unwrap();
+        // Branch: gate 1 (a2), pin 0 (reads x1) stuck-at-0.
+        let branch = Fault::Stuck(StuckFault {
+            site: FaultSite::Branch { gate: 1, pin: 0 },
+            stuck_at_one: false,
+        });
+        let stem = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(0),
+            stuck_at_one: false,
+        });
+        let test = ScanTest::new(0, vec![0b11]);
+        let ff = logic::simulate(&n, &test);
+        assert_eq!(ff.outputs, vec![0b11]); // both POs 1
+        let plan = InjectionPlan::new(&n, &[branch, stem]);
+        let mut engine = FaultEngine::new(&n);
+        let det = engine.run_test(&test, &ff, &plan, 0);
+        assert_eq!(det, 0b11); // both detected...
+        // ...but the branch fault must NOT disturb PO a1. Verify by
+        // injecting only the branch fault and checking which PO flips.
+        let plan1 = InjectionPlan::new(&n, &[branch]);
+        // Simulate manually: load 11, eval.
+        let mut eng = FaultEngine::new(&n);
+        let det1 = eng.run_test(&test, &ff, &plan1, 0);
+        assert_eq!(det1, 1);
+        // PO values after the run: a1 unaffected (lane 0 must still be 1).
+        assert_eq!(plan1.read(n.pos()[0], &eng.values, &[]) & 1, 1);
+        assert_eq!(plan1.read(n.pos()[1], &eng.values, &[]) & 1, 0);
+    }
+
+    #[test]
+    fn bridge_fault_wired_and() {
+        // Independent cones: a = AND(x1,x2) -> PO1 via NOT; b = OR(x3,x4)
+        // -> PO2 via NOT. Bridge a~b wired-AND.
+        let mut bld = NetlistBuilder::new(4, 0);
+        let a = bld.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let na = bld.add_gate(GateKind::Not, &[a]).unwrap();
+        let o = bld.add_gate(GateKind::Or, &[2, 3]).unwrap();
+        let no = bld.add_gate(GateKind::Not, &[o]).unwrap();
+        let n = bld.finish(vec![na, no], vec![]).unwrap();
+        let bridge = Fault::Bridge(BridgingFault {
+            a,
+            b: o,
+            kind: BridgeKind::And,
+        });
+        // Pattern x = 1 1 0 0: a=1, o=0; wired-AND makes a read as 0:
+        // PO1 flips 0 -> 1. Detected.
+        let test = ScanTest::new(0, vec![0b0011]);
+        let ff = logic::simulate(&n, &test);
+        assert_eq!(ff.outputs, vec![0b10]); // na=0, no=1
+        let plan = InjectionPlan::new(&n, &[bridge]);
+        let mut engine = FaultEngine::new(&n);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 1);
+        // Pattern 1 1 1 1: a=1, o=1, wired value 1 = both driven: no effect.
+        let quiet = ScanTest::new(0, vec![0b1111]);
+        let ff_quiet = logic::simulate(&n, &quiet);
+        assert_eq!(engine.run_test(&quiet, &ff_quiet, &plan, 0), 0);
+    }
+
+    #[test]
+    fn bridge_fault_wired_or_and_order_independence() {
+        // The bridged pair is deliberately ordered so one consumer comes
+        // between the two drivers in topological order: the two-pass
+        // evaluation must still be exact.
+        let mut bld = NetlistBuilder::new(4, 0);
+        let a = bld.add_gate(GateKind::And, &[0, 1]).unwrap(); // g1
+        let na = bld.add_gate(GateKind::Not, &[a]).unwrap(); // consumer of a, before b
+        let o = bld.add_gate(GateKind::Or, &[2, 3]).unwrap(); // g3 = b
+        let no = bld.add_gate(GateKind::Not, &[o]).unwrap();
+        let n = bld.finish(vec![na, no], vec![]).unwrap();
+        let bridge = Fault::Bridge(BridgingFault {
+            a,
+            b: o,
+            kind: BridgeKind::Or,
+        });
+        // x = 0 0 1 0: a=0, o=1; wired-OR -> a reads as 1: PO1 flips 1 -> 0.
+        let test = ScanTest::new(0, vec![0b0100]);
+        let ff = logic::simulate(&n, &test);
+        assert_eq!(ff.outputs, vec![0b01]);
+        let plan = InjectionPlan::new(&n, &[bridge]);
+        let mut engine = FaultEngine::new(&n);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 1);
+    }
+
+    #[test]
+    fn sixty_four_faults_in_one_batch() {
+        let c = lion_netlist();
+        let n = c.netlist();
+        let stuck = crate::faults::enumerate_stuck(n);
+        let batch: Vec<Fault> = stuck.iter().take(64).copied().map(Fault::Stuck).collect();
+        let plan = InjectionPlan::new(n, &batch);
+        assert_eq!(plan.lane_mask(), u64::MAX);
+        // The exhaustive per-transition test set must detect a good chunk.
+        let lion = scanft_fsm::benchmarks::lion();
+        let mut engine = FaultEngine::new(n);
+        let mut detected = 0u64;
+        for t in lion.transitions() {
+            let test = ScanTest::new(u64::from(t.from), vec![t.input]);
+            let ff = logic::simulate(n, &test);
+            detected |= engine.run_test(&test, &ff, &plan, detected);
+        }
+        assert!(detected.count_ones() > 32, "{detected:b}");
+    }
+
+    #[test]
+    fn delay_fault_needs_a_launch_cycle() {
+        use crate::faults::DelayFault;
+        // z = BUF(x1): a slow-to-rise x1 is visible only when a 0->1 launch
+        // happens between consecutive at-speed cycles.
+        let mut b = NetlistBuilder::new(1, 0);
+        let z = b.add_gate(GateKind::Buf, &[0]).unwrap();
+        let n = b.finish(vec![z], vec![]).unwrap();
+        let fault = Fault::Delay(DelayFault {
+            net: 0,
+            slow_to_rise: true,
+        });
+        let plan = InjectionPlan::new(&n, &[fault]);
+        assert!(plan.has_delays());
+        let mut engine = FaultEngine::new(&n);
+
+        // Length-1 tests can never detect it (no launch).
+        for input in [0u32, 1] {
+            let t = ScanTest::new(0, vec![input]);
+            let ff = logic::simulate(&n, &t);
+            assert_eq!(engine.run_test(&t, &ff, &plan, 0), 0, "input {input}");
+        }
+        // 0 -> 1 launches the slow rise: detected at the PO of cycle 2.
+        let t = ScanTest::new(0, vec![0, 1]);
+        let ff = logic::simulate(&n, &t);
+        assert_eq!(ff.outputs, vec![0, 1]);
+        assert_eq!(engine.run_test(&t, &ff, &plan, 0), 1);
+        // 1 -> 1 launches nothing.
+        let t = ScanTest::new(0, vec![1, 1]);
+        let ff = logic::simulate(&n, &t);
+        assert_eq!(engine.run_test(&t, &ff, &plan, 0), 0);
+        // 1 -> 0 is the fast direction for slow-to-rise.
+        let t = ScanTest::new(0, vec![1, 0]);
+        let ff = logic::simulate(&n, &t);
+        assert_eq!(engine.run_test(&t, &ff, &plan, 0), 0);
+        // ...but it is the slow direction for a slow-to-fall fault.
+        let fall = Fault::Delay(DelayFault {
+            net: 0,
+            slow_to_rise: false,
+        });
+        let plan_fall = InjectionPlan::new(&n, &[fall]);
+        assert_eq!(engine.run_test(&t, &ff, &plan_fall, 0), 1);
+    }
+
+    #[test]
+    fn delay_fault_on_state_feedback_path() {
+        use crate::faults::DelayFault;
+        // ns = XOR(x, ps), z = BUF(ps): a slow next-state line corrupts the
+        // captured state, visible one cycle later at the PO.
+        let mut b = NetlistBuilder::new(1, 1);
+        let x = b.pi(0);
+        let ps = b.ppi(0);
+        let ns = b.add_gate(GateKind::Xor, &[x, ps]).unwrap();
+        let z = b.add_gate(GateKind::Buf, &[ps]).unwrap();
+        let n = b.finish(vec![z], vec![ns]).unwrap();
+        let fault = Fault::Delay(DelayFault {
+            net: ns,
+            slow_to_rise: true,
+        });
+        let plan = InjectionPlan::new(&n, &[fault]);
+        let mut engine = FaultEngine::new(&n);
+        // Start 0; inputs (0, 1, 0): ns sequence 0,1,1; the 0->1 rise of ns
+        // is launched at cycle 2, so the captured state stays 0 and the
+        // cycle-3 PO (and the scan-out) expose it.
+        let t = ScanTest::new(0, vec![0, 1, 0]);
+        let ff = logic::simulate(&n, &t);
+        assert_eq!(ff.final_code, 1);
+        assert_eq!(engine.run_test(&t, &ff, &plan, 0), 1);
+        // The same fault with only one cycle: no launch, no detection.
+        let t1 = ScanTest::new(0, vec![1]);
+        let ff1 = logic::simulate(&n, &t1);
+        assert_eq!(engine.run_test(&t1, &ff1, &plan, 0), 0);
+    }
+
+    #[test]
+    fn delay_and_stuck_in_one_batch() {
+        use crate::faults::DelayFault;
+        let c = lion_netlist();
+        let n = c.netlist();
+        let stuck = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(n.pos()[0]),
+            stuck_at_one: false,
+        });
+        let delay = Fault::Delay(DelayFault {
+            net: n.pos()[0],
+            slow_to_rise: true,
+        });
+        let plan = InjectionPlan::new(n, &[stuck, delay]);
+        let mut engine = FaultEngine::new(n);
+        // From state 0: 00 (z=0) then 01 (z=1): the stuck-at-0 is caught at
+        // cycle 2, and the z-net 0->1 rise is launched at cycle 2 too.
+        let t = ScanTest::new(0, vec![0b00, 0b01]);
+        let ff = logic::simulate(n, &t);
+        assert_eq!(ff.outputs, vec![0, 1]);
+        let det = engine.run_test(&t, &ff, &plan, 0);
+        assert_eq!(det, 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn plan_rejects_oversized_batches() {
+        let c = lion_netlist();
+        let n = c.netlist();
+        let faults = vec![
+            Fault::Stuck(StuckFault {
+                site: FaultSite::Net(0),
+                stuck_at_one: false,
+            });
+            65
+        ];
+        let _ = InjectionPlan::new(n, &faults);
+    }
+}

@@ -1,0 +1,233 @@
+//! Exhaustive combinational detectability analysis.
+//!
+//! Under full scan, every `(state code, input combination)` pair can be
+//! applied as a length-1 test, so a fault is *detectable* iff some such pair
+//! produces a different primary-output combination or next-state code. The
+//! paper uses exactly this argument to classify the faults its functional
+//! tests leave undetected: all of them are undetectable (combinationally
+//! redundant), hence the functional tests achieve complete coverage of
+//! detectable faults (Table 6).
+//!
+//! The check enumerates all `2^(pi+sv)` input points, 64 pattern-parallel
+//! lanes at a time, with the single fault injected in every lane.
+
+use scanft_netlist::Netlist;
+
+use crate::engine::{FaultEngine, InjectionPlan};
+use crate::faults::Fault;
+use crate::ScanTest;
+
+/// Verdict of the exhaustive detectability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detectability {
+    /// Some single-cycle scan test detects the fault.
+    Detectable,
+    /// No single-cycle scan test detects the fault: it is combinationally
+    /// redundant and undetectable under full scan.
+    Undetectable,
+    /// The exhaustive enumeration was larger than the supplied budget.
+    BudgetExceeded,
+}
+
+/// Exhaustively decides whether `fault` is detectable by any length-1 scan
+/// test, giving up once more than `budget_points` input points would have to
+/// be simulated.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_sim::exhaustive::{is_detectable, Detectability};
+/// use scanft_sim::faults::{Fault, FaultSite, StuckFault};
+/// use scanft_synth::{synthesize, SynthConfig};
+///
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let c = synthesize(&lion, &SynthConfig::default());
+/// let po_stuck = Fault::Stuck(StuckFault {
+///     site: FaultSite::Net(c.netlist().pos()[0]),
+///     stuck_at_one: false,
+/// });
+/// assert_eq!(is_detectable(c.netlist(), &po_stuck, 1 << 20), Detectability::Detectable);
+/// ```
+#[must_use]
+pub fn is_detectable(netlist: &Netlist, fault: &Fault, budget_points: u64) -> Detectability {
+    find_detecting_test(netlist, fault, budget_points).0
+}
+
+/// Like [`is_detectable`], but also returns a *witness*: the first length-1
+/// scan test (in `(code, input)` enumeration order) that detects the fault.
+/// The witness is `Some` exactly when the verdict is
+/// [`Detectability::Detectable`].
+#[must_use]
+pub fn find_detecting_test(
+    netlist: &Netlist,
+    fault: &Fault,
+    budget_points: u64,
+) -> (Detectability, Option<ScanTest>) {
+    let bits = netlist.num_pis() + netlist.num_ppis();
+    assert!(bits < 63, "input space too large to enumerate");
+    let total: u64 = 1 << bits;
+    if total > budget_points {
+        return (Detectability::BudgetExceeded, None);
+    }
+
+    // Pattern-parallel sweep: 64 (input, state) points per evaluation, the
+    // fault injected in every lane.
+    let batch: Vec<Fault> = vec![*fault; 64];
+    let plan = InjectionPlan::new(netlist, &batch);
+    let mut engine = FaultEngine::new(netlist);
+    let mut reference = crate::logic::Evaluator::new(netlist);
+    let num_pis = netlist.num_pis();
+    let num_ppis = netlist.num_ppis();
+    let mut pi_words = vec![0u64; num_pis];
+    let mut ppi_words = vec![0u64; num_ppis];
+
+    let mut base = 0u64;
+    while base < total {
+        let count = 64.min(total - base) as usize;
+        for (k, word) in pi_words.iter_mut().enumerate() {
+            *word = spread_bit(base, k, count);
+        }
+        for (k, word) in ppi_words.iter_mut().enumerate() {
+            *word = spread_bit(base, num_pis + k, count);
+        }
+        reference.load_input_words(&pi_words);
+        reference.load_state_words(&ppi_words);
+        reference.eval();
+        let (po, ppo) = engine.eval_single_cycle_patterns(&pi_words, &ppi_words, &plan);
+
+        let live = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        let mut diff = 0u64;
+        for (z, &net) in netlist.pos().iter().enumerate() {
+            diff |= po[z] ^ reference.value(net);
+        }
+        for (v, &net) in netlist.ppos().iter().enumerate() {
+            diff |= ppo[v] ^ reference.value(net);
+        }
+        diff &= live;
+        if diff != 0 {
+            let lane = diff.trailing_zeros() as u64;
+            let point = base + lane;
+            let input = (point & ((1 << num_pis) - 1)) as u32;
+            let code = point >> num_pis;
+            return (Detectability::Detectable, Some(ScanTest::new(code, vec![input])));
+        }
+        base += 64;
+    }
+    (Detectability::Undetectable, None)
+}
+
+/// Lane-spread helper: bit `l` of the result is bit `bit` of `base + l`
+/// (for the first `count` lanes).
+fn spread_bit(base: u64, bit: usize, count: usize) -> u64 {
+    let mut word = 0u64;
+    for l in 0..count {
+        if (base + l as u64) >> bit & 1 == 1 {
+            word |= 1 << l;
+        }
+    }
+    word
+}
+
+/// Classifies a list of faults, returning `(detectable, undetectable,
+/// budget_exceeded)` index lists (indices into `faults`).
+#[must_use]
+pub fn classify(
+    netlist: &Netlist,
+    faults: &[Fault],
+    budget_points: u64,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut detectable = Vec::new();
+    let mut undetectable = Vec::new();
+    let mut over_budget = Vec::new();
+    for (k, fault) in faults.iter().enumerate() {
+        match is_detectable(netlist, fault, budget_points) {
+            Detectability::Detectable => detectable.push(k),
+            Detectability::Undetectable => undetectable.push(k),
+            Detectability::BudgetExceeded => over_budget.push(k),
+        }
+    }
+    (detectable, undetectable, over_budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{self, FaultSite, StuckFault};
+    use scanft_netlist::{GateKind, NetlistBuilder};
+    use scanft_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn redundant_fault_is_undetectable() {
+        // z = OR(x1, AND(x1, x2)): the AND gate is redundant (absorption),
+        // so AND-output s-a-0 is undetectable.
+        let mut b = NetlistBuilder::new(2, 0);
+        let a = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let z = b.add_gate(GateKind::Or, &[0, a]).unwrap();
+        let n = b.finish(vec![z], vec![]).unwrap();
+        let sa0 = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(a),
+            stuck_at_one: false,
+        });
+        assert_eq!(is_detectable(&n, &sa0, 1 << 10), Detectability::Undetectable);
+        // But s-a-1 on the same net is detectable (x1=0, x2=0 gives z=1).
+        let sa1 = Fault::Stuck(StuckFault {
+            site: FaultSite::Net(a),
+            stuck_at_one: true,
+        });
+        assert_eq!(is_detectable(&n, &sa1, 1 << 10), Detectability::Detectable);
+    }
+
+    #[test]
+    fn lion_classification_finds_no_redundancy() {
+        // The minimizer's cover selection makes the lion netlist
+        // irredundant: every stuck fault is detectable.
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let list = faults::as_fault_list(&stuck);
+        let (det, undet, over) = classify(c.netlist(), &list, 1 << 20);
+        assert!(over.is_empty());
+        assert_eq!(det.len(), list.len());
+        assert!(undet.is_empty());
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let fault = Fault::Stuck(stuck[0]);
+        assert_eq!(
+            is_detectable(c.netlist(), &fault, 1),
+            Detectability::BudgetExceeded
+        );
+    }
+
+    #[test]
+    fn detectability_agrees_with_campaign_on_exhaustive_tests() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let n = c.netlist();
+        // Full exhaustive length-1 test set over codes and inputs.
+        let tests: Vec<ScanTest> = (0..4u64)
+            .flat_map(|code| (0..4u32).map(move |i| ScanTest::new(code, vec![i])))
+            .collect();
+        let stuck = faults::enumerate_stuck(n);
+        let list = faults::as_fault_list(&stuck);
+        let report = crate::campaign::run(n, &tests, &list);
+        for (k, fault) in list.iter().enumerate() {
+            let verdict = is_detectable(n, fault, 1 << 20);
+            let detected = report.detecting_test[k].is_some();
+            assert_eq!(
+                verdict == Detectability::Detectable,
+                detected,
+                "fault {k}: {}",
+                fault.describe(n)
+            );
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! 64-lane bit-parallel combinational evaluation.
+//!
+//! Every net carries a 64-bit word; the engine interprets the lanes either
+//! as 64 independent input patterns (pattern-parallel, used by the
+//! exhaustive simulator) or as 64 copies of one pattern under 64 different
+//! faults (fault-parallel, used by the fault engine).
+
+use scanft_fsm::InputId;
+use scanft_netlist::Netlist;
+
+use crate::{ScanResponse, ScanTest};
+
+/// Reusable evaluation buffers for one netlist (one 64-bit word per net).
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<u64>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Evaluator {
+            netlist,
+            values: vec![0; netlist.num_nets()],
+        }
+    }
+
+    /// The netlist being evaluated.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Current value word of `net` (valid after an `eval_*` call).
+    #[must_use]
+    pub fn value(&self, net: scanft_netlist::NetId) -> u64 {
+        self.values[net as usize]
+    }
+
+    /// Loads a primary-input combination, broadcast to all 64 lanes.
+    pub fn load_input_broadcast(&mut self, input: InputId) {
+        for k in 0..self.netlist.num_pis() {
+            self.values[self.netlist.pi(k) as usize] =
+                if input >> k & 1 == 1 { u64::MAX } else { 0 };
+        }
+    }
+
+    /// Loads a state code, broadcast to all 64 lanes.
+    pub fn load_state_broadcast(&mut self, code: u64) {
+        for k in 0..self.netlist.num_ppis() {
+            self.values[self.netlist.ppi(k) as usize] =
+                if code >> k & 1 == 1 { u64::MAX } else { 0 };
+        }
+    }
+
+    /// Loads raw per-lane words into the PIs (pattern-parallel use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != num_pis()`.
+    pub fn load_input_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.netlist.num_pis());
+        for (k, &w) in words.iter().enumerate() {
+            self.values[self.netlist.pi(k) as usize] = w;
+        }
+    }
+
+    /// Loads raw per-lane words into the PPIs (pattern-parallel use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != num_ppis()`.
+    pub fn load_state_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.netlist.num_ppis());
+        for (k, &w) in words.iter().enumerate() {
+            self.values[self.netlist.ppi(k) as usize] = w;
+        }
+    }
+
+    /// Evaluates all gates in topological order (fault-free).
+    pub fn eval(&mut self) {
+        let inputs = self.netlist.num_pis() + self.netlist.num_ppis();
+        for (g, gate) in self.netlist.gates().iter().enumerate() {
+            let word = eval_gate(gate, &self.values);
+            self.values[inputs + g] = word;
+        }
+    }
+
+    /// Packed primary-output word: bit `k` of lane `l` set when PO `k` is 1
+    /// in lane `l`. Returns one word per PO.
+    #[must_use]
+    pub fn output_words(&self) -> Vec<u64> {
+        self.netlist
+            .pos()
+            .iter()
+            .map(|&net| self.values[net as usize])
+            .collect()
+    }
+
+    /// Per-PO words for the next-state lines.
+    #[must_use]
+    pub fn next_state_words(&self) -> Vec<u64> {
+        self.netlist
+            .ppos()
+            .iter()
+            .map(|&net| self.values[net as usize])
+            .collect()
+    }
+
+    /// Interprets lane `lane` of the current PO values as a packed output
+    /// combination (bit `k` = PO `k`).
+    #[must_use]
+    pub fn output_combo(&self, lane: usize) -> u64 {
+        pack_lane(self.netlist.pos(), &self.values, lane)
+    }
+
+    /// Interprets lane `lane` of the current PPO values as a state code.
+    #[must_use]
+    pub fn next_state_code(&self, lane: usize) -> u64 {
+        pack_lane(self.netlist.ppos(), &self.values, lane)
+    }
+}
+
+fn pack_lane(nets: &[scanft_netlist::NetId], values: &[u64], lane: usize) -> u64 {
+    let mut word = 0u64;
+    for (k, &net) in nets.iter().enumerate() {
+        if values[net as usize] >> lane & 1 == 1 {
+            word |= 1 << k;
+        }
+    }
+    word
+}
+
+pub(crate) fn eval_gate(gate: &scanft_netlist::Gate, values: &[u64]) -> u64 {
+    use scanft_netlist::GateKind;
+    match gate.kind {
+        GateKind::Not => !values[gate.inputs[0] as usize],
+        GateKind::Buf => values[gate.inputs[0] as usize],
+        GateKind::And => gate
+            .inputs
+            .iter()
+            .fold(u64::MAX, |acc, &i| acc & values[i as usize]),
+        GateKind::Or => gate.inputs.iter().fold(0, |acc, &i| acc | values[i as usize]),
+        GateKind::Nand => !gate
+            .inputs
+            .iter()
+            .fold(u64::MAX, |acc, &i| acc & values[i as usize]),
+        GateKind::Nor => !gate.inputs.iter().fold(0, |acc, &i| acc | values[i as usize]),
+        GateKind::Xor => gate.inputs.iter().fold(0, |acc, &i| acc ^ values[i as usize]),
+    }
+}
+
+/// Simulates the fault-free response of `netlist` to `test`.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_sim::{logic, ScanTest};
+/// use scanft_synth::{synthesize, SynthConfig};
+///
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let c = synthesize(&lion, &SynthConfig::default());
+/// // From state 0 apply 01: output 1, next state 1 (Table 1).
+/// let r = logic::simulate(c.netlist(), &ScanTest::new(0, vec![0b01]));
+/// assert_eq!(r.outputs, vec![1]);
+/// assert_eq!(r.final_code, 1);
+/// ```
+#[must_use]
+pub fn simulate(netlist: &Netlist, test: &ScanTest) -> ScanResponse {
+    let mut eval = Evaluator::new(netlist);
+    let mut code = test.init_code;
+    let mut outputs = Vec::with_capacity(test.inputs.len());
+    for &input in &test.inputs {
+        eval.load_state_broadcast(code);
+        eval.load_input_broadcast(input);
+        eval.eval();
+        outputs.push(eval.output_combo(0));
+        code = eval.next_state_code(0);
+    }
+    ScanResponse {
+        outputs,
+        final_code: code,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanft_synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn simulate_matches_state_table_on_lion() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        for t in lion.transitions() {
+            let r = simulate(c.netlist(), &ScanTest::new(u64::from(t.from), vec![t.input]));
+            assert_eq!(r.outputs, vec![t.output], "transition {t:?}");
+            assert_eq!(r.final_code, u64::from(t.to), "transition {t:?}");
+        }
+    }
+
+    #[test]
+    fn simulate_sequences_track_the_machine() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        // The paper's test tau_1 = (0, (10,00,11,00,01,00), 1).
+        let seq = vec![0b10, 0b00, 0b11, 0b00, 0b01, 0b00];
+        let r = simulate(c.netlist(), &ScanTest::new(0, seq.clone()));
+        let (fin, outs) = lion.run(0, &seq);
+        assert_eq!(r.final_code, u64::from(fin));
+        assert_eq!(r.outputs, outs);
+        assert_eq!(fin, 1);
+    }
+
+    #[test]
+    fn broadcast_lanes_agree() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let mut eval = Evaluator::new(c.netlist());
+        eval.load_state_broadcast(2);
+        eval.load_input_broadcast(1);
+        eval.eval();
+        for lane in 0..64 {
+            assert_eq!(eval.output_combo(lane), eval.output_combo(0));
+            assert_eq!(eval.next_state_code(lane), eval.next_state_code(0));
+        }
+    }
+
+    #[test]
+    fn pattern_parallel_words() {
+        // Evaluate two different states in different lanes simultaneously.
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let mut eval = Evaluator::new(c.netlist());
+        // lane 0: state 0; lane 1: state 2 (code bits: y1 = bit0, y2 = bit1).
+        eval.load_state_words(&[0b00, 0b10]);
+        // input 01 in both lanes: x1=0, x2=1 -> PI bit0 (x1? variable order:
+        // input bit k of the combination maps to PI k).
+        let input = 0b01u32;
+        let words: Vec<u64> = (0..2)
+            .map(|k| if input >> k & 1 == 1 { 0b11 } else { 0 })
+            .collect();
+        eval.load_input_words(&words);
+        eval.eval();
+        // state 0 under 01 -> ns 1 out 1; state 2 under 01 -> ns 2 out 1.
+        assert_eq!(eval.output_combo(0), 1);
+        assert_eq!(eval.output_combo(1), 1);
+        assert_eq!(eval.next_state_code(0), 1);
+        assert_eq!(eval.next_state_code(1), 2);
+    }
+}

@@ -1,0 +1,61 @@
+use scanft_fsm::InputId;
+
+/// A scan-based test, exactly as the paper defines one: "a test starts and
+/// ends with a scan operation, and consists of one or more primary input
+/// combinations applied between the scan operations".
+///
+/// The initial state is given as the *code* loaded into the scan flip-flops
+/// (functional states are translated by the synthesis encoding before tests
+/// reach the simulator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanTest {
+    /// Code scanned into the flip-flops before the first cycle.
+    pub init_code: u64,
+    /// Primary-input combinations applied, one per clock cycle.
+    pub inputs: Vec<InputId>,
+}
+
+impl ScanTest {
+    /// Creates a test from an initial code and input sequence.
+    #[must_use]
+    pub fn new(init_code: u64, inputs: Vec<InputId>) -> Self {
+        ScanTest { init_code, inputs }
+    }
+
+    /// Length of the test: the number of primary-input combinations applied
+    /// between the scan operations (the paper's test-length measure).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the test applies no input combinations (not produced by the
+    /// generators, but allowed by the simulator: it degenerates to a scan
+    /// load/unload that observes nothing).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// The fault-free response of a circuit to a [`ScanTest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResponse {
+    /// Primary-output word observed at each cycle (bit `k` = PO `k`).
+    pub outputs: Vec<u64>,
+    /// Final state code scanned out after the last cycle.
+    pub final_code: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_test_length() {
+        let t = ScanTest::new(0b10, vec![0, 3, 1]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(ScanTest::new(0, vec![]).is_empty());
+    }
+}

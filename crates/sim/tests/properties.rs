@@ -1,0 +1,242 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use scanft_fsm::benchmarks::random_machine;
+use scanft_sim::engine::{FaultEngine, InjectionPlan};
+use scanft_sim::faults::{self, Fault};
+use scanft_sim::{campaign, logic, ScanTest};
+use scanft_synth::{synthesize, Encoding, SynthConfig};
+
+fn setup(
+    pi: usize,
+    states: usize,
+    seed: u64,
+    gray: bool,
+) -> (scanft_fsm::StateTable, scanft_synth::SynthesizedCircuit) {
+    let table = random_machine("prop", pi, 2, states, seed).unwrap();
+    let config = SynthConfig {
+        encoding: if gray { Encoding::Gray } else { Encoding::Binary },
+        ..SynthConfig::default()
+    };
+    let circuit = synthesize(&table, &config);
+    (table, circuit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fault-free scan simulation of the synthesized netlist agrees with
+    /// the state table on arbitrary multi-cycle sequences.
+    #[test]
+    fn netlist_sequences_match_table(
+        pi in 1usize..=3,
+        states in 2usize..=8,
+        seed in any::<u64>(),
+        gray in any::<bool>(),
+        start in 0u32..8,
+        seq in proptest::collection::vec(0u32..8, 1..10),
+    ) {
+        let (table, circuit) = setup(pi, states, seed, gray);
+        let start = start % states as u32;
+        let seq: Vec<u32> = seq.into_iter().map(|i| i % (1 << pi)).collect();
+        let (fin, outs) = table.run(start, &seq);
+        let test = ScanTest::new(circuit.encode_state(start), seq);
+        let r = logic::simulate(circuit.netlist(), &test);
+        prop_assert_eq!(r.outputs, outs);
+        prop_assert_eq!(circuit.decode_state(r.final_code), fin);
+    }
+
+    /// Batched fault-parallel detection equals single-fault detection for
+    /// every stuck-at fault (same tests, same verdicts).
+    #[test]
+    fn batching_is_transparent_stuck(
+        pi in 1usize..=2,
+        states in 2usize..=4,
+        seed in any::<u64>(),
+        test_seed in any::<u64>(),
+    ) {
+        let (table, circuit) = setup(pi, states, seed, false);
+        let n = circuit.netlist();
+        let stuck = faults::enumerate_stuck(n);
+        let list = faults::as_fault_list(&stuck);
+        // A few random multi-cycle tests.
+        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
+        let tests: Vec<ScanTest> = (0..4)
+            .map(|_| {
+                let code = rng.next_below(table.num_states() as u64);
+                let len = 1 + rng.next_below(4) as usize;
+                let seq = (0..len)
+                    .map(|_| rng.next_below(1 << pi) as u32)
+                    .collect();
+                ScanTest::new(circuit.encode_state(code as u32), seq)
+            })
+            .collect();
+        let batched = campaign::run(n, &tests, &list);
+        for (f, fault) in list.iter().enumerate() {
+            let single = campaign::run(n, &tests, std::slice::from_ref(fault));
+            prop_assert_eq!(
+                batched.detecting_test[f], single.detecting_test[0],
+                "fault {}", fault.describe(n)
+            );
+        }
+    }
+
+    /// Same transparency for bridging faults (two-pass evaluation).
+    #[test]
+    fn batching_is_transparent_bridging(
+        pi in 1usize..=2,
+        states in 3usize..=8,
+        seed in any::<u64>(),
+        test_seed in any::<u64>(),
+    ) {
+        let (table, circuit) = setup(pi, states, seed, false);
+        let n = circuit.netlist();
+        let bridges = faults::enumerate_bridging(n, 80);
+        let list = faults::bridges_as_fault_list(&bridges.faults);
+        prop_assume!(!list.is_empty());
+        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
+        let tests: Vec<ScanTest> = (0..4)
+            .map(|_| {
+                let code = rng.next_below(table.num_states() as u64);
+                let len = 1 + rng.next_below(4) as usize;
+                let seq = (0..len)
+                    .map(|_| rng.next_below(1 << pi) as u32)
+                    .collect();
+                ScanTest::new(circuit.encode_state(code as u32), seq)
+            })
+            .collect();
+        let batched = campaign::run(n, &tests, &list);
+        for (f, fault) in list.iter().enumerate() {
+            let single = campaign::run(n, &tests, std::slice::from_ref(fault));
+            prop_assert_eq!(
+                batched.detecting_test[f], single.detecting_test[0],
+                "fault {}", fault.describe(n)
+            );
+        }
+    }
+
+    /// Same transparency for delay faults (per-lane launch tracking).
+    #[test]
+    fn batching_is_transparent_delay(
+        pi in 1usize..=2,
+        states in 2usize..=6,
+        seed in any::<u64>(),
+        test_seed in any::<u64>(),
+    ) {
+        let (table, circuit) = setup(pi, states, seed, false);
+        let n = circuit.netlist();
+        let delays = faults::enumerate_delay(n);
+        let list = faults::delays_as_fault_list(&delays);
+        prop_assume!(!list.is_empty());
+        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
+        let tests: Vec<ScanTest> = (0..4)
+            .map(|_| {
+                let code = rng.next_below(table.num_states() as u64);
+                let len = 1 + rng.next_below(5) as usize;
+                let seq = (0..len)
+                    .map(|_| rng.next_below(1 << pi) as u32)
+                    .collect();
+                ScanTest::new(circuit.encode_state(code as u32), seq)
+            })
+            .collect();
+        let batched = campaign::run(n, &tests, &list);
+        for (f, fault) in list.iter().enumerate().step_by(3) {
+            let single = campaign::run(n, &tests, std::slice::from_ref(fault));
+            prop_assert_eq!(
+                batched.detecting_test[f], single.detecting_test[0],
+                "fault {}", fault.describe(n)
+            );
+        }
+        // Length-1 tests never detect any delay fault.
+        let unit_tests: Vec<ScanTest> = (0..table.num_states() as u64)
+            .map(|c| ScanTest::new(circuit.encode_state(c as u32), vec![0]))
+            .collect();
+        let unit = campaign::run(n, &unit_tests, &list);
+        prop_assert_eq!(unit.detected(), 0);
+    }
+
+    /// Collapsed-class members always share detection verdicts on random
+    /// machines and random tests.
+    #[test]
+    fn collapse_classes_share_verdicts(
+        pi in 1usize..=2,
+        states in 2usize..=6,
+        seed in any::<u64>(),
+        test_seed in any::<u64>(),
+    ) {
+        let (table, circuit) = setup(pi, states, seed, false);
+        let n = circuit.netlist();
+        let stuck = faults::enumerate_stuck(n);
+        let collapsed = scanft_sim::collapse::collapse_stuck(n, &stuck);
+        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
+        let tests: Vec<ScanTest> = (0..6)
+            .map(|_| {
+                let code = rng.next_below(table.num_states() as u64);
+                let len = 1 + rng.next_below(4) as usize;
+                let seq = (0..len)
+                    .map(|_| rng.next_below(1 << pi) as u32)
+                    .collect();
+                ScanTest::new(circuit.encode_state(code as u32), seq)
+            })
+            .collect();
+        let full = campaign::run(n, &tests, &faults::as_fault_list(&stuck));
+        let mut class_verdict: Vec<Option<bool>> =
+            vec![None; collapsed.representatives.len()];
+        for (k, &class) in collapsed.class_of.iter().enumerate() {
+            let verdict = full.detecting_test[k].is_some();
+            match class_verdict[class] {
+                None => class_verdict[class] = Some(verdict),
+                Some(first) => prop_assert_eq!(first, verdict, "fault {}", k),
+            }
+        }
+    }
+
+    /// A fault detected with a one-cycle test is classified detectable by
+    /// the exhaustive analysis (soundness cross-check).
+    #[test]
+    fn exhaustive_subsumes_observed_detections(
+        pi in 1usize..=2,
+        states in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let (table, circuit) = setup(pi, states, seed, false);
+        let n = circuit.netlist();
+        let stuck = faults::enumerate_stuck(n);
+        let list = faults::as_fault_list(&stuck);
+        let tests: Vec<ScanTest> = table
+            .transitions()
+            .map(|t| ScanTest::new(circuit.encode_state(t.from), vec![t.input]))
+            .collect();
+        let report = campaign::run(n, &tests, &list);
+        for (f, fault) in list.iter().enumerate() {
+            if report.detecting_test[f].is_some() {
+                prop_assert_eq!(
+                    scanft_sim::exhaustive::is_detectable(n, fault, 1 << 22),
+                    scanft_sim::exhaustive::Detectability::Detectable
+                );
+            }
+        }
+    }
+
+    /// `run_test` never reports detections outside the live lane mask.
+    #[test]
+    fn detection_mask_is_confined(
+        pi in 1usize..=2,
+        states in 2usize..=4,
+        seed in any::<u64>(),
+        skip in any::<u64>(),
+    ) {
+        let (table, circuit) = setup(pi, states, seed, false);
+        let n = circuit.netlist();
+        let stuck = faults::enumerate_stuck(n);
+        let batch: Vec<Fault> = stuck.iter().take(64).copied().map(Fault::Stuck).collect();
+        let plan = InjectionPlan::new(n, &batch);
+        let mut engine = FaultEngine::new(n);
+        let test = ScanTest::new(0, vec![0]);
+        let ff = logic::simulate(n, &test);
+        let det = engine.run_test(&test, &ff, &plan, skip);
+        prop_assert_eq!(det & skip, 0);
+        prop_assert_eq!(det & !plan.lane_mask(), 0);
+        let _ = table;
+    }
+}

@@ -1,0 +1,188 @@
+use scanft_fsm::{StateId, StateTable};
+use scanft_netlist::Netlist;
+
+use crate::cover::{extract, LogicSpec};
+use crate::map::Mapper;
+use crate::minimize::minimize_cover;
+use crate::Encoding;
+
+/// Configuration of the synthesis flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// State encoding scheme.
+    pub encoding: Encoding,
+    /// Whether to run two-level minimization before mapping. Disabling it
+    /// produces a (much larger) one-gate-per-minterm implementation — useful
+    /// as a structurally different second implementation of the same
+    /// machine.
+    pub minimize: bool,
+    /// Maximum gate fanin for the mapped AND/OR trees (at least 2).
+    pub max_fanin: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            encoding: Encoding::Binary,
+            minimize: true,
+            max_fanin: 4,
+        }
+    }
+}
+
+/// A gate-level, full-scan implementation of a state table.
+///
+/// Wraps the combinational [`Netlist`] together with the state encoding so
+/// functional states can be translated to scan codes and back.
+#[derive(Debug, Clone)]
+pub struct SynthesizedCircuit {
+    netlist: Netlist,
+    encoding: Encoding,
+    name: String,
+    num_states: usize,
+}
+
+impl SynthesizedCircuit {
+    /// The combinational netlist between the scan flip-flops.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The state encoding used.
+    #[must_use]
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Name of the machine this implements.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of functional states of the source machine.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Scan code for functional state `state`.
+    #[must_use]
+    pub fn encode_state(&self, state: StateId) -> u64 {
+        self.encoding.encode(state)
+    }
+
+    /// Functional state for scan code `code`.
+    #[must_use]
+    pub fn decode_state(&self, code: u64) -> StateId {
+        self.encoding.decode(code)
+    }
+}
+
+/// Synthesizes a gate-level full-scan implementation of `table`.
+///
+/// The flow is: extract per-bit covers under the configured encoding,
+/// optionally minimize each cover, then map to shared-inverter, bounded-
+/// fanin AND-OR logic.
+///
+/// # Panics
+///
+/// Panics if `config.max_fanin < 2` or if `pi + sv > 32`.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_synth::{synthesize, Encoding, SynthConfig};
+///
+/// let lion = scanft_fsm::benchmarks::lion();
+/// let binary = synthesize(&lion, &SynthConfig::default());
+/// let gray = synthesize(&lion, &SynthConfig { encoding: Encoding::Gray, ..SynthConfig::default() });
+/// // Two different implementations of the same machine.
+/// assert_ne!(binary.netlist().num_gates(), 0);
+/// assert_ne!(binary.netlist(), gray.netlist());
+/// ```
+#[must_use]
+pub fn synthesize(table: &StateTable, config: &SynthConfig) -> SynthesizedCircuit {
+    assert!(config.max_fanin >= 2, "max_fanin must be at least 2");
+    let mut spec: LogicSpec = extract(table, config.encoding);
+    if config.minimize {
+        for cover in &mut spec.covers {
+            *cover = minimize_cover(cover);
+        }
+    }
+    let mut mapper = Mapper::new(&spec, config.max_fanin);
+    let nets: Vec<_> = spec.covers.iter().map(|c| mapper.map_cover(c)).collect();
+    let (po_nets, ppo_nets) = nets.split_at(spec.num_outputs);
+    let netlist = mapper
+        .builder
+        .finish(po_nets.to_vec(), ppo_nets.to_vec())
+        .expect("mapped nets exist");
+    SynthesizedCircuit {
+        netlist,
+        encoding: config.encoding,
+        name: table.name().to_owned(),
+        num_states: table.num_states(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lion_synthesis_shape() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let n = c.netlist();
+        assert_eq!(n.num_pis(), 2);
+        assert_eq!(n.num_ppis(), 2);
+        assert_eq!(n.pos().len(), 1);
+        assert_eq!(n.ppos().len(), 2);
+        assert!(n.num_gates() > 0);
+    }
+
+    #[test]
+    fn minimization_shrinks_netlist() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let minimized = synthesize(&lion, &SynthConfig::default());
+        let flat = synthesize(
+            &lion,
+            &SynthConfig {
+                minimize: false,
+                ..SynthConfig::default()
+            },
+        );
+        assert!(minimized.netlist().num_gates() < flat.netlist().num_gates());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let lion = scanft_fsm::benchmarks::lion();
+        for enc in [Encoding::Binary, Encoding::Gray] {
+            let c = synthesize(
+                &lion,
+                &SynthConfig {
+                    encoding: enc,
+                    ..SynthConfig::default()
+                },
+            );
+            for s in 0..4u32 {
+                assert_eq!(c.decode_state(c.encode_state(s)), s);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_fanin")]
+    fn rejects_unit_fanin() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let _ = synthesize(
+            &lion,
+            &SynthConfig {
+                max_fanin: 1,
+                ..SynthConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Cube and cover representation for two-level logic.
+//!
+//! The combinational logic of a scanned machine computes, from the `pi`
+//! primary-input bits and `sv` present-state bits, each primary-output bit
+//! and each next-state bit. Every such single-output function is represented
+//! as a *cover*: a set of [`Cube`]s whose union is the ON-set.
+
+use scanft_fsm::{StateTable, Transition};
+
+use crate::Encoding;
+
+/// A product term over up to 32 binary variables.
+///
+/// Variable `v` is *cared for* when bit `v` of `mask` is set; its required
+/// value is then bit `v` of `value`. Bits of `value` outside `mask` are kept
+/// at zero (canonical form), so cubes compare by `(mask, value)` equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    /// Care mask: which variables are tested.
+    pub mask: u32,
+    /// Required values on the cared-for variables.
+    pub value: u32,
+}
+
+impl Cube {
+    /// A minterm cube: all `num_vars` variables cared for.
+    #[must_use]
+    pub fn minterm(point: u32, num_vars: usize) -> Self {
+        let mask = mask_for(num_vars);
+        Cube {
+            mask,
+            value: point & mask,
+        }
+    }
+
+    /// Whether the cube contains the point `point` (a full assignment).
+    #[must_use]
+    pub fn contains_point(self, point: u32) -> bool {
+        point & self.mask == self.value
+    }
+
+    /// Whether `self` contains every point of `other` (single-cube
+    /// containment: `other`'s cares include `self`'s and agree on them).
+    #[must_use]
+    pub fn covers(self, other: Cube) -> bool {
+        self.mask & other.mask == self.mask && other.value & self.mask == self.value
+    }
+
+    /// Number of don't-care variables among `num_vars`.
+    #[must_use]
+    pub fn free_vars(self, num_vars: usize) -> u32 {
+        (mask_for(num_vars) & !self.mask).count_ones()
+    }
+}
+
+fn mask_for(num_vars: usize) -> u32 {
+    debug_assert!(num_vars <= 32);
+    if num_vars == 32 {
+        u32::MAX
+    } else {
+        (1u32 << num_vars) - 1
+    }
+}
+
+/// A single-output function as a set of product terms over `num_vars`
+/// variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    /// Product terms; the function is their OR.
+    pub cubes: Vec<Cube>,
+    /// Number of variables (`pi + sv` in this crate's use).
+    pub num_vars: usize,
+}
+
+impl Cover {
+    /// Evaluates the cover at a point.
+    #[must_use]
+    pub fn eval(&self, point: u32) -> bool {
+        self.cubes.iter().any(|c| c.contains_point(point))
+    }
+
+    /// Total number of literals (cared-for variables summed over cubes),
+    /// a standard two-level cost measure.
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(|c| c.mask.count_ones() as usize).sum()
+    }
+}
+
+/// The extracted per-bit covers of a machine's combinational logic:
+/// first `num_outputs` covers compute the primary outputs, the following
+/// `num_state_vars` covers compute the next-state bits.
+#[derive(Debug, Clone)]
+pub struct LogicSpec {
+    /// One cover per output bit, then one per next-state bit.
+    pub covers: Vec<Cover>,
+    /// Number of primary-output covers at the front of `covers`.
+    pub num_outputs: usize,
+    /// Number of next-state covers at the back of `covers`.
+    pub num_state_vars: usize,
+    /// Number of input variables (`pi + sv`).
+    pub num_vars: usize,
+    /// Number of primary inputs (low-order variables).
+    pub num_inputs: usize,
+}
+
+/// Extracts minterm covers for every output and next-state bit of `table`
+/// under `encoding`.
+///
+/// Variable order: bits `0..pi` are the primary inputs, bits `pi..pi+sv`
+/// are the present-state code bits. A transition from state `s` under input
+/// `i` contributes the point `i | (encode(s) << pi)`.
+///
+/// # Panics
+///
+/// Panics if `pi + sv > 32` (far beyond the supported benchmark sizes).
+#[must_use]
+pub fn extract(table: &StateTable, encoding: Encoding) -> LogicSpec {
+    let pi = table.num_inputs();
+    let sv = table.num_state_vars();
+    let num_vars = pi + sv;
+    assert!(num_vars <= 32, "pi + sv must be at most 32");
+    let no = table.num_outputs();
+
+    let mut covers: Vec<Vec<Cube>> = vec![Vec::new(); no + sv];
+    let mut add_point = |transition: &Transition| {
+        let code = encoding.encode(transition.from);
+        let point = transition.input | (code << pi) as u32;
+        for (z, cover) in covers.iter_mut().enumerate().take(no) {
+            if transition.output >> z & 1 == 1 {
+                cover.push(Cube::minterm(point, num_vars));
+            }
+        }
+        let ns_code = encoding.encode(transition.to);
+        for v in 0..sv {
+            if ns_code >> v & 1 == 1 {
+                covers[no + v].push(Cube::minterm(point, num_vars));
+            }
+        }
+    };
+    for t in table.transitions() {
+        add_point(&t);
+    }
+
+    LogicSpec {
+        covers: covers
+            .into_iter()
+            .map(|cubes| Cover { cubes, num_vars })
+            .collect(),
+        num_outputs: no,
+        num_state_vars: sv,
+        num_vars,
+        num_inputs: pi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_minterm_and_containment() {
+        let m = Cube::minterm(0b101, 3);
+        assert_eq!(m.mask, 0b111);
+        assert!(m.contains_point(0b101));
+        assert!(!m.contains_point(0b100));
+        let wide = Cube {
+            mask: 0b001,
+            value: 0b001,
+        };
+        assert!(wide.covers(m));
+        assert!(!m.covers(wide));
+        assert!(wide.covers(wide));
+        assert_eq!(wide.free_vars(3), 2);
+        assert_eq!(m.free_vars(3), 0);
+    }
+
+    #[test]
+    fn extract_lion_binary() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let spec = extract(&lion, Encoding::Binary);
+        assert_eq!(spec.num_vars, 4);
+        assert_eq!(spec.covers.len(), 3); // 1 output + 2 next-state bits
+        // Output z: 1 for 12 of the 16 transitions (Table 1: four zeros).
+        assert_eq!(spec.covers[0].cubes.len(), 12);
+        // Every cover evaluates like the table.
+        for t in lion.transitions() {
+            let point = t.input | (t.from << 2);
+            assert_eq!(spec.covers[0].eval(point), t.output & 1 == 1);
+            assert_eq!(spec.covers[1].eval(point), t.to & 1 == 1);
+            assert_eq!(spec.covers[2].eval(point), t.to >> 1 & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn extract_respects_encoding() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let spec = extract(&lion, Encoding::Gray);
+        for t in lion.transitions() {
+            let point = t.input | ((Encoding::Gray.encode(t.from) as u32) << 2);
+            let ns_code = Encoding::Gray.encode(t.to);
+            assert_eq!(spec.covers[1].eval(point), ns_code & 1 == 1);
+            assert_eq!(spec.covers[2].eval(point), ns_code >> 1 & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn literal_count_of_minterm_cover() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let spec = extract(&lion, Encoding::Binary);
+        assert_eq!(spec.covers[0].literal_count(), 12 * 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! FSM-to-gate-level synthesis substrate for `scanft`.
+//!
+//! The paper evaluates functional tests by fault-simulating them on
+//! gate-level implementations of the benchmark machines. This crate builds
+//! those implementations from a [`scanft_fsm::StateTable`]:
+//!
+//! 1. **state encoding** ([`Encoding`]): assign each state a binary code on
+//!    `N_SV` flip-flops (binary or Gray; the choice produces genuinely
+//!    different implementations, which the paper's implementation-
+//!    independence claim is about);
+//! 2. **cover extraction** ([`cover`]): one sum-of-products cover per output
+//!    and next-state bit over the `pi + sv` input variables;
+//! 3. **two-level minimization** ([`minimize`]): exact Quine–McCluskey-style
+//!    cube merging with containment removal (the machines are completely
+//!    specified, so merged covers equal the original functions exactly);
+//! 4. **technology mapping** ([`map`]): shared input inverters, bounded-fanin
+//!    AND/OR trees per cube and per output.
+//!
+//! The result is a [`SynthesizedCircuit`]: a scan-bounded netlist plus the
+//! encoding needed to translate between functional states and scan codes.
+//!
+//! # Example
+//!
+//! ```
+//! use scanft_synth::{synthesize, SynthConfig};
+//!
+//! let lion = scanft_fsm::benchmarks::lion();
+//! let circuit = synthesize(&lion, &SynthConfig::default());
+//! assert_eq!(circuit.netlist().num_ppis(), 2); // two state variables
+//! // The netlist computes exactly the state table:
+//! assert!(scanft_synth::verify_against_table(&circuit, &lion, None).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod map;
+pub mod minimize;
+
+mod circuit;
+mod encoding;
+mod verify;
+
+pub use circuit::{synthesize, SynthConfig, SynthesizedCircuit};
+pub use encoding::Encoding;
+pub use verify::{verify_against_table, MismatchReport};

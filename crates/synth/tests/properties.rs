@@ -1,0 +1,52 @@
+//! Property-based tests: synthesized netlists compute exactly their source
+//! state tables, for random machines across all configurations.
+
+use proptest::prelude::*;
+use scanft_fsm::benchmarks::random_machine;
+use scanft_synth::{synthesize, verify_against_table, Encoding, SynthConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn netlist_equals_table(
+        pi in 1usize..=3,
+        po in 1usize..=3,
+        states in 2usize..=8,
+        seed in any::<u64>(),
+        gray in any::<bool>(),
+        minimize in any::<bool>(),
+        max_fanin in 2usize..=5,
+    ) {
+        let table = random_machine("prop", pi, po, states, seed).unwrap();
+        let config = SynthConfig {
+            encoding: if gray { Encoding::Gray } else { Encoding::Binary },
+            minimize,
+            max_fanin,
+        };
+        let circuit = synthesize(&table, &config);
+        prop_assert!(verify_against_table(&circuit, &table, None).is_ok());
+        // All mapped gates respect the fanin bound.
+        for gate in circuit.netlist().gates() {
+            prop_assert!(gate.inputs.len() <= max_fanin);
+        }
+    }
+
+    /// Minimization never increases literal cost and preserves functions.
+    #[test]
+    fn minimize_is_sound_and_non_worsening(
+        pi in 1usize..=3,
+        states in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let table = random_machine("prop", pi, 2, states, seed).unwrap();
+        let spec = scanft_synth::cover::extract(&table, Encoding::Binary);
+        for cover in &spec.covers {
+            let min = scanft_synth::minimize::minimize_cover(cover);
+            prop_assert!(min.literal_count() <= cover.literal_count());
+            for p in 0..(1u32 << spec.num_vars) {
+                prop_assert_eq!(min.eval(p), cover.eval(p), "point {}", p);
+            }
+        }
+    }
+}

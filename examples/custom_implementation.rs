@@ -1,0 +1,111 @@
+//! Bring-your-own machine: parse a KISS2 state table, generate functional
+//! tests, compact them with the static test-combining extension (the
+//! paper's reference [7]), and compare scan-operation counts.
+//!
+//! Run with: `cargo run --release -p scanft-cli --example custom_implementation`
+
+use scanft_core::compact::combine_tests;
+use scanft_core::generate::{generate, GenConfig};
+use scanft_fsm::{kiss, uio};
+use scanft_sim::{campaign, faults};
+use scanft_synth::{synthesize, SynthConfig};
+
+/// A small traffic-light controller in KISS2 format (what you would read
+/// from a file with `std::fs::read_to_string`).
+const TRAFFIC: &str = "\
+.i 2
+.o 3
+.s 4
+.r GREEN
+# inputs: car_waiting, timer_expired / outputs: g y r
+00 GREEN  GREEN  100
+01 GREEN  GREEN  100
+10 GREEN  YELLOW 100
+11 GREEN  YELLOW 100
+-0 YELLOW YELLOW 010
+-1 YELLOW RED    010
+-0 RED    RED    001
+-1 RED    GREEN2 001
+-- GREEN2 GREEN  100
+.e
+";
+
+fn main() {
+    let table = kiss::parse_with(TRAFFIC, "traffic", kiss::Completion::SelfLoop)
+        .expect("embedded KISS2 is well-formed");
+    println!("{table}");
+
+    let uios = uio::derive_uios(&table, table.num_state_vars());
+    let set = generate(&table, &uios, &GenConfig::default());
+    println!(
+        "generated {} tests (total length {}) for {} transitions",
+        set.tests.len(),
+        set.total_length(),
+        set.num_transitions
+    );
+
+    // Gate-level oracle for coverage-preserving compaction.
+    let circuit = synthesize(&table, &SynthConfig::default());
+    let stuck = faults::as_fault_list(&faults::enumerate_stuck(circuit.netlist()));
+    let baseline_coverage =
+        campaign::run(circuit.netlist(), &set.to_scan_tests(&circuit), &stuck).detected();
+    println!(
+        "stuck-at coverage before compaction: {}/{}",
+        baseline_coverage,
+        stuck.len()
+    );
+
+    // Static compaction by test combining, accepting only combinations that
+    // keep the gate-level coverage (the criterion of reference [7]).
+    let result = combine_tests(&set, |candidate| {
+        let tests: Vec<_> = candidate
+            .iter()
+            .map(|t| t.to_scan_test(&circuit))
+            .collect();
+        campaign::run(circuit.netlist(), &tests, &stuck).detected() >= baseline_coverage
+    });
+    println!(
+        "compaction: {} combinations accepted, {} rejected by the coverage oracle",
+        result.combinations, result.rejected
+    );
+    println!(
+        "tests: {} -> {} (each combination saves one {}-cycle scan operation)",
+        set.tests.len(),
+        result.tests.len(),
+        table.num_state_vars()
+    );
+
+    let after: Vec<_> = result.tests.iter().map(|t| t.to_scan_test(&circuit)).collect();
+    let coverage = campaign::run(circuit.netlist(), &after, &stuck).detected();
+    assert_eq!(coverage, baseline_coverage, "compaction preserved coverage");
+    println!("coverage after compaction: {}/{} (preserved)", coverage, stuck.len());
+
+    // The same workflow on a benchmark with more chaining opportunities.
+    println!("\nthe same compaction on benchmark lion9:");
+    let bench = scanft_fsm::benchmarks::build("lion9").expect("registry circuit");
+    let uios = uio::derive_uios(&bench, bench.num_state_vars());
+    let bench_set = generate(&bench, &uios, &GenConfig::default());
+    let bench_circuit = synthesize(&bench, &SynthConfig::default());
+    let bench_faults =
+        faults::as_fault_list(&faults::enumerate_stuck(bench_circuit.netlist()));
+    let bench_cov = campaign::run(
+        bench_circuit.netlist(),
+        &bench_set.to_scan_tests(&bench_circuit),
+        &bench_faults,
+    )
+    .detected();
+    let bench_result = combine_tests(&bench_set, |candidate| {
+        let tests: Vec<_> = candidate
+            .iter()
+            .map(|t| t.to_scan_test(&bench_circuit))
+            .collect();
+        campaign::run(bench_circuit.netlist(), &tests, &bench_faults).detected() >= bench_cov
+    });
+    println!(
+        "  {} -> {} tests, {} scan operations ({} cycles each) saved, coverage preserved",
+        bench_set.tests.len(),
+        bench_result.tests.len(),
+        bench_result.combinations,
+        bench.num_state_vars()
+    );
+}

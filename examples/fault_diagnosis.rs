@@ -1,0 +1,79 @@
+//! Fault diagnosis: using the functional test set beyond go/no-go.
+//!
+//! A high-coverage test set also *locates* defects: simulate every fault
+//! against every test (no dropping) to build a fault dictionary, then match
+//! the pass/fail pattern observed on a failing device against the
+//! signatures. This example builds the dictionary for `dk27`'s functional
+//! tests, "manufactures" devices with known injected defects, and shows the
+//! diagnosis narrowing each failure down to its ambiguity group.
+//!
+//! Run with: `cargo run --release -p scanft-cli --example fault_diagnosis`
+
+use scanft_core::generate::{generate, GenConfig};
+use scanft_fsm::{benchmarks, uio};
+use scanft_sim::dictionary::FaultDictionary;
+use scanft_sim::engine::{FaultEngine, InjectionPlan};
+use scanft_sim::{faults, logic};
+use scanft_synth::{synthesize, SynthConfig};
+
+fn main() {
+    let table = benchmarks::build("dk27").expect("registry circuit");
+    let uios = uio::derive_uios(&table, table.num_state_vars());
+    let set = generate(&table, &uios, &GenConfig::default());
+    let circuit = synthesize(&table, &SynthConfig::default());
+    let tests = set.to_scan_tests(&circuit);
+    let stuck = faults::as_fault_list(&faults::enumerate_stuck(circuit.netlist()));
+
+    println!(
+        "dk27: {} tests, {} stuck-at faults",
+        tests.len(),
+        stuck.len()
+    );
+    let dict = FaultDictionary::build(circuit.netlist(), &tests, &stuck);
+    println!(
+        "dictionary: {:.1}% diagnostic resolution, {} ambiguity groups",
+        100.0 * dict.resolution(),
+        dict.ambiguity_groups().len()
+    );
+
+    // "Manufacture" three defective devices and diagnose them from their
+    // pass/fail behaviour alone.
+    for &defect in &[3usize, 17, 40] {
+        let fault = stuck[defect.min(stuck.len() - 1)];
+        // Observe which tests fail on the defective device.
+        let plan = InjectionPlan::new(circuit.netlist(), std::slice::from_ref(&fault));
+        let mut engine = FaultEngine::new(circuit.netlist());
+        let observed: Vec<u32> = tests
+            .iter()
+            .enumerate()
+            .filter_map(|(t, test)| {
+                let ff = logic::simulate(circuit.netlist(), test);
+                (engine.run_test(test, &ff, &plan, 0) != 0).then_some(t as u32)
+            })
+            .collect();
+        let candidates = dict.diagnose(&observed);
+        println!(
+            "\ndevice with defect `{}`: {} failing tests {:?}",
+            fault.describe(circuit.netlist()),
+            observed.len(),
+            observed
+        );
+        if observed.is_empty() {
+            println!("  device passes: the defect is undetectable by this test set");
+            continue;
+        }
+        println!(
+            "  diagnosis: {} candidate fault(s): {}",
+            candidates.len(),
+            candidates
+                .iter()
+                .map(|&f| stuck[f].describe(circuit.netlist()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert!(
+            candidates.iter().any(|&f| stuck[f] == fault),
+            "the injected defect must be among the candidates"
+        );
+    }
+}

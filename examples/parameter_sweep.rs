@@ -1,0 +1,73 @@
+//! Table-9-style design-space exploration on one circuit: how the UIO
+//! length limit and the transfer-sequence allowance trade test count,
+//! at-speed sequence length, and test application time.
+//!
+//! Run with: `cargo run --release -p scanft-cli --example parameter_sweep [circuit]`
+
+use scanft_core::cycles::{percent_of, test_set_cycles};
+use scanft_core::generate::{generate, per_transition_baseline, GenConfig};
+use scanft_fsm::benchmarks;
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dk512".into());
+    let table = benchmarks::build(&name).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let sv = table.num_state_vars();
+    let base_cycles = test_set_cycles(&per_transition_baseline(&table), sv);
+    println!(
+        "{name}: {} states, {} input combinations, {} transitions, baseline {} cycles",
+        table.num_states(),
+        table.num_input_combos(),
+        table.num_transitions(),
+        base_cycles
+    );
+
+    println!("\nUIO length limit sweep (transfer <= 1):");
+    println!("  L | unique | tests |  len |  1len% | cycles |      %");
+    let mut prev_unique = usize::MAX;
+    for limit in 1..=sv + 4 {
+        let uios = derive_uios_with(&table, &UioConfig::with_max_len(limit));
+        let set = generate(&table, &uios, &GenConfig::default());
+        let cycles = test_set_cycles(&set, sv);
+        println!(
+            "  {limit} | {:>6} | {:>5} | {:>4} | {:>6.2} | {:>6} | {:>6.2}",
+            uios.num_with_uio(),
+            set.tests.len(),
+            set.total_length(),
+            set.percent_unit_tested(),
+            cycles,
+            percent_of(cycles, base_cycles)
+        );
+        if uios.num_with_uio() == prev_unique {
+            break; // saturated, like the paper's stopping rule
+        }
+        prev_unique = uios.num_with_uio();
+    }
+
+    println!("\ntransfer length sweep (UIO <= sv):");
+    println!("  T | tests |  len | cycles |      %");
+    let uios = derive_uios_with(&table, &UioConfig::with_max_len(sv));
+    for transfer in 0..=3usize {
+        let set = generate(
+            &table,
+            &uios,
+            &GenConfig {
+                transfer_max_len: transfer,
+                ..GenConfig::default()
+            },
+        );
+        let cycles = test_set_cycles(&set, sv);
+        println!(
+            "  {transfer} | {:>5} | {:>4} | {:>6} | {:>6.2}",
+            set.tests.len(),
+            set.total_length(),
+            cycles,
+            percent_of(cycles, base_cycles)
+        );
+    }
+    println!("\nlonger UIOs and transfers chain more transitions per test (fewer scans,");
+    println!("more at-speed cycles); past L ~ sv the sequences cost more than scan.");
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: KISS2 in, functional tests out, gate-level
+//! verification across encodings, compaction, and the CLI-facing flow.
+
+use scanft_core::compact::combine_tests;
+use scanft_core::flow::{run_flow, FlowConfig};
+use scanft_core::generate::{generate, GenConfig};
+use scanft_fsm::{benchmarks, kiss, uio};
+use scanft_sim::{campaign, faults};
+use scanft_synth::{synthesize, verify_against_table, Encoding, SynthConfig};
+
+/// A machine authored in KISS2 goes through the whole pipeline.
+#[test]
+fn kiss2_to_coverage() {
+    let src = "\
+.i 1
+.o 1
+.s 4
+.r s0
+0 s0 s0 0
+1 s0 s1 1
+0 s1 s2 1
+1 s1 s1 0
+0 s2 s3 0
+1 s2 s0 1
+0 s3 s1 1
+1 s3 s3 1
+.e
+";
+    let table = kiss::parse_with(src, "pipe", kiss::Completion::Reject).expect("valid KISS2");
+    let uios = uio::derive_uios(&table, table.num_state_vars());
+    let set = generate(&table, &uios, &GenConfig::default());
+
+    // Every transition targeted exactly once.
+    let mut seen = vec![false; table.num_transitions()];
+    for t in &set.tests {
+        for &(s, a) in &t.targets {
+            let cell = s as usize * table.num_input_combos() + a as usize;
+            assert!(!seen[cell]);
+            seen[cell] = true;
+        }
+    }
+    assert!(seen.iter().all(|&x| x));
+
+    // Both encodings verify and reach complete detectable coverage.
+    for encoding in [Encoding::Binary, Encoding::Gray] {
+        let circuit = synthesize(
+            &table,
+            &SynthConfig {
+                encoding,
+                ..SynthConfig::default()
+            },
+        );
+        verify_against_table(&circuit, &table, None).expect("synthesis matches the table");
+        let stuck = faults::as_fault_list(&faults::enumerate_stuck(circuit.netlist()));
+        let report = campaign::run(circuit.netlist(), &set.to_scan_tests(&circuit), &stuck);
+        for f in report.undetected_faults() {
+            assert_eq!(
+                scanft_sim::exhaustive::is_detectable(circuit.netlist(), &stuck[f], 1 << 20),
+                scanft_sim::exhaustive::Detectability::Undetectable,
+                "{encoding:?}: missed a detectable fault"
+            );
+        }
+    }
+}
+
+/// KISS2 round-trips through the benchmark suite's own serialization.
+#[test]
+fn benchmarks_round_trip_kiss() {
+    for name in ["lion", "bbtas", "dk15", "shiftreg", "mc"] {
+        let table = benchmarks::build(name).expect("registry circuit");
+        let text = kiss::write(&table);
+        let back = kiss::parse_with(&text, name, kiss::Completion::Reject).expect("round trip");
+        assert_eq!(table, back, "{name}");
+    }
+}
+
+/// Coverage-preserving compaction on top of the generated tests (the
+/// extension from the paper's reference [7]).
+#[test]
+fn compaction_preserves_gate_coverage() {
+    let table = benchmarks::build("dk27").expect("registry circuit");
+    let uios = uio::derive_uios(&table, table.num_state_vars());
+    let set = generate(&table, &uios, &GenConfig::default());
+    let circuit = synthesize(&table, &SynthConfig::default());
+    let stuck = faults::as_fault_list(&faults::enumerate_stuck(circuit.netlist()));
+    let before = campaign::run(circuit.netlist(), &set.to_scan_tests(&circuit), &stuck).detected();
+    let result = combine_tests(&set, |candidate| {
+        let tests: Vec<_> = candidate.iter().map(|t| t.to_scan_test(&circuit)).collect();
+        campaign::run(circuit.netlist(), &tests, &stuck).detected() >= before
+    });
+    let after_tests: Vec<_> = result.tests.iter().map(|t| t.to_scan_test(&circuit)).collect();
+    let after = campaign::run(circuit.netlist(), &after_tests, &stuck).detected();
+    assert_eq!(before, after);
+    assert!(result.tests.len() <= set.tests.len());
+}
+
+/// The functional-only flow runs on every in-budget benchmark and respects
+/// the structural invariants of Tables 5 and 7.
+#[test]
+fn functional_flow_structural_invariants() {
+    for spec in benchmarks::CIRCUITS {
+        if spec.num_transitions() > 2048 {
+            continue; // keep the integration suite fast
+        }
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let report = run_flow(
+            &table,
+            &FlowConfig {
+                gate_level: false,
+                ..FlowConfig::default()
+            },
+        );
+        assert_eq!(report.tests.num_transitions, spec.num_transitions());
+        assert!(report.tests.tests.len() <= spec.num_transitions(), "{}", spec.name);
+        // Baseline cycle formula (the paper's Table 7 `trans` column).
+        let trans = spec.num_transitions() as u64;
+        assert_eq!(
+            report.baseline_cycles,
+            spec.num_state_vars as u64 * (trans + 1) + trans,
+            "{}",
+            spec.name
+        );
+    }
+}
