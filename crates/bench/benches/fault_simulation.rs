@@ -1,7 +1,7 @@
-//! Criterion micro-benchmark: 64-lane fault-parallel scan-test simulation
-//! (the kernel behind Tables 3 and 6).
+//! Micro-benchmark: 64-lane fault-parallel scan-test simulation (the
+//! kernel behind Tables 3 and 6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanft_bench::harness;
 use scanft_core::generate::{generate, GenConfig};
 use scanft_fsm::{benchmarks, uio};
 use scanft_sim::{campaign, faults};
@@ -22,9 +22,8 @@ fn setup(name: &str) -> Setup {
     let circuit = synthesize(&table, &SynthConfig::default());
     let tests = set.to_scan_tests(&circuit);
     let stuck = faults::as_fault_list(&faults::enumerate_stuck(circuit.netlist()));
-    let bridges = faults::bridges_as_fault_list(
-        &faults::enumerate_bridging(circuit.netlist(), 200).faults,
-    );
+    let bridges =
+        faults::bridges_as_fault_list(&faults::enumerate_bridging(circuit.netlist(), 200).faults);
     Setup {
         circuit,
         tests,
@@ -33,81 +32,67 @@ fn setup(name: &str) -> Setup {
     }
 }
 
-fn bench_stuck_campaign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim/stuck_campaign");
+fn bench_stuck_campaign() {
+    let mut group = harness::group("fault_sim/stuck_campaign");
     group.sample_size(20);
     for name in ["lion", "dk16", "ex3"] {
         let s = setup(name);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| {
-            b.iter(|| {
-                black_box(campaign::run_decreasing_length(
-                    s.circuit.netlist(),
-                    &s.tests,
-                    &s.stuck,
-                ))
-            });
+        group.bench(name, || {
+            black_box(campaign::run_decreasing_length(
+                s.circuit.netlist(),
+                &s.tests,
+                &s.stuck,
+            ))
         });
     }
-    group.finish();
 }
 
-fn bench_bridging_campaign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim/bridging_campaign");
+fn bench_bridging_campaign() {
+    let mut group = harness::group("fault_sim/bridging_campaign");
     group.sample_size(20);
     for name in ["lion", "dk16"] {
         let s = setup(name);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| {
-            b.iter(|| {
-                black_box(campaign::run_decreasing_length(
-                    s.circuit.netlist(),
-                    &s.tests,
-                    &s.bridges,
-                ))
-            });
+        group.bench(name, || {
+            black_box(campaign::run_decreasing_length(
+                s.circuit.netlist(),
+                &s.tests,
+                &s.bridges,
+            ))
         });
     }
-    group.finish();
 }
 
-fn bench_delay_campaign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim/delay_campaign");
+fn bench_delay_campaign() {
+    let mut group = harness::group("fault_sim/delay_campaign");
     group.sample_size(20);
     for name in ["lion", "dk16"] {
         let s = setup(name);
         let delays = faults::delays_as_fault_list(&faults::enumerate_delay(s.circuit.netlist()));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(&s, delays), |b, (s, delays)| {
-            b.iter(|| {
-                black_box(campaign::run_decreasing_length(
-                    s.circuit.netlist(),
-                    &s.tests,
-                    delays,
-                ))
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_exhaustive_classification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim/exhaustive_classify");
-    let s = setup("lion");
-    group.bench_function("lion/first_stuck", |b| {
-        b.iter(|| {
-            black_box(scanft_sim::exhaustive::is_detectable(
+        group.bench(name, || {
+            black_box(campaign::run_decreasing_length(
                 s.circuit.netlist(),
-                &s.stuck[0],
-                1 << 20,
+                &s.tests,
+                &delays,
             ))
         });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_stuck_campaign,
-    bench_bridging_campaign,
-    bench_delay_campaign,
-    bench_exhaustive_classification
-);
-criterion_main!(benches);
+fn bench_exhaustive_classification() {
+    let mut group = harness::group("fault_sim/exhaustive_classify");
+    let s = setup("lion");
+    group.bench("lion/first_stuck", || {
+        black_box(scanft_sim::exhaustive::is_detectable(
+            s.circuit.netlist(),
+            &s.stuck[0],
+            1 << 20,
+        ))
+    });
+}
+
+fn main() {
+    bench_stuck_campaign();
+    bench_bridging_campaign();
+    bench_delay_campaign();
+    bench_exhaustive_classification();
+}

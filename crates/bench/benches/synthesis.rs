@@ -1,25 +1,24 @@
-//! Criterion micro-benchmark: FSM-to-gates synthesis (cover extraction,
-//! exact two-level minimization, mapping).
+//! Micro-benchmark: FSM-to-gates synthesis (cover extraction, exact
+//! two-level minimization, mapping).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanft_bench::harness;
 use scanft_fsm::benchmarks;
 use scanft_synth::{cover, minimize, synthesize, Encoding, SynthConfig};
 use std::hint::black_box;
 
-fn bench_synthesize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synth/full_flow");
+fn bench_synthesize() {
+    let mut group = harness::group("synth/full_flow");
     group.sample_size(20);
     for name in ["lion", "dk16", "mark1", "opus"] {
         let table = benchmarks::build(name).expect("registry circuit");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &table, |b, table| {
-            b.iter(|| black_box(synthesize(black_box(table), &SynthConfig::default())));
+        group.bench(name, || {
+            black_box(synthesize(black_box(&table), &SynthConfig::default()))
         });
     }
-    group.finish();
 }
 
-fn bench_minimize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synth/minimize_cover");
+fn bench_minimize() {
+    let mut group = harness::group("synth/minimize_cover");
     let table = benchmarks::build("mark1").expect("registry circuit");
     let spec = cover::extract(&table, Encoding::Binary);
     // The widest output cover of mark1.
@@ -29,26 +28,25 @@ fn bench_minimize(c: &mut Criterion) {
         .max_by_key(|c| c.cubes.len())
         .expect("mark1 has covers")
         .clone();
-    group.bench_function("mark1/widest_output", |b| {
-        b.iter(|| black_box(minimize::minimize_cover(black_box(&widest))));
+    group.bench("mark1/widest_output", || {
+        black_box(minimize::minimize_cover(black_box(&widest)))
     });
-    group.finish();
 }
 
-fn bench_encodings(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synth/encodings");
+fn bench_encodings() {
+    let mut group = harness::group("synth/encodings");
     let table = benchmarks::build("dk16").expect("registry circuit");
     for (label, encoding) in [("binary", Encoding::Binary), ("gray", Encoding::Gray)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &encoding, |b, &enc| {
-            let config = SynthConfig {
-                encoding: enc,
-                ..SynthConfig::default()
-            };
-            b.iter(|| black_box(synthesize(&table, &config)));
-        });
+        let config = SynthConfig {
+            encoding,
+            ..SynthConfig::default()
+        };
+        group.bench(label, || black_box(synthesize(&table, &config)));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_synthesize, bench_minimize, bench_encodings);
-criterion_main!(benches);
+fn main() {
+    bench_synthesize();
+    bench_minimize();
+    bench_encodings();
+}

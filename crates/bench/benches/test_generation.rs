@@ -1,57 +1,44 @@
-//! Criterion micro-benchmark: the functional test generation procedure
-//! itself (the kernel behind Table 5).
+//! Micro-benchmark: the functional test generation procedure itself (the
+//! kernel behind Table 5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanft_bench::harness;
 use scanft_core::generate::{generate, per_transition_baseline, GenConfig};
 use scanft_fsm::benchmarks;
 use scanft_fsm::uio::{derive_uios_with, UioConfig};
 use std::hint::black_box;
 
-fn bench_generate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate/functional");
+fn bench_generate() {
+    let mut group = harness::group("generate/functional");
     group.sample_size(20);
     for name in ["lion", "dk16", "mark1", "keyb", "dvram"] {
         let table = benchmarks::build(name).expect("registry circuit");
         let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(&table, &uios),
-            |b, (table, uios)| {
-                b.iter(|| black_box(generate(table, uios, &GenConfig::default())));
-            },
-        );
+        group.bench(name, || {
+            black_box(generate(&table, &uios, &GenConfig::default()))
+        });
     }
-    group.finish();
 }
 
-fn bench_generate_no_transfer(c: &mut Criterion) {
+fn bench_generate_no_transfer() {
     // Table 8's configuration: transfers disabled.
-    let mut group = c.benchmark_group("generate/no_transfer");
+    let mut group = harness::group("generate/no_transfer");
     let table = benchmarks::build("dk16").expect("registry circuit");
     let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
     let config = GenConfig {
         transfer_max_len: 0,
         ..GenConfig::default()
     };
-    group.bench_function("dk16", |b| {
-        b.iter(|| black_box(generate(&table, &uios, &config)));
-    });
-    group.finish();
+    group.bench("dk16", || black_box(generate(&table, &uios, &config)));
 }
 
-fn bench_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate/per_transition_baseline");
+fn bench_baseline() {
+    let mut group = harness::group("generate/per_transition_baseline");
     let table = benchmarks::build("keyb").expect("registry circuit");
-    group.bench_function("keyb", |b| {
-        b.iter(|| black_box(per_transition_baseline(&table)));
-    });
-    group.finish();
+    group.bench("keyb", || black_box(per_transition_baseline(&table)));
 }
 
-criterion_group!(
-    benches,
-    bench_generate,
-    bench_generate_no_transfer,
-    bench_baseline
-);
-criterion_main!(benches);
+fn main() {
+    bench_generate();
+    bench_generate_no_transfer();
+    bench_baseline();
+}

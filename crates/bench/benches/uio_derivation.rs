@@ -1,51 +1,46 @@
-//! Criterion micro-benchmark: UIO sequence derivation (the kernel behind
-//! Table 4; the paper's dominant cost, up to 5650 s for `dvram`).
+//! Micro-benchmark: UIO sequence derivation (the kernel behind Table 4;
+//! the paper's dominant cost, up to 5650 s for `dvram`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scanft_bench::harness;
 use scanft_fsm::uio::{derive_uios_with, UioConfig};
 use scanft_fsm::{benchmarks, uio};
 use std::hint::black_box;
 
-fn bench_derive_all_states(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uio/derive_all_states");
+fn bench_derive_all_states() {
+    let mut group = harness::group("uio/derive_all_states");
     group.sample_size(20);
     for name in ["lion", "dk512", "dk16", "mark1", "keyb"] {
         let table = benchmarks::build(name).expect("registry circuit");
         let config = UioConfig::with_max_len(table.num_state_vars());
-        group.bench_with_input(BenchmarkId::from_parameter(name), &table, |b, table| {
-            b.iter(|| black_box(derive_uios_with(black_box(table), &config)));
+        group.bench(name, || {
+            black_box(derive_uios_with(black_box(&table), &config))
         });
     }
-    group.finish();
 }
 
-fn bench_single_state(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uio/single_state");
+fn bench_single_state() {
+    let mut group = harness::group("uio/single_state");
     let table = benchmarks::build("dk16").expect("registry circuit");
     let config = UioConfig::with_max_len(table.num_state_vars());
-    group.bench_function("dk16/state0", |b| {
-        b.iter(|| black_box(uio::find_uio(black_box(&table), 0, &config)));
+    group.bench("dk16/state0", || {
+        black_box(uio::find_uio(black_box(&table), 0, &config))
     });
-    group.finish();
 }
 
-fn bench_length_sweep(c: &mut Criterion) {
+fn bench_length_sweep() {
     // Table 9's shape: derivation cost versus the length bound L.
-    let mut group = c.benchmark_group("uio/length_sweep_dk512");
+    let mut group = harness::group("uio/length_sweep_dk512");
     let table = benchmarks::build("dk512").expect("registry circuit");
     for limit in [1usize, 2, 3, 4, 5] {
-        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
-            let config = UioConfig::with_max_len(limit);
-            b.iter(|| black_box(derive_uios_with(black_box(&table), &config)));
+        let config = UioConfig::with_max_len(limit);
+        group.bench(&limit.to_string(), || {
+            black_box(derive_uios_with(black_box(&table), &config))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_derive_all_states,
-    bench_single_state,
-    bench_length_sweep
-);
-criterion_main!(benches);
+fn main() {
+    bench_derive_all_states();
+    bench_single_state();
+    bench_length_sweep();
+}

@@ -23,9 +23,7 @@ fn main() {
     let args = Args::parse();
     println!("Ablation: scan-based vs non-scan functional tests");
     println!();
-    println!(
-        "  circuit  | verified% || sta: scan% | nonscan% || stuck-at: scan% | nonscan%"
-    );
+    println!("  circuit  | verified% || sta: scan% | nonscan% || stuck-at: scan% | nonscan%");
     scanft_bench::rule(80);
     for (spec, run) in plan_circuits(&args, Budget::GateLevel) {
         if !run {
@@ -57,21 +55,12 @@ fn main() {
             .map(|t| (t.initial_state, t.inputs.clone()))
             .collect();
         let sta_scan = sta::coverage(&table, &scan_tests, &sta_faults);
-        let sta_nonscan = sta::coverage_observing(
-            &table,
-            &nonscan.as_tests(0),
-            &sta_faults,
-            false,
-        );
+        let sta_nonscan = sta::coverage_observing(&table, &nonscan.as_tests(0), &sta_faults, false);
 
         // Gate-level stuck-at coverage.
         let circuit = synthesize(&table, &SynthConfig::default());
         let stuck = faults::as_fault_list(&faults::enumerate_stuck(circuit.netlist()));
-        let gate_scan = campaign::run(
-            circuit.netlist(),
-            &scan_set.to_scan_tests(&circuit),
-            &stuck,
-        );
+        let gate_scan = campaign::run(circuit.netlist(), &scan_set.to_scan_tests(&circuit), &stuck);
         let nonscan_gate_tests: Vec<ScanTest> = nonscan
             .sequences
             .iter()

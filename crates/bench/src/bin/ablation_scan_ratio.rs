@@ -42,8 +42,7 @@ fn main() {
         let trans = table.num_transitions();
         print!("  {:<8} |", spec.name);
         for (k, &m) in RATIOS.iter().enumerate() {
-            let funct =
-                clock_cycles_with_scan_ratio(sv, set.tests.len(), set.total_length(), m);
+            let funct = clock_cycles_with_scan_ratio(sv, set.tests.len(), set.total_length(), m);
             let base = clock_cycles_with_scan_ratio(sv, trans, trans, m);
             let p = percent_of(funct, base);
             sums[k] += p;

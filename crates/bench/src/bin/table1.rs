@@ -35,6 +35,9 @@ fn main() {
             }
         }
     }
-    println!("verification vs paper: {}/16 entries match", 16 - mismatches);
+    println!(
+        "verification vs paper: {}/16 entries match",
+        16 - mismatches
+    );
     assert_eq!(mismatches, 0, "embedded lion deviates from Table 1");
 }

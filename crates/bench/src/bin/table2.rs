@@ -33,7 +33,11 @@ fn main() {
     println!();
     println!(
         "verification vs paper: {}",
-        if ok { "all rows match exactly" } else { "MISMATCH" }
+        if ok {
+            "all rows match exactly"
+        } else {
+            "MISMATCH"
+        }
     );
     assert!(ok, "Table 2 deviates from the paper");
 }

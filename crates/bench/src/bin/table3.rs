@@ -39,7 +39,10 @@ fn main() {
     ];
 
     println!("Table 3: Stuck-at fault simulation for lion");
-    println!("(ours: {} line faults; paper: 40 faults on its own netlist)", list.len());
+    println!(
+        "(ours: {} line faults; paper: 40 faults on its own netlist)",
+        list.len()
+    );
     println!();
     println!("  test  | length | detected | effective ||  paper: len | det | eff");
     scanft_bench::rule(66);

@@ -65,7 +65,9 @@ fn main() {
         if gate.bridge_truncated {
             println!(
                 "  {:<8}    note: bridging pairs subsampled ({} of {} structural pairs)",
-                "", br.total_faults / 2, gate.bridge_pairs_total
+                "",
+                br.total_faults / 2,
+                gate.bridge_pairs_total
             );
         }
     }

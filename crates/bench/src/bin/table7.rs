@@ -52,12 +52,18 @@ fn main() {
                 format!(
                     "{:>6} | {:>5}",
                     gate.stuck.effective_cycles,
-                    pct(percent_of(gate.stuck.effective_cycles, report.baseline_cycles))
+                    pct(percent_of(
+                        gate.stuck.effective_cycles,
+                        report.baseline_cycles
+                    ))
                 ),
                 format!(
                     "{:>5} | {:>6}",
                     gate.bridging.effective_cycles,
-                    pct(percent_of(gate.bridging.effective_cycles, report.baseline_cycles))
+                    pct(percent_of(
+                        gate.bridging.effective_cycles,
+                        report.baseline_cycles
+                    ))
                 ),
             ),
             None => ("   (functional only)".to_owned(), String::new()),

@@ -1,0 +1,126 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the Criterion dev-dependency is
+//! replaced by this std-based harness: same group/id structure, automatic
+//! iteration-count calibration, and min/median/mean reporting. Samples are
+//! also recorded into the [`scanft_obs`] global registry (timer
+//! `bench.<group>.<id>`), so `SCANFT_METRICS=file cargo bench` leaves a
+//! machine-readable trace next to the human-readable report.
+//!
+//! # Example
+//!
+//! ```no_run
+//! let mut group = scanft_bench::harness::group("uio/derive_all_states");
+//! group.bench("lion", || {
+//!     // ... the measured work ...
+//! });
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one sample (many iterations per sample).
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Starts a benchmark group; `name` prefixes every reported id.
+#[must_use]
+pub fn group(name: &str) -> Group {
+    Group {
+        name: name.to_owned(),
+        sample_size: 20,
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    sample_size: usize,
+}
+
+impl Group {
+    /// Sets the number of samples per benchmark (default 20, minimum 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count so a sample takes
+    /// roughly [`TARGET_SAMPLE`], collects samples, and prints statistics.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        // Calibration: grow the iteration count until a sample is long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = time_iters(&mut f, iters);
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            // Aim straight at the target with a 2x cap per step.
+            let scale = (TARGET_SAMPLE.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
+                .clamp(1.2, 2.0);
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+
+        let timer = scanft_obs::global().timer(&format!("bench.{}.{id}", self.name));
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let elapsed = time_iters(&mut f, iters);
+            timer.record(elapsed);
+            per_iter_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(f64::total_cmp);
+        let min = per_iter_ns[0];
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        println!(
+            "{:<44} time: [min {}, median {}, mean {}] ({} samples x {} iters)",
+            format!("{}/{id}", self.name),
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean),
+            self.sample_size,
+            iters,
+        );
+    }
+}
+
+fn time_iters<R>(f: &mut impl FnMut() -> R, iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed()
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut g = group("harness.selftest");
+        g.sample_size(5).bench("noop", || 1 + 1);
+        let timer = scanft_obs::global().timer("bench.harness.selftest.noop");
+        assert!(timer.count() >= 5);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(1.0), "1.0 ns");
+        assert_eq!(format_ns(1500.0), "1.50 us");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.000 s");
+    }
+}

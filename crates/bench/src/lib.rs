@@ -1,5 +1,5 @@
 //! Benchmark harness for `scanft`: one binary per table of the paper
-//! (`table1` … `table9`) plus Criterion micro-benchmarks.
+//! (`table1` … `table9`) plus the [`harness`]-based micro-benchmarks.
 //!
 //! Every binary prints the regenerated table side by side with the paper's
 //! published values ([`paper`]). Absolute per-circuit values differ where
@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod paper;
 
 use scanft_fsm::benchmarks::{CircuitSpec, CIRCUITS};

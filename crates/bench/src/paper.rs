@@ -45,37 +45,502 @@ pub struct PaperRow {
 
 /// Rows of Tables 4–7, in the paper's order.
 pub const PAPER_ROWS: &[PaperRow] = &[
-    row("bbara", 4, 4, 11.49, 202, 434, 63.28, 0.10, (29, 133, 138, 138, 100.00), (9, 85, 192, 192, 100.00), 1284, (1246, 97.04), (253, 19.70), (125, 10.03)),
-    row("bbsse", 13, 3, 7.64, 1515, 2914, 62.70, 35.18, (36, 765, 238, 238, 100.00), (15, 673, 656, 656, 100.00), 10244, (8978, 87.64), (913, 8.91), (737, 8.21)),
-    row("bbtas", 1, 3, 0.08, 28, 44, 75.00, 0.00, (12, 28, 63, 63, 100.00), (6, 22, 64, 64, 100.00), 131, (131, 100.00), (67, 51.15), (43, 32.82)),
-    row("beecount", 5, 3, 0.05, 32, 153, 40.62, 0.04, (5, 93, 112, 110, 98.21), (2, 83, 166, 166, 100.00), 259, (252, 97.30), (111, 42.86), (92, 36.51)),
-    row("cse", 15, 3, 36.21, 1436, 3141, 59.96, 60.06, (42, 959, 357, 355, 99.44), (20, 703, 1604, 1597, 99.56), 10244, (8889, 86.77), (1131, 11.04), (787, 8.85)),
-    row("dk14", 1, 1, 0.08, 51, 82, 64.06, 0.03, (29, 60, 208, 207, 99.52), (13, 40, 362, 362, 100.00), 259, (238, 91.89), (150, 57.92), (82, 34.45)),
-    row("dk15", 3, 2, 0.02, 11, 76, 15.62, 0.01, (8, 69, 151, 151, 100.00), (2, 40, 140, 140, 100.00), 98, (100, 102.04), (87, 88.78), (46, 46.00)),
-    row("dk16", 23, 3, 4.70, 63, 317, 26.56, 0.22, (30, 266, 532, 530, 99.62), (8, 169, 1942, 1942, 100.00), 773, (637, 82.41), (421, 54.46), (214, 33.59)),
-    row("dk17", 6, 2, 0.03, 20, 53, 43.75, 0.01, (10, 43, 128, 128, 100.00), (2, 24, 120, 120, 100.00), 131, (116, 88.55), (76, 58.02), (33, 28.45)),
-    row("dk27", 5, 3, 0.01, 8, 40, 31.25, 0.01, (2, 22, 67, 67, 100.00), (1, 18, 50, 50, 100.00), 67, (67, 100.00), (31, 46.27), (24, 35.82)),
-    row("dk512", 6, 4, 0.14, 25, 58, 59.38, 0.01, (14, 41, 124, 124, 100.00), (2, 17, 136, 136, 100.00), 164, (162, 98.78), (101, 61.59), (29, 17.90)),
-    row("dvram", 48, 6, 5649.94, 12088, 33891, 61.71, 907.91, (18, 696, 425, 425, 100.00), (19, 826, 2672, 2672, 100.00), 114_694, (106_425, 92.79), (810, 0.71), (946, 0.89)),
-    row("ex2", 14, 4, 2.36, 93, 256, 53.91, 0.12, (27, 148, 312, 312, 100.00), (6, 74, 802, 799, 99.63), 773, (726, 93.92), (288, 37.26), (109, 15.01)),
-    row("ex3", 10, 3, 0.26, 41, 130, 54.69, 0.04, (10, 82, 153, 153, 100.00), (1, 52, 242, 241, 99.59), 324, (298, 91.98), (126, 38.89), (60, 20.13)),
-    row("ex4", 9, 4, 18.98, 384, 1006, 55.86, 0.83, (20, 248, 176, 176, 100.00), (9, 231, 288, 288, 100.00), 2564, (2546, 99.30), (332, 12.95), (271, 10.64)),
-    row("ex5", 7, 3, 0.08, 17, 73, 21.88, 0.01, (9, 42, 152, 138, 90.79), (6, 39, 210, 210, 100.00), 131, (127, 96.95), (72, 54.96), (60, 47.24)),
-    row("ex6", 8, 1, 0.11, 76, 501, 15.23, 0.63, (9, 324, 229, 229, 100.00), (6, 310, 660, 658, 99.70), 1027, (732, 71.28), (354, 34.47), (331, 45.22)),
-    row("ex7", 10, 3, 0.29, 44, 125, 57.81, 0.04, (15, 85, 160, 159, 99.38), (5, 71, 238, 238, 100.00), 324, (305, 94.14), (149, 45.99), (95, 31.15)),
-    row("fetch", 24, 4, 473.35, 11347, 26100, 55.40, 1272.69, (34, 863, 345, 342, 99.13), (44, 1628, 1564, 1564, 100.00), 98_309, (82_840, 84.26), (1038, 1.06), (1853, 2.24)),
-    row("keyb", 21, 4, 266.42, 3528, 5312, 82.35, 172.71, (62, 1161, 470, 470, 100.00), (30, 1084, 3194, 3177, 99.47), 24_581, (22_957, 93.39), (1476, 6.00), (1239, 5.40)),
-    row("lion", 2, 2, 0.00, 9, 28, 25.00, 0.00, (4, 21, 40, 40, 100.00), (4, 21, 18, 17, 94.44), 50, (48, 96.00), (31, 62.00), (31, 64.58)),
-    row("lion9", 2, 2, 0.01, 22, 56, 46.88, 0.01, (7, 32, 62, 59, 95.16), (3, 25, 52, 51, 98.08), 131, (125, 95.42), (56, 42.75), (37, 29.60)),
-    row("log", 13, 5, 639.51, 11520, 34560, 51.42, 533.81, (24, 1141, 313, 312, 99.68), (37, 1685, 1618, 1617, 99.94), 98_309, (92_165, 93.75), (1266, 1.29), (1875, 2.03)),
-    row("mark1", 12, 4, 2.82, 109, 653, 35.16, 0.38, (9, 400, 204, 203, 99.51), (4, 392, 532, 532, 100.00), 1284, (1093, 85.12), (440, 34.27), (412, 37.69)),
-    row("mc", 4, 1, 0.00, 9, 57, 25.00, 0.01, (3, 51, 73, 73, 100.00), (2, 50, 54, 54, 100.00), 98, (77, 78.57), (59, 60.20), (56, 72.73)),
-    row("nucpwr", 20, 5, 1887.44, 172_032, 446_464, 44.53, 373_906.81, (39, 300, 447, 447, 100.00), (91, 752, 3238, 3237, 99.97), 1_572_869, (1_306_629, 83.07), (500, 0.03), (1212, 0.09)),
-    row("opus", 7, 1, 2.78, 378, 698, 54.10, 0.23, (22, 97, 181, 181, 100.00), (14, 82, 452, 451, 99.78), 2564, (2214, 86.35), (189, 7.37), (142, 6.41)),
-    row("rie", 28, 5, 3042.78, 11037, 31457, 57.50, 2311.50, (42, 1145, 552, 548, 99.28), (58, 1876, 4214, 4213, 99.98), 98_309, (86_647, 88.14), (1360, 1.38), (2171, 2.51)),
-    row("shiftreg", 8, 3, 0.01, 13, 27, 75.00, 0.00, (2, 16, 28, 28, 100.00), (1, 15, 8, 8, 100.00), 67, (69, 102.99), (25, 37.31), (21, 30.43)),
-    row("tav", 2, 2, 0.07, 33, 125, 25.00, 0.01, (2, 62, 64, 64, 100.00), (2, 64, 86, 86, 100.00), 194, (193, 99.48), (68, 35.05), (70, 36.27)),
-    row("train11", 2, 3, 0.11, 53, 93, 65.62, 0.02, (11, 39, 104, 104, 100.00), (6, 32, 132, 132, 100.00), 324, (309, 95.37), (87, 26.85), (60, 19.42)),
+    row(
+        "bbara",
+        4,
+        4,
+        11.49,
+        202,
+        434,
+        63.28,
+        0.10,
+        (29, 133, 138, 138, 100.00),
+        (9, 85, 192, 192, 100.00),
+        1284,
+        (1246, 97.04),
+        (253, 19.70),
+        (125, 10.03),
+    ),
+    row(
+        "bbsse",
+        13,
+        3,
+        7.64,
+        1515,
+        2914,
+        62.70,
+        35.18,
+        (36, 765, 238, 238, 100.00),
+        (15, 673, 656, 656, 100.00),
+        10244,
+        (8978, 87.64),
+        (913, 8.91),
+        (737, 8.21),
+    ),
+    row(
+        "bbtas",
+        1,
+        3,
+        0.08,
+        28,
+        44,
+        75.00,
+        0.00,
+        (12, 28, 63, 63, 100.00),
+        (6, 22, 64, 64, 100.00),
+        131,
+        (131, 100.00),
+        (67, 51.15),
+        (43, 32.82),
+    ),
+    row(
+        "beecount",
+        5,
+        3,
+        0.05,
+        32,
+        153,
+        40.62,
+        0.04,
+        (5, 93, 112, 110, 98.21),
+        (2, 83, 166, 166, 100.00),
+        259,
+        (252, 97.30),
+        (111, 42.86),
+        (92, 36.51),
+    ),
+    row(
+        "cse",
+        15,
+        3,
+        36.21,
+        1436,
+        3141,
+        59.96,
+        60.06,
+        (42, 959, 357, 355, 99.44),
+        (20, 703, 1604, 1597, 99.56),
+        10244,
+        (8889, 86.77),
+        (1131, 11.04),
+        (787, 8.85),
+    ),
+    row(
+        "dk14",
+        1,
+        1,
+        0.08,
+        51,
+        82,
+        64.06,
+        0.03,
+        (29, 60, 208, 207, 99.52),
+        (13, 40, 362, 362, 100.00),
+        259,
+        (238, 91.89),
+        (150, 57.92),
+        (82, 34.45),
+    ),
+    row(
+        "dk15",
+        3,
+        2,
+        0.02,
+        11,
+        76,
+        15.62,
+        0.01,
+        (8, 69, 151, 151, 100.00),
+        (2, 40, 140, 140, 100.00),
+        98,
+        (100, 102.04),
+        (87, 88.78),
+        (46, 46.00),
+    ),
+    row(
+        "dk16",
+        23,
+        3,
+        4.70,
+        63,
+        317,
+        26.56,
+        0.22,
+        (30, 266, 532, 530, 99.62),
+        (8, 169, 1942, 1942, 100.00),
+        773,
+        (637, 82.41),
+        (421, 54.46),
+        (214, 33.59),
+    ),
+    row(
+        "dk17",
+        6,
+        2,
+        0.03,
+        20,
+        53,
+        43.75,
+        0.01,
+        (10, 43, 128, 128, 100.00),
+        (2, 24, 120, 120, 100.00),
+        131,
+        (116, 88.55),
+        (76, 58.02),
+        (33, 28.45),
+    ),
+    row(
+        "dk27",
+        5,
+        3,
+        0.01,
+        8,
+        40,
+        31.25,
+        0.01,
+        (2, 22, 67, 67, 100.00),
+        (1, 18, 50, 50, 100.00),
+        67,
+        (67, 100.00),
+        (31, 46.27),
+        (24, 35.82),
+    ),
+    row(
+        "dk512",
+        6,
+        4,
+        0.14,
+        25,
+        58,
+        59.38,
+        0.01,
+        (14, 41, 124, 124, 100.00),
+        (2, 17, 136, 136, 100.00),
+        164,
+        (162, 98.78),
+        (101, 61.59),
+        (29, 17.90),
+    ),
+    row(
+        "dvram",
+        48,
+        6,
+        5649.94,
+        12088,
+        33891,
+        61.71,
+        907.91,
+        (18, 696, 425, 425, 100.00),
+        (19, 826, 2672, 2672, 100.00),
+        114_694,
+        (106_425, 92.79),
+        (810, 0.71),
+        (946, 0.89),
+    ),
+    row(
+        "ex2",
+        14,
+        4,
+        2.36,
+        93,
+        256,
+        53.91,
+        0.12,
+        (27, 148, 312, 312, 100.00),
+        (6, 74, 802, 799, 99.63),
+        773,
+        (726, 93.92),
+        (288, 37.26),
+        (109, 15.01),
+    ),
+    row(
+        "ex3",
+        10,
+        3,
+        0.26,
+        41,
+        130,
+        54.69,
+        0.04,
+        (10, 82, 153, 153, 100.00),
+        (1, 52, 242, 241, 99.59),
+        324,
+        (298, 91.98),
+        (126, 38.89),
+        (60, 20.13),
+    ),
+    row(
+        "ex4",
+        9,
+        4,
+        18.98,
+        384,
+        1006,
+        55.86,
+        0.83,
+        (20, 248, 176, 176, 100.00),
+        (9, 231, 288, 288, 100.00),
+        2564,
+        (2546, 99.30),
+        (332, 12.95),
+        (271, 10.64),
+    ),
+    row(
+        "ex5",
+        7,
+        3,
+        0.08,
+        17,
+        73,
+        21.88,
+        0.01,
+        (9, 42, 152, 138, 90.79),
+        (6, 39, 210, 210, 100.00),
+        131,
+        (127, 96.95),
+        (72, 54.96),
+        (60, 47.24),
+    ),
+    row(
+        "ex6",
+        8,
+        1,
+        0.11,
+        76,
+        501,
+        15.23,
+        0.63,
+        (9, 324, 229, 229, 100.00),
+        (6, 310, 660, 658, 99.70),
+        1027,
+        (732, 71.28),
+        (354, 34.47),
+        (331, 45.22),
+    ),
+    row(
+        "ex7",
+        10,
+        3,
+        0.29,
+        44,
+        125,
+        57.81,
+        0.04,
+        (15, 85, 160, 159, 99.38),
+        (5, 71, 238, 238, 100.00),
+        324,
+        (305, 94.14),
+        (149, 45.99),
+        (95, 31.15),
+    ),
+    row(
+        "fetch",
+        24,
+        4,
+        473.35,
+        11347,
+        26100,
+        55.40,
+        1272.69,
+        (34, 863, 345, 342, 99.13),
+        (44, 1628, 1564, 1564, 100.00),
+        98_309,
+        (82_840, 84.26),
+        (1038, 1.06),
+        (1853, 2.24),
+    ),
+    row(
+        "keyb",
+        21,
+        4,
+        266.42,
+        3528,
+        5312,
+        82.35,
+        172.71,
+        (62, 1161, 470, 470, 100.00),
+        (30, 1084, 3194, 3177, 99.47),
+        24_581,
+        (22_957, 93.39),
+        (1476, 6.00),
+        (1239, 5.40),
+    ),
+    row(
+        "lion",
+        2,
+        2,
+        0.00,
+        9,
+        28,
+        25.00,
+        0.00,
+        (4, 21, 40, 40, 100.00),
+        (4, 21, 18, 17, 94.44),
+        50,
+        (48, 96.00),
+        (31, 62.00),
+        (31, 64.58),
+    ),
+    row(
+        "lion9",
+        2,
+        2,
+        0.01,
+        22,
+        56,
+        46.88,
+        0.01,
+        (7, 32, 62, 59, 95.16),
+        (3, 25, 52, 51, 98.08),
+        131,
+        (125, 95.42),
+        (56, 42.75),
+        (37, 29.60),
+    ),
+    row(
+        "log",
+        13,
+        5,
+        639.51,
+        11520,
+        34560,
+        51.42,
+        533.81,
+        (24, 1141, 313, 312, 99.68),
+        (37, 1685, 1618, 1617, 99.94),
+        98_309,
+        (92_165, 93.75),
+        (1266, 1.29),
+        (1875, 2.03),
+    ),
+    row(
+        "mark1",
+        12,
+        4,
+        2.82,
+        109,
+        653,
+        35.16,
+        0.38,
+        (9, 400, 204, 203, 99.51),
+        (4, 392, 532, 532, 100.00),
+        1284,
+        (1093, 85.12),
+        (440, 34.27),
+        (412, 37.69),
+    ),
+    row(
+        "mc",
+        4,
+        1,
+        0.00,
+        9,
+        57,
+        25.00,
+        0.01,
+        (3, 51, 73, 73, 100.00),
+        (2, 50, 54, 54, 100.00),
+        98,
+        (77, 78.57),
+        (59, 60.20),
+        (56, 72.73),
+    ),
+    row(
+        "nucpwr",
+        20,
+        5,
+        1887.44,
+        172_032,
+        446_464,
+        44.53,
+        373_906.81,
+        (39, 300, 447, 447, 100.00),
+        (91, 752, 3238, 3237, 99.97),
+        1_572_869,
+        (1_306_629, 83.07),
+        (500, 0.03),
+        (1212, 0.09),
+    ),
+    row(
+        "opus",
+        7,
+        1,
+        2.78,
+        378,
+        698,
+        54.10,
+        0.23,
+        (22, 97, 181, 181, 100.00),
+        (14, 82, 452, 451, 99.78),
+        2564,
+        (2214, 86.35),
+        (189, 7.37),
+        (142, 6.41),
+    ),
+    row(
+        "rie",
+        28,
+        5,
+        3042.78,
+        11037,
+        31457,
+        57.50,
+        2311.50,
+        (42, 1145, 552, 548, 99.28),
+        (58, 1876, 4214, 4213, 99.98),
+        98_309,
+        (86_647, 88.14),
+        (1360, 1.38),
+        (2171, 2.51),
+    ),
+    row(
+        "shiftreg",
+        8,
+        3,
+        0.01,
+        13,
+        27,
+        75.00,
+        0.00,
+        (2, 16, 28, 28, 100.00),
+        (1, 15, 8, 8, 100.00),
+        67,
+        (69, 102.99),
+        (25, 37.31),
+        (21, 30.43),
+    ),
+    row(
+        "tav",
+        2,
+        2,
+        0.07,
+        33,
+        125,
+        25.00,
+        0.01,
+        (2, 62, 64, 64, 100.00),
+        (2, 64, 86, 86, 100.00),
+        194,
+        (193, 99.48),
+        (68, 35.05),
+        (70, 36.27),
+    ),
+    row(
+        "train11",
+        2,
+        3,
+        0.11,
+        53,
+        93,
+        65.62,
+        0.02,
+        (11, 39, 104, 104, 100.00),
+        (6, 32, 132, 132, 100.00),
+        324,
+        (309, 95.37),
+        (87, 26.85),
+        (60, 19.42),
+    ),
 ];
 
 #[allow(clippy::too_many_arguments)]

@@ -11,6 +11,11 @@
 //!
 //! Circuits are the 31 benchmarks of the paper's Table 4, or a path to a
 //! KISS2 file.
+//!
+//! Every command additionally accepts `--metrics[=FILE]` (or the
+//! `SCANFT_METRICS` environment variable set to a path, `-` for stdout):
+//! after the command finishes, the process-wide `scanft-obs` registry is
+//! exported as JSON lines — one counter, gauge or timer per line.
 
 use std::process::ExitCode;
 
@@ -22,7 +27,14 @@ use scanft_synth::{synthesize, Encoding, SynthConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let outcome = run(&args);
+    if let Some(dest) = metrics_destination(&args) {
+        if let Err(message) = export_metrics(&dest) {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
@@ -30,6 +42,34 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Where to export the metrics registry, if anywhere: `--metrics` alone (or
+/// a destination of `-`) means stdout, `--metrics=FILE` a file, and the
+/// `SCANFT_METRICS` environment variable supplies a destination when the
+/// flag is absent.
+fn metrics_destination(args: &[String]) -> Option<String> {
+    for arg in args {
+        if arg == "--metrics" {
+            return Some("-".to_owned());
+        }
+        if let Some(path) = arg.strip_prefix("--metrics=") {
+            return Some(path.to_owned());
+        }
+    }
+    std::env::var("SCANFT_METRICS")
+        .ok()
+        .filter(|v| !v.is_empty())
+}
+
+fn export_metrics(dest: &str) -> Result<(), String> {
+    let jsonl = scanft_obs::global().to_jsonl();
+    if dest == "-" {
+        print!("{jsonl}");
+        Ok(())
+    } else {
+        std::fs::write(dest, jsonl).map_err(|e| format!("writing metrics to {dest}: {e}"))
     }
 }
 
@@ -43,7 +83,9 @@ const USAGE: &str = "usage:
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
   scanft dot <circuit>
 
-<circuit> is a benchmark name from `scanft list` or a path to a KISS2 file.";
+<circuit> is a benchmark name from `scanft list` or a path to a KISS2 file.
+Any command also accepts --metrics[=FILE] (or SCANFT_METRICS=FILE, `-` for
+stdout) to export the instrumentation registry as JSON lines on exit.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
@@ -303,7 +345,11 @@ fn cmd_evaluate(rest: &[String]) -> Result<(), String> {
             );
             println!(
                 "    complete coverage of detectable faults: {}",
-                if m.complete_detectable_coverage() { "yes" } else { "no" }
+                if m.complete_detectable_coverage() {
+                    "yes"
+                } else {
+                    "no"
+                }
             );
         }
         if gate.bridge_truncated {
@@ -337,9 +383,15 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
     };
     let circuit = synthesize(&table, &config);
     if flag(rest, "--dot") {
-        print!("{}", scanft_netlist::to_dot(circuit.netlist(), table.name()));
+        print!(
+            "{}",
+            scanft_netlist::to_dot(circuit.netlist(), table.name())
+        );
     } else if flag(rest, "--blif") {
-        print!("{}", scanft_netlist::blif::write(circuit.netlist(), table.name()));
+        print!(
+            "{}",
+            scanft_netlist::blif::write(circuit.netlist(), table.name())
+        );
     } else {
         println!("{}: {}", table.name(), circuit.netlist().stats());
         scanft_synth::verify_against_table(&circuit, &table, None)

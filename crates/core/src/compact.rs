@@ -139,22 +139,20 @@ mod tests {
         let circuit = scanft_synth::synthesize(&lion, &scanft_synth::SynthConfig::default());
         let stuck = scanft_sim::faults::enumerate_stuck(circuit.netlist());
         let faults = scanft_sim::faults::as_fault_list(&stuck);
-        let baseline = scanft_sim::campaign::run(
-            circuit.netlist(),
-            &set.to_scan_tests(&circuit),
-            &faults,
-        )
-        .detected();
+        let baseline =
+            scanft_sim::campaign::run(circuit.netlist(), &set.to_scan_tests(&circuit), &faults)
+                .detected();
         let result = combine_tests(&set, |candidate| {
-            let scan_tests: Vec<_> = candidate
-                .iter()
-                .map(|t| t.to_scan_test(&circuit))
-                .collect();
+            let scan_tests: Vec<_> = candidate.iter().map(|t| t.to_scan_test(&circuit)).collect();
             scanft_sim::campaign::run(circuit.netlist(), &scan_tests, &faults).detected()
                 >= baseline
         });
         // Whatever was accepted must preserve coverage.
-        let scan_tests: Vec<_> = result.tests.iter().map(|t| t.to_scan_test(&circuit)).collect();
+        let scan_tests: Vec<_> = result
+            .tests
+            .iter()
+            .map(|t| t.to_scan_test(&circuit))
+            .collect();
         let after = scanft_sim::campaign::run(circuit.netlist(), &scan_tests, &faults).detected();
         assert_eq!(after, baseline);
         // Fewer scan operations than the uncompacted set.

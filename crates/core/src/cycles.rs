@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn multi_chain_reduces_scan_cost() {
         // One chain reproduces the base formula.
-        assert_eq!(clock_cycles_multi_chain(4, 1, 9, 28, 1), clock_cycles(4, 9, 28));
+        assert_eq!(
+            clock_cycles_multi_chain(4, 1, 9, 28, 1),
+            clock_cycles(4, 9, 28)
+        );
         // Two chains of a 4-bit state: 2 shift cycles per scan op.
         assert_eq!(clock_cycles_multi_chain(4, 2, 9, 28, 1), 2 * 10 + 28);
         // Odd split rounds up.

@@ -2,8 +2,6 @@
 //! → fault simulation → effective-test selection — one call produces every
 //! number the paper's tables report for one circuit.
 
-use std::time::Instant;
-
 use scanft_fsm::uio::{derive_uios_with, UioConfig, UioSet};
 use scanft_fsm::StateTable;
 use scanft_netlist::NetlistStats;
@@ -158,7 +156,7 @@ impl FlowReport {
 /// ```
 #[must_use]
 pub fn run_flow(table: &StateTable, config: &FlowConfig) -> FlowReport {
-    let start = Instant::now();
+    let span = scanft_obs::global().timer("core.flow").start();
     let sv = table.num_state_vars();
 
     // 1. UIO derivation (Table 4).
@@ -211,7 +209,7 @@ pub fn run_flow(table: &StateTable, config: &FlowConfig) -> FlowReport {
         baseline_cycles,
         functional_cycles,
         gate,
-        total_secs: start.elapsed().as_secs_f64(),
+        total_secs: span.stop_secs(),
     }
 }
 

@@ -18,8 +18,6 @@
 //!   a state that does — otherwise the test ends at `s` *without* applying
 //!   the UIO.
 
-use std::time::Instant;
-
 use scanft_fsm::transfer::find_transfer;
 use scanft_fsm::uio::UioSet;
 use scanft_fsm::{InputId, StateId, StateTable};
@@ -75,7 +73,16 @@ impl Default for GenConfig {
 /// ```
 #[must_use]
 pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSet {
-    let start = Instant::now();
+    assert_eq!(
+        uios.num_states(),
+        table.num_states(),
+        "UIO set was derived for a machine with {} states, but `{}` has {}",
+        uios.num_states(),
+        table.name(),
+        table.num_states()
+    );
+    let obs = scanft_obs::global();
+    let span = obs.timer("core.generate").start();
     let npic = table.num_input_combos();
     let num_states = table.num_states();
     let cap = config.uio_len_cap.unwrap_or(usize::MAX);
@@ -129,6 +136,7 @@ pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSe
                         final_state: table.next_state(s, a),
                         targets: vec![(s, a)],
                     });
+                    obs.counter("core.generate.postponed_unit_tests").inc();
                 }
             }
             break;
@@ -138,10 +146,10 @@ pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSe
         let mut inputs: Vec<InputId> = Vec::new();
         let mut targets: Vec<(StateId, InputId)> = Vec::new();
         let mark = |s: StateId,
-                        a: InputId,
-                        untested: &mut Vec<bool>,
-                        counts: &mut Vec<usize>,
-                        remaining: &mut usize| {
+                    a: InputId,
+                    untested: &mut Vec<bool>,
+                    counts: &mut Vec<usize>,
+                    remaining: &mut usize| {
             let cell = s as usize * npic + a as usize;
             debug_assert!(untested[cell]);
             untested[cell] = false;
@@ -169,7 +177,13 @@ pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSe
             };
             inputs.push(a);
             targets.push((cur, a));
-            mark(cur, a, &mut untested, &mut untested_count_per_state, &mut remaining);
+            mark(
+                cur,
+                a,
+                &mut untested,
+                &mut untested_count_per_state,
+                &mut remaining,
+            );
             let arrived = table.next_state(cur, a);
 
             // Verify `arrived`: by UIO if useful, else scan-out.
@@ -195,6 +209,7 @@ pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSe
                     inputs.extend_from_slice(&uio.inputs);
                     inputs.extend_from_slice(&tr.inputs);
                     cur = tr.target;
+                    obs.counter("core.generate.transfer_hops").inc();
                 }
                 None => {
                     // End without applying the UIO; scan-out verifies
@@ -212,10 +227,12 @@ pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSe
         });
     }
 
+    obs.counter("core.generate.tests_emitted")
+        .add(tests.len() as u64);
     TestSet {
         tests,
         num_transitions: table.num_transitions(),
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs: span.stop_secs(),
     }
 }
 
@@ -223,8 +240,8 @@ pub fn generate(table: &StateTable, uios: &UioSet, config: &GenConfig) -> TestSe
 /// canonical order (`N_ST * N_PIC` tests).
 #[must_use]
 pub fn per_transition_baseline(table: &StateTable) -> TestSet {
-    let start = Instant::now();
-    let tests = table
+    let span = scanft_obs::global().timer("core.generate.baseline").start();
+    let tests: Vec<FunctionalTest> = table
         .transitions()
         .map(|t| FunctionalTest {
             initial_state: t.from,
@@ -236,7 +253,7 @@ pub fn per_transition_baseline(table: &StateTable) -> TestSet {
     TestSet {
         tests,
         num_transitions: table.num_transitions(),
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs: span.stop_secs(),
     }
 }
 
@@ -308,7 +325,9 @@ mod tests {
 
     #[test]
     fn coverage_on_several_benchmarks() {
-        for name in ["bbtas", "dk15", "dk27", "shiftreg", "beecount", "ex5", "mc", "tav"] {
+        for name in [
+            "bbtas", "dk15", "dk27", "shiftreg", "beecount", "ex5", "mc", "tav",
+        ] {
             let t = benchmarks::build(name).unwrap();
             let uios = derive_uios(&t, t.num_state_vars());
             let set = generate(&t, &uios, &GenConfig::default());
@@ -366,6 +385,18 @@ mod tests {
         assert_eq!(base.total_length(), 16);
         assert!((base.percent_unit_tested() - 100.0).abs() < 1e-9);
         assert_covers_all(&lion, &base);
+    }
+
+    #[test]
+    #[should_panic(expected = "UIO set was derived for a machine with")]
+    fn mismatched_uio_set_panics() {
+        // UIOs derived for lion (4 states) must be rejected by a machine
+        // with a different state count.
+        let lion = benchmarks::lion();
+        let uios = derive_uios(&lion, lion.num_state_vars());
+        let other = benchmarks::build("bbtas").unwrap();
+        assert_ne!(other.num_states(), lion.num_states());
+        let _ = generate(&other, &uios, &GenConfig::default());
     }
 
     #[test]

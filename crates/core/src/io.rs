@@ -35,7 +35,11 @@ pub struct ParseTestsError {
 
 impl fmt::Display for ParseTestsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "test-set parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "test-set parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -100,14 +104,16 @@ pub fn parse_tests(text: &str, table: &StateTable) -> Result<TestSet, ParseTests
             (Some(a), Some(b), Some(c), None) => (a.trim(), b.trim(), c.trim()),
             _ => return Err(fail("expected `initial | inputs | final`".into())),
         };
-        let initial_state = resolve_state(table, init)
-            .ok_or_else(|| fail(format!("unknown state `{init}`")))?;
+        let initial_state =
+            resolve_state(table, init).ok_or_else(|| fail(format!("unknown state `{init}`")))?;
         let final_state =
             resolve_state(table, fin).ok_or_else(|| fail(format!("unknown state `{fin}`")))?;
         let mut inputs: Vec<InputId> = Vec::new();
         for token in seq.split_whitespace() {
             let value = parse_bits(token)
-                .filter(|&v| v < table.num_input_combos() as u64 && token.len() == table.num_inputs())
+                .filter(|&v| {
+                    v < table.num_input_combos() as u64 && token.len() == table.num_inputs()
+                })
                 .ok_or_else(|| fail(format!("bad input combination `{token}`")))?;
             inputs.push(value as InputId);
         }

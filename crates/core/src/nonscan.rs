@@ -143,15 +143,13 @@ pub fn generate_nonscan(
             let mut progressed = false;
             loop {
                 // A pending transition out of the current state?
-                let next_here = (0..npic as InputId)
-                    .find(|&a| eligible(cur, a, &pending));
+                let next_here = (0..npic as InputId).find(|&a| eligible(cur, a, &pending));
                 let a = match next_here {
                     Some(a) => a,
                     None => {
                         // Transfer to a state with an eligible transition.
-                        let goal = |s: StateId| {
-                            (0..npic as InputId).any(|a| eligible(s, a, &pending))
-                        };
+                        let goal =
+                            |s: StateId| (0..npic as InputId).any(|a| eligible(s, a, &pending));
                         match find_transfer(table, cur, transfer_len, goal) {
                             Some(tr) => {
                                 seq.extend_from_slice(&tr.inputs);
@@ -272,8 +270,7 @@ mod tests {
         let (lion, r) = lion_result();
         let faults = sta::enumerate(&lion, sta::StaUniverse::Full);
         let nonscan_tests = r.as_tests(0);
-        let nonscan =
-            sta::coverage_observing(&lion, &nonscan_tests, &faults, false);
+        let nonscan = sta::coverage_observing(&lion, &nonscan_tests, &faults, false);
 
         let uios = uio::derive_uios(&lion, 2);
         let set = crate::generate::generate(&lion, &uios, &crate::generate::GenConfig::default());
@@ -286,6 +283,10 @@ mod tests {
 
         assert!(scan.detected() > nonscan.detected());
         // Scan-based tests detect nearly everything; quantify both.
-        assert!(scan.coverage_percent() > 95.0, "{}", scan.coverage_percent());
+        assert!(
+            scan.coverage_percent() > 95.0,
+            "{}",
+            scan.coverage_percent()
+        );
     }
 }

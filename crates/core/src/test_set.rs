@@ -47,7 +47,10 @@ impl FunctionalTest {
     /// synthesized implementation (states become scan codes).
     #[must_use]
     pub fn to_scan_test(&self, circuit: &SynthesizedCircuit) -> ScanTest {
-        ScanTest::new(circuit.encode_state(self.initial_state), self.inputs.clone())
+        ScanTest::new(
+            circuit.encode_state(self.initial_state),
+            self.inputs.clone(),
+        )
     }
 }
 
@@ -79,10 +82,14 @@ impl TestSet {
 
     /// The `1len` column of Table 5: percentage of state transitions tested
     /// by tests of length one.
+    ///
+    /// A machine with zero transitions is vacuously 100% unit-tested — the
+    /// same convention as `CampaignReport::coverage_percent`, which reports
+    /// 100.0 for an empty fault list ("nothing required, everything done").
     #[must_use]
     pub fn percent_unit_tested(&self) -> f64 {
         if self.num_transitions == 0 {
-            return 0.0;
+            return 100.0;
         }
         100.0 * self.transitions_in_unit_tests() as f64 / self.num_transitions as f64
     }
@@ -142,5 +149,17 @@ mod tests {
         assert_eq!(set.transitions_in_unit_tests(), 1);
         assert!((set.percent_unit_tested() - 25.0).abs() < 1e-9);
         assert_eq!(set.targeted_transitions().len(), 3);
+    }
+
+    /// Vacuous case pinned: zero transitions means 100% unit-tested, the
+    /// same convention as an empty-fault-list campaign.
+    #[test]
+    fn percent_unit_tested_is_vacuously_full() {
+        let empty = TestSet {
+            tests: vec![],
+            num_transitions: 0,
+            elapsed_secs: 0.0,
+        };
+        assert!((empty.percent_unit_tested() - 100.0).abs() < 1e-12);
     }
 }

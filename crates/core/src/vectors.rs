@@ -139,7 +139,12 @@ pub fn schedule(set: &TestSet, table: &StateTable, circuit: &SynthesizedCircuit)
     }
 }
 
-fn push_shift(cycles: &mut Vec<TesterCycle>, sv: usize, incoming: Option<u64>, outgoing: Option<u64>) {
+fn push_shift(
+    cycles: &mut Vec<TesterCycle>,
+    sv: usize,
+    incoming: Option<u64>,
+    outgoing: Option<u64>,
+) {
     for k in (0..sv).rev() {
         cycles.push(TesterCycle::Shift {
             scan_in: incoming.is_some_and(|code| code >> k & 1 == 1),
@@ -204,7 +209,7 @@ mod tests {
         let sched = schedule(&set, &lion, &circuit);
         assert_eq!(sched.len() as u64, expected_cycles(&set, 2));
         assert_eq!(sched.len(), 48); // Table 7, row lion.
-        // And for the baseline: 50 cycles.
+                                     // And for the baseline: 50 cycles.
         let base = per_transition_baseline(&lion);
         let base_sched = schedule(&base, &lion, &circuit);
         assert_eq!(base_sched.len(), 50);

@@ -1,113 +1,120 @@
-//! Property-based tests for the test generation procedure.
+//! Randomized property tests for the test generation procedure.
+//!
+//! Driven by the in-repo SplitMix64 RNG with fixed seeds so the workspace
+//! builds and tests fully offline (no external `proptest`).
 
-use proptest::prelude::*;
 use scanft_core::generate::{generate, per_transition_baseline, GenConfig};
 use scanft_core::{compact, cycles};
 use scanft_fsm::benchmarks::random_machine;
+use scanft_fsm::rng::SplitMix64;
 use scanft_fsm::uio::derive_uios;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// The generated test set targets every transition exactly once, and
-    /// every recorded final state matches machine simulation — for random
-    /// machines and all parameter settings.
-    #[test]
-    fn generation_covers_every_transition_once(
-        pi in 1usize..=3,
-        po in 1usize..=2,
-        states in 2usize..=8,
-        seed in any::<u64>(),
-        transfer_len in 0usize..=2,
-        uio_cap in prop::option::of(0usize..=3),
-    ) {
-        let table = random_machine("prop", pi, po, states, seed).unwrap();
+/// The generated test set targets every transition exactly once, and every
+/// recorded final state matches machine simulation — for random machines
+/// and all parameter settings.
+#[test]
+fn generation_covers_every_transition_once() {
+    let mut rng = SplitMix64::new(0xC04E_0001);
+    for _ in 0..40 {
+        let pi = 1 + rng.next_below(3) as usize;
+        let po = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(7) as usize;
+        let table = random_machine("prop", pi, po, states, rng.next_u64()).unwrap();
         let uios = derive_uios(&table, table.num_state_vars());
-        let config = GenConfig { uio_len_cap: uio_cap, transfer_max_len: transfer_len };
+        let config = GenConfig {
+            uio_len_cap: rng.chance(1, 2).then(|| rng.next_below(4) as usize),
+            transfer_max_len: rng.next_below(3) as usize,
+        };
         let set = generate(&table, &uios, &config);
         let mut seen = vec![false; table.num_transitions()];
         for t in &set.tests {
-            prop_assert!(!t.is_empty());
+            assert!(!t.is_empty());
             let (fin, _) = table.run(t.initial_state, &t.inputs);
-            prop_assert_eq!(fin, t.final_state);
+            assert_eq!(fin, t.final_state);
             for &(s, a) in &t.targets {
                 let cell = s as usize * table.num_input_combos() + a as usize;
-                prop_assert!(!seen[cell], "transition targeted twice");
+                assert!(!seen[cell], "transition targeted twice");
                 seen[cell] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "transition never targeted");
+        assert!(seen.iter().all(|&s| s), "transition never targeted");
         // Never more tests than the per-transition baseline.
-        prop_assert!(set.tests.len() <= table.num_transitions());
+        assert!(set.tests.len() <= table.num_transitions());
         // Unit-test percentage is consistent with its definition.
         let unit = set.tests.iter().filter(|t| t.len() == 1).count();
-        prop_assert_eq!(set.transitions_in_unit_tests(), unit);
+        assert_eq!(set.transitions_in_unit_tests(), unit);
     }
+}
 
-    /// Functional tests never use more scan operations than the baseline,
-    /// and the cycle formula is internally consistent.
-    #[test]
-    fn cycle_accounting(
-        pi in 1usize..=2,
-        states in 2usize..=8,
-        seed in any::<u64>(),
-    ) {
-        let table = random_machine("prop", pi, 1, states, seed).unwrap();
+/// Functional tests never use more scan operations than the baseline, and
+/// the cycle formula is internally consistent.
+#[test]
+fn cycle_accounting() {
+    let mut rng = SplitMix64::new(0xC04E_0002);
+    for _ in 0..40 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(7) as usize;
+        let table = random_machine("prop", pi, 1, states, rng.next_u64()).unwrap();
         let uios = derive_uios(&table, table.num_state_vars());
         let set = generate(&table, &uios, &GenConfig::default());
         let base = per_transition_baseline(&table);
         let sv = table.num_state_vars();
         let set_cycles = cycles::test_set_cycles(&set, sv);
         let base_cycles = cycles::test_set_cycles(&base, sv);
-        prop_assert_eq!(
+        assert_eq!(
             set_cycles,
             sv as u64 * (set.tests.len() as u64 + 1) + set.total_length() as u64
         );
         // Baseline: trans tests of length 1.
-        prop_assert_eq!(
+        assert_eq!(
             base_cycles,
             sv as u64 * (table.num_transitions() as u64 + 1) + table.num_transitions() as u64
         );
     }
+}
 
-    /// Unconditional compaction preserves the targeted transitions and the
-    /// run-consistency of every test, and strictly reduces scan count when
-    /// it combines anything.
-    #[test]
-    fn compaction_preserves_structure(
-        pi in 1usize..=2,
-        states in 2usize..=6,
-        seed in any::<u64>(),
-    ) {
-        let table = random_machine("prop", pi, 1, states, seed).unwrap();
+/// Unconditional compaction preserves the targeted transitions and the
+/// run-consistency of every test.
+#[test]
+fn compaction_preserves_structure() {
+    let mut rng = SplitMix64::new(0xC04E_0003);
+    for _ in 0..40 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(5) as usize;
+        let table = random_machine("prop", pi, 1, states, rng.next_u64()).unwrap();
         let uios = derive_uios(&table, table.num_state_vars());
         let set = generate(&table, &uios, &GenConfig::default());
         let result = compact::combine_tests(&set, |_| true);
-        prop_assert_eq!(result.tests.len() + result.combinations, set.tests.len());
+        assert_eq!(result.tests.len() + result.combinations, set.tests.len());
         let mut targets = 0usize;
         for t in &result.tests {
             let (fin, _) = table.run(t.initial_state, &t.inputs);
-            prop_assert_eq!(fin, t.final_state);
+            assert_eq!(fin, t.final_state);
             targets += t.targets.len();
         }
-        prop_assert_eq!(targets, table.num_transitions());
+        assert_eq!(targets, table.num_transitions());
     }
+}
 
-    /// Disabling UIOs entirely (cap 0) degenerates to one test per
-    /// transition regardless of the machine.
-    #[test]
-    fn no_uios_means_unit_tests(
-        pi in 1usize..=2,
-        states in 2usize..=6,
-        seed in any::<u64>(),
-    ) {
-        let table = random_machine("prop", pi, 1, states, seed).unwrap();
+/// Disabling UIOs entirely (cap 0) degenerates to one test per transition
+/// regardless of the machine.
+#[test]
+fn no_uios_means_unit_tests() {
+    let mut rng = SplitMix64::new(0xC04E_0004);
+    for _ in 0..40 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(5) as usize;
+        let table = random_machine("prop", pi, 1, states, rng.next_u64()).unwrap();
         let uios = derive_uios(&table, table.num_state_vars());
-        let set = generate(&table, &uios, &GenConfig {
-            uio_len_cap: Some(0),
-            transfer_max_len: 1,
-        });
-        prop_assert_eq!(set.tests.len(), table.num_transitions());
-        prop_assert!(set.tests.iter().all(|t| t.len() == 1));
+        let set = generate(
+            &table,
+            &uios,
+            &GenConfig {
+                uio_len_cap: Some(0),
+                transfer_max_len: 1,
+            },
+        );
+        assert_eq!(set.tests.len(), table.num_transitions());
+        assert!(set.tests.iter().all(|t| t.len() == 1));
     }
 }

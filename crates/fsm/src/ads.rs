@@ -223,7 +223,10 @@ fn group_members(
         }
         groups.entry(key).or_default().push(s);
     }
-    order.into_iter().map(|k| groups.remove(&k).expect("key recorded")).collect()
+    order
+        .into_iter()
+        .map(|k| groups.remove(&k).expect("key recorded"))
+        .collect()
 }
 
 /// Recursively extends the traces of all origins in `pairs` until each is

@@ -164,13 +164,7 @@ pub fn detects_all_inequivalent_faults(
 ) -> Vec<sta::TransitionFault> {
     let mut missed = Vec::new();
     for fault in sta::enumerate(table, universe) {
-        let detected = sta::detects_observing(
-            table,
-            &fault,
-            cs.initial_state,
-            &cs.inputs,
-            false,
-        );
+        let detected = sta::detects_observing(table, &fault, cs.initial_state, &cs.inputs, false);
         if detected {
             continue;
         }

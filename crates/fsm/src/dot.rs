@@ -41,11 +41,7 @@ pub fn to_dot(table: &StateTable) -> String {
             }
         }
         for (to, list) in labels {
-            let _ = writeln!(
-                out,
-                "  s{from} -> s{to} [label=\"{}\"];",
-                list.join("\\n")
-            );
+            let _ = writeln!(out, "  s{from} -> s{to} [label=\"{}\"];", list.join("\\n"));
         }
     }
     out.push_str("}\n");

@@ -48,7 +48,10 @@ pub mod wset;
 
 pub use error::FsmError;
 pub use seq::{format_input, format_input_seq, format_output, parse_bits, InputSeq};
-pub use table::{StateTable, StateTableBuilder, Transition, TransitionIter, MAX_INPUTS, MAX_OUTPUTS, MAX_STATE_VARS};
+pub use table::{
+    StateTable, StateTableBuilder, Transition, TransitionIter, MAX_INPUTS, MAX_OUTPUTS,
+    MAX_STATE_VARS,
+};
 
 /// Index of a state in a [`StateTable`] (row index, also the binary code
 /// assigned by the default state encoding).

@@ -261,7 +261,11 @@ mod tests {
         for s in 0..3u32 {
             // Locate the quotient state whose name matches a member class.
             let class_of_zero = eq.class_of(0);
-            let q_state = if eq.class_of(s) == class_of_zero { 0 } else { 1 };
+            let q_state = if eq.class_of(s) == class_of_zero {
+                0
+            } else {
+                1
+            };
             for seq in [[0u32, 1, 0].as_slice(), &[1, 1, 0, 0]] {
                 assert_eq!(t.run(s, seq).1, q.run(q_state, seq).1, "state {s}");
             }

@@ -33,7 +33,6 @@
 //! per state so a truncated search is never silently reported as "no UIO".
 
 use std::collections::HashSet;
-use std::time::Instant;
 
 use crate::{InputId, StateId, StateTable};
 
@@ -198,6 +197,13 @@ impl UioSet {
             .iter()
             .any(|o| matches!(o, UioOutcome::BudgetExceeded { .. }))
     }
+
+    /// Number of states the set was derived for (one outcome per state of
+    /// the source machine).
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.outcomes.len()
+    }
 }
 
 /// Derives the UIO (if any) for a single state, bounded by `config`.
@@ -219,6 +225,22 @@ impl UioSet {
 /// ```
 #[must_use]
 pub fn find_uio(table: &StateTable, state: StateId, config: &UioConfig) -> UioOutcome {
+    let (outcome, nodes) = find_uio_inner(table, state, config);
+    let obs = scanft_obs::global();
+    obs.counter("fsm.uio.states_searched").inc();
+    obs.counter("fsm.uio.nodes_expanded").add(nodes as u64);
+    match &outcome {
+        UioOutcome::Found(u) => {
+            obs.counter("fsm.uio.found").inc();
+            obs.counter(&format!("fsm.uio.found.len{}", u.len())).inc();
+        }
+        UioOutcome::None => obs.counter("fsm.uio.none").inc(),
+        UioOutcome::BudgetExceeded { .. } => obs.counter("fsm.uio.budget_exceeded").inc(),
+    }
+    outcome
+}
+
+fn find_uio_inner(table: &StateTable, state: StateId, config: &UioConfig) -> (UioOutcome, usize) {
     let npic = table.num_input_combos() as InputId;
     let num_states = table.num_states();
 
@@ -230,13 +252,12 @@ pub fn find_uio(table: &StateTable, state: StateId, config: &UioConfig) -> UioOu
         path: Vec<InputId>,
     }
 
-    let initial_survivors: Vec<StateId> = (0..num_states as StateId)
-        .filter(|&t| t != state)
-        .collect();
+    let initial_survivors: Vec<StateId> =
+        (0..num_states as StateId).filter(|&t| t != state).collect();
     if initial_survivors.is_empty() {
         // A one-state machine: the empty sequence vacuously identifies it,
         // but the paper's UIOs are applied sequences; report none.
-        return UioOutcome::None;
+        return (UioOutcome::None, 0);
     }
 
     let mut queue = std::collections::VecDeque::new();
@@ -271,11 +292,14 @@ pub fn find_uio(table: &StateTable, state: StateId, config: &UioConfig) -> UioOu
                 let mut inputs = node.path.clone();
                 inputs.push(a);
                 let (final_state, outputs) = table.run(state, &inputs);
-                return UioOutcome::Found(Uio {
-                    inputs,
-                    outputs,
-                    final_state,
-                });
+                return (
+                    UioOutcome::Found(Uio {
+                        inputs,
+                        outputs,
+                        final_state,
+                    }),
+                    visited.len(),
+                );
             }
             next_survivors.sort_unstable();
             next_survivors.dedup();
@@ -288,9 +312,8 @@ pub fn find_uio(table: &StateTable, state: StateId, config: &UioConfig) -> UioOu
             // Budget is charged on enqueue so that both time and memory stay
             // bounded even with very large input alphabets.
             if visited.len() > config.node_budget {
-                return UioOutcome::BudgetExceeded {
-                    nodes: visited.len(),
-                };
+                let nodes = visited.len();
+                return (UioOutcome::BudgetExceeded { nodes }, nodes);
             }
             let mut path = node.path.clone();
             path.push(a);
@@ -301,7 +324,7 @@ pub fn find_uio(table: &StateTable, state: StateId, config: &UioConfig) -> UioOu
             });
         }
     }
-    UioOutcome::None
+    (UioOutcome::None, visited.len())
 }
 
 /// Derives UIO sequences for every state with the default node budget and
@@ -323,14 +346,15 @@ pub fn derive_uios(table: &StateTable, max_len: usize) -> UioSet {
 /// Derives UIO sequences for every state with an explicit configuration.
 #[must_use]
 pub fn derive_uios_with(table: &StateTable, config: &UioConfig) -> UioSet {
-    let start = Instant::now();
-    let outcomes = (0..table.num_states() as StateId)
+    let span = scanft_obs::global().timer("fsm.uio.derive").start();
+    let outcomes: Vec<UioOutcome> = (0..table.num_states() as StateId)
         .map(|s| find_uio(table, s, config))
         .collect();
+    scanft_obs::global().counter("fsm.uio.machines").inc();
     UioSet {
         outcomes,
         max_len: config.max_len,
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs: span.stop_secs(),
     }
 }
 
@@ -449,10 +473,7 @@ mod tests {
         };
         let mut saw_budget = false;
         for s in 0..t.num_states() as StateId {
-            if matches!(
-                find_uio(&t, s, &config),
-                UioOutcome::BudgetExceeded { .. }
-            ) {
+            if matches!(find_uio(&t, s, &config), UioOutcome::BudgetExceeded { .. }) {
                 saw_budget = true;
             }
         }

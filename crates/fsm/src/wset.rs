@@ -87,11 +87,7 @@ pub fn characterizing_set(table: &StateTable) -> Option<WSet> {
 /// assert_eq!(scanft_fsm::wset::separating_sequence(&lion, 0, 1), Some(vec![0b00]));
 /// ```
 #[must_use]
-pub fn separating_sequence(
-    table: &StateTable,
-    a: StateId,
-    b: StateId,
-) -> Option<Vec<InputId>> {
+pub fn separating_sequence(table: &StateTable, a: StateId, b: StateId) -> Option<Vec<InputId>> {
     if a == b {
         return None;
     }

@@ -1,62 +1,59 @@
-//! Property-based tests for the FSM substrate.
+//! Randomized property tests for the FSM substrate.
+//!
+//! Driven by the in-repo SplitMix64 RNG with fixed seeds so the workspace
+//! builds and tests fully offline (no external `proptest`) and every run
+//! checks the same cases.
 
-use proptest::prelude::*;
-use scanft_fsm::{benchmarks, graph, kiss, minimize, transfer, uio, StateTable, StateTableBuilder};
+use scanft_fsm::rng::SplitMix64;
+use scanft_fsm::{benchmarks, graph, kiss, minimize, transfer, uio, StateTable};
 
-/// Strategy producing small random completely-specified machines.
-fn arb_table() -> impl Strategy<Value = StateTable> {
-    (1usize..=3, 1usize..=3, 2usize..=8).prop_flat_map(|(pi, po, states)| {
-        let cells = states << pi;
-        let max_out = (1u64 << po) - 1;
-        (
-            proptest::collection::vec(0..states as u32, cells),
-            proptest::collection::vec(0..=max_out, cells),
-        )
-            .prop_map(move |(nexts, outs)| {
-                let mut b = StateTableBuilder::new("prop", pi, po, states).unwrap();
-                for s in 0..states as u32 {
-                    for i in 0..(1u32 << pi) {
-                        let cell = s as usize * (1 << pi) + i as usize;
-                        b.set(s, i, nexts[cell], outs[cell]).unwrap();
-                    }
-                }
-                b.build().unwrap()
-            })
-    })
+/// Produces a small random completely-specified machine (1–3 inputs, 1–3
+/// outputs, 2–8 states), mirroring the old proptest strategy.
+fn random_table(rng: &mut SplitMix64) -> StateTable {
+    let pi = 1 + rng.next_below(3) as usize;
+    let po = 1 + rng.next_below(3) as usize;
+    let states = 2 + rng.next_below(7) as usize;
+    benchmarks::random_machine("prop", pi, po, states, rng.next_u64()).expect("dimensions in range")
 }
 
-proptest! {
-    /// Every UIO the search returns satisfies the definition: the output
-    /// response of its state differs from that of every other state.
-    #[test]
-    fn uio_satisfies_definition(table in arb_table()) {
-        let set = uio::derive_uios(&table, table.num_state_vars() + 2);
+/// Every UIO the search returns satisfies the definition: the output
+/// response of its state differs from that of every other state.
+#[test]
+fn uio_satisfies_definition() {
+    let mut rng = SplitMix64::new(0xF5A1);
+    for _ in 0..48 {
+        let table = random_table(&mut rng);
+        let bound = table.num_state_vars() + 2;
+        let set = uio::derive_uios(&table, bound);
         for s in 0..table.num_states() as u32 {
             if let Some(u) = set.sequence(s) {
-                prop_assert!(uio::is_uio(&table, s, &u.inputs));
+                assert!(uio::is_uio(&table, s, &u.inputs));
                 let (fin, outs) = table.run(s, &u.inputs);
-                prop_assert_eq!(fin, u.final_state);
-                prop_assert_eq!(&outs, &u.outputs);
-                prop_assert!(u.len() <= table.num_state_vars() + 2);
+                assert_eq!(fin, u.final_state);
+                assert_eq!(outs, u.outputs);
+                assert!(u.len() <= bound);
             }
         }
     }
+}
 
-    /// UIO search is exact for short bounds: if it reports "none" with bound
-    /// L, brute-force enumeration up to L finds nothing either.
-    #[test]
-    fn uio_none_is_sound(table in arb_table()) {
+/// UIO search is exact for short bounds: if it reports "none" with bound L,
+/// brute-force enumeration up to L finds nothing either.
+#[test]
+fn uio_none_is_sound() {
+    let mut rng = SplitMix64::new(0xF5A2);
+    for _ in 0..32 {
+        let table = random_table(&mut rng);
         let bound = 2usize;
         let set = uio::derive_uios(&table, bound);
-        prop_assert!(!set.any_budget_exceeded());
+        assert!(!set.any_budget_exceeded());
         let npic = table.num_input_combos() as u32;
         for s in 0..table.num_states() as u32 {
             if set.sequence(s).is_some() {
                 continue;
             }
-            // Brute force all sequences of length 1..=bound.
             for len in 1..=bound {
-                let total = (npic as u64).pow(len as u32);
+                let total = u64::from(npic).pow(len as u32);
                 for code in 0..total {
                     let mut seq = Vec::with_capacity(len);
                     let mut c = code;
@@ -64,131 +61,154 @@ proptest! {
                         seq.push((c % u64::from(npic)) as u32);
                         c /= u64::from(npic);
                     }
-                    prop_assert!(
+                    assert!(
                         !uio::is_uio(&table, s, &seq),
-                        "missed UIO {:?} for state {}", seq, s
+                        "missed UIO {seq:?} for state {s}"
                     );
                 }
             }
         }
     }
+}
 
-    /// A state equivalent to another state can never have a UIO, and a UIO
-    /// implies distinguishability.
-    #[test]
-    fn uio_consistent_with_equivalence(table in arb_table()) {
+/// A state equivalent to another state can never have a UIO.
+#[test]
+fn uio_consistent_with_equivalence() {
+    let mut rng = SplitMix64::new(0xF5A3);
+    for _ in 0..48 {
+        let table = random_table(&mut rng);
         let eq = minimize::equivalence_classes(&table);
         let set = uio::derive_uios(&table, table.num_state_vars() + 2);
         for s in 0..table.num_states() as u32 {
             if set.sequence(s).is_some() {
-                prop_assert!(eq.is_distinguishable(s));
+                assert!(eq.is_distinguishable(s));
             }
         }
     }
+}
 
-    /// Transfer sequences reach their claimed target, satisfy the goal, and
-    /// respect the length bound.
-    #[test]
-    fn transfer_reaches_goal(table in arb_table(), from in 0u32..8, max_len in 1usize..4) {
-        let from = from % table.num_states() as u32;
+/// Transfer sequences reach their claimed target, satisfy the goal, and
+/// respect the length bound.
+#[test]
+fn transfer_reaches_goal() {
+    let mut rng = SplitMix64::new(0xF5A4);
+    for _ in 0..48 {
+        let table = random_table(&mut rng);
+        let from = rng.next_below(table.num_states() as u64) as u32;
+        let max_len = 1 + rng.next_below(3) as usize;
         // Goal: any even-numbered state other than `from`.
         let goal = |s: u32| s.is_multiple_of(2) && s != from;
         if let Some(t) = transfer::find_transfer(&table, from, max_len, goal) {
-            prop_assert!(!t.inputs.is_empty());
-            prop_assert!(t.inputs.len() <= max_len);
-            prop_assert_eq!(table.run_state(from, &t.inputs), t.target);
-            prop_assert!(goal(t.target));
+            assert!(!t.inputs.is_empty());
+            assert!(t.inputs.len() <= max_len);
+            assert_eq!(table.run_state(from, &t.inputs), t.target);
+            assert!(goal(t.target));
         } else {
             // Exhaustive check that no length-1 transfer exists (cheap
             // completeness spot-check of the BFS).
             for a in 0..table.num_input_combos() as u32 {
                 let n = table.next_state(from, a);
-                prop_assert!(!(goal(n) && n != from));
+                assert!(!(goal(n) && n != from));
             }
         }
     }
+}
 
-    /// Every trace of a derived adaptive distinguishing sequence is a UIO
-    /// for its state, and machines with equivalent states never get one.
-    #[test]
-    fn ads_traces_are_uios(table in arb_table()) {
-        match scanft_fsm::ads::derive_ads(&table) {
-            Some(ads) => {
-                for s in 0..table.num_states() as u32 {
-                    prop_assert!(
-                        uio::is_uio(&table, s, ads.trace(s)),
-                        "trace of state {} is not a UIO", s
-                    );
-                }
-            }
-            None => {
-                // Sound negative: nothing to check here beyond the
-                // equivalence necessary condition.
+/// Every trace of a derived adaptive distinguishing sequence is a UIO for
+/// its state, and machines with equivalent states never get one.
+#[test]
+fn ads_traces_are_uios() {
+    let mut rng = SplitMix64::new(0xF5A5);
+    for _ in 0..48 {
+        let table = random_table(&mut rng);
+        if let Some(ads) = scanft_fsm::ads::derive_ads(&table) {
+            for s in 0..table.num_states() as u32 {
+                assert!(
+                    uio::is_uio(&table, s, ads.trace(s)),
+                    "trace of state {s} is not a UIO"
+                );
             }
         }
         let eq = minimize::equivalence_classes(&table);
         if eq.num_classes() < table.num_states() {
-            prop_assert!(scanft_fsm::ads::derive_ads(&table).is_none());
+            assert!(scanft_fsm::ads::derive_ads(&table).is_none());
         }
     }
+}
 
-    /// Whenever a checking sequence can be built, it detects every single
-    /// transition fault that makes the machine inequivalent from the
-    /// initial state — the checking-sequence guarantee, checked empirically.
-    #[test]
-    fn checking_sequence_guarantee(table in arb_table()) {
+/// Whenever a checking sequence can be built, it detects every single
+/// transition fault that makes the machine inequivalent from the initial
+/// state — the checking-sequence guarantee, checked empirically.
+#[test]
+fn checking_sequence_guarantee() {
+    let mut rng = SplitMix64::new(0xF5A6);
+    for _ in 0..24 {
+        let table = random_table(&mut rng);
         if let Ok(cs) = scanft_fsm::checking::build_checking_sequence(&table, 0) {
             let universe = if table.num_transitions() <= 32 {
                 scanft_fsm::sta::StaUniverse::Full
             } else {
                 scanft_fsm::sta::StaUniverse::Sampled(5)
             };
-            let missed = scanft_fsm::checking::detects_all_inequivalent_faults(
-                &table, &cs, universe,
-            );
-            prop_assert!(
+            let missed =
+                scanft_fsm::checking::detects_all_inequivalent_faults(&table, &cs, universe);
+            assert!(
                 missed.is_empty(),
-                "{} inequivalent faults missed by the checking sequence", missed.len()
+                "{} inequivalent faults missed by the checking sequence",
+                missed.len()
             );
         }
     }
+}
 
-    /// KISS2 writing and parsing round-trips every machine.
-    #[test]
-    fn kiss_round_trip(table in arb_table()) {
+/// KISS2 writing and parsing round-trips every machine.
+#[test]
+fn kiss_round_trip() {
+    let mut rng = SplitMix64::new(0xF5A7);
+    for _ in 0..48 {
+        let table = random_table(&mut rng);
         let text = kiss::write(&table);
         let back = kiss::parse_with(&text, table.name(), kiss::Completion::Reject).unwrap();
-        prop_assert_eq!(table, back);
+        assert_eq!(table, back);
     }
+}
 
-    /// Shortest paths returned by the graph module are valid and minimal
-    /// (no strictly shorter path exists, verified by BFS level counting).
-    #[test]
-    fn shortest_path_is_valid(table in arb_table(), from in 0u32..8, to in 0u32..8) {
-        let from = from % table.num_states() as u32;
-        let to = to % table.num_states() as u32;
+/// Shortest paths returned by the graph module are valid, and absent paths
+/// coincide with unreachability.
+#[test]
+fn shortest_path_is_valid() {
+    let mut rng = SplitMix64::new(0xF5A8);
+    for _ in 0..48 {
+        let table = random_table(&mut rng);
+        let from = rng.next_below(table.num_states() as u64) as u32;
+        let to = rng.next_below(table.num_states() as u64) as u32;
         let reach = graph::reachable_from(&table, from);
         match graph::shortest_path(&table, from, to) {
             Some(p) => {
-                prop_assert!(reach[to as usize]);
-                prop_assert_eq!(table.run_state(from, &p), to);
+                assert!(reach[to as usize]);
+                assert_eq!(table.run_state(from, &p), to);
             }
-            None => prop_assert!(!reach[to as usize]),
+            None => assert!(!reach[to as usize]),
         }
     }
+}
 
-    /// `run` decomposes over concatenation of sequences.
-    #[test]
-    fn run_is_compositional(table in arb_table(), seq in proptest::collection::vec(0u32..8, 0..12)) {
-        let npic = table.num_input_combos() as u32;
-        let seq: Vec<u32> = seq.into_iter().map(|i| i % npic).collect();
+/// `run` decomposes over concatenation of sequences.
+#[test]
+fn run_is_compositional() {
+    let mut rng = SplitMix64::new(0xF5A9);
+    for _ in 0..48 {
+        let table = random_table(&mut rng);
+        let npic = table.num_input_combos() as u64;
+        let len = rng.next_below(12) as usize;
+        let seq: Vec<u32> = (0..len).map(|_| rng.next_below(npic) as u32).collect();
         let (fin, outs) = table.run(0, &seq);
         let split = seq.len() / 2;
         let (mid, outs_a) = table.run(0, &seq[..split]);
         let (fin_b, outs_b) = table.run(mid, &seq[split..]);
-        prop_assert_eq!(fin, fin_b);
+        assert_eq!(fin, fin_b);
         let glued: Vec<u64> = outs_a.into_iter().chain(outs_b).collect();
-        prop_assert_eq!(outs, glued);
+        assert_eq!(outs, glued);
     }
 }
 

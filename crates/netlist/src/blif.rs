@@ -35,14 +35,15 @@ pub fn write(netlist: &Netlist, model: &str) -> String {
     let outputs: Vec<String> = (1..=netlist.pos().len()).map(|k| format!("z{k}")).collect();
     let _ = writeln!(out, ".outputs {}", outputs.join(" "));
     for (k, _) in netlist.ppos().iter().enumerate() {
-        let _ = writeln!(out, ".latch ns{} {} re clk 0", k + 1, netlist.net_name(netlist.ppi(k)));
+        let _ = writeln!(
+            out,
+            ".latch ns{} {} re clk 0",
+            k + 1,
+            netlist.net_name(netlist.ppi(k))
+        );
     }
     for (g, gate) in netlist.gates().iter().enumerate() {
-        let names: Vec<String> = gate
-            .inputs
-            .iter()
-            .map(|&i| netlist.net_name(i))
-            .collect();
+        let names: Vec<String> = gate.inputs.iter().map(|&i| netlist.net_name(i)).collect();
         let target = netlist.net_name(netlist.gate_output(g));
         let _ = writeln!(out, ".names {} {}", names.join(" "), target);
         let k = gate.inputs.len();
@@ -144,8 +145,12 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                 ".inputs" => inputs.extend(parts.map(str::to_owned)),
                 ".outputs" => outputs.extend(parts.map(str::to_owned)),
                 ".latch" => {
-                    let ns = parts.next().ok_or_else(|| fail("`.latch` needs an input".into()))?;
-                    let ps = parts.next().ok_or_else(|| fail("`.latch` needs an output".into()))?;
+                    let ns = parts
+                        .next()
+                        .ok_or_else(|| fail("`.latch` needs an input".into()))?;
+                    let ps = parts
+                        .next()
+                        .ok_or_else(|| fail("`.latch` needs an output".into()))?;
                     latches.push((ns.to_owned(), ps.to_owned()));
                 }
                 ".names" => {
@@ -361,8 +366,7 @@ mod tests {
                     *val = if point >> k & 1 == 1 { u64::MAX } else { 0 };
                 }
                 for (g, gate) in n.gates().iter().enumerate() {
-                    let ins: Vec<u64> =
-                        gate.inputs.iter().map(|&i| vals[i as usize]).collect();
+                    let ins: Vec<u64> = gate.inputs.iter().map(|&i| vals[i as usize]).collect();
                     vals[n.gate_output(g) as usize] = gate.kind.eval_words(&ins);
                 }
                 let po = n

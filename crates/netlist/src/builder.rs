@@ -187,6 +187,10 @@ impl NetlistBuilder {
             }
             level[inputs + g] = lvl;
         }
+        let obs = scanft_obs::global();
+        obs.counter("netlist.built").inc();
+        obs.counter("netlist.gates_built")
+            .add(self.gates.len() as u64);
         Ok(Netlist {
             num_pis: self.num_pis,
             num_ppis: self.num_ppis,
@@ -207,7 +211,13 @@ mod tests {
     fn rejects_forward_references() {
         let mut b = NetlistBuilder::new(1, 0);
         let err = b.add_gate(GateKind::And, &[0, 7]).unwrap_err();
-        assert_eq!(err, NetlistError::UnknownNet { net: 7, num_nets: 1 });
+        assert_eq!(
+            err,
+            NetlistError::UnknownNet {
+                net: 7,
+                num_nets: 1
+            }
+        );
     }
 
     #[test]

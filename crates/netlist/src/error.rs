@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = NetlistError::UnknownNet { net: 9, num_nets: 3 };
+        let e = NetlistError::UnknownNet {
+            net: 9,
+            num_nets: 3,
+        };
         assert!(e.to_string().contains('9'));
         let e = NetlistError::BadFanin {
             kind: "NOT",

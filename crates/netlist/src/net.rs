@@ -234,9 +234,7 @@ impl Netlist {
     /// to at least one gate.
     #[must_use]
     pub fn is_connected(&self, net: NetId) -> bool {
-        !self.fanout[net as usize].is_empty()
-            || self.pos.contains(&net)
-            || self.ppos.contains(&net)
+        !self.fanout[net as usize].is_empty() || self.pos.contains(&net) || self.ppos.contains(&net)
     }
 
     /// Summary statistics (gate counts by kind, depth, net count).

@@ -49,8 +49,7 @@ impl Reachability {
             let out = netlist.gate_output(g) as usize;
             // Collect the row of `out` once to avoid aliasing while writing
             // into input rows.
-            let out_row: Vec<u64> =
-                rows[out * words_per_row..(out + 1) * words_per_row].to_vec();
+            let out_row: Vec<u64> = rows[out * words_per_row..(out + 1) * words_per_row].to_vec();
             let inputs = netlist.gates()[g].inputs.clone();
             for input in inputs {
                 let row = &mut rows[input as usize * words_per_row..];

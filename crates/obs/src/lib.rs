@@ -1,0 +1,52 @@
+//! Observability substrate for `scanft`: counters, gauges, histogram-style
+//! timers and span scopes behind a thread-safe registry, with JSON-lines
+//! export.
+//!
+//! The paper's experimental claims are all *counting* claims — tests
+//! generated, UIO search nodes expanded, fault batches simulated, detections
+//! per test — so every stage of the pipeline reports its work through this
+//! crate rather than through ad-hoc fields and print statements.
+//!
+//! # Design
+//!
+//! - **No dependencies.** Everything is built on `std::sync::atomic` and a
+//!   registration-time `Mutex`.
+//! - **No locks on the hot path.** A [`Counter`], [`Gauge`] or [`Timer`] is
+//!   a clonable handle around an `Arc` of atomics; registration takes the
+//!   registry lock once, after which every update is a relaxed atomic
+//!   operation. Fetch handles outside loops.
+//! - **Deterministic export.** [`Registry::to_jsonl`] emits one JSON object
+//!   per metric, sorted by name, so exports diff cleanly and golden tests
+//!   can pin the schema.
+//!
+//! # Example
+//!
+//! ```
+//! use scanft_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let tests = registry.counter("core.generate.tests_emitted");
+//! tests.add(9);
+//! let timer = registry.timer("core.generate_secs");
+//! let span = timer.start();
+//! // ... do the work ...
+//! let secs = span.stop_secs();
+//! assert!(secs >= 0.0);
+//! assert_eq!(tests.get(), 9);
+//! let jsonl = registry.to_jsonl();
+//! assert!(jsonl.contains("\"name\":\"core.generate.tests_emitted\",\"value\":9"));
+//! ```
+//!
+//! Most callers use the process-wide registry via [`global`]; the CLI's
+//! `--metrics` flag exports it after a command finishes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metric;
+mod registry;
+
+pub use export::{escape_json_string, MetricSnapshot, SnapshotValue};
+pub use metric::{Counter, Gauge, Span, Timer, TIMER_BUCKETS};
+pub use registry::{global, Registry};

@@ -1,0 +1,302 @@
+//! The metric primitives: counters, gauges and histogram-style timers.
+//!
+//! Handles are cheap clones of an `Arc` of atomics; every update is a
+//! relaxed atomic operation, so instrumented hot loops pay one indirection
+//! and one atomic RMW per event and never contend on a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets kept by a [`Timer`].
+///
+/// Decade buckets: bucket 0 counts observations below 100 ns, bucket `k`
+/// (for `1 <= k < 8`) counts `10^(k+1) <= nanoseconds < 10^(k+2)`, and the
+/// last bucket is unbounded above (≥ 1 s).
+pub const TIMER_BUCKETS: usize = 9;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a free-standing counter (registry-less, mainly for tests).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (e.g. gates after minimization).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a free-standing gauge (registry-less, mainly for tests).
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is higher than the current value.
+    pub fn set_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct TimerCore {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; TIMER_BUCKETS],
+}
+
+impl Default for TimerCore {
+    fn default() -> Self {
+        TimerCore {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            // Seeded so the first `fetch_min` wins regardless of ordering.
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: Default::default(),
+        }
+    }
+}
+
+/// A histogram-style duration accumulator: count, total, min, max and
+/// decade buckets (see [`TIMER_BUCKETS`]).
+#[derive(Debug, Clone, Default)]
+pub struct Timer(pub(crate) Arc<TimerCore>);
+
+impl Timer {
+    /// Creates a free-standing timer (registry-less, mainly for tests).
+    #[must_use]
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Starts a span scope; the elapsed time is recorded when the span is
+    /// stopped or dropped.
+    #[must_use]
+    pub fn start(&self) -> Span {
+        Span {
+            timer: self.clone(),
+            started: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let core = &*self.0;
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.total_ns.fetch_add(ns, Ordering::Relaxed);
+        core.min_ns.fetch_min(ns, Ordering::Relaxed);
+        core.max_ns.fetch_max(ns, Ordering::Relaxed);
+        core.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in seconds.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.0.total_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Shortest observation in seconds (0.0 before any observation).
+    #[must_use]
+    pub fn min_secs(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        self.0.min_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Longest observation in seconds (0.0 before any observation).
+    #[must_use]
+    pub fn max_secs(&self) -> f64 {
+        self.0.max_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// The decade bucket counts (see [`TIMER_BUCKETS`]).
+    #[must_use]
+    pub fn buckets(&self) -> [u64; TIMER_BUCKETS] {
+        let mut out = [0; TIMER_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.0.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    // Decade buckets starting at 10 ns: [0,100), [100,1000), ...
+    let mut bucket = 0;
+    let mut bound = 100u64;
+    while bucket + 1 < TIMER_BUCKETS && ns >= bound {
+        bucket += 1;
+        bound = bound.saturating_mul(10);
+    }
+    bucket
+}
+
+/// A lightweight span scope: measures from [`Timer::start`] until
+/// [`Span::stop`] (or drop) and records the duration into its timer.
+#[derive(Debug)]
+pub struct Span {
+    timer: Timer,
+    started: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    /// Stops the span, records the elapsed time, and returns it.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.started.elapsed();
+        self.timer.record(elapsed);
+        self.recorded = true;
+        elapsed
+    }
+
+    /// Stops the span, records the elapsed time, and returns it in seconds
+    /// — the shape legacy `elapsed_secs` fields report.
+    pub fn stop_secs(self) -> f64 {
+        self.stop().as_secs_f64()
+    }
+
+    /// Elapsed time so far without stopping the span.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.timer.record(self.started.elapsed());
+            self.recorded = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 43, "clones share state");
+    }
+
+    #[test]
+    fn gauge_last_write_and_max() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.set_max(2);
+        assert_eq!(g.get(), 3);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn timer_records_statistics() {
+        let t = Timer::new();
+        t.record(Duration::from_micros(5));
+        t.record(Duration::from_micros(50));
+        assert_eq!(t.count(), 2);
+        assert!(t.total_secs() >= 55e-6 - 1e-9);
+        assert!(t.min_secs() <= 5e-6 + 1e-9);
+        assert!(t.max_secs() >= 50e-6 - 1e-9);
+        assert_eq!(t.buckets().iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn span_records_on_stop_and_on_drop() {
+        let t = Timer::new();
+        let span = t.start();
+        assert!(span.elapsed() >= Duration::ZERO);
+        let d = span.stop();
+        assert_eq!(t.count(), 1);
+        assert!(d >= Duration::ZERO);
+        {
+            let _span = t.start();
+        }
+        assert_eq!(t.count(), 2, "drop records unfinished spans");
+        let secs = t.start().stop_secs();
+        assert!(secs >= 0.0);
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn buckets_are_decades() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(99), 0);
+        assert_eq!(bucket_of(100), 1);
+        assert_eq!(bucket_of(999), 1);
+        assert_eq!(bucket_of(1_000), 2);
+        assert_eq!(bucket_of(999_999_999), 7);
+        assert_eq!(bucket_of(1_000_000_000), 8);
+        assert_eq!(bucket_of(u64::MAX), TIMER_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,218 @@
+//! The metric registry: name → handle, plus the process-wide instance.
+//!
+//! Registration takes a `Mutex` once per `counter`/`gauge`/`timer` call and
+//! returns a lock-free handle; instrumented code fetches handles outside its
+//! hot loops. Names are sorted (`BTreeMap`) so exports are deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::export::{MetricSnapshot, SnapshotValue};
+use crate::metric::{Counter, Gauge, Timer};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Timer(Timer),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Timer(_) => "timer",
+        }
+    }
+}
+
+/// A named collection of metrics.
+///
+/// Most code uses the process-wide [`global`] registry; fresh instances
+/// exist for tests and for embedding scanft as a library in a host with its
+/// own metrics plumbing.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or if the registry lock is poisoned.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or if the registry lock is poisoned.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the timer named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or if the registry lock is poisoned.
+    #[must_use]
+    pub fn timer(&self, name: &str) -> Timer {
+        match self.register(name, || Metric::Timer(Timer::new())) {
+            Metric::Timer(t) => t,
+            other => panic!("metric `{name}` is a {}, not a timer", other.kind()),
+        }
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        metrics.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// Number of registered metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.lock().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no metric has been registered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        metrics
+            .iter()
+            .map(|(name, metric)| MetricSnapshot {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Timer(t) => SnapshotValue::Timer {
+                        count: t.count(),
+                        total_secs: t.total_secs(),
+                        min_secs: t.min_secs(),
+                        max_secs: t.max_secs(),
+                        buckets: t.buckets(),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Renders every metric as JSON lines (one object per metric, sorted by
+    /// name, trailing newline). See [`MetricSnapshot::to_json`] for the
+    /// per-line schema.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for snapshot in self.snapshot() {
+            out.push_str(&snapshot.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The process-wide registry used by the instrumented pipeline and exported
+/// by the CLI's `--metrics` flag.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_shared_handle() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").get(), 5);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.gauge("alpha").set(1);
+        let _ = r.timer("mid");
+        let names: Vec<String> = r.snapshot().into_iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        // Only touch names namespaced to this test: the global registry is
+        // process-wide and other tests may run in parallel.
+        global().counter("obs.test.global_is_shared").add(7);
+        assert_eq!(global().counter("obs.test.global_is_shared").get(), 7);
+    }
+
+    #[test]
+    fn registration_is_thread_safe() {
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = &r;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        r.counter(&format!("c{}", i % 10)).inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 10);
+        let total: u64 = (0..10).map(|i| r.counter(&format!("c{i}")).get()).sum();
+        assert_eq!(total, 400);
+    }
+}

@@ -123,6 +123,13 @@ pub fn run_ordered_observing(
     faults: &[Fault],
     observe_scan_out: bool,
 ) -> CampaignReport {
+    let obs = scanft_obs::global();
+    let _span = obs.timer("sim.campaign.run").start();
+    obs.counter("sim.campaign.faults").add(faults.len() as u64);
+    let batches_run = obs.counter("sim.campaign.batches");
+    let tests_simulated = obs.counter("sim.campaign.tests_simulated");
+    let tests_skipped = obs.counter("sim.campaign.tests_skipped");
+
     // Fault-free responses, computed once per referenced test.
     let mut responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
     for &t in order {
@@ -134,11 +141,13 @@ pub fn run_ordered_observing(
     let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
     let mut engine = FaultEngine::new(netlist);
     for (batch_start, batch) in faults.chunks(64).enumerate().map(|(i, b)| (i * 64, b)) {
+        batches_run.inc();
         let plan = InjectionPlan::new(netlist, batch);
         let mut detected: u64 = 0;
         let all = plan.lane_mask();
         for (pos, &t) in order.iter().enumerate() {
             let response = responses[t].as_ref().expect("response precomputed");
+            tests_simulated.inc();
             let newly =
                 engine.run_test_observing(&tests[t], response, &plan, detected, observe_scan_out);
             if newly != 0 {
@@ -151,6 +160,9 @@ pub fn run_ordered_observing(
                 detected |= newly;
             }
             if detected == all {
+                // Fault dropping: the whole batch is detected, so the rest
+                // of the ordered test list never has to be simulated.
+                tests_skipped.add((order.len() - pos - 1) as u64);
                 break;
             }
         }
@@ -184,6 +196,9 @@ pub fn run_parallel(
     num_threads: usize,
 ) -> CampaignReport {
     assert!(num_threads > 0, "num_threads must be positive");
+    let obs = scanft_obs::global();
+    let _span = obs.timer("sim.campaign.parallel").start();
+    obs.counter("sim.campaign.faults").add(faults.len() as u64);
     // Fault-free responses, computed once up front and shared read-only.
     let mut responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
     for &t in order {
@@ -202,10 +217,13 @@ pub fn run_parallel(
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..num_threads.min(batches.len().max(1)) {
+        for worker in 0..num_threads.min(batches.len().max(1)) {
             let batches = &batches;
             let next_batch = &next_batch;
             let responses = &responses;
+            let batches_run = obs.counter("sim.campaign.batches");
+            let thread_batches =
+                obs.counter(&format!("sim.campaign.parallel.thread{worker}.batches"));
             handles.push(scope.spawn(move || {
                 let mut engine = FaultEngine::new(netlist);
                 let mut results: Vec<(usize, Vec<Option<usize>>)> = Vec::new();
@@ -214,6 +232,8 @@ pub fn run_parallel(
                     let Some(&(batch_start, batch)) = batches.get(k) else {
                         break;
                     };
+                    batches_run.inc();
+                    thread_batches.inc();
                     let plan = InjectionPlan::new(netlist, batch);
                     let mut local: Vec<Option<usize>> = vec![None; batch.len()];
                     let mut detected: u64 = 0;
@@ -279,10 +299,7 @@ pub struct EffectivenessRow {
 /// Produces the rows of a Table-3-style effectiveness table from a
 /// decreasing-length campaign.
 #[must_use]
-pub fn effectiveness_table(
-    tests: &[ScanTest],
-    report: &CampaignReport,
-) -> Vec<EffectivenessRow> {
+pub fn effectiveness_table(tests: &[ScanTest], report: &CampaignReport) -> Vec<EffectivenessRow> {
     let mut cumulative = 0usize;
     report
         .order
@@ -406,7 +423,10 @@ mod tests {
         let sequential = run_ordered(c.netlist(), &tests, &order, &list);
         for threads in [1, 2, 4] {
             let parallel = run_parallel(c.netlist(), &tests, &order, &list, true, threads);
-            assert_eq!(parallel.detecting_test, sequential.detecting_test, "{threads}");
+            assert_eq!(
+                parallel.detecting_test, sequential.detecting_test,
+                "{threads}"
+            );
             assert_eq!(parallel.new_detections, sequential.new_detections);
         }
         // Non-observing variant agrees too.
@@ -415,11 +435,27 @@ mod tests {
         assert_eq!(par_po.detecting_test, seq_po.detecting_test);
     }
 
+    /// Vacuous case pinned: an empty fault list is 100% covered — the same
+    /// convention as `TestSet::percent_unit_tested` with zero transitions.
+    #[test]
+    fn empty_fault_list_is_vacuously_covered() {
+        let (c, tests) = lion_setup();
+        let report = run(c.netlist(), &tests, &[]);
+        assert_eq!(report.num_faults(), 0);
+        assert_eq!(report.detected(), 0);
+        assert!((report.coverage_percent() - 100.0).abs() < 1e-12);
+        assert!(report.undetected_faults().is_empty());
+    }
+
     #[test]
     fn more_than_64_faults_batch_correctly() {
         let (c, tests) = lion_setup();
         let stuck = faults::enumerate_stuck(c.netlist());
-        assert!(stuck.len() > 64, "need multiple batches, got {}", stuck.len());
+        assert!(
+            stuck.len() > 64,
+            "need multiple batches, got {}",
+            stuck.len()
+        );
         let list = faults::as_fault_list(&stuck);
         let report = run(c.netlist(), &tests, &list);
         // Cross-check a sample of faults against single-fault simulation.

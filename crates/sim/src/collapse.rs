@@ -71,11 +71,8 @@ impl CollapsedFaults {
 /// ```
 #[must_use]
 pub fn collapse_stuck(netlist: &Netlist, faults: &[StuckFault]) -> CollapsedFaults {
-    let index: HashMap<StuckFault, usize> = faults
-        .iter()
-        .enumerate()
-        .map(|(k, &f)| (f, k))
-        .collect();
+    let index: HashMap<StuckFault, usize> =
+        faults.iter().enumerate().map(|(k, &f)| (f, k)).collect();
 
     // Union-find over fault indices.
     let mut parent: Vec<usize> = (0..faults.len()).collect();
@@ -110,12 +107,7 @@ pub fn collapse_stuck(netlist: &Netlist, faults: &[StuckFault]) -> CollapsedFaul
             }
             FaultSite::Net(source)
         };
-        index
-            .get(&StuckFault {
-                site,
-                stuck_at_one,
-            })
-            .copied()
+        index.get(&StuckFault { site, stuck_at_one }).copied()
     };
     let out_fault = |net: NetId, stuck_at_one: bool| -> Option<usize> {
         index
@@ -233,14 +225,9 @@ mod tests {
             .transitions()
             .map(|t| ScanTest::new(u64::from(t.from), vec![t.input]))
             .collect();
-        let full = campaign::run(
-            c.netlist(),
-            &tests,
-            &faults::as_fault_list(&stuck),
-        );
+        let full = campaign::run(c.netlist(), &tests, &faults::as_fault_list(&stuck));
         // All members of a class must agree on their detecting test.
-        let mut per_class: Vec<Option<Option<usize>>> =
-            vec![None; collapsed.representatives.len()];
+        let mut per_class: Vec<Option<Option<usize>>> = vec![None; collapsed.representatives.len()];
         for (k, &class) in collapsed.class_of.iter().enumerate() {
             match per_class[class] {
                 None => per_class[class] = Some(full.detecting_test[k]),

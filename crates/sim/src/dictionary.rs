@@ -26,10 +26,8 @@ impl FaultDictionary {
     /// Builds the dictionary by full (non-dropping) fault simulation.
     #[must_use]
     pub fn build(netlist: &Netlist, tests: &[ScanTest], faults: &[Fault]) -> Self {
-        let responses: Vec<ScanResponse> = tests
-            .iter()
-            .map(|t| logic::simulate(netlist, t))
-            .collect();
+        let responses: Vec<ScanResponse> =
+            tests.iter().map(|t| logic::simulate(netlist, t)).collect();
         let mut signatures: Vec<Vec<u32>> = vec![Vec::new(); faults.len()];
         let mut engine = FaultEngine::new(netlist);
         for (batch_start, batch) in faults.chunks(64).enumerate().map(|(i, b)| (i * 64, b)) {
@@ -93,8 +91,7 @@ impl FaultDictionary {
     #[must_use]
     pub fn resolution(&self) -> f64 {
         use std::collections::HashSet;
-        let detected: Vec<&Vec<u32>> =
-            self.signatures.iter().filter(|s| !s.is_empty()).collect();
+        let detected: Vec<&Vec<u32>> = self.signatures.iter().filter(|s| !s.is_empty()).collect();
         if detected.is_empty() {
             return 1.0;
         }
@@ -125,8 +122,12 @@ mod tests {
     use crate::faults;
     use scanft_synth::{synthesize, SynthConfig};
 
-    fn lion_dictionary() -> (Vec<Fault>, FaultDictionary, Vec<ScanTest>, scanft_synth::SynthesizedCircuit)
-    {
+    fn lion_dictionary() -> (
+        Vec<Fault>,
+        FaultDictionary,
+        Vec<ScanTest>,
+        scanft_synth::SynthesizedCircuit,
+    ) {
         let lion = scanft_fsm::benchmarks::lion();
         let circuit = synthesize(&lion, &SynthConfig::default());
         let uios = scanft_fsm::uio::derive_uios(&lion, 2);
@@ -178,7 +179,10 @@ mod tests {
                 continue;
             }
             let candidates = dict.diagnose(&observed);
-            assert!(candidates.contains(&f), "fault {f} not in its own candidates");
+            assert!(
+                candidates.contains(&f),
+                "fault {f} not in its own candidates"
+            );
             // All candidates share the signature.
             for &c in &candidates {
                 assert_eq!(dict.signature(c), observed.as_slice());

@@ -476,7 +476,11 @@ impl<'a> FaultEngine<'a> {
             } else {
                 eval_gate(gate, &self.values)
             };
-            self.values[out] = if stem.is_noop() { word } else { stem.apply(word) };
+            self.values[out] = if stem.is_noop() {
+                word
+            } else {
+                stem.apply(word)
+            };
         }
     }
 }
@@ -629,8 +633,8 @@ mod tests {
         let mut engine = FaultEngine::new(&n);
         let det = engine.run_test(&test, &ff, &plan, 0);
         assert_eq!(det, 0b11); // both detected...
-        // ...but the branch fault must NOT disturb PO a1. Verify by
-        // injecting only the branch fault and checking which PO flips.
+                               // ...but the branch fault must NOT disturb PO a1. Verify by
+                               // injecting only the branch fault and checking which PO flips.
         let plan1 = InjectionPlan::new(&n, &[branch]);
         // Simulate manually: load 11, eval.
         let mut eng = FaultEngine::new(&n);

@@ -113,7 +113,10 @@ pub fn find_detecting_test(
             let point = base + lane;
             let input = (point & ((1 << num_pis) - 1)) as u32;
             let code = point >> num_pis;
-            return (Detectability::Detectable, Some(ScanTest::new(code, vec![input])));
+            return (
+                Detectability::Detectable,
+                Some(ScanTest::new(code, vec![input])),
+            );
         }
         base += 64;
     }
@@ -172,7 +175,10 @@ mod tests {
             site: FaultSite::Net(a),
             stuck_at_one: false,
         });
-        assert_eq!(is_detectable(&n, &sa0, 1 << 10), Detectability::Undetectable);
+        assert_eq!(
+            is_detectable(&n, &sa0, 1 << 10),
+            Detectability::Undetectable
+        );
         // But s-a-1 on the same net is detectable (x1=0, x2=0 gives z=1).
         let sa1 = Fault::Stuck(StuckFault {
             site: FaultSite::Net(a),

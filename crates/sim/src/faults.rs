@@ -114,11 +114,7 @@ impl Fault {
                     BridgeKind::And => "wired-AND",
                     BridgeKind::Or => "wired-OR",
                 };
-                format!(
-                    "{}~{} {kind}",
-                    netlist.net_name(f.a),
-                    netlist.net_name(f.b)
-                )
+                format!("{}~{} {kind}", netlist.net_name(f.a), netlist.net_name(f.b))
             }
             Fault::Delay(f) => {
                 let dir = if f.slow_to_rise { "rise" } else { "fall" };

@@ -142,13 +142,22 @@ pub(crate) fn eval_gate(gate: &scanft_netlist::Gate, values: &[u64]) -> u64 {
             .inputs
             .iter()
             .fold(u64::MAX, |acc, &i| acc & values[i as usize]),
-        GateKind::Or => gate.inputs.iter().fold(0, |acc, &i| acc | values[i as usize]),
+        GateKind::Or => gate
+            .inputs
+            .iter()
+            .fold(0, |acc, &i| acc | values[i as usize]),
         GateKind::Nand => !gate
             .inputs
             .iter()
             .fold(u64::MAX, |acc, &i| acc & values[i as usize]),
-        GateKind::Nor => !gate.inputs.iter().fold(0, |acc, &i| acc | values[i as usize]),
-        GateKind::Xor => gate.inputs.iter().fold(0, |acc, &i| acc ^ values[i as usize]),
+        GateKind::Nor => !gate
+            .inputs
+            .iter()
+            .fold(0, |acc, &i| acc | values[i as usize]),
+        GateKind::Xor => gate
+            .inputs
+            .iter()
+            .fold(0, |acc, &i| acc ^ values[i as usize]),
     }
 }
 
@@ -195,7 +204,10 @@ mod tests {
         let lion = scanft_fsm::benchmarks::lion();
         let c = synthesize(&lion, &SynthConfig::default());
         for t in lion.transitions() {
-            let r = simulate(c.netlist(), &ScanTest::new(u64::from(t.from), vec![t.input]));
+            let r = simulate(
+                c.netlist(),
+                &ScanTest::new(u64::from(t.from), vec![t.input]),
+            );
             assert_eq!(r.outputs, vec![t.output], "transition {t:?}");
             assert_eq!(r.final_code, u64::from(t.to), "transition {t:?}");
         }

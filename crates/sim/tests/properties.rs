@@ -1,7 +1,10 @@
-//! Property-based tests for the simulation substrate.
+//! Randomized property tests for the simulation substrate.
+//!
+//! Driven by the in-repo SplitMix64 RNG with fixed seeds so the workspace
+//! builds and tests fully offline (no external `proptest`/`rand`).
 
-use proptest::prelude::*;
 use scanft_fsm::benchmarks::random_machine;
+use scanft_fsm::rng::SplitMix64;
 use scanft_sim::engine::{FaultEngine, InjectionPlan};
 use scanft_sim::faults::{self, Fault};
 use scanft_sim::{campaign, logic, ScanTest};
@@ -15,136 +18,132 @@ fn setup(
 ) -> (scanft_fsm::StateTable, scanft_synth::SynthesizedCircuit) {
     let table = random_machine("prop", pi, 2, states, seed).unwrap();
     let config = SynthConfig {
-        encoding: if gray { Encoding::Gray } else { Encoding::Binary },
+        encoding: if gray {
+            Encoding::Gray
+        } else {
+            Encoding::Binary
+        },
         ..SynthConfig::default()
     };
     let circuit = synthesize(&table, &config);
     (table, circuit)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_tests(
+    rng: &mut SplitMix64,
+    table: &scanft_fsm::StateTable,
+    circuit: &scanft_synth::SynthesizedCircuit,
+    count: usize,
+    max_extra_len: u64,
+) -> Vec<ScanTest> {
+    let pi = table.num_inputs();
+    (0..count)
+        .map(|_| {
+            let state = rng.next_below(table.num_states() as u64) as u32;
+            let len = 1 + rng.next_below(max_extra_len) as usize;
+            let seq = (0..len).map(|_| rng.next_below(1 << pi) as u32).collect();
+            ScanTest::new(circuit.encode_state(state), seq)
+        })
+        .collect()
+}
 
-    /// Fault-free scan simulation of the synthesized netlist agrees with
-    /// the state table on arbitrary multi-cycle sequences.
-    #[test]
-    fn netlist_sequences_match_table(
-        pi in 1usize..=3,
-        states in 2usize..=8,
-        seed in any::<u64>(),
-        gray in any::<bool>(),
-        start in 0u32..8,
-        seq in proptest::collection::vec(0u32..8, 1..10),
-    ) {
-        let (table, circuit) = setup(pi, states, seed, gray);
-        let start = start % states as u32;
-        let seq: Vec<u32> = seq.into_iter().map(|i| i % (1 << pi)).collect();
+/// Fault-free scan simulation of the synthesized netlist agrees with the
+/// state table on arbitrary multi-cycle sequences.
+#[test]
+fn netlist_sequences_match_table() {
+    let mut rng = SplitMix64::new(0x51_0001);
+    for _ in 0..32 {
+        let pi = 1 + rng.next_below(3) as usize;
+        let states = 2 + rng.next_below(7) as usize;
+        let (table, circuit) = setup(pi, states, rng.next_u64(), rng.chance(1, 2));
+        let start = rng.next_below(states as u64) as u32;
+        let len = 1 + rng.next_below(9) as usize;
+        let seq: Vec<u32> = (0..len).map(|_| rng.next_below(1 << pi) as u32).collect();
         let (fin, outs) = table.run(start, &seq);
         let test = ScanTest::new(circuit.encode_state(start), seq);
         let r = logic::simulate(circuit.netlist(), &test);
-        prop_assert_eq!(r.outputs, outs);
-        prop_assert_eq!(circuit.decode_state(r.final_code), fin);
+        assert_eq!(r.outputs, outs);
+        assert_eq!(circuit.decode_state(r.final_code), fin);
     }
+}
 
-    /// Batched fault-parallel detection equals single-fault detection for
-    /// every stuck-at fault (same tests, same verdicts).
-    #[test]
-    fn batching_is_transparent_stuck(
-        pi in 1usize..=2,
-        states in 2usize..=4,
-        seed in any::<u64>(),
-        test_seed in any::<u64>(),
-    ) {
-        let (table, circuit) = setup(pi, states, seed, false);
+/// Batched fault-parallel detection equals single-fault detection for every
+/// stuck-at fault (same tests, same verdicts).
+#[test]
+fn batching_is_transparent_stuck() {
+    let mut rng = SplitMix64::new(0x51_0002);
+    for _ in 0..16 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(3) as usize;
+        let (table, circuit) = setup(pi, states, rng.next_u64(), false);
         let n = circuit.netlist();
         let stuck = faults::enumerate_stuck(n);
         let list = faults::as_fault_list(&stuck);
-        // A few random multi-cycle tests.
-        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
-        let tests: Vec<ScanTest> = (0..4)
-            .map(|_| {
-                let code = rng.next_below(table.num_states() as u64);
-                let len = 1 + rng.next_below(4) as usize;
-                let seq = (0..len)
-                    .map(|_| rng.next_below(1 << pi) as u32)
-                    .collect();
-                ScanTest::new(circuit.encode_state(code as u32), seq)
-            })
-            .collect();
+        let tests = random_tests(&mut rng, &table, &circuit, 4, 4);
         let batched = campaign::run(n, &tests, &list);
         for (f, fault) in list.iter().enumerate() {
             let single = campaign::run(n, &tests, std::slice::from_ref(fault));
-            prop_assert_eq!(
-                batched.detecting_test[f], single.detecting_test[0],
-                "fault {}", fault.describe(n)
+            assert_eq!(
+                batched.detecting_test[f],
+                single.detecting_test[0],
+                "fault {}",
+                fault.describe(n)
             );
         }
     }
+}
 
-    /// Same transparency for bridging faults (two-pass evaluation).
-    #[test]
-    fn batching_is_transparent_bridging(
-        pi in 1usize..=2,
-        states in 3usize..=8,
-        seed in any::<u64>(),
-        test_seed in any::<u64>(),
-    ) {
-        let (table, circuit) = setup(pi, states, seed, false);
+/// Same transparency for bridging faults (two-pass evaluation).
+#[test]
+fn batching_is_transparent_bridging() {
+    let mut rng = SplitMix64::new(0x51_0003);
+    for _ in 0..16 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 3 + rng.next_below(6) as usize;
+        let (table, circuit) = setup(pi, states, rng.next_u64(), false);
         let n = circuit.netlist();
         let bridges = faults::enumerate_bridging(n, 80);
         let list = faults::bridges_as_fault_list(&bridges.faults);
-        prop_assume!(!list.is_empty());
-        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
-        let tests: Vec<ScanTest> = (0..4)
-            .map(|_| {
-                let code = rng.next_below(table.num_states() as u64);
-                let len = 1 + rng.next_below(4) as usize;
-                let seq = (0..len)
-                    .map(|_| rng.next_below(1 << pi) as u32)
-                    .collect();
-                ScanTest::new(circuit.encode_state(code as u32), seq)
-            })
-            .collect();
+        if list.is_empty() {
+            continue;
+        }
+        let tests = random_tests(&mut rng, &table, &circuit, 4, 4);
         let batched = campaign::run(n, &tests, &list);
         for (f, fault) in list.iter().enumerate() {
             let single = campaign::run(n, &tests, std::slice::from_ref(fault));
-            prop_assert_eq!(
-                batched.detecting_test[f], single.detecting_test[0],
-                "fault {}", fault.describe(n)
+            assert_eq!(
+                batched.detecting_test[f],
+                single.detecting_test[0],
+                "fault {}",
+                fault.describe(n)
             );
         }
     }
+}
 
-    /// Same transparency for delay faults (per-lane launch tracking).
-    #[test]
-    fn batching_is_transparent_delay(
-        pi in 1usize..=2,
-        states in 2usize..=6,
-        seed in any::<u64>(),
-        test_seed in any::<u64>(),
-    ) {
-        let (table, circuit) = setup(pi, states, seed, false);
+/// Same transparency for delay faults (per-lane launch tracking).
+#[test]
+fn batching_is_transparent_delay() {
+    let mut rng = SplitMix64::new(0x51_0004);
+    for _ in 0..16 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(5) as usize;
+        let (table, circuit) = setup(pi, states, rng.next_u64(), false);
         let n = circuit.netlist();
         let delays = faults::enumerate_delay(n);
         let list = faults::delays_as_fault_list(&delays);
-        prop_assume!(!list.is_empty());
-        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
-        let tests: Vec<ScanTest> = (0..4)
-            .map(|_| {
-                let code = rng.next_below(table.num_states() as u64);
-                let len = 1 + rng.next_below(5) as usize;
-                let seq = (0..len)
-                    .map(|_| rng.next_below(1 << pi) as u32)
-                    .collect();
-                ScanTest::new(circuit.encode_state(code as u32), seq)
-            })
-            .collect();
+        if list.is_empty() {
+            continue;
+        }
+        let tests = random_tests(&mut rng, &table, &circuit, 4, 5);
         let batched = campaign::run(n, &tests, &list);
         for (f, fault) in list.iter().enumerate().step_by(3) {
             let single = campaign::run(n, &tests, std::slice::from_ref(fault));
-            prop_assert_eq!(
-                batched.detecting_test[f], single.detecting_test[0],
-                "fault {}", fault.describe(n)
+            assert_eq!(
+                batched.detecting_test[f],
+                single.detecting_test[0],
+                "fault {}",
+                fault.describe(n)
             );
         }
         // Length-1 tests never detect any delay fault.
@@ -152,54 +151,44 @@ proptest! {
             .map(|c| ScanTest::new(circuit.encode_state(c as u32), vec![0]))
             .collect();
         let unit = campaign::run(n, &unit_tests, &list);
-        prop_assert_eq!(unit.detected(), 0);
+        assert_eq!(unit.detected(), 0);
     }
+}
 
-    /// Collapsed-class members always share detection verdicts on random
-    /// machines and random tests.
-    #[test]
-    fn collapse_classes_share_verdicts(
-        pi in 1usize..=2,
-        states in 2usize..=6,
-        seed in any::<u64>(),
-        test_seed in any::<u64>(),
-    ) {
-        let (table, circuit) = setup(pi, states, seed, false);
+/// Collapsed-class members always share detection verdicts on random
+/// machines and random tests.
+#[test]
+fn collapse_classes_share_verdicts() {
+    let mut rng = SplitMix64::new(0x51_0005);
+    for _ in 0..16 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(5) as usize;
+        let (table, circuit) = setup(pi, states, rng.next_u64(), false);
         let n = circuit.netlist();
         let stuck = faults::enumerate_stuck(n);
         let collapsed = scanft_sim::collapse::collapse_stuck(n, &stuck);
-        let mut rng = scanft_fsm::rng::SplitMix64::new(test_seed);
-        let tests: Vec<ScanTest> = (0..6)
-            .map(|_| {
-                let code = rng.next_below(table.num_states() as u64);
-                let len = 1 + rng.next_below(4) as usize;
-                let seq = (0..len)
-                    .map(|_| rng.next_below(1 << pi) as u32)
-                    .collect();
-                ScanTest::new(circuit.encode_state(code as u32), seq)
-            })
-            .collect();
+        let tests = random_tests(&mut rng, &table, &circuit, 6, 4);
         let full = campaign::run(n, &tests, &faults::as_fault_list(&stuck));
-        let mut class_verdict: Vec<Option<bool>> =
-            vec![None; collapsed.representatives.len()];
+        let mut class_verdict: Vec<Option<bool>> = vec![None; collapsed.representatives.len()];
         for (k, &class) in collapsed.class_of.iter().enumerate() {
             let verdict = full.detecting_test[k].is_some();
             match class_verdict[class] {
                 None => class_verdict[class] = Some(verdict),
-                Some(first) => prop_assert_eq!(first, verdict, "fault {}", k),
+                Some(first) => assert_eq!(first, verdict, "fault {k}"),
             }
         }
     }
+}
 
-    /// A fault detected with a one-cycle test is classified detectable by
-    /// the exhaustive analysis (soundness cross-check).
-    #[test]
-    fn exhaustive_subsumes_observed_detections(
-        pi in 1usize..=2,
-        states in 2usize..=4,
-        seed in any::<u64>(),
-    ) {
-        let (table, circuit) = setup(pi, states, seed, false);
+/// A fault detected with a one-cycle test is classified detectable by the
+/// exhaustive analysis (soundness cross-check).
+#[test]
+fn exhaustive_subsumes_observed_detections() {
+    let mut rng = SplitMix64::new(0x51_0006);
+    for _ in 0..12 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(3) as usize;
+        let (table, circuit) = setup(pi, states, rng.next_u64(), false);
         let n = circuit.netlist();
         let stuck = faults::enumerate_stuck(n);
         let list = faults::as_fault_list(&stuck);
@@ -210,24 +199,25 @@ proptest! {
         let report = campaign::run(n, &tests, &list);
         for (f, fault) in list.iter().enumerate() {
             if report.detecting_test[f].is_some() {
-                prop_assert_eq!(
+                assert_eq!(
                     scanft_sim::exhaustive::is_detectable(n, fault, 1 << 22),
                     scanft_sim::exhaustive::Detectability::Detectable
                 );
             }
         }
     }
+}
 
-    /// `run_test` never reports detections outside the live lane mask.
-    #[test]
-    fn detection_mask_is_confined(
-        pi in 1usize..=2,
-        states in 2usize..=4,
-        seed in any::<u64>(),
-        skip in any::<u64>(),
-    ) {
-        let (table, circuit) = setup(pi, states, seed, false);
+/// `run_test` never reports detections outside the live lane mask.
+#[test]
+fn detection_mask_is_confined() {
+    let mut rng = SplitMix64::new(0x51_0007);
+    for _ in 0..32 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(3) as usize;
+        let (_table, circuit) = setup(pi, states, rng.next_u64(), false);
         let n = circuit.netlist();
+        let skip = rng.next_u64();
         let stuck = faults::enumerate_stuck(n);
         let batch: Vec<Fault> = stuck.iter().take(64).copied().map(Fault::Stuck).collect();
         let plan = InjectionPlan::new(n, &batch);
@@ -235,8 +225,49 @@ proptest! {
         let test = ScanTest::new(0, vec![0]);
         let ff = logic::simulate(n, &test);
         let det = engine.run_test(&test, &ff, &plan, skip);
-        prop_assert_eq!(det & skip, 0);
-        prop_assert_eq!(det & !plan.lane_mask(), 0);
-        let _ = table;
+        assert_eq!(det & skip, 0);
+        assert_eq!(det & !plan.lane_mask(), 0);
+    }
+}
+
+/// `run_parallel` is bit-identical to `run_ordered_observing` across
+/// benchmark circuits, random fault subsets, both observation modes, and
+/// thread counts {1, 2, 3, 8} — on benchmarks other than `lion`.
+#[test]
+fn parallel_matches_sequential_on_benchmarks() {
+    let mut rng = SplitMix64::new(0x51_0008);
+    for name in ["bbtas", "dk27", "mc"] {
+        let table = scanft_fsm::benchmarks::build(name).expect("registry circuit");
+        let circuit = synthesize(&table, &SynthConfig::default());
+        let n = circuit.netlist();
+        let tests: Vec<ScanTest> = table
+            .transitions()
+            .map(|t| ScanTest::new(circuit.encode_state(t.from), vec![t.input]))
+            .collect();
+        let order: Vec<usize> = (0..tests.len()).collect();
+        let all = faults::as_fault_list(&faults::enumerate_stuck(n));
+        for round in 0..4 {
+            // A random subset of the fault universe (about half), plus the
+            // full list on the first round.
+            let subset: Vec<Fault> = if round == 0 {
+                all.clone()
+            } else {
+                all.iter().copied().filter(|_| rng.chance(1, 2)).collect()
+            };
+            for observe in [true, false] {
+                let sequential =
+                    campaign::run_ordered_observing(n, &tests, &order, &subset, observe);
+                for threads in [1usize, 2, 3, 8] {
+                    let parallel =
+                        campaign::run_parallel(n, &tests, &order, &subset, observe, threads);
+                    assert_eq!(
+                        parallel.detecting_test, sequential.detecting_test,
+                        "{name}: round {round}, observe {observe}, {threads} threads"
+                    );
+                    assert_eq!(parallel.new_detections, sequential.new_detections);
+                    assert_eq!(parallel.order, sequential.order);
+                }
+            }
+        }
     }
 }

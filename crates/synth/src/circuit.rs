@@ -105,12 +105,20 @@ impl SynthesizedCircuit {
 #[must_use]
 pub fn synthesize(table: &StateTable, config: &SynthConfig) -> SynthesizedCircuit {
     assert!(config.max_fanin >= 2, "max_fanin must be at least 2");
+    let obs = scanft_obs::global();
+    let span = obs.timer("synth.synthesize").start();
     let mut spec: LogicSpec = extract(table, config.encoding);
     if config.minimize {
         for cover in &mut spec.covers {
             *cover = minimize_cover(cover);
         }
     }
+    let literals: usize = spec
+        .covers
+        .iter()
+        .map(crate::cover::Cover::literal_count)
+        .sum();
+    obs.gauge("synth.literals").set(literals as u64);
     let mut mapper = Mapper::new(&spec, config.max_fanin);
     let nets: Vec<_> = spec.covers.iter().map(|c| mapper.map_cover(c)).collect();
     let (po_nets, ppo_nets) = nets.split_at(spec.num_outputs);
@@ -118,6 +126,9 @@ pub fn synthesize(table: &StateTable, config: &SynthConfig) -> SynthesizedCircui
         .builder
         .finish(po_nets.to_vec(), ppo_nets.to_vec())
         .expect("mapped nets exist");
+    obs.gauge("synth.gates").set(netlist.num_gates() as u64);
+    obs.counter("synth.circuits").inc();
+    drop(span);
     SynthesizedCircuit {
         netlist,
         encoding: config.encoding,

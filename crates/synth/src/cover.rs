@@ -83,7 +83,10 @@ impl Cover {
     /// a standard two-level cost measure.
     #[must_use]
     pub fn literal_count(&self) -> usize {
-        self.cubes.iter().map(|c| c.mask.count_ones() as usize).sum()
+        self.cubes
+            .iter()
+            .map(|c| c.mask.count_ones() as usize)
+            .sum()
     }
 }
 
@@ -181,7 +184,7 @@ mod tests {
         let spec = extract(&lion, Encoding::Binary);
         assert_eq!(spec.num_vars, 4);
         assert_eq!(spec.covers.len(), 3); // 1 output + 2 next-state bits
-        // Output z: 1 for 12 of the 16 transitions (Table 1: four zeros).
+                                          // Output z: 1 for 12 of the 16 transitions (Table 1: four zeros).
         assert_eq!(spec.covers[0].cubes.len(), 12);
         // Every cover evaluates like the table.
         for t in lion.transitions() {

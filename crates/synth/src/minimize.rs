@@ -197,11 +197,13 @@ fn select_cover(original: &Cover, primes: Cover) -> Cover {
     let mut order: Vec<usize> = (0..primes.cubes.len()).filter(|&k| selected[k]).collect();
     order.sort_unstable_by_key(|&k| std::cmp::Reverse(primes.cubes[k].mask.count_ones()));
     for &k in &order {
-        let others_cover = enumerate_cube(primes.cubes[k], num_vars).into_iter().all(|m| {
-            covered_by[&m]
-                .iter()
-                .any(|&other| other != k && selected[other])
-        });
+        let others_cover = enumerate_cube(primes.cubes[k], num_vars)
+            .into_iter()
+            .all(|m| {
+                covered_by[&m]
+                    .iter()
+                    .any(|&other| other != k && selected[other])
+            });
         if others_cover {
             selected[k] = false;
         }

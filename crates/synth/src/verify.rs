@@ -143,8 +143,7 @@ mod tests {
         for name in ["bbtas", "dk15", "dk27", "shiftreg", "beecount", "mc", "tav"] {
             let t = scanft_fsm::benchmarks::build(name).unwrap();
             let c = synthesize(&t, &SynthConfig::default());
-            verify_against_table(&c, &t, None)
-                .unwrap_or_else(|m| panic!("{name}: {m:?}"));
+            verify_against_table(&c, &t, None).unwrap_or_else(|m| panic!("{name}: {m:?}"));
         }
     }
 

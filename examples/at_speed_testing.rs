@@ -29,16 +29,9 @@ fn main() {
         list.len()
     );
 
-    let chained_report = campaign::run(
-        circuit.netlist(),
-        &chained.to_scan_tests(&circuit),
-        &list,
-    );
-    let baseline_report = campaign::run(
-        circuit.netlist(),
-        &baseline.to_scan_tests(&circuit),
-        &list,
-    );
+    let chained_report = campaign::run(circuit.netlist(), &chained.to_scan_tests(&circuit), &list);
+    let baseline_report =
+        campaign::run(circuit.netlist(), &baseline.to_scan_tests(&circuit), &list);
 
     println!("\nper-fault outcome (chained tests tau_0..tau_8 vs per-transition baseline):");
     for (k, fault) in list.iter().enumerate() {

@@ -58,10 +58,7 @@ fn main() {
     // Static compaction by test combining, accepting only combinations that
     // keep the gate-level coverage (the criterion of reference [7]).
     let result = combine_tests(&set, |candidate| {
-        let tests: Vec<_> = candidate
-            .iter()
-            .map(|t| t.to_scan_test(&circuit))
-            .collect();
+        let tests: Vec<_> = candidate.iter().map(|t| t.to_scan_test(&circuit)).collect();
         campaign::run(circuit.netlist(), &tests, &stuck).detected() >= baseline_coverage
     });
     println!(
@@ -75,10 +72,18 @@ fn main() {
         table.num_state_vars()
     );
 
-    let after: Vec<_> = result.tests.iter().map(|t| t.to_scan_test(&circuit)).collect();
+    let after: Vec<_> = result
+        .tests
+        .iter()
+        .map(|t| t.to_scan_test(&circuit))
+        .collect();
     let coverage = campaign::run(circuit.netlist(), &after, &stuck).detected();
     assert_eq!(coverage, baseline_coverage, "compaction preserved coverage");
-    println!("coverage after compaction: {}/{} (preserved)", coverage, stuck.len());
+    println!(
+        "coverage after compaction: {}/{} (preserved)",
+        coverage,
+        stuck.len()
+    );
 
     // The same workflow on a benchmark with more chaining opportunities.
     println!("\nthe same compaction on benchmark lion9:");
@@ -86,8 +91,7 @@ fn main() {
     let uios = uio::derive_uios(&bench, bench.num_state_vars());
     let bench_set = generate(&bench, &uios, &GenConfig::default());
     let bench_circuit = synthesize(&bench, &SynthConfig::default());
-    let bench_faults =
-        faults::as_fault_list(&faults::enumerate_stuck(bench_circuit.netlist()));
+    let bench_faults = faults::as_fault_list(&faults::enumerate_stuck(bench_circuit.netlist()));
     let bench_cov = campaign::run(
         bench_circuit.netlist(),
         &bench_set.to_scan_tests(&bench_circuit),

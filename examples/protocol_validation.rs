@@ -30,15 +30,25 @@ fn link_controller() -> scanft_fsm::StateTable {
         let send = input & 1 == 1;
         let ack = input & 2 == 2;
         // IDLE: a send request transmits and waits; otherwise stay idle.
-        b.set(0, input, if send { 1 } else { 0 }, if send { 0b01 } else { 0b00 })
-            .unwrap();
+        b.set(
+            0,
+            input,
+            if send { 1 } else { 0 },
+            if send { 0b01 } else { 0b00 },
+        )
+        .unwrap();
         // SENT: ack completes; no ack -> retry. Busy all along.
         b.set(1, input, if ack { 3 } else { 2 }, 0b10).unwrap();
         // RETRY: retransmit once, then wait again.
         b.set(2, input, 1, 0b11).unwrap();
         // DONE: report and return to IDLE on the next request, else rest.
-        b.set(3, input, if send { 1 } else { 0 }, if send { 0b01 } else { 0b00 })
-            .unwrap();
+        b.set(
+            3,
+            input,
+            if send { 1 } else { 0 },
+            if send { 0b01 } else { 0b00 },
+        )
+        .unwrap();
     }
     b.build().expect("completely specified")
 }
@@ -92,7 +102,10 @@ fn main() {
             undetectable,
             complete
         );
-        assert!(complete, "{label}: specification tests missed a detectable fault");
+        assert!(
+            complete,
+            "{label}: specification tests missed a detectable fault"
+        );
     }
     println!("\nthe same specification-level test set covers every implementation.");
 }

@@ -89,7 +89,10 @@ fn bridging_pairs_satisfy_paper_conditions() {
             for net in [f.a, f.b] {
                 let gate = netlist.driver(net).expect("bridged nets are gate outputs");
                 assert!(gate.inputs.len() > 1, "{name}: condition 1");
-                assert!(!netlist.fanout(net).is_empty(), "{name}: condition 2 (gate input)");
+                assert!(
+                    !netlist.fanout(net).is_empty(),
+                    "{name}: condition 2 (gate input)"
+                );
             }
             let shared = netlist
                 .fanout(f.a)

@@ -88,7 +88,11 @@ fn compaction_preserves_gate_coverage() {
         let tests: Vec<_> = candidate.iter().map(|t| t.to_scan_test(&circuit)).collect();
         campaign::run(circuit.netlist(), &tests, &stuck).detected() >= before
     });
-    let after_tests: Vec<_> = result.tests.iter().map(|t| t.to_scan_test(&circuit)).collect();
+    let after_tests: Vec<_> = result
+        .tests
+        .iter()
+        .map(|t| t.to_scan_test(&circuit))
+        .collect();
     let after = campaign::run(circuit.netlist(), &after_tests, &stuck).detected();
     assert_eq!(before, after);
     assert!(result.tests.len() <= set.tests.len());
@@ -111,7 +115,11 @@ fn functional_flow_structural_invariants() {
             },
         );
         assert_eq!(report.tests.num_transitions, spec.num_transitions());
-        assert!(report.tests.tests.len() <= spec.num_transitions(), "{}", spec.name);
+        assert!(
+            report.tests.tests.len() <= spec.num_transitions(),
+            "{}",
+            spec.name
+        );
         // Baseline cycle formula (the paper's Table 7 `trans` column).
         let trans = spec.num_transitions() as u64;
         assert_eq!(

@@ -1,0 +1,202 @@
+//! Golden test for the `--metrics` JSON-lines export.
+//!
+//! Runs the `scanft` binary in a fresh subprocess (the `scanft-obs`
+//! registry is process-wide, so only a fresh process has deterministic
+//! counter values) and pins both the schema of every line and the exact
+//! counter/gauge values for the `lion` walkthrough.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+fn run_with_metrics(args: &[&str]) -> Vec<String> {
+    let dir = std::env::temp_dir().join(format!(
+        "scanft-metrics-{}-{}",
+        std::process::id(),
+        args.join("-").replace(['/', '\\'], "_")
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("metrics.jsonl");
+    let metrics_arg = format!("--metrics={}", path.display());
+    let output = Command::new(env!("CARGO_BIN_EXE_scanft"))
+        .args(args)
+        .arg(&metrics_arg)
+        .output()
+        .expect("run scanft");
+    assert!(
+        output.status.success(),
+        "scanft {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(text.ends_with('\n'), "export ends with a newline");
+    text.lines().map(str::to_owned).collect()
+}
+
+/// Minimal field extraction for the flat one-object-per-line schema; avoids
+/// a JSON dependency while still failing loudly on malformed lines.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let marker = format!("\"{key}\":");
+    let start = line
+        .find(&marker)
+        .unwrap_or_else(|| panic!("`{key}` missing in {line}"))
+        + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .scan(0i32, |depth, (i, c)| {
+            match c {
+                '[' => *depth += 1,
+                ']' if *depth > 0 => *depth -= 1,
+                ',' | '}' if *depth == 0 => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or_else(|| panic!("unterminated `{key}` in {line}"));
+    &rest[..end]
+}
+
+fn string_field(line: &str, key: &str) -> String {
+    let raw = field(line, key);
+    assert!(
+        raw.starts_with('"') && raw.ends_with('"'),
+        "{key} not a string in {line}"
+    );
+    raw[1..raw.len() - 1].to_owned()
+}
+
+/// The pinned schema: every line is one flat JSON object whose shape is
+/// fixed by `kind`, and lines are sorted by metric name.
+#[test]
+fn metrics_schema_is_pinned() {
+    let lines = run_with_metrics(&["evaluate", "lion"]);
+    assert!(!lines.is_empty());
+    let mut names = Vec::new();
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        let kind = string_field(line, "kind");
+        let name = string_field(line, "name");
+        match kind.as_str() {
+            "counter" | "gauge" => {
+                field(line, "value")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad value in {line}"));
+            }
+            "timer" => {
+                field(line, "count")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad count in {line}"));
+                for key in ["total_secs", "min_secs", "max_secs"] {
+                    let v: f64 = field(line, key)
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad {key} in {line}"));
+                    assert!(v.is_finite() && v >= 0.0, "{key} in {line}");
+                }
+                let buckets = field(line, "buckets");
+                assert!(buckets.starts_with('[') && buckets.ends_with(']'), "{line}");
+                let counts: Vec<u64> = buckets[1..buckets.len() - 1]
+                    .split(',')
+                    .map(|b| b.parse().unwrap_or_else(|_| panic!("bad bucket in {line}")))
+                    .collect();
+                assert_eq!(counts.len(), 9, "nine decade buckets: {line}");
+                let count: u64 = field(line, "count").parse().unwrap();
+                assert_eq!(counts.iter().sum::<u64>(), count, "{line}");
+            }
+            other => panic!("unknown kind `{other}` in {line}"),
+        }
+        names.push(name);
+    }
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "lines sorted by metric name");
+}
+
+/// Exact counter and gauge values for `evaluate lion` — the paper's
+/// walkthrough circuit, so every number here is a consequence of pinned
+/// behavior (Tables 2, 4, 5 and the lion synthesis shape).
+#[test]
+fn evaluate_lion_counters_golden() {
+    let lines = run_with_metrics(&["evaluate", "lion"]);
+    let mut values: BTreeMap<String, u64> = BTreeMap::new();
+    let mut timers: Vec<String> = Vec::new();
+    for line in &lines {
+        let kind = string_field(line, "kind");
+        let name = string_field(line, "name");
+        if kind == "timer" {
+            timers.push(name);
+        } else {
+            values.insert(name, field(line, "value").parse().unwrap());
+        }
+    }
+
+    let expected: &[(&str, u64)] = &[
+        // Table 2 / Table 4: lion has 4 states, 2 of them with UIOs (one of
+        // length 1, one of length 2).
+        ("fsm.uio.machines", 1),
+        ("fsm.uio.states_searched", 4),
+        ("fsm.uio.found", 2),
+        ("fsm.uio.found.len1", 1),
+        ("fsm.uio.found.len2", 1),
+        ("fsm.uio.none", 2),
+        ("fsm.uio.nodes_expanded", 5),
+        // Table 5 walkthrough: 9 tests, 4 of them postponed length-1 tests,
+        // 2 transfer hops inside chained tests.
+        ("core.generate.tests_emitted", 9),
+        ("core.generate.postponed_unit_tests", 4),
+        ("core.generate.transfer_hops", 2),
+        // lion synthesis shape: 15 gates from 19 cover literals.
+        ("synth.circuits", 1),
+        ("synth.gates", 15),
+        ("synth.literals", 19),
+        ("netlist.built", 1),
+        ("netlist.gates_built", 15),
+        // 80 stuck-at + 42 bridging faults in 3 batches of 64 lanes.
+        ("sim.campaign.faults", 122),
+        ("sim.campaign.batches", 3),
+        ("sim.campaign.tests_simulated", 18),
+        ("sim.campaign.tests_skipped", 9),
+    ];
+    for &(name, value) in expected {
+        assert_eq!(values.get(name), Some(&value), "{name}");
+    }
+
+    for timer in [
+        "fsm.uio.derive",
+        "core.generate",
+        "core.generate.baseline",
+        "core.flow",
+        "synth.synthesize",
+        "sim.campaign.run",
+    ] {
+        assert!(
+            timers.iter().any(|t| t == timer),
+            "timer `{timer}` exported"
+        );
+    }
+}
+
+/// `--metrics` without a file streams the export to stdout after the
+/// command output; `SCANFT_METRICS` is the flag-less equivalent.
+#[test]
+fn metrics_to_stdout_and_env_var() {
+    let output = Command::new(env!("CARGO_BIN_EXE_scanft"))
+        .args(["uio", "lion", "--metrics"])
+        .output()
+        .expect("run scanft");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("UIO sequences for lion"));
+    assert!(stdout.contains(r#"{"kind":"counter","name":"fsm.uio.found","value":2}"#));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_scanft"))
+        .args(["uio", "lion"])
+        .env("SCANFT_METRICS", "-")
+        .output()
+        .expect("run scanft");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains(r#"{"kind":"counter","name":"fsm.uio.states_searched","value":4}"#));
+}
