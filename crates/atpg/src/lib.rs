@@ -1,0 +1,48 @@
+//! Deterministic structural test generation (PODEM) for full-scan circuits.
+//!
+//! The paper evaluates *functional* test sets by gate-level fault
+//! simulation and supplements them with deterministic tests for whatever
+//! faults the functional tests leave undetected. This crate provides that
+//! deterministic side: a PODEM-style combinational ATPG over the full-scan
+//! model of [`scanft_netlist`], where both primary inputs and scan flops
+//! (pseudo-primary inputs) are freely assignable and both primary outputs
+//! and scan flops (pseudo-primary outputs) are observable.
+//!
+//! - [`value`]: the five-valued D-calculus (`0/1/X/D/D̄`) as pairs of
+//!   three-valued good/faulty components;
+//! - [`podem`]: the engine — forward implication, X-path check,
+//!   objective/backtrace, backtracking with a decision budget, and
+//!   redundancy identification on budget-free exhaustion.
+//!
+//! Every generated test is a single-cycle [`scanft_sim::ScanTest`], so the
+//! output composes directly with the fault-dropping campaigns in
+//! [`scanft_sim::campaign`] and the functional test sets of `scanft-core`
+//! (which hosts the `top_up` driver combining the two).
+//!
+//! # Example
+//!
+//! ```
+//! use scanft_atpg::{Atpg, AtpgConfig, AtpgOutcome};
+//! use scanft_sim::faults;
+//! use scanft_synth::{synthesize, SynthConfig};
+//!
+//! let lion = scanft_fsm::benchmarks::lion();
+//! let circuit = synthesize(&lion, &SynthConfig::default());
+//! let netlist = circuit.netlist();
+//! let mut atpg = Atpg::new(netlist);
+//! let config = AtpgConfig::default();
+//! // The lion netlist is irredundant: every stuck-at fault gets a test.
+//! for fault in faults::enumerate_stuck(netlist) {
+//!     let result = atpg.generate(&fault, &config);
+//!     assert!(matches!(result.outcome, AtpgOutcome::Test(_)));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod podem;
+pub mod value;
+
+pub use podem::{Atpg, AtpgConfig, AtpgOutcome, AtpgResult, AtpgStats};
+pub use value::{Trit, V5};

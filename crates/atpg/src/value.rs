@@ -1,0 +1,280 @@
+//! Three- and five-valued logic for structural test generation.
+//!
+//! PODEM reasons over the composite **D-calculus**: every line carries a
+//! value from `{0, 1, X, D, D̄}`, where `D` means "1 in the fault-free
+//! circuit, 0 in the faulty circuit" and `D̄` the converse. Rather than a
+//! five-way enum with hand-written composite truth tables, a line value is
+//! stored as a *pair* of three-valued ([`Trit`]) values — the fault-free
+//! (`good`) and faulty (`bad`) components — and every gate is evaluated
+//! twice with the ordinary three-valued tables. The five classic values
+//! fall out of the pairing:
+//!
+//! | pair (good, bad) | D-calculus value |
+//! |------------------|------------------|
+//! | (0, 0)           | 0                |
+//! | (1, 1)           | 1                |
+//! | (1, 0)           | D                |
+//! | (0, 1)           | D̄               |
+//! | any X component  | X                |
+//!
+//! The pair form keeps the implication step exact for arbitrary gate kinds
+//! (including XOR, which has no controlling value) and makes the detection
+//! predicate trivial: a fault is observed on a line iff both components are
+//! definite and differ.
+
+use scanft_netlist::GateKind;
+
+/// A three-valued logic value: `0`, `1` or unassigned/unknown (`X`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Trit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / unassigned.
+    #[default]
+    X,
+}
+
+impl Trit {
+    /// Converts a boolean to a definite trit.
+    #[must_use]
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Whether the value is `0` or `1` (not `X`).
+    #[must_use]
+    pub fn is_definite(self) -> bool {
+        self != Trit::X
+    }
+}
+
+impl std::ops::Not for Trit {
+    type Output = Trit;
+
+    /// Three-valued complement (`X` stays `X`).
+    fn not(self) -> Self {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::X => Trit::X,
+        }
+    }
+}
+
+/// The composite five-valued line value as a (fault-free, faulty) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct V5 {
+    /// Value in the fault-free circuit.
+    pub good: Trit,
+    /// Value in the faulty circuit.
+    pub bad: Trit,
+}
+
+impl V5 {
+    /// The fully unknown value `X`.
+    pub const X: V5 = V5 {
+        good: Trit::X,
+        bad: Trit::X,
+    };
+
+    /// A definite fault-free value replicated into both circuits.
+    #[must_use]
+    pub fn definite(value: bool) -> Self {
+        let t = Trit::from_bool(value);
+        V5 { good: t, bad: t }
+    }
+
+    /// Whether the line carries the fault effect: both components definite
+    /// and different (`D` or `D̄`).
+    #[must_use]
+    pub fn carries_d(self) -> bool {
+        self.good.is_definite() && self.bad.is_definite() && self.good != self.bad
+    }
+
+    /// Whether either component is still `X` — the line can still change as
+    /// more primary inputs are assigned.
+    #[must_use]
+    pub fn undetermined(self) -> bool {
+        self.good == Trit::X || self.bad == Trit::X
+    }
+}
+
+/// Evaluates one gate kind over three-valued inputs.
+///
+/// The tables are the standard pessimistic three-valued extensions: a
+/// controlling input forces the output regardless of `X` elsewhere; XOR is
+/// `X` as soon as any input is `X`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `inputs` is empty.
+#[must_use]
+pub fn eval_trits(kind: GateKind, inputs: &[Trit]) -> Trit {
+    debug_assert!(!inputs.is_empty());
+    match kind {
+        GateKind::Not => !inputs[0],
+        GateKind::Buf => inputs[0],
+        GateKind::And | GateKind::Nand => {
+            let raw = if inputs.contains(&Trit::Zero) {
+                Trit::Zero
+            } else if inputs.contains(&Trit::X) {
+                Trit::X
+            } else {
+                Trit::One
+            };
+            if kind == GateKind::Nand {
+                !raw
+            } else {
+                raw
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let raw = if inputs.contains(&Trit::One) {
+                Trit::One
+            } else if inputs.contains(&Trit::X) {
+                Trit::X
+            } else {
+                Trit::Zero
+            };
+            if kind == GateKind::Nor {
+                !raw
+            } else {
+                raw
+            }
+        }
+        GateKind::Xor => {
+            if inputs.contains(&Trit::X) {
+                Trit::X
+            } else {
+                Trit::from_bool(inputs.iter().filter(|&&t| t == Trit::One).count() % 2 == 1)
+            }
+        }
+    }
+}
+
+/// The controlling input value of a gate kind, if it has one (`0` for
+/// AND/NAND, `1` for OR/NOR; none for XOR and the unary kinds).
+#[must_use]
+pub fn controlling_value(kind: GateKind) -> Option<bool> {
+    match kind {
+        GateKind::And | GateKind::Nand => Some(false),
+        GateKind::Or | GateKind::Nor => Some(true),
+        GateKind::Xor | GateKind::Not | GateKind::Buf => None,
+    }
+}
+
+/// Whether the gate kind inverts (NAND, NOR, NOT).
+#[must_use]
+pub fn inverts(kind: GateKind) -> bool {
+    matches!(kind, GateKind::Nand | GateKind::Nor | GateKind::Not)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trit_basics() {
+        assert_eq!(Trit::from_bool(true), Trit::One);
+        assert_eq!(Trit::from_bool(false), Trit::Zero);
+        assert!(Trit::One.is_definite());
+        assert!(!Trit::X.is_definite());
+        assert_eq!(!Trit::One, Trit::Zero);
+        assert_eq!(!Trit::X, Trit::X);
+    }
+
+    #[test]
+    fn v5_classification() {
+        let d = V5 {
+            good: Trit::One,
+            bad: Trit::Zero,
+        };
+        assert!(d.carries_d());
+        assert!(!d.undetermined());
+        assert!(!V5::definite(true).carries_d());
+        assert!(V5::X.undetermined());
+        assert!(!V5::X.carries_d());
+        let half = V5 {
+            good: Trit::One,
+            bad: Trit::X,
+        };
+        assert!(half.undetermined());
+        assert!(!half.carries_d());
+    }
+
+    #[test]
+    fn and_or_tables() {
+        use Trit::{One, Zero, X};
+        assert_eq!(eval_trits(GateKind::And, &[Zero, X]), Zero);
+        assert_eq!(eval_trits(GateKind::And, &[One, X]), X);
+        assert_eq!(eval_trits(GateKind::And, &[One, One]), One);
+        assert_eq!(eval_trits(GateKind::Or, &[One, X]), One);
+        assert_eq!(eval_trits(GateKind::Or, &[Zero, X]), X);
+        assert_eq!(eval_trits(GateKind::Nand, &[Zero, X]), One);
+        assert_eq!(eval_trits(GateKind::Nor, &[One, X]), Zero);
+    }
+
+    #[test]
+    fn xor_and_unary_tables() {
+        use Trit::{One, Zero, X};
+        assert_eq!(eval_trits(GateKind::Xor, &[One, Zero, One]), Zero);
+        assert_eq!(eval_trits(GateKind::Xor, &[One, Zero, Zero]), One);
+        assert_eq!(eval_trits(GateKind::Xor, &[One, X]), X);
+        assert_eq!(eval_trits(GateKind::Not, &[Zero]), One);
+        assert_eq!(eval_trits(GateKind::Buf, &[X]), X);
+    }
+
+    /// The three-valued tables agree with the boolean `eval_words` kernel on
+    /// every definite input combination (all kinds, 1..=3 inputs).
+    #[test]
+    fn trit_tables_agree_with_boolean_kernel() {
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+        ] {
+            for n in 1..=3usize {
+                for pattern in 0u32..1 << n {
+                    let trits: Vec<Trit> = (0..n)
+                        .map(|k| Trit::from_bool(pattern >> k & 1 == 1))
+                        .collect();
+                    let words: Vec<u64> = (0..n)
+                        .map(|k| if pattern >> k & 1 == 1 { u64::MAX } else { 0 })
+                        .collect();
+                    let expect = kind.eval_words(&words) & 1 == 1;
+                    assert_eq!(
+                        eval_trits(kind, &trits),
+                        Trit::from_bool(expect),
+                        "{kind} {pattern:b}"
+                    );
+                }
+            }
+        }
+        for kind in [GateKind::Not, GateKind::Buf] {
+            for bit in [false, true] {
+                let expect = kind.eval_words(&[if bit { u64::MAX } else { 0 }]) & 1 == 1;
+                assert_eq!(
+                    eval_trits(kind, &[Trit::from_bool(bit)]),
+                    Trit::from_bool(expect)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values_and_inversions() {
+        assert_eq!(controlling_value(GateKind::And), Some(false));
+        assert_eq!(controlling_value(GateKind::Nor), Some(true));
+        assert_eq!(controlling_value(GateKind::Xor), None);
+        assert!(inverts(GateKind::Nand));
+        assert!(!inverts(GateKind::Buf));
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-checks of the PODEM engine against independent oracles.
+//!
+//! Three claims are verified on synthesized benchmark circuits and random
+//! machines (seeded SplitMix64, fully offline):
+//!
+//! 1. every generated test detects its target fault in the fault-parallel
+//!    `FaultEngine` (campaign simulation);
+//! 2. every redundancy verdict agrees with the exhaustive detectability
+//!    analysis (`Undetectable`), and every test agrees with `Detectable`;
+//! 3. at a generous budget, no fault of these small circuits is aborted —
+//!    the engine fully classifies the stuck-at universe.
+
+use scanft_atpg::{Atpg, AtpgConfig, AtpgOutcome};
+use scanft_fsm::rng::SplitMix64;
+use scanft_netlist::Netlist;
+use scanft_sim::faults::{self, Fault, StuckFault};
+use scanft_sim::{campaign, exhaustive};
+use scanft_synth::{synthesize, Encoding, SynthConfig};
+
+fn detects(netlist: &Netlist, test: &scanft_sim::ScanTest, fault: &StuckFault) -> bool {
+    let report = campaign::run(netlist, std::slice::from_ref(test), &[Fault::Stuck(*fault)]);
+    report.detecting_test[0].is_some()
+}
+
+/// Classifies every stuck-at fault of `netlist` and cross-checks each
+/// verdict against the fault engine and the exhaustive oracle.
+fn classify_and_check(netlist: &Netlist, context: &str) {
+    let mut atpg = Atpg::new(netlist);
+    let config = AtpgConfig::default();
+    for fault in faults::enumerate_stuck(netlist) {
+        let describe = || format!("{context}: {}", Fault::Stuck(fault).describe(netlist));
+        let result = atpg.generate(&fault, &config);
+        match result.outcome {
+            AtpgOutcome::Test(test) => {
+                assert!(detects(netlist, &test, &fault), "{}", describe());
+                assert_eq!(
+                    exhaustive::is_detectable(netlist, &Fault::Stuck(fault), 1 << 22),
+                    exhaustive::Detectability::Detectable,
+                    "{}",
+                    describe()
+                );
+            }
+            AtpgOutcome::Redundant => {
+                assert_eq!(
+                    exhaustive::is_detectable(netlist, &Fault::Stuck(fault), 1 << 22),
+                    exhaustive::Detectability::Undetectable,
+                    "{}",
+                    describe()
+                );
+            }
+            AtpgOutcome::Aborted => {
+                panic!("{}: aborted at default budget", describe());
+            }
+        }
+    }
+}
+
+/// Full classification agreement on the paper's walkthrough circuit and a
+/// few more registry benchmarks, under both state encodings.
+#[test]
+fn verdicts_match_exhaustive_on_benchmarks() {
+    for name in ["lion", "bbtas", "dk27", "mc"] {
+        let table = scanft_fsm::benchmarks::build(name).expect("registry circuit");
+        for encoding in [Encoding::Binary, Encoding::Gray] {
+            let config = SynthConfig {
+                encoding,
+                ..SynthConfig::default()
+            };
+            let circuit = synthesize(&table, &config);
+            classify_and_check(circuit.netlist(), &format!("{name}/{encoding:?}"));
+        }
+    }
+}
+
+/// Same agreement on random machines — these synthesize to netlists with
+/// redundant faults more often than the hand-crafted benchmarks.
+#[test]
+fn verdicts_match_exhaustive_on_random_machines() {
+    let mut rng = SplitMix64::new(0x917_0001);
+    for _ in 0..12 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(5) as usize;
+        let seed = rng.next_u64();
+        let table = scanft_fsm::benchmarks::random_machine("atpg", pi, 2, states, seed).unwrap();
+        let circuit = synthesize(&table, &SynthConfig::default());
+        classify_and_check(circuit.netlist(), &format!("random(seed={seed:#x})"));
+    }
+}
+
+/// The effort statistics are consistent: backtracks never exceed decisions,
+/// and classifying a whole universe at the default budget reports nonzero
+/// total effort on any non-trivial circuit.
+#[test]
+fn effort_statistics_are_consistent() {
+    let table = scanft_fsm::benchmarks::build("dk27").unwrap();
+    let circuit = synthesize(&table, &SynthConfig::default());
+    let netlist = circuit.netlist();
+    let mut atpg = Atpg::new(netlist);
+    let config = AtpgConfig::default();
+    let mut total_decisions = 0;
+    for fault in faults::enumerate_stuck(netlist) {
+        let result = atpg.generate(&fault, &config);
+        assert!(result.stats.backtracks <= result.stats.decisions);
+        assert!(result.stats.decisions <= config.decision_budget);
+        total_decisions += result.stats.decisions;
+    }
+    assert!(total_decisions > 0);
+}

@@ -1,0 +1,76 @@
+//! Functional vs complete coverage: the paper's top-up comparison.
+//!
+//! For every circuit, the functional test set (Table 5 generation) is fault
+//! simulated over the collapsed single stuck-at universe; PODEM then
+//! targets the surviving faults, each fresh pattern is fault-simulated
+//! across all still-pending faults, and every fault ends up detected,
+//! proven combinationally redundant, or (only on a budget hit) aborted.
+//!
+//! The claim being reproduced: deterministic generation has to add only a
+//! handful of patterns on top of the functional tests, and the combined
+//! set reaches 100% coverage of the non-redundant faults.
+
+use scanft_bench::{pct, plan_circuits, Args, Budget};
+use scanft_core::generate::{generate, GenConfig};
+use scanft_core::top_up::{top_up, TopUpConfig};
+use scanft_fsm::{benchmarks, uio};
+use scanft_synth::{synthesize, SynthConfig};
+
+fn main() {
+    let args = Args::parse();
+    println!("Coverage top-up: functional tests + deterministic ATPG (collapsed stuck-at)");
+    println!();
+    println!(
+        "  circuit  || faults | func det | func f.c. || +pats | atpg det | redund | abort || final f.c. | eff f.c. | complete"
+    );
+    scanft_bench::rule(118);
+    let mut all_complete = true;
+    let mut total_patterns = 0usize;
+    let mut total_faults = 0usize;
+    for (spec, run) in plan_circuits(&args, Budget::GateLevel) {
+        if !run {
+            println!("  {:<8} || {:>105}", spec.name, "skipped(budget)");
+            continue;
+        }
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let uios = uio::derive_uios(&table, table.num_state_vars());
+        let set = generate(&table, &uios, &GenConfig::default());
+        let circuit = synthesize(&table, &SynthConfig::default());
+        let outcome = top_up(&circuit, &set, &TopUpConfig::default());
+        let report = &outcome.report;
+        let func_pct = if report.faults.is_empty() {
+            100.0
+        } else {
+            100.0 * report.detected_functional() as f64 / report.faults.len() as f64
+        };
+        all_complete &= report.is_complete();
+        total_patterns += report.atpg_patterns;
+        total_faults += report.faults.len();
+        println!(
+            "  {:<8} || {:>6} | {:>8} | {:>9} || {:>5} | {:>8} | {:>6} | {:>5} || {:>10} | {:>8} | {}",
+            spec.name,
+            report.faults.len(),
+            report.detected_functional(),
+            pct(func_pct),
+            report.atpg_patterns,
+            report.detected_atpg(),
+            report.proven_redundant(),
+            report.aborted(),
+            pct(report.coverage_percent()),
+            pct(report.effective_coverage_percent()),
+            if report.is_complete() { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    println!(
+        "{total_patterns} deterministic pattern(s) added across {total_faults} collapsed faults"
+    );
+    if all_complete {
+        println!(
+            "claim (100% coverage of non-redundant faults within budget): REPRODUCED on every simulated circuit"
+        );
+    } else {
+        println!("claim NOT reproduced: at least one circuit left faults aborted or undetected");
+        std::process::exit(1);
+    }
+}

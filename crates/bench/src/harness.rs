@@ -45,7 +45,8 @@ impl Group {
     }
 
     /// Runs one benchmark: calibrates an iteration count so a sample takes
-    /// roughly [`TARGET_SAMPLE`], collects samples, and prints statistics.
+    /// roughly the internal target duration, collects samples, and prints
+    /// statistics.
     pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
         // Calibration: grow the iteration count until a sample is long
         // enough to time reliably.

@@ -6,6 +6,7 @@
 //! scanft uio <circuit> [--max-len N]
 //! scanft generate <circuit> [--no-transfer] [--uio-cap N]
 //! scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
+//! scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray]
 //! scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
 //! ```
 //!
@@ -80,6 +81,7 @@ const USAGE: &str = "usage:
   scanft generate <circuit> [--no-transfer] [--uio-cap N] [--out FILE]
   scanft simulate <circuit> --tests FILE
   scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
+  scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray]
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
   scanft dot <circuit>
 
@@ -99,6 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(rest),
         "simulate" => cmd_simulate(rest),
         "evaluate" => cmd_evaluate(rest),
+        "atpg" => cmd_atpg(rest),
         "synth" => cmd_synth(rest),
         "dot" => cmd_dot(rest),
         other => Err(format!("unknown command `{other}`")),
@@ -255,6 +258,15 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     );
     let circuit = synthesize(&table, &SynthConfig::default());
     let scan_tests = set.to_scan_tests(&circuit);
+    let bridges = scanft_sim::faults::enumerate_bridging(circuit.netlist(), 3000);
+    if bridges.truncated() {
+        println!(
+            "note: bridging universe subsampled to {} of {} structural pairs ({} dropped)",
+            bridges.faults.len() / 2,
+            bridges.total_pairs,
+            bridges.dropped_pairs()
+        );
+    }
     for (label, faults) in [
         (
             "stuck-at",
@@ -264,9 +276,7 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
         ),
         (
             "bridging",
-            scanft_sim::faults::bridges_as_fault_list(
-                &scanft_sim::faults::enumerate_bridging(circuit.netlist(), 3000).faults,
-            ),
+            scanft_sim::faults::bridges_as_fault_list(&bridges.faults),
         ),
         (
             "delay",
@@ -361,6 +371,77 @@ fn cmd_evaluate(rest: &[String]) -> Result<(), String> {
         }
     }
     println!("  total: {:.2}s", report.total_secs);
+    Ok(())
+}
+
+fn cmd_atpg(rest: &[String]) -> Result<(), String> {
+    let table = load_circuit(rest)?;
+    let synth_config = SynthConfig {
+        encoding: if flag(rest, "--gray") {
+            Encoding::Gray
+        } else {
+            Encoding::Binary
+        },
+        ..SynthConfig::default()
+    };
+    let circuit = synthesize(&table, &synth_config);
+    let functional = if flag(rest, "--no-functional") {
+        Vec::new()
+    } else {
+        let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
+        generate(&table, &uios, &GenConfig::default()).to_scan_tests(&circuit)
+    };
+    let config = scanft_core::top_up::TopUpConfig {
+        decision_budget: value_of(rest, "--budget")?
+            .map(|b| b as u64)
+            .unwrap_or(scanft_core::top_up::TopUpConfig::default().decision_budget),
+        collapse: !flag(rest, "--uncollapsed"),
+    };
+    let outcome = scanft_core::top_up::top_up_scan(circuit.netlist(), &functional, &config);
+    let report = &outcome.report;
+    println!("coverage top-up for {}:", table.name());
+    println!("  netlist: {}", circuit.netlist().stats());
+    println!(
+        "  faults: {} {} stuck-at targets",
+        report.faults.len(),
+        if config.collapse {
+            "collapsed"
+        } else {
+            "uncollapsed"
+        }
+    );
+    println!(
+        "  functional: {} tests detect {} faults ({:.2}%)",
+        outcome.num_functional,
+        report.detected_functional(),
+        100.0 * report.detected_functional() as f64 / report.faults.len().max(1) as f64
+    );
+    println!(
+        "  atpg: {} patterns detect {} faults ({} dropped by another fault's pattern)",
+        report.atpg_patterns,
+        report.detected_atpg(),
+        report.dropped_by_atpg_patterns
+    );
+    println!(
+        "  redundant: {} proven, aborted: {} (budget {})",
+        report.proven_redundant(),
+        report.aborted(),
+        config.decision_budget
+    );
+    println!(
+        "  effort: {} decisions, {} backtracks",
+        report.decisions, report.backtracks
+    );
+    println!(
+        "  coverage: {:.2}% of all faults, {:.2}% of non-redundant faults{}",
+        report.coverage_percent(),
+        report.effective_coverage_percent(),
+        if report.is_complete() {
+            " (complete)"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 

@@ -43,6 +43,7 @@ pub mod flow;
 pub mod generate;
 pub mod io;
 pub mod nonscan;
+pub mod top_up;
 pub mod vectors;
 
 mod test_set;

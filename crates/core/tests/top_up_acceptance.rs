@@ -1,0 +1,99 @@
+//! Acceptance test for the coverage top-up flow across the MCNC suite.
+//!
+//! On every benchmark within the gate-level size budget, `top_up` must
+//! reach 100% coverage of the non-redundant collapsed stuck-at faults at
+//! the default decision budget with zero aborts, every ATPG-generated
+//! pattern must detect its recorded target fault in the fault-parallel
+//! `FaultEngine`, and one straight simulation of the combined test set must
+//! detect exactly the non-redundant faults.
+
+use scanft_core::generate::{generate, GenConfig};
+use scanft_core::top_up::{top_up, TopUpConfig};
+use scanft_fsm::benchmarks::{self, CIRCUITS};
+use scanft_fsm::uio;
+use scanft_sim::campaign;
+use scanft_sim::faults::{self, Fault};
+use scanft_synth::{synthesize, SynthConfig};
+
+/// The bench harness's gate-level budget (scanft-bench depends on this
+/// crate, so the bound is restated rather than imported): small enough that
+/// the whole suite simulates in seconds, large enough to span 20+ machines.
+fn within_gate_level_budget(spec: &benchmarks::CircuitSpec) -> bool {
+    spec.num_inputs + spec.num_state_vars <= 10 && spec.num_transitions() <= 1024
+}
+
+/// Fast default sweep: the budgeted benchmarks small enough for debug-mode
+/// fault simulation. The release-mode `coverage_topup` bench binary and the
+/// ignored test below cover the full gate-level budget.
+#[test]
+fn top_up_completes_small_mcnc_benchmarks() {
+    run_acceptance(|spec| within_gate_level_budget(spec) && spec.num_transitions() <= 64);
+}
+
+/// Full budgeted sweep — debug-mode minutes, so opt-in:
+/// `cargo test -p scanft-core --test top_up_acceptance -- --ignored`.
+#[test]
+#[ignore = "several minutes in debug; covered in release by the coverage_topup binary"]
+fn top_up_completes_every_budgeted_mcnc_benchmark() {
+    run_acceptance(within_gate_level_budget);
+}
+
+fn run_acceptance(filter: impl Fn(&benchmarks::CircuitSpec) -> bool) {
+    let mut ran = 0usize;
+    for spec in CIRCUITS.iter().filter(|s| filter(s)) {
+        let table = benchmarks::build(spec.name).expect("registry circuit");
+        let uios = uio::derive_uios(&table, table.num_state_vars());
+        let set = generate(&table, &uios, &GenConfig::default());
+        let circuit = synthesize(&table, &SynthConfig::default());
+        let outcome = top_up(&circuit, &set, &TopUpConfig::default());
+        let report = &outcome.report;
+
+        // 100% of non-redundant faults within the decision budget.
+        assert_eq!(report.aborted(), 0, "{}: aborted faults", spec.name);
+        assert!(
+            report.is_complete(),
+            "{}: {} of {} faults unresolved",
+            spec.name,
+            report.faults.len() - report.detected() - report.proven_redundant(),
+            report.faults.len()
+        );
+        assert!(
+            (report.effective_coverage_percent() - 100.0).abs() < 1e-9,
+            "{}: effective coverage {:.4}%",
+            spec.name,
+            report.effective_coverage_percent()
+        );
+
+        // Every ATPG pattern detects its recorded target in the engine.
+        assert_eq!(report.pattern_targets.len(), outcome.atpg_patterns().len());
+        for (pattern, target) in outcome.atpg_patterns().iter().zip(&report.pattern_targets) {
+            let single = campaign::run(
+                circuit.netlist(),
+                std::slice::from_ref(pattern),
+                &[Fault::Stuck(*target)],
+            );
+            assert!(
+                single.detecting_test[0].is_some(),
+                "{}: pattern misses its target {}",
+                spec.name,
+                Fault::Stuck(*target).describe(circuit.netlist())
+            );
+        }
+
+        // The combined set, simulated from scratch, detects exactly the
+        // non-redundant faults.
+        let final_report = campaign::run(
+            circuit.netlist(),
+            &outcome.tests,
+            &faults::as_fault_list(&report.faults),
+        );
+        assert_eq!(
+            final_report.detected(),
+            report.faults.len() - report.proven_redundant(),
+            "{}: straight resimulation disagrees",
+            spec.name
+        );
+        ran += 1;
+    }
+    assert!(ran >= 10, "only {ran} benchmarks within budget");
+}

@@ -236,6 +236,14 @@ pub fn enumerate_bridging(netlist: &Netlist, max_pairs: usize) -> BridgeEnumerat
         pairs
     };
 
+    // No silent caps: the subsampling is observable in the metrics export,
+    // not just in the returned struct.
+    let obs = scanft_obs::global();
+    obs.counter("sim.faults.bridge_pairs")
+        .add(total_pairs as u64);
+    obs.counter("sim.faults.bridge_pairs_dropped")
+        .add((total_pairs - kept.len()) as u64);
+
     let faults = kept
         .iter()
         .flat_map(|&(a, b)| {
@@ -264,6 +272,12 @@ impl BridgeEnumeration {
     #[must_use]
     pub fn truncated(&self) -> bool {
         self.faults.len() < self.total_pairs * 2
+    }
+
+    /// Number of structurally qualifying pairs dropped by the cap.
+    #[must_use]
+    pub fn dropped_pairs(&self) -> usize {
+        self.total_pairs - self.faults.len() / 2
     }
 }
 
@@ -362,10 +376,12 @@ mod tests {
         let n = bld.finish(pos, vec![]).unwrap();
         let full = enumerate_bridging(&n, usize::MAX);
         assert_eq!(full.total_pairs, 6); // C(4,2)
+        assert_eq!(full.dropped_pairs(), 0);
         let capped = enumerate_bridging(&n, 3);
         assert_eq!(capped.total_pairs, 6);
         assert_eq!(capped.faults.len(), 6); // 3 pairs * 2 kinds
         assert!(capped.truncated());
+        assert_eq!(capped.dropped_pairs(), 3);
         let capped2 = enumerate_bridging(&n, 3);
         assert_eq!(capped.faults, capped2.faults);
     }

@@ -180,6 +180,53 @@ fn collapse_classes_share_verdicts() {
     }
 }
 
+/// Fault collapsing is detection-preserving: simulating only the class
+/// representatives yields exactly the same set of detected classes as
+/// simulating the full uncollapsed list and projecting detections onto the
+/// classes — for random machines, encodings and test sets.
+#[test]
+fn collapse_is_detection_preserving() {
+    let mut rng = SplitMix64::new(0x51_0009);
+    for _ in 0..16 {
+        let pi = 1 + rng.next_below(2) as usize;
+        let states = 2 + rng.next_below(6) as usize;
+        let (table, circuit) = setup(pi, states, rng.next_u64(), rng.chance(1, 2));
+        let n = circuit.netlist();
+        let stuck = faults::enumerate_stuck(n);
+        let collapsed = scanft_sim::collapse::collapse_stuck(n, &stuck);
+        let tests = random_tests(&mut rng, &table, &circuit, 5, 4);
+
+        let rep_report = campaign::run(
+            n,
+            &tests,
+            &faults::as_fault_list(&collapsed.representatives),
+        );
+        let full_report = campaign::run(n, &tests, &faults::as_fault_list(&stuck));
+
+        // Classes detected through their representative.
+        let by_reps: Vec<bool> = rep_report
+            .detecting_test
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        // Classes detected through any member of the full list.
+        let mut by_members = vec![false; collapsed.representatives.len()];
+        for (k, &class) in collapsed.class_of.iter().enumerate() {
+            by_members[class] |= full_report.detecting_test[k].is_some();
+        }
+        assert_eq!(by_reps, by_members);
+        // And therefore the expanded per-fault verdicts agree exactly.
+        assert_eq!(
+            collapsed.expand(&by_reps),
+            full_report
+                .detecting_test
+                .iter()
+                .map(Option::is_some)
+                .collect::<Vec<bool>>()
+        );
+    }
+}
+
 /// A fault detected with a one-cycle test is classified detectable by the
 /// exhaustive analysis (soundness cross-check).
 #[test]
