@@ -1,0 +1,380 @@
+//! The unified diagnostic model shared by the netlist and FSM lint suites.
+//!
+//! Every lint finding is a [`Diagnostic`]: a severity, a stable
+//! [`LintCode`], a human-locatable locus (net, state, or source line), a
+//! message, and an optional suggestion. Severities come from a
+//! [`LintLevels`] table — every lint is individually toggleable between
+//! `allow`, `warn`, and `deny`, mirroring the compiler-lint model the Rust
+//! toolchain itself uses.
+
+use std::fmt;
+
+/// How seriously a lint finding should be treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed: the lint does not run (or its findings are dropped).
+    Allow,
+    /// Reported, but does not fail the run.
+    Warn,
+    /// Reported and fails the run (`scanft lint` exits non-zero).
+    Deny,
+}
+
+impl Severity {
+    /// Lowercase name as used on the command line (`allow`/`warn`/`deny`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// Parses a command-line severity name.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifier of one lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// A PI or PPI that drives nothing (no fanout, not an output).
+    FloatingInput,
+    /// A gate output with no fanout that is neither a PO nor a PPO.
+    DanglingOutput,
+    /// A net whose SCOAP observability is structurally infinite.
+    Unobservable,
+    /// A net with an infinite SCOAP controllability for some value.
+    Uncontrollable,
+    /// A gate whose fanin exceeds the configured bound.
+    FaninBound,
+    /// The scan boundary is inconsistent (PPO count ≠ PPI count).
+    ScanChainIntegrity,
+    /// A net referenced as driven is never defined (BLIF import).
+    UndrivenNet,
+    /// A state unreachable from the reset state through the state graph.
+    UnreachableState,
+    /// A `(state, input)` entry with no specified behaviour.
+    IncompleteTable,
+    /// Conflicting behaviour specified for the same `(state, input)`.
+    NondeterministicTable,
+    /// A state with no UIO sequence within the configured length bound.
+    NoUio,
+    /// A primary input that never affects any next state or output.
+    UnusedInput,
+    /// A source file that failed to parse for a reason not covered by a
+    /// more specific code.
+    MalformedSource,
+}
+
+/// All lint codes, in report order.
+pub const ALL_LINTS: &[LintCode] = &[
+    LintCode::FloatingInput,
+    LintCode::DanglingOutput,
+    LintCode::Unobservable,
+    LintCode::Uncontrollable,
+    LintCode::FaninBound,
+    LintCode::ScanChainIntegrity,
+    LintCode::UndrivenNet,
+    LintCode::UnreachableState,
+    LintCode::IncompleteTable,
+    LintCode::NondeterministicTable,
+    LintCode::NoUio,
+    LintCode::UnusedInput,
+    LintCode::MalformedSource,
+];
+
+impl LintCode {
+    /// The stable kebab-case name used in reports and on the command line.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::FloatingInput => "floating-input",
+            LintCode::DanglingOutput => "dangling-output",
+            LintCode::Unobservable => "unobservable",
+            LintCode::Uncontrollable => "uncontrollable",
+            LintCode::FaninBound => "fanin-bound",
+            LintCode::ScanChainIntegrity => "scan-chain-integrity",
+            LintCode::UndrivenNet => "undriven-net",
+            LintCode::UnreachableState => "unreachable-state",
+            LintCode::IncompleteTable => "incomplete-table",
+            LintCode::NondeterministicTable => "nondeterministic-table",
+            LintCode::NoUio => "no-uio",
+            LintCode::UnusedInput => "unused-input",
+            LintCode::MalformedSource => "malformed-source",
+        }
+    }
+
+    /// Parses a lint name as printed by [`LintCode::as_str`].
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        ALL_LINTS.iter().copied().find(|c| c.as_str() == text)
+    }
+
+    /// The built-in severity of this lint.
+    ///
+    /// Structural impossibilities (undriven nets, nondeterministic tables,
+    /// a broken scan boundary) deny by default; style- and
+    /// testability-degrading findings warn; the expensive UIO precondition
+    /// check is opt-in.
+    #[must_use]
+    pub fn default_level(self) -> Severity {
+        match self {
+            LintCode::UndrivenNet
+            | LintCode::NondeterministicTable
+            | LintCode::ScanChainIntegrity
+            | LintCode::Uncontrollable
+            | LintCode::MalformedSource => Severity::Deny,
+            LintCode::FloatingInput
+            | LintCode::DanglingOutput
+            | LintCode::Unobservable
+            | LintCode::FaninBound
+            | LintCode::UnreachableState
+            | LintCode::IncompleteTable
+            | LintCode::UnusedInput => Severity::Warn,
+            LintCode::NoUio => Severity::Allow,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity assigned by the active [`LintLevels`] table.
+    pub severity: Severity,
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Where: a net name (`g4`), state name (`st1`), line (`line 7`), …
+    pub locus: String,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix it, when a concrete fix is known.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders the finding as a single JSON object (no external
+    /// dependencies; strings are escaped with
+    /// [`scanft_obs::escape_json_string`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let esc = scanft_obs::escape_json_string;
+        let mut json = format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"locus\":\"{}\",\"message\":\"{}\"",
+            self.severity,
+            self.code,
+            esc(&self.locus),
+            esc(&self.message),
+        );
+        if let Some(s) = &self.suggestion {
+            json.push_str(&format!(",\"suggestion\":\"{}\"", esc(s)));
+        }
+        json.push('}');
+        json
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.locus, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (help: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-lint severity table.
+///
+/// Starts from each lint's [`LintCode::default_level`]; individual lints
+/// can be raised or lowered with [`LintLevels::set`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintLevels {
+    levels: Vec<(LintCode, Severity)>,
+}
+
+impl Default for LintLevels {
+    fn default() -> Self {
+        LintLevels {
+            levels: ALL_LINTS.iter().map(|&c| (c, c.default_level())).collect(),
+        }
+    }
+}
+
+impl LintLevels {
+    /// The severity currently assigned to `code`.
+    #[must_use]
+    pub fn level(&self, code: LintCode) -> Severity {
+        self.levels
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| code.default_level())
+    }
+
+    /// Reassigns the severity of one lint.
+    pub fn set(&mut self, code: LintCode, severity: Severity) -> &mut Self {
+        if let Some(entry) = self.levels.iter_mut().find(|(c, _)| *c == code) {
+            entry.1 = severity;
+        } else {
+            self.levels.push((code, severity));
+        }
+        self
+    }
+
+    /// Whether `code` is enabled at all (not `allow`).
+    #[must_use]
+    pub fn enabled(&self, code: LintCode) -> bool {
+        self.level(code) != Severity::Allow
+    }
+}
+
+/// A collection of findings with severity-aware accessors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All retained findings, in detection order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Appends a finding unless its severity is [`Severity::Allow`].
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        if diagnostic.severity != Severity::Allow {
+            self.diagnostics.push(diagnostic);
+        }
+    }
+
+    /// Absorbs every finding of `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of deny-level findings.
+    #[must_use]
+    pub fn num_deny(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings.
+    #[must_use]
+    pub fn num_warn(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the lint run passes (no deny-level findings).
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.num_deny() == 0
+    }
+
+    /// Renders every finding as JSON lines (one object per finding).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_names() {
+        for &code in ALL_LINTS {
+            assert_eq!(LintCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(LintCode::parse("no-such-lint"), None);
+    }
+
+    #[test]
+    fn severity_round_trips() {
+        for s in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(Severity::parse(s.as_str()), Some(s));
+        }
+        assert!(Severity::parse("fatal").is_none());
+    }
+
+    #[test]
+    fn levels_are_toggleable() {
+        let mut levels = LintLevels::default();
+        assert_eq!(levels.level(LintCode::UndrivenNet), Severity::Deny);
+        levels.set(LintCode::UndrivenNet, Severity::Allow);
+        assert!(!levels.enabled(LintCode::UndrivenNet));
+        levels.set(LintCode::NoUio, Severity::Deny);
+        assert_eq!(levels.level(LintCode::NoUio), Severity::Deny);
+    }
+
+    #[test]
+    fn report_filters_allow_and_counts() {
+        let mut report = LintReport::default();
+        report.push(Diagnostic {
+            severity: Severity::Allow,
+            code: LintCode::NoUio,
+            locus: "state 1".into(),
+            message: "ignored".into(),
+            suggestion: None,
+        });
+        report.push(Diagnostic {
+            severity: Severity::Deny,
+            code: LintCode::UndrivenNet,
+            locus: "net ghost".into(),
+            message: "undriven".into(),
+            suggestion: Some("drive it".into()),
+        });
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.num_deny(), 1);
+        assert!(!report.passes());
+        let json = report.to_jsonl();
+        assert!(json.contains("\"code\":\"undriven-net\""));
+        assert!(json.contains("\"suggestion\":\"drive it\""));
+    }
+
+    #[test]
+    fn display_contains_code_and_locus() {
+        let d = Diagnostic {
+            severity: Severity::Warn,
+            code: LintCode::DanglingOutput,
+            locus: "g7".into(),
+            message: "drives nothing".into(),
+            suggestion: None,
+        };
+        let text = d.to_string();
+        assert!(text.contains("warn[dangling-output]"));
+        assert!(text.contains("g7"));
+    }
+}

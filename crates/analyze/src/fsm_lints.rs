@@ -1,0 +1,307 @@
+//! Design lints over a [`StateTable`] and its KISS2 source.
+//!
+//! The table-level lints run on any successfully built machine:
+//! unreachable states, inputs that never influence behaviour, and states
+//! with no UIO precondition (the paper's prerequisite for functional test
+//! generation). Source-level problems — nondeterministic or incomplete
+//! product-term tables, malformed KISS2 — surface while parsing, so
+//! [`lint_kiss_source`] re-parses under the strict [`Completion::Reject`]
+//! policy and maps each failure onto the shared diagnostic model.
+
+use scanft_fsm::kiss::{self, Completion};
+use scanft_fsm::uio::{derive_uios_with, UioConfig};
+use scanft_fsm::{FsmError, StateId, StateTable};
+
+use crate::diag::{Diagnostic, LintCode, LintLevels, LintReport};
+
+/// Knobs for an FSM lint run.
+#[derive(Debug, Clone, Default)]
+pub struct FsmLintConfig {
+    /// Per-lint severity table.
+    pub levels: LintLevels,
+    /// UIO length bound used by the [`LintCode::NoUio`] lint. The paper's
+    /// default is `L = N_SV`; `None` uses that default.
+    pub uio_max_len: Option<usize>,
+}
+
+/// Runs every enabled FSM lint over a built state table.
+#[must_use]
+pub fn lint_state_table(table: &StateTable, config: &FsmLintConfig) -> LintReport {
+    let mut report = LintReport::default();
+    let levels = &config.levels;
+    let diag =
+        |code: LintCode, locus: String, message: String, suggestion: Option<String>| Diagnostic {
+            severity: levels.level(code),
+            code,
+            locus,
+            message,
+            suggestion,
+        };
+
+    // Unreachable states (from the reset state 0, the all-zero scan code).
+    let reachable = scanft_fsm::graph::reachable_from(table, 0);
+    for (s, &ok) in reachable.iter().enumerate() {
+        if !ok {
+            report.push(diag(
+                LintCode::UnreachableState,
+                format!("state {}", table.state_name(s as StateId)),
+                format!(
+                    "state {} is unreachable from the reset state {}; full scan can still load \
+                     it, but functional (non-scan) operation never enters it",
+                    table.state_name(s as StateId),
+                    table.state_name(0)
+                ),
+                None,
+            ));
+        }
+    }
+
+    // Unused inputs: an input bit no transition's next state or output
+    // depends on.
+    for bit in 0..table.num_inputs() {
+        let mask = 1usize << bit;
+        let mut used = false;
+        'outer: for s in 0..table.num_states() as StateId {
+            for i in 0..table.num_input_combos() {
+                if i & mask != 0 {
+                    continue;
+                }
+                if table.step(s, i as u32) != table.step(s, (i | mask) as u32) {
+                    used = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !used {
+            report.push(diag(
+                LintCode::UnusedInput,
+                format!("input x{}", bit + 1),
+                format!(
+                    "primary input x{} never affects any next state or output",
+                    bit + 1
+                ),
+                Some("drop the input from the machine description".into()),
+            ));
+        }
+    }
+
+    // States without a UIO precondition. Expensive (BFS over a product
+    // automaton per state), so it only runs when the lint is not allow-level
+    // — which is also why its default level is `allow`.
+    if levels.enabled(LintCode::NoUio) {
+        let max_len = config.uio_max_len.unwrap_or(table.num_state_vars());
+        let uios = derive_uios_with(table, &UioConfig::with_max_len(max_len));
+        for s in 0..table.num_states() as StateId {
+            if uios.sequence(s).is_none() {
+                report.push(diag(
+                    LintCode::NoUio,
+                    format!("state {}", table.state_name(s)),
+                    format!(
+                        "state {} has no UIO sequence of length <= {max_len}; its transitions \
+                         fall back to scan-based state observation",
+                        table.state_name(s)
+                    ),
+                    Some("raise the UIO length bound `L`".into()),
+                ));
+            }
+        }
+    }
+
+    scanft_obs::global()
+        .counter("analyze.lint.fsm_diagnostics")
+        .add(report.diagnostics.len() as u64);
+    report
+}
+
+/// Lints raw KISS2 text by parsing it under the strict
+/// [`Completion::Reject`] policy and mapping failures onto diagnostics.
+///
+/// Returns the parsed table (if the source builds at all under the lenient
+/// self-loop completion) alongside the report, so callers can chain
+/// [`lint_state_table`] without re-parsing.
+#[must_use]
+pub fn lint_kiss_source(
+    text: &str,
+    name: &str,
+    levels: &LintLevels,
+) -> (Option<StateTable>, LintReport) {
+    let mut report = LintReport::default();
+    match kiss::parse_with(text, name, Completion::Reject) {
+        Ok(table) => return (Some(table), report),
+        Err(err) => {
+            let (code, locus) = classify_fsm_error(&err);
+            report.push(Diagnostic {
+                severity: levels.level(code),
+                code,
+                locus,
+                message: err.to_string(),
+                suggestion: match code {
+                    LintCode::IncompleteTable => {
+                        Some("specify the entry or accept self-loop completion".into())
+                    }
+                    LintCode::NondeterministicTable => {
+                        Some("remove or reconcile the overlapping product terms".into())
+                    }
+                    _ => None,
+                },
+            });
+        }
+    }
+    // An incomplete table still builds under the lenient default policy;
+    // anything else is unusable.
+    let table = kiss::parse_with(text, name, Completion::SelfLoop).ok();
+    (table, report)
+}
+
+/// Maps an [`FsmError`] onto the lint code and locus it evidences.
+fn classify_fsm_error(err: &FsmError) -> (LintCode, String) {
+    match err {
+        FsmError::IncompletelySpecified {
+            state_name, input, ..
+        } => (
+            LintCode::IncompleteTable,
+            format!("state {state_name}, input {input}"),
+        ),
+        FsmError::ParseKiss { line, message } => {
+            let code = if message.contains("conflicting product terms") {
+                LintCode::NondeterministicTable
+            } else {
+                LintCode::MalformedSource
+            };
+            (code, format!("line {line}"))
+        }
+        _ => (LintCode::MalformedSource, "kiss2 source".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use scanft_fsm::StateTableBuilder;
+
+    fn has(report: &LintReport, code: LintCode) -> bool {
+        report.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    #[test]
+    fn benchmark_machines_are_clean() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let report = lint_state_table(&lion, &FsmLintConfig::default());
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn unreachable_state_is_named() {
+        // State 2 has no in-edges from {0, 1}.
+        let mut b = StateTableBuilder::new("island", 1, 1, 3).unwrap();
+        for (s, i, n, o) in [(0, 0, 0, 0), (0, 1, 1, 1), (1, 0, 0, 0), (1, 1, 1, 1)] {
+            b.set(s, i, n, o).unwrap();
+        }
+        b.set(2, 0, 2, 0).unwrap();
+        b.set(2, 1, 0, 1).unwrap();
+        b.name_state(2, "isle").unwrap();
+        let t = b.build().unwrap();
+        let report = lint_state_table(&t, &FsmLintConfig::default());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::UnreachableState)
+            .expect("unreachable-state fires");
+        assert_eq!(d.locus, "state isle");
+    }
+
+    #[test]
+    fn unused_input_detected() {
+        // 2-input machine that only looks at bit 0.
+        let mut b = StateTableBuilder::new("lazy", 2, 1, 2).unwrap();
+        for s in 0..2u32 {
+            for i in 0..4u32 {
+                let bit = i & 1;
+                b.set(s, i, bit, bit as u64).unwrap();
+            }
+        }
+        let t = b.build().unwrap();
+        let report = lint_state_table(&t, &FsmLintConfig::default());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::UnusedInput)
+            .expect("unused-input fires");
+        assert_eq!(d.locus, "input x2");
+    }
+
+    #[test]
+    fn no_uio_lint_is_opt_in() {
+        // A machine with identical rows: no state has a UIO.
+        let mut b = StateTableBuilder::new("blind", 1, 1, 2).unwrap();
+        for s in 0..2u32 {
+            b.set(s, 0, 0, 0).unwrap();
+            b.set(s, 1, 1, 0).unwrap();
+        }
+        let t = b.build().unwrap();
+        let default = lint_state_table(&t, &FsmLintConfig::default());
+        assert!(!has(&default, LintCode::NoUio), "allow-level by default");
+        let mut config = FsmLintConfig::default();
+        config.levels.set(LintCode::NoUio, Severity::Warn);
+        let strict = lint_state_table(&t, &config);
+        assert_eq!(
+            strict
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == LintCode::NoUio)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nondeterministic_kiss_trips_deny() {
+        let src = "\
+.i 1
+.o 1
+.s 2
+.r a
+0 a a 0
+0 a b 1
+1 a b 1
+- b a 0
+.e
+";
+        let (_, report) = lint_kiss_source(src, "dup", &LintLevels::default());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::NondeterministicTable)
+            .expect("nondeterministic-table fires");
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(d.locus.starts_with("line "));
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn incomplete_kiss_warns_but_still_builds() {
+        let src = "\
+.i 1
+.o 1
+.s 2
+.r a
+0 a a 0
+1 a b 1
+1 b a 1
+.e
+";
+        let (table, report) = lint_kiss_source(src, "gap", &LintLevels::default());
+        assert!(table.is_some(), "lenient completion still builds");
+        assert!(has(&report, LintCode::IncompleteTable));
+        assert!(report.passes(), "incomplete-table is warn-level");
+    }
+
+    #[test]
+    fn garbage_kiss_is_malformed_source() {
+        let (table, report) = lint_kiss_source(".i nope\n", "bad", &LintLevels::default());
+        assert!(table.is_none());
+        assert!(has(&report, LintCode::MalformedSource));
+        assert!(!report.passes());
+    }
+}

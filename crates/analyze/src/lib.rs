@@ -1,0 +1,40 @@
+//! Static testability analysis and design lints for the scanft workspace.
+//!
+//! The paper's functional test-generation flow (and every downstream stage:
+//! synthesis, fault simulation, PODEM top-up) assumes well-formed state
+//! tables and scan netlists. This crate verifies those assumptions *before*
+//! the expensive stages run, with three cooperating passes:
+//!
+//! 1. **SCOAP testability** ([`Scoap`]) — Goldstein's 0/1-controllability
+//!    and observability measures, computed in one forward plus one backward
+//!    topological sweep with saturating arithmetic.
+//! 2. **Lint suites** ([`lint_netlist`], [`lint_state_table`],
+//!    [`lint_kiss_source`]) — structural netlist checks (floating inputs,
+//!    dangling outputs, unobservable/uncontrollable nets, fanin bounds,
+//!    scan-chain integrity) and FSM checks (unreachable states, unused
+//!    inputs, missing UIO preconditions, nondeterministic or incomplete
+//!    tables), all reporting through one [`Diagnostic`] model with a
+//!    deny/warn/allow [`LintLevels`] table.
+//! 3. **Static pruning** ([`prune_untestable`]) — faults whose SCOAP
+//!    measures prove them undetectable are classified statically untestable
+//!    and removed from the ATPG universe, and the same measures replace the
+//!    raw level heuristic in PODEM's backtrace.
+//!
+//! Everything is surfaced through the `scanft lint` CLI subcommand and
+//! `analyze.*` observability metrics.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod diag;
+pub mod fsm_lints;
+pub mod netlist_lints;
+pub mod prune;
+pub mod scoap;
+
+pub use diag::{Diagnostic, LintCode, LintLevels, LintReport, Severity, ALL_LINTS};
+pub use fsm_lints::{lint_kiss_source, lint_state_table, FsmLintConfig};
+pub use netlist_lints::{lint_import_error, lint_netlist, NetlistLintConfig};
+pub use prune::{is_statically_untestable, prune_untestable, PruneResult};
+pub use scoap::{Scoap, ScoapSummary, INFINITE};

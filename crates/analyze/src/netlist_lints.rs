@@ -1,0 +1,287 @@
+//! Structural lints over a [`Netlist`].
+//!
+//! Complements the construction-time invariants of
+//! [`scanft_netlist::NetlistBuilder`] (acyclicity, known nets, fanin
+//! arity) with the checks the builder *cannot* enforce: connectivity of
+//! the finished design, the scan boundary, fanin policy, and the
+//! SCOAP-derived structural testability of every net. BLIF sources that
+//! fail to import are folded into the same diagnostic stream so `scanft
+//! lint` has a single report shape for every input kind.
+
+use scanft_netlist::{NetId, Netlist, NetlistError};
+
+use crate::diag::{Diagnostic, LintCode, LintLevels, LintReport, Severity};
+use crate::scoap::Scoap;
+
+/// Knobs for a netlist lint run.
+#[derive(Debug, Clone)]
+pub struct NetlistLintConfig {
+    /// Per-lint severity table.
+    pub levels: LintLevels,
+    /// Largest allowed gate fanin (the synthesis mapper emits trees of
+    /// fanin ≤ 4 by default, so the default bound of 8 only fires on
+    /// hand-built or imported netlists).
+    pub max_fanin: usize,
+}
+
+impl Default for NetlistLintConfig {
+    fn default() -> Self {
+        NetlistLintConfig {
+            levels: LintLevels::default(),
+            max_fanin: 8,
+        }
+    }
+}
+
+/// Runs every enabled netlist lint over `netlist`, reusing a precomputed
+/// SCOAP analysis.
+#[must_use]
+pub fn lint_netlist(netlist: &Netlist, scoap: &Scoap, config: &NetlistLintConfig) -> LintReport {
+    let mut report = LintReport::default();
+    let levels = &config.levels;
+    let diag =
+        |code: LintCode, locus: String, message: String, suggestion: Option<String>| Diagnostic {
+            severity: levels.level(code),
+            code,
+            locus,
+            message,
+            suggestion,
+        };
+
+    let num_inputs = netlist.num_pis() + netlist.num_ppis();
+
+    // Scan-chain integrity: the scan boundary must capture exactly one
+    // next-state line per present-state line.
+    if netlist.ppos().len() != netlist.num_ppis() {
+        report.push(diag(
+            LintCode::ScanChainIntegrity,
+            "scan boundary".into(),
+            format!(
+                "{} pseudo-primary inputs but {} pseudo-primary outputs: the scan chain cannot \
+                 capture a consistent next state",
+                netlist.num_ppis(),
+                netlist.ppos().len()
+            ),
+            Some("declare one PPO (next-state net) per PPI in `finish`".into()),
+        ));
+    }
+
+    // Floating inputs and dangling gate outputs.
+    for net in 0..netlist.num_nets() as NetId {
+        if netlist.is_connected(net) {
+            continue;
+        }
+        if (net as usize) < num_inputs {
+            report.push(diag(
+                LintCode::FloatingInput,
+                netlist.net_name(net),
+                format!(
+                    "{} {} drives no gate and no output",
+                    if (net as usize) < netlist.num_pis() {
+                        "primary input"
+                    } else {
+                        "present-state line"
+                    },
+                    netlist.net_name(net)
+                ),
+                Some("remove the unused input or connect it".into()),
+            ));
+        } else {
+            report.push(diag(
+                LintCode::DanglingOutput,
+                netlist.net_name(net),
+                format!(
+                    "gate output {} ({} gate) drives no gate and no output",
+                    netlist.net_name(net),
+                    netlist
+                        .driver(net)
+                        .map(|g| g.kind.name())
+                        .unwrap_or("unknown"),
+                ),
+                Some("remove the dead gate or route it to an output".into()),
+            ));
+        }
+    }
+
+    // SCOAP-structural untestability: connected nets that still cannot be
+    // observed (no path to any PO/PPO) or controlled.
+    for net in 0..netlist.num_nets() as NetId {
+        if !netlist.is_connected(net) {
+            continue; // already reported as floating/dangling above
+        }
+        if scoap.is_unobservable(net) {
+            report.push(diag(
+                LintCode::Unobservable,
+                netlist.net_name(net),
+                format!(
+                    "net {} has no structural path to any primary or pseudo-primary output; \
+                     every fault on it is untestable",
+                    netlist.net_name(net)
+                ),
+                Some("route the cone of logic to an observable output".into()),
+            ));
+        }
+        for value in [false, true] {
+            if scoap.is_uncontrollable(net, value) {
+                report.push(diag(
+                    LintCode::Uncontrollable,
+                    netlist.net_name(net),
+                    format!(
+                        "net {} cannot be driven to {} from the PIs and scan chain",
+                        netlist.net_name(net),
+                        u8::from(value)
+                    ),
+                    None,
+                ));
+            }
+        }
+    }
+
+    // Fanin policy.
+    for (g, gate) in netlist.gates().iter().enumerate() {
+        if gate.inputs.len() > config.max_fanin {
+            report.push(diag(
+                LintCode::FaninBound,
+                netlist.net_name(netlist.gate_output(g)),
+                format!(
+                    "{} gate {} has fanin {} (bound {})",
+                    gate.kind.name(),
+                    netlist.net_name(netlist.gate_output(g)),
+                    gate.inputs.len(),
+                    config.max_fanin
+                ),
+                Some("split the gate into a tree (NetlistBuilder::add_tree)".into()),
+            ));
+        }
+    }
+
+    scanft_obs::global()
+        .counter("analyze.lint.netlist_diagnostics")
+        .add(report.diagnostics.len() as u64);
+    report
+}
+
+/// Maps a failed netlist import ([`NetlistError`] or the BLIF reader's
+/// message-carrying variant) onto the diagnostic stream.
+///
+/// `scanft lint` calls this when a `.blif` input fails to parse, so broken
+/// sources produce the same report shape as structural findings; import
+/// failures are always deny-level design errors.
+#[must_use]
+pub fn lint_import_error(error: &NetlistError, levels: &LintLevels) -> LintReport {
+    let mut report = LintReport::default();
+    let message = error.to_string();
+    let code = if message.contains("undriven") || message.contains("undefined signal") {
+        LintCode::UndrivenNet
+    } else {
+        LintCode::MalformedSource
+    };
+    report.push(Diagnostic {
+        severity: levels.level(code).max(Severity::Warn),
+        code,
+        locus: "netlist source".into(),
+        message,
+        suggestion: None,
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanft_netlist::{GateKind, NetlistBuilder};
+
+    fn lint(netlist: &Netlist) -> LintReport {
+        let scoap = Scoap::new(netlist);
+        lint_netlist(netlist, &scoap, &NetlistLintConfig::default())
+    }
+
+    fn has(report: &LintReport, code: LintCode) -> bool {
+        report.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    #[test]
+    fn clean_netlist_has_no_findings() {
+        let mut b = NetlistBuilder::new(2, 1);
+        let and = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let ns = b.add_gate(GateKind::Xor, &[and, 2]).unwrap();
+        let n = b.finish(vec![and], vec![ns]).unwrap();
+        let report = lint(&n);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn floating_input_and_dangling_output_fire() {
+        let mut b = NetlistBuilder::new(2, 0);
+        let used = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let dead = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let n = b.finish(vec![used], vec![]).unwrap();
+        let report = lint(&n);
+        assert!(has(&report, LintCode::FloatingInput), "x2 is unused");
+        assert!(has(&report, LintCode::DanglingOutput), "g2 dangles");
+        let dangling = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::DanglingOutput)
+            .unwrap();
+        assert_eq!(dangling.locus, n.net_name(dead));
+    }
+
+    #[test]
+    fn unobservable_cone_is_reported_once_per_net() {
+        // g1 = AND(x1, x2) feeds only g2 = NOT(g1); g2 dangles. g1 is
+        // connected but unobservable, g2 is dangling.
+        let mut b = NetlistBuilder::new(2, 0);
+        let g1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let _g2 = b.add_gate(GateKind::Not, &[g1]).unwrap();
+        let live = b.add_gate(GateKind::Or, &[0, 1]).unwrap();
+        let n = b.finish(vec![live], vec![]).unwrap();
+        let report = lint(&n);
+        let unobservable: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::Unobservable)
+            .map(|d| d.locus.as_str())
+            .collect();
+        assert_eq!(unobservable, vec!["g1"]);
+    }
+
+    #[test]
+    fn scan_chain_integrity_and_fanin_bound() {
+        let mut b = NetlistBuilder::new(10, 1);
+        let inputs: Vec<NetId> = (0..10).collect();
+        let wide = b.add_gate(GateKind::And, &inputs).unwrap();
+        // One PPI but zero PPOs: broken scan boundary.
+        let n = b.finish(vec![wide], vec![]).unwrap();
+        let report = lint(&n);
+        assert!(has(&report, LintCode::ScanChainIntegrity));
+        assert!(has(&report, LintCode::FaninBound));
+        assert_eq!(
+            report.num_deny(),
+            1,
+            "only scan-chain-integrity denies by default"
+        );
+    }
+
+    #[test]
+    fn import_error_maps_to_undriven_net() {
+        let err =
+            scanft_netlist::blif::parse(".model bad\n.inputs a\n.outputs f\n.end\n").unwrap_err();
+        let report = lint_import_error(&err, &LintLevels::default());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, LintCode::UndrivenNet);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn lint_levels_can_silence_a_finding() {
+        let mut b = NetlistBuilder::new(2, 0);
+        let used = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let n = b.finish(vec![used], vec![]).unwrap();
+        let mut config = NetlistLintConfig::default();
+        config.levels.set(LintCode::FloatingInput, Severity::Allow);
+        let scoap = Scoap::new(&n);
+        let report = lint_netlist(&n, &scoap, &config);
+        assert!(!has(&report, LintCode::FloatingInput));
+    }
+}

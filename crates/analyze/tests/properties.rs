@@ -1,0 +1,184 @@
+//! Property tests for the static-analysis subsystem: SCOAP measure
+//! invariants on synthesized benchmark netlists, lint cleanliness of the
+//! bundled MCNC circuits, deliberately corrupted sources tripping the
+//! matching lint codes, and a soundness cross-check of the static
+//! untestability filter against the exhaustive detectability oracle.
+
+#![allow(clippy::unwrap_used)]
+
+use scanft_analyze::{
+    lint_import_error, lint_kiss_source, lint_netlist, lint_state_table, prune_untestable,
+    FsmLintConfig, LintCode, LintLevels, NetlistLintConfig, Scoap, INFINITE,
+};
+use scanft_fsm::{benchmarks, StateTable};
+use scanft_netlist::Netlist;
+use scanft_sim::exhaustive::{is_detectable, Detectability};
+use scanft_sim::faults::{enumerate_stuck, Fault};
+use scanft_synth::{synthesize, SynthConfig};
+
+/// Circuits small enough to synthesize and sweep quickly in a test.
+const SMALL: &[&str] = &[
+    "lion", "lion9", "train11", "dk27", "bbtas", "mc", "tav", "beecount", "shiftreg", "dk15",
+];
+
+fn netlist_of(name: &str) -> Netlist {
+    let table = benchmarks::build(name).unwrap();
+    synthesize(&table, &SynthConfig::default())
+        .netlist()
+        .clone()
+}
+
+#[test]
+fn scoap_measures_are_finite_on_benchmark_netlists() {
+    for name in SMALL {
+        let netlist = netlist_of(name);
+        let scoap = Scoap::new(&netlist);
+        for net in 0..netlist.num_nets() as u32 {
+            if !netlist.is_connected(net) {
+                continue;
+            }
+            assert_ne!(scoap.cc0(net), INFINITE, "{name}: net {net} cc0 infinite");
+            assert_ne!(scoap.cc1(net), INFINITE, "{name}: net {net} cc1 infinite");
+            assert_ne!(scoap.co(net), INFINITE, "{name}: net {net} co infinite");
+        }
+    }
+}
+
+#[test]
+fn scoap_controllability_is_monotone_toward_inputs() {
+    // Driving a gate output to any value requires driving at least one of
+    // its inputs first, so every finite output controllability must exceed
+    // the cheapest controllability among the gate's inputs.
+    for name in SMALL {
+        let netlist = netlist_of(name);
+        let scoap = Scoap::new(&netlist);
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            let out = netlist.gate_output(g);
+            let cheapest_input = gate
+                .inputs
+                .iter()
+                .map(|&i| scoap.cc0(i).min(scoap.cc1(i)))
+                .min()
+                .unwrap();
+            for value in [false, true] {
+                let cc = scoap.controllability(out, value);
+                if cc != INFINITE {
+                    assert!(
+                        cc > cheapest_input,
+                        "{name}: gate g{g} cc({value}) = {cc} not above cheapest input \
+                         controllability {cheapest_input}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scoap_observability_is_monotone_toward_outputs() {
+    // Observing a gate input means observing the gate output too (plus the
+    // side-input setup cost), so every finite pin observability must exceed
+    // the observability of the gate's output net.
+    for name in SMALL {
+        let netlist = netlist_of(name);
+        let scoap = Scoap::new(&netlist);
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            let out_co = scoap.co(netlist.gate_output(g));
+            for pin in 0..gate.inputs.len() {
+                let pin_co = scoap.pin_co(g, pin);
+                if pin_co != INFINITE {
+                    assert!(
+                        pin_co > out_co,
+                        "{name}: g{g} pin {pin} co {pin_co} not above output co {out_co}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bundled_benchmarks_have_zero_deny_diagnostics() {
+    for spec in benchmarks::CIRCUITS {
+        let table = benchmarks::build(spec.name).unwrap();
+        let report = lint_state_table(&table, &FsmLintConfig::default());
+        assert_eq!(
+            report.num_deny(),
+            0,
+            "{}: FSM deny diagnostics: {:?}",
+            spec.name,
+            report.diagnostics
+        );
+        if !within_gate_budget(&table) {
+            continue;
+        }
+        let circuit = synthesize(&table, &SynthConfig::default());
+        let scoap = Scoap::new(circuit.netlist());
+        let report = lint_netlist(circuit.netlist(), &scoap, &NetlistLintConfig::default());
+        assert_eq!(
+            report.num_deny(),
+            0,
+            "{}: netlist deny diagnostics: {:?}",
+            spec.name,
+            report.diagnostics
+        );
+    }
+}
+
+fn within_gate_budget(table: &StateTable) -> bool {
+    table.num_inputs() + table.num_state_vars() <= 10 && table.num_transitions() <= 1024
+}
+
+#[test]
+fn undriven_blif_net_trips_undriven_net_lint() {
+    let err = scanft_netlist::blif::parse(
+        ".model bad\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n",
+    )
+    .unwrap_err();
+    let report = lint_import_error(&err, &LintLevels::default());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::UndrivenNet),
+        "diagnostics: {:?}",
+        report.diagnostics
+    );
+    assert!(!report.passes());
+}
+
+#[test]
+fn nondeterministic_kiss_trips_nondeterministic_table_lint() {
+    let text = ".i 1\n.o 1\n.s 2\n.p 2\n0 s0 s1 0\n0 s0 s0 1\n";
+    let (_, report) = lint_kiss_source(text, "nondet", &LintLevels::default());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::NondeterministicTable),
+        "diagnostics: {:?}",
+        report.diagnostics
+    );
+    assert!(!report.passes());
+}
+
+#[test]
+fn statically_untestable_faults_are_undetectable_by_the_oracle() {
+    // Soundness cross-check: every fault the SCOAP-based filter prunes must
+    // be confirmed undetectable by exhaustive enumeration of all length-1
+    // scan tests. (The filter is allowed to miss redundant faults; it must
+    // never prune a detectable one.)
+    for name in ["bbtas", "dk27", "mc"] {
+        let netlist = netlist_of(name);
+        let scoap = Scoap::new(&netlist);
+        let faults = enumerate_stuck(&netlist);
+        let pruned = prune_untestable(&netlist, &scoap, &faults);
+        for fault in &pruned.untestable {
+            assert_eq!(
+                is_detectable(&netlist, &Fault::Stuck(*fault), 1 << 24),
+                Detectability::Undetectable,
+                "{name}: statically pruned fault {fault:?} is actually detectable"
+            );
+        }
+    }
+}

@@ -39,10 +39,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod podem;
 pub mod value;
 
-pub use podem::{Atpg, AtpgConfig, AtpgOutcome, AtpgResult, AtpgStats};
+pub use podem::{Atpg, AtpgConfig, AtpgOutcome, AtpgResult, AtpgStats, Heuristic};
 pub use value::{Trit, V5};

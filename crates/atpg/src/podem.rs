@@ -29,12 +29,30 @@
 //! composes directly with the functional tests of the paper's flow and with
 //! `scanft-sim`'s fault-dropping campaigns.
 
+use scanft_analyze::Scoap;
 use scanft_netlist::{GateKind, NetId, Netlist};
 use scanft_obs::Counter;
 use scanft_sim::faults::{FaultSite, StuckFault};
 use scanft_sim::ScanTest;
 
 use crate::value::{controlling_value, eval_trits, inverts, Trit, V5};
+
+/// Cost model steering PODEM's backtrace and D-frontier choices.
+///
+/// Neither choice affects soundness — any heuristic yields correct
+/// tests/redundancy proofs — only the number of decisions spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Heuristic {
+    /// Logic depth: easy = shallow, hard = deep. The original cost model,
+    /// kept for comparison (the `coverage_topup` bench reports the
+    /// decision-count delta between the two).
+    Level,
+    /// SCOAP testability measures: backtrace picks inputs by 0/1
+    /// controllability of the goal value and the D-frontier advances
+    /// through the gate with the cheapest observability.
+    #[default]
+    Scoap,
+}
 
 /// Knobs for one test-generation call.
 #[derive(Debug, Clone, Copy)]
@@ -43,12 +61,15 @@ pub struct AtpgConfig {
     /// aborts (outcome [`AtpgOutcome::Aborted`]) when the budget is hit, so
     /// redundancy is only ever claimed on budget-free exhaustion.
     pub decision_budget: u64,
+    /// Cost model guiding the search.
+    pub heuristic: Heuristic,
 }
 
 impl Default for AtpgConfig {
     fn default() -> Self {
         AtpgConfig {
             decision_budget: 100_000,
+            heuristic: Heuristic::default(),
         }
     }
 }
@@ -130,6 +151,9 @@ struct Decision {
 #[derive(Debug)]
 pub struct Atpg<'a> {
     netlist: &'a Netlist,
+    /// SCOAP measures of the netlist, driving the [`Heuristic::Scoap`]
+    /// cost model.
+    scoap: Scoap,
     /// Per-net composite value, rebuilt by `imply`.
     values: Vec<V5>,
     /// Per-net X-path flag, rebuilt after every `imply`.
@@ -159,6 +183,7 @@ impl<'a> Atpg<'a> {
         }
         Atpg {
             netlist,
+            scoap: Scoap::new(netlist),
             values: vec![V5::X; netlist.num_nets()],
             ok: vec![false; netlist.num_nets()],
             is_obs,
@@ -197,7 +222,7 @@ impl<'a> Atpg<'a> {
             }
             self.compute_x_paths();
             let objective = if self.possible(&target) {
-                self.objective(&target)
+                self.objective(&target, config.heuristic)
             } else {
                 None
             };
@@ -207,7 +232,7 @@ impl<'a> Atpg<'a> {
                         break AtpgOutcome::Aborted;
                     }
                     stats.decisions += 1;
-                    let (input, input_value) = self.backtrace(net, value);
+                    let (input, input_value) = self.backtrace(net, value, config.heuristic);
                     self.assignment[input as usize] = Trit::from_bool(input_value);
                     stack.push(Decision {
                         net: input,
@@ -374,14 +399,19 @@ impl<'a> Atpg<'a> {
     ///
     /// Excite first; then advance the D-frontier (a gate with a D input, an
     /// undetermined output on an X-path, and an unassigned input to set to
-    /// the non-controlling value). The fallback — assign any remaining
-    /// unassigned input — never affects correctness, only search order, and
-    /// guarantees progress until `possible` can rule the branch out.
-    fn objective(&self, target: &Target) -> Option<(NetId, bool)> {
+    /// the non-controlling value). Under [`Heuristic::Level`] the first
+    /// frontier gate in index order is taken; under [`Heuristic::Scoap`]
+    /// the frontier gate with the cheapest output observability wins, so
+    /// the effect is pushed along the easiest propagation path. The
+    /// fallback — assign any remaining unassigned input — never affects
+    /// correctness, only search order, and guarantees progress until
+    /// `possible` can rule the branch out.
+    fn objective(&self, target: &Target, heuristic: Heuristic) -> Option<(NetId, bool)> {
         if self.values[target.activation as usize].good == Trit::X {
             return Some((target.activation, target.stuck == Trit::Zero));
         }
         let num_inputs = self.netlist.num_pis() + self.netlist.num_ppis();
+        let mut best: Option<(NetId, bool, u32)> = None;
         for (g, gate) in self.netlist.gates().iter().enumerate() {
             let out = self.netlist.gate_output(g);
             if !self.ok[out as usize] || !self.values[out as usize].undetermined() {
@@ -402,20 +432,43 @@ impl<'a> Atpg<'a> {
                 // Non-controlling value lets the fault effect through; XOR
                 // has none, so either value sensitizes — pick 0.
                 let value = controlling_value(gate.kind).map(|c| !c).unwrap_or(false);
-                return Some((input, value));
+                match heuristic {
+                    Heuristic::Level => return Some((input, value)),
+                    Heuristic::Scoap => {
+                        let cost = self.scoap.co(out);
+                        if best.is_none_or(|(_, _, c)| cost < c) {
+                            best = Some((input, value, cost));
+                        }
+                    }
+                }
             }
+        }
+        if let Some((input, value, _)) = best {
+            return Some((input, value));
         }
         (0..num_inputs)
             .find(|&net| self.assignment[net] == Trit::X)
             .map(|net| (net as NetId, false))
     }
 
-    /// Walks an objective back to an unassigned PI/PPI.
+    /// Estimated cost of driving `net` to `value`: SCOAP controllability
+    /// under [`Heuristic::Scoap`], logic depth under [`Heuristic::Level`]
+    /// (which ignores `value` — that coarseness is exactly what the SCOAP
+    /// model improves on).
+    fn drive_cost(&self, heuristic: Heuristic, net: NetId, value: bool) -> u32 {
+        match heuristic {
+            Heuristic::Level => self.netlist.level(net),
+            Heuristic::Scoap => self.scoap.controllability(net, value),
+        }
+    }
+
+    /// Walks an objective back to an unassigned PI/PPI, choosing easy/hard
+    /// inputs by the configured cost model.
     ///
     /// Invariant: a gate output with good value `X` always has an input
     /// with good value `X` (the three-valued tables are exact), so the walk
     /// terminates at an input net.
-    fn backtrace(&self, mut net: NetId, mut value: bool) -> (NetId, bool) {
+    fn backtrace(&self, mut net: NetId, mut value: bool, heuristic: Heuristic) -> (NetId, bool) {
         let num_inputs = self.netlist.num_pis() + self.netlist.num_ppis();
         while net as usize >= num_inputs {
             let gate = &self.netlist.gates()[net as usize - num_inputs];
@@ -435,17 +488,17 @@ impl<'a> Atpg<'a> {
             match controlling_value(gate.kind) {
                 Some(c) if goal == c => {
                     // One controlling input suffices: take the easiest
-                    // (shallowest) unassigned one.
+                    // (cheapest to drive) unassigned one.
                     net = unassigned
-                        .min_by_key(|&i| self.netlist.level(i))
+                        .min_by_key(|&i| self.drive_cost(heuristic, i, goal))
                         .expect("X output implies an X input");
                     value = goal;
                 }
                 Some(_) => {
                     // Every input must be non-controlling: attack the
-                    // hardest (deepest) unassigned one first.
+                    // hardest (most expensive) unassigned one first.
                     net = unassigned
-                        .max_by_key(|&i| self.netlist.level(i))
+                        .max_by_key(|&i| self.drive_cost(heuristic, i, goal))
                         .expect("X output implies an X input");
                     value = goal;
                 }
@@ -459,10 +512,11 @@ impl<'a> Atpg<'a> {
                         .count()
                         % 2
                         == 1;
+                    let target_value = goal ^ parity;
                     net = unassigned
-                        .min_by_key(|&i| self.netlist.level(i))
+                        .min_by_key(|&i| self.drive_cost(heuristic, i, target_value))
                         .expect("X output implies an X input");
-                    value = goal ^ parity;
+                    value = target_value;
                 }
             }
         }
@@ -607,9 +661,61 @@ mod tests {
             site: FaultSite::Net(0),
             stuck_at_one: false,
         };
-        let r = atpg.generate(&fault, &AtpgConfig { decision_budget: 0 });
+        let r = atpg.generate(
+            &fault,
+            &AtpgConfig {
+                decision_budget: 0,
+                ..AtpgConfig::default()
+            },
+        );
         assert_eq!(r.outcome, AtpgOutcome::Aborted);
         assert_eq!(r.stats.decisions, 0);
+    }
+
+    #[test]
+    fn heuristics_agree_on_verdicts() {
+        // Both cost models must reach identical verdicts on every fault of
+        // a circuit with detectable and redundant faults; only the effort
+        // may differ.
+        let mut b = NetlistBuilder::new(2, 1);
+        let g1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let g2 = b.add_gate(GateKind::Or, &[0, g1]).unwrap();
+        let ns = b.add_gate(GateKind::Xor, &[g2, 2]).unwrap();
+        let n = b.finish(vec![g2], vec![ns]).unwrap();
+        let mut atpg = Atpg::new(&n);
+        for fault in faults::enumerate_stuck(&n) {
+            let mut verdicts = Vec::new();
+            for heuristic in [Heuristic::Level, Heuristic::Scoap] {
+                let r = atpg.generate(
+                    &fault,
+                    &AtpgConfig {
+                        heuristic,
+                        ..AtpgConfig::default()
+                    },
+                );
+                let ok = match r.outcome {
+                    AtpgOutcome::Test(t) => {
+                        assert!(
+                            test_detects(&n, &t, &fault),
+                            "{}",
+                            Fault::Stuck(fault).describe(&n)
+                        );
+                        true
+                    }
+                    AtpgOutcome::Redundant => false,
+                    AtpgOutcome::Aborted => {
+                        panic!("{}: aborted", Fault::Stuck(fault).describe(&n))
+                    }
+                };
+                verdicts.push(ok);
+            }
+            assert_eq!(
+                verdicts[0],
+                verdicts[1],
+                "{}",
+                Fault::Stuck(fault).describe(&n)
+            );
+        }
     }
 
     #[test]

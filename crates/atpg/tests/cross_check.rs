@@ -10,6 +10,7 @@
 //! 3. at a generous budget, no fault of these small circuits is aborted —
 //!    the engine fully classifies the stuck-at universe.
 
+#![allow(clippy::unwrap_used)]
 use scanft_atpg::{Atpg, AtpgConfig, AtpgOutcome};
 use scanft_fsm::rng::SplitMix64;
 use scanft_netlist::Netlist;

@@ -15,7 +15,8 @@
 //! `--only a,b,c` restricts to named circuits.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod harness;
 pub mod paper;

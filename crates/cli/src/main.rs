@@ -6,8 +6,9 @@
 //! scanft uio <circuit> [--max-len N]
 //! scanft generate <circuit> [--no-transfer] [--uio-cap N]
 //! scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-//! scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray]
+//! scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray] [--level]
 //! scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
+//! scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
 //! ```
 //!
 //! Circuits are the 31 benchmarks of the paper's Table 4, or a path to a
@@ -36,7 +37,7 @@ fn main() -> ExitCode {
         }
     }
     match outcome {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
@@ -81,20 +82,24 @@ const USAGE: &str = "usage:
   scanft generate <circuit> [--no-transfer] [--uio-cap N] [--out FILE]
   scanft simulate <circuit> --tests FILE
   scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-  scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray]
+  scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray] [--level]
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
+  scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
   scanft dot <circuit>
 
-<circuit> is a benchmark name from `scanft list` or a path to a KISS2 file.
-Any command also accepts --metrics[=FILE] (or SCANFT_METRICS=FILE, `-` for
-stdout) to export the instrumentation registry as JSON lines on exit.";
+<circuit> is a benchmark name from `scanft list` or a path to a KISS2 file
+(`lint` also accepts BLIF netlist paths). `lint` exits 1 when any deny-level
+diagnostic fires. Any command also accepts --metrics[=FILE] (or
+SCANFT_METRICS=FILE, `-` for stdout) to export the instrumentation registry
+as JSON lines on exit.";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err("missing command".into());
     };
     let rest = &args[1..];
     match command.as_str() {
+        "lint" => return cmd_lint(rest),
         "list" => cmd_list(),
         "show" => cmd_show(rest),
         "uio" => cmd_uio(rest),
@@ -106,6 +111,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "dot" => cmd_dot(rest),
         other => Err(format!("unknown command `{other}`")),
     }
+    .map(|()| ExitCode::SUCCESS)
 }
 
 fn load_circuit(rest: &[String]) -> Result<StateTable, String> {
@@ -396,6 +402,12 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
             .map(|b| b as u64)
             .unwrap_or(scanft_core::top_up::TopUpConfig::default().decision_budget),
         collapse: !flag(rest, "--uncollapsed"),
+        heuristic: if flag(rest, "--level") {
+            scanft_core::top_up::Heuristic::Level
+        } else {
+            scanft_core::top_up::Heuristic::Scoap
+        },
+        ..scanft_core::top_up::TopUpConfig::default()
     };
     let outcome = scanft_core::top_up::top_up_scan(circuit.netlist(), &functional, &config);
     let report = &outcome.report;
@@ -423,7 +435,8 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
         report.dropped_by_atpg_patterns
     );
     println!(
-        "  redundant: {} proven, aborted: {} (budget {})",
+        "  untestable: {} statically pruned, {} proven redundant, aborted: {} (budget {})",
+        report.statically_untestable(),
         report.proven_redundant(),
         report.aborted(),
         config.decision_budget
@@ -443,6 +456,165 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
         }
     );
     Ok(())
+}
+
+/// Lint levels assembled from repeated `--deny CODE`, `--warn CODE`,
+/// `--allow CODE` overrides on top of the built-in defaults.
+fn lint_levels(rest: &[String]) -> Result<scanft_analyze::LintLevels, String> {
+    use scanft_analyze::{LintCode, Severity};
+    let mut levels = scanft_analyze::LintLevels::default();
+    let mut i = 0;
+    while i < rest.len() {
+        if let Some(severity) = Severity::parse(rest[i].trim_start_matches("--")) {
+            let name = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("{} needs a lint name", rest[i]))?;
+            let code = LintCode::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown lint `{name}` (known: {})",
+                    scanft_analyze::ALL_LINTS
+                        .iter()
+                        .map(|c| c.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            levels.set(code, severity);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(levels)
+}
+
+/// Whether gate-level (netlist) lints fit the default time budget for this
+/// machine — the same bound `scanft-bench` uses for fault-simulation work.
+fn within_gate_budget(table: &StateTable) -> bool {
+    table.num_inputs() + table.num_state_vars() <= 10 && table.num_transitions() <= 1024
+}
+
+fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
+    use scanft_analyze::{
+        lint_import_error, lint_kiss_source, lint_netlist, lint_state_table, FsmLintConfig,
+        LintReport, NetlistLintConfig, Scoap,
+    };
+
+    let json = flag(rest, "--json");
+    let full = flag(rest, "--full");
+    let levels = lint_levels(rest)?;
+    let mut targets: Vec<String> = Vec::new();
+    if flag(rest, "--all") {
+        targets.extend(benchmarks::CIRCUITS.iter().map(|s| s.name.to_owned()));
+    }
+    // Positional operands; skip the value that follows a level override.
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        if matches!(
+            arg.as_str(),
+            "--deny" | "--warn" | "--allow" | "--max-fanin"
+        ) {
+            i += 2;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            targets.push(arg.clone());
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        return Err("lint needs at least one circuit (or --all)".into());
+    }
+
+    let netlist_config = NetlistLintConfig {
+        levels: levels.clone(),
+        max_fanin: value_of(rest, "--max-fanin")?.unwrap_or(NetlistLintConfig::default().max_fanin),
+    };
+    let fsm_config = FsmLintConfig {
+        levels: levels.clone(),
+        uio_max_len: None,
+    };
+
+    let mut num_deny = 0usize;
+    let mut num_warn = 0usize;
+    let mut emit = |target: &str, report: &LintReport| {
+        num_deny += report.num_deny();
+        num_warn += report.num_warn();
+        for d in &report.diagnostics {
+            if json {
+                // Same object shape as `Diagnostic::to_json`, with the
+                // circuit spliced in as the first field.
+                let body = d.to_json();
+                println!(
+                    "{{\"circuit\":\"{}\",{}",
+                    scanft_obs::escape_json_string(target),
+                    &body[1..]
+                );
+            } else {
+                println!("{target}: {d}");
+            }
+        }
+    };
+
+    for target in &targets {
+        let path = std::path::Path::new(target);
+        if path.exists() && target.ends_with(".blif") {
+            // BLIF netlist: structural lints only.
+            let text =
+                std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+            match scanft_netlist::blif::parse(&text) {
+                Ok(netlist) => {
+                    let scoap = Scoap::new(&netlist);
+                    emit(target, &lint_netlist(&netlist, &scoap, &netlist_config));
+                }
+                Err(err) => emit(target, &lint_import_error(&err, &levels)),
+            }
+            continue;
+        }
+        // KISS2 path or benchmark name: FSM lints, then gate-level lints on
+        // the synthesized netlist when the circuit fits the time budget.
+        let table = if path.exists() {
+            let text =
+                std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+            let (table, source_report) = lint_kiss_source(&text, target, &levels);
+            emit(target, &source_report);
+            match table {
+                Some(t) => t,
+                None => continue,
+            }
+        } else {
+            benchmarks::build(target).map_err(|e| e.to_string())?
+        };
+        emit(target, &lint_state_table(&table, &fsm_config));
+        if full || within_gate_budget(&table) {
+            let circuit = synthesize(&table, &SynthConfig::default());
+            emit(
+                target,
+                &lint_netlist(
+                    circuit.netlist(),
+                    &Scoap::new(circuit.netlist()),
+                    &netlist_config,
+                ),
+            );
+        } else if !json {
+            println!(
+                "{target}: netlist lints skipped (over the gate-level budget; pass --full to force)"
+            );
+        }
+    }
+
+    if !json {
+        println!(
+            "lint: {} circuit(s), {num_deny} deny, {num_warn} warn",
+            targets.len()
+        );
+    }
+    Ok(if num_deny > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_dot(rest: &[String]) -> Result<(), String> {

@@ -20,11 +20,14 @@
 //! non-redundant faults (the "complete coverage" column of the comparison
 //! table).
 
+use scanft_analyze::{is_statically_untestable, Scoap};
 use scanft_atpg::{Atpg, AtpgConfig, AtpgOutcome};
 use scanft_netlist::Netlist;
 use scanft_sim::faults::{self, StuckFault};
 use scanft_sim::{campaign, collapse, ScanTest};
 use scanft_synth::SynthesizedCircuit;
+
+pub use scanft_atpg::Heuristic;
 
 use crate::TestSet;
 
@@ -36,6 +39,13 @@ pub struct TopUpConfig {
     /// Whether to collapse the stuck-at universe to equivalence-class
     /// representatives before simulation and generation.
     pub collapse: bool,
+    /// Whether to classify faults with infinite SCOAP measures as
+    /// [`FaultStatus::StaticallyUntestable`] and exclude them from PODEM
+    /// (they would each burn the full decision budget to conclude
+    /// `Redundant`).
+    pub static_prune: bool,
+    /// Cost model guiding PODEM's backtrace and D-frontier choices.
+    pub heuristic: Heuristic,
 }
 
 impl Default for TopUpConfig {
@@ -43,6 +53,8 @@ impl Default for TopUpConfig {
         TopUpConfig {
             decision_budget: AtpgConfig::default().decision_budget,
             collapse: true,
+            static_prune: true,
+            heuristic: Heuristic::default(),
         }
     }
 }
@@ -57,6 +69,10 @@ pub enum FaultStatus {
     DetectedAtpg,
     /// Proven combinationally redundant by exhaustion of the PODEM search.
     Redundant,
+    /// Proven undetectable *before* ATPG: the fault's SCOAP controllability
+    /// or observability is structurally infinite, so no test exists. Unlike
+    /// [`FaultStatus::Redundant`], this verdict costs no search at all.
+    StaticallyUntestable,
     /// PODEM hit its decision budget: neither detected nor proven redundant.
     Aborted,
 }
@@ -106,6 +122,12 @@ impl TopUpReport {
         self.count(FaultStatus::Redundant)
     }
 
+    /// Faults proven untestable by static analysis, without any search.
+    #[must_use]
+    pub fn statically_untestable(&self) -> usize {
+        self.count(FaultStatus::StaticallyUntestable)
+    }
+
     /// Faults left unresolved by a budget hit.
     #[must_use]
     pub fn aborted(&self) -> usize {
@@ -129,23 +151,26 @@ impl TopUpReport {
         100.0 * self.detected() as f64 / self.faults.len() as f64
     }
 
-    /// Coverage of the *non-redundant* faults in percent (the paper's
-    /// effective coverage: redundant faults need no test). Vacuously 100.0
-    /// when every fault is redundant or the list is empty.
+    /// Coverage of the *testable* faults in percent (the paper's effective
+    /// coverage: faults proven untestable — by PODEM exhaustion or by
+    /// static analysis — need no test). Vacuously 100.0 when every fault is
+    /// untestable or the list is empty.
     #[must_use]
     pub fn effective_coverage_percent(&self) -> f64 {
-        let non_redundant = self.faults.len() - self.proven_redundant();
-        if non_redundant == 0 {
+        let testable = self.faults.len() - self.proven_redundant() - self.statically_untestable();
+        if testable == 0 {
             return 100.0;
         }
-        100.0 * self.detected() as f64 / non_redundant as f64
+        100.0 * self.detected() as f64 / testable as f64
     }
 
-    /// Whether every fault was resolved: detected or proven redundant, with
-    /// no budget aborts.
+    /// Whether every fault was resolved: detected or proven untestable
+    /// (redundant or statically untestable), with no budget aborts.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.aborted() == 0 && self.detected() + self.proven_redundant() == self.faults.len()
+        self.aborted() == 0
+            && self.detected() + self.proven_redundant() + self.statically_untestable()
+                == self.faults.len()
     }
 }
 
@@ -210,15 +235,37 @@ pub fn top_up_scan(
         .iter()
         .map(|d| d.map(|_| FaultStatus::DetectedFunctional))
         .collect();
+
+    // Static pruning: faults with an infinite SCOAP measure are provably
+    // undetectable, so they never reach PODEM. Classification is sound, so
+    // a functional detection of a pruned fault is a contradiction.
+    if config.static_prune {
+        let scoap = Scoap::new(netlist);
+        let mut num_pruned = 0u64;
+        for (k, fault) in targets.iter().enumerate() {
+            if is_statically_untestable(netlist, &scoap, fault) {
+                debug_assert!(
+                    status[k].is_none(),
+                    "statically untestable fault detected functionally: {fault:?}"
+                );
+                status[k] = Some(FaultStatus::StaticallyUntestable);
+                num_pruned += 1;
+            }
+        }
+        obs.counter("core.top_up.static_untestable").add(num_pruned);
+    }
+
     let survivors = functional_report.undetected_faults();
     obs.counter("core.top_up.surviving")
         .add(survivors.len() as u64);
 
     // Phase 2: deterministic generation on the survivors, reverse order,
     // with each fresh pattern simulated across every still-pending fault.
+    // Statically untestable faults are already classified and skipped.
     let mut atpg = Atpg::new(netlist);
     let atpg_config = AtpgConfig {
         decision_budget: config.decision_budget,
+        heuristic: config.heuristic,
     };
     let mut patterns: Vec<ScanTest> = Vec::new();
     let mut pattern_targets: Vec<StuckFault> = Vec::new();
@@ -298,7 +345,7 @@ mod tests {
     use super::*;
     use crate::generate::{generate, GenConfig};
     use scanft_fsm::uio;
-    use scanft_netlist::NetlistBuilder;
+    use scanft_netlist::{GateKind, NetlistBuilder};
     use scanft_synth::{synthesize, SynthConfig};
 
     /// Satellite requirement: on a netlist with zero faults, `top_up`
@@ -398,6 +445,42 @@ mod tests {
         assert!(full.report.is_complete());
     }
 
+    /// Static pruning classifies faults in a dead cone without spending any
+    /// PODEM effort, and agrees with what PODEM would have proven itself.
+    #[test]
+    fn static_pruning_matches_podem_redundancy() {
+        // g1 = AND(x1, x2) feeds only a dangling NOT: every fault on g1 and
+        // on the branches into g1 is statically untestable.
+        let mut b = NetlistBuilder::new(2, 0);
+        let g1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let _dead = b.add_gate(GateKind::Not, &[g1]).unwrap();
+        let live = b.add_gate(GateKind::Or, &[0, 1]).unwrap();
+        let netlist = b.finish(vec![live], vec![]).unwrap();
+
+        let pruned = top_up_scan(&netlist, &[], &TopUpConfig::default());
+        assert!(pruned.report.statically_untestable() > 0);
+        assert!(pruned.report.is_complete());
+        assert!((pruned.report.effective_coverage_percent() - 100.0).abs() < 1e-12);
+
+        let unpruned = top_up_scan(
+            &netlist,
+            &[],
+            &TopUpConfig {
+                static_prune: false,
+                ..TopUpConfig::default()
+            },
+        );
+        assert_eq!(unpruned.report.statically_untestable(), 0);
+        // PODEM reaches the same partition, just by search instead of by
+        // analysis: everything pruned statically is proven redundant.
+        assert_eq!(
+            unpruned.report.proven_redundant(),
+            pruned.report.proven_redundant() + pruned.report.statically_untestable()
+        );
+        assert_eq!(unpruned.report.detected(), pruned.report.detected());
+        assert!(unpruned.report.decisions >= pruned.report.decisions);
+    }
+
     /// A zero decision budget aborts every undetected fault instead of
     /// claiming redundancy.
     #[test]
@@ -410,6 +493,7 @@ mod tests {
             &TopUpConfig {
                 decision_budget: 0,
                 collapse: true,
+                ..TopUpConfig::default()
             },
         );
         let report = &outcome.report;

@@ -3,6 +3,7 @@
 //! Driven by the in-repo SplitMix64 RNG with fixed seeds so the workspace
 //! builds and tests fully offline (no external `proptest`).
 
+#![allow(clippy::unwrap_used)]
 use scanft_core::generate::{generate, per_transition_baseline, GenConfig};
 use scanft_core::{compact, cycles};
 use scanft_fsm::benchmarks::random_machine;

@@ -34,6 +34,8 @@ pub enum FsmError {
     IncompletelySpecified {
         /// A state with an unspecified entry.
         state: u32,
+        /// The name of that state (defaults to its index when unnamed).
+        state_name: String,
         /// An input combination with an unspecified entry for `state`.
         input: u32,
     },
@@ -66,9 +68,13 @@ impl fmt::Display for FsmError {
                 f,
                 "input combination {input} out of range for table with {num_inputs} input combinations"
             ),
-            FsmError::IncompletelySpecified { state, input } => write!(
+            FsmError::IncompletelySpecified {
+                state,
+                state_name,
+                input,
+            } => write!(
                 f,
-                "state table is incompletely specified (state {state}, input {input})"
+                "state table is incompletely specified (state {state} \"{state_name}\", input {input})"
             ),
             FsmError::ParseKiss { line, message } => {
                 write!(f, "KISS2 parse error at line {line}: {message}")
@@ -102,7 +108,11 @@ mod tests {
                 input: 9,
                 num_inputs: 4,
             },
-            FsmError::IncompletelySpecified { state: 1, input: 2 },
+            FsmError::IncompletelySpecified {
+                state: 1,
+                state_name: "idle".into(),
+                input: 2,
+            },
             FsmError::ParseKiss {
                 line: 3,
                 message: "bad cube".into(),

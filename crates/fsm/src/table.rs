@@ -450,8 +450,10 @@ impl StateTableBuilder {
     pub fn build(self) -> Result<StateTable, FsmError> {
         let npic = self.num_input_combos();
         if let Some(cell) = self.next.iter().position(Option::is_none) {
+            let state = (cell / npic) as StateId;
             return Err(FsmError::IncompletelySpecified {
-                state: (cell / npic) as StateId,
+                state,
+                state_name: self.state_names[state as usize].clone(),
                 input: (cell % npic) as InputId,
             });
         }
@@ -547,7 +549,15 @@ mod tests {
         let mut b = StateTableBuilder::new("x", 1, 1, 2).unwrap();
         b.set(0, 0, 0, 0).unwrap();
         let err = b.build().unwrap_err();
-        assert_eq!(err, FsmError::IncompletelySpecified { state: 0, input: 1 });
+        assert_eq!(
+            err,
+            FsmError::IncompletelySpecified {
+                state: 0,
+                state_name: "0".into(),
+                input: 1
+            }
+        );
+        assert!(err.to_string().contains("state 0 \"0\""));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! builds and tests fully offline (no external `proptest`) and every run
 //! checks the same cases.
 
+#![allow(clippy::unwrap_used)]
 use scanft_fsm::rng::SplitMix64;
 use scanft_fsm::{benchmarks, graph, kiss, minimize, transfer, uio, StateTable};
 

@@ -91,11 +91,12 @@ impl NetlistBuilder {
             });
         }
         let defined = self.num_nets();
-        for &net in inputs {
+        for (pin, &net) in inputs.iter().enumerate() {
             if net as usize >= defined {
                 return Err(NetlistError::UnknownNet {
                     net,
                     num_nets: defined,
+                    reference: format!("input {pin} of {} gate g{}", kind.name(), self.gates.len()),
                 });
             }
         }
@@ -169,10 +170,21 @@ impl NetlistBuilder {
     /// exist.
     pub fn finish(self, pos: Vec<NetId>, ppos: Vec<NetId>) -> Result<Netlist, NetlistError> {
         let num_nets = self.num_nets();
-        for &net in pos.iter().chain(&ppos) {
+        for (k, &net) in pos.iter().enumerate() {
             if net as usize >= num_nets {
                 return Err(NetlistError::BadOutputs {
-                    message: format!("output net {net} does not exist"),
+                    message: format!(
+                        "primary output {k} references net {net}, but only {num_nets} nets exist"
+                    ),
+                });
+            }
+        }
+        for (k, &net) in ppos.iter().enumerate() {
+            if net as usize >= num_nets {
+                return Err(NetlistError::BadOutputs {
+                    message: format!(
+                        "next-state output {k} references net {net}, but only {num_nets} nets exist"
+                    ),
                 });
             }
         }
@@ -215,7 +227,8 @@ mod tests {
             err,
             NetlistError::UnknownNet {
                 net: 7,
-                num_nets: 1
+                num_nets: 1,
+                reference: "input 1 of AND gate g0".into(),
             }
         );
     }

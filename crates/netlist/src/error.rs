@@ -13,6 +13,8 @@ pub enum NetlistError {
         net: NetId,
         /// Number of nets that exist at the point of reference.
         num_nets: usize,
+        /// Where the reference occurred, e.g. `input 1 of AND gate g3`.
+        reference: String,
     },
     /// A gate was created with an input count its kind does not allow.
     BadFanin {
@@ -34,8 +36,15 @@ pub enum NetlistError {
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::UnknownNet { net, num_nets } => {
-                write!(f, "net {net} does not exist ({num_nets} nets defined)")
+            NetlistError::UnknownNet {
+                net,
+                num_nets,
+                reference,
+            } => {
+                write!(
+                    f,
+                    "net {net} does not exist ({num_nets} nets defined; referenced as {reference})"
+                )
             }
             NetlistError::BadFanin {
                 kind,
@@ -58,8 +67,10 @@ mod tests {
         let e = NetlistError::UnknownNet {
             net: 9,
             num_nets: 3,
+            reference: "input 0 of AND gate g2".into(),
         };
         assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("input 0 of AND gate g2"));
         let e = NetlistError::BadFanin {
             kind: "NOT",
             fanin: 2,

@@ -41,7 +41,8 @@
 //! `--metrics` flag exports it after a command finishes.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod export;
 mod metric;

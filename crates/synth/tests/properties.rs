@@ -4,6 +4,7 @@
 //! Driven by the in-repo SplitMix64 RNG with fixed seeds so the workspace
 //! builds and tests fully offline (no external `proptest`).
 
+#![allow(clippy::unwrap_used)]
 use scanft_fsm::benchmarks::random_machine;
 use scanft_fsm::rng::SplitMix64;
 use scanft_synth::{synthesize, verify_against_table, Encoding, SynthConfig};

@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release -p scanft-cli --example protocol_validation`
 
+#![allow(clippy::unwrap_used)]
 use scanft_core::generate::{generate, GenConfig};
 use scanft_fsm::{uio, StateTableBuilder};
 use scanft_sim::{campaign, faults};

@@ -5,6 +5,7 @@
 //! counter values) and pins both the schema of every line and the exact
 //! counter/gauge values for the `lion` walkthrough.
 
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeMap;
 use std::process::Command;
 
