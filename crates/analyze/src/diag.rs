@@ -62,6 +62,13 @@ pub enum LintCode {
     Uncontrollable,
     /// A gate whose fanin exceeds the configured bound.
     FaninBound,
+    /// A net proven constant by the implication engine: it holds one value
+    /// under every input assignment, so half its stuck-at faults are
+    /// untestable and the logic computing it is dead weight.
+    ConstantNet,
+    /// Two distinct nets proven equal under every input assignment —
+    /// duplicated logic that inflates area and the fault universe.
+    EquivalentNets,
     /// The scan boundary is inconsistent (PPO count ≠ PPI count).
     ScanChainIntegrity,
     /// A net referenced as driven is never defined (BLIF import).
@@ -88,6 +95,8 @@ pub const ALL_LINTS: &[LintCode] = &[
     LintCode::Unobservable,
     LintCode::Uncontrollable,
     LintCode::FaninBound,
+    LintCode::ConstantNet,
+    LintCode::EquivalentNets,
     LintCode::ScanChainIntegrity,
     LintCode::UndrivenNet,
     LintCode::UnreachableState,
@@ -108,6 +117,8 @@ impl LintCode {
             LintCode::Unobservable => "unobservable",
             LintCode::Uncontrollable => "uncontrollable",
             LintCode::FaninBound => "fanin-bound",
+            LintCode::ConstantNet => "constant-net",
+            LintCode::EquivalentNets => "equivalent-nets",
             LintCode::ScanChainIntegrity => "scan-chain-integrity",
             LintCode::UndrivenNet => "undriven-net",
             LintCode::UnreachableState => "unreachable-state",
@@ -143,6 +154,8 @@ impl LintCode {
             | LintCode::DanglingOutput
             | LintCode::Unobservable
             | LintCode::FaninBound
+            | LintCode::ConstantNet
+            | LintCode::EquivalentNets
             | LintCode::UnreachableState
             | LintCode::IncompleteTable
             | LintCode::UnusedInput => Severity::Warn,

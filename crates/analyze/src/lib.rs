@@ -15,10 +15,17 @@
 //!    inputs, missing UIO preconditions, nondeterministic or incomplete
 //!    tables), all reporting through one [`Diagnostic`] model with a
 //!    deny/warn/allow [`LintLevels`] table.
-//! 3. **Static pruning** ([`prune_untestable`]) — faults whose SCOAP
-//!    measures prove them undetectable are classified statically untestable
-//!    and removed from the ATPG universe, and the same measures replace the
-//!    raw level heuristic in PODEM's backtrace.
+//! 3. **Static learning** ([`Implications`], [`Dominators`]) — an
+//!    implication engine with SOCRATES-style contrapositive learning over
+//!    the netlist's literal graph, plus post-dominator chains for every
+//!    net. The closure yields constant and equivalent nets (two lints),
+//!    FIRE-style fault-independent untestability proofs, and the necessary
+//!    assignments that guide PODEM's search in `scanft-atpg`.
+//! 4. **Static pruning** ([`prune_untestable`], [`prune_untestable_with`])
+//!    — faults whose SCOAP measures or implication requirements prove them
+//!    undetectable are classified statically untestable and removed from
+//!    the ATPG universe, and the same measures replace the raw level
+//!    heuristic in PODEM's backtrace.
 //!
 //! Everything is surfaced through the `scanft lint` CLI subcommand and
 //! `analyze.*` observability metrics.
@@ -28,13 +35,46 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod diag;
+pub mod dominators;
 pub mod fsm_lints;
+pub mod implications;
 pub mod netlist_lints;
 pub mod prune;
 pub mod scoap;
 
 pub use diag::{Diagnostic, LintCode, LintLevels, LintReport, Severity, ALL_LINTS};
+pub use dominators::Dominators;
 pub use fsm_lints::{lint_kiss_source, lint_state_table, FsmLintConfig};
+pub use implications::Implications;
 pub use netlist_lints::{lint_import_error, lint_netlist, NetlistLintConfig};
-pub use prune::{is_statically_untestable, prune_untestable, PruneResult};
+pub use prune::{
+    is_fire_untestable, is_statically_untestable, is_statically_untestable_with, prune_untestable,
+    prune_untestable_with, PruneResult,
+};
 pub use scoap::{Scoap, ScoapSummary, INFINITE};
+
+use scanft_netlist::Netlist;
+
+/// The three static analyses bundled for consumers that need them together
+/// (fault pruning and implication-guided PODEM).
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// SCOAP controllability/observability measures.
+    pub scoap: Scoap,
+    /// The static implication closure (direct + learned).
+    pub implications: Implications,
+    /// Post-dominator chains and fanout-cone reachability.
+    pub dominators: Dominators,
+}
+
+impl Analysis {
+    /// Runs all three analyses over `netlist`.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        Analysis {
+            scoap: Scoap::new(netlist),
+            implications: Implications::new(netlist),
+            dominators: Dominators::new(netlist),
+        }
+    }
+}

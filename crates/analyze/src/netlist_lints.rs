@@ -8,10 +8,10 @@
 //! fail to import are folded into the same diagnostic stream so `scanft
 //! lint` has a single report shape for every input kind.
 
-use scanft_netlist::{NetId, Netlist, NetlistError};
+use scanft_netlist::{GateKind, NetId, Netlist, NetlistError};
 
 use crate::diag::{Diagnostic, LintCode, LintLevels, LintReport, Severity};
-use crate::scoap::Scoap;
+use crate::Analysis;
 
 /// Knobs for a netlist lint run.
 #[derive(Debug, Clone)]
@@ -33,10 +33,23 @@ impl Default for NetlistLintConfig {
     }
 }
 
+/// Whether net `b` is a plain buffered copy of net `a` — an intentional
+/// repeater, not duplicated logic worth a finding.
+fn is_buffer_of(netlist: &Netlist, a: NetId, b: NetId) -> bool {
+    netlist
+        .driver(b)
+        .is_some_and(|g| g.kind == GateKind::Buf && g.inputs[0] == a)
+}
+
 /// Runs every enabled netlist lint over `netlist`, reusing a precomputed
-/// SCOAP analysis.
+/// static [`Analysis`] (SCOAP measures plus the implication closure).
 #[must_use]
-pub fn lint_netlist(netlist: &Netlist, scoap: &Scoap, config: &NetlistLintConfig) -> LintReport {
+pub fn lint_netlist(
+    netlist: &Netlist,
+    analysis: &Analysis,
+    config: &NetlistLintConfig,
+) -> LintReport {
+    let scoap = &analysis.scoap;
     let mut report = LintReport::default();
     let levels = &config.levels;
     let diag =
@@ -155,6 +168,57 @@ pub fn lint_netlist(netlist: &Netlist, scoap: &Scoap, config: &NetlistLintConfig
         }
     }
 
+    // Implication-proven constant nets. SCOAP-uncontrollable nets are
+    // already denied above; this catches the reconvergence-made constants
+    // SCOAP cannot see.
+    for (net, value) in analysis.implications.constants() {
+        if !netlist.is_connected(net) || scoap.is_uncontrollable(net, !value) {
+            continue; // already dangling or uncontrollable
+        }
+        report.push(diag(
+            LintCode::ConstantNet,
+            netlist.net_name(net),
+            format!(
+                "net {} evaluates to {} under every input assignment; its stuck-at-{} fault is \
+                 untestable",
+                netlist.net_name(net),
+                u8::from(value),
+                u8::from(value),
+            ),
+            Some("fold the constant into its fanout and delete the driving cone".into()),
+        ));
+    }
+
+    // Implication-proven equivalent nets: duplicated logic, one finding per
+    // equivalence class. Plain buffer copies of another class member are
+    // deliberate repeaters and dropped before judging the class.
+    for class in analysis.implications.equivalence_classes() {
+        let members: Vec<NetId> = class
+            .iter()
+            .copied()
+            .filter(|&b| !class.iter().any(|&a| a != b && is_buffer_of(netlist, a, b)))
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let names: Vec<String> = members.iter().map(|&m| netlist.net_name(m)).collect();
+        let locus = if names.len() > 4 {
+            format!("{} (+{} more)", names[..4].join(" = "), names.len() - 4)
+        } else {
+            names.join(" = ")
+        };
+        report.push(diag(
+            LintCode::EquivalentNets,
+            locus,
+            format!(
+                "{} nets carry equal values under every input assignment ({} …)",
+                names.len(),
+                names[..2.min(names.len())].join(", "),
+            ),
+            Some("share one driver for the duplicated cone".into()),
+        ));
+    }
+
     scanft_obs::global()
         .counter("analyze.lint.netlist_diagnostics")
         .add(report.diagnostics.len() as u64);
@@ -192,8 +256,11 @@ mod tests {
     use scanft_netlist::{GateKind, NetlistBuilder};
 
     fn lint(netlist: &Netlist) -> LintReport {
-        let scoap = Scoap::new(netlist);
-        lint_netlist(netlist, &scoap, &NetlistLintConfig::default())
+        lint_netlist(
+            netlist,
+            &Analysis::new(netlist),
+            &NetlistLintConfig::default(),
+        )
     }
 
     fn has(report: &LintReport, code: LintCode) -> bool {
@@ -280,8 +347,58 @@ mod tests {
         let n = b.finish(vec![used], vec![]).unwrap();
         let mut config = NetlistLintConfig::default();
         config.levels.set(LintCode::FloatingInput, Severity::Allow);
-        let scoap = Scoap::new(&n);
-        let report = lint_netlist(&n, &scoap, &config);
+        let report = lint_netlist(&n, &Analysis::new(&n), &config);
         assert!(!has(&report, LintCode::FloatingInput));
+    }
+
+    #[test]
+    fn constant_net_lint_names_the_net() {
+        // c = AND(x, NOT(x)) is constant 0 but SCOAP-controllable (SCOAP
+        // ignores the reconvergence), so only the implication lint sees it.
+        let mut b = NetlistBuilder::new(1, 0);
+        let nx = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let c = b.add_gate(GateKind::And, &[0, nx]).unwrap();
+        let z = b.add_gate(GateKind::Or, &[c, 0]).unwrap();
+        let n = b.finish(vec![z], vec![]).unwrap();
+        let report = lint(&n);
+        let finding = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::ConstantNet)
+            .expect("constant-net fires");
+        assert_eq!(finding.locus, n.net_name(c));
+        assert!(finding.message.contains(&n.net_name(c)));
+        assert_eq!(finding.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn equivalent_nets_lint_names_both_nets() {
+        // Two separately built copies of AND(x1, x2).
+        let mut b = NetlistBuilder::new(2, 0);
+        let g1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let g2 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let n = b.finish(vec![g1, g2], vec![]).unwrap();
+        let report = lint(&n);
+        let finding = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::EquivalentNets)
+            .expect("equivalent-nets fires");
+        assert_eq!(
+            finding.locus,
+            format!("{} = {}", n.net_name(g1), n.net_name(g2))
+        );
+        assert!(finding.message.contains(&n.net_name(g1)));
+        assert!(finding.message.contains(&n.net_name(g2)));
+    }
+
+    #[test]
+    fn buffer_copies_are_not_reported_equivalent() {
+        let mut b = NetlistBuilder::new(1, 0);
+        let g1 = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let copy = b.add_gate(GateKind::Buf, &[g1]).unwrap();
+        let n = b.finish(vec![g1, copy], vec![]).unwrap();
+        let report = lint(&n);
+        assert!(!has(&report, LintCode::EquivalentNets));
     }
 }

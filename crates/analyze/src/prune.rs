@@ -10,16 +10,28 @@
 //! faults on which PODEM would burn its full decision budget to conclude
 //! `Redundant` (or worse, `Aborted`).
 //!
-//! The converse does **not** hold: finite SCOAP measures do not prove
-//! testability (SCOAP ignores reconvergent-fanout correlation), so
-//! surviving faults still go through ATPG. The classification here is
-//! sound, not complete — the cross-check against the exhaustive oracle in
-//! the test suite relies on that soundness.
+//! A second, stronger prune layers on top of SCOAP: the **FIRE-style**
+//! implication check ([`is_fire_untestable`]). Every test detecting a fault
+//! must satisfy a set of *necessary* good-value literals — the activation
+//! value plus non-controlling side inputs at every dominator gate
+//! ([`crate::Dominators::requirements`]). If the implication closure
+//! ([`crate::Implications`]) shows those literals mutually inconsistent, no
+//! test exists and the fault is untestable without any search.
+//!
+//! The converse does **not** hold: finite SCOAP measures and consistent
+//! requirement sets do not prove testability (both ignore most
+//! reconvergent-fanout correlation), so surviving faults still go through
+//! ATPG. The classification here is sound, not complete — the cross-check
+//! against the exhaustive oracle in the test suite relies on that
+//! soundness.
 
 use scanft_netlist::Netlist;
 use scanft_sim::faults::{FaultSite, StuckFault};
 
+use crate::dominators::Dominators;
+use crate::implications::Implications;
 use crate::scoap::Scoap;
+use crate::Analysis;
 
 /// The fault universe split by static testability.
 #[derive(Debug, Clone)]
@@ -64,6 +76,53 @@ pub fn is_statically_untestable(netlist: &Netlist, scoap: &Scoap, fault: &StuckF
     }
 }
 
+/// Whether `fault` is provably undetectable by the FIRE-style implication
+/// argument: the necessary good-value literals of any detecting test (see
+/// [`Dominators::requirements`]) are mutually inconsistent under the
+/// implication closure.
+///
+/// Sound, not complete — a `false` answer proves nothing.
+#[must_use]
+pub fn is_fire_untestable(
+    netlist: &Netlist,
+    implications: &Implications,
+    dominators: &Dominators,
+    fault: &StuckFault,
+) -> bool {
+    let Some(requirements) = dominators.requirements(netlist, fault) else {
+        // Structurally dead (no path to an output) or a single net required
+        // at both values.
+        return true;
+    };
+    let mut forced: Vec<Option<bool>> = vec![None; netlist.num_nets()];
+    for &(net, v) in &requirements {
+        if implications.infeasible(net, v) {
+            return true;
+        }
+        // Everything a necessary literal forces is itself necessary; a
+        // clash anywhere in the union of closures proves untestability.
+        for (forced_net, forced_v) in implications.implied(net, v) {
+            match forced[forced_net as usize] {
+                Some(x) if x != forced_v => return true,
+                _ => forced[forced_net as usize] = Some(forced_v),
+            }
+        }
+    }
+    false
+}
+
+/// Whether `fault` is statically untestable under the combined SCOAP and
+/// FIRE-style implication checks.
+#[must_use]
+pub fn is_statically_untestable_with(
+    netlist: &Netlist,
+    analysis: &Analysis,
+    fault: &StuckFault,
+) -> bool {
+    is_statically_untestable(netlist, &analysis.scoap, fault)
+        || is_fire_untestable(netlist, &analysis.implications, &analysis.dominators, fault)
+}
+
 /// Splits `faults` into statically testable and untestable partitions,
 /// preserving order within each partition.
 #[must_use]
@@ -78,6 +137,33 @@ pub fn prune_untestable(netlist: &Netlist, scoap: &Scoap, faults: &[StuckFault])
     scanft_obs::global()
         .counter("analyze.prune.untestable")
         .add(result.untestable.len() as u64);
+    result
+}
+
+/// Splits `faults` with the combined SCOAP + FIRE classification,
+/// preserving order within each partition. The `analyze.prune.fire`
+/// counter records how many faults only the implication argument caught.
+#[must_use]
+pub fn prune_untestable_with(
+    netlist: &Netlist,
+    analysis: &Analysis,
+    faults: &[StuckFault],
+) -> PruneResult {
+    let (untestable, testable): (Vec<StuckFault>, Vec<StuckFault>) = faults
+        .iter()
+        .partition(|f| is_statically_untestable_with(netlist, analysis, f));
+    let fire_only = untestable
+        .iter()
+        .filter(|f| !is_statically_untestable(netlist, &analysis.scoap, f))
+        .count();
+    let result = PruneResult {
+        testable,
+        untestable,
+    };
+    let obs = scanft_obs::global();
+    obs.counter("analyze.prune.untestable")
+        .add(result.untestable.len() as u64);
+    obs.counter("analyze.prune.fire").add(fire_only as u64);
     result
 }
 

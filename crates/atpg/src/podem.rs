@@ -24,12 +24,27 @@
 //!    flip the most recent unflipped decision; when no decision is left,
 //!    the fault is redundant.
 //!
+//! On top of the classic loop sits **static-implication guidance**
+//! (`AtpgConfig::use_implications`, default on): before the search starts,
+//! the fault's *necessary* literals — activation plus non-controlling side
+//! inputs at every dominator gate ([`scanft_analyze::Dominators`]) — are
+//! expanded through the learned implication closure
+//! ([`scanft_analyze::Implications`]). A conflict inside that expansion
+//! proves the fault redundant with zero decisions; surviving literals fix
+//! the input assignments they force (necessary assignments are never worth
+//! a decision-stack entry, their complements cannot detect the fault), and
+//! the remaining required internal values prune every search branch whose
+//! implied good values contradict them. All of it is sound: the required
+//! literals are necessary conditions, and three-valued implication is
+//! monotone, so a definite contradiction can never be fixed by assigning
+//! more inputs.
+//!
 //! Every generated test is a single-cycle [`ScanTest`] (scan-in the PPI
 //! assignment, apply the PI combination, observe POs and scan-out), so it
 //! composes directly with the functional tests of the paper's flow and with
 //! `scanft-sim`'s fault-dropping campaigns.
 
-use scanft_analyze::Scoap;
+use scanft_analyze::{Analysis, Dominators, Implications, Scoap};
 use scanft_netlist::{GateKind, NetId, Netlist};
 use scanft_obs::Counter;
 use scanft_sim::faults::{FaultSite, StuckFault};
@@ -63,6 +78,12 @@ pub struct AtpgConfig {
     pub decision_budget: u64,
     /// Cost model guiding the search.
     pub heuristic: Heuristic,
+    /// Guide the search with the static implication closure: fix necessary
+    /// input assignments up front, prove conflicting targets redundant
+    /// without search, and prune branches that contradict a required
+    /// literal. Default on; turn off for A/B comparison (the
+    /// `coverage_topup` bench reports the backtrack delta).
+    pub use_implications: bool,
 }
 
 impl Default for AtpgConfig {
@@ -70,6 +91,7 @@ impl Default for AtpgConfig {
         AtpgConfig {
             decision_budget: 100_000,
             heuristic: Heuristic::default(),
+            use_implications: true,
         }
     }
 }
@@ -94,6 +116,9 @@ pub struct AtpgStats {
     pub decisions: u64,
     /// Decisions undone by flipping to the complementary value.
     pub backtracks: u64,
+    /// Necessary input assignments fixed by the implication closure before
+    /// the search (each one removes a decision variable).
+    pub implications: u64,
 }
 
 /// Outcome plus effort of one test-generation call.
@@ -154,6 +179,10 @@ pub struct Atpg<'a> {
     /// SCOAP measures of the netlist, driving the [`Heuristic::Scoap`]
     /// cost model.
     scoap: Scoap,
+    /// Implication closure and dominator pass for the implication-guided
+    /// search; built lazily on the first guided call, or shared up front
+    /// via [`Atpg::with_analysis`].
+    learned: Option<(Implications, Dominators)>,
     /// Per-net composite value, rebuilt by `imply`.
     values: Vec<V5>,
     /// Per-net X-path flag, rebuilt after every `imply`.
@@ -162,11 +191,16 @@ pub struct Atpg<'a> {
     is_obs: Vec<bool>,
     /// Current input assignment, indexed by net id `0..num_inputs`.
     assignment: Vec<Trit>,
+    /// Per-net good value the current target *requires* for detection
+    /// (activation and dominator side inputs, closed under implication).
+    /// All-X when implication guidance is off.
+    required: Vec<Trit>,
     /// Scratch buffers for per-gate input gathering.
     good_in: Vec<Trit>,
     bad_in: Vec<Trit>,
     c_decisions: Counter,
     c_backtracks: Counter,
+    c_implications: Counter,
     c_tests: Counter,
     c_redundant: Counter,
     c_aborted: Counter,
@@ -174,8 +208,35 @@ pub struct Atpg<'a> {
 
 impl<'a> Atpg<'a> {
     /// Creates an engine for `netlist`.
+    ///
+    /// The SCOAP measures are computed immediately; the implication closure
+    /// and dominator pass are built lazily on the first call with
+    /// [`AtpgConfig::use_implications`] set. To share an already-computed
+    /// [`Analysis`] (e.g. one used for static pruning), use
+    /// [`Atpg::with_analysis`] instead.
     #[must_use]
     pub fn new(netlist: &'a Netlist) -> Self {
+        Self::build(netlist, Scoap::new(netlist), None)
+    }
+
+    /// Creates an engine that reuses `analysis` (its SCOAP measures drive
+    /// the cost model, its implication closure and dominators drive the
+    /// guided search) instead of recomputing them.
+    #[must_use]
+    pub fn with_analysis(netlist: &'a Netlist, analysis: Analysis) -> Self {
+        let Analysis {
+            scoap,
+            implications,
+            dominators,
+        } = analysis;
+        Self::build(netlist, scoap, Some((implications, dominators)))
+    }
+
+    fn build(
+        netlist: &'a Netlist,
+        scoap: Scoap,
+        learned: Option<(Implications, Dominators)>,
+    ) -> Self {
         let obs = scanft_obs::global();
         let mut is_obs = vec![false; netlist.num_nets()];
         for &net in netlist.pos().iter().chain(netlist.ppos()) {
@@ -183,15 +244,18 @@ impl<'a> Atpg<'a> {
         }
         Atpg {
             netlist,
-            scoap: Scoap::new(netlist),
+            scoap,
+            learned,
             values: vec![V5::X; netlist.num_nets()],
             ok: vec![false; netlist.num_nets()],
             is_obs,
             assignment: vec![Trit::X; netlist.num_pis() + netlist.num_ppis()],
+            required: vec![Trit::X; netlist.num_nets()],
             good_in: Vec::new(),
             bad_in: Vec::new(),
             c_decisions: obs.counter("atpg.decisions"),
             c_backtracks: obs.counter("atpg.backtracks"),
+            c_implications: obs.counter("atpg.implications_applied"),
             c_tests: obs.counter("atpg.tests"),
             c_redundant: obs.counter("atpg.redundant"),
             c_aborted: obs.counter("atpg.aborted"),
@@ -212,17 +276,50 @@ impl<'a> Atpg<'a> {
     pub fn generate(&mut self, fault: &StuckFault, config: &AtpgConfig) -> AtpgResult {
         let target = self.normalize(fault);
         self.assignment.fill(Trit::X);
+        self.required.fill(Trit::X);
         let mut stack: Vec<Decision> = Vec::new();
         let mut stats = AtpgStats::default();
 
-        let outcome = loop {
-            self.imply(&target);
+        let feasible =
+            !config.use_implications || self.apply_static_implications(fault, &mut stats);
+        let outcome = if !feasible {
+            // The fault's necessary literals conflict (or no dominator chain
+            // reaches an output): redundant with zero decisions. This is the
+            // FIRE argument replayed per target, so it is exactly as sound as
+            // the static prune the property suite cross-checks exhaustively.
+            AtpgOutcome::Redundant
+        } else {
+            self.search(&target, config, &mut stack, &mut stats)
+        };
+
+        self.c_decisions.add(stats.decisions);
+        self.c_backtracks.add(stats.backtracks);
+        self.c_implications.add(stats.implications);
+        match outcome {
+            AtpgOutcome::Test(_) => self.c_tests.inc(),
+            AtpgOutcome::Redundant => self.c_redundant.inc(),
+            AtpgOutcome::Aborted => self.c_aborted.inc(),
+        }
+        AtpgResult { outcome, stats }
+    }
+
+    /// The classic PODEM decision loop over the (possibly pre-constrained)
+    /// input assignment.
+    fn search(
+        &mut self,
+        target: &Target,
+        config: &AtpgConfig,
+        stack: &mut Vec<Decision>,
+        stats: &mut AtpgStats,
+    ) -> AtpgOutcome {
+        loop {
+            self.imply(target);
             if self.detected() {
                 break AtpgOutcome::Test(self.extract_test());
             }
             self.compute_x_paths();
-            let objective = if self.possible(&target) {
-                self.objective(&target, config.heuristic)
+            let objective = if self.possible(target) {
+                self.objective(target, config.heuristic)
             } else {
                 None
             };
@@ -264,16 +361,55 @@ impl<'a> Atpg<'a> {
                     }
                 }
             }
-        };
-
-        self.c_decisions.add(stats.decisions);
-        self.c_backtracks.add(stats.backtracks);
-        match outcome {
-            AtpgOutcome::Test(_) => self.c_tests.inc(),
-            AtpgOutcome::Redundant => self.c_redundant.inc(),
-            AtpgOutcome::Aborted => self.c_aborted.inc(),
         }
-        AtpgResult { outcome, stats }
+    }
+
+    /// Constrains the search with the static implication closure.
+    ///
+    /// Expands the target's necessary literals — activation plus the
+    /// non-controlling side inputs of every dominator gate, from
+    /// [`Dominators::requirements`] — through [`Implications::implied`]
+    /// into `self.required`, and fixes every required *input* directly in
+    /// `self.assignment` (a necessary assignment's complement cannot detect
+    /// the fault, so it never earns a decision-stack entry). Returns `false`
+    /// when the requirements are contradictory, i.e. the fault is proven
+    /// redundant before any search.
+    fn apply_static_implications(&mut self, fault: &StuckFault, stats: &mut AtpgStats) -> bool {
+        if self.learned.is_none() {
+            self.learned = Some((
+                Implications::new(self.netlist),
+                Dominators::new(self.netlist),
+            ));
+        }
+        let Some((implications, dominators)) = self.learned.as_ref() else {
+            return true;
+        };
+        let Some(requirements) = dominators.requirements(self.netlist, fault) else {
+            return false;
+        };
+        for &(net, value) in &requirements {
+            if implications.infeasible(net, value) {
+                return false;
+            }
+            for (to, tv) in implications.implied(net, value) {
+                let forced = Trit::from_bool(tv);
+                let cur = self.required[to as usize];
+                if cur == Trit::X {
+                    self.required[to as usize] = forced;
+                } else if cur != forced {
+                    return false;
+                }
+            }
+        }
+        let num_inputs = self.netlist.num_pis() + self.netlist.num_ppis();
+        for net in 0..num_inputs {
+            let r = self.required[net];
+            if r != Trit::X {
+                self.assignment[net] = r;
+                stats.implications += 1;
+            }
+        }
+        true
     }
 
     fn normalize(&self, fault: &StuckFault) -> Target {
@@ -368,10 +504,23 @@ impl<'a> Atpg<'a> {
     /// X-path; and before any line carries the effect, the origin itself
     /// must still have an X-path (every D-carrying line traces back to the
     /// origin, so "no D anywhere" means the origin is where it must start).
+    ///
+    /// With implication guidance on, a fourth condition applies: a definite
+    /// good value contradicting a literal in the `required` map (a necessary
+    /// condition for detection, by the dominator argument) is equally final,
+    /// so the branch is dead.
     fn possible(&self, target: &Target) -> bool {
         let act = self.values[target.activation as usize].good;
         if act.is_definite() && act == target.stuck {
             return false;
+        }
+        for (net, &r) in self.required.iter().enumerate() {
+            if r != Trit::X {
+                let good = self.values[net].good;
+                if good.is_definite() && good != r {
+                    return false;
+                }
+            }
         }
         let mut any_d = false;
         for net in 0..self.netlist.num_nets() {
@@ -653,6 +802,33 @@ mod tests {
 
     #[test]
     fn zero_budget_aborts_instead_of_claiming_redundancy() {
+        // Implication guidance off: the raw search must hit the budget and
+        // abort rather than misreport redundancy.
+        let mut b = NetlistBuilder::new(2, 0);
+        let g = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let n = b.finish(vec![g], vec![]).unwrap();
+        let mut atpg = Atpg::new(&n);
+        let fault = StuckFault {
+            site: FaultSite::Net(0),
+            stuck_at_one: false,
+        };
+        let r = atpg.generate(
+            &fault,
+            &AtpgConfig {
+                decision_budget: 0,
+                use_implications: false,
+                ..AtpgConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, AtpgOutcome::Aborted);
+        assert_eq!(r.stats.decisions, 0);
+    }
+
+    #[test]
+    fn necessary_assignments_solve_without_decisions() {
+        // x1 s-a-0 in AND(x1, x2): activation forces x1=1 and the dominator
+        // side input forces x2=1 — the implication closure fixes both, so
+        // the test falls out with zero decisions even at zero budget.
         let mut b = NetlistBuilder::new(2, 0);
         let g = b.add_gate(GateKind::And, &[0, 1]).unwrap();
         let n = b.finish(vec![g], vec![]).unwrap();
@@ -668,8 +844,69 @@ mod tests {
                 ..AtpgConfig::default()
             },
         );
-        assert_eq!(r.outcome, AtpgOutcome::Aborted);
+        match r.outcome {
+            AtpgOutcome::Test(t) => {
+                assert_eq!(t.inputs, vec![0b11]);
+                assert!(test_detects(&n, &t, &fault));
+            }
+            other => panic!("expected a test, got {other:?}"),
+        }
         assert_eq!(r.stats.decisions, 0);
+        assert_eq!(r.stats.implications, 2, "both inputs are necessary");
+    }
+
+    #[test]
+    fn implication_guidance_agrees_with_plain_search() {
+        // Guided and unguided search must reach identical verdicts on every
+        // fault of a circuit mixing detectable and redundant faults, with
+        // the guided run never spending more backtracks.
+        let mut b = NetlistBuilder::new(2, 1);
+        let g1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let g2 = b.add_gate(GateKind::Or, &[0, g1]).unwrap();
+        let ns = b.add_gate(GateKind::Xor, &[g2, 2]).unwrap();
+        let n = b.finish(vec![g2], vec![ns]).unwrap();
+        let mut atpg = Atpg::new(&n);
+        let mut backtracks = [0u64, 0u64];
+        for fault in faults::enumerate_stuck(&n) {
+            let mut verdicts = Vec::new();
+            for (k, use_implications) in [(0, true), (1, false)] {
+                let r = atpg.generate(
+                    &fault,
+                    &AtpgConfig {
+                        use_implications,
+                        ..AtpgConfig::default()
+                    },
+                );
+                backtracks[k] += r.stats.backtracks;
+                let ok = match r.outcome {
+                    AtpgOutcome::Test(t) => {
+                        assert!(
+                            test_detects(&n, &t, &fault),
+                            "{}",
+                            Fault::Stuck(fault).describe(&n)
+                        );
+                        true
+                    }
+                    AtpgOutcome::Redundant => false,
+                    AtpgOutcome::Aborted => {
+                        panic!("{}: aborted", Fault::Stuck(fault).describe(&n))
+                    }
+                };
+                verdicts.push(ok);
+            }
+            assert_eq!(
+                verdicts[0],
+                verdicts[1],
+                "{}",
+                Fault::Stuck(fault).describe(&n)
+            );
+        }
+        assert!(
+            backtracks[0] <= backtracks[1],
+            "guided search backtracked more ({} > {})",
+            backtracks[0],
+            backtracks[1]
+        );
     }
 
     #[test]

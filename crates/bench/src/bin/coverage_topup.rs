@@ -2,80 +2,101 @@
 //!
 //! For every circuit, the functional test set (Table 5 generation) is fault
 //! simulated over the collapsed single stuck-at universe; statically
-//! untestable faults (infinite SCOAP measures) are pruned; PODEM then
-//! targets the surviving faults, each fresh pattern is fault-simulated
-//! across all still-pending faults, and every fault ends up detected,
-//! proven untestable (statically or by search), or (only on a budget hit)
-//! aborted.
+//! untestable faults (infinite SCOAP measures or a FIRE-style implication
+//! conflict) are pruned; PODEM then targets the surviving faults, each
+//! fresh pattern is fault-simulated across all still-pending faults, and
+//! every fault ends up detected, proven untestable (statically or by
+//! search), or (only on a budget hit) aborted.
 //!
-//! Two claims are checked: deterministic generation has to add only a
-//! handful of patterns on top of the functional tests reaching 100%
-//! effective coverage, and the SCOAP-guided backtrace spends no more PODEM
-//! decisions than the raw level heuristic (the `dec` columns show both and
-//! the delta) with identical coverage.
+//! Three claims are checked and enforced (non-zero exit on failure):
+//!
+//! 1. deterministic generation adds only a handful of patterns on top of
+//!    the functional tests and reaches 100% effective coverage with zero
+//!    aborted faults on every circuit;
+//! 2. implication-guided PODEM (static learning + dominator requirements)
+//!    spends no more backtracks in total than the unguided search, at
+//!    identical effective coverage — the `bt` columns show the A/B and the
+//!    delta, `nec` the necessary assignments the closure fixed;
+//! 3. dominance collapsing (`dom` column) never leaves more classes than
+//!    equivalence collapsing (`equ`).
 
-use scanft_atpg::Heuristic;
 use scanft_bench::{pct, plan_circuits, Args, Budget};
 use scanft_core::generate::{generate, GenConfig};
 use scanft_core::top_up::{top_up, TopUpConfig};
 use scanft_fsm::{benchmarks, uio};
+use scanft_sim::collapse::{collapse_stuck, collapse_stuck_with, CollapseConfig};
+use scanft_sim::faults;
 use scanft_synth::{synthesize, SynthConfig};
 
 fn main() {
     let args = Args::parse();
     println!(
-        "Coverage top-up: functional tests + deterministic ATPG (collapsed stuck-at, static prune)"
+        "Coverage top-up: functional tests + implication-guided ATPG (collapsed stuck-at, static prune)"
     );
     println!();
     println!(
-        "  circuit  || faults | static | func det || +pats | atpg det | redund | abort || eff f.c. | complete || dec(level) | dec(scoap) | delta"
+        "  circuit  || faults |  equ  |  dom  | static | func det || +pats | atpg det | redund | abort || eff f.c. | complete || bt(off) | bt(on) | delta |  nec"
     );
-    scanft_bench::rule(134);
+    scanft_bench::rule(148);
     let mut all_complete = true;
+    let mut zero_aborts = true;
     let mut coverage_matches = true;
+    let mut dominance_never_worse = true;
     let mut total_patterns = 0usize;
     let mut total_faults = 0usize;
-    let mut total_dec_level = 0u64;
-    let mut total_dec_scoap = 0u64;
+    let mut total_bt_off = 0u64;
+    let mut total_bt_on = 0u64;
+    let mut total_necessary = 0u64;
     for (spec, run) in plan_circuits(&args, Budget::GateLevel) {
         if !run {
-            println!("  {:<8} || {:>121}", spec.name, "skipped(budget)");
+            println!("  {:<8} || {:>135}", spec.name, "skipped(budget)");
             continue;
         }
         let table = benchmarks::build(spec.name).expect("registry circuit");
         let uios = uio::derive_uios(&table, table.num_state_vars());
         let set = generate(&table, &uios, &GenConfig::default());
         let circuit = synthesize(&table, &SynthConfig::default());
-        let level = top_up(
+
+        // Collapse ratios over the full uncollapsed universe: equivalence
+        // (what top_up uses) and equivalence + dominance.
+        let universe = faults::enumerate_stuck(circuit.netlist());
+        let equivalence = collapse_stuck(circuit.netlist(), &universe);
+        let dominance = collapse_stuck_with(
+            circuit.netlist(),
+            &universe,
+            &CollapseConfig { dominance: true },
+        );
+        dominance_never_worse &=
+            dominance.representatives.len() <= equivalence.representatives.len();
+
+        let unguided = top_up(
             &circuit,
             &set,
             &TopUpConfig {
-                heuristic: Heuristic::Level,
+                use_implications: false,
                 ..TopUpConfig::default()
             },
         );
-        let outcome = top_up(
-            &circuit,
-            &set,
-            &TopUpConfig {
-                heuristic: Heuristic::Scoap,
-                ..TopUpConfig::default()
-            },
-        );
+        let outcome = top_up(&circuit, &set, &TopUpConfig::default());
         let report = &outcome.report;
-        all_complete &= report.is_complete();
-        coverage_matches &=
-            (report.effective_coverage_percent() - level.report.effective_coverage_percent()).abs()
-                < 1e-9;
+        all_complete &= report.is_complete() && unguided.report.is_complete();
+        zero_aborts &= report.aborted() == 0 && unguided.report.aborted() == 0;
+        coverage_matches &= (report.effective_coverage_percent()
+            - unguided.report.effective_coverage_percent())
+        .abs()
+            < 1e-9;
         total_patterns += report.atpg_patterns;
         total_faults += report.faults.len();
-        total_dec_level += level.report.decisions;
-        total_dec_scoap += report.decisions;
-        let delta = report.decisions as i64 - level.report.decisions as i64;
+        total_bt_off += unguided.report.backtracks;
+        total_bt_on += report.backtracks;
+        total_necessary += report.implications;
+        let delta = report.backtracks as i64 - unguided.report.backtracks as i64;
         println!(
-            "  {:<8} || {:>6} | {:>6} | {:>8} || {:>5} | {:>8} | {:>6} | {:>5} || {:>8} | {:>8} || {:>10} | {:>10} | {:>+5}",
+            "  {:<8} || {:>6} | {:>5.3} | {:>5.3} | {:>6} | {:>8} || {:>5} | {:>8} | {:>6} | {:>5} || {:>8} | {:>8} || {:>7} | {:>6} | {:>+5} | {:>4}",
             spec.name,
             report.faults.len(),
+            equivalence.ratio(),
+            dominance.ratio(),
             report.statically_untestable(),
             report.detected_functional(),
             report.atpg_patterns,
@@ -84,9 +105,10 @@ fn main() {
             report.aborted(),
             pct(report.effective_coverage_percent()),
             if report.is_complete() { "yes" } else { "NO" },
-            level.report.decisions,
-            report.decisions,
+            unguided.report.backtracks,
+            report.backtracks,
             delta,
+            report.implications,
         );
     }
     println!();
@@ -94,19 +116,39 @@ fn main() {
         "{total_patterns} deterministic pattern(s) added across {total_faults} collapsed faults"
     );
     println!(
-        "PODEM decisions: {total_dec_level} (level heuristic) vs {total_dec_scoap} (SCOAP), delta {:+}",
-        total_dec_scoap as i64 - total_dec_level as i64
+        "PODEM backtracks: {total_bt_off} (unguided) vs {total_bt_on} (implication-guided), \
+         delta {:+}, {total_necessary} necessary assignments fixed",
+        total_bt_on as i64 - total_bt_off as i64
     );
+    let mut failed = false;
     if !coverage_matches {
-        println!("claim NOT reproduced: SCOAP-guided search changed effective coverage");
-        std::process::exit(1);
+        println!("claim NOT reproduced: implication guidance changed effective coverage");
+        failed = true;
     }
-    if all_complete {
+    if total_bt_on > total_bt_off {
         println!(
-            "claim (100% coverage of testable faults within budget): REPRODUCED on every simulated circuit"
+            "claim NOT reproduced: implication guidance increased total backtracks \
+             ({total_bt_on} > {total_bt_off})"
         );
-    } else {
+        failed = true;
+    }
+    if !dominance_never_worse {
+        println!("claim NOT reproduced: dominance collapsing left more classes than equivalence");
+        failed = true;
+    }
+    if !zero_aborts {
+        println!("claim NOT reproduced: at least one fault aborted on a budget hit");
+        failed = true;
+    }
+    if !all_complete {
         println!("claim NOT reproduced: at least one circuit left faults aborted or undetected");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
+    println!(
+        "claims (100% effective coverage, implication guidance never worse, dominance never \
+         worse): REPRODUCED on every simulated circuit"
+    );
 }

@@ -6,7 +6,7 @@
 //! scanft uio <circuit> [--max-len N]
 //! scanft generate <circuit> [--no-transfer] [--uio-cap N]
 //! scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-//! scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray] [--level]
+//! scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
 //! scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
 //! scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
 //! ```
@@ -82,7 +82,7 @@ const USAGE: &str = "usage:
   scanft generate <circuit> [--no-transfer] [--uio-cap N] [--out FILE]
   scanft simulate <circuit> --tests FILE
   scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-  scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--gray] [--level]
+  scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
   scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
   scanft dot <circuit>
@@ -402,6 +402,7 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
             .map(|b| b as u64)
             .unwrap_or(scanft_core::top_up::TopUpConfig::default().decision_budget),
         collapse: !flag(rest, "--uncollapsed"),
+        use_implications: !flag(rest, "--no-implications"),
         heuristic: if flag(rest, "--level") {
             scanft_core::top_up::Heuristic::Level
         } else {
@@ -442,8 +443,15 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
         config.decision_budget
     );
     println!(
-        "  effort: {} decisions, {} backtracks",
-        report.decisions, report.backtracks
+        "  effort: {} decisions, {} backtracks, {} necessary assignments{}",
+        report.decisions,
+        report.backtracks,
+        report.implications,
+        if config.use_implications {
+            ""
+        } else {
+            " (implication guidance off)"
+        }
     );
     println!(
         "  coverage: {:.2}% of all faults, {:.2}% of non-redundant faults{}",
@@ -496,8 +504,8 @@ fn within_gate_budget(table: &StateTable) -> bool {
 
 fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
     use scanft_analyze::{
-        lint_import_error, lint_kiss_source, lint_netlist, lint_state_table, FsmLintConfig,
-        LintReport, NetlistLintConfig, Scoap,
+        lint_import_error, lint_kiss_source, lint_netlist, lint_state_table, Analysis,
+        FsmLintConfig, LintReport, NetlistLintConfig,
     };
 
     let json = flag(rest, "--json");
@@ -565,8 +573,8 @@ fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
                 std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
             match scanft_netlist::blif::parse(&text) {
                 Ok(netlist) => {
-                    let scoap = Scoap::new(&netlist);
-                    emit(target, &lint_netlist(&netlist, &scoap, &netlist_config));
+                    let analysis = Analysis::new(&netlist);
+                    emit(target, &lint_netlist(&netlist, &analysis, &netlist_config));
                 }
                 Err(err) => emit(target, &lint_import_error(&err, &levels)),
             }
@@ -593,7 +601,7 @@ fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
                 target,
                 &lint_netlist(
                     circuit.netlist(),
-                    &Scoap::new(circuit.netlist()),
+                    &Analysis::new(circuit.netlist()),
                     &netlist_config,
                 ),
             );

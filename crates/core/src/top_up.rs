@@ -20,7 +20,7 @@
 //! non-redundant faults (the "complete coverage" column of the comparison
 //! table).
 
-use scanft_analyze::{is_statically_untestable, Scoap};
+use scanft_analyze::{is_statically_untestable_with, Analysis};
 use scanft_atpg::{Atpg, AtpgConfig, AtpgOutcome};
 use scanft_netlist::Netlist;
 use scanft_sim::faults::{self, StuckFault};
@@ -39,11 +39,16 @@ pub struct TopUpConfig {
     /// Whether to collapse the stuck-at universe to equivalence-class
     /// representatives before simulation and generation.
     pub collapse: bool,
-    /// Whether to classify faults with infinite SCOAP measures as
-    /// [`FaultStatus::StaticallyUntestable`] and exclude them from PODEM
-    /// (they would each burn the full decision budget to conclude
-    /// `Redundant`).
+    /// Whether to classify statically untestable faults — infinite SCOAP
+    /// measures, or a FIRE-style implication conflict among the fault's
+    /// necessary conditions — as [`FaultStatus::StaticallyUntestable`] and
+    /// exclude them from PODEM (they would each burn search effort to
+    /// conclude `Redundant`).
     pub static_prune: bool,
+    /// Whether PODEM runs implication-guided (see
+    /// [`AtpgConfig::use_implications`]). Does not affect which faults are
+    /// pruned statically, so an A/B comparison isolates the search effect.
+    pub use_implications: bool,
     /// Cost model guiding PODEM's backtrace and D-frontier choices.
     pub heuristic: Heuristic,
 }
@@ -54,6 +59,7 @@ impl Default for TopUpConfig {
             decision_budget: AtpgConfig::default().decision_budget,
             collapse: true,
             static_prune: true,
+            use_implications: true,
             heuristic: Heuristic::default(),
         }
     }
@@ -97,6 +103,9 @@ pub struct TopUpReport {
     pub decisions: u64,
     /// Total PODEM backtracks across all targeted faults.
     pub backtracks: u64,
+    /// Total necessary input assignments fixed by the implication closure
+    /// across all targeted faults (0 when guidance is off).
+    pub implications: u64,
 }
 
 impl TopUpReport {
@@ -236,23 +245,33 @@ pub fn top_up_scan(
         .map(|d| d.map(|_| FaultStatus::DetectedFunctional))
         .collect();
 
-    // Static pruning: faults with an infinite SCOAP measure are provably
-    // undetectable, so they never reach PODEM. Classification is sound, so
-    // a functional detection of a pruned fault is a contradiction.
+    // One static analysis serves both the prune and the guided search; it
+    // is skipped entirely only when neither consumer wants it.
+    let analysis = if config.static_prune || config.use_implications {
+        Some(Analysis::new(netlist))
+    } else {
+        None
+    };
+
+    // Static pruning: faults with an infinite SCOAP measure or a FIRE-style
+    // implication conflict are provably undetectable, so they never reach
+    // PODEM. Classification is sound, so a functional detection of a pruned
+    // fault is a contradiction.
     if config.static_prune {
-        let scoap = Scoap::new(netlist);
-        let mut num_pruned = 0u64;
-        for (k, fault) in targets.iter().enumerate() {
-            if is_statically_untestable(netlist, &scoap, fault) {
-                debug_assert!(
-                    status[k].is_none(),
-                    "statically untestable fault detected functionally: {fault:?}"
-                );
-                status[k] = Some(FaultStatus::StaticallyUntestable);
-                num_pruned += 1;
+        if let Some(analysis) = analysis.as_ref() {
+            let mut num_pruned = 0u64;
+            for (k, fault) in targets.iter().enumerate() {
+                if is_statically_untestable_with(netlist, analysis, fault) {
+                    debug_assert!(
+                        status[k].is_none(),
+                        "statically untestable fault detected functionally: {fault:?}"
+                    );
+                    status[k] = Some(FaultStatus::StaticallyUntestable);
+                    num_pruned += 1;
+                }
             }
+            obs.counter("core.top_up.static_untestable").add(num_pruned);
         }
-        obs.counter("core.top_up.static_untestable").add(num_pruned);
     }
 
     let survivors = functional_report.undetected_faults();
@@ -262,16 +281,21 @@ pub fn top_up_scan(
     // Phase 2: deterministic generation on the survivors, reverse order,
     // with each fresh pattern simulated across every still-pending fault.
     // Statically untestable faults are already classified and skipped.
-    let mut atpg = Atpg::new(netlist);
+    let mut atpg = match analysis {
+        Some(analysis) => Atpg::with_analysis(netlist, analysis),
+        None => Atpg::new(netlist),
+    };
     let atpg_config = AtpgConfig {
         decision_budget: config.decision_budget,
         heuristic: config.heuristic,
+        use_implications: config.use_implications,
     };
     let mut patterns: Vec<ScanTest> = Vec::new();
     let mut pattern_targets: Vec<StuckFault> = Vec::new();
     let mut dropped = 0usize;
     let mut decisions = 0u64;
     let mut backtracks = 0u64;
+    let mut implications = 0u64;
     for &f in survivors.iter().rev() {
         if status[f].is_some() {
             continue; // dropped by an earlier pattern
@@ -279,6 +303,7 @@ pub fn top_up_scan(
         let result = atpg.generate(&targets[f], &atpg_config);
         decisions += result.stats.decisions;
         backtracks += result.stats.backtracks;
+        implications += result.stats.implications;
         match result.outcome {
             AtpgOutcome::Test(test) => {
                 // Simulate the new pattern against every pending fault so
@@ -324,6 +349,7 @@ pub fn top_up_scan(
         dropped_by_atpg_patterns: dropped,
         decisions,
         backtracks,
+        implications,
     };
     obs.counter("core.top_up.redundant")
         .add(report.proven_redundant() as u64);
@@ -481,8 +507,37 @@ mod tests {
         assert!(unpruned.report.decisions >= pruned.report.decisions);
     }
 
+    /// Implication guidance changes search effort, never verdicts: both
+    /// configurations complete the universe with the same fault partition,
+    /// and the guided run spends no more backtracks.
+    #[test]
+    fn implication_guidance_preserves_verdicts() {
+        let bbtas = scanft_fsm::benchmarks::build("bbtas").unwrap();
+        let circuit = synthesize(&bbtas, &SynthConfig::default());
+        let guided = top_up_scan(circuit.netlist(), &[], &TopUpConfig::default());
+        let plain = top_up_scan(
+            circuit.netlist(),
+            &[],
+            &TopUpConfig {
+                use_implications: false,
+                ..TopUpConfig::default()
+            },
+        );
+        assert!(guided.report.is_complete());
+        assert!(plain.report.is_complete());
+        assert_eq!(guided.report.detected(), plain.report.detected());
+        assert_eq!(
+            guided.report.proven_redundant() + guided.report.statically_untestable(),
+            plain.report.proven_redundant() + plain.report.statically_untestable()
+        );
+        assert!(guided.report.backtracks <= plain.report.backtracks);
+        assert_eq!(plain.report.implications, 0);
+    }
+
     /// A zero decision budget aborts every undetected fault instead of
-    /// claiming redundancy.
+    /// claiming redundancy. Implication guidance is off: the necessary
+    /// assignments it fixes cost no decisions and would legitimately detect
+    /// some faults even at zero budget.
     #[test]
     fn zero_budget_aborts_survivors() {
         let lion = scanft_fsm::benchmarks::lion();
@@ -493,6 +548,7 @@ mod tests {
             &TopUpConfig {
                 decision_budget: 0,
                 collapse: true,
+                use_implications: false,
                 ..TopUpConfig::default()
             },
         );

@@ -1,0 +1,266 @@
+use crate::net::Netlist;
+use crate::NetId;
+
+/// Sentinel: the virtual exit node every observed net points at.
+const EXIT: u32 = u32::MAX;
+/// Sentinel: no structural path from this net to any PO/PPO.
+const UNREACHABLE: u32 = u32::MAX - 1;
+
+/// Immediate post-dominators of every net with respect to the observation
+/// points (POs and PPOs).
+///
+/// Net `d` post-dominates net `n` when every structural path from `n` to an
+/// observed output passes through `d`. The immediate post-dominator is the
+/// nearest such net; walking [`PostDominators::idom`] repeatedly yields the
+/// full dominator chain ([`PostDominators::chain`]). Because the netlist is
+/// a DAG whose net ids are already a topological order, a single reverse
+/// sweep with the classic intersection step computes the exact tree — no
+/// fixpoint iteration is needed.
+///
+/// The chain is the structural backbone of two consumers:
+///
+/// * FIRE-style untestability proofs — a fault effect must cross every
+///   dominator gate, so their side inputs must all take non-controlling
+///   values;
+/// * dominance fault collapsing — a single-fanout net whose immediate
+///   post-dominator is its consuming gate's output funnels every test
+///   through that gate.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_netlist::{GateKind, NetlistBuilder, PostDominators};
+///
+/// # fn main() -> Result<(), scanft_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(2, 0);
+/// let a = b.add_gate(GateKind::Not, &[b.pi(0)])?;
+/// let z = b.add_gate(GateKind::And, &[a, b.pi(1)])?;
+/// let n = b.finish(vec![z], vec![])?;
+/// let dom = PostDominators::new(&n);
+/// assert_eq!(dom.idom(a), Some(z)); // every path from `a` crosses `z`
+/// assert_eq!(dom.idom(z), None); // observed directly at the PO
+/// assert!(dom.is_observed(z));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    idom: Vec<u32>,
+    observed: Vec<bool>,
+}
+
+impl PostDominators {
+    /// Computes the immediate post-dominator of every net toward the
+    /// observed outputs (POs and PPOs) of `netlist`.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let n = netlist.num_nets();
+        let mut observed = vec![false; n];
+        for &po in netlist.pos().iter().chain(netlist.ppos()) {
+            observed[po as usize] = true;
+        }
+        let mut idom = vec![UNREACHABLE; n];
+        // Reverse topological order: gate outputs come after their inputs,
+        // so every successor of a net is resolved before the net itself.
+        for net in (0..n).rev() {
+            if observed[net] {
+                idom[net] = EXIT;
+                continue;
+            }
+            let mut cur = UNREACHABLE;
+            for &g in netlist.fanout(net as NetId) {
+                let succ = netlist.gate_output(g as usize);
+                if idom[succ as usize] == UNREACHABLE {
+                    // Paths dying in an unobservable cone never reach an
+                    // output, so they place no constraint on the chain.
+                    continue;
+                }
+                cur = if cur == UNREACHABLE {
+                    succ
+                } else {
+                    intersect(&idom, cur, succ)
+                };
+            }
+            idom[net] = cur;
+        }
+        PostDominators { idom, observed }
+    }
+
+    /// The immediate post-dominator of `net`, or `None` when the chain is
+    /// empty — either `net` is observed directly (see
+    /// [`PostDominators::is_observed`]) or no path reaches an output (see
+    /// [`PostDominators::reaches_output`]).
+    #[must_use]
+    pub fn idom(&self, net: NetId) -> Option<NetId> {
+        match self.idom[net as usize] {
+            EXIT | UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// Whether `net` is a PO or PPO (observed with an empty dominator
+    /// chain).
+    #[must_use]
+    pub fn is_observed(&self, net: NetId) -> bool {
+        self.observed[net as usize]
+    }
+
+    /// Whether at least one structural path leads from `net` to an observed
+    /// output.
+    #[must_use]
+    pub fn reaches_output(&self, net: NetId) -> bool {
+        self.idom[net as usize] != UNREACHABLE
+    }
+
+    /// The dominator chain of `net`: its immediate post-dominator, that
+    /// net's post-dominator, and so on until an observed output is passed.
+    ///
+    /// The chain is empty when `net` is observed directly or unobservable.
+    pub fn chain(&self, net: NetId) -> impl Iterator<Item = NetId> + '_ {
+        Chain {
+            dom: self,
+            cur: net,
+        }
+    }
+}
+
+/// Iterator over a net's post-dominator chain (see
+/// [`PostDominators::chain`]).
+struct Chain<'a> {
+    dom: &'a PostDominators,
+    cur: NetId,
+}
+
+impl Iterator for Chain<'_> {
+    type Item = NetId;
+
+    fn next(&mut self) -> Option<NetId> {
+        let next = self.dom.idom(self.cur)?;
+        self.cur = next;
+        Some(next)
+    }
+}
+
+/// Nearest common ancestor of `a` and `b` in the post-dominator tree.
+///
+/// The tree's root is the virtual exit; a net's post-dominator always has a
+/// larger id (it lies downstream), so climbing the smaller id walks away
+/// from the root's frontier and toward it along `idom`.
+fn intersect(idom: &[u32], mut a: u32, mut b: u32) -> u32 {
+    while a != b {
+        if a == EXIT {
+            b = idom[b as usize];
+        } else if b == EXIT || a < b {
+            a = idom[a as usize];
+        } else {
+            b = idom[b as usize];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::GateKind;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn chain_of_gates_dominates_linearly() {
+        let mut b = NetlistBuilder::new(1, 0);
+        let g1 = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let g2 = b.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = b.add_gate(GateKind::Not, &[g2]).unwrap();
+        let n = b.finish(vec![g3], vec![]).unwrap();
+        let dom = PostDominators::new(&n);
+        assert_eq!(dom.idom(0), Some(g1));
+        assert_eq!(dom.idom(g1), Some(g2));
+        assert_eq!(dom.idom(g2), Some(g3));
+        assert_eq!(dom.idom(g3), None);
+        assert!(dom.is_observed(g3));
+        assert_eq!(dom.chain(0).collect::<Vec<_>>(), vec![g1, g2, g3]);
+    }
+
+    #[test]
+    fn reconvergent_fanout_dominated_by_the_join() {
+        // pi0 fans out to two NOTs that reconverge in an AND.
+        let mut b = NetlistBuilder::new(1, 0);
+        let left = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let right = b.add_gate(GateKind::Buf, &[0]).unwrap();
+        let join = b.add_gate(GateKind::And, &[left, right]).unwrap();
+        let n = b.finish(vec![join], vec![]).unwrap();
+        let dom = PostDominators::new(&n);
+        assert_eq!(dom.idom(0), Some(join));
+        assert_eq!(dom.idom(left), Some(join));
+        assert_eq!(dom.idom(right), Some(join));
+    }
+
+    #[test]
+    fn fanout_to_two_outputs_has_no_dominator() {
+        let mut b = NetlistBuilder::new(2, 0);
+        let a = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let z1 = b.add_gate(GateKind::Not, &[a]).unwrap();
+        let z2 = b.add_gate(GateKind::Buf, &[a]).unwrap();
+        let n = b.finish(vec![z1, z2], vec![]).unwrap();
+        let dom = PostDominators::new(&n);
+        assert_eq!(dom.idom(a), None);
+        assert!(!dom.is_observed(a));
+        assert!(dom.reaches_output(a));
+        assert_eq!(dom.chain(a).count(), 0);
+    }
+
+    #[test]
+    fn observed_net_with_fanout_has_empty_chain() {
+        // `a` is itself a PO and also feeds `z`: observation at the PO makes
+        // the chain empty even though a gate consumes it.
+        let mut b = NetlistBuilder::new(2, 0);
+        let a = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let z = b.add_gate(GateKind::Not, &[a]).unwrap();
+        let n = b.finish(vec![a, z], vec![]).unwrap();
+        let dom = PostDominators::new(&n);
+        assert_eq!(dom.idom(a), None);
+        assert!(dom.is_observed(a));
+    }
+
+    #[test]
+    fn dangling_cone_is_unreachable() {
+        let mut b = NetlistBuilder::new(2, 0);
+        let dead = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let z = b.add_gate(GateKind::Buf, &[1]).unwrap();
+        let n = b.finish(vec![z], vec![]).unwrap();
+        let dom = PostDominators::new(&n);
+        assert!(!dom.reaches_output(dead));
+        assert!(!dom.reaches_output(0));
+        assert_eq!(dom.idom(dead), None);
+        assert!(dom.reaches_output(1));
+    }
+
+    #[test]
+    fn ppos_are_observation_points() {
+        let mut b = NetlistBuilder::new(1, 1);
+        let (x, ps) = (b.pi(0), b.ppi(0));
+        let ns = b.add_gate(GateKind::Xor, &[x, ps]).unwrap();
+        let n = b.finish(vec![], vec![ns]).unwrap();
+        let dom = PostDominators::new(&n);
+        assert!(dom.is_observed(ns));
+        assert_eq!(dom.idom(x), Some(ns));
+        assert_eq!(dom.idom(ps), Some(ns));
+    }
+
+    #[test]
+    fn diamond_with_side_exit_stops_at_first_common_gate() {
+        // pi0 -> {a, b}; a -> join, b -> join; join -> z (PO), and `a` also
+        // feeds a second PO directly, so pi0's chain must skip `join`.
+        let mut b = NetlistBuilder::new(1, 0);
+        let a = b.add_gate(GateKind::Not, &[0]).unwrap();
+        let bb = b.add_gate(GateKind::Buf, &[0]).unwrap();
+        let join = b.add_gate(GateKind::And, &[a, bb]).unwrap();
+        let n = b.finish(vec![join, a], vec![]).unwrap();
+        let dom = PostDominators::new(&n);
+        // `a` is observed at the second PO, so it has no dominator, and
+        // neither does pi0 (one path ends at `a`'s PO, another at `join`).
+        assert_eq!(dom.idom(a), None);
+        assert_eq!(dom.idom(0), None);
+        assert_eq!(dom.idom(bb), Some(join));
+    }
+}

@@ -36,12 +36,14 @@
 pub mod blif;
 
 mod builder;
+mod dominators;
 mod dot;
 mod error;
 mod net;
 mod reach;
 
 pub use builder::NetlistBuilder;
+pub use dominators::PostDominators;
 pub use dot::to_dot;
 pub use error::NetlistError;
 pub use net::{Gate, GateKind, Netlist, NetlistStats};

@@ -179,6 +179,42 @@ fn evaluate_lion_counters_golden() {
     }
 }
 
+/// Exact counters for the implication-guided ATPG path: `atpg lion
+/// --no-functional` drives PODEM over all 45 collapsed faults, so the
+/// static-learning and guidance counters must export deterministic values.
+#[test]
+fn atpg_lion_implication_counters_golden() {
+    let lines = run_with_metrics(&["atpg", "lion", "--no-functional"]);
+    let mut values: BTreeMap<String, u64> = BTreeMap::new();
+    for line in &lines {
+        if string_field(line, "kind") != "timer" {
+            values.insert(
+                string_field(line, "name"),
+                field(line, "value").parse().unwrap(),
+            );
+        }
+    }
+    let expected: &[(&str, u64)] = &[
+        // Static learning on the lion netlist: 13 indirect (contrapositive)
+        // implications over 38 literals (19 nets).
+        ("analyze.implications_learned", 13),
+        ("analyze.implications.literals", 38),
+        // Guided PODEM over the 45 collapsed faults: the closure fixes 17
+        // necessary input assignments, leaving 14 decisions, 10 distinct
+        // patterns, and not a single backtrack or unresolved fault.
+        ("atpg.implications_applied", 17),
+        ("atpg.decisions", 14),
+        ("atpg.backtracks", 0),
+        ("atpg.tests", 10),
+        ("atpg.redundant", 0),
+        ("atpg.aborted", 0),
+        ("core.top_up.faults", 45),
+    ];
+    for &(name, value) in expected {
+        assert_eq!(values.get(name), Some(&value), "{name}");
+    }
+}
+
 /// `--metrics` without a file streams the export to stdout after the
 /// command output; `SCANFT_METRICS` is the flag-less equivalent.
 #[test]
