@@ -45,5 +45,5 @@
 pub mod podem;
 pub mod value;
 
-pub use podem::{Atpg, AtpgConfig, AtpgOutcome, AtpgResult, AtpgStats, Heuristic};
+pub use podem::{AbortReason, Atpg, AtpgConfig, AtpgOutcome, AtpgResult, AtpgStats, Heuristic};
 pub use value::{Trit, V5};

@@ -45,6 +45,7 @@
 //! `scanft-sim`'s fault-dropping campaigns.
 
 use scanft_analyze::{Analysis, Dominators, Implications, Scoap};
+use scanft_harness::Budget;
 use scanft_netlist::{GateKind, NetId, Netlist};
 use scanft_obs::Counter;
 use scanft_sim::faults::{FaultSite, StuckFault};
@@ -76,6 +77,15 @@ pub struct AtpgConfig {
     /// aborts (outcome [`AtpgOutcome::Aborted`]) when the budget is hit, so
     /// redundancy is only ever claimed on budget-free exhaustion.
     pub decision_budget: u64,
+    /// Wall-clock and extra-decision caps for this call, on top of
+    /// `decision_budget`. `budget.deadline` is a per-fault wall-clock cap:
+    /// when it expires mid-search the outcome is
+    /// [`AtpgOutcome::Aborted`] with [`AbortReason::Deadline`] — never a
+    /// wrong `Redundant`, because redundancy still requires budget-free
+    /// exhaustion of the input space. `budget.max_units` caps decisions
+    /// (the effective decision budget is the minimum of the two caps).
+    /// Defaults to unlimited, which preserves the historical behaviour.
+    pub budget: Budget,
     /// Cost model guiding the search.
     pub heuristic: Heuristic,
     /// Guide the search with the static implication closure: fix necessary
@@ -90,8 +100,39 @@ impl Default for AtpgConfig {
     fn default() -> Self {
         AtpgConfig {
             decision_budget: 100_000,
+            budget: Budget::unlimited(),
             heuristic: Heuristic::default(),
             use_implications: true,
+        }
+    }
+}
+
+impl AtpgConfig {
+    /// The decision cap actually enforced: `decision_budget` tightened by
+    /// `budget.max_units` when one is set.
+    #[must_use]
+    pub fn effective_decision_budget(&self) -> u64 {
+        match self.budget.max_units {
+            Some(cap) => self.decision_budget.min(cap),
+            None => self.decision_budget,
+        }
+    }
+}
+
+/// Why a test-generation call gave up without a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The decision budget ran out.
+    Decisions,
+    /// The per-fault wall-clock deadline expired.
+    Deadline,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Decisions => write!(f, "decision budget"),
+            AbortReason::Deadline => write!(f, "wall-clock deadline"),
         }
     }
 }
@@ -104,9 +145,12 @@ pub enum AtpgOutcome {
     /// The input space was exhausted without a detecting assignment: the
     /// fault is combinationally redundant (undetectable by any scan test).
     Redundant,
-    /// The decision budget ran out before the search finished; the fault is
-    /// neither detected nor proven redundant.
-    Aborted,
+    /// The search gave up before finishing; the fault is neither detected
+    /// nor proven redundant.
+    Aborted {
+        /// Which budget stopped the search.
+        reason: AbortReason,
+    },
 }
 
 /// Search-effort statistics for one test-generation call.
@@ -204,6 +248,7 @@ pub struct Atpg<'a> {
     c_tests: Counter,
     c_redundant: Counter,
     c_aborted: Counter,
+    c_deadline_aborts: Counter,
 }
 
 impl<'a> Atpg<'a> {
@@ -259,6 +304,7 @@ impl<'a> Atpg<'a> {
             c_tests: obs.counter("atpg.tests"),
             c_redundant: obs.counter("atpg.redundant"),
             c_aborted: obs.counter("atpg.aborted"),
+            c_deadline_aborts: obs.counter("atpg.deadline_aborts"),
         }
     }
 
@@ -279,6 +325,12 @@ impl<'a> Atpg<'a> {
         self.required.fill(Trit::X);
         let mut stack: Vec<Decision> = Vec::new();
         let mut stats = AtpgStats::default();
+        // The per-fault wall-clock cap starts now; `checked_add` collapses
+        // unreachably-far deadlines to "no deadline".
+        let deadline_at = config
+            .budget
+            .deadline
+            .and_then(|d| std::time::Instant::now().checked_add(d));
 
         let feasible =
             !config.use_implications || self.apply_static_implications(fault, &mut stats);
@@ -287,9 +339,11 @@ impl<'a> Atpg<'a> {
             // reaches an output): redundant with zero decisions. This is the
             // FIRE argument replayed per target, so it is exactly as sound as
             // the static prune the property suite cross-checks exhaustively.
+            // A static proof stays sound under any deadline, so it is never
+            // downgraded to an abort.
             AtpgOutcome::Redundant
         } else {
-            self.search(&target, config, &mut stack, &mut stats)
+            self.search(&target, config, deadline_at, &mut stack, &mut stats)
         };
 
         self.c_decisions.add(stats.decisions);
@@ -298,7 +352,15 @@ impl<'a> Atpg<'a> {
         match outcome {
             AtpgOutcome::Test(_) => self.c_tests.inc(),
             AtpgOutcome::Redundant => self.c_redundant.inc(),
-            AtpgOutcome::Aborted => self.c_aborted.inc(),
+            AtpgOutcome::Aborted {
+                reason: AbortReason::Decisions,
+            } => self.c_aborted.inc(),
+            AtpgOutcome::Aborted {
+                reason: AbortReason::Deadline,
+            } => {
+                self.c_aborted.inc();
+                self.c_deadline_aborts.inc();
+            }
         }
         AtpgResult { outcome, stats }
     }
@@ -309,9 +371,11 @@ impl<'a> Atpg<'a> {
         &mut self,
         target: &Target,
         config: &AtpgConfig,
+        deadline_at: Option<std::time::Instant>,
         stack: &mut Vec<Decision>,
         stats: &mut AtpgStats,
     ) -> AtpgOutcome {
+        let budget = config.effective_decision_budget();
         loop {
             self.imply(target);
             if self.detected() {
@@ -325,8 +389,19 @@ impl<'a> Atpg<'a> {
             };
             match objective {
                 Some((net, value)) => {
-                    if stats.decisions >= config.decision_budget {
-                        break AtpgOutcome::Aborted;
+                    // Deadline before decisions: an expired clock wins even
+                    // when the decision budget is also gone. Both aborts are
+                    // sound — redundancy is only ever claimed below, on
+                    // genuine exhaustion of the decision stack.
+                    if deadline_at.is_some_and(|t| std::time::Instant::now() >= t) {
+                        break AtpgOutcome::Aborted {
+                            reason: AbortReason::Deadline,
+                        };
+                    }
+                    if stats.decisions >= budget {
+                        break AtpgOutcome::Aborted {
+                            reason: AbortReason::Decisions,
+                        };
                     }
                     stats.decisions += 1;
                     let (input, input_value) = self.backtrace(net, value, config.heuristic);
@@ -820,8 +895,91 @@ mod tests {
                 ..AtpgConfig::default()
             },
         );
-        assert_eq!(r.outcome, AtpgOutcome::Aborted);
+        assert_eq!(
+            r.outcome,
+            AtpgOutcome::Aborted {
+                reason: AbortReason::Decisions
+            }
+        );
         assert_eq!(r.stats.decisions, 0);
+    }
+
+    #[test]
+    fn max_units_tightens_the_decision_budget() {
+        // budget.max_units acts as an extra decision cap alongside
+        // decision_budget; the tighter of the two wins.
+        let config = AtpgConfig {
+            decision_budget: 100,
+            budget: Budget::unlimited().with_max_units(7),
+            ..AtpgConfig::default()
+        };
+        assert_eq!(config.effective_decision_budget(), 7);
+        let config = AtpgConfig {
+            decision_budget: 3,
+            budget: Budget::unlimited().with_max_units(7),
+            ..AtpgConfig::default()
+        };
+        assert_eq!(config.effective_decision_budget(), 3);
+        assert_eq!(AtpgConfig::default().effective_decision_budget(), 100_000);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_instead_of_claiming_redundancy() {
+        // A zero-second deadline on a *redundant* fault with guidance off:
+        // the search must abort with the deadline reason, never misreport
+        // redundancy it did not prove by exhaustion.
+        let mut b = NetlistBuilder::new(2, 0);
+        let g1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let g2 = b.add_gate(GateKind::Or, &[0, g1]).unwrap();
+        let n = b.finish(vec![g2], vec![]).unwrap();
+        let mut atpg = Atpg::new(&n);
+        let fault = StuckFault {
+            site: FaultSite::Net(g1),
+            stuck_at_one: false,
+        };
+        let r = atpg.generate(
+            &fault,
+            &AtpgConfig {
+                budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+                use_implications: false,
+                ..AtpgConfig::default()
+            },
+        );
+        assert_eq!(
+            r.outcome,
+            AtpgOutcome::Aborted {
+                reason: AbortReason::Deadline
+            }
+        );
+        // With guidance on, the static redundancy proof is sound at any
+        // deadline, so it is kept rather than downgraded to an abort.
+        let r = atpg.generate(
+            &fault,
+            &AtpgConfig {
+                budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+                ..AtpgConfig::default()
+            },
+        );
+        assert_eq!(r.outcome, AtpgOutcome::Redundant);
+    }
+
+    #[test]
+    fn unlimited_deadline_changes_nothing() {
+        let mut b = NetlistBuilder::new(2, 0);
+        let g = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let n = b.finish(vec![g], vec![]).unwrap();
+        let mut atpg = Atpg::new(&n);
+        for fault in faults::enumerate_stuck(&n) {
+            let base = atpg.generate(&fault, &AtpgConfig::default());
+            let capped = atpg.generate(
+                &fault,
+                &AtpgConfig {
+                    budget: Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600)),
+                    ..AtpgConfig::default()
+                },
+            );
+            assert_eq!(base.outcome, capped.outcome);
+        }
     }
 
     #[test]
@@ -888,8 +1046,8 @@ mod tests {
                         true
                     }
                     AtpgOutcome::Redundant => false,
-                    AtpgOutcome::Aborted => {
-                        panic!("{}: aborted", Fault::Stuck(fault).describe(&n))
+                    AtpgOutcome::Aborted { reason } => {
+                        panic!("{}: aborted ({reason})", Fault::Stuck(fault).describe(&n))
                     }
                 };
                 verdicts.push(ok);
@@ -940,8 +1098,8 @@ mod tests {
                         true
                     }
                     AtpgOutcome::Redundant => false,
-                    AtpgOutcome::Aborted => {
-                        panic!("{}: aborted", Fault::Stuck(fault).describe(&n))
+                    AtpgOutcome::Aborted { reason } => {
+                        panic!("{}: aborted ({reason})", Fault::Stuck(fault).describe(&n))
                     }
                 };
                 verdicts.push(ok);

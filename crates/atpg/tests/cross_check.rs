@@ -49,8 +49,8 @@ fn classify_and_check(netlist: &Netlist, context: &str) {
                     describe()
                 );
             }
-            AtpgOutcome::Aborted => {
-                panic!("{}: aborted at default budget", describe());
+            AtpgOutcome::Aborted { reason } => {
+                panic!("{}: aborted ({reason}) at default budget", describe());
             }
         }
     }

@@ -5,8 +5,9 @@
 //! scanft show <circuit> [--kiss]
 //! scanft uio <circuit> [--max-len N]
 //! scanft generate <circuit> [--no-transfer] [--uio-cap N]
+//! scanft simulate <circuit> --tests FILE [--threads N] [--deadline SECS] [--journal FILE] [--resume] [--chaos-seed N]
 //! scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-//! scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
+//! scanft atpg <circuit> [--budget N] [--deadline SECS] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
 //! scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
 //! scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
 //! ```
@@ -18,6 +19,12 @@
 //! `SCANFT_METRICS` environment variable set to a path, `-` for stdout):
 //! after the command finishes, the process-wide `scanft-obs` registry is
 //! exported as JSON lines — one counter, gauge or timer per line.
+//!
+//! Failures exit with a per-class code from
+//! [`scanft_harness::ScanftError::exit_code`]: 2 usage, 3 FSM/KISS2,
+//! 4 I/O, 5 netlist, 6 synthesis, 7 test-file format, 8 journal. Exit 1 is
+//! reserved for "ran and reported a negative result" (`lint` deny
+//! findings); 0 is success.
 
 use std::process::ExitCode;
 
@@ -25,24 +32,27 @@ use scanft_core::flow::{run_flow, FlowConfig};
 use scanft_core::generate::{generate, GenConfig};
 use scanft_fsm::uio::{derive_uios_with, UioConfig};
 use scanft_fsm::{benchmarks, format_input_seq, kiss, StateTable};
+use scanft_harness::{Budget, FailurePlan, JournalWriter, ScanftError};
 use scanft_synth::{synthesize, Encoding, SynthConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = run(&args);
     if let Some(dest) = metrics_destination(&args) {
-        if let Err(message) = export_metrics(&dest) {
-            eprintln!("error: {message}");
-            return ExitCode::from(2);
+        if let Err(err) = export_metrics(&dest) {
+            eprintln!("error[{}]: {err}", err.class());
+            return ExitCode::from(err.exit_code());
         }
     }
     match outcome {
         Ok(code) => code,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::from(2)
+        Err(err) => {
+            eprintln!("error[{}]: {err}", err.class());
+            if matches!(err, ScanftError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -65,13 +75,16 @@ fn metrics_destination(args: &[String]) -> Option<String> {
         .filter(|v| !v.is_empty())
 }
 
-fn export_metrics(dest: &str) -> Result<(), String> {
+fn export_metrics(dest: &str) -> Result<(), ScanftError> {
     let jsonl = scanft_obs::global().to_jsonl();
     if dest == "-" {
         print!("{jsonl}");
         Ok(())
     } else {
-        std::fs::write(dest, jsonl).map_err(|e| format!("writing metrics to {dest}: {e}"))
+        std::fs::write(dest, jsonl).map_err(|e| ScanftError::Io {
+            path: dest.to_owned(),
+            source: e,
+        })
     }
 }
 
@@ -80,9 +93,10 @@ const USAGE: &str = "usage:
   scanft show <circuit> [--kiss]
   scanft uio <circuit> [--max-len N]
   scanft generate <circuit> [--no-transfer] [--uio-cap N] [--out FILE]
-  scanft simulate <circuit> --tests FILE
+  scanft simulate <circuit> --tests FILE [--threads N] [--deadline SECS]
+                  [--journal FILE] [--resume] [--chaos-seed N]
   scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-  scanft atpg <circuit> [--budget N] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
+  scanft atpg <circuit> [--budget N] [--deadline SECS] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
   scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
   scanft dot <circuit>
@@ -91,11 +105,12 @@ const USAGE: &str = "usage:
 (`lint` also accepts BLIF netlist paths). `lint` exits 1 when any deny-level
 diagnostic fires. Any command also accepts --metrics[=FILE] (or
 SCANFT_METRICS=FILE, `-` for stdout) to export the instrumentation registry
-as JSON lines on exit.";
+as JSON lines on exit. Errors exit with a per-class code: 2 usage, 3 fsm,
+4 io, 5 netlist, 6 synth, 7 test-format, 8 journal.";
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, ScanftError> {
     let Some(command) = args.first() else {
-        return Err("missing command".into());
+        return Err(ScanftError::usage("missing command"));
     };
     let rest = &args[1..];
     match command.as_str() {
@@ -109,49 +124,63 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "atpg" => cmd_atpg(rest),
         "synth" => cmd_synth(rest),
         "dot" => cmd_dot(rest),
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(ScanftError::usage(format!("unknown command `{other}`"))),
     }
     .map(|()| ExitCode::SUCCESS)
 }
 
-fn load_circuit(rest: &[String]) -> Result<StateTable, String> {
+fn read_file(path: &str) -> Result<String, ScanftError> {
+    std::fs::read_to_string(path).map_err(|e| ScanftError::Io {
+        path: path.to_owned(),
+        source: e,
+    })
+}
+
+fn write_file(path: &str, contents: String) -> Result<(), ScanftError> {
+    std::fs::write(path, contents).map_err(|e| ScanftError::Io {
+        path: path.to_owned(),
+        source: e,
+    })
+}
+
+fn load_circuit(rest: &[String]) -> Result<StateTable, ScanftError> {
     let name = rest
         .iter()
         .find(|a| !a.starts_with("--"))
-        .ok_or("missing circuit name")?;
+        .ok_or_else(|| ScanftError::usage("missing circuit name"))?;
     if std::path::Path::new(name).exists() {
-        let text = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
+        let text = read_file(name)?;
         return kiss::parse_with(&text, name, kiss::Completion::SelfLoop)
-            .map_err(|e| e.to_string());
+            .map_err(ScanftError::from);
     }
-    benchmarks::build(name).map_err(|e| e.to_string())
+    benchmarks::build(name).map_err(ScanftError::from)
 }
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
 }
 
-fn string_of(rest: &[String], name: &str) -> Result<Option<String>, String> {
+fn string_of(rest: &[String], name: &str) -> Result<Option<String>, ScanftError> {
     let Some(pos) = rest.iter().position(|a| a == name) else {
         return Ok(None);
     };
     rest.get(pos + 1)
         .cloned()
         .map(Some)
-        .ok_or_else(|| format!("{name} needs a value"))
+        .ok_or_else(|| ScanftError::usage(format!("{name} needs a value")))
 }
 
-fn value_of(rest: &[String], name: &str) -> Result<Option<usize>, String> {
+fn value_of(rest: &[String], name: &str) -> Result<Option<usize>, ScanftError> {
     let Some(pos) = rest.iter().position(|a| a == name) else {
         return Ok(None);
     };
     rest.get(pos + 1)
         .and_then(|v| v.parse().ok())
         .map(Some)
-        .ok_or_else(|| format!("{name} needs an integer value"))
+        .ok_or_else(|| ScanftError::usage(format!("{name} needs an integer value")))
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), ScanftError> {
     println!(
         "{:<10} {:>3} {:>7} {:>3} {:>8} {:>7}",
         "circuit", "pi", "states", "sv", "outputs", "trans"
@@ -170,7 +199,7 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_show(rest: &[String]) -> Result<(), String> {
+fn cmd_show(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     if flag(rest, "--kiss") {
         print!("{}", kiss::write(&table));
@@ -180,7 +209,7 @@ fn cmd_show(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_uio(rest: &[String]) -> Result<(), String> {
+fn cmd_uio(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     let max_len = value_of(rest, "--max-len")?.unwrap_or(table.num_state_vars());
     let uios = derive_uios_with(&table, &UioConfig::with_max_len(max_len));
@@ -209,7 +238,7 @@ fn cmd_uio(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(rest: &[String]) -> Result<(), String> {
+fn cmd_generate(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     let uios = derive_uios_with(&table, &UioConfig::with_max_len(table.num_state_vars()));
     let config = GenConfig {
@@ -218,8 +247,7 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
     };
     let set = generate(&table, &uios, &config);
     if let Some(path) = string_of(rest, "--out")? {
-        std::fs::write(&path, scanft_core::io::write_tests(&set, &table))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        write_file(&path, scanft_core::io::write_tests(&set, &table))?;
         println!(
             "wrote {} tests (total length {}) to {path}",
             set.tests.len(),
@@ -251,11 +279,14 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(rest: &[String]) -> Result<(), String> {
+fn cmd_simulate(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
-    let path = string_of(rest, "--tests")?.ok_or("--tests FILE is required")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-    let set = scanft_core::io::parse_tests(&text, &table).map_err(|e| e.to_string())?;
+    let path = string_of(rest, "--tests")?
+        .ok_or_else(|| ScanftError::usage("--tests FILE is required"))?;
+    let text = read_file(&path)?;
+    let set = scanft_core::io::parse_tests(&text, &table).map_err(|e| ScanftError::TestFormat {
+        message: e.to_string(),
+    })?;
     println!(
         "loaded {} tests (total length {}) for {}",
         set.tests.len(),
@@ -264,6 +295,13 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     );
     let circuit = synthesize(&table, &SynthConfig::default());
     let scan_tests = set.to_scan_tests(&circuit);
+    let supervised = ["--threads", "--deadline", "--journal", "--chaos-seed"]
+        .iter()
+        .any(|f| flag(rest, f))
+        || flag(rest, "--resume");
+    if supervised {
+        return simulate_supervised(rest, &table, &circuit, &scan_tests);
+    }
     let bridges = scanft_sim::faults::enumerate_bridging(circuit.netlist(), 3000);
     if bridges.truncated() {
         println!(
@@ -304,7 +342,121 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evaluate(rest: &[String]) -> Result<(), String> {
+/// The resilient stuck-at campaign behind `simulate --threads/--deadline/
+/// --journal/--resume/--chaos-seed`: panic-isolated batches under a budget,
+/// with an append-only checkpoint journal and deterministic chaos injection
+/// for drills.
+fn simulate_supervised(
+    rest: &[String],
+    table: &StateTable,
+    circuit: &scanft_synth::SynthesizedCircuit,
+    scan_tests: &[scanft_sim::ScanTest],
+) -> Result<(), ScanftError> {
+    use scanft_sim::campaign::{self, SupervisedConfig};
+
+    let num_threads = value_of(rest, "--threads")?.unwrap_or(1);
+    if num_threads == 0 {
+        return Err(ScanftError::usage("--threads must be positive"));
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(secs) = value_of(rest, "--deadline")? {
+        budget = budget.with_deadline(std::time::Duration::from_secs(secs as u64));
+    }
+    let journal_path = string_of(rest, "--journal")?;
+    let resume = flag(rest, "--resume");
+    if resume && journal_path.is_none() {
+        return Err(ScanftError::usage("--resume requires --journal FILE"));
+    }
+    let chaos = value_of(rest, "--chaos-seed")?.map(|seed| {
+        scanft_harness::silence_chaos_panics();
+        FailurePlan::new(seed as u64)
+    });
+
+    let stuck = scanft_sim::faults::enumerate_stuck(circuit.netlist());
+    let fault_list = scanft_sim::faults::as_fault_list(&stuck);
+    let order = campaign::decreasing_length_order(scan_tests);
+    let config = SupervisedConfig {
+        num_threads,
+        observe_scan_out: true,
+        budget,
+        label: table.name().to_owned(),
+    };
+
+    let prior = match (&journal_path, resume) {
+        (Some(path), true) => Some(scanft_harness::read_journal_file(path)?),
+        _ => None,
+    };
+    let writer = match &journal_path {
+        Some(path) => {
+            let w = if resume {
+                JournalWriter::append_to(path)?
+            } else {
+                JournalWriter::create(path)?
+            };
+            Some(match &chaos {
+                Some(plan) => w.with_chaos(plan.clone()),
+                None => w,
+            })
+        }
+        None => None,
+    };
+
+    let partial = campaign::run_supervised(
+        circuit.netlist(),
+        scan_tests,
+        &order,
+        &fault_list,
+        &config,
+        writer.as_ref(),
+        prior.as_ref(),
+        chaos.as_ref(),
+    )?;
+
+    println!(
+        "supervised stuck-at campaign for {} ({} faults in {} batches, {} thread{}):",
+        table.name(),
+        fault_list.len(),
+        partial.num_units,
+        num_threads,
+        if num_threads == 1 { "" } else { "s" }
+    );
+    println!(
+        "  completed: {}/{} batches ({} resumed from the journal)",
+        partial.completed_units.len(),
+        partial.num_units,
+        partial.resumed_units.len()
+    );
+    for failure in &partial.quarantined {
+        println!(
+            "  quarantined: batch {} — {}",
+            failure.unit, failure.message
+        );
+    }
+    if let Some(reason) = partial.stopped {
+        println!(
+            "  stopped by {reason}: {} batch(es) remaining",
+            partial.remaining_units.len()
+        );
+    }
+    println!(
+        "  stuck-at: {}/{} detected ({:.2}%{}), {} effective tests",
+        partial.report.detected(),
+        fault_list.len(),
+        partial.coverage_lower_bound_percent(),
+        if partial.is_complete() {
+            ""
+        } else {
+            ", lower bound"
+        },
+        partial.report.effective_tests().len()
+    );
+    if let Some(path) = &journal_path {
+        println!("  journal: {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     let config = FlowConfig {
         gate_level: !flag(rest, "--functional-only"),
@@ -380,7 +532,7 @@ fn cmd_evaluate(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_atpg(rest: &[String]) -> Result<(), String> {
+fn cmd_atpg(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     let synth_config = SynthConfig {
         encoding: if flag(rest, "--gray") {
@@ -401,6 +553,12 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
         decision_budget: value_of(rest, "--budget")?
             .map(|b| b as u64)
             .unwrap_or(scanft_core::top_up::TopUpConfig::default().decision_budget),
+        budget: match value_of(rest, "--deadline")? {
+            Some(secs) => {
+                Budget::unlimited().with_deadline(std::time::Duration::from_secs(secs as u64))
+            }
+            None => Budget::unlimited(),
+        },
         collapse: !flag(rest, "--uncollapsed"),
         use_implications: !flag(rest, "--no-implications"),
         heuristic: if flag(rest, "--level") {
@@ -442,6 +600,11 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
         report.aborted(),
         config.decision_budget
     );
+    if let Some(reason) = report.stopped {
+        println!(
+            "  stopped by {reason}: remaining survivors reported as aborted (coverage is a lower bound)"
+        );
+    }
     println!(
         "  effort: {} decisions, {} backtracks, {} necessary assignments{}",
         report.decisions,
@@ -468,7 +631,7 @@ fn cmd_atpg(rest: &[String]) -> Result<(), String> {
 
 /// Lint levels assembled from repeated `--deny CODE`, `--warn CODE`,
 /// `--allow CODE` overrides on top of the built-in defaults.
-fn lint_levels(rest: &[String]) -> Result<scanft_analyze::LintLevels, String> {
+fn lint_levels(rest: &[String]) -> Result<scanft_analyze::LintLevels, ScanftError> {
     use scanft_analyze::{LintCode, Severity};
     let mut levels = scanft_analyze::LintLevels::default();
     let mut i = 0;
@@ -476,16 +639,16 @@ fn lint_levels(rest: &[String]) -> Result<scanft_analyze::LintLevels, String> {
         if let Some(severity) = Severity::parse(rest[i].trim_start_matches("--")) {
             let name = rest
                 .get(i + 1)
-                .ok_or_else(|| format!("{} needs a lint name", rest[i]))?;
+                .ok_or_else(|| ScanftError::usage(format!("{} needs a lint name", rest[i])))?;
             let code = LintCode::parse(name).ok_or_else(|| {
-                format!(
+                ScanftError::usage(format!(
                     "unknown lint `{name}` (known: {})",
                     scanft_analyze::ALL_LINTS
                         .iter()
                         .map(|c| c.as_str())
                         .collect::<Vec<_>>()
                         .join(", ")
-                )
+                ))
             })?;
             levels.set(code, severity);
             i += 2;
@@ -502,7 +665,7 @@ fn within_gate_budget(table: &StateTable) -> bool {
     table.num_inputs() + table.num_state_vars() <= 10 && table.num_transitions() <= 1024
 }
 
-fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
+fn cmd_lint(rest: &[String]) -> Result<ExitCode, ScanftError> {
     use scanft_analyze::{
         lint_import_error, lint_kiss_source, lint_netlist, lint_state_table, Analysis,
         FsmLintConfig, LintReport, NetlistLintConfig,
@@ -532,7 +695,9 @@ fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
         i += 1;
     }
     if targets.is_empty() {
-        return Err("lint needs at least one circuit (or --all)".into());
+        return Err(ScanftError::usage(
+            "lint needs at least one circuit (or --all)",
+        ));
     }
 
     let netlist_config = NetlistLintConfig {
@@ -569,8 +734,7 @@ fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
         let path = std::path::Path::new(target);
         if path.exists() && target.ends_with(".blif") {
             // BLIF netlist: structural lints only.
-            let text =
-                std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+            let text = read_file(target)?;
             match scanft_netlist::blif::parse(&text) {
                 Ok(netlist) => {
                     let analysis = Analysis::new(&netlist);
@@ -583,8 +747,7 @@ fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
         // KISS2 path or benchmark name: FSM lints, then gate-level lints on
         // the synthesized netlist when the circuit fits the time budget.
         let table = if path.exists() {
-            let text =
-                std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+            let text = read_file(target)?;
             let (table, source_report) = lint_kiss_source(&text, target, &levels);
             emit(target, &source_report);
             match table {
@@ -592,7 +755,7 @@ fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
                 None => continue,
             }
         } else {
-            benchmarks::build(target).map_err(|e| e.to_string())?
+            benchmarks::build(target).map_err(ScanftError::from)?
         };
         emit(target, &lint_state_table(&table, &fsm_config));
         if full || within_gate_budget(&table) {
@@ -625,13 +788,13 @@ fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_dot(rest: &[String]) -> Result<(), String> {
+fn cmd_dot(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     print!("{}", scanft_fsm::dot::to_dot(&table));
     Ok(())
 }
 
-fn cmd_synth(rest: &[String]) -> Result<(), String> {
+fn cmd_synth(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     let config = SynthConfig {
         encoding: if flag(rest, "--gray") {
@@ -655,8 +818,11 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
         );
     } else {
         println!("{}: {}", table.name(), circuit.netlist().stats());
-        scanft_synth::verify_against_table(&circuit, &table, None)
-            .map_err(|m| format!("synthesis self-check failed: {m:?}"))?;
+        scanft_synth::verify_against_table(&circuit, &table, None).map_err(|m| {
+            ScanftError::Synth {
+                message: format!("self-check found a mismatch: {m:?}"),
+            }
+        })?;
         println!("self-check: netlist behaviour matches the state table on all transitions");
     }
     Ok(())

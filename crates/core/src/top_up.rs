@@ -13,7 +13,8 @@
 //!    faults, so one deterministic pattern can drop many targets;
 //! 4. report every fault as functionally detected, ATPG detected, proven
 //!    redundant, or aborted — aborted is the only inconclusive verdict, and
-//!    it only occurs on a decision-budget hit.
+//!    it only occurs on a budget hit (per-fault decision budget, or the
+//!    run-level wall-clock/target-count [`Budget`]).
 //!
 //! The combined test set is the functional set followed by the ATPG
 //! patterns; on an irredundancy-free budget the result covers 100% of the
@@ -22,6 +23,7 @@
 
 use scanft_analyze::{is_statically_untestable_with, Analysis};
 use scanft_atpg::{Atpg, AtpgConfig, AtpgOutcome};
+use scanft_harness::{Budget, StopReason};
 use scanft_netlist::Netlist;
 use scanft_sim::faults::{self, StuckFault};
 use scanft_sim::{campaign, collapse, ScanTest};
@@ -36,6 +38,14 @@ use crate::TestSet;
 pub struct TopUpConfig {
     /// Per-fault PODEM decision budget (see [`AtpgConfig`]).
     pub decision_budget: u64,
+    /// Run-level resource budget: `deadline` caps the wall-clock time of
+    /// the whole ATPG phase (each target also inherits the remaining time
+    /// as its per-fault deadline), `max_units` caps the number of ATPG
+    /// targets attempted. When either trips, the current and remaining
+    /// survivors are reported as [`FaultStatus::Aborted`] — coverage stays
+    /// a sound lower bound. Defaults to unlimited, preserving the
+    /// complete-coverage behaviour.
+    pub budget: Budget,
     /// Whether to collapse the stuck-at universe to equivalence-class
     /// representatives before simulation and generation.
     pub collapse: bool,
@@ -57,6 +67,7 @@ impl Default for TopUpConfig {
     fn default() -> Self {
         TopUpConfig {
             decision_budget: AtpgConfig::default().decision_budget,
+            budget: Budget::unlimited(),
             collapse: true,
             static_prune: true,
             use_implications: true,
@@ -79,7 +90,9 @@ pub enum FaultStatus {
     /// or observability is structurally infinite, so no test exists. Unlike
     /// [`FaultStatus::Redundant`], this verdict costs no search at all.
     StaticallyUntestable,
-    /// PODEM hit its decision budget: neither detected nor proven redundant.
+    /// A budget stopped the search before a verdict: the per-fault decision
+    /// budget, the per-fault wall-clock deadline, or the run-level
+    /// [`TopUpConfig::budget`]. Neither detected nor proven redundant.
     Aborted,
 }
 
@@ -106,6 +119,9 @@ pub struct TopUpReport {
     /// Total necessary input assignments fixed by the implication closure
     /// across all targeted faults (0 when guidance is off).
     pub implications: u64,
+    /// Why the run-level [`TopUpConfig::budget`] stopped the ATPG phase
+    /// early, if it did. `None` on an uninterrupted run.
+    pub stopped: Option<StopReason>,
 }
 
 impl TopUpReport {
@@ -285,11 +301,14 @@ pub fn top_up_scan(
         Some(analysis) => Atpg::with_analysis(netlist, analysis),
         None => Atpg::new(netlist),
     };
-    let atpg_config = AtpgConfig {
+    let base_config = AtpgConfig {
         decision_budget: config.decision_budget,
+        budget: Budget::unlimited(),
         heuristic: config.heuristic,
         use_implications: config.use_implications,
     };
+    let clock = config.budget.start();
+    let mut stopped: Option<StopReason> = None;
     let mut patterns: Vec<ScanTest> = Vec::new();
     let mut pattern_targets: Vec<StuckFault> = Vec::new();
     let mut dropped = 0usize;
@@ -300,6 +319,22 @@ pub fn top_up_scan(
         if status[f].is_some() {
             continue; // dropped by an earlier pattern
         }
+        if let Err(reason) = clock.try_claim() {
+            // Run-level budget exhausted: this target and every remaining
+            // unclassified survivor becomes Aborted below.
+            stopped = Some(reason);
+            break;
+        }
+        // Each target inherits the remaining run time as its per-fault
+        // wall-clock cap, so the last target cannot overshoot the run
+        // deadline by its whole decision budget.
+        let atpg_config = AtpgConfig {
+            budget: match clock.remaining_time() {
+                Some(left) => Budget::unlimited().with_deadline(left),
+                None => Budget::unlimited(),
+            },
+            ..base_config
+        };
         let result = atpg.generate(&targets[f], &atpg_config);
         decisions += result.stats.decisions;
         backtracks += result.stats.backtracks;
@@ -331,18 +366,23 @@ pub fn top_up_scan(
                 patterns.push(test);
             }
             AtpgOutcome::Redundant => status[f] = Some(FaultStatus::Redundant),
-            AtpgOutcome::Aborted => status[f] = Some(FaultStatus::Aborted),
+            AtpgOutcome::Aborted { .. } => status[f] = Some(FaultStatus::Aborted),
         }
     }
 
     obs.counter("core.top_up.patterns")
         .add(patterns.len() as u64);
     obs.counter("core.top_up.dropped").add(dropped as u64);
+    if stopped.is_some() {
+        obs.counter("core.top_up.budget_stops").inc();
+    }
     let report = TopUpReport {
         faults: targets,
         status: status
             .into_iter()
-            .map(|s| s.expect("every fault classified"))
+            // Survivors never reached after a budget stop are inconclusive,
+            // exactly like a per-fault budget hit.
+            .map(|s| s.unwrap_or(FaultStatus::Aborted))
             .collect(),
         atpg_patterns: patterns.len(),
         pattern_targets,
@@ -350,6 +390,7 @@ pub fn top_up_scan(
         decisions,
         backtracks,
         implications,
+        stopped,
     };
     obs.counter("core.top_up.redundant")
         .add(report.proven_redundant() as u64);
@@ -558,5 +599,64 @@ mod tests {
         assert_eq!(report.aborted(), report.faults.len());
         assert!(!report.is_complete());
         assert!((report.coverage_percent() - 0.0).abs() < 1e-12);
+        assert!(report.stopped.is_none(), "per-fault cap is not a run stop");
+    }
+
+    /// A zero-second run-level deadline aborts every survivor before any
+    /// search: no detections are invented, no redundancy is claimed by the
+    /// search, and the stop reason is recorded.
+    #[test]
+    fn zero_second_run_deadline_aborts_cleanly() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let circuit = synthesize(&lion, &SynthConfig::default());
+        let outcome = top_up_scan(
+            circuit.netlist(),
+            &[],
+            &TopUpConfig {
+                budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+                ..TopUpConfig::default()
+            },
+        );
+        let report = &outcome.report;
+        assert_eq!(report.stopped, Some(StopReason::Deadline));
+        assert_eq!(report.detected(), 0);
+        assert_eq!(report.proven_redundant(), 0, "no search ran");
+        assert!(outcome.atpg_patterns().is_empty());
+        assert_eq!(
+            report.aborted() + report.statically_untestable(),
+            report.faults.len(),
+            "static untestability proofs are kept — they are sound at any deadline"
+        );
+        assert!(!report.is_complete());
+    }
+
+    /// `budget.max_units` caps the number of ATPG targets attempted; the
+    /// untouched tail is aborted and the run reports the unit-cap stop.
+    #[test]
+    fn target_cap_stops_after_the_configured_claims() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let circuit = synthesize(&lion, &SynthConfig::default());
+        let unlimited = top_up_scan(circuit.netlist(), &[], &TopUpConfig::default());
+        assert!(unlimited.report.atpg_patterns > 2);
+        let capped = top_up_scan(
+            circuit.netlist(),
+            &[],
+            &TopUpConfig {
+                budget: Budget::unlimited().with_max_units(2),
+                ..TopUpConfig::default()
+            },
+        );
+        let report = &capped.report;
+        assert_eq!(report.stopped, Some(StopReason::UnitCap));
+        assert!(report.atpg_patterns <= 2);
+        assert!(report.aborted() > 0);
+        assert!(!report.is_complete());
+        // Everything the capped run did claim agrees with the full run.
+        assert!(report.detected() <= unlimited.report.detected());
+        for (k, &s) in report.status.iter().enumerate() {
+            if s == FaultStatus::Redundant {
+                assert_eq!(unlimited.report.status[k], FaultStatus::Redundant);
+            }
+        }
     }
 }

@@ -1,0 +1,235 @@
+//! Wall-clock and work-unit budgets for long-running campaigns.
+//!
+//! A [`Budget`] is a passive description — an optional wall-clock deadline
+//! and an optional cap on the number of work units — that costs nothing
+//! until [`Budget::start`] turns it into a running [`BudgetClock`]. The
+//! clock is shared by every worker of a supervised run: each worker claims
+//! its next unit through [`BudgetClock::try_claim`], which refuses with a
+//! [`StopReason`] the moment either limit is reached, so an exhausted
+//! budget can never spin a worker in a busy loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a budgeted run stopped before finishing all of its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The work-unit cap was reached.
+    UnitCap,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Deadline => write!(f, "wall-clock deadline"),
+            StopReason::UnitCap => write!(f, "work-unit cap"),
+        }
+    }
+}
+
+/// A wall-clock deadline plus a work-unit cap, either of which may be
+/// absent. The default budget is unlimited.
+///
+/// What a "unit" means is up to the consumer: the fault-simulation
+/// supervisor counts 64-fault batches, PODEM counts decisions, and the
+/// coverage top-up counts ATPG target faults.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use scanft_harness::Budget;
+///
+/// let budget = Budget::unlimited()
+///     .with_deadline(Duration::from_secs(30))
+///     .with_max_units(1000);
+/// let clock = budget.start();
+/// assert!(clock.try_claim().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock allowance, measured from [`Budget::start`].
+    pub deadline: Option<Duration>,
+    /// Maximum number of work units to claim.
+    pub max_units: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Sets the wall-clock allowance.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the work-unit cap.
+    #[must_use]
+    pub fn with_max_units(mut self, max_units: u64) -> Self {
+        self.max_units = Some(max_units);
+        self
+    }
+
+    /// Whether neither limit is set.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_units.is_none()
+    }
+
+    /// Starts the clock: the deadline is measured from this call.
+    #[must_use]
+    pub fn start(&self) -> BudgetClock {
+        BudgetClock {
+            deadline_at: self.deadline.map(|d| Instant::now() + d),
+            max_units: self.max_units,
+            claimed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A running [`Budget`]: thread-safe, shared by reference across workers.
+#[derive(Debug)]
+pub struct BudgetClock {
+    deadline_at: Option<Instant>,
+    max_units: Option<u64>,
+    claimed: AtomicU64,
+}
+
+impl BudgetClock {
+    /// Claims one work unit, or reports why no more may start.
+    ///
+    /// The deadline is checked first (a zero-duration deadline therefore
+    /// refuses the very first claim), then the unit cap. A refused claim
+    /// does not consume a unit.
+    pub fn try_claim(&self) -> Result<(), StopReason> {
+        if let Some(reason) = self.stop_reason() {
+            return Err(reason);
+        }
+        if let Some(max) = self.max_units {
+            // fetch_update keeps concurrent claims from overshooting the cap.
+            if self
+                .claimed
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < max).then_some(n + 1)
+                })
+                .is_err()
+            {
+                return Err(StopReason::UnitCap);
+            }
+        } else {
+            self.claimed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Whether the budget already forbids further work, without claiming.
+    #[must_use]
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                return Some(StopReason::Deadline);
+            }
+        }
+        if let Some(max) = self.max_units {
+            if self.claimed.load(Ordering::Relaxed) >= max {
+                return Some(StopReason::UnitCap);
+            }
+        }
+        None
+    }
+
+    /// Wall-clock time left before the deadline (`None` when unlimited,
+    /// zero once the deadline has passed).
+    #[must_use]
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline_at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Number of units claimed so far.
+    #[must_use]
+    pub fn claimed(&self) -> u64 {
+        self.claimed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_claims() {
+        let clock = Budget::unlimited().start();
+        for _ in 0..10_000 {
+            assert!(clock.try_claim().is_ok());
+        }
+        assert_eq!(clock.claimed(), 10_000);
+        assert!(clock.stop_reason().is_none());
+        assert!(clock.remaining_time().is_none());
+    }
+
+    #[test]
+    fn unit_cap_refuses_after_cap() {
+        let clock = Budget::unlimited().with_max_units(3).start();
+        assert!(clock.try_claim().is_ok());
+        assert!(clock.try_claim().is_ok());
+        assert!(clock.try_claim().is_ok());
+        assert_eq!(clock.try_claim(), Err(StopReason::UnitCap));
+        assert_eq!(clock.claimed(), 3, "a refused claim consumes nothing");
+    }
+
+    /// The vacuous-deadline edge: a zero-second budget refuses the very
+    /// first claim with `Deadline` instead of panicking or spinning.
+    #[test]
+    fn zero_second_deadline_refuses_immediately() {
+        let clock = Budget::unlimited()
+            .with_deadline(Duration::from_secs(0))
+            .start();
+        assert_eq!(clock.stop_reason(), Some(StopReason::Deadline));
+        assert_eq!(clock.try_claim(), Err(StopReason::Deadline));
+        assert_eq!(clock.claimed(), 0);
+        assert_eq!(clock.remaining_time(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn deadline_checked_before_unit_cap() {
+        let clock = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_max_units(0)
+            .start();
+        assert_eq!(clock.try_claim(), Err(StopReason::Deadline));
+    }
+
+    #[test]
+    fn generous_deadline_claims_fine() {
+        let clock = Budget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .start();
+        assert!(clock.try_claim().is_ok());
+        assert!(clock.remaining_time().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn concurrent_claims_never_overshoot_cap() {
+        let clock = Budget::unlimited().with_max_units(100).start();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| while clock.try_claim().is_ok() {});
+            }
+        });
+        assert_eq!(clock.claimed(), 100);
+    }
+
+    #[test]
+    fn display_names_the_reason() {
+        assert_eq!(StopReason::Deadline.to_string(), "wall-clock deadline");
+        assert_eq!(StopReason::UnitCap.to_string(), "work-unit cap");
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic failure injection for testing every recovery path.
+//!
+//! A [`FailurePlan`] is a pure function from a seed and a unit index to a
+//! set of injected faults: worker panics, artificial delays, and truncated
+//! journal writes. Determinism matters twice over: the same seed reproduces
+//! the same failures regardless of thread scheduling (each decision depends
+//! only on `(seed, domain, index)`), and CI can pin a seed and assert the
+//! exact recovery behaviour forever.
+//!
+//! Injected panics carry a [`ChaosPanic`] payload so the supervisor can
+//! label them distinctly from genuine worker bugs, and so
+//! [`silence_chaos_panics`] can keep the default panic hook from spamming
+//! test output with intentional failures.
+
+use std::time::Duration;
+
+use scanft_fsm::rng::SplitMix64;
+
+/// Domain tags keep the panic/delay/truncation decision streams of one seed
+/// statistically independent of each other.
+const DOMAIN_PANIC: u64 = 0x70616e69_63000000; // "panic"
+const DOMAIN_DELAY: u64 = 0x64656c61_79000000; // "delay"
+const DOMAIN_TRUNC: u64 = 0x7472756e_63000000; // "trunc"
+
+/// Payload of a chaos-injected panic: the work unit it was injected into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPanic {
+    /// The work unit the panic was injected into.
+    pub unit: usize,
+}
+
+/// A seeded, deterministic plan of failures to inject into a supervised
+/// run.
+///
+/// # Examples
+///
+/// ```
+/// use scanft_harness::FailurePlan;
+///
+/// let plan = FailurePlan::new(7);
+/// // Decisions are a pure function of (seed, unit): always reproducible.
+/// assert_eq!(plan.should_panic(3), FailurePlan::new(7).should_panic(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailurePlan {
+    seed: u64,
+    panic_rate: (u64, u64),
+    delay_rate: (u64, u64),
+    max_delay_micros: u64,
+    truncate_rate: (u64, u64),
+}
+
+impl FailurePlan {
+    /// A plan with the default rates: panic 1-in-8 units, delay 1-in-4
+    /// units by up to 500 µs, truncate 1-in-4 journal records.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FailurePlan {
+            seed,
+            panic_rate: (1, 8),
+            delay_rate: (1, 4),
+            max_delay_micros: 500,
+            truncate_rate: (1, 4),
+        }
+    }
+
+    /// Overrides the panic probability to `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn with_panic_rate(mut self, num: u64, den: u64) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        self.panic_rate = (num, den);
+        self
+    }
+
+    /// Overrides the delay probability to `num / den` with delays up to
+    /// `max_micros` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn with_delay_rate(mut self, num: u64, den: u64, max_micros: u64) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        self.delay_rate = (num, den);
+        self.max_delay_micros = max_micros;
+        self
+    }
+
+    /// Overrides the journal-truncation probability to `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn with_truncate_rate(mut self, num: u64, den: u64) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        self.truncate_rate = (num, den);
+        self
+    }
+
+    /// The seed the plan was built from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn rng(&self, domain: u64, index: u64) -> SplitMix64 {
+        let mut rng = SplitMix64::new(self.seed ^ domain);
+        // Burn one output mixed with the index so consecutive indices do
+        // not walk the same underlying SplitMix64 stream.
+        let salt = rng.next_u64() ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SplitMix64::new(salt)
+    }
+
+    /// Whether the worker processing `unit` should panic.
+    #[must_use]
+    pub fn should_panic(&self, unit: usize) -> bool {
+        let (num, den) = self.panic_rate;
+        num > 0 && self.rng(DOMAIN_PANIC, unit as u64).chance(num, den)
+    }
+
+    /// An artificial delay to impose before processing `unit`, if any.
+    #[must_use]
+    pub fn delay(&self, unit: usize) -> Option<Duration> {
+        let (num, den) = self.delay_rate;
+        if num == 0 || self.max_delay_micros == 0 {
+            return None;
+        }
+        let mut rng = self.rng(DOMAIN_DELAY, unit as u64);
+        rng.chance(num, den)
+            .then(|| Duration::from_micros(rng.next_below(self.max_delay_micros) + 1))
+    }
+
+    /// How many bytes of the `record_index`-th journal record (of `len`
+    /// bytes including the newline) should actually reach the sink:
+    /// `Some(prefix)` with `prefix < len` models a torn write, `None`
+    /// writes the record whole.
+    #[must_use]
+    pub fn truncated_write(&self, record_index: u64, len: usize) -> Option<usize> {
+        let (num, den) = self.truncate_rate;
+        if num == 0 || len == 0 {
+            return None;
+        }
+        let mut rng = self.rng(DOMAIN_TRUNC, record_index);
+        rng.chance(num, den)
+            .then(|| rng.next_below(len as u64) as usize)
+    }
+}
+
+/// Installs (once per process) a panic hook that swallows panics carrying a
+/// [`ChaosPanic`] payload and forwards everything else to the previous
+/// hook. Call from tests and chaos drivers so intentional failures do not
+/// flood stderr; genuine panics still print as usual.
+pub fn silence_chaos_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ChaosPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_unit() {
+        let a = FailurePlan::new(42);
+        let b = FailurePlan::new(42);
+        for unit in 0..200 {
+            assert_eq!(a.should_panic(unit), b.should_panic(unit));
+            assert_eq!(a.delay(unit), b.delay(unit));
+            assert_eq!(
+                a.truncated_write(unit as u64, 100),
+                b.truncated_write(unit as u64, 100)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = FailurePlan::new(1).with_panic_rate(1, 2);
+        let b = FailurePlan::new(2).with_panic_rate(1, 2);
+        assert!((0..64).any(|u| a.should_panic(u) != b.should_panic(u)));
+    }
+
+    #[test]
+    fn default_rates_fire_but_not_always() {
+        let plan = FailurePlan::new(1234);
+        let panics = (0..800).filter(|&u| plan.should_panic(u)).count();
+        // 1-in-8 over 800 units: well within [20, 300] with overwhelming
+        // probability, and the bound is deterministic anyway.
+        assert!(panics > 20 && panics < 300, "{panics} panics");
+        let delays = (0..800).filter(|&u| plan.delay(u).is_some()).count();
+        assert!(delays > 80 && delays < 400, "{delays} delays");
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let plan = FailurePlan::new(9)
+            .with_panic_rate(0, 1)
+            .with_delay_rate(0, 1, 0)
+            .with_truncate_rate(0, 1);
+        for unit in 0..100 {
+            assert!(!plan.should_panic(unit));
+            assert!(plan.delay(unit).is_none());
+            assert!(plan.truncated_write(unit as u64, 50).is_none());
+        }
+    }
+
+    #[test]
+    fn truncated_write_is_a_strict_prefix() {
+        let plan = FailurePlan::new(5).with_truncate_rate(1, 1);
+        for index in 0..100 {
+            let len = 80;
+            let cut = plan.truncated_write(index, len);
+            let cut = cut.expect("rate 1/1 always truncates");
+            assert!(cut < len);
+        }
+        assert!(
+            plan.truncated_write(0, 0).is_none(),
+            "empty record untouched"
+        );
+    }
+
+    #[test]
+    fn delays_respect_the_cap() {
+        let plan = FailurePlan::new(77).with_delay_rate(1, 1, 200);
+        for unit in 0..100 {
+            let d = plan.delay(unit).expect("rate 1/1 always delays");
+            assert!(d >= Duration::from_micros(1));
+            assert!(d <= Duration::from_micros(200));
+        }
+    }
+}

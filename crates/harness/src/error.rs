@@ -1,0 +1,205 @@
+//! The workspace-level error taxonomy.
+//!
+//! Before this type existed the binaries threaded ad-hoc `String`s (and in
+//! a few places panics) up to `main`, which flattened every failure to the
+//! same exit code. [`ScanftError`] classifies failures into a small closed
+//! set — usage, FSM/KISS2, I/O, netlist, synthesis, test-file format,
+//! journal — each with its own non-zero exit code, so scripts driving long
+//! campaigns can distinguish "bad flag" from "corrupt checkpoint" without
+//! scraping stderr.
+
+use std::error::Error;
+use std::fmt;
+
+use scanft_fsm::FsmError;
+use scanft_netlist::NetlistError;
+
+/// Every failure class a `scanft` binary can exit with.
+///
+/// The `thiserror` idiom (one enum, `Display` per variant, `source`
+/// chaining, `From` impls) hand-rolled to keep the workspace
+/// dependency-free.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScanftError {
+    /// Bad command line: unknown command, missing operand, malformed flag.
+    Usage(
+        /// What was wrong with the invocation.
+        String,
+    ),
+    /// A state-table failure: KISS2 parse error, unknown benchmark,
+    /// dimension violation.
+    Fsm(
+        /// The underlying FSM error.
+        FsmError,
+    ),
+    /// A filesystem failure, annotated with the path involved.
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A netlist construction or BLIF import failure.
+    Netlist(
+        /// The underlying netlist error.
+        NetlistError,
+    ),
+    /// A synthesis failure (e.g. the netlist/state-table self-check).
+    Synth {
+        /// What went wrong.
+        message: String,
+    },
+    /// A test-file (functional test set) format failure.
+    TestFormat {
+        /// What went wrong, with line context.
+        message: String,
+    },
+    /// A checkpoint-journal failure: missing header, shape mismatch.
+    Journal {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl ScanftError {
+    /// A missing or malformed command-line argument.
+    #[must_use]
+    pub fn usage(message: impl Into<String>) -> Self {
+        ScanftError::Usage(message.into())
+    }
+
+    /// The process exit code for this failure class. Distinct per class and
+    /// never zero; `1` is left to "the command ran and reported a negative
+    /// result" (e.g. `lint` deny findings).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ScanftError::Usage(_) => 2,
+            ScanftError::Fsm(_) => 3,
+            ScanftError::Io { .. } => 4,
+            ScanftError::Netlist(_) => 5,
+            ScanftError::Synth { .. } => 6,
+            ScanftError::TestFormat { .. } => 7,
+            ScanftError::Journal { .. } => 8,
+        }
+    }
+
+    /// A short stable name for the failure class (used in error output so
+    /// the exit code is explicable without a manual).
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            ScanftError::Usage(_) => "usage",
+            ScanftError::Fsm(_) => "fsm",
+            ScanftError::Io { .. } => "io",
+            ScanftError::Netlist(_) => "netlist",
+            ScanftError::Synth { .. } => "synth",
+            ScanftError::TestFormat { .. } => "test-format",
+            ScanftError::Journal { .. } => "journal",
+        }
+    }
+}
+
+impl fmt::Display for ScanftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanftError::Usage(message) => write!(f, "{message}"),
+            ScanftError::Fsm(source) => write!(f, "{source}"),
+            ScanftError::Io { path, source } => write!(f, "{path}: {source}"),
+            ScanftError::Netlist(source) => write!(f, "{source}"),
+            ScanftError::Synth { message } => write!(f, "synthesis failed: {message}"),
+            ScanftError::TestFormat { message } => write!(f, "{message}"),
+            ScanftError::Journal { message } => write!(f, "journal: {message}"),
+        }
+    }
+}
+
+impl Error for ScanftError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScanftError::Fsm(source) => Some(source),
+            ScanftError::Io { source, .. } => Some(source),
+            ScanftError::Netlist(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsmError> for ScanftError {
+    fn from(source: FsmError) -> Self {
+        ScanftError::Fsm(source)
+    }
+}
+
+impl From<NetlistError> for ScanftError {
+    fn from(source: NetlistError) -> Self {
+        ScanftError::Netlist(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<ScanftError> {
+        vec![
+            ScanftError::usage("missing command"),
+            ScanftError::Fsm(FsmError::UnknownCircuit {
+                name: "nope".into(),
+            }),
+            ScanftError::Io {
+                path: "tests.txt".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            },
+            ScanftError::Netlist(NetlistError::BadOutputs {
+                message: "empty".into(),
+            }),
+            ScanftError::Synth {
+                message: "mismatch".into(),
+            },
+            ScanftError::TestFormat {
+                message: "line 3: bad cube".into(),
+            },
+            ScanftError::Journal {
+                message: "no header".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let mut codes: Vec<u8> = all_variants().iter().map(ScanftError::exit_code).collect();
+        assert!(codes.iter().all(|&c| c >= 2), "0 and 1 are reserved");
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all_variants().len(), "codes must be distinct");
+    }
+
+    #[test]
+    fn display_is_nonempty_and_class_is_stable() {
+        for err in all_variants() {
+            assert!(!err.to_string().is_empty());
+            assert!(!err.class().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_impls_and_sources() {
+        let fsm: ScanftError = FsmError::UnknownCircuit { name: "x".into() }.into();
+        assert!(fsm.source().is_some());
+        assert_eq!(fsm.exit_code(), 3);
+        let net: ScanftError = NetlistError::BadOutputs {
+            message: "m".into(),
+        }
+        .into();
+        assert_eq!(net.exit_code(), 5);
+        assert!(ScanftError::usage("u").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScanftError>();
+    }
+}

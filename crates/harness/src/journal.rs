@@ -1,0 +1,512 @@
+//! Append-only JSONL checkpoint journals for resumable campaigns.
+//!
+//! A journal is one header line followed by one line per completed work
+//! unit. Each record stores the unit's result lanes (for a fault-simulation
+//! batch: the detecting-test position per fault lane, `null` when
+//! undetected), so a resumed run can merge finished units without
+//! re-simulating them. The format is deliberately line-oriented: a crash —
+//! or a chaos-injected torn write — can only damage the line being written,
+//! and the reader skips any line that does not parse back into a record,
+//! which at worst re-runs that unit.
+//!
+//! ```text
+//! {"journal":"scanft-campaign","version":1,"label":"lion","faults":120,"units":2,"order":18}
+//! {"unit":0,"lanes":[3,null,7, ...]}
+//! {"unit":1,"lanes":[null,0, ...]}
+//! ```
+//!
+//! Everything is hand-rolled `std`: no serde, in keeping with the
+//! workspace's offline, dependency-free policy.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::chaos::FailurePlan;
+use crate::error::ScanftError;
+
+/// Magic value identifying a campaign journal header line.
+const MAGIC: &str = "scanft-campaign";
+/// Format version, bumped on incompatible record changes.
+const VERSION: u64 = 1;
+
+/// The header line of a journal: enough shape information to refuse
+/// resuming against the wrong circuit, test set, or fault list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Human-readable campaign label (circuit name or file path).
+    pub label: String,
+    /// Number of faults in the campaign.
+    pub faults: usize,
+    /// Number of work units (64-fault batches).
+    pub units: usize,
+    /// Length of the simulated test order.
+    pub order: usize,
+}
+
+impl JournalHeader {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"journal\":\"{MAGIC}\",\"version\":{VERSION},\"label\":\"{}\",\"faults\":{},\"units\":{},\"order\":{}}}",
+            scanft_obs::escape_json_string(&self.label),
+            self.faults,
+            self.units,
+            self.order,
+        )
+    }
+}
+
+/// One completed work unit: its index and the per-lane results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The work-unit index (batch number for fault-simulation campaigns).
+    pub unit: usize,
+    /// Per-lane payload; for campaigns, the detecting-test position or
+    /// `None` for an undetected fault.
+    pub lanes: Vec<Option<u64>>,
+}
+
+impl JournalRecord {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(24 + 4 * self.lanes.len());
+        out.push_str("{\"unit\":");
+        out.push_str(&self.unit.to_string());
+        out.push_str(",\"lanes\":[");
+        for (k, lane) in self.lanes.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            match lane {
+                Some(v) => out.push_str(&v.to_string()),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A parsed journal: the header (if one survived), every intact record, and
+/// a count of damaged lines that were skipped.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// The header line, when present and intact.
+    pub header: Option<JournalHeader>,
+    /// Every record that parsed back intact, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Number of non-empty lines that failed to parse (torn writes).
+    pub skipped_lines: usize,
+}
+
+impl Journal {
+    /// Validates the journal against the shape of the campaign about to be
+    /// resumed. Refuses journals without an intact header and journals
+    /// whose recorded shape differs from `expected` — resuming against the
+    /// wrong circuit would corrupt the merged report.
+    pub fn validate(&self, expected: &JournalHeader) -> Result<(), ScanftError> {
+        let Some(header) = &self.header else {
+            return Err(ScanftError::Journal {
+                message: "journal has no intact header line; refusing to resume".into(),
+            });
+        };
+        if header.faults != expected.faults
+            || header.units != expected.units
+            || header.order != expected.order
+        {
+            return Err(ScanftError::Journal {
+                message: format!(
+                    "journal shape mismatch: journal has {} faults/{} units/order {}, campaign has {}/{}/{}",
+                    header.faults, header.units, header.order,
+                    expected.faults, expected.units, expected.order,
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Parses a journal from its textual contents. Never fails: damaged lines
+/// are counted in [`Journal::skipped_lines`] and otherwise ignored.
+#[must_use]
+pub fn read_journal(text: &str) -> Journal {
+    let mut journal = Journal::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = parse_header(line) {
+            // Last intact header wins; duplicates only arise from manual
+            // concatenation and agree anyway once validated.
+            journal.header = Some(header);
+        } else if let Some(record) = parse_record(line) {
+            journal.records.push(record);
+        } else {
+            journal.skipped_lines += 1;
+        }
+    }
+    journal
+}
+
+/// Reads and parses a journal file.
+pub fn read_journal_file(path: &str) -> Result<Journal, ScanftError> {
+    let text = std::fs::read_to_string(path).map_err(|source| ScanftError::Io {
+        path: path.to_owned(),
+        source,
+    })?;
+    Ok(read_journal(&text))
+}
+
+fn parse_header(line: &str) -> Option<JournalHeader> {
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    if field_str(line, "journal")? != MAGIC || field_u64(line, "version")? != VERSION {
+        return None;
+    }
+    Some(JournalHeader {
+        label: field_str(line, "label")?,
+        faults: usize::try_from(field_u64(line, "faults")?).ok()?,
+        units: usize::try_from(field_u64(line, "units")?).ok()?,
+        order: usize::try_from(field_u64(line, "order")?).ok()?,
+    })
+}
+
+fn parse_record(line: &str) -> Option<JournalRecord> {
+    if !line.starts_with('{') || !line.ends_with("]}") {
+        return None;
+    }
+    let unit = usize::try_from(field_u64(line, "unit")?).ok()?;
+    let start = line.find("\"lanes\":[")? + "\"lanes\":[".len();
+    let body = &line[start..line.len() - 2];
+    let mut lanes = Vec::new();
+    if !body.is_empty() {
+        for item in body.split(',') {
+            match item.trim() {
+                "null" => lanes.push(None),
+                digits => lanes.push(Some(digits.parse::<u64>().ok()?)),
+            }
+        }
+    }
+    Some(JournalRecord { unit, lanes })
+}
+
+/// Extracts an unsigned integer field `"key":123` from a single-line JSON
+/// object.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts a string field `"key":"value"` (unescaping `\"` and `\\`).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pattern = format!("\"{key}\":\"");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+}
+
+enum Sink {
+    File(std::io::BufWriter<std::fs::File>),
+    Memory(Arc<Mutex<Vec<u8>>>),
+}
+
+impl Sink {
+    fn write_all_flush(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            Sink::File(w) => {
+                w.write_all(bytes)?;
+                // Flush every record: the journal's whole purpose is to
+                // survive the process dying mid-campaign.
+                w.flush()
+            }
+            Sink::Memory(buf) => {
+                buf.lock().expect("journal buffer poisoned").extend(bytes);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A thread-safe append-only journal writer.
+///
+/// Workers append completed units concurrently; each record is written and
+/// flushed under one lock so lines never interleave. An attached
+/// [`FailurePlan`] makes the writer tear some record writes (for chaos
+/// testing); the header is always written whole, so a chaos-damaged journal
+/// is still attributable to its campaign.
+pub struct JournalWriter {
+    sink: Mutex<Sink>,
+    records_written: AtomicU64,
+    chaos: Option<FailurePlan>,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("records_written", &self.records_written)
+            .field("chaos", &self.chaos)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal file for a fresh campaign.
+    pub fn create(path: &str) -> Result<Self, ScanftError> {
+        let file = std::fs::File::create(path).map_err(|source| ScanftError::Io {
+            path: path.to_owned(),
+            source,
+        })?;
+        Ok(Self::from_sink(Sink::File(std::io::BufWriter::new(file))))
+    }
+
+    /// Opens a journal file for appending (resume).
+    pub fn append_to(path: &str) -> Result<Self, ScanftError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|source| ScanftError::Io {
+                path: path.to_owned(),
+                source,
+            })?;
+        Ok(Self::from_sink(Sink::File(std::io::BufWriter::new(file))))
+    }
+
+    /// Creates an in-memory journal writer plus a handle to its buffer —
+    /// the property tests' way of exercising resume without touching disk.
+    #[must_use]
+    pub fn in_memory() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        (Self::from_sink(Sink::Memory(Arc::clone(&buffer))), buffer)
+    }
+
+    fn from_sink(sink: Sink) -> Self {
+        JournalWriter {
+            sink: Mutex::new(sink),
+            records_written: AtomicU64::new(0),
+            chaos: None,
+        }
+    }
+
+    /// Attaches a chaos plan: some subsequent record writes will be torn.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FailurePlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Writes the header line (never torn by chaos).
+    pub fn write_header(&self, header: &JournalHeader) -> std::io::Result<()> {
+        let mut line = header.to_json();
+        line.push('\n');
+        self.sink
+            .lock()
+            .expect("journal sink poisoned")
+            .write_all_flush(line.as_bytes())
+    }
+
+    /// Appends one record, possibly torn by the attached chaos plan.
+    pub fn append(&self, record: &JournalRecord) -> std::io::Result<()> {
+        let mut line = record.to_json();
+        line.push('\n');
+        let index = self.records_written.fetch_add(1, Ordering::Relaxed);
+        let bytes = line.as_bytes();
+        let cut = self
+            .chaos
+            .as_ref()
+            .and_then(|plan| plan.truncated_write(index, bytes.len()))
+            .unwrap_or(bytes.len());
+        self.sink
+            .lock()
+            .expect("journal sink poisoned")
+            .write_all_flush(&bytes[..cut])
+    }
+
+    /// Number of records appended so far (torn writes included).
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.records_written.load(Ordering::Relaxed)
+    }
+}
+
+/// Renders an in-memory journal buffer as text for [`read_journal`].
+#[must_use]
+pub fn buffer_contents(buffer: &Arc<Mutex<Vec<u8>>>) -> String {
+    String::from_utf8_lossy(&buffer.lock().expect("journal buffer poisoned")).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            label: "lion".into(),
+            faults: 120,
+            units: 2,
+            order: 18,
+        }
+    }
+
+    #[test]
+    fn round_trip_header_and_records() {
+        let (writer, buffer) = JournalWriter::in_memory();
+        writer.write_header(&header()).unwrap();
+        let r0 = JournalRecord {
+            unit: 0,
+            lanes: vec![Some(3), None, Some(17)],
+        };
+        let r1 = JournalRecord {
+            unit: 1,
+            lanes: vec![None, None],
+        };
+        writer.append(&r0).unwrap();
+        writer.append(&r1).unwrap();
+        let journal = read_journal(&buffer_contents(&buffer));
+        assert_eq!(journal.header, Some(header()));
+        assert_eq!(journal.records, vec![r0, r1]);
+        assert_eq!(journal.skipped_lines, 0);
+        assert!(journal.validate(&header()).is_ok());
+    }
+
+    #[test]
+    fn torn_trailing_record_is_skipped_not_fatal() {
+        let (writer, buffer) = JournalWriter::in_memory();
+        writer.write_header(&header()).unwrap();
+        writer
+            .append(&JournalRecord {
+                unit: 0,
+                lanes: vec![Some(1), None],
+            })
+            .unwrap();
+        // Simulate a crash mid-write by hand-truncating the buffer.
+        {
+            let mut buf = buffer.lock().unwrap();
+            let keep = buf.len();
+            buf.extend(b"{\"unit\":1,\"lanes\":[3,nu");
+            assert!(buf.len() > keep);
+        }
+        let journal = read_journal(&buffer_contents(&buffer));
+        assert_eq!(journal.records.len(), 1);
+        assert_eq!(journal.skipped_lines, 1);
+        assert!(journal.validate(&header()).is_ok());
+    }
+
+    #[test]
+    fn chaos_writer_tears_records_but_never_the_header() {
+        let plan = FailurePlan::new(11).with_truncate_rate(1, 1);
+        let (writer, buffer) = JournalWriter::in_memory();
+        let writer = writer.with_chaos(plan);
+        writer.write_header(&header()).unwrap();
+        for unit in 0..4 {
+            writer
+                .append(&JournalRecord {
+                    unit,
+                    lanes: vec![Some(9); 8],
+                })
+                .unwrap();
+        }
+        let journal = read_journal(&buffer_contents(&buffer));
+        assert_eq!(journal.header, Some(header()), "header survives chaos");
+        assert!(
+            journal.records.len() < 4,
+            "rate-1/1 truncation must damage some records"
+        );
+    }
+
+    #[test]
+    fn validate_refuses_shape_mismatch_and_missing_header() {
+        let (writer, buffer) = JournalWriter::in_memory();
+        writer.write_header(&header()).unwrap();
+        let journal = read_journal(&buffer_contents(&buffer));
+        let mut other = header();
+        other.faults = 64;
+        assert!(matches!(
+            journal.validate(&other),
+            Err(ScanftError::Journal { .. })
+        ));
+
+        let empty = read_journal("");
+        assert!(matches!(
+            empty.validate(&header()),
+            Err(ScanftError::Journal { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_with_quotes_and_backslashes_round_trip() {
+        let tricky = JournalHeader {
+            label: "pa\\th \"x\"".into(),
+            faults: 1,
+            units: 1,
+            order: 1,
+        };
+        let (writer, buffer) = JournalWriter::in_memory();
+        writer.write_header(&tricky).unwrap();
+        let journal = read_journal(&buffer_contents(&buffer));
+        assert_eq!(journal.header, Some(tricky));
+    }
+
+    #[test]
+    fn empty_lanes_and_garbage_lines() {
+        let text = "\n\nnot json\n{\"unit\":5,\"lanes\":[]}\n{\"unit\":bad}\n";
+        let journal = read_journal(text);
+        assert_eq!(
+            journal.records,
+            vec![JournalRecord {
+                unit: 5,
+                lanes: vec![]
+            }]
+        );
+        assert_eq!(journal.skipped_lines, 2);
+    }
+
+    #[test]
+    fn file_round_trip_with_append() {
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!("scanft-journal-test-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        {
+            let writer = JournalWriter::create(&path).unwrap();
+            writer.write_header(&header()).unwrap();
+            writer
+                .append(&JournalRecord {
+                    unit: 0,
+                    lanes: vec![None],
+                })
+                .unwrap();
+        }
+        {
+            let writer = JournalWriter::append_to(&path).unwrap();
+            writer
+                .append(&JournalRecord {
+                    unit: 1,
+                    lanes: vec![Some(2)],
+                })
+                .unwrap();
+        }
+        let journal = read_journal_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(journal.records.len(), 2);
+        assert_eq!(journal.header, Some(header()));
+    }
+}

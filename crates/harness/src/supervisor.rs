@@ -1,0 +1,363 @@
+//! Panic-isolating, budget-aware execution of independent work units.
+//!
+//! [`run_units`] drives a pool of worker threads over a list of unit ids.
+//! Each unit executes under [`std::panic::catch_unwind`]: a panicking unit
+//! is **quarantined** (recorded with its panic message) instead of killing
+//! the worker or the process, and the worker's per-thread state is rebuilt
+//! before the next unit so a poisoned engine can never leak into later
+//! work. A shared [`BudgetClock`] gates every claim, so a deadline or unit
+//! cap stops the fleet promptly and the unclaimed tail is reported as
+//! `remaining` — never silently dropped.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::budget::{Budget, StopReason};
+use crate::chaos::{ChaosPanic, FailurePlan};
+
+/// A quarantined unit: it panicked, and here is what the payload said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitFailure {
+    /// The work-unit id that panicked.
+    pub unit: usize,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+/// What happened to every unit of a supervised run.
+///
+/// The three lists partition the input `units` exactly: every id lands in
+/// `completed`, `quarantined`, or `remaining`. All three are sorted by unit
+/// id, so the outcome is deterministic no matter how threads interleaved.
+#[derive(Debug)]
+pub struct WorkOutcome<T> {
+    /// Units that ran to completion, with their results.
+    pub completed: Vec<(usize, T)>,
+    /// Units whose worker panicked.
+    pub quarantined: Vec<UnitFailure>,
+    /// Units never executed because the budget stopped the run first.
+    pub remaining: Vec<usize>,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopReason>,
+}
+
+impl<T> WorkOutcome<T> {
+    /// Whether every unit completed: nothing quarantined, nothing left.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty() && self.remaining.is_empty()
+    }
+}
+
+/// Renders a panic payload as text, recognizing the chaos marker so
+/// injected failures are distinguishable from genuine bugs.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(chaos) = payload.downcast_ref::<ChaosPanic>() {
+        return format!("chaos-injected panic (unit {})", chaos.unit);
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_owned();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "non-string panic payload".to_owned()
+}
+
+/// Runs `work` over every id in `units` on `num_threads` workers with
+/// panic isolation, budget enforcement, and optional chaos injection.
+///
+/// `init` builds one reusable scratch state per worker (a fault-simulation
+/// engine, say); it is rebuilt after any panic so quarantined units cannot
+/// corrupt later ones. Unit ids must be unique. Results are keyed by unit
+/// id, so the outcome is independent of scheduling whenever all units
+/// complete.
+///
+/// # Panics
+///
+/// Panics if `num_threads` is zero.
+pub fn run_units<S, T, I, F>(
+    units: &[usize],
+    num_threads: usize,
+    budget: &Budget,
+    chaos: Option<&FailurePlan>,
+    init: I,
+    work: F,
+) -> WorkOutcome<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    assert!(num_threads > 0, "num_threads must be positive");
+    let obs = scanft_obs::global();
+    let c_completed = obs.counter("harness.units_completed");
+    let c_quarantined = obs.counter("harness.units_quarantined");
+    let c_chaos_panics = obs.counter("harness.chaos.panics_injected");
+    let c_chaos_delays = obs.counter("harness.chaos.delays_injected");
+
+    let clock = budget.start();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Result<T, String>)>> = Mutex::new(Vec::new());
+    let stopped: Mutex<Option<StopReason>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..num_threads.min(units.len().max(1)) {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&unit) = units.get(k) else {
+                        break;
+                    };
+                    if let Err(reason) = clock.try_claim() {
+                        let mut stop = stopped.lock().expect("stop flag poisoned");
+                        stop.get_or_insert(reason);
+                        break;
+                    }
+                    if let Some(plan) = chaos {
+                        if let Some(delay) = plan.delay(unit) {
+                            c_chaos_delays.inc();
+                            std::thread::sleep(delay);
+                        }
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(plan) = chaos {
+                            if plan.should_panic(unit) {
+                                c_chaos_panics.inc();
+                                std::panic::panic_any(ChaosPanic { unit });
+                            }
+                        }
+                        work(&mut state, unit)
+                    }));
+                    match outcome {
+                        Ok(value) => {
+                            results
+                                .lock()
+                                .expect("results poisoned")
+                                .push((unit, Ok(value)));
+                        }
+                        Err(payload) => {
+                            results
+                                .lock()
+                                .expect("results poisoned")
+                                .push((unit, Err(panic_message(payload.as_ref()))));
+                            // The panic may have left the scratch state
+                            // half-updated; rebuild it from scratch.
+                            state = init();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut completed = Vec::new();
+    let mut quarantined = Vec::new();
+    let mut done = vec![false; units.len()];
+    let position: std::collections::HashMap<usize, usize> = units
+        .iter()
+        .enumerate()
+        .map(|(pos, &unit)| (unit, pos))
+        .collect();
+    for (unit, result) in results.into_inner().expect("results poisoned") {
+        done[position[&unit]] = true;
+        match result {
+            Ok(value) => completed.push((unit, value)),
+            Err(message) => quarantined.push(UnitFailure { unit, message }),
+        }
+    }
+    completed.sort_by_key(|&(unit, _)| unit);
+    quarantined.sort_by_key(|failure| failure.unit);
+    let remaining: Vec<usize> = units
+        .iter()
+        .zip(&done)
+        .filter_map(|(&unit, &d)| (!d).then_some(unit))
+        .collect();
+
+    c_completed.add(completed.len() as u64);
+    c_quarantined.add(quarantined.len() as u64);
+    let stopped = stopped.into_inner().expect("stop flag poisoned");
+    match stopped {
+        Some(StopReason::Deadline) => obs.counter("harness.deadline_hits").inc(),
+        Some(StopReason::UnitCap) => obs.counter("harness.unitcap_hits").inc(),
+        None => {}
+    }
+
+    WorkOutcome {
+        completed,
+        quarantined,
+        remaining,
+        stopped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ids(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn all_units_complete_without_chaos() {
+        for threads in [1, 3, 8] {
+            let outcome = run_units(
+                &ids(20),
+                threads,
+                &Budget::unlimited(),
+                None,
+                || 0u32,
+                |_, unit| unit * 2,
+            );
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.completed.len(), 20);
+            assert!(outcome.stopped.is_none());
+            // Keyed by unit id: deterministic regardless of scheduling.
+            for &(unit, value) in &outcome.completed {
+                assert_eq!(value, unit * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_units_are_quarantined_not_fatal() {
+        crate::chaos::silence_chaos_panics();
+        let outcome = run_units(
+            &ids(10),
+            4,
+            &Budget::unlimited(),
+            None,
+            || (),
+            |(), unit| {
+                assert!(unit != 3 && unit != 7, "boom on unit {unit}");
+                unit
+            },
+        );
+        assert_eq!(outcome.completed.len(), 8);
+        assert_eq!(outcome.quarantined.len(), 2);
+        assert_eq!(outcome.quarantined[0].unit, 3);
+        assert_eq!(outcome.quarantined[1].unit, 7);
+        assert!(outcome.quarantined[0].message.contains("boom on unit 3"));
+        assert!(outcome.remaining.is_empty());
+        assert!(!outcome.is_complete());
+    }
+
+    #[test]
+    fn chaos_panics_quarantine_deterministically() {
+        crate::chaos::silence_chaos_panics();
+        let plan = FailurePlan::new(99).with_panic_rate(1, 3);
+        let expect: Vec<usize> = (0..30).filter(|&u| plan.should_panic(u)).collect();
+        assert!(!expect.is_empty(), "seed 99 must inject something");
+        for threads in [1, 4] {
+            let outcome = run_units(
+                &ids(30),
+                threads,
+                &Budget::unlimited(),
+                Some(&plan),
+                || (),
+                |(), unit| unit,
+            );
+            let got: Vec<usize> = outcome.quarantined.iter().map(|f| f.unit).collect();
+            assert_eq!(got, expect, "threads={threads}");
+            assert!(outcome.quarantined[0].message.contains("chaos-injected"));
+        }
+    }
+
+    #[test]
+    fn state_is_rebuilt_after_a_panic() {
+        crate::chaos::silence_chaos_panics();
+        // Each worker's state counts units since (re)build; a panicking
+        // unit poisons the count, so the rebuild must reset it.
+        let outcome = run_units(
+            &ids(6),
+            1,
+            &Budget::unlimited(),
+            None,
+            || 0usize,
+            |seen, unit| {
+                *seen += 1;
+                assert!(unit != 2, "injected failure");
+                *seen
+            },
+        );
+        // Unit 3 runs right after the panic on unit 2 with a fresh state.
+        let after: Vec<(usize, usize)> = outcome.completed.clone();
+        assert_eq!(after, vec![(0, 1), (1, 2), (3, 1), (4, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn unit_cap_leaves_a_remaining_tail() {
+        let outcome = run_units(
+            &ids(10),
+            1,
+            &Budget::unlimited().with_max_units(4),
+            None,
+            || (),
+            |(), unit| unit,
+        );
+        assert_eq!(outcome.completed.len(), 4);
+        assert_eq!(outcome.remaining, vec![4, 5, 6, 7, 8, 9]);
+        assert_eq!(outcome.stopped, Some(StopReason::UnitCap));
+    }
+
+    /// The vacuous-deadline edge at the supervisor level: a zero-second
+    /// budget completes nothing, quarantines nothing, reports every unit
+    /// remaining, and returns promptly (no busy loop).
+    #[test]
+    fn zero_second_deadline_yields_all_remaining() {
+        let start = std::time::Instant::now();
+        let outcome = run_units(
+            &ids(1000),
+            4,
+            &Budget::unlimited().with_deadline(Duration::ZERO),
+            None,
+            || (),
+            |(), unit| unit,
+        );
+        assert!(outcome.completed.is_empty());
+        assert!(outcome.quarantined.is_empty());
+        assert_eq!(outcome.remaining, ids(1000));
+        assert_eq!(outcome.stopped, Some(StopReason::Deadline));
+        assert!(start.elapsed() < Duration::from_secs(5), "no busy loop");
+    }
+
+    #[test]
+    fn partition_is_exact_under_mixed_failures() {
+        crate::chaos::silence_chaos_panics();
+        let plan = FailurePlan::new(5).with_panic_rate(1, 4);
+        let outcome = run_units(
+            &ids(64),
+            3,
+            &Budget::unlimited().with_max_units(40),
+            Some(&plan),
+            || (),
+            |(), unit| unit,
+        );
+        let mut all: Vec<usize> = outcome
+            .completed
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(outcome.quarantined.iter().map(|f| f.unit))
+            .chain(outcome.remaining.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, ids(64), "every unit lands in exactly one bucket");
+        assert_eq!(
+            outcome.completed.len() + outcome.quarantined.len(),
+            40,
+            "claims stop exactly at the cap"
+        );
+    }
+
+    #[test]
+    fn empty_units_short_circuit() {
+        let outcome = run_units(&[], 4, &Budget::unlimited(), None, || (), |(), unit| unit);
+        assert!(outcome.is_complete());
+        assert!(outcome.completed.is_empty());
+        assert!(outcome.stopped.is_none());
+    }
+}

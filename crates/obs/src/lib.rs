@@ -39,6 +39,16 @@
 //!
 //! Most callers use the process-wide registry via [`global`]; the CLI's
 //! `--metrics` flag exports it after a command finishes.
+//!
+//! # Metric namespaces
+//!
+//! Names are dot-separated, prefixed by the reporting crate or stage:
+//! `fsm.*`, `synth.*`, `sim.campaign.*`, `atpg.*` (including
+//! `atpg.deadline_aborts`), `core.generate.*`, `core.top_up.*` (including
+//! `core.top_up.budget_stops`), and `harness.*` for the resilience layer —
+//! `harness.units_completed`, `harness.units_quarantined`,
+//! `harness.deadline_hits`, `harness.unitcap_hits`, and the
+//! `harness.chaos.*` injection counters.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -8,6 +8,10 @@
 //! operation regardless of its length, so pruning short tests shrinks test
 //! application time most.
 
+use scanft_harness::{
+    run_units, Budget, FailurePlan, Journal, JournalHeader, JournalRecord, JournalWriter,
+    ScanftError, StopReason, UnitFailure,
+};
 use scanft_netlist::Netlist;
 
 use crate::engine::{FaultEngine, InjectionPlan};
@@ -16,7 +20,7 @@ use crate::logic;
 use crate::{ScanResponse, ScanTest};
 
 /// Outcome of simulating an ordered test set against a fault list.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
     /// For each fault (input order), the index *into the simulated order*
     /// of the first test that detects it, or `None` if undetected.
@@ -91,9 +95,17 @@ pub fn run_decreasing_length(
     tests: &[ScanTest],
     faults: &[Fault],
 ) -> CampaignReport {
+    run_ordered(netlist, tests, &decreasing_length_order(tests), faults)
+}
+
+/// The paper's decreasing-length application order: longest test first,
+/// index order breaking ties. Exposed so supervised runs (which need an
+/// explicit, journal-stable order) match [`run_decreasing_length`].
+#[must_use]
+pub fn decreasing_length_order(tests: &[ScanTest]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..tests.len()).collect();
     order.sort_by(|&a, &b| tests[b].len().cmp(&tests[a].len()).then(a.cmp(&b)));
-    run_ordered(netlist, tests, &order, faults)
+    order
 }
 
 /// Simulates tests in an explicit order (indices into `tests`) with fault
@@ -183,6 +195,13 @@ pub fn run_ordered_observing(
 /// over `num_threads` worker threads. Batches are independent (each owns
 /// its lanes), so the result is bit-identical to the sequential runner.
 ///
+/// Runs through the panic-isolating supervisor: a worker panic no longer
+/// aborts the whole campaign (the old behaviour was
+/// `handle.join().expect("worker thread panicked")`). Instead the bad
+/// batch is quarantined and its faults stay undetected, which keeps the
+/// returned coverage a sound lower bound; callers that need to distinguish
+/// quarantined from genuinely undetected faults use [`run_supervised`].
+///
 /// # Panics
 ///
 /// Panics if `num_threads == 0` or `order` references a test out of range.
@@ -195,10 +214,209 @@ pub fn run_parallel(
     observe_scan_out: bool,
     num_threads: usize,
 ) -> CampaignReport {
-    assert!(num_threads > 0, "num_threads must be positive");
     let obs = scanft_obs::global();
     let _span = obs.timer("sim.campaign.parallel").start();
+    let config = SupervisedConfig {
+        num_threads,
+        observe_scan_out,
+        budget: Budget::unlimited(),
+        label: "run_parallel".to_owned(),
+    };
+    run_supervised(netlist, tests, order, faults, &config, None, None, None)
+        .expect("no journal attached, so supervised run cannot fail")
+        .report
+}
+
+/// One 64-fault batch simulated against the ordered test list with fault
+/// dropping; returns the detecting-test position per lane.
+fn run_batch(
+    engine: &mut FaultEngine,
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    order: &[usize],
+    responses: &[Option<ScanResponse>],
+    batch: &[Fault],
+    observe_scan_out: bool,
+) -> Vec<Option<usize>> {
+    let plan = InjectionPlan::new(netlist, batch);
+    let mut local: Vec<Option<usize>> = vec![None; batch.len()];
+    let mut detected: u64 = 0;
+    let all = plan.lane_mask();
+    for (pos, &t) in order.iter().enumerate() {
+        let response = responses[t].as_ref().expect("precomputed");
+        let newly =
+            engine.run_test_observing(&tests[t], response, &plan, detected, observe_scan_out);
+        let mut lanes = newly;
+        while lanes != 0 {
+            let lane = lanes.trailing_zeros() as usize;
+            local[lane] = Some(pos);
+            lanes &= lanes - 1;
+        }
+        detected |= newly;
+        if detected == all {
+            break;
+        }
+    }
+    local
+}
+
+/// Knobs for a supervised campaign run.
+#[derive(Debug, Clone)]
+pub struct SupervisedConfig {
+    /// Number of worker threads (must be positive).
+    pub num_threads: usize,
+    /// Whether faults are observed at the scan-out in addition to the POs.
+    pub observe_scan_out: bool,
+    /// Wall-clock deadline and batch-count cap for this run.
+    pub budget: Budget,
+    /// Human-readable label recorded in the journal header.
+    pub label: String,
+}
+
+impl Default for SupervisedConfig {
+    fn default() -> Self {
+        SupervisedConfig {
+            num_threads: 1,
+            observe_scan_out: true,
+            budget: Budget::unlimited(),
+            label: "campaign".to_owned(),
+        }
+    }
+}
+
+/// Outcome of a supervised (budgeted, panic-isolated, resumable) campaign.
+///
+/// The embedded [`CampaignReport`] is a **sound lower bound**: faults in
+/// quarantined or remaining batches are reported as undetected, never
+/// guessed. When [`PartialReport::is_complete`] holds, the report is
+/// bit-identical to what the uninterrupted sequential runner produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialReport {
+    /// Lower-bound campaign report over the full fault list.
+    pub report: CampaignReport,
+    /// Batch ids that finished (freshly simulated or merged from the
+    /// resume journal), sorted.
+    pub completed_units: Vec<usize>,
+    /// Batch ids merged from the resume journal (subset of
+    /// `completed_units`), sorted.
+    pub resumed_units: Vec<usize>,
+    /// Batches whose worker panicked, with the panic message.
+    pub quarantined: Vec<UnitFailure>,
+    /// Batch ids never simulated because the budget stopped the run.
+    pub remaining_units: Vec<usize>,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopReason>,
+    /// Total number of 64-fault batches in the campaign.
+    pub num_units: usize,
+}
+
+impl PartialReport {
+    /// Whether every batch completed: nothing quarantined, nothing left.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty() && self.remaining_units.is_empty()
+    }
+
+    /// Detected-over-all-faults coverage in percent. Quarantined and
+    /// remaining faults count as undetected, so this is a sound lower
+    /// bound on the true coverage.
+    #[must_use]
+    pub fn coverage_lower_bound_percent(&self) -> f64 {
+        self.report.coverage_percent()
+    }
+
+    /// The full report, only when the campaign actually completed.
+    #[must_use]
+    pub fn into_complete(self) -> Option<CampaignReport> {
+        self.is_complete().then_some(self.report)
+    }
+
+    /// Number of faults whose verdict is still unknown (they sit in a
+    /// quarantined or remaining batch).
+    #[must_use]
+    pub fn faults_unresolved(&self) -> usize {
+        let num_faults = self.report.num_faults();
+        self.quarantined
+            .iter()
+            .map(|f| f.unit)
+            .chain(self.remaining_units.iter().copied())
+            .map(|unit| (num_faults - unit * 64).min(64))
+            .sum()
+    }
+}
+
+/// Runs a campaign under the resilient supervisor: 64-fault batches with
+/// panic quarantine, an enforced [`Budget`], an optional append-only
+/// checkpoint journal, resume from a previously written journal, and
+/// optional chaos injection.
+///
+/// Journaling writes one header line plus one record per completed batch
+/// (flushed immediately, so a killed process loses at most the record
+/// being written). `resume_from` merges intact records of a prior journal
+/// — validated against this campaign's shape — and re-simulates only the
+/// missing batches; a resumed-and-completed run is bit-identical to an
+/// uninterrupted one.
+///
+/// # Errors
+///
+/// Returns [`ScanftError::Journal`] when the resume journal does not match
+/// this campaign or a journal write fails.
+///
+/// # Panics
+///
+/// Panics if `config.num_threads == 0` or `order` references a test out of
+/// range.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised(
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    order: &[usize],
+    faults: &[Fault],
+    config: &SupervisedConfig,
+    journal: Option<&JournalWriter>,
+    resume_from: Option<&Journal>,
+    chaos: Option<&FailurePlan>,
+) -> Result<PartialReport, ScanftError> {
+    assert!(config.num_threads > 0, "num_threads must be positive");
+    let obs = scanft_obs::global();
+    let _span = obs.timer("sim.campaign.supervised").start();
     obs.counter("sim.campaign.faults").add(faults.len() as u64);
+
+    let batches: Vec<&[Fault]> = faults.chunks(64).collect();
+    let num_units = batches.len();
+    let header = JournalHeader {
+        label: config.label.clone(),
+        faults: faults.len(),
+        units: num_units,
+        order: order.len(),
+    };
+
+    // Merge intact, shape-correct records of the resume journal; anything
+    // damaged is simply re-simulated.
+    let mut prior: Vec<Option<&JournalRecord>> = vec![None; num_units];
+    if let Some(journal) = resume_from {
+        journal.validate(&header)?;
+        for record in &journal.records {
+            if record.unit < num_units && record.lanes.len() == batches[record.unit].len() {
+                // Last record wins; duplicates can only disagree if the
+                // journal was tampered with, and simulation re-derives the
+                // truth for any unit we refuse here.
+                prior[record.unit] = Some(record);
+            }
+        }
+    }
+    let resumed_units: Vec<usize> = (0..num_units).filter(|&u| prior[u].is_some()).collect();
+    obs.counter("sim.campaign.units_resumed")
+        .add(resumed_units.len() as u64);
+
+    if let (Some(writer), None) = (journal, resume_from) {
+        writer
+            .write_header(&header)
+            .map_err(|e| ScanftError::Journal {
+                message: format!("writing journal header: {e}"),
+            })?;
+    }
+
     // Fault-free responses, computed once up front and shared read-only.
     let mut responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
     for &t in order {
@@ -207,80 +425,84 @@ pub fn run_parallel(
         }
     }
 
-    let batches: Vec<(usize, &[Fault])> = faults
-        .chunks(64)
-        .enumerate()
-        .map(|(i, b)| (i * 64, b))
-        .collect();
-    let next_batch = std::sync::atomic::AtomicUsize::new(0);
-    let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for worker in 0..num_threads.min(batches.len().max(1)) {
-            let batches = &batches;
-            let next_batch = &next_batch;
-            let responses = &responses;
-            let batches_run = obs.counter("sim.campaign.batches");
-            let thread_batches =
-                obs.counter(&format!("sim.campaign.parallel.thread{worker}.batches"));
-            handles.push(scope.spawn(move || {
-                let mut engine = FaultEngine::new(netlist);
-                let mut results: Vec<(usize, Vec<Option<usize>>)> = Vec::new();
-                loop {
-                    let k = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(batch_start, batch)) = batches.get(k) else {
-                        break;
-                    };
-                    batches_run.inc();
-                    thread_batches.inc();
-                    let plan = InjectionPlan::new(netlist, batch);
-                    let mut local: Vec<Option<usize>> = vec![None; batch.len()];
-                    let mut detected: u64 = 0;
-                    let all = plan.lane_mask();
-                    for (pos, &t) in order.iter().enumerate() {
-                        let response = responses[t].as_ref().expect("precomputed");
-                        let newly = engine.run_test_observing(
-                            &tests[t],
-                            response,
-                            &plan,
-                            detected,
-                            observe_scan_out,
-                        );
-                        let mut lanes = newly;
-                        while lanes != 0 {
-                            let lane = lanes.trailing_zeros() as usize;
-                            local[lane] = Some(pos);
-                            lanes &= lanes - 1;
-                        }
-                        detected |= newly;
-                        if detected == all {
-                            break;
-                        }
-                    }
-                    results.push((batch_start, local));
-                }
-                results
-            }));
-        }
-        for handle in handles {
-            for (batch_start, local) in handle.join().expect("worker thread panicked") {
-                for (lane, verdict) in local.into_iter().enumerate() {
-                    detecting_test[batch_start + lane] = verdict;
+    let pending: Vec<usize> = (0..num_units).filter(|&u| prior[u].is_none()).collect();
+    let batches_run = obs.counter("sim.campaign.batches");
+    let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let outcome = run_units(
+        &pending,
+        config.num_threads,
+        &config.budget,
+        chaos,
+        || FaultEngine::new(netlist),
+        |engine, unit| {
+            batches_run.inc();
+            let local = run_batch(
+                engine,
+                netlist,
+                tests,
+                order,
+                &responses,
+                batches[unit],
+                config.observe_scan_out,
+            );
+            if let Some(writer) = journal {
+                let record = JournalRecord {
+                    unit,
+                    lanes: local.iter().map(|d| d.map(|p| p as u64)).collect(),
+                };
+                if let Err(e) = writer.append(&record) {
+                    journal_error
+                        .lock()
+                        .expect("journal error flag poisoned")
+                        .get_or_insert_with(|| e.to_string());
                 }
             }
+            local
+        },
+    );
+    if let Some(message) = journal_error
+        .into_inner()
+        .expect("journal error flag poisoned")
+    {
+        return Err(ScanftError::Journal {
+            message: format!("writing journal record: {message}"),
+        });
+    }
+
+    let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
+    for (unit, record) in prior.iter().enumerate() {
+        if let Some(record) = record {
+            for (lane, &pos) in record.lanes.iter().enumerate() {
+                detecting_test[unit * 64 + lane] = pos.map(|p| p as usize);
+            }
         }
-    });
+    }
+    let mut completed_units = resumed_units.clone();
+    for (unit, local) in &outcome.completed {
+        completed_units.push(*unit);
+        for (lane, &verdict) in local.iter().enumerate() {
+            detecting_test[unit * 64 + lane] = verdict;
+        }
+    }
+    completed_units.sort_unstable();
 
     let mut new_detections = vec![0usize; order.len()];
     for d in detecting_test.iter().flatten() {
         new_detections[*d] += 1;
     }
-    CampaignReport {
-        detecting_test,
-        order: order.to_vec(),
-        new_detections,
-    }
+    Ok(PartialReport {
+        report: CampaignReport {
+            detecting_test,
+            order: order.to_vec(),
+            new_detections,
+        },
+        completed_units,
+        resumed_units,
+        quarantined: outcome.quarantined,
+        remaining_units: outcome.remaining,
+        stopped: outcome.stopped,
+        num_units,
+    })
 }
 
 /// Per-test row of an effectiveness table (Table 3 of the paper).
@@ -467,5 +689,173 @@ mod tests {
                 "fault {f}"
             );
         }
+    }
+
+    fn lion_campaign() -> (
+        scanft_synth::SynthesizedCircuit,
+        Vec<ScanTest>,
+        Vec<usize>,
+        Vec<Fault>,
+    ) {
+        let (c, tests) = lion_setup();
+        let stuck = faults::enumerate_stuck(c.netlist());
+        let list = faults::as_fault_list(&stuck);
+        let order: Vec<usize> = (0..tests.len()).collect();
+        (c, tests, order, list)
+    }
+
+    #[test]
+    fn supervised_complete_run_matches_sequential() {
+        let (c, tests, order, list) = lion_campaign();
+        let sequential = run_ordered(c.netlist(), &tests, &order, &list);
+        let config = SupervisedConfig {
+            num_threads: 2,
+            ..SupervisedConfig::default()
+        };
+        let partial = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &config,
+            None,
+            None,
+            None,
+        )
+        .expect("no journal involved");
+        assert!(partial.is_complete());
+        assert!(partial.stopped.is_none());
+        assert_eq!(partial.resumed_units, Vec::<usize>::new());
+        assert_eq!(partial.completed_units.len(), partial.num_units);
+        assert_eq!(partial.into_complete().expect("complete"), sequential);
+    }
+
+    #[test]
+    fn supervised_zero_second_budget_is_cleanly_empty() {
+        // The vacuous-deadline edge: nothing simulated, nothing quarantined,
+        // every batch remaining, coverage lower bound 0%.
+        let (c, tests, order, list) = lion_campaign();
+        let config = SupervisedConfig {
+            num_threads: 2,
+            budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+            ..SupervisedConfig::default()
+        };
+        let partial = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &config,
+            None,
+            None,
+            None,
+        )
+        .expect("no journal involved");
+        assert!(partial.completed_units.is_empty());
+        assert!(partial.quarantined.is_empty());
+        assert_eq!(partial.remaining_units.len(), partial.num_units);
+        assert_eq!(partial.stopped, Some(StopReason::Deadline));
+        assert_eq!(partial.report.detected(), 0);
+        assert!(partial.coverage_lower_bound_percent().abs() < 1e-12);
+        assert_eq!(partial.faults_unresolved(), list.len());
+        assert!(partial.into_complete().is_none());
+    }
+
+    #[test]
+    fn supervised_journal_then_resume_is_bit_identical() {
+        let (c, tests, order, list) = lion_campaign();
+        let uninterrupted = run_ordered(c.netlist(), &tests, &order, &list);
+        let config = SupervisedConfig {
+            num_threads: 2,
+            // Stop after one batch so the journal is genuinely partial.
+            budget: Budget::unlimited().with_max_units(1),
+            ..SupervisedConfig::default()
+        };
+        let (writer, buffer) = JournalWriter::in_memory();
+        let first = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &config,
+            Some(&writer),
+            None,
+            None,
+        )
+        .expect("journal write to memory");
+        assert_eq!(first.completed_units.len(), 1);
+        assert!(!first.remaining_units.is_empty());
+
+        let journal = scanft_harness::read_journal(&scanft_harness::buffer_contents(&buffer));
+        assert_eq!(journal.records.len(), 1);
+        let resumed_config = SupervisedConfig {
+            num_threads: 2,
+            ..SupervisedConfig::default()
+        };
+        let resumed = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &resumed_config,
+            None,
+            Some(&journal),
+            None,
+        )
+        .expect("resume");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed_units, first.completed_units);
+        assert_eq!(resumed.into_complete().expect("complete"), uninterrupted);
+    }
+
+    #[test]
+    fn supervised_resume_refuses_mismatched_journal() {
+        let (c, tests, order, list) = lion_campaign();
+        let (writer, buffer) = JournalWriter::in_memory();
+        writer
+            .write_header(&JournalHeader {
+                label: "other".to_owned(),
+                faults: list.len() + 1,
+                units: 9,
+                order: order.len(),
+            })
+            .expect("memory write");
+        let journal = scanft_harness::read_journal(&scanft_harness::buffer_contents(&buffer));
+        let err = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &SupervisedConfig::default(),
+            None,
+            Some(&journal),
+            None,
+        )
+        .expect_err("shape mismatch must refuse");
+        assert!(matches!(err, ScanftError::Journal { .. }));
+    }
+
+    #[test]
+    fn supervised_quarantine_keeps_coverage_a_lower_bound() {
+        scanft_harness::silence_chaos_panics();
+        let (c, tests, order, list) = lion_campaign();
+        let sequential = run_ordered(c.netlist(), &tests, &order, &list);
+        // Panic on every unit: coverage must be exactly zero, never invented.
+        let plan = FailurePlan::new(7).with_panic_rate(1, 1);
+        let partial = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &SupervisedConfig::default(),
+            None,
+            None,
+            Some(&plan),
+        )
+        .expect("no journal involved");
+        assert!(partial.completed_units.is_empty());
+        assert_eq!(partial.quarantined.len(), partial.num_units);
+        assert_eq!(partial.report.detected(), 0);
+        assert!(partial.coverage_lower_bound_percent() <= sequential.coverage_percent());
     }
 }
