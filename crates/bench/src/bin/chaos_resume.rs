@@ -68,6 +68,7 @@ fn config(label: &str, threads: usize, budget: Budget) -> SupervisedConfig {
         observe_scan_out: true,
         budget,
         label: label.to_owned(),
+        kernel: scanft_sim::campaign::Kernel::Narrow,
     }
 }
 

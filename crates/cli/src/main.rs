@@ -5,7 +5,7 @@
 //! scanft show <circuit> [--kiss]
 //! scanft uio <circuit> [--max-len N]
 //! scanft generate <circuit> [--no-transfer] [--uio-cap N]
-//! scanft simulate <circuit> --tests FILE [--threads N] [--deadline SECS] [--journal FILE] [--resume] [--chaos-seed N]
+//! scanft simulate <circuit> --tests FILE [--threads N] [--deadline SECS] [--journal FILE] [--resume] [--chaos-seed N] [--kernel narrow|wide]
 //! scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
 //! scanft atpg <circuit> [--budget N] [--deadline SECS] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
 //! scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
@@ -95,6 +95,7 @@ const USAGE: &str = "usage:
   scanft generate <circuit> [--no-transfer] [--uio-cap N] [--out FILE]
   scanft simulate <circuit> --tests FILE [--threads N] [--deadline SECS]
                   [--journal FILE] [--resume] [--chaos-seed N]
+                  [--kernel narrow|wide]
   scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
   scanft atpg <circuit> [--budget N] [--deadline SECS] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
@@ -295,9 +296,15 @@ fn cmd_simulate(rest: &[String]) -> Result<(), ScanftError> {
     );
     let circuit = synthesize(&table, &SynthConfig::default());
     let scan_tests = set.to_scan_tests(&circuit);
-    let supervised = ["--threads", "--deadline", "--journal", "--chaos-seed"]
-        .iter()
-        .any(|f| flag(rest, f))
+    let supervised = [
+        "--threads",
+        "--deadline",
+        "--journal",
+        "--chaos-seed",
+        "--kernel",
+    ]
+    .iter()
+    .any(|f| flag(rest, f))
         || flag(rest, "--resume");
     if supervised {
         return simulate_supervised(rest, &table, &circuit, &scan_tests);
@@ -352,12 +359,17 @@ fn simulate_supervised(
     circuit: &scanft_synth::SynthesizedCircuit,
     scan_tests: &[scanft_sim::ScanTest],
 ) -> Result<(), ScanftError> {
-    use scanft_sim::campaign::{self, SupervisedConfig};
+    use scanft_sim::campaign::{self, Kernel, SupervisedConfig};
 
     let num_threads = value_of(rest, "--threads")?.unwrap_or(1);
     if num_threads == 0 {
         return Err(ScanftError::usage("--threads must be positive"));
     }
+    let kernel = match string_of(rest, "--kernel")? {
+        None => Kernel::Narrow,
+        Some(value) => Kernel::from_flag(&value)
+            .ok_or_else(|| ScanftError::usage("--kernel must be `narrow` or `wide`"))?,
+    };
     let mut budget = Budget::unlimited();
     if let Some(secs) = value_of(rest, "--deadline")? {
         budget = budget.with_deadline(std::time::Duration::from_secs(secs as u64));
@@ -380,6 +392,7 @@ fn simulate_supervised(
         observe_scan_out: true,
         budget,
         label: table.name().to_owned(),
+        kernel,
     };
 
     let prior = match (&journal_path, resume) {

@@ -10,7 +10,7 @@
 //! which at worst re-runs that unit.
 //!
 //! ```text
-//! {"journal":"scanft-campaign","version":1,"label":"lion","faults":120,"units":2,"order":18}
+//! {"journal":"scanft-campaign","version":1,"label":"lion","faults":120,"units":2,"order":18,"lanes_per_unit":64}
 //! {"unit":0,"lanes":[3,null,7, ...]}
 //! {"unit":1,"lanes":[null,0, ...]}
 //! ```
@@ -42,16 +42,23 @@ pub struct JournalHeader {
     pub units: usize,
     /// Length of the simulated test order.
     pub order: usize,
+    /// Fault lanes per work unit. Campaigns always journal 64-lane units
+    /// regardless of the simulation kernel's word width, so a journal
+    /// written by one kernel resumes bit-identically under another; the
+    /// field is recorded (and checked on resume) to keep that invariant
+    /// explicit.
+    pub lanes_per_unit: usize,
 }
 
 impl JournalHeader {
     fn to_json(&self) -> String {
         format!(
-            "{{\"journal\":\"{MAGIC}\",\"version\":{VERSION},\"label\":\"{}\",\"faults\":{},\"units\":{},\"order\":{}}}",
+            "{{\"journal\":\"{MAGIC}\",\"version\":{VERSION},\"label\":\"{}\",\"faults\":{},\"units\":{},\"order\":{},\"lanes_per_unit\":{}}}",
             scanft_obs::escape_json_string(&self.label),
             self.faults,
             self.units,
             self.order,
+            self.lanes_per_unit,
         )
     }
 }
@@ -112,12 +119,13 @@ impl Journal {
         if header.faults != expected.faults
             || header.units != expected.units
             || header.order != expected.order
+            || header.lanes_per_unit != expected.lanes_per_unit
         {
             return Err(ScanftError::Journal {
                 message: format!(
-                    "journal shape mismatch: journal has {} faults/{} units/order {}, campaign has {}/{}/{}",
-                    header.faults, header.units, header.order,
-                    expected.faults, expected.units, expected.order,
+                    "journal shape mismatch: journal has {} faults/{} units/order {}/{} lanes per unit, campaign has {}/{}/{}/{}",
+                    header.faults, header.units, header.order, header.lanes_per_unit,
+                    expected.faults, expected.units, expected.order, expected.lanes_per_unit,
                 ),
             });
         }
@@ -169,6 +177,8 @@ fn parse_header(line: &str) -> Option<JournalHeader> {
         faults: usize::try_from(field_u64(line, "faults")?).ok()?,
         units: usize::try_from(field_u64(line, "units")?).ok()?,
         order: usize::try_from(field_u64(line, "order")?).ok()?,
+        // Journals written before the field existed are all 64-lane.
+        lanes_per_unit: usize::try_from(field_u64(line, "lanes_per_unit").unwrap_or(64)).ok()?,
     })
 }
 
@@ -362,6 +372,7 @@ mod tests {
             faults: 120,
             units: 2,
             order: 18,
+            lanes_per_unit: 64,
         }
     }
 
@@ -457,11 +468,21 @@ mod tests {
             faults: 1,
             units: 1,
             order: 1,
+            lanes_per_unit: 64,
         };
         let (writer, buffer) = JournalWriter::in_memory();
         writer.write_header(&tricky).unwrap();
         let journal = read_journal(&buffer_contents(&buffer));
         assert_eq!(journal.header, Some(tricky));
+    }
+
+    #[test]
+    fn legacy_header_without_lanes_per_unit_defaults_to_64() {
+        // Journals written before the field existed must keep resuming.
+        let text = "{\"journal\":\"scanft-campaign\",\"version\":1,\"label\":\"lion\",\"faults\":120,\"units\":2,\"order\":18}\n";
+        let journal = read_journal(text);
+        assert_eq!(journal.header, Some(header()));
+        assert!(journal.validate(&header()).is_ok());
     }
 
     #[test]

@@ -35,14 +35,18 @@
 
 pub mod blif;
 
+mod arena;
 mod builder;
+mod cones;
 mod dominators;
 mod dot;
 mod error;
 mod net;
 mod reach;
 
+pub use arena::GateArena;
 pub use builder::NetlistBuilder;
+pub use cones::FaultCone;
 pub use dominators::PostDominators;
 pub use dot::to_dot;
 pub use error::NetlistError;

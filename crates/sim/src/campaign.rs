@@ -8,16 +8,61 @@
 //! operation regardless of its length, so pruning short tests shrinks test
 //! application time most.
 
+use std::sync::Arc;
+
 use scanft_harness::{
     run_units, Budget, FailurePlan, Journal, JournalHeader, JournalRecord, JournalWriter,
     ScanftError, StopReason, UnitFailure,
 };
-use scanft_netlist::Netlist;
+use scanft_netlist::{GateArena, Netlist};
 
 use crate::engine::{FaultEngine, InjectionPlan};
 use crate::faults::Fault;
-use crate::logic;
+use crate::logic::{self, Evaluator, GoodTrace};
+use crate::word::{for_each_lane, LaneWord, W256};
 use crate::{ScanResponse, ScanTest};
+
+/// Number of 64-lane journal slots covered by one wide (256-lane) batch.
+const WIDE_SLOTS: usize = W256::LANES / 64;
+
+/// Which simulation kernel a supervised campaign runs on.
+///
+/// Both kernels produce bit-identical detection verdicts (the wide kernel's
+/// lane `l` behaves exactly like the narrow kernel's lane `l % 64`), and
+/// both journal 64-lane units, so checkpoints written by one kernel resume
+/// under the other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Kernel {
+    /// 64 faults per pass, full netlist re-evaluation per cycle. The
+    /// differential oracle.
+    #[default]
+    Narrow,
+    /// 256 faults per pass with cone-restricted, event-driven evaluation
+    /// (PPSFP): only gates inside the batch's fault cones whose fanins
+    /// deviate from the precomputed fault-free trace are re-evaluated.
+    Wide,
+}
+
+impl Kernel {
+    /// Parses a `--kernel=` flag value.
+    #[must_use]
+    pub fn from_flag(value: &str) -> Option<Self> {
+        match value {
+            "narrow" => Some(Kernel::Narrow),
+            "wide" => Some(Kernel::Wide),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`narrow` / `wide`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Narrow => "narrow",
+            Kernel::Wide => "wide",
+        }
+    }
+}
 
 /// Outcome of simulating an ordered test set against a fault list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +198,11 @@ pub fn run_ordered_observing(
     let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
     let mut engine = FaultEngine::new(netlist);
     for (batch_start, batch) in faults.chunks(64).enumerate().map(|(i, b)| (i * 64, b)) {
+        if batch.is_empty() {
+            // Empty batches used to run a full (vacuous) simulation pass;
+            // skip them outright.
+            continue;
+        }
         batches_run.inc();
         let plan = InjectionPlan::new(netlist, batch);
         let mut detected: u64 = 0;
@@ -180,6 +230,88 @@ pub fn run_ordered_observing(
         }
     }
 
+    obs.counter("sim.kernel.gate_evals")
+        .add(engine.take_gate_evals());
+    let mut new_detections = vec![0usize; order.len()];
+    for d in detecting_test.iter().flatten() {
+        new_detections[*d] += 1;
+    }
+    CampaignReport {
+        detecting_test,
+        order: order.to_vec(),
+        new_detections,
+    }
+}
+
+/// Sequential campaign on the **wide kernel**: 256-fault batches evaluated
+/// event-driven against precomputed fault-free traces (PPSFP). Produces a
+/// report bit-identical to [`run_ordered_observing`] — the per-lane
+/// simulations are independent, so batch width and cone restriction cannot
+/// change any verdict — at a fraction of the gate evaluations.
+///
+/// # Panics
+///
+/// Panics if `order` references a test out of range.
+#[must_use]
+pub fn run_ordered_wide(
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    order: &[usize],
+    faults: &[Fault],
+    observe_scan_out: bool,
+) -> CampaignReport {
+    let obs = scanft_obs::global();
+    let _span = obs.timer("sim.campaign.run_wide").start();
+    obs.counter("sim.campaign.faults").add(faults.len() as u64);
+    let batches_run = obs.counter("sim.campaign.batches");
+    let tests_simulated = obs.counter("sim.campaign.tests_simulated");
+    let tests_skipped = obs.counter("sim.campaign.tests_skipped");
+
+    let arena = Arc::new(GateArena::build(netlist));
+    // Fault-free traces, recorded once per referenced test and shared by
+    // every batch.
+    let mut traces: Vec<Option<GoodTrace>> = vec![None; tests.len()];
+    {
+        let mut evaluator = Evaluator::with_arena(netlist, Arc::clone(&arena));
+        for &t in order {
+            if traces[t].is_none() {
+                traces[t] = Some(evaluator.record_trace(&tests[t]));
+            }
+        }
+    }
+
+    let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut engine = FaultEngine::<W256>::with_arena(netlist, Arc::clone(&arena));
+    for (batch_start, batch) in faults
+        .chunks(W256::LANES)
+        .enumerate()
+        .map(|(i, b)| (i * W256::LANES, b))
+    {
+        if batch.is_empty() {
+            continue;
+        }
+        batches_run.inc();
+        let plan = InjectionPlan::<W256>::event_driven(netlist, &arena, batch);
+        let mut detected = W256::zero();
+        let all = plan.lane_mask();
+        for (pos, &t) in order.iter().enumerate() {
+            let trace = traces[t].as_ref().expect("trace precomputed");
+            tests_simulated.inc();
+            let newly =
+                engine.run_test_event_driven(&tests[t], trace, &plan, detected, observe_scan_out);
+            if !newly.is_zero() {
+                for_each_lane(newly, |lane| detecting_test[batch_start + lane] = Some(pos));
+                detected |= newly;
+            }
+            if detected == all {
+                tests_skipped.add((order.len() - pos - 1) as u64);
+                break;
+            }
+        }
+    }
+
+    obs.counter("sim.kernel.gate_evals")
+        .add(engine.take_gate_evals());
     let mut new_detections = vec![0usize; order.len()];
     for d in detecting_test.iter().flatten() {
         new_detections[*d] += 1;
@@ -221,6 +353,7 @@ pub fn run_parallel(
         observe_scan_out,
         budget: Budget::unlimited(),
         label: "run_parallel".to_owned(),
+        kernel: Kernel::Narrow,
     };
     run_supervised(netlist, tests, order, faults, &config, None, None, None)
         .expect("no journal attached, so supervised run cannot fail")
@@ -238,6 +371,12 @@ fn run_batch(
     batch: &[Fault],
     observe_scan_out: bool,
 ) -> Vec<Option<usize>> {
+    if batch.is_empty() {
+        // `InjectionPlan` over zero faults has an all-zero lane mask, which
+        // the detection loop used to treat as "already done" only after a
+        // full simulation pass. Return without touching the engine.
+        return Vec::new();
+    }
     let plan = InjectionPlan::new(netlist, batch);
     let mut local: Vec<Option<usize>> = vec![None; batch.len()];
     let mut detected: u64 = 0;
@@ -271,6 +410,9 @@ pub struct SupervisedConfig {
     pub budget: Budget,
     /// Human-readable label recorded in the journal header.
     pub label: String,
+    /// Which simulation kernel to run on. Verdicts and journal layout are
+    /// identical across kernels; only throughput differs.
+    pub kernel: Kernel,
 }
 
 impl Default for SupervisedConfig {
@@ -280,6 +422,7 @@ impl Default for SupervisedConfig {
             observe_scan_out: true,
             budget: Budget::unlimited(),
             label: "campaign".to_owned(),
+            kernel: Kernel::Narrow,
         }
     }
 }
@@ -389,6 +532,7 @@ pub fn run_supervised(
         faults: faults.len(),
         units: num_units,
         order: order.len(),
+        lanes_per_unit: 64,
     };
 
     // Merge intact, shape-correct records of the resume journal; anything
@@ -417,49 +561,167 @@ pub fn run_supervised(
             })?;
     }
 
-    // Fault-free responses, computed once up front and shared read-only.
-    let mut responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
-    for &t in order {
-        if responses[t].is_none() {
-            responses[t] = Some(logic::simulate(netlist, &tests[t]));
-        }
-    }
-
     let pending: Vec<usize> = (0..num_units).filter(|&u| prior[u].is_none()).collect();
     let batches_run = obs.counter("sim.campaign.batches");
+    let gate_evals = obs.counter("sim.kernel.gate_evals");
     let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
-    let outcome = run_units(
-        &pending,
-        config.num_threads,
-        &config.budget,
-        chaos,
-        || FaultEngine::new(netlist),
-        |engine, unit| {
-            batches_run.inc();
-            let local = run_batch(
-                engine,
-                netlist,
-                tests,
-                order,
-                &responses,
-                batches[unit],
-                config.observe_scan_out,
-            );
-            if let Some(writer) = journal {
-                let record = JournalRecord {
-                    unit,
-                    lanes: local.iter().map(|d| d.map(|p| p as u64)).collect(),
-                };
-                if let Err(e) = writer.append(&record) {
-                    journal_error
-                        .lock()
-                        .expect("journal error flag poisoned")
-                        .get_or_insert_with(|| e.to_string());
+    let append_record = |unit: usize, lanes: &[Option<usize>]| {
+        if let Some(writer) = journal {
+            let record = JournalRecord {
+                unit,
+                lanes: lanes.iter().map(|d| d.map(|p| p as u64)).collect(),
+            };
+            if let Err(e) = writer.append(&record) {
+                journal_error
+                    .lock()
+                    .expect("journal error flag poisoned")
+                    .get_or_insert_with(|| e.to_string());
+            }
+        }
+    };
+
+    // Both kernels journal 64-lane units; the wide kernel simulates
+    // four-unit "super batches" and splits each into per-unit records, so a
+    // checkpoint written by one kernel resumes under the other.
+    let (fresh, quarantined, remaining_units, stopped) = match config.kernel {
+        Kernel::Narrow => {
+            // Fault-free responses, computed once up front and shared
+            // read-only.
+            let mut responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
+            for &t in order {
+                if responses[t].is_none() {
+                    responses[t] = Some(logic::simulate(netlist, &tests[t]));
                 }
             }
-            local
-        },
-    );
+            let outcome = run_units(
+                &pending,
+                config.num_threads,
+                &config.budget,
+                chaos,
+                || FaultEngine::new(netlist),
+                |engine, unit| {
+                    batches_run.inc();
+                    let local = run_batch(
+                        engine,
+                        netlist,
+                        tests,
+                        order,
+                        &responses,
+                        batches[unit],
+                        config.observe_scan_out,
+                    );
+                    gate_evals.add(engine.take_gate_evals());
+                    append_record(unit, &local);
+                    local
+                },
+            );
+            (
+                outcome.completed,
+                outcome.quarantined,
+                outcome.remaining,
+                outcome.stopped,
+            )
+        }
+        Kernel::Wide => {
+            let arena = Arc::new(GateArena::build(netlist));
+            let mut traces: Vec<Option<GoodTrace>> = vec![None; tests.len()];
+            {
+                let mut evaluator = Evaluator::with_arena(netlist, Arc::clone(&arena));
+                for &t in order {
+                    if traces[t].is_none() {
+                        traces[t] = Some(evaluator.record_trace(&tests[t]));
+                    }
+                }
+            }
+            let num_supers = num_units.div_ceil(WIDE_SLOTS);
+            let supers: Vec<usize> = (0..num_supers)
+                .filter(|&s| {
+                    (s * WIDE_SLOTS..((s + 1) * WIDE_SLOTS).min(num_units))
+                        .any(|slot| prior[slot].is_none())
+                })
+                .collect();
+            let prior = &prior;
+            let outcome = run_units(
+                &supers,
+                config.num_threads,
+                &config.budget,
+                chaos,
+                || FaultEngine::<W256>::with_arena(netlist, Arc::clone(&arena)),
+                |engine, s| {
+                    let slot_lo = s * WIDE_SLOTS;
+                    let slot_hi = (slot_lo + WIDE_SLOTS).min(num_units);
+                    let batch = &faults[slot_lo * 64..(slot_hi * 64).min(faults.len())];
+                    batches_run.inc();
+                    let plan = InjectionPlan::<W256>::event_driven(netlist, &arena, batch);
+                    // Lanes of already-journaled units stay skipped: they
+                    // quiesce to fault-free values and cost no events.
+                    let mut skip = W256::zero();
+                    for (offset, done) in prior[slot_lo..slot_hi].iter().enumerate() {
+                        if done.is_some() {
+                            skip |= slot_mask(offset);
+                        }
+                    }
+                    let all = plan.lane_mask();
+                    let mut detected = skip & all;
+                    let mut local: Vec<Option<usize>> = vec![None; batch.len()];
+                    for (pos, &t) in order.iter().enumerate() {
+                        let trace = traces[t].as_ref().expect("trace precomputed");
+                        let newly = engine.run_test_event_driven(
+                            &tests[t],
+                            trace,
+                            &plan,
+                            detected,
+                            config.observe_scan_out,
+                        );
+                        if !newly.is_zero() {
+                            for_each_lane(newly, |lane| local[lane] = Some(pos));
+                            detected |= newly;
+                        }
+                        if detected == all {
+                            break;
+                        }
+                    }
+                    gate_evals.add(engine.take_gate_evals());
+                    let mut out: Vec<(usize, Vec<Option<usize>>)> = Vec::new();
+                    for (offset, done) in prior[slot_lo..slot_hi].iter().enumerate() {
+                        if done.is_some() {
+                            continue;
+                        }
+                        let slot = slot_lo + offset;
+                        let lane_lo = offset * 64;
+                        let lane_hi = (lane_lo + 64).min(batch.len());
+                        let verdicts = local[lane_lo..lane_hi].to_vec();
+                        append_record(slot, &verdicts);
+                        out.push((slot, verdicts));
+                    }
+                    out
+                },
+            );
+            let fresh: Vec<(usize, Vec<Option<usize>>)> = outcome
+                .completed
+                .into_iter()
+                .flat_map(|(_, locals)| locals)
+                .collect();
+            let expand = |s: usize| {
+                (s * WIDE_SLOTS..((s + 1) * WIDE_SLOTS).min(num_units))
+                    .filter(|&slot| prior[slot].is_none())
+            };
+            let quarantined: Vec<UnitFailure> = outcome
+                .quarantined
+                .into_iter()
+                .flat_map(|f| {
+                    let message = f.message;
+                    expand(f.unit).map(move |slot| UnitFailure {
+                        unit: slot,
+                        message: message.clone(),
+                    })
+                })
+                .collect();
+            let remaining: Vec<usize> =
+                outcome.remaining.iter().copied().flat_map(expand).collect();
+            (fresh, quarantined, remaining, outcome.stopped)
+        }
+    };
     if let Some(message) = journal_error
         .into_inner()
         .expect("journal error flag poisoned")
@@ -478,7 +740,7 @@ pub fn run_supervised(
         }
     }
     let mut completed_units = resumed_units.clone();
-    for (unit, local) in &outcome.completed {
+    for (unit, local) in &fresh {
         completed_units.push(*unit);
         for (lane, &verdict) in local.iter().enumerate() {
             detecting_test[unit * 64 + lane] = verdict;
@@ -498,11 +760,18 @@ pub fn run_supervised(
         },
         completed_units,
         resumed_units,
-        quarantined: outcome.quarantined,
-        remaining_units: outcome.remaining,
-        stopped: outcome.stopped,
+        quarantined,
+        remaining_units,
+        stopped,
         num_units,
     })
+}
+
+/// All-ones mask for the 64 lanes of the given slot within a wide word.
+fn slot_mask(slot: usize) -> W256 {
+    let mut limbs = [0u64; W256::LIMBS];
+    limbs[slot] = u64::MAX;
+    W256(limbs)
 }
 
 /// Per-test row of an effectiveness table (Table 3 of the paper).
@@ -818,6 +1087,7 @@ mod tests {
                 faults: list.len() + 1,
                 units: 9,
                 order: order.len(),
+                lanes_per_unit: 64,
             })
             .expect("memory write");
         let journal = scanft_harness::read_journal(&scanft_harness::buffer_contents(&buffer));
@@ -833,6 +1103,119 @@ mod tests {
         )
         .expect_err("shape mismatch must refuse");
         assert!(matches!(err, ScanftError::Journal { .. }));
+    }
+
+    #[test]
+    fn empty_batch_runs_no_simulation() {
+        // Regression: an empty batch used to run a full (vacuous)
+        // simulation pass before noticing its all-zero lane mask.
+        let (c, tests, order, _) = lion_campaign();
+        let mut engine = FaultEngine::new(c.netlist());
+        let verdicts = run_batch(&mut engine, c.netlist(), &tests, &order, &[], &[], true);
+        assert!(verdicts.is_empty());
+        assert_eq!(engine.gate_evals(), 0, "empty batch must not simulate");
+    }
+
+    #[test]
+    fn wide_sequential_matches_narrow() {
+        // The differential oracle: the wide event-driven kernel must agree
+        // with the narrow full-resimulation kernel verdict-for-verdict.
+        let (c, tests, order, list) = lion_campaign();
+        for observe in [true, false] {
+            let narrow = run_ordered_observing(c.netlist(), &tests, &order, &list, observe);
+            let wide = run_ordered_wide(c.netlist(), &tests, &order, &list, observe);
+            assert_eq!(wide.detecting_test, narrow.detecting_test, "{observe}");
+            assert_eq!(wide.new_detections, narrow.new_detections);
+        }
+    }
+
+    #[test]
+    fn wide_supervised_matches_narrow_and_journals_64_lane_units() {
+        let (c, tests, order, list) = lion_campaign();
+        let sequential = run_ordered(c.netlist(), &tests, &order, &list);
+        let config = SupervisedConfig {
+            num_threads: 2,
+            kernel: Kernel::Wide,
+            ..SupervisedConfig::default()
+        };
+        let (writer, buffer) = JournalWriter::in_memory();
+        let partial = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &config,
+            Some(&writer),
+            None,
+            None,
+        )
+        .expect("journal write to memory");
+        assert!(partial.is_complete());
+        assert_eq!(partial.into_complete().expect("complete"), sequential);
+        // Wide super-batches still journal one 64-lane record per unit, so
+        // narrow runs can resume from this checkpoint (and vice versa).
+        let journal = scanft_harness::read_journal(&scanft_harness::buffer_contents(&buffer));
+        assert_eq!(journal.records.len(), list.len().div_ceil(64));
+        for record in &journal.records {
+            assert!(record.lanes.len() <= 64);
+        }
+    }
+
+    #[test]
+    fn wide_resume_from_narrow_journal_is_bit_identical() {
+        // Cross-kernel resume: a checkpoint written by the narrow kernel
+        // continues under the wide kernel (journaled units become skipped
+        // lanes in the super batch) with bit-identical results.
+        let (c, tests, order, list) = lion_campaign();
+        let uninterrupted = run_ordered(c.netlist(), &tests, &order, &list);
+        let narrow_config = SupervisedConfig {
+            budget: Budget::unlimited().with_max_units(1),
+            ..SupervisedConfig::default()
+        };
+        let (writer, buffer) = JournalWriter::in_memory();
+        let first = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &narrow_config,
+            Some(&writer),
+            None,
+            None,
+        )
+        .expect("journal write to memory");
+        assert_eq!(first.completed_units.len(), 1);
+        assert!(!first.remaining_units.is_empty());
+
+        let journal = scanft_harness::read_journal(&scanft_harness::buffer_contents(&buffer));
+        let wide_config = SupervisedConfig {
+            kernel: Kernel::Wide,
+            ..SupervisedConfig::default()
+        };
+        let resumed = run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &wide_config,
+            None,
+            Some(&journal),
+            None,
+        )
+        .expect("resume");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed_units, first.completed_units);
+        assert_eq!(resumed.into_complete().expect("complete"), uninterrupted);
+    }
+
+    #[test]
+    fn kernel_flag_round_trips() {
+        assert_eq!(Kernel::from_flag("narrow"), Some(Kernel::Narrow));
+        assert_eq!(Kernel::from_flag("wide"), Some(Kernel::Wide));
+        assert_eq!(Kernel::from_flag("256"), None);
+        assert_eq!(Kernel::Narrow.name(), "narrow");
+        assert_eq!(Kernel::Wide.name(), "wide");
+        assert_eq!(Kernel::default(), Kernel::Narrow);
     }
 
     #[test]

@@ -1,13 +1,19 @@
-//! 64-way fault-parallel scan-test simulation.
+//! Lane-parallel fault simulation (64- and 256-way).
 //!
-//! The engine simulates up to 64 faults simultaneously: every net carries a
-//! 64-bit word whose lane `l` is the value under fault `l` of the current
-//! batch. Faulty next-state words feed the next cycle's present-state lines,
-//! so faulty-state propagation across the cycles of a test — the effect that
-//! makes multi-transition functional tests interesting — is captured
-//! per lane. A fault is detected when its lane differs from the fault-free
-//! response at a primary output in any cycle, or in the scanned-out final
-//! state (exactly the paper's observation model).
+//! The engine simulates one fault per bit lane of a [`LaneWord`]: with the
+//! default `u64` word a batch holds 64 faults, with [`crate::word::W256`]
+//! 256. Every net carries a lane word whose lane `l` is the value under
+//! fault `l` of the current batch. Faulty next-state words feed the next
+//! cycle's present-state lines, so faulty-state propagation across the
+//! cycles of a test — the effect that makes multi-transition functional
+//! tests interesting — is captured per lane. A fault is detected when its
+//! lane differs from the fault-free response at a primary output in any
+//! cycle, or in the scanned-out final state (exactly the paper's
+//! observation model).
+//!
+//! Evaluation walks the netlist's flattened [`GateArena`] (contiguous
+//! fanins, `u32` indices, level-ordered schedule), shared via `Arc` by all
+//! engines of a campaign.
 //!
 //! # Injection
 //!
@@ -21,11 +27,28 @@
 //!   depends on the bridge, so evaluating the netlist **twice** per cycle
 //!   yields exact values: the first pass settles both driven values, the
 //!   second re-derives every consumer from the bridged readings.
+//!
+//! # Event-driven PPSFP
+//!
+//! For stuck-only batches, [`InjectionPlan::event_driven`] additionally
+//! computes the union of the batch's [`FaultCone`]s and
+//! [`FaultEngine::run_test_event_driven`] evaluates **only** the gates in
+//! that union, reading every other net's value from a precomputed
+//! fault-free [`GoodTrace`]. Within the cone a dirty-net worklist skips
+//! gates none of whose fanins deviate from the trace, so unperturbed (or
+//! already-detected) lanes cost nothing. Soundness: a net outside the cone
+//! union provably carries the fault-free value in every lane (the cone is
+//! closed under structural fanout *and* the scan boundary), and a cone
+//! gate with clean fanins, no stem force and no branch force reproduces the
+//! fault-free output exactly — so skipping it cannot change any lane.
 
-use scanft_netlist::{NetId, Netlist};
+use std::sync::Arc;
+
+use scanft_netlist::{FaultCone, GateArena, NetId, Netlist};
 
 use crate::faults::{BridgeKind, Fault, FaultSite};
-use crate::logic::eval_gate;
+use crate::logic::{eval_gate_fanins, eval_gate_scratch, GoodTrace};
+use crate::word::LaneWord;
 use crate::{ScanResponse, ScanTest};
 
 // Delay-fault modelling note: a gross transition-delay fault on net `n`
@@ -44,76 +67,123 @@ use crate::{ScanResponse, ScanTest};
 
 /// Lane-masked forcing of a value word.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct Force {
-    to_zero: u64,
-    to_one: u64,
+struct Force<W: LaneWord> {
+    to_zero: W,
+    to_one: W,
 }
 
-impl Force {
-    fn apply(self, word: u64) -> u64 {
+impl<W: LaneWord> Force<W> {
+    fn apply(self, word: W) -> W {
         (word | self.to_one) & !self.to_zero
     }
 
     fn is_noop(self) -> bool {
-        self.to_zero == 0 && self.to_one == 0
+        self.to_zero.is_zero() && self.to_one.is_zero()
+    }
+
+    /// The force restricted to the lanes of `live`. The event-driven path
+    /// masks every force so dropped lanes quiesce to fault-free values —
+    /// observationally equivalent (detection is masked by `live` anyway)
+    /// and strictly cheaper, since quiesced lanes stop generating events.
+    fn masked(self, live: W) -> Force<W> {
+        Force {
+            to_zero: self.to_zero & live,
+            to_one: self.to_one & live,
+        }
     }
 }
 
 /// A bridge tap attached to one net: lanes in `mask` read the wired value
 /// of (this net, `partner`) instead of the driven value.
 #[derive(Debug, Clone, Copy)]
-struct BridgeTap {
+struct BridgeTap<W: LaneWord> {
     partner: NetId,
-    mask: u64,
+    mask: W,
     kind: BridgeKind,
 }
 
 /// A delay-fault attachment to one net: lanes in `rise_mask` are
 /// slow-to-rise, lanes in `fall_mask` slow-to-fall.
 #[derive(Debug, Clone, Copy)]
-struct DelaySite {
+struct DelaySite<W: LaneWord> {
     net: NetId,
-    rise_mask: u64,
-    fall_mask: u64,
+    rise_mask: W,
+    fall_mask: W,
 }
 
-/// Prepared lane-parallel injection for a batch of at most 64 faults.
+/// Prepared lane-parallel injection for a batch of at most `W::LANES`
+/// faults (64 for the narrow kernel, 256 for the wide one).
 #[derive(Debug, Clone)]
-pub struct InjectionPlan {
+pub struct InjectionPlan<W: LaneWord = u64> {
     num_faults: usize,
-    stem: Vec<Force>,
-    /// Branch forces keyed by (gate, pin); linear scan is fine — batches
-    /// rarely contain more than a handful.
-    branch: Vec<(u32, u32, Force)>,
-    /// Per-net bridge taps (empty vectors for untapped nets).
-    taps: Vec<Vec<BridgeTap>>,
+    stem: Vec<Force<W>>,
+    /// Branch forces sorted by (gate, pin) and indexed by `branch_start`,
+    /// so the per-gate lookup is a dense slice instead of a linear scan of
+    /// the whole batch.
+    branch: Vec<(u32, u32, Force<W>)>,
+    /// CSR offsets into `branch` per gate (`num_gates + 1` entries); empty
+    /// when the batch has no branch faults.
+    branch_start: Vec<u32>,
+    /// Bridge taps sorted by net and indexed by `tap_start`.
+    taps: Vec<BridgeTap<W>>,
+    /// CSR offsets into `taps` per net (`num_nets + 1` entries); empty when
+    /// the batch has no bridging faults, making the common case branch-free.
+    tap_start: Vec<u32>,
     /// Delay-faulted nets of the batch.
-    delays: Vec<DelaySite>,
+    delays: Vec<DelaySite<W>>,
     has_bridges: bool,
+    /// Union of the batch's fault cones (stuck-only batches built via
+    /// [`InjectionPlan::event_driven`]); `None` forces full re-evaluation.
+    cone: Option<FaultCone>,
+    /// PI indices carrying a stem force — the only PIs the event-driven
+    /// path must reload per cycle.
+    forced_pis: Vec<u32>,
+    /// Per-gate position inside `cone.gates` (`u32::MAX` for gates outside
+    /// the cone); only populated alongside `cone`. The worklist orders
+    /// events by this position, which is topological.
+    cone_pos: Vec<u32>,
+    /// Cone positions of gates carrying a stem or branch force — the
+    /// worklist seeds, re-filtered per run against the live-lane mask.
+    force_gates: Vec<u32>,
 }
 
-impl InjectionPlan {
-    /// Builds the injection plan for `faults` (one lane each).
+impl InjectionPlan<u64> {
+    /// Builds the narrow (64-lane) injection plan for `faults`.
     ///
     /// # Panics
     ///
     /// Panics if more than 64 faults are supplied.
     #[must_use]
     pub fn new(netlist: &Netlist, faults: &[Fault]) -> Self {
-        assert!(faults.len() <= 64, "a batch holds at most 64 faults");
-        let mut plan = InjectionPlan {
-            num_faults: faults.len(),
-            stem: vec![Force::default(); netlist.num_nets()],
-            branch: Vec::new(),
-            taps: vec![Vec::new(); netlist.num_nets()],
-            delays: Vec::new(),
-            has_bridges: false,
-        };
+        InjectionPlan::build(netlist, faults)
+    }
+}
+
+impl<W: LaneWord> InjectionPlan<W> {
+    /// Builds the injection plan for `faults` (one lane each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `W::LANES` faults are supplied.
+    #[must_use]
+    pub fn build(netlist: &Netlist, faults: &[Fault]) -> Self {
+        assert!(
+            faults.len() <= W::LANES,
+            "a batch holds at most {} faults",
+            W::LANES
+        );
+        let num_nets = netlist.num_nets();
+        let mut stem = vec![Force::<W>::default(); num_nets];
+        let mut raw_branch: Vec<(u32, u32, Force<W>)> = Vec::new();
+        let mut raw_taps: Vec<(NetId, BridgeTap<W>)> = Vec::new();
+        let mut delays: Vec<DelaySite<W>> = Vec::new();
+        let mut has_bridges = false;
+
         for (lane, fault) in faults.iter().enumerate() {
-            let mask = 1u64 << lane;
+            let mask = W::lane_bit(lane);
             match *fault {
                 Fault::Stuck(f) => {
-                    let force = |slot: &mut Force| {
+                    let force = |slot: &mut Force<W>| {
                         if f.stuck_at_one {
                             slot.to_one |= mask;
                         } else {
@@ -121,51 +191,34 @@ impl InjectionPlan {
                         }
                     };
                     match f.site {
-                        FaultSite::Net(net) => force(&mut plan.stem[net as usize]),
+                        FaultSite::Net(net) => force(&mut stem[net as usize]),
                         FaultSite::Branch { gate, pin } => {
-                            if let Some(entry) = plan
-                                .branch
-                                .iter_mut()
-                                .find(|(g, p, _)| *g == gate && *p == pin)
-                            {
-                                force(&mut entry.2);
-                            } else {
-                                let mut f2 = Force::default();
-                                force(&mut f2);
-                                plan.branch.push((gate, pin, f2));
-                            }
+                            let mut f2 = Force::default();
+                            force(&mut f2);
+                            raw_branch.push((gate, pin, f2));
                         }
                     }
                 }
                 Fault::Bridge(f) => {
-                    plan.has_bridges = true;
-                    let mut attach = |net: NetId, partner: NetId| {
-                        let taps = &mut plan.taps[net as usize];
-                        match taps
-                            .iter_mut()
-                            .find(|t| t.partner == partner && t.kind == f.kind)
-                        {
-                            Some(tap) => tap.mask |= mask,
-                            None => taps.push(BridgeTap {
-                                partner,
-                                mask,
-                                kind: f.kind,
-                            }),
-                        }
+                    has_bridges = true;
+                    let tap = |partner| BridgeTap {
+                        partner,
+                        mask,
+                        kind: f.kind,
                     };
-                    attach(f.a, f.b);
-                    attach(f.b, f.a);
+                    raw_taps.push((f.a, tap(f.b)));
+                    raw_taps.push((f.b, tap(f.a)));
                 }
                 Fault::Delay(f) => {
-                    let site = match plan.delays.iter_mut().find(|d| d.net == f.net) {
+                    let site = match delays.iter_mut().find(|d| d.net == f.net) {
                         Some(site) => site,
                         None => {
-                            plan.delays.push(DelaySite {
+                            delays.push(DelaySite {
                                 net: f.net,
-                                rise_mask: 0,
-                                fall_mask: 0,
+                                rise_mask: W::zero(),
+                                fall_mask: W::zero(),
                             });
-                            plan.delays.last_mut().expect("just pushed")
+                            delays.last_mut().expect("just pushed")
                         }
                     };
                     if f.slow_to_rise {
@@ -175,6 +228,109 @@ impl InjectionPlan {
                     }
                 }
             }
+        }
+
+        // Merge branch duplicates and index them per gate.
+        raw_branch.sort_by_key(|&(g, p, _)| (g, p));
+        let mut branch: Vec<(u32, u32, Force<W>)> = Vec::with_capacity(raw_branch.len());
+        for (g, p, f) in raw_branch {
+            match branch.last_mut() {
+                Some(last) if last.0 == g && last.1 == p => {
+                    last.2.to_zero |= f.to_zero;
+                    last.2.to_one |= f.to_one;
+                }
+                _ => branch.push((g, p, f)),
+            }
+        }
+        let branch_start = if branch.is_empty() {
+            Vec::new()
+        } else {
+            csr_offsets(netlist.num_gates(), branch.iter().map(|&(g, _, _)| g))
+        };
+
+        // Merge bridge-tap duplicates and index them per net.
+        raw_taps.sort_by_key(|&(net, tap)| (net, tap.partner, matches!(tap.kind, BridgeKind::Or)));
+        let mut taps: Vec<BridgeTap<W>> = Vec::with_capacity(raw_taps.len());
+        let mut tap_nets: Vec<NetId> = Vec::with_capacity(raw_taps.len());
+        for (net, tap) in raw_taps {
+            match (tap_nets.last(), taps.last_mut()) {
+                (Some(&last_net), Some(last))
+                    if last_net == net && last.partner == tap.partner && last.kind == tap.kind =>
+                {
+                    last.mask |= tap.mask;
+                }
+                _ => {
+                    tap_nets.push(net);
+                    taps.push(tap);
+                }
+            }
+        }
+        let tap_start = if taps.is_empty() {
+            Vec::new()
+        } else {
+            csr_offsets(num_nets, tap_nets.iter().copied())
+        };
+
+        let forced_pis = (0..netlist.num_pis() as u32)
+            .filter(|&k| !stem[netlist.pi(k as usize) as usize].is_noop())
+            .collect();
+
+        InjectionPlan {
+            num_faults: faults.len(),
+            stem,
+            branch,
+            branch_start,
+            taps,
+            tap_start,
+            delays,
+            has_bridges,
+            cone: None,
+            forced_pis,
+            cone_pos: Vec::new(),
+            force_gates: Vec::new(),
+        }
+    }
+
+    /// Builds the plan **and**, for stuck-only batches, the union of the
+    /// batch's fault cones so [`FaultEngine::run_test_event_driven`] can
+    /// restrict evaluation to it. Batches containing bridging or delay
+    /// faults get no cone (their effects are not confined to structural
+    /// fanout) and transparently fall back to full evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `W::LANES` faults are supplied.
+    #[must_use]
+    pub fn event_driven(netlist: &Netlist, arena: &GateArena, faults: &[Fault]) -> Self {
+        let mut plan = Self::build(netlist, faults);
+        if faults.iter().all(|f| matches!(f, Fault::Stuck(_))) {
+            let mut seed_nets: Vec<NetId> = Vec::new();
+            let mut seed_gates: Vec<u32> = Vec::new();
+            for fault in faults {
+                if let Fault::Stuck(f) = fault {
+                    match f.site {
+                        FaultSite::Net(net) => seed_nets.push(net),
+                        FaultSite::Branch { gate, .. } => seed_gates.push(gate),
+                    }
+                }
+            }
+            let cone = FaultCone::compute(netlist, arena, &seed_nets, &seed_gates);
+            let mut cone_pos = vec![u32::MAX; arena.num_gates()];
+            for (pos, &g) in cone.gates.iter().enumerate() {
+                cone_pos[g as usize] = pos as u32;
+            }
+            plan.cone_pos = cone_pos;
+            plan.force_gates = cone
+                .gates
+                .iter()
+                .enumerate()
+                .filter(|&(_, &g)| {
+                    let out = arena.gate_output(g as usize);
+                    !plan.stem[out as usize].is_noop() || !plan.branch_range(g as usize).is_empty()
+                })
+                .map(|(pos, _)| pos as u32)
+                .collect();
+            plan.cone = Some(cone);
         }
         plan
     }
@@ -191,66 +347,146 @@ impl InjectionPlan {
         self.num_faults
     }
 
-    /// Lane mask covering the batch (`num_faults` low bits).
+    /// Lane mask covering the batch (`num_faults` low lanes).
     #[must_use]
-    pub fn lane_mask(&self) -> u64 {
-        if self.num_faults == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.num_faults) - 1
-        }
+    pub fn lane_mask(&self) -> W {
+        W::low_lanes(self.num_faults)
     }
 
-    fn read(&self, net: NetId, values: &[u64], late: &[Force]) -> u64 {
-        let mut word = values[net as usize];
-        for tap in &self.taps[net as usize] {
-            let wired = match tap.kind {
-                BridgeKind::And => values[net as usize] & values[tap.partner as usize],
-                BridgeKind::Or => values[net as usize] | values[tap.partner as usize],
-            };
-            word = (word & !tap.mask) | (wired & tap.mask);
+    /// The batch's cone union, when built via
+    /// [`InjectionPlan::event_driven`] on a stuck-only batch.
+    #[must_use]
+    pub fn cone(&self) -> Option<&FaultCone> {
+        self.cone.as_ref()
+    }
+
+    /// Branch forces of gate `g` (sorted by pin; empty for most gates).
+    #[inline]
+    fn branch_range(&self, g: usize) -> &[(u32, u32, Force<W>)] {
+        if self.branch_start.is_empty() {
+            return &[];
         }
-        if let Some(force) = late.get(net as usize) {
+        &self.branch[self.branch_start[g] as usize..self.branch_start[g + 1] as usize]
+    }
+
+    fn read(&self, net: NetId, values: &[W], late: &[Force<W>]) -> W {
+        let mut word = values[net as usize];
+        if !self.tap_start.is_empty() {
+            let taps = &self.taps
+                [self.tap_start[net as usize] as usize..self.tap_start[net as usize + 1] as usize];
+            for tap in taps {
+                let wired = match tap.kind {
+                    BridgeKind::And => values[net as usize] & values[tap.partner as usize],
+                    BridgeKind::Or => values[net as usize] | values[tap.partner as usize],
+                };
+                word = (word & !tap.mask) | (wired & tap.mask);
+            }
+        }
+        if let Some(&force) = late.get(net as usize) {
             word = force.apply(word);
         }
         word
     }
 }
 
+/// Builds CSR offsets (`buckets + 1` entries) for `keys`, which must be
+/// sorted ascending and `< buckets`.
+fn csr_offsets(buckets: usize, keys: impl Iterator<Item = u32>) -> Vec<u32> {
+    let mut start = vec![0u32; buckets + 1];
+    for key in keys {
+        start[key as usize + 1] += 1;
+    }
+    for i in 1..start.len() {
+        start[i] += start[i - 1];
+    }
+    start
+}
+
 /// Reusable fault-parallel simulation state for one netlist.
 #[derive(Debug)]
-pub struct FaultEngine<'a> {
+pub struct FaultEngine<'a, W: LaneWord = u64> {
     netlist: &'a Netlist,
-    values: Vec<u64>,
-    inputs_scratch: Vec<u64>,
+    arena: Arc<GateArena>,
+    values: Vec<W>,
+    inputs_scratch: Vec<W>,
     /// Per-net late-reading overlay for delay faults, rebuilt every cycle.
-    late: Vec<Force>,
+    late: Vec<Force<W>>,
     /// Nets whose `late` slot may be non-default from a previous run —
     /// cleared on the next run so engines can be reused across batches
     /// with different plans.
     late_dirty: Vec<NetId>,
     /// Previous-cycle driven values of the delay-faulted nets, parallel to
     /// the plan's delay list.
-    delay_prev: Vec<u64>,
+    delay_prev: Vec<W>,
+    /// Per-PPI captured-state scratch, reused across runs.
+    state_words: Vec<W>,
+    /// Event-driven worklist state: per-net "deviates from the good trace"
+    /// flags and the list of nets marked this cycle.
+    dirty: Vec<bool>,
+    touched: Vec<NetId>,
+    /// Per-cone-position "queued for evaluation" flags deduplicating heap
+    /// pushes; all false between cycles.
+    pending: Vec<bool>,
+    /// Min-heap of queued cone positions — pops in topological order, so
+    /// every gate is evaluated at most once per cycle after all its fanin
+    /// events have landed.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Per-run worklist seeds: cone positions of gates whose forces
+    /// survive the live-lane mask.
+    live_seeds: Vec<u32>,
+    /// Gate evaluations performed since construction (or the last
+    /// [`FaultEngine::take_gate_evals`]) — the kernel's work metric.
+    gate_evals: u64,
 }
 
-impl<'a> FaultEngine<'a> {
-    /// Creates an engine for `netlist`.
+impl<'a> FaultEngine<'a, u64> {
+    /// Creates a narrow (64-lane) engine for `netlist` with a private
+    /// arena.
     #[must_use]
     pub fn new(netlist: &'a Netlist) -> Self {
+        FaultEngine::with_arena(netlist, Arc::new(GateArena::build(netlist)))
+    }
+}
+
+impl<'a, W: LaneWord> FaultEngine<'a, W> {
+    /// Creates an engine sharing a prebuilt `arena`. This is the wide
+    /// kernel's entry point (`FaultEngine::<W256>::with_arena`) and the
+    /// cheap way to spin up per-thread engines in a campaign.
+    #[must_use]
+    pub fn with_arena(netlist: &'a Netlist, arena: Arc<GateArena>) -> Self {
+        debug_assert_eq!(arena.num_nets(), netlist.num_nets());
         FaultEngine {
             netlist,
-            values: vec![0; netlist.num_nets()],
+            arena,
+            values: vec![W::zero(); netlist.num_nets()],
             inputs_scratch: Vec::new(),
             late: Vec::new(),
             late_dirty: Vec::new(),
             delay_prev: Vec::new(),
+            state_words: Vec::new(),
+            dirty: Vec::new(),
+            touched: Vec::new(),
+            pending: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
+            live_seeds: Vec::new(),
+            gate_evals: 0,
         }
+    }
+
+    /// Gate evaluations performed so far (work metric for benchmarks).
+    #[must_use]
+    pub fn gate_evals(&self) -> u64 {
+        self.gate_evals
+    }
+
+    /// Returns and resets the gate-evaluation counter.
+    pub fn take_gate_evals(&mut self) -> u64 {
+        std::mem::take(&mut self.gate_evals)
     }
 
     /// Clears any late-reading overlay left by a previous plan and
     /// registers this plan's delay sites as the new dirty set.
-    fn reset_late_overlay(&mut self, plan: &InjectionPlan) {
+    fn reset_late_overlay(&mut self, plan: &InjectionPlan<W>) {
         for net in self.late_dirty.drain(..) {
             if let Some(slot) = self.late.get_mut(net as usize) {
                 *slot = Force::default();
@@ -277,9 +513,9 @@ impl<'a> FaultEngine<'a> {
         &mut self,
         test: &ScanTest,
         fault_free: &ScanResponse,
-        plan: &InjectionPlan,
-        skip_lanes: u64,
-    ) -> u64 {
+        plan: &InjectionPlan<W>,
+        skip_lanes: W,
+    ) -> W {
         self.run_test_observing(test, fault_free, plan, skip_lanes, true)
     }
 
@@ -293,42 +529,299 @@ impl<'a> FaultEngine<'a> {
         &mut self,
         test: &ScanTest,
         fault_free: &ScanResponse,
-        plan: &InjectionPlan,
-        skip_lanes: u64,
+        plan: &InjectionPlan<W>,
+        skip_lanes: W,
         observe_scan_out: bool,
-    ) -> u64 {
+    ) -> W {
         debug_assert_eq!(fault_free.outputs.len(), test.inputs.len());
+        self.run_test_full(
+            test,
+            &fault_free.outputs,
+            fault_free.final_code,
+            plan,
+            skip_lanes,
+            observe_scan_out,
+        )
+    }
+
+    /// Queues the in-cone fanout gates of a net that just deviated from
+    /// the fault-free trace. `pending` deduplicates; the heap orders pops
+    /// topologically (cone positions ascend along every fanout edge).
+    #[inline]
+    fn enqueue_fanouts(&mut self, arena: &GateArena, plan: &InjectionPlan<W>, net: NetId) {
+        for &g in arena.fanouts(net) {
+            let pos = plan.cone_pos[g as usize];
+            if pos != u32::MAX && !self.pending[pos as usize] {
+                self.pending[pos as usize] = true;
+                self.heap.push(std::cmp::Reverse(pos));
+            }
+        }
+    }
+
+    /// Evaluates one cone gate against the good trace: clean fanins read
+    /// through from the trace, branch and stem forces applied under the
+    /// live mask; a deviating output is marked dirty and — on the
+    /// worklist arm — its in-cone fanouts queued.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn eval_cone_gate(
+        &mut self,
+        arena: &GateArena,
+        plan: &InjectionPlan<W>,
+        trace: &GoodTrace,
+        cycle: usize,
+        g: usize,
+        live: W,
+        enqueue: bool,
+    ) {
+        let out = arena.gate_output(g);
+        let fanins = arena.fanins(g);
+        let branch = plan.branch_range(g);
+        let stem = plan.stem[out as usize];
+        self.gate_evals += 1;
+        let word = if branch.is_empty() {
+            self.inputs_scratch.clear();
+            for &f in fanins {
+                self.inputs_scratch.push(if self.dirty[f as usize] {
+                    self.values[f as usize]
+                } else {
+                    W::splat_bit(trace.bit(cycle, f))
+                });
+            }
+            eval_gate_scratch(arena.kind(g), &self.inputs_scratch)
+        } else {
+            self.inputs_scratch.clear();
+            for (pin, &f) in fanins.iter().enumerate() {
+                let mut v = if self.dirty[f as usize] {
+                    self.values[f as usize]
+                } else {
+                    W::splat_bit(trace.bit(cycle, f))
+                };
+                for &(_, bp, force) in branch {
+                    if bp as usize == pin {
+                        v = force.masked(live).apply(v);
+                    }
+                }
+                self.inputs_scratch.push(v);
+            }
+            eval_gate_scratch(arena.kind(g), &self.inputs_scratch)
+        };
+        let word = stem.masked(live).apply(word);
+        self.values[out as usize] = word;
+        if word != W::splat_bit(trace.bit(cycle, out)) {
+            self.dirty[out as usize] = true;
+            self.touched.push(out);
+            if enqueue {
+                self.enqueue_fanouts(arena, plan, out);
+            }
+        }
+    }
+
+    /// Event-driven PPSFP variant of [`FaultEngine::run_test_observing`]:
+    /// given the fault-free `trace` of `test`, evaluates only the gates of
+    /// the plan's cone union whose fanins deviate from the trace. Falls
+    /// back to full evaluation when the plan carries no cone (non-stuck
+    /// batches or plans built with [`InjectionPlan::build`]).
+    ///
+    /// Detection results are bit-identical to the full path in every live
+    /// lane.
+    #[must_use]
+    pub fn run_test_event_driven(
+        &mut self,
+        test: &ScanTest,
+        trace: &GoodTrace,
+        plan: &InjectionPlan<W>,
+        skip_lanes: W,
+        observe_scan_out: bool,
+    ) -> W {
+        debug_assert_eq!(trace.num_cycles(), test.inputs.len());
+        let Some(cone) = plan.cone.as_ref() else {
+            return self.run_test_full(
+                test,
+                trace.outputs(),
+                trace.final_code(),
+                plan,
+                skip_lanes,
+                observe_scan_out,
+            );
+        };
         let live = plan.lane_mask() & !skip_lanes;
-        if live == 0 {
-            return 0;
+        if live.is_zero() {
+            return W::zero();
+        }
+        let arena = Arc::clone(&self.arena);
+        let netlist = self.netlist;
+        let num_ppis = netlist.num_ppis();
+        let mut detected = W::zero();
+
+        if self.dirty.len() != arena.num_nets() {
+            self.dirty = vec![false; arena.num_nets()];
+        }
+        if self.pending.len() != cone.gates.len() {
+            self.pending = vec![false; cone.gates.len()];
+        }
+        debug_assert!(self.touched.is_empty());
+        debug_assert!(self.heap.is_empty());
+
+        // Worklist seeds for this run: forced gates whose forces survive
+        // the live mask. Dropped lanes' forces are masked to noops, so a
+        // mostly-detected batch seeds (and evaluates) almost nothing.
+        self.live_seeds.clear();
+        for &pos in &plan.force_gates {
+            let g = cone.gates[pos as usize] as usize;
+            let out = arena.gate_output(g);
+            let stem_live = !plan.stem[out as usize].masked(live).is_noop();
+            let branch_live = plan
+                .branch_range(g)
+                .iter()
+                .any(|&(_, _, f)| !f.masked(live).is_noop());
+            if stem_live || branch_live {
+                self.live_seeds.push(pos);
+            }
+        }
+        // Hybrid dispatch: on tiny cones (or barely-dropped batches) the
+        // per-event heap traffic costs more than just scanning the cone
+        // with a per-gate activity test, so fall back to the dense arm
+        // when the seed count is a sizeable fraction of the cone.
+        let use_scan = self.live_seeds.len() * 8 >= cone.gates.len();
+
+        let mut state_words = std::mem::take(&mut self.state_words);
+        state_words.clear();
+        state_words.extend((0..num_ppis).map(|k| W::splat_bit(test.init_code >> k & 1 == 1)));
+
+        for (cycle, &input) in test.inputs.iter().enumerate() {
+            // Forced PIs: the only primary inputs that can deviate.
+            for &k in &plan.forced_pis {
+                let net = netlist.pi(k as usize);
+                let good = W::splat_bit(input >> k & 1 == 1);
+                let word = plan.stem[net as usize].masked(live).apply(good);
+                self.values[net as usize] = word;
+                if word != good {
+                    self.dirty[net as usize] = true;
+                    self.touched.push(net);
+                    if !use_scan {
+                        self.enqueue_fanouts(&arena, plan, net);
+                    }
+                }
+            }
+            // PPIs: reload the captured faulty state every cycle.
+            for (k, &word) in state_words.iter().enumerate() {
+                let net = netlist.ppi(k);
+                let good = W::splat_bit(trace.bit(cycle, net));
+                let word = plan.stem[net as usize].masked(live).apply(word);
+                self.values[net as usize] = word;
+                if word != good {
+                    self.dirty[net as usize] = true;
+                    self.touched.push(net);
+                    if !use_scan {
+                        self.enqueue_fanouts(&arena, plan, net);
+                    }
+                }
+            }
+            if use_scan {
+                // Dense arm: one pass over the (small) cone with a cheap
+                // activity test, merging the sorted live-seed positions.
+                let mut next_seed = 0usize;
+                for (pos, &g) in cone.gates.iter().enumerate() {
+                    let g = g as usize;
+                    let forced = next_seed < self.live_seeds.len()
+                        && self.live_seeds[next_seed] as usize == pos;
+                    if forced {
+                        next_seed += 1;
+                    }
+                    let active = forced || arena.fanins(g).iter().any(|&f| self.dirty[f as usize]);
+                    if active {
+                        self.eval_cone_gate(&arena, plan, trace, cycle, g, live, false);
+                    }
+                }
+            } else {
+                for &pos in &self.live_seeds {
+                    if !self.pending[pos as usize] {
+                        self.pending[pos as usize] = true;
+                        self.heap.push(std::cmp::Reverse(pos));
+                    }
+                }
+                // Drain the worklist in topological order: every popped
+                // gate either carries a live force or has a fanin that
+                // deviates.
+                while let Some(std::cmp::Reverse(pos)) = self.heap.pop() {
+                    self.pending[pos as usize] = false;
+                    let g = cone.gates[pos as usize] as usize;
+                    self.eval_cone_gate(&arena, plan, trace, cycle, g, live, true);
+                }
+            }
+
+            // Observe POs: only dirty nets can deviate from the reference.
+            let ff_out = trace.outputs()[cycle];
+            for (z, &net) in netlist.pos().iter().enumerate() {
+                if self.dirty[net as usize] {
+                    let reference = W::splat_bit(ff_out >> z & 1 == 1);
+                    detected |= (self.values[net as usize] ^ reference) & live;
+                }
+            }
+            // Capture next state per lane (good values read through).
+            for (k, slot) in state_words.iter_mut().enumerate() {
+                let net = netlist.ppos()[k];
+                *slot = if self.dirty[net as usize] {
+                    self.values[net as usize]
+                } else {
+                    W::splat_bit(trace.bit(cycle, net))
+                };
+            }
+            // Drain the worklist so the next cycle starts clean.
+            for net in self.touched.drain(..) {
+                self.dirty[net as usize] = false;
+            }
+            if detected == live {
+                self.state_words = state_words;
+                return detected;
+            }
+        }
+
+        if observe_scan_out {
+            for (k, &word) in state_words.iter().enumerate() {
+                let reference = W::splat_bit(trace.final_code() >> k & 1 == 1);
+                detected |= (word ^ reference) & live;
+            }
+        }
+        self.state_words = state_words;
+        detected
+    }
+
+    fn run_test_full(
+        &mut self,
+        test: &ScanTest,
+        ff_outputs: &[u64],
+        ff_final_code: u64,
+        plan: &InjectionPlan<W>,
+        skip_lanes: W,
+        observe_scan_out: bool,
+    ) -> W {
+        let live = plan.lane_mask() & !skip_lanes;
+        if live.is_zero() {
+            return W::zero();
         }
         let netlist = self.netlist;
         let num_pis = netlist.num_pis();
         let num_ppis = netlist.num_ppis();
-        let mut detected = 0u64;
+        let mut detected = W::zero();
 
         // Delay-fault state: late overlay (per net) and previous driven
         // values per delayed net.
         self.reset_late_overlay(plan);
         self.delay_prev.clear();
-        self.delay_prev.resize(plan.delays.len(), 0);
+        self.delay_prev.resize(plan.delays.len(), W::zero());
 
         // Scan-in: broadcast the initial code, then stem forces on PPIs.
-        let mut state_words: Vec<u64> = (0..num_ppis)
-            .map(|k| {
-                if test.init_code >> k & 1 == 1 {
-                    u64::MAX
-                } else {
-                    0
-                }
-            })
-            .collect();
+        let mut state_words = std::mem::take(&mut self.state_words);
+        state_words.clear();
+        state_words.extend((0..num_ppis).map(|k| W::splat_bit(test.init_code >> k & 1 == 1)));
 
         for (cycle, &input) in test.inputs.iter().enumerate() {
             // Load PIs (broadcast + stem forces).
             for k in 0..num_pis {
                 let net = netlist.pi(k);
-                let word = if input >> k & 1 == 1 { u64::MAX } else { 0 };
+                let word = W::splat_bit(input >> k & 1 == 1);
                 self.values[net as usize] = plan.stem[net as usize].apply(word);
             }
             // Load PPIs (per-lane faulty state + stem forces).
@@ -358,7 +851,7 @@ impl<'a> FaultEngine<'a> {
                             to_zero: late_rise,
                             to_one: late_fall,
                         };
-                        needs_second_pass |= late_rise != 0 || late_fall != 0;
+                        needs_second_pass |= !late_rise.is_zero() || !late_fall.is_zero();
                     }
                     *prev = driven;
                 }
@@ -368,20 +861,20 @@ impl<'a> FaultEngine<'a> {
             }
 
             // Observe POs against the fault-free response.
-            let late = &self.late;
-            let ff_out = fault_free.outputs[cycle];
+            let ff_out = ff_outputs[cycle];
             for (z, &net) in netlist.pos().iter().enumerate() {
-                let observed = plan.read(net, &self.values, late);
-                let reference = if ff_out >> z & 1 == 1 { u64::MAX } else { 0 };
+                let observed = plan.read(net, &self.values, &self.late);
+                let reference = W::splat_bit(ff_out >> z & 1 == 1);
                 detected |= (observed ^ reference) & live;
             }
 
             // Capture next state per lane (bridged/late readings included).
             for (k, slot) in state_words.iter_mut().enumerate() {
-                *slot = plan.read(netlist.ppos()[k], &self.values, late);
+                *slot = plan.read(netlist.ppos()[k], &self.values, &self.late);
             }
 
             if detected == live {
+                self.state_words = state_words;
                 return detected;
             }
         }
@@ -389,21 +882,20 @@ impl<'a> FaultEngine<'a> {
         // Scan-out: compare the captured final state.
         if observe_scan_out {
             for (k, &word) in state_words.iter().enumerate() {
-                let reference = if fault_free.final_code >> k & 1 == 1 {
-                    u64::MAX
-                } else {
-                    0
-                };
+                let reference = W::splat_bit(ff_final_code >> k & 1 == 1);
                 detected |= (word ^ reference) & live;
             }
         }
+        self.state_words = state_words;
         detected
     }
 
     /// Evaluates one combinational cycle with **pattern-parallel lanes**:
     /// each bit lane carries a different (input, state) point while the
-    /// plan's faults are injected in every lane (build the plan from 64
-    /// copies of one fault). Returns the per-PO and per-PPO value words.
+    /// plan's faults are injected in every lane (build the plan from
+    /// `W::LANES` copies of one fault). Writes the per-PO and per-PPO value
+    /// words into the caller-provided buffers (cleared first), so the
+    /// per-block hot loop of the exhaustive analysis allocates nothing.
     ///
     /// This is the kernel of the exhaustive detectability analysis: no
     /// launch cycle exists, so delay faults never show up here (their
@@ -412,13 +904,14 @@ impl<'a> FaultEngine<'a> {
     /// # Panics
     ///
     /// Panics if the word slices do not match the netlist's PI/PPI counts.
-    #[must_use]
-    pub fn eval_single_cycle_patterns(
+    pub fn eval_single_cycle_patterns_into(
         &mut self,
-        pi_words: &[u64],
-        ppi_words: &[u64],
-        plan: &InjectionPlan,
-    ) -> (Vec<u64>, Vec<u64>) {
+        pi_words: &[W],
+        ppi_words: &[W],
+        plan: &InjectionPlan<W>,
+        po_out: &mut Vec<W>,
+        ppo_out: &mut Vec<W>,
+    ) {
         let netlist = self.netlist;
         assert_eq!(pi_words.len(), netlist.num_pis());
         assert_eq!(ppi_words.len(), netlist.num_ppis());
@@ -435,46 +928,70 @@ impl<'a> FaultEngine<'a> {
         if plan.has_bridges {
             self.eval_pass(plan);
         }
-        let late = &self.late;
-        let pos = netlist
-            .pos()
-            .iter()
-            .map(|&net| plan.read(net, &self.values, late))
-            .collect();
-        let ppos = netlist
-            .ppos()
-            .iter()
-            .map(|&net| plan.read(net, &self.values, late))
-            .collect();
+        po_out.clear();
+        po_out.extend(
+            netlist
+                .pos()
+                .iter()
+                .map(|&net| plan.read(net, &self.values, &self.late)),
+        );
+        ppo_out.clear();
+        ppo_out.extend(
+            netlist
+                .ppos()
+                .iter()
+                .map(|&net| plan.read(net, &self.values, &self.late)),
+        );
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`FaultEngine::eval_single_cycle_patterns_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word slices do not match the netlist's PI/PPI counts.
+    #[must_use]
+    pub fn eval_single_cycle_patterns(
+        &mut self,
+        pi_words: &[W],
+        ppi_words: &[W],
+        plan: &InjectionPlan<W>,
+    ) -> (Vec<W>, Vec<W>) {
+        let mut pos = Vec::new();
+        let mut ppos = Vec::new();
+        self.eval_single_cycle_patterns_into(pi_words, ppi_words, plan, &mut pos, &mut ppos);
         (pos, ppos)
     }
 
-    fn eval_pass(&mut self, plan: &InjectionPlan) {
-        let netlist = self.netlist;
-        let offset = netlist.num_pis() + netlist.num_ppis();
+    fn eval_pass(&mut self, plan: &InjectionPlan<W>) {
+        let arena = Arc::clone(&self.arena);
         let branchy = !plan.branch.is_empty();
         let tapped = plan.has_bridges || plan.has_delays();
-        for (g, gate) in netlist.gates().iter().enumerate() {
-            let out = offset + g;
+        for &g in arena.schedule() {
+            let g = g as usize;
+            let out = arena.gate_output(g) as usize;
             let stem = plan.stem[out];
             let word = if tapped || branchy {
                 // Slow path: gather inputs through bridge taps, late
                 // readings, and branch forces.
+                let branch = plan.branch_range(g);
                 self.inputs_scratch.clear();
-                for (pin, &input) in gate.inputs.iter().enumerate() {
-                    let mut v = plan.read(input, &self.values, &self.late);
-                    if branchy {
-                        for &(bg, bp, force) in &plan.branch {
-                            if bg as usize == g && bp as usize == pin {
-                                v = force.apply(v);
-                            }
+                for (pin, &input) in arena.fanins(g).iter().enumerate() {
+                    let mut v = if tapped {
+                        plan.read(input, &self.values, &self.late)
+                    } else {
+                        self.values[input as usize]
+                    };
+                    for &(_, bp, force) in branch {
+                        if bp as usize == pin {
+                            v = force.apply(v);
                         }
                     }
                     self.inputs_scratch.push(v);
                 }
-                gate.kind.eval_words(&self.inputs_scratch)
+                eval_gate_scratch(arena.kind(g), &self.inputs_scratch)
             } else {
-                eval_gate(gate, &self.values)
+                eval_gate_fanins(arena.kind(g), arena.fanins(g), &self.values)
             };
             self.values[out] = if stem.is_noop() {
                 word
@@ -482,6 +999,7 @@ impl<'a> FaultEngine<'a> {
                 stem.apply(word)
             };
         }
+        self.gate_evals += arena.num_gates() as u64;
     }
 }
 
@@ -489,7 +1007,8 @@ impl<'a> FaultEngine<'a> {
 mod tests {
     use super::*;
     use crate::faults::{BridgingFault, StuckFault};
-    use crate::logic;
+    use crate::logic::{self, Evaluator};
+    use crate::word::W256;
     use scanft_netlist::{GateKind, NetlistBuilder};
     use scanft_synth::{synthesize, SynthConfig};
 
@@ -505,6 +1024,10 @@ mod tests {
         let plan = InjectionPlan::new(c.netlist(), &[]);
         let mut engine = FaultEngine::new(c.netlist());
         assert_eq!(engine.run_test(&test, &ff, &plan, 0), 0);
+        // An empty batch must not cost any gate evaluations either — the
+        // regression guard for the empty-batch bug fixed at the campaign
+        // layer.
+        assert_eq!(engine.gate_evals(), 0);
     }
 
     #[test]
@@ -524,6 +1047,7 @@ mod tests {
         let plan = InjectionPlan::new(n, &[fault]);
         let mut engine = FaultEngine::new(n);
         assert_eq!(engine.run_test(&test, &ff, &plan, 0), 1);
+        assert!(engine.gate_evals() > 0);
     }
 
     #[test]
@@ -646,6 +1170,35 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_branch_faults_share_one_indexed_entry() {
+        // Two branch faults on the same (gate, pin) — opposite polarities in
+        // different lanes — must merge into one CSR entry and act per lane.
+        let mut b = NetlistBuilder::new(2, 0);
+        let a1 = b.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let n = b.finish(vec![a1], vec![]).unwrap();
+        let sa0 = Fault::Stuck(StuckFault {
+            site: FaultSite::Branch { gate: 0, pin: 0 },
+            stuck_at_one: false,
+        });
+        let sa1 = Fault::Stuck(StuckFault {
+            site: FaultSite::Branch { gate: 0, pin: 0 },
+            stuck_at_one: true,
+        });
+        let plan = InjectionPlan::new(&n, &[sa0, sa1]);
+        assert_eq!(plan.branch.len(), 1);
+        assert_eq!(plan.branch_range(0).len(), 1);
+        let mut engine = FaultEngine::new(&n);
+        // 11 -> PO 1 fault-free: lane 0 (sa0) flips it, lane 1 (sa1) agrees.
+        let test = ScanTest::new(0, vec![0b11]);
+        let ff = logic::simulate(&n, &test);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 0b01);
+        // 01 -> PO 0 fault-free: lane 1 flips it.
+        let test = ScanTest::new(0, vec![0b10]);
+        let ff = logic::simulate(&n, &test);
+        assert_eq!(engine.run_test(&test, &ff, &plan, 0), 0b10);
+    }
+
+    #[test]
     fn bridge_fault_wired_and() {
         // Independent cones: a = AND(x1,x2) -> PO1 via NOT; b = OR(x3,x4)
         // -> PO2 via NOT. Bridge a~b wired-AND.
@@ -717,6 +1270,99 @@ mod tests {
             detected |= engine.run_test(&test, &ff, &plan, detected);
         }
         assert!(detected.count_ones() > 32, "{detected:b}");
+    }
+
+    #[test]
+    fn wide_kernel_lanes_agree_with_narrow_ones() {
+        // 256 lanes: the same fault placed in lane l of a W256 batch must
+        // behave exactly like lane l % 64 of the narrow batch.
+        let c = lion_netlist();
+        let n = c.netlist();
+        let stuck = crate::faults::enumerate_stuck(n);
+        let wide_batch: Vec<Fault> = stuck
+            .iter()
+            .cycle()
+            .take(256)
+            .copied()
+            .map(Fault::Stuck)
+            .collect();
+        let arena = Arc::new(GateArena::build(n));
+        let wide_plan = InjectionPlan::<W256>::build(n, &wide_batch);
+        assert_eq!(wide_plan.lane_mask(), W256::ones());
+        let mut wide = FaultEngine::<W256>::with_arena(n, Arc::clone(&arena));
+        let mut narrow = FaultEngine::new(n);
+        let lion = scanft_fsm::benchmarks::lion();
+        for t in lion.transitions() {
+            let test = ScanTest::new(u64::from(t.from), vec![t.input]);
+            let ff = logic::simulate(n, &test);
+            let w = wide.run_test(&test, &ff, &wide_plan, W256::zero());
+            for (chunk, faults64) in wide_batch.chunks(64).enumerate() {
+                let plan = InjectionPlan::new(n, faults64);
+                let d = narrow.run_test(&test, &ff, &plan, 0);
+                assert_eq!(w.limb(chunk), d, "test {t:?} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_driven_matches_full_resimulation() {
+        let c = lion_netlist();
+        let n = c.netlist();
+        let arena = Arc::new(GateArena::build(n));
+        let stuck = crate::faults::enumerate_stuck(n);
+        let lion = scanft_fsm::benchmarks::lion();
+        let tests: Vec<ScanTest> = lion
+            .transitions()
+            .map(|t| ScanTest::new(u64::from(t.from), vec![t.input]))
+            .collect();
+        let mut full = FaultEngine::new(n);
+        let mut event = FaultEngine::with_arena(n, Arc::clone(&arena));
+        let mut evaluator = Evaluator::with_arena(n, Arc::clone(&arena));
+        for batch in stuck.chunks(64) {
+            let faults: Vec<Fault> = batch.iter().copied().map(Fault::Stuck).collect();
+            let plan = InjectionPlan::event_driven(n, &arena, &faults);
+            assert!(plan.cone().is_some());
+            for test in &tests {
+                let trace = evaluator.record_trace(test);
+                let ff = trace.response();
+                for skip in [0u64, 0b1010] {
+                    let reference = full.run_test(test, &ff, &plan, skip);
+                    let got = event.run_test_event_driven(test, &trace, &plan, skip, true);
+                    assert_eq!(got, reference);
+                    let reference = full.run_test_observing(test, &ff, &plan, skip, false);
+                    let got = event.run_test_event_driven(test, &trace, &plan, skip, false);
+                    assert_eq!(got, reference);
+                }
+            }
+        }
+        // The whole point: the event-driven engine does less work.
+        assert!(event.gate_evals() < full.gate_evals());
+    }
+
+    #[test]
+    fn event_driven_plan_with_bridges_falls_back_to_full() {
+        let mut bld = NetlistBuilder::new(4, 0);
+        let a = bld.add_gate(GateKind::And, &[0, 1]).unwrap();
+        let na = bld.add_gate(GateKind::Not, &[a]).unwrap();
+        let o = bld.add_gate(GateKind::Or, &[2, 3]).unwrap();
+        let no = bld.add_gate(GateKind::Not, &[o]).unwrap();
+        let n = bld.finish(vec![na, no], vec![]).unwrap();
+        let arena = GateArena::build(&n);
+        let bridge = Fault::Bridge(BridgingFault {
+            a,
+            b: o,
+            kind: BridgeKind::And,
+        });
+        let plan = InjectionPlan::event_driven(&n, &arena, &[bridge]);
+        assert!(plan.cone().is_none(), "bridge batches get no cone");
+        let test = ScanTest::new(0, vec![0b0011]);
+        let mut evaluator = Evaluator::new(&n);
+        let trace = evaluator.record_trace(&test);
+        let mut engine = FaultEngine::new(&n);
+        assert_eq!(
+            engine.run_test_event_driven(&test, &trace, &plan, 0, true),
+            1
+        );
     }
 
     #[test]
@@ -830,5 +1476,20 @@ mod tests {
             65
         ];
         let _ = InjectionPlan::new(n, &faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256")]
+    fn wide_plan_rejects_oversized_batches() {
+        let c = lion_netlist();
+        let n = c.netlist();
+        let faults = vec![
+            Fault::Stuck(StuckFault {
+                site: FaultSite::Net(0),
+                stuck_at_one: false,
+            });
+            257
+        ];
+        let _ = InjectionPlan::<W256>::build(n, &faults);
     }
 }

@@ -80,6 +80,10 @@ pub fn find_detecting_test(
     let num_ppis = netlist.num_ppis();
     let mut pi_words = vec![0u64; num_pis];
     let mut ppi_words = vec![0u64; num_ppis];
+    // Scratch output buffers, reused across the sweep — the hot loop
+    // allocates nothing.
+    let mut po = Vec::new();
+    let mut ppo = Vec::new();
 
     let mut base = 0u64;
     while base < total {
@@ -93,7 +97,7 @@ pub fn find_detecting_test(
         reference.load_input_words(&pi_words);
         reference.load_state_words(&ppi_words);
         reference.eval();
-        let (po, ppo) = engine.eval_single_cycle_patterns(&pi_words, &ppi_words, &plan);
+        engine.eval_single_cycle_patterns_into(&pi_words, &ppi_words, &plan, &mut po, &mut ppo);
 
         let live = if count == 64 {
             u64::MAX

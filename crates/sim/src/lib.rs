@@ -53,7 +53,9 @@ pub mod engine;
 pub mod exhaustive;
 pub mod faults;
 pub mod logic;
+pub mod word;
 
 mod scan;
 
 pub use scan::{ScanResponse, ScanTest};
+pub use word::{LaneWord, W256};

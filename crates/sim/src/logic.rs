@@ -1,28 +1,43 @@
-//! 64-lane bit-parallel combinational evaluation.
+//! Lane-parallel combinational evaluation.
 //!
-//! Every net carries a 64-bit word; the engine interprets the lanes either
-//! as 64 independent input patterns (pattern-parallel, used by the
-//! exhaustive simulator) or as 64 copies of one pattern under 64 different
-//! faults (fault-parallel, used by the fault engine).
+//! Every net carries a lane word ([`crate::word::LaneWord`], `u64` by
+//! default); the engine interprets the lanes either as independent input
+//! patterns (pattern-parallel, used by the exhaustive simulator) or as
+//! copies of one pattern under different faults (fault-parallel, used by
+//! the fault engine). Evaluation walks the netlist's flattened
+//! [`GateArena`], built once and shared by every evaluator of a campaign.
+
+use std::sync::Arc;
 
 use scanft_fsm::InputId;
-use scanft_netlist::Netlist;
+use scanft_netlist::{GateArena, GateKind, NetId, Netlist};
 
+use crate::word::LaneWord;
 use crate::{ScanResponse, ScanTest};
 
 /// Reusable evaluation buffers for one netlist (one 64-bit word per net).
 #[derive(Debug, Clone)]
 pub struct Evaluator<'a> {
     netlist: &'a Netlist,
+    arena: Arc<GateArena>,
     values: Vec<u64>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator for `netlist`.
+    /// Creates an evaluator for `netlist`, building a private arena.
     #[must_use]
     pub fn new(netlist: &'a Netlist) -> Self {
+        Evaluator::with_arena(netlist, Arc::new(GateArena::build(netlist)))
+    }
+
+    /// Creates an evaluator sharing a prebuilt `arena` (one arena serves
+    /// every evaluator and fault engine of a campaign).
+    #[must_use]
+    pub fn with_arena(netlist: &'a Netlist, arena: Arc<GateArena>) -> Self {
+        debug_assert_eq!(arena.num_nets(), netlist.num_nets());
         Evaluator {
             netlist,
+            arena,
             values: vec![0; netlist.num_nets()],
         }
     }
@@ -35,7 +50,7 @@ impl<'a> Evaluator<'a> {
 
     /// Current value word of `net` (valid after an `eval_*` call).
     #[must_use]
-    pub fn value(&self, net: scanft_netlist::NetId) -> u64 {
+    pub fn value(&self, net: NetId) -> u64 {
         self.values[net as usize]
     }
 
@@ -81,32 +96,36 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluates all gates in topological order (fault-free).
     pub fn eval(&mut self) {
-        let inputs = self.netlist.num_pis() + self.netlist.num_ppis();
-        for (g, gate) in self.netlist.gates().iter().enumerate() {
-            let word = eval_gate(gate, &self.values);
-            self.values[inputs + g] = word;
+        let arena = Arc::clone(&self.arena);
+        for &g in arena.schedule() {
+            let g = g as usize;
+            self.values[arena.gate_output(g) as usize] =
+                eval_gate_fanins(arena.kind(g), arena.fanins(g), &self.values);
         }
     }
 
-    /// Packed primary-output word: bit `k` of lane `l` set when PO `k` is 1
-    /// in lane `l`. Returns one word per PO.
-    #[must_use]
-    pub fn output_words(&self) -> Vec<u64> {
-        self.netlist
-            .pos()
-            .iter()
-            .map(|&net| self.values[net as usize])
-            .collect()
+    /// Writes the per-PO value words into `out` (cleared first): one word
+    /// per primary output, bit lane `l` carrying that lane's value.
+    pub fn output_words_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.netlist
+                .pos()
+                .iter()
+                .map(|&net| self.values[net as usize]),
+        );
     }
 
-    /// Per-PO words for the next-state lines.
-    #[must_use]
-    pub fn next_state_words(&self) -> Vec<u64> {
-        self.netlist
-            .ppos()
-            .iter()
-            .map(|&net| self.values[net as usize])
-            .collect()
+    /// Writes the per-PPO (next-state line) value words into `out`
+    /// (cleared first).
+    pub fn next_state_words_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.netlist
+                .ppos()
+                .iter()
+                .map(|&net| self.values[net as usize]),
+        );
     }
 
     /// Interprets lane `lane` of the current PO values as a packed output
@@ -121,9 +140,103 @@ impl<'a> Evaluator<'a> {
     pub fn next_state_code(&self, lane: usize) -> u64 {
         pack_lane(self.netlist.ppos(), &self.values, lane)
     }
+
+    /// Simulates `test` fault-free and records the value of **every net at
+    /// every cycle** (one bit per net, packed), plus the observed outputs
+    /// and final state. The resulting [`GoodTrace`] is what the PPSFP
+    /// kernel reads through for nets outside a batch's fault cones.
+    pub fn record_trace(&mut self, test: &ScanTest) -> GoodTrace {
+        let num_nets = self.netlist.num_nets();
+        let words_per_cycle = num_nets.div_ceil(64);
+        let mut bits = Vec::with_capacity(words_per_cycle * test.inputs.len());
+        let mut outputs = Vec::with_capacity(test.inputs.len());
+        let mut code = test.init_code;
+        for &input in &test.inputs {
+            self.load_state_broadcast(code);
+            self.load_input_broadcast(input);
+            self.eval();
+            for chunk in 0..words_per_cycle {
+                let mut word = 0u64;
+                for bit in 0..64 {
+                    let net = chunk * 64 + bit;
+                    if net >= num_nets {
+                        break;
+                    }
+                    // Broadcast evaluation: every lane agrees, bit 0 is
+                    // representative.
+                    word |= (self.values[net] & 1) << bit;
+                }
+                bits.push(word);
+            }
+            outputs.push(self.output_combo(0));
+            code = self.next_state_code(0);
+        }
+        GoodTrace {
+            words_per_cycle,
+            bits,
+            outputs,
+            final_code: code,
+        }
+    }
 }
 
-fn pack_lane(nets: &[scanft_netlist::NetId], values: &[u64], lane: usize) -> u64 {
+/// The fault-free value of every net at every cycle of one scan test,
+/// bit-packed (cycle-major), plus the fault-free response.
+///
+/// Recorded once per test by [`Evaluator::record_trace`] and then shared by
+/// every fault batch simulating that test: the event-driven kernel reads
+/// the good value of any net outside its dirty set straight from the trace
+/// instead of re-deriving it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoodTrace {
+    words_per_cycle: usize,
+    bits: Vec<u64>,
+    outputs: Vec<u64>,
+    final_code: u64,
+}
+
+impl GoodTrace {
+    /// Fault-free value of `net` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` or `net` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn bit(&self, cycle: usize, net: NetId) -> bool {
+        let n = net as usize;
+        self.bits[cycle * self.words_per_cycle + n / 64] >> (n % 64) & 1 == 1
+    }
+
+    /// Fault-free packed output combination per cycle.
+    #[must_use]
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Fault-free final state code (the scan-out reference).
+    #[must_use]
+    pub fn final_code(&self) -> u64 {
+        self.final_code
+    }
+
+    /// Number of recorded cycles.
+    #[must_use]
+    pub fn num_cycles(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The fault-free response as a [`ScanResponse`].
+    #[must_use]
+    pub fn response(&self) -> ScanResponse {
+        ScanResponse {
+            outputs: self.outputs.clone(),
+            final_code: self.final_code,
+        }
+    }
+}
+
+fn pack_lane(nets: &[NetId], values: &[u64], lane: usize) -> u64 {
     let mut word = 0u64;
     for (k, &net) in nets.iter().enumerate() {
         if values[net as usize] >> lane & 1 == 1 {
@@ -133,31 +246,42 @@ fn pack_lane(nets: &[scanft_netlist::NetId], values: &[u64], lane: usize) -> u64
     word
 }
 
-pub(crate) fn eval_gate(gate: &scanft_netlist::Gate, values: &[u64]) -> u64 {
-    use scanft_netlist::GateKind;
-    match gate.kind {
-        GateKind::Not => !values[gate.inputs[0] as usize],
-        GateKind::Buf => values[gate.inputs[0] as usize],
-        GateKind::And => gate
-            .inputs
+/// Evaluates one gate over `values`, gathering inputs by net id.
+#[inline]
+pub(crate) fn eval_gate_fanins<W: LaneWord>(kind: GateKind, fanins: &[NetId], values: &[W]) -> W {
+    match kind {
+        GateKind::Not => !values[fanins[0] as usize],
+        GateKind::Buf => values[fanins[0] as usize],
+        GateKind::And => fanins
             .iter()
-            .fold(u64::MAX, |acc, &i| acc & values[i as usize]),
-        GateKind::Or => gate
-            .inputs
+            .fold(W::ones(), |acc, &i| acc & values[i as usize]),
+        GateKind::Or => fanins
             .iter()
-            .fold(0, |acc, &i| acc | values[i as usize]),
-        GateKind::Nand => !gate
-            .inputs
+            .fold(W::zero(), |acc, &i| acc | values[i as usize]),
+        GateKind::Nand => !fanins
             .iter()
-            .fold(u64::MAX, |acc, &i| acc & values[i as usize]),
-        GateKind::Nor => !gate
-            .inputs
+            .fold(W::ones(), |acc, &i| acc & values[i as usize]),
+        GateKind::Nor => !fanins
             .iter()
-            .fold(0, |acc, &i| acc | values[i as usize]),
-        GateKind::Xor => gate
-            .inputs
+            .fold(W::zero(), |acc, &i| acc | values[i as usize]),
+        GateKind::Xor => fanins
             .iter()
-            .fold(0, |acc, &i| acc ^ values[i as usize]),
+            .fold(W::zero(), |acc, &i| acc ^ values[i as usize]),
+    }
+}
+
+/// Evaluates one gate over already-gathered input words (the slow-path
+/// variant used when inputs pass through bridge taps or branch forces).
+#[inline]
+pub(crate) fn eval_gate_scratch<W: LaneWord>(kind: GateKind, inputs: &[W]) -> W {
+    match kind {
+        GateKind::Not => !inputs[0],
+        GateKind::Buf => inputs[0],
+        GateKind::And => inputs.iter().fold(W::ones(), |acc, &w| acc & w),
+        GateKind::Or => inputs.iter().fold(W::zero(), |acc, &w| acc | w),
+        GateKind::Nand => !inputs.iter().fold(W::ones(), |acc, &w| acc & w),
+        GateKind::Nor => !inputs.iter().fold(W::zero(), |acc, &w| acc | w),
+        GateKind::Xor => inputs.iter().fold(W::zero(), |acc, &w| acc ^ w),
     }
 }
 
@@ -261,5 +385,60 @@ mod tests {
         assert_eq!(eval.output_combo(1), 1);
         assert_eq!(eval.next_state_code(0), 1);
         assert_eq!(eval.next_state_code(1), 2);
+    }
+
+    #[test]
+    fn scratch_output_words_match_lane_packing() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let mut eval = Evaluator::new(c.netlist());
+        eval.load_state_broadcast(1);
+        eval.load_input_broadcast(0b10);
+        eval.eval();
+        let mut pos = vec![0xdead; 7];
+        let mut ppos = Vec::new();
+        eval.output_words_into(&mut pos);
+        eval.next_state_words_into(&mut ppos);
+        assert_eq!(pos.len(), c.netlist().pos().len());
+        assert_eq!(ppos.len(), c.netlist().ppos().len());
+        for lane in [0usize, 17, 63] {
+            let combo = pack_lane(c.netlist().pos(), &eval.values, lane);
+            assert_eq!(eval.output_combo(lane), combo);
+        }
+        for (k, &w) in pos.iter().enumerate() {
+            assert_eq!(w, eval.value(c.netlist().pos()[k]));
+        }
+        for (k, &w) in ppos.iter().enumerate() {
+            assert_eq!(w, eval.value(c.netlist().ppos()[k]));
+        }
+    }
+
+    #[test]
+    fn recorded_trace_matches_simulate() {
+        let lion = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&lion, &SynthConfig::default());
+        let test = ScanTest::new(2, vec![0b10, 0b00, 0b11, 0b01]);
+        let reference = simulate(c.netlist(), &test);
+        let mut eval = Evaluator::new(c.netlist());
+        let trace = eval.record_trace(&test);
+        assert_eq!(trace.response(), reference);
+        assert_eq!(trace.num_cycles(), test.inputs.len());
+        // Per-net bits agree with a step-by-step re-simulation.
+        let n = c.netlist();
+        let mut code = test.init_code;
+        for (cycle, &input) in test.inputs.iter().enumerate() {
+            eval.load_state_broadcast(code);
+            eval.load_input_broadcast(input);
+            eval.eval();
+            for net in 0..n.num_nets() as u32 {
+                assert_eq!(
+                    trace.bit(cycle, net),
+                    eval.value(net) & 1 == 1,
+                    "cycle {cycle} net {net}"
+                );
+            }
+            code = eval.next_state_code(0);
+        }
+        assert_eq!(trace.final_code(), code);
     }
 }

@@ -59,6 +59,7 @@ fn config(name: &str, threads: usize, budget: Budget) -> SupervisedConfig {
         observe_scan_out: true,
         budget,
         label: name.to_owned(),
+        kernel: campaign::Kernel::Narrow,
     }
 }
 
