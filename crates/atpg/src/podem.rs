@@ -71,7 +71,7 @@ pub enum Heuristic {
 }
 
 /// Knobs for one test-generation call.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AtpgConfig {
     /// Maximum number of input-assignment decisions per fault. The search
     /// aborts (outcome [`AtpgOutcome::Aborted`]) when the budget is hit, so

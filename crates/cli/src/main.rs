@@ -101,6 +101,15 @@ const USAGE: &str = "usage:
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
   scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
   scanft dot <circuit>
+  scanft serve [--addr HOST:PORT] [--workers N] [--threads N]
+               [--kernel narrow|wide] [--journal-dir DIR] [--cache N]
+               [--max-active N] [--max-units N] [--body-limit BYTES]
+               [--timeout SECS] [--deadline SECS] [--chaos-seed N]
+  scanft submit <circuit> --server HOST:PORT [--tests FILE] [--tenant T]
+                [--atpg] [--wait [--timeout SECS]]
+  scanft status <job-id> --server HOST:PORT
+  scanft cancel <job-id> --server HOST:PORT
+  scanft events <job-id> --server HOST:PORT
 
 <circuit> is a benchmark name from `scanft list` or a path to a KISS2 file
 (`lint` also accepts BLIF netlist paths). `lint` exits 1 when any deny-level
@@ -116,6 +125,11 @@ fn run(args: &[String]) -> Result<ExitCode, ScanftError> {
     let rest = &args[1..];
     match command.as_str() {
         "lint" => return cmd_lint(rest),
+        "submit" => return cmd_submit(rest),
+        "status" => return cmd_status(rest),
+        "cancel" => return cmd_cancel(rest),
+        "events" => return cmd_events(rest),
+        "serve" => cmd_serve(rest),
         "list" => cmd_list(),
         "show" => cmd_show(rest),
         "uio" => cmd_uio(rest),
@@ -393,6 +407,7 @@ fn simulate_supervised(
         budget,
         label: table.name().to_owned(),
         kernel,
+        arena: None,
     };
 
     let prior = match (&journal_path, resume) {
@@ -839,4 +854,223 @@ fn cmd_synth(rest: &[String]) -> Result<(), ScanftError> {
         println!("self-check: netlist behaviour matches the state table on all transitions");
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Serving: the `scanft serve` daemon and its client subcommands.
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(rest: &[String]) -> Result<(), ScanftError> {
+    use scanft_server::{Server, ServerConfig, TenantQuota};
+
+    let mut config = ServerConfig::default();
+    if let Some(addr) = string_of(rest, "--addr")? {
+        config.addr = addr;
+    }
+    if let Some(workers) = value_of(rest, "--workers")? {
+        if workers == 0 {
+            return Err(ScanftError::usage("--workers must be positive"));
+        }
+        config.workers = workers;
+    }
+    if let Some(threads) = value_of(rest, "--threads")? {
+        if threads == 0 {
+            return Err(ScanftError::usage("--threads must be positive"));
+        }
+        config.campaign_threads = threads;
+    }
+    if let Some(kernel) = string_of(rest, "--kernel")? {
+        config.kernel = scanft_sim::campaign::Kernel::from_flag(&kernel)
+            .ok_or_else(|| ScanftError::usage("--kernel must be `narrow` or `wide`"))?;
+    }
+    if let Some(dir) = string_of(rest, "--journal-dir")? {
+        config.journal_dir = dir;
+    }
+    if let Some(capacity) = value_of(rest, "--cache")? {
+        config.cache_capacity = capacity;
+    }
+    let mut quota = TenantQuota::default();
+    if let Some(max_active) = value_of(rest, "--max-active")? {
+        quota.max_active = max_active;
+    }
+    if let Some(max_units) = value_of(rest, "--max-units")? {
+        quota.max_units = Some(max_units as u64);
+    }
+    config.quota = quota;
+    if let Some(limit) = value_of(rest, "--body-limit")? {
+        config.max_body_bytes = limit;
+    }
+    if let Some(secs) = value_of(rest, "--timeout")? {
+        config.read_timeout = std::time::Duration::from_secs(secs as u64);
+    }
+    if let Some(seed) = value_of(rest, "--chaos-seed")? {
+        scanft_harness::silence_chaos_panics();
+        config.chaos_seed = Some(seed as u64);
+    }
+    let deadline = value_of(rest, "--deadline")?;
+
+    let journal_dir = config.journal_dir.clone();
+    let server = Server::start(config)?;
+    println!("scanft serve: listening on {}", server.addr());
+    println!("  journals: {journal_dir}");
+    match deadline {
+        Some(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs(secs as u64));
+            println!("scanft serve: deadline reached, shutting down");
+            server.shutdown();
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}
+
+fn server_client(rest: &[String]) -> Result<scanft_server::Client, ScanftError> {
+    use std::net::ToSocketAddrs;
+    let addr = string_of(rest, "--server")?
+        .ok_or_else(|| ScanftError::usage("--server HOST:PORT is required"))?;
+    let resolved = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .ok_or_else(|| ScanftError::usage(format!("cannot resolve server address `{addr}`")))?;
+    Ok(scanft_server::Client::new(resolved))
+}
+
+/// Maps a client failure onto the CLI's exit discipline: transport and
+/// protocol failures become [`ScanftError::Io`]; structured API refusals
+/// are printed and exit with the taxonomy code the server sent, so an HTTP
+/// `fsm` error and a local `scanft simulate` parse error exit identically.
+fn api_exit(err: scanft_server::ClientError) -> Result<ExitCode, ScanftError> {
+    use scanft_server::ClientError;
+    match err {
+        ClientError::Io(source) => Err(ScanftError::Io {
+            path: "server connection".to_owned(),
+            source,
+        }),
+        ClientError::Protocol(what) => Err(ScanftError::Io {
+            path: "server response".to_owned(),
+            source: std::io::Error::new(std::io::ErrorKind::InvalidData, what),
+        }),
+        ClientError::Api {
+            status,
+            code,
+            class,
+            message,
+        } => {
+            eprintln!("scanft: server refused ({status}): error[{class}]: {message}");
+            Ok(ExitCode::from(u8::try_from(code).unwrap_or(1)))
+        }
+    }
+}
+
+fn print_job(view: &scanft_server::JobView) {
+    println!("{}: {} ({})", view.id, view.status, view.circuit);
+    println!("  key: {}", view.key);
+    if let Some(cache) = &view.cache {
+        println!("  artifacts: cache {cache}");
+    }
+    if let (Some(coverage), Some(detected), Some(faults)) =
+        (view.coverage, view.detected, view.faults)
+    {
+        println!("  coverage: {coverage:.2}% ({detected}/{faults} faults)");
+    }
+    if let (Some(done), Some(total)) = (view.completed_units, view.units) {
+        println!("  units: {done}/{total}");
+    }
+    if let Some(message) = &view.message {
+        println!("  error: {message}");
+    }
+    if let Some(journal) = &view.journal {
+        println!("  journal: {journal}");
+    }
+}
+
+fn cmd_submit(rest: &[String]) -> Result<ExitCode, ScanftError> {
+    let client = server_client(rest)?;
+    let table = load_circuit(rest)?;
+    let mut body = kiss::write(&table);
+    if let Some(path) = string_of(rest, "--tests")? {
+        body.push_str(".tests\n");
+        body.push_str(&read_file(&path)?);
+    }
+    let kind = if flag(rest, "--atpg") {
+        scanft_server::JobKind::Atpg
+    } else {
+        scanft_server::JobKind::Simulate
+    };
+    let tenant = string_of(rest, "--tenant")?.unwrap_or_else(|| "default".to_owned());
+    let submitted = match client.submit(&body, table.name(), &tenant, kind) {
+        Ok(view) => view,
+        Err(err) => return api_exit(err),
+    };
+    if flag(rest, "--wait") {
+        let deadline =
+            std::time::Duration::from_secs(value_of(rest, "--timeout")?.unwrap_or(600) as u64);
+        match client.wait(&submitted.id, deadline) {
+            Ok(view) => print_job(&view),
+            Err(err) => return api_exit(err),
+        }
+    } else {
+        print_job(&submitted);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The first positional argument, skipping flags and the values of flags
+/// that take one (so `status --server HOST:PORT job-3` finds `job-3`).
+fn job_id_of(rest: &[String]) -> Result<String, ScanftError> {
+    let mut skip_value = false;
+    for arg in rest {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            skip_value = matches!(
+                arg.as_str(),
+                "--server" | "--timeout" | "--tenant" | "--tests"
+            );
+            continue;
+        }
+        return Ok(arg.clone());
+    }
+    Err(ScanftError::usage("missing job id"))
+}
+
+fn cmd_status(rest: &[String]) -> Result<ExitCode, ScanftError> {
+    let client = server_client(rest)?;
+    match client.status(&job_id_of(rest)?) {
+        Ok(view) => {
+            print_job(&view);
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(err) => api_exit(err),
+    }
+}
+
+fn cmd_cancel(rest: &[String]) -> Result<ExitCode, ScanftError> {
+    let client = server_client(rest)?;
+    let id = job_id_of(rest)?;
+    match client.cancel(&id) {
+        Ok(()) => {
+            println!("{id}: cancellation requested");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(err) => api_exit(err),
+    }
+}
+
+fn cmd_events(rest: &[String]) -> Result<ExitCode, ScanftError> {
+    let client = server_client(rest)?;
+    match client.events(&job_id_of(rest)?) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(err) => api_exit(err),
+    }
 }

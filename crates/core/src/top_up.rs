@@ -34,7 +34,7 @@ pub use scanft_atpg::Heuristic;
 use crate::TestSet;
 
 /// Knobs for a top-up run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TopUpConfig {
     /// Per-fault PODEM decision budget (see [`AtpgConfig`]).
     pub decision_budget: u64,
@@ -239,6 +239,22 @@ pub fn top_up_scan(
     functional: &[ScanTest],
     config: &TopUpConfig,
 ) -> TopUpOutcome {
+    top_up_scan_with(netlist, functional, config, None)
+}
+
+/// Like [`top_up_scan`], accepting a pre-built [`Analysis`] so a caching
+/// caller (the `scanft serve` artifact cache) can share one implication/
+/// dominator/SCOAP bundle across jobs on the same netlist instead of
+/// recomputing it per run. Passing `None` computes the analysis internally
+/// (when the config needs one), exactly like [`top_up_scan`]; the analysis
+/// is pure structural data, so sharing cannot change any verdict.
+#[must_use]
+pub fn top_up_scan_with(
+    netlist: &Netlist,
+    functional: &[ScanTest],
+    config: &TopUpConfig,
+    prebuilt: Option<Analysis>,
+) -> TopUpOutcome {
     let obs = scanft_obs::global();
     let _span = obs.timer("core.top_up").start();
 
@@ -264,7 +280,7 @@ pub fn top_up_scan(
     // One static analysis serves both the prune and the guided search; it
     // is skipped entirely only when neither consumer wants it.
     let analysis = if config.static_prune || config.use_implications {
-        Some(Analysis::new(netlist))
+        Some(prebuilt.unwrap_or_else(|| Analysis::new(netlist)))
     } else {
         None
     };

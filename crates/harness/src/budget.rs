@@ -1,19 +1,27 @@
 //! Wall-clock and work-unit budgets for long-running campaigns.
 //!
-//! A [`Budget`] is a passive description — an optional wall-clock deadline
-//! and an optional cap on the number of work units — that costs nothing
-//! until [`Budget::start`] turns it into a running [`BudgetClock`]. The
-//! clock is shared by every worker of a supervised run: each worker claims
-//! its next unit through [`BudgetClock::try_claim`], which refuses with a
-//! [`StopReason`] the moment either limit is reached, so an exhausted
-//! budget can never spin a worker in a busy loop.
+//! A [`Budget`] is a passive description — an optional wall-clock deadline,
+//! an optional cap on the number of work units, and an optional shared
+//! [`CancelToken`] — that costs nothing until [`Budget::start`] turns it
+//! into a running [`BudgetClock`]. The clock is shared by every worker of a
+//! supervised run: each worker claims its next unit through
+//! [`BudgetClock::try_claim`], which refuses with a [`StopReason`] the
+//! moment any limit is reached, so an exhausted budget can never spin a
+//! worker in a busy loop. The cancel token is how an external controller —
+//! the `scanft serve` job API's `DELETE /jobs/:id`, say — stops a campaign
+//! that is already running: cancellation rides the same claim-refusal path
+//! as deadlines and unit caps, so a cancelled run degrades exactly like a
+//! budget-stopped one (sound partial results, nothing invented).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a budgeted run stopped before finishing all of its work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
+    /// The run was cancelled through its [`CancelToken`].
+    Cancelled,
     /// The wall-clock deadline passed.
     Deadline,
     /// The work-unit cap was reached.
@@ -23,14 +31,52 @@ pub enum StopReason {
 impl std::fmt::Display for StopReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            StopReason::Cancelled => write!(f, "cancellation"),
             StopReason::Deadline => write!(f, "wall-clock deadline"),
             StopReason::UnitCap => write!(f, "work-unit cap"),
         }
     }
 }
 
-/// A wall-clock deadline plus a work-unit cap, either of which may be
-/// absent. The default budget is unlimited.
+/// A shared, thread-safe cancellation flag.
+///
+/// Clones share the flag, so a controller keeps one clone and hands the
+/// other to a [`Budget`]; flipping it refuses every subsequent work-unit
+/// claim with [`StopReason::Cancelled`]. Cancellation is level-triggered
+/// and irreversible: once cancelled, always cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Token identity: two tokens are equal iff they share the same flag.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// A wall-clock deadline plus a work-unit cap plus a cancellation hook,
+/// any of which may be absent. The default budget is unlimited.
 ///
 /// What a "unit" means is up to the consumer: the fault-simulation
 /// supervisor counts 64-fault batches, PODEM counts decisions, and the
@@ -40,20 +86,26 @@ impl std::fmt::Display for StopReason {
 ///
 /// ```
 /// use std::time::Duration;
-/// use scanft_harness::Budget;
+/// use scanft_harness::{Budget, CancelToken, StopReason};
 ///
+/// let token = CancelToken::new();
 /// let budget = Budget::unlimited()
 ///     .with_deadline(Duration::from_secs(30))
-///     .with_max_units(1000);
+///     .with_max_units(1000)
+///     .with_cancel(token.clone());
 /// let clock = budget.start();
 /// assert!(clock.try_claim().is_ok());
+/// token.cancel();
+/// assert_eq!(clock.try_claim(), Err(StopReason::Cancelled));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Budget {
     /// Wall-clock allowance, measured from [`Budget::start`].
     pub deadline: Option<Duration>,
     /// Maximum number of work units to claim.
     pub max_units: Option<u64>,
+    /// External cancellation hook checked before every claim.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -77,10 +129,18 @@ impl Budget {
         self
     }
 
-    /// Whether neither limit is set.
+    /// Attaches a cancellation token; the caller keeps a clone and flips it
+    /// to stop the run between work units.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether no limit (deadline, unit cap, or cancel hook) is set.
     #[must_use]
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_units.is_none()
+        self.deadline.is_none() && self.max_units.is_none() && self.cancel.is_none()
     }
 
     /// Starts the clock: the deadline is measured from this call.
@@ -89,6 +149,7 @@ impl Budget {
         BudgetClock {
             deadline_at: self.deadline.map(|d| Instant::now() + d),
             max_units: self.max_units,
+            cancel: self.cancel.clone(),
             claimed: AtomicU64::new(0),
         }
     }
@@ -99,15 +160,16 @@ impl Budget {
 pub struct BudgetClock {
     deadline_at: Option<Instant>,
     max_units: Option<u64>,
+    cancel: Option<CancelToken>,
     claimed: AtomicU64,
 }
 
 impl BudgetClock {
     /// Claims one work unit, or reports why no more may start.
     ///
-    /// The deadline is checked first (a zero-duration deadline therefore
-    /// refuses the very first claim), then the unit cap. A refused claim
-    /// does not consume a unit.
+    /// Cancellation is checked first, then the deadline (a zero-duration
+    /// deadline therefore refuses the very first claim), then the unit cap.
+    /// A refused claim does not consume a unit.
     pub fn try_claim(&self) -> Result<(), StopReason> {
         if let Some(reason) = self.stop_reason() {
             return Err(reason);
@@ -132,6 +194,11 @@ impl BudgetClock {
     /// Whether the budget already forbids further work, without claiming.
     #[must_use]
     pub fn stop_reason(&self) -> Option<StopReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
         if let Some(at) = self.deadline_at {
             if Instant::now() >= at {
                 return Some(StopReason::Deadline);
@@ -231,5 +298,64 @@ mod tests {
     fn display_names_the_reason() {
         assert_eq!(StopReason::Deadline.to_string(), "wall-clock deadline");
         assert_eq!(StopReason::UnitCap.to_string(), "work-unit cap");
+        assert_eq!(StopReason::Cancelled.to_string(), "cancellation");
+    }
+
+    #[test]
+    fn cancel_token_refuses_further_claims() {
+        let token = CancelToken::new();
+        let clock = Budget::unlimited().with_cancel(token.clone()).start();
+        assert!(clock.try_claim().is_ok());
+        assert!(clock.stop_reason().is_none());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(clock.stop_reason(), Some(StopReason::Cancelled));
+        assert_eq!(clock.try_claim(), Err(StopReason::Cancelled));
+        assert_eq!(clock.claimed(), 1, "a refused claim consumes nothing");
+        // Cancellation is irreversible.
+        assert_eq!(clock.try_claim(), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn cancel_checked_before_deadline_and_cap() {
+        let token = CancelToken::new();
+        token.cancel();
+        let clock = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_max_units(0)
+            .with_cancel(token)
+            .start();
+        assert_eq!(clock.try_claim(), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert_eq!(token, clone);
+        assert_ne!(token, CancelToken::new());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        let budget = Budget::unlimited().with_cancel(token);
+        assert!(!budget.is_unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn cancel_mid_fleet_stops_concurrent_claims() {
+        let token = CancelToken::new();
+        let clock = Budget::unlimited().with_cancel(token.clone()).start();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while clock.try_claim().is_ok() {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            token.cancel();
+        });
+        // Every worker exited through the Cancelled refusal; nothing hangs.
+        assert_eq!(clock.stop_reason(), Some(StopReason::Cancelled));
     }
 }

@@ -362,6 +362,108 @@ pub fn buffer_contents(buffer: &Arc<Mutex<Vec<u8>>>) -> String {
     String::from_utf8_lossy(&buffer.lock().expect("journal buffer poisoned")).into_owned()
 }
 
+/// A non-destructive follower for a journal file that is still being
+/// written.
+///
+/// The `scanft serve` events endpoint polls a running campaign's journal;
+/// re-reading the whole file per poll is quadratic in campaign length, so
+/// the tailer remembers a byte offset and each [`JournalTailer::poll`]
+/// reads only what was appended since. Because the writer flushes whole
+/// lines under a lock — and a crash or chaos tear can leave at most one
+/// unterminated trailing line — the tailer only ever consumes up through
+/// the last `\n` it sees: a partially-written record stays buffered in the
+/// file until its newline arrives, so a poll never yields a torn prefix of
+/// a record that later completes.
+#[derive(Debug, Clone)]
+pub struct JournalTailer {
+    path: String,
+    offset: u64,
+}
+
+impl JournalTailer {
+    /// Starts tailing `path` from the beginning. The file need not exist
+    /// yet: polls before creation simply yield nothing.
+    #[must_use]
+    pub fn new(path: &str) -> Self {
+        JournalTailer {
+            path: path.to_owned(),
+            offset: 0,
+        }
+    }
+
+    /// Byte offset of the next unread position in the file.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Returns every *complete* line appended since the last poll, newline
+    /// terminators stripped. Bytes after the final `\n` are left unread for
+    /// a future poll. A missing file yields an empty batch, not an error.
+    pub fn poll(&mut self) -> Result<Vec<String>, ScanftError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(file) => file,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(source) => {
+                return Err(ScanftError::Io {
+                    path: self.path.clone(),
+                    source,
+                })
+            }
+        };
+        let io_err = |source| ScanftError::Io {
+            path: self.path.clone(),
+            source,
+        };
+        let len = file.metadata().map_err(io_err)?.len();
+        if len <= self.offset {
+            // Nothing new (or the file was truncated/recreated shorter —
+            // journals are append-only, so treat that as nothing new).
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(|source| ScanftError::Io {
+                path: self.path.clone(),
+                source,
+            })?;
+        let mut fresh = Vec::with_capacity(usize::try_from(len - self.offset).unwrap_or(0));
+        file.take(len - self.offset)
+            .read_to_end(&mut fresh)
+            .map_err(|source| ScanftError::Io {
+                path: self.path.clone(),
+                source,
+            })?;
+        // Consume only up through the last newline; a torn trailing line
+        // stays unread until the writer finishes it.
+        let Some(last_newline) = fresh.iter().rposition(|&b| b == b'\n') else {
+            return Ok(Vec::new());
+        };
+        self.offset += last_newline as u64 + 1;
+        let text = String::from_utf8_lossy(&fresh[..=last_newline]);
+        Ok(text.lines().map(str::to_owned).collect())
+    }
+
+    /// Like [`JournalTailer::poll`], but parses each complete line as a
+    /// [`JournalRecord`], silently skipping the header and any damaged
+    /// lines (counted in the second tuple element).
+    pub fn poll_records(&mut self) -> Result<(Vec<JournalRecord>, usize), ScanftError> {
+        let mut records = Vec::new();
+        let mut skipped = 0;
+        for line in self.poll()? {
+            let line = line.trim();
+            if line.is_empty() || parse_header(line).is_some() {
+                continue;
+            }
+            match parse_record(line) {
+                Some(record) => records.push(record),
+                None => skipped += 1,
+            }
+        }
+        Ok((records, skipped))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +599,119 @@ mod tests {
             }]
         );
         assert_eq!(journal.skipped_lines, 2);
+    }
+
+    fn temp_path(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("scanft-{tag}-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn tailer_yields_only_new_complete_lines() {
+        let path = temp_path("tail-basic");
+        std::fs::remove_file(&path).ok();
+        let mut tailer = JournalTailer::new(&path);
+        // Polling before the file exists is not an error.
+        assert!(tailer.poll().unwrap().is_empty());
+
+        let writer = JournalWriter::create(&path).unwrap();
+        writer.write_header(&header()).unwrap();
+        writer
+            .append(&JournalRecord {
+                unit: 0,
+                lanes: vec![Some(3), None],
+            })
+            .unwrap();
+        let lines = tailer.poll().unwrap();
+        assert_eq!(lines.len(), 2, "header plus one record");
+        assert!(lines[0].contains("scanft-campaign"));
+
+        // No new writes → empty poll, offset unchanged.
+        let offset = tailer.offset();
+        assert!(tailer.poll().unwrap().is_empty());
+        assert_eq!(tailer.offset(), offset);
+
+        writer
+            .append(&JournalRecord {
+                unit: 1,
+                lanes: vec![None],
+            })
+            .unwrap();
+        let (records, skipped) = tailer.poll_records().unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].unit, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The satellite regression: tailing a journal mid-torn-write must
+    /// never yield a partial record. A record written without its trailing
+    /// newline stays invisible to the tailer until the newline arrives,
+    /// at which point the *whole* line is delivered exactly once.
+    #[test]
+    fn tailer_never_yields_partial_record_mid_torn_write() {
+        use std::io::Write as _;
+        let path = temp_path("tail-torn");
+        std::fs::remove_file(&path).ok();
+        let full = "{\"unit\":7,\"lanes\":[3,null,9]}\n";
+        let mut tailer = JournalTailer::new(&path);
+        {
+            let mut file = std::fs::File::create(&path).unwrap();
+            // Crash mid-record: only half the line reaches the file.
+            file.write_all(&full.as_bytes()[..13]).unwrap();
+            file.flush().unwrap();
+        }
+        assert!(
+            tailer.poll().unwrap().is_empty(),
+            "an unterminated line must stay unread"
+        );
+        {
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            file.write_all(&full.as_bytes()[13..]).unwrap();
+        }
+        let (records, skipped) = tailer.poll_records().unwrap();
+        assert_eq!(skipped, 0, "the completed line parses whole");
+        assert_eq!(
+            records,
+            vec![JournalRecord {
+                unit: 7,
+                lanes: vec![Some(3), None, Some(9)],
+            }]
+        );
+        // Delivered exactly once.
+        assert!(tailer.poll().unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A line torn *permanently* (the writer died and a new record follows
+    /// it) is delivered as a damaged line and counted, never spliced into
+    /// its successor.
+    #[test]
+    fn tailer_counts_permanently_torn_lines() {
+        use std::io::Write as _;
+        let path = temp_path("tail-dead");
+        std::fs::remove_file(&path).ok();
+        let mut tailer = JournalTailer::new(&path);
+        {
+            let mut file = std::fs::File::create(&path).unwrap();
+            file.write_all(b"{\"unit\":0,\"lanes\":[1,nu\n").unwrap();
+            file.write_all(b"{\"unit\":1,\"lanes\":[4]}\n").unwrap();
+        }
+        let (records, skipped) = tailer.poll_records().unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(
+            records,
+            vec![JournalRecord {
+                unit: 1,
+                lanes: vec![Some(4)],
+            }]
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! instead of starting over. This crate supplies the machinery, one layer
 //! per failure mode:
 //!
-//! - [`Budget`] / [`BudgetClock`]: a wall-clock deadline plus a work-unit
-//!   cap, checked at every claim so exhausted budgets stop the fleet
-//!   promptly (a zero-second budget completes zero units cleanly);
+//! - [`Budget`] / [`BudgetClock`]: a wall-clock deadline, a work-unit
+//!   cap, and an external [`CancelToken`], checked at every claim so
+//!   exhausted or cancelled budgets stop the fleet promptly (a
+//!   zero-second budget completes zero units cleanly);
 //! - [`run_units`]: panic-isolating supervisor — each unit runs under
 //!   `catch_unwind`, a panicking unit is *quarantined* with its message
 //!   and the worker's scratch state is rebuilt, so one bad batch can no
@@ -16,6 +17,8 @@
 //! - [`JournalWriter`] / [`read_journal`]: append-only JSONL checkpoints
 //!   of completed units, flushed per record, tolerant of torn trailing
 //!   writes, and validated against the campaign shape before a resume;
+//!   [`JournalTailer`] follows a growing journal without re-reading it,
+//!   yielding only complete lines (the `scanft serve` events feed);
 //! - [`FailurePlan`]: deterministic chaos injection (panics, delays, torn
 //!   journal writes) seeded through the workspace's SplitMix64, so every
 //!   recovery path above is provable in CI with a pinned seed;
@@ -55,11 +58,11 @@ mod error;
 mod journal;
 mod supervisor;
 
-pub use budget::{Budget, BudgetClock, StopReason};
+pub use budget::{Budget, BudgetClock, CancelToken, StopReason};
 pub use chaos::{silence_chaos_panics, ChaosPanic, FailurePlan};
 pub use error::ScanftError;
 pub use journal::{
     buffer_contents, read_journal, read_journal_file, Journal, JournalHeader, JournalRecord,
-    JournalWriter,
+    JournalTailer, JournalWriter,
 };
 pub use supervisor::{run_units, UnitFailure, WorkOutcome};

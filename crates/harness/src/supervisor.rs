@@ -180,6 +180,7 @@ where
     c_quarantined.add(quarantined.len() as u64);
     let stopped = stopped.into_inner().expect("stop flag poisoned");
     match stopped {
+        Some(StopReason::Cancelled) => obs.counter("harness.cancel_hits").inc(),
         Some(StopReason::Deadline) => obs.counter("harness.deadline_hits").inc(),
         Some(StopReason::UnitCap) => obs.counter("harness.unitcap_hits").inc(),
         None => {}

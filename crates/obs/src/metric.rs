@@ -64,6 +64,22 @@ impl Gauge {
         self.0.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Adds `n` to the gauge (e.g. a queue-depth gauge on enqueue).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the gauge, saturating at zero so a racy
+    /// enqueue/dequeue interleaving can never wrap a depth gauge to 2^64.
+    pub fn sub(&self, n: u64) {
+        // fetch_update retries on contention; saturating_sub keeps it >= 0.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
@@ -241,6 +257,16 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.set_max(9);
         assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn gauge_add_sub_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates instead of wrapping");
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! A tiny blocking client for the job API.
+//!
+//! Used by `scanft submit` / `scanft status` / `scanft cancel` / `scanft
+//! events` and the `serve_drill` CI drill. One TCP connection per call
+//! (mirroring the server's one-request-per-connection contract); responses
+//! are read to EOF, which is exactly the close-delimited framing the
+//! server emits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::job::JobKind;
+use crate::json::{field_f64, field_str, field_u64};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP round trip itself failed.
+    Io(
+        /// The underlying I/O error.
+        std::io::Error,
+    ),
+    /// The server answered with a structured error body.
+    Api {
+        /// HTTP status.
+        status: u16,
+        /// Workspace taxonomy code (a CLI exit code) or the HTTP status for
+        /// transport-level refusals.
+        code: u64,
+        /// Stable class name (`fsm`, `test-format`, `quota`, `http`, ...).
+        class: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The response did not parse as the protocol promises.
+    Protocol(
+        /// What was malformed.
+        String,
+    ),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "transport: {err}"),
+            ClientError::Api {
+                status,
+                code,
+                class,
+                message,
+            } => write!(f, "server refused ({status}, {class}/{code}): {message}"),
+            ClientError::Protocol(what) => write!(f, "bad response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+/// A parsed job-status object (`POST /jobs` and `GET /jobs/:id` bodies).
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job id (`job-<n>`).
+    pub id: String,
+    /// Lifecycle state name (`queued`, `running`, `completed`, `cancelled`,
+    /// `failed`).
+    pub status: String,
+    /// Circuit name as the server parsed it.
+    pub circuit: String,
+    /// Content key (hex) of the canonicalized circuit.
+    pub key: String,
+    /// Coverage percent, present once completed.
+    pub coverage: Option<f64>,
+    /// Detected faults, present once completed.
+    pub detected: Option<u64>,
+    /// Total faults, present once completed.
+    pub faults: Option<u64>,
+    /// Completed work units, present once completed.
+    pub completed_units: Option<u64>,
+    /// Total work units, present once completed.
+    pub units: Option<u64>,
+    /// `"hit"` / `"miss"` once the artifact cache was consulted.
+    pub cache: Option<String>,
+    /// Failure message when `status == "failed"`.
+    pub message: Option<String>,
+    /// Server-side journal path.
+    pub journal: Option<String>,
+}
+
+impl JobView {
+    /// Whether the job can no longer change state.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.status.as_str(), "completed" | "cancelled" | "failed")
+    }
+
+    fn parse(body: &str) -> Result<JobView, ClientError> {
+        let id = field_str(body, "id")
+            .ok_or_else(|| ClientError::Protocol(format!("job body without id: {body}")))?;
+        let status = field_str(body, "status")
+            .ok_or_else(|| ClientError::Protocol(format!("job body without status: {body}")))?;
+        Ok(JobView {
+            id,
+            status,
+            circuit: field_str(body, "circuit").unwrap_or_default(),
+            key: field_str(body, "key").unwrap_or_default(),
+            coverage: field_f64(body, "coverage"),
+            detected: field_u64(body, "detected"),
+            faults: field_u64(body, "faults"),
+            completed_units: field_u64(body, "completed_units"),
+            units: field_u64(body, "units"),
+            cache: field_str(body, "cache"),
+            message: field_str(body, "message"),
+            journal: field_str(body, "journal"),
+        })
+    }
+}
+
+/// The blocking client: one connection per call.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the server at `addr`.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-call socket timeout (default 30 s). Streaming
+    /// calls ([`Client::events`]) use it as a read-inactivity bound.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Submits a circuit (a `POST /jobs` body: KISS2, optionally followed
+    /// by a `.tests` section). Returns the queued job's view.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] carries the server's structured refusal.
+    pub fn submit(
+        &self,
+        body: &str,
+        circuit_name: &str,
+        tenant: &str,
+        kind: JobKind,
+    ) -> Result<JobView, ClientError> {
+        let request = format!(
+            "POST /jobs?kind={} HTTP/1.1\r\nHost: scanft\r\nX-Scanft-Circuit: {}\r\nX-Scanft-Tenant: {}\r\nContent-Length: {}\r\n\r\n",
+            kind.name(),
+            circuit_name,
+            tenant,
+            body.len(),
+        );
+        let (status, response) = self.round_trip(&request, Some(body.as_bytes()))?;
+        expect_ok(status, &response)?;
+        JobView::parse(&response)
+    }
+
+    /// Fetches a job's status/result.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with class `http` / status 404 for unknown ids.
+    pub fn status(&self, id: &str) -> Result<JobView, ClientError> {
+        let (status, response) = self.round_trip(
+            &format!("GET /jobs/{id} HTTP/1.1\r\nHost: scanft\r\n\r\n"),
+            None,
+        )?;
+        expect_ok(status, &response)?;
+        JobView::parse(&response)
+    }
+
+    /// Requests cancellation of a job (queued or running).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] for unknown ids.
+    pub fn cancel(&self, id: &str) -> Result<(), ClientError> {
+        let (status, response) = self.round_trip(
+            &format!("DELETE /jobs/{id} HTTP/1.1\r\nHost: scanft\r\n\r\n"),
+            None,
+        )?;
+        expect_ok(status, &response)?;
+        Ok(())
+    }
+
+    /// Streams the job's journal events until the server closes the
+    /// connection (job terminal and journal drained); returns every JSONL
+    /// line received.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the stream stalls past the client timeout.
+    pub fn events(&self, id: &str) -> Result<Vec<String>, ClientError> {
+        let (status, body) = self.round_trip(
+            &format!("GET /jobs/{id}/events HTTP/1.1\r\nHost: scanft\r\n\r\n"),
+            None,
+        )?;
+        expect_ok(status, &body)?;
+        Ok(body.lines().map(str::to_owned).collect())
+    }
+
+    /// Fetches the server's `scanft-obs` metrics export (JSON lines).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let (status, body) =
+            self.round_trip("GET /metrics HTTP/1.1\r\nHost: scanft\r\n\r\n", None)?;
+        expect_ok(status, &body)?;
+        Ok(body)
+    }
+
+    /// Polls [`Client::status`] until the job is terminal or `deadline`
+    /// elapses; returns the final view.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when the deadline passes first.
+    pub fn wait(&self, id: &str, deadline: Duration) -> Result<JobView, ClientError> {
+        let started = Instant::now();
+        loop {
+            let view = self.status(id)?;
+            if view.is_terminal() {
+                return Ok(view);
+            }
+            if started.elapsed() > deadline {
+                return Err(ClientError::Protocol(format!(
+                    "job {id} still `{}` after {deadline:?}",
+                    view.status
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// One request/response exchange; returns (status, body).
+    fn round_trip(&self, head: &str, body: Option<&[u8]>) -> Result<(u16, String), ClientError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout)).ok();
+        stream.set_write_timeout(Some(self.timeout)).ok();
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let Some((head, body)) = text.split_once("\r\n\r\n") else {
+            return Err(ClientError::Protocol(format!(
+                "response without header terminator: {text}"
+            )));
+        };
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line: {head}")))?;
+        Ok((status, body.to_owned()))
+    }
+}
+
+/// Turns a non-2xx response into [`ClientError::Api`] using the uniform
+/// error body.
+fn expect_ok(status: u16, body: &str) -> Result<(), ClientError> {
+    if (200..300).contains(&status) {
+        return Ok(());
+    }
+    Err(ClientError::Api {
+        status,
+        code: field_u64(body, "code").unwrap_or(u64::from(status)),
+        class: field_str(body, "class").unwrap_or_else(|| "unknown".to_owned()),
+        message: field_str(body, "message").unwrap_or_else(|| body.to_owned()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_view_parses_a_completed_body() {
+        let body = "{\"id\":\"job-2\",\"tenant\":\"t\",\"circuit\":\"bbtas\",\"kind\":\"simulate\",\"key\":\"ab\",\"status\":\"completed\",\"coverage\":97.2500,\"detected\":389,\"faults\":400,\"completed_units\":7,\"units\":7,\"cache\":\"hit\",\"journal\":\"/tmp/j.jsonl\"}";
+        let view = JobView::parse(body).unwrap();
+        assert_eq!(view.id, "job-2");
+        assert!(view.is_terminal());
+        assert!((view.coverage.unwrap() - 97.25).abs() < 1e-9);
+        assert_eq!(view.detected, Some(389));
+        assert_eq!(view.cache.as_deref(), Some("hit"));
+    }
+
+    #[test]
+    fn api_errors_surface_the_taxonomy() {
+        let body = "{\"error\":{\"code\":3,\"class\":\"fsm\",\"message\":\"line 1: bad\"}}";
+        let err = expect_ok(400, body).unwrap_err();
+        match err {
+            ClientError::Api {
+                status,
+                code,
+                class,
+                ..
+            } => {
+                assert_eq!(status, 400);
+                assert_eq!(code, 3);
+                assert_eq!(class, "fsm");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Content addressing for the artifact cache.
+//!
+//! The cache key must identify the *semantic* circuit, not the submission:
+//! two uploads of the same machine — different file names, comment lines,
+//! whitespace, state orderings produced by the same canonical writer — must
+//! collide, and changing a single transition must not. The key is therefore
+//! a 128-bit FNV-1a hash of `scanft_fsm::kiss::write` applied to the parsed
+//! table: the canonical KISS2 form contains every transition, output and
+//! reset state, and nothing about where the text came from.
+//!
+//! FNV-1a is not cryptographic; the cache is a performance layer shared by
+//! cooperating tenants, not an integrity boundary, and 128 bits keeps
+//! accidental collisions out of reach of any realistic corpus size.
+
+use scanft_fsm::StateTable;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit content hash identifying a canonicalized circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentKey(pub u128);
+
+impl ContentKey {
+    /// Hashes arbitrary bytes (FNV-1a 128).
+    #[must_use]
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let mut h = FNV_OFFSET;
+        for &b in bytes {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        ContentKey(h)
+    }
+
+    /// The key of a circuit: the hash of its canonical KISS2 form with
+    /// comment lines stripped. The canonical writer records the table's
+    /// name only in a leading `#` comment, so dropping comments makes the
+    /// key name-independent — renaming a submission cannot miss the cache,
+    /// and two differently-named uploads of the same machine share one
+    /// artifact entry — while every transition, output and reset state
+    /// still feeds the hash.
+    #[must_use]
+    pub fn of_table(table: &StateTable) -> Self {
+        let canonical = scanft_fsm::kiss::write(table);
+        let mut h = FNV_OFFSET;
+        for line in canonical.lines().filter(|l| !l.starts_with('#')) {
+            for &b in line.as_bytes() {
+                h ^= u128::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h ^= u128::from(b'\n');
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        ContentKey(h)
+    }
+
+    /// Fixed-width lowercase hex form (used in status JSON and logs).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Display for ContentKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a 128 of the empty string is the offset basis.
+        assert_eq!(ContentKey::of_bytes(b"").0, FNV_OFFSET);
+        assert_ne!(ContentKey::of_bytes(b"a"), ContentKey::of_bytes(b"b"));
+        assert_ne!(ContentKey::of_bytes(b"ab"), ContentKey::of_bytes(b"ba"));
+    }
+
+    #[test]
+    fn key_ignores_name_but_not_structure() {
+        let bbtas = scanft_fsm::benchmarks::build("bbtas").unwrap();
+        // Re-parse the canonical text under a different name: same key.
+        let renamed = scanft_fsm::kiss::parse_with(
+            &scanft_fsm::kiss::write(&bbtas),
+            "uploaded-as-something-else.kiss2",
+            scanft_fsm::kiss::Completion::SelfLoop,
+        )
+        .unwrap();
+        assert_eq!(ContentKey::of_table(&bbtas), ContentKey::of_table(&renamed));
+        // A different machine must differ.
+        let dk27 = scanft_fsm::benchmarks::build("dk27").unwrap();
+        assert_ne!(ContentKey::of_table(&bbtas), ContentKey::of_table(&dk27));
+    }
+
+    #[test]
+    fn hex_is_stable_width() {
+        let hex = ContentKey::of_bytes(b"x").to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(hex, format!("{}", ContentKey::of_bytes(b"x")));
+    }
+}

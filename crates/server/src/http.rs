@@ -1,0 +1,329 @@
+//! A minimal, hand-rolled HTTP/1.1 layer over blocking TCP.
+//!
+//! The workspace is offline and dependency-free, so there is no hyper or
+//! tokio here: one thread per connection, `Connection: close` on every
+//! response, and only the slice of HTTP/1.1 the job API needs — a request
+//! line, headers, an optional `Content-Length` body. What it *does* take
+//! seriously is abuse resistance on the read path:
+//!
+//! - the header section is capped at [`MAX_HEAD_BYTES`];
+//! - the body is capped by the server's configured limit, checked against
+//!   `Content-Length` *before* any body byte is read, so an oversized
+//!   upload is refused with 413 at the cost of one header read;
+//! - every socket read runs under the configured read timeout, so a stalled
+//!   client cannot pin a connection thread (408 and close).
+//!
+//! Responses are either a single in-memory body or a caller-driven stream
+//! (the events endpoint writes a header with `Connection: close` and then
+//! streams JSONL until the job ends — close-delimited framing, which
+//! HTTP/1.1 permits exactly when the connection is not reused).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Request path (query string split off into `query`).
+    pub path: String,
+    /// Raw query string after `?`, empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one HTTP status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Request head or body exceeded a size limit → 413.
+    TooLarge(
+        /// Which limit was exceeded.
+        String,
+    ),
+    /// The client stalled past the read timeout → 408.
+    Timeout,
+    /// The request does not parse as HTTP/1.x → 400.
+    Malformed(
+        /// What was wrong.
+        String,
+    ),
+    /// The client closed the connection before a full request arrived.
+    Closed,
+}
+
+impl HttpError {
+    /// The HTTP status code this read failure is answered with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::TooLarge(_) => 413,
+            HttpError::Timeout => 408,
+            HttpError::Malformed(_) => 400,
+            HttpError::Closed => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::Closed => write!(f, "connection closed mid-request"),
+        }
+    }
+}
+
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads and parses one request from the stream.
+///
+/// `read_timeout` bounds every individual socket read; `max_body` bounds
+/// the `Content-Length` (checked before the body is read).
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] naming the refusal; the caller answers with
+/// [`HttpError::status`] and closes.
+pub fn read_request(
+    stream: &mut TcpStream,
+    read_timeout: Duration,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(read_timeout)).ok();
+
+    // Read the head byte-wise-ish (small buffered chunks would over-read
+    // into the body); the head is tiny and this path is not hot.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::Malformed("truncated request head".into()))
+                };
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Malformed(format!("read error: {e}"))),
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    let _ = version;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Malformed("truncated body".into())),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Malformed(format!("read error: {e}"))),
+        }
+    }
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the handful of statuses the server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response (status, `Content-Type`, body) and flushes.
+/// Every response carries `Connection: close`; the server is strictly
+/// one-request-per-connection.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a streaming-response head (no `Content-Length`; the body is
+/// delimited by connection close). The caller then writes body bytes
+/// directly and closes the stream when done.
+pub fn write_stream_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+        reason(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn serve_one(
+        read_timeout: Duration,
+        max_body: usize,
+    ) -> (
+        std::net::SocketAddr,
+        std::thread::JoinHandle<Result<Request, HttpError>>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().map_err(|_| HttpError::Closed)?;
+            read_request(&mut stream, read_timeout, max_body)
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let (addr, handle) = serve_one(Duration::from_secs(5), 1024);
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(
+                b"POST /jobs?kind=simulate HTTP/1.1\r\nHost: x\r\nX-Scanft-Tenant: t1\r\nContent-Length: 5\r\n\r\nhello",
+            )
+            .unwrap();
+        let request = handle.join().unwrap().unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/jobs");
+        assert_eq!(request.query, "kind=simulate");
+        assert_eq!(request.header("x-scanft-tenant"), Some("t1"));
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn oversized_content_length_is_refused_before_the_body() {
+        let (addr, handle) = serve_one(Duration::from_secs(5), 10);
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Only the head is sent; the server must refuse on the declared
+        // length without waiting for (never-sent) body bytes.
+        client
+            .write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 999\r\n\r\n")
+            .unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn stalled_client_times_out() {
+        let (addr, handle) = serve_one(Duration::from_millis(50), 1024);
+        let client = TcpStream::connect(addr).unwrap();
+        // Send nothing; hold the socket open past the timeout.
+        let err = handle.join().unwrap().unwrap_err();
+        assert_eq!(err.status(), 408);
+        drop(client);
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        let (addr, handle) = serve_one(Duration::from_secs(5), 1024);
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+}

@@ -1,0 +1,456 @@
+//! Jobs: validated submissions queued for the campaign worker pool.
+//!
+//! A job is born `Queued` by `POST /jobs` (after its KISS2 and optional
+//! test-set sections parse — malformed submissions never enter the queue),
+//! claimed by a worker into `Running`, and ends `Completed`, `Cancelled` or
+//! `Failed`. Cancellation is level-triggered through the job's
+//! [`CancelToken`]: `DELETE /jobs/:id` flips the token, a queued job is
+//! dropped at claim time, and a running campaign stops at its next work-unit
+//! claim through the ordinary [`Budget`](scanft_harness::Budget) path.
+//!
+//! Tenant quotas are enforced at admission: each tenant (the
+//! `X-Scanft-Tenant` header, `default` otherwise) may hold at most
+//! [`TenantQuota::max_active`] queued-or-running jobs, and each of its
+//! campaigns runs under [`TenantQuota::max_units`] work units. Admission
+//! failures are 429s and never consume a job id.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use scanft_core::TestSet;
+use scanft_fsm::StateTable;
+use scanft_harness::CancelToken;
+
+use crate::hash::ContentKey;
+
+/// What kind of campaign a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobKind {
+    /// Supervised stuck-at fault simulation (journaled; the default).
+    #[default]
+    Simulate,
+    /// Functional-then-PODEM coverage top-up using the cached `Analysis`.
+    Atpg,
+}
+
+impl JobKind {
+    /// Parses the `kind` query parameter.
+    #[must_use]
+    pub fn from_param(value: &str) -> Option<Self> {
+        match value {
+            "simulate" => Some(JobKind::Simulate),
+            "atpg" => Some(JobKind::Atpg),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Simulate => "simulate",
+            JobKind::Atpg => "atpg",
+        }
+    }
+}
+
+/// Lifecycle state of a job, with the terminal states carrying results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is driving the campaign.
+    Running,
+    /// The campaign finished (all units done or budget-stopped).
+    Completed {
+        /// Coverage over the full fault list, percent (a lower bound when
+        /// the run was budget-stopped).
+        coverage: f64,
+        /// Detected faults.
+        detected: usize,
+        /// Total faults simulated/targeted.
+        faults: usize,
+        /// Completed work units out of `units`.
+        completed_units: usize,
+        /// Total work units.
+        units: usize,
+    },
+    /// `DELETE /jobs/:id` stopped it (queued or mid-flight).
+    Cancelled,
+    /// The campaign itself errored (journal I/O, poisoned worker, ...).
+    Failed(
+        /// What went wrong.
+        String,
+    ),
+}
+
+impl JobStatus {
+    /// Stable lowercase name for JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed { .. } => "completed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed { .. } | JobStatus::Cancelled | JobStatus::Failed(_)
+        )
+    }
+}
+
+/// One validated submission.
+#[derive(Debug)]
+pub struct Job {
+    /// Stable id (`job-<n>`).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Circuit name (the KISS2 parse name; journal label).
+    pub circuit: String,
+    /// Campaign kind.
+    pub kind: JobKind,
+    /// Content key of the canonicalized circuit.
+    pub key: ContentKey,
+    /// Parsed state table.
+    pub table: StateTable,
+    /// Parsed functional test set (`None` → per-transition length-1 tests).
+    pub tests: Option<TestSet>,
+    /// Cancellation hook shared with `DELETE /jobs/:id`.
+    pub cancel: CancelToken,
+    /// Journal file this job's campaign writes (simulate jobs).
+    pub journal_path: String,
+    /// When the job was admitted.
+    pub submitted_at: Instant,
+    state: Mutex<JobState>,
+}
+
+#[derive(Debug)]
+struct JobState {
+    status: JobStatus,
+    /// Whether this job's artifacts came from the cache.
+    cache_hit: Option<bool>,
+}
+
+/// Everything needed to construct a [`Job`] (besides its assigned id).
+#[derive(Debug)]
+pub struct JobSpec {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Circuit name (journal label).
+    pub circuit: String,
+    /// Campaign kind.
+    pub kind: JobKind,
+    /// Content key of the canonicalized circuit.
+    pub key: ContentKey,
+    /// Parsed state table.
+    pub table: StateTable,
+    /// Parsed functional test set, if the submission carried one.
+    pub tests: Option<TestSet>,
+    /// Journal file the campaign will write.
+    pub journal_path: String,
+}
+
+impl Job {
+    /// Builds a fresh `Queued` job from a validated spec.
+    #[must_use]
+    pub fn new(id: String, spec: JobSpec) -> Self {
+        Job {
+            id,
+            tenant: spec.tenant,
+            circuit: spec.circuit,
+            kind: spec.kind,
+            key: spec.key,
+            table: spec.table,
+            tests: spec.tests,
+            cancel: CancelToken::new(),
+            journal_path: spec.journal_path,
+            submitted_at: Instant::now(),
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                cache_hit: None,
+            }),
+        }
+    }
+
+    /// Current status (cloned snapshot).
+    #[must_use]
+    pub fn status(&self) -> JobStatus {
+        self.state
+            .lock()
+            .expect("job state poisoned")
+            .status
+            .clone()
+    }
+
+    /// Whether the artifact cache served this job (`None` until it ran).
+    #[must_use]
+    pub fn cache_hit(&self) -> Option<bool> {
+        self.state.lock().expect("job state poisoned").cache_hit
+    }
+
+    /// Moves the job to a new status; terminal states are sticky (a cancel
+    /// racing a completion keeps whichever landed first).
+    pub fn set_status(&self, status: JobStatus) {
+        let mut state = self.state.lock().expect("job state poisoned");
+        if !state.status.is_terminal() {
+            state.status = status;
+        }
+    }
+
+    /// Records whether the artifact cache hit for this job.
+    pub fn set_cache_hit(&self, hit: bool) {
+        self.state.lock().expect("job state poisoned").cache_hit = Some(hit);
+    }
+
+    /// Renders the status/result JSON object served by `GET /jobs/:id`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let status = self.status();
+        let mut out = format!(
+            "{{\"id\":\"{}\",\"tenant\":\"{}\",\"circuit\":\"{}\",\"kind\":\"{}\",\"key\":\"{}\",\"status\":\"{}\"",
+            scanft_obs::escape_json_string(&self.id),
+            scanft_obs::escape_json_string(&self.tenant),
+            scanft_obs::escape_json_string(&self.circuit),
+            self.kind.name(),
+            self.key,
+            status.name(),
+        );
+        match &status {
+            JobStatus::Completed {
+                coverage,
+                detected,
+                faults,
+                completed_units,
+                units,
+            } => {
+                out.push_str(&format!(
+                    ",\"coverage\":{coverage:.4},\"detected\":{detected},\"faults\":{faults},\"completed_units\":{completed_units},\"units\":{units}"
+                ));
+            }
+            JobStatus::Failed(message) => {
+                out.push_str(&format!(
+                    ",\"message\":\"{}\"",
+                    scanft_obs::escape_json_string(message)
+                ));
+            }
+            _ => {}
+        }
+        if let Some(hit) = self.cache_hit() {
+            out.push_str(if hit {
+                ",\"cache\":\"hit\""
+            } else {
+                ",\"cache\":\"miss\""
+            });
+        }
+        out.push_str(&format!(
+            ",\"journal\":\"{}\"}}",
+            scanft_obs::escape_json_string(&self.journal_path)
+        ));
+        out
+    }
+}
+
+/// Per-tenant admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum queued-or-running jobs per tenant.
+    pub max_active: usize,
+    /// Work-unit cap applied to each campaign (`None` = unlimited).
+    pub max_units: Option<u64>,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_active: 8,
+            max_units: None,
+        }
+    }
+}
+
+/// The registry: all jobs by id, plus the FIFO work queue the campaign
+/// workers block on.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    inner: Mutex<RegistryInner>,
+    wakeup: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    jobs: HashMap<String, Arc<Job>>,
+    queue: VecDeque<Arc<Job>>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+impl JobRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        JobRegistry::default()
+    }
+
+    /// Number of jobs a tenant currently has queued or running.
+    #[must_use]
+    pub fn active_for(&self, tenant: &str) -> usize {
+        let inner = self.inner.lock().expect("registry poisoned");
+        inner
+            .jobs
+            .values()
+            .filter(|j| {
+                j.tenant == tenant && matches!(j.status(), JobStatus::Queued | JobStatus::Running)
+            })
+            .count()
+    }
+
+    /// Admits a job: assigns the next id, registers it, and enqueues it.
+    /// The caller has already enforced quotas and parsed the submission.
+    pub fn admit(&self, build: impl FnOnce(String) -> Job) -> Arc<Job> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.next_id += 1;
+        let id = format!("job-{}", inner.next_id);
+        let job = Arc::new(build(id.clone()));
+        inner.jobs.insert(id, Arc::clone(&job));
+        inner.queue.push_back(Arc::clone(&job));
+        scanft_obs::global().gauge("server.queue.depth").add(1);
+        drop(inner);
+        self.wakeup.notify_one();
+        job
+    }
+
+    /// Looks up a job by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<Arc<Job>> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .jobs
+            .get(id)
+            .cloned()
+    }
+
+    /// Blocks until a job is available (or shutdown), then claims it.
+    /// Cancelled-while-queued jobs are marked `Cancelled` and skipped.
+    /// Returns `None` on shutdown.
+    pub fn claim(&self) -> Option<Arc<Job>> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if let Some(job) = inner.queue.pop_front() {
+                scanft_obs::global().gauge("server.queue.depth").sub(1);
+                if job.cancel.is_cancelled() {
+                    job.set_status(JobStatus::Cancelled);
+                    scanft_obs::global().counter("server.jobs.cancelled").inc();
+                    continue;
+                }
+                job.set_status(JobStatus::Running);
+                return Some(job);
+            }
+            inner = self.wakeup.wait(inner).expect("registry poisoned");
+        }
+    }
+
+    /// Wakes every worker and makes subsequent [`JobRegistry::claim`]
+    /// calls return `None`. Queued jobs are left `Queued` (a restart could
+    /// resubmit them); running campaigns are not interrupted here — the
+    /// server cancels them separately when shutting down.
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("registry poisoned").shutdown = true;
+        self.wakeup.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: String, tenant: &str) -> Job {
+        let table = scanft_fsm::benchmarks::build("lion").unwrap();
+        Job::new(
+            id,
+            JobSpec {
+                tenant: tenant.to_owned(),
+                circuit: "lion".to_owned(),
+                kind: JobKind::Simulate,
+                key: ContentKey::of_table(&table),
+                table,
+                tests: None,
+                journal_path: String::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn admit_claim_complete_round_trip() {
+        let registry = JobRegistry::new();
+        let admitted = registry.admit(|id| job(id, "t1"));
+        assert_eq!(admitted.id, "job-1");
+        assert_eq!(admitted.status(), JobStatus::Queued);
+        assert_eq!(registry.active_for("t1"), 1);
+        assert_eq!(registry.active_for("t2"), 0);
+
+        let claimed = registry.claim().unwrap();
+        assert_eq!(claimed.id, "job-1");
+        assert_eq!(claimed.status(), JobStatus::Running);
+        claimed.set_status(JobStatus::Completed {
+            coverage: 99.5,
+            detected: 199,
+            faults: 200,
+            completed_units: 4,
+            units: 4,
+        });
+        assert_eq!(registry.active_for("t1"), 0);
+        let json = claimed.to_json();
+        assert!(json.contains("\"status\":\"completed\""));
+        assert!(json.contains("\"coverage\":99.5000"));
+    }
+
+    #[test]
+    fn cancelled_while_queued_is_skipped_by_claim() {
+        let registry = JobRegistry::new();
+        let first = registry.admit(|id| job(id, "t"));
+        let second = registry.admit(|id| job(id, "t"));
+        first.cancel.cancel();
+        let claimed = registry.claim().unwrap();
+        assert_eq!(claimed.id, second.id);
+        assert_eq!(first.status(), JobStatus::Cancelled);
+    }
+
+    #[test]
+    fn terminal_states_are_sticky() {
+        let registry = JobRegistry::new();
+        let job = registry.admit(|id| job(id, "t"));
+        job.set_status(JobStatus::Cancelled);
+        job.set_status(JobStatus::Completed {
+            coverage: 1.0,
+            detected: 1,
+            faults: 1,
+            completed_units: 1,
+            units: 1,
+        });
+        assert_eq!(job.status(), JobStatus::Cancelled);
+    }
+
+    #[test]
+    fn shutdown_unblocks_claim() {
+        let registry = Arc::new(JobRegistry::new());
+        let clone = Arc::clone(&registry);
+        let waiter = std::thread::spawn(move || clone.claim());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        registry.shutdown();
+        assert!(waiter.join().unwrap().is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Hand-rolled JSON field extraction for the server and client.
+//!
+//! The workspace policy is no serde; the server's JSON bodies are all flat
+//! single-line objects built with `format!` + `escape_json_string`, so the
+//! reader side only needs keyed field extraction (the same idiom as the
+//! harness journal parser and the metrics golden tests).
+
+/// Extracts an unsigned integer field `"key":123`.
+pub(crate) fn field_u64(text: &str, key: &str) -> Option<u64> {
+    let rest = after_key(text, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts a float field `"key":12.5` (also accepts plain integers).
+pub(crate) fn field_f64(text: &str, key: &str) -> Option<f64> {
+    let rest = after_key(text, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-' && c != 'e' && c != 'E')
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts a string field `"key":"value"` (unescaping `\"` and `\\`).
+pub(crate) fn field_str(text: &str, key: &str) -> Option<String> {
+    let rest = after_key(text, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn after_key<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":");
+    let start = text.find(&pattern)? + pattern.len();
+    Some(&text[start..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_typed_fields() {
+        let text = r#"{"id":"job-3","n":42,"pct":99.5,"msg":"a \"b\"\nc"}"#;
+        assert_eq!(field_str(text, "id").unwrap(), "job-3");
+        assert_eq!(field_u64(text, "n"), Some(42));
+        assert!((field_f64(text, "pct").unwrap() - 99.5).abs() < 1e-12);
+        assert_eq!(field_str(text, "msg").unwrap(), "a \"b\"\nc");
+        assert_eq!(field_u64(text, "missing"), None);
+        assert_eq!(field_str(text, "n"), None, "numbers are not strings");
+    }
+}

@@ -1,0 +1,160 @@
+//! Artifact-cache correctness over the real HTTP path.
+//!
+//! The contract under test: the cache key covers the full canonical
+//! circuit and nothing else. Same circuit twice → second submission is a
+//! hit with *bit-identical* campaign results (same journal bytes, same
+//! coverage); same circuit under a different upload name → still a hit;
+//! one mutated transition output → a miss with a different key.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use std::time::Duration;
+
+use scanft_server::{Client, JobKind, Server, ServerConfig};
+
+fn start_server(tag: &str) -> Server {
+    let dir =
+        std::env::temp_dir().join(format!("scanft-server-cache-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        // One supervisor thread → deterministic unit completion order →
+        // byte-identical journals for identical submissions.
+        campaign_threads: 1,
+        journal_dir: dir.to_string_lossy().into_owned(),
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+const WAIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn repeat_submission_hits_and_reproduces_the_campaign_bit_for_bit() {
+    let server = start_server("repeat");
+    let client = Client::new(server.addr());
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("bbtas").unwrap());
+
+    let first = client
+        .submit(&kiss, "bbtas", "default", JobKind::Simulate)
+        .unwrap();
+    let first = client.wait(&first.id, WAIT).unwrap();
+    assert_eq!(first.status, "completed");
+    assert_eq!(first.cache.as_deref(), Some("miss"), "cold cache");
+
+    let second = client
+        .submit(&kiss, "bbtas", "default", JobKind::Simulate)
+        .unwrap();
+    let second = client.wait(&second.id, WAIT).unwrap();
+    assert_eq!(second.status, "completed");
+    assert_eq!(second.cache.as_deref(), Some("hit"), "warm cache");
+
+    // Identical results, not merely similar ones.
+    assert_eq!(first.key, second.key);
+    assert_eq!(first.coverage, second.coverage);
+    assert_eq!(first.detected, second.detected);
+    assert_eq!(first.faults, second.faults);
+    assert_eq!(first.units, second.units);
+
+    // Bit-identical journals: the served campaign is a pure function of
+    // the circuit, so two runs write the same bytes (different paths).
+    let journal1 = std::fs::read(first.journal.as_deref().unwrap()).unwrap();
+    let journal2 = std::fs::read(second.journal.as_deref().unwrap()).unwrap();
+    assert!(!journal1.is_empty());
+    assert_eq!(journal1, journal2, "journal bytes must match exactly");
+
+    // The events stream replays exactly the journal's lines.
+    let streamed = client.events(&second.id).unwrap();
+    let on_disk: Vec<String> = String::from_utf8(journal2)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(streamed, on_disk, "streamed events mirror the journal");
+
+    server.shutdown();
+}
+
+#[test]
+fn key_covers_content_not_names_and_misses_on_mutation() {
+    let server = start_server("mutate");
+    let client = Client::new(server.addr());
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("dk27").unwrap());
+
+    let original = client
+        .submit(&kiss, "dk27", "default", JobKind::Simulate)
+        .unwrap();
+    let original = client.wait(&original.id, WAIT).unwrap();
+    assert_eq!(original.cache.as_deref(), Some("miss"));
+
+    // Same content uploaded under a different name: the key must not see
+    // the name, so this is a hit on the same entry.
+    let renamed = client
+        .submit(
+            &kiss,
+            "totally-different-upload.kiss2",
+            "default",
+            JobKind::Simulate,
+        )
+        .unwrap();
+    let renamed = client.wait(&renamed.id, WAIT).unwrap();
+    assert_eq!(
+        renamed.cache.as_deref(),
+        Some("hit"),
+        "name-independent key"
+    );
+    assert_eq!(renamed.key, original.key);
+
+    // Flip one output bit of the last transition: a semantically different
+    // machine must get a different key and rebuild its artifacts.
+    let mut lines: Vec<String> = kiss.lines().map(str::to_owned).collect();
+    let target = lines
+        .iter()
+        .rposition(|l| !l.starts_with('.') && !l.starts_with('#') && !l.is_empty())
+        .expect("a transition line");
+    let mut flipped = lines[target].clone();
+    let last = flipped.pop().unwrap();
+    flipped.push(if last == '0' { '1' } else { '0' });
+    lines[target] = flipped;
+    let mutated = lines.join("\n") + "\n";
+
+    let mutant = client
+        .submit(&mutated, "dk27", "default", JobKind::Simulate)
+        .unwrap();
+    let mutant = client.wait(&mutant.id, WAIT).unwrap();
+    assert_eq!(mutant.status, "completed");
+    assert_eq!(
+        mutant.cache.as_deref(),
+        Some("miss"),
+        "one changed gate of behaviour must not reuse cached artifacts"
+    );
+    assert_ne!(mutant.key, original.key);
+
+    server.shutdown();
+}
+
+#[test]
+fn atpg_jobs_share_the_cached_analysis() {
+    let server = start_server("atpg");
+    let client = Client::new(server.addr());
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("lion").unwrap());
+
+    let simulate = client
+        .submit(&kiss, "lion", "default", JobKind::Simulate)
+        .unwrap();
+    let simulate = client.wait(&simulate.id, WAIT).unwrap();
+    assert_eq!(simulate.cache.as_deref(), Some("miss"));
+
+    // The ATPG job reuses the simulate job's artifact entry (hit) and
+    // completes with full coverage on lion's collapsed fault set.
+    let atpg = client
+        .submit(&kiss, "lion", "default", JobKind::Atpg)
+        .unwrap();
+    let atpg = client.wait(&atpg.id, WAIT).unwrap();
+    assert_eq!(atpg.status, "completed", "{:?}", atpg.message);
+    assert_eq!(atpg.cache.as_deref(), Some("hit"));
+    assert!(atpg.coverage.unwrap() > 0.0);
+
+    server.shutdown();
+}

@@ -1,0 +1,123 @@
+//! Pinned golden schema for the `server.*` observability surface.
+//!
+//! Lives alone in its own integration-test binary: the `scanft-obs`
+//! registry is process-global, so only a test file with exactly one
+//! scripted interaction sequence has deterministic counter values.
+//!
+//! The script: one malformed submission (rejected), one cold submission
+//! (miss, completed), one cancelled-while-queued job, one warm submission
+//! (hit, completed), one events stream. Every `server.*` counter value
+//! below is a consequence of exactly that script.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use std::time::Duration;
+
+use scanft_server::{Client, JobKind, Server, ServerConfig};
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+#[test]
+fn server_metrics_schema_and_values_are_pinned() {
+    let dir = std::env::temp_dir().join(format!("scanft-server-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        campaign_threads: 1,
+        journal_dir: dir.to_string_lossy().into_owned(),
+        // Delay-only chaos slows each work unit, holding the queue busy
+        // long enough to cancel a queued job deterministically.
+        chaos_seed: Some(11),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let client = Client::new(server.addr());
+    let wait = Duration::from_secs(120);
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("bbtas").unwrap());
+
+    // 1. One malformed submission → server.jobs.rejected.
+    let refused = client.submit("not kiss2 at all\n", "bad", "default", JobKind::Simulate);
+    assert!(refused.is_err());
+
+    // 2. Cold submission → cache miss; it occupies the single worker.
+    let cold = client
+        .submit(&kiss, "bbtas", "default", JobKind::Simulate)
+        .unwrap();
+
+    // 3. A job cancelled while still queued behind the cold one.
+    let doomed = client
+        .submit(&kiss, "bbtas", "default", JobKind::Simulate)
+        .unwrap();
+    client.cancel(&doomed.id).unwrap();
+
+    let cold = client.wait(&cold.id, wait).unwrap();
+    assert_eq!(cold.status, "completed");
+    let doomed = client.wait(&doomed.id, wait).unwrap();
+    assert_eq!(doomed.status, "cancelled");
+
+    // 4. Warm submission → cache hit.
+    let warm = client
+        .submit(&kiss, "bbtas", "default", JobKind::Simulate)
+        .unwrap();
+    let warm = client.wait(&warm.id, wait).unwrap();
+    assert_eq!(warm.status, "completed");
+
+    // 5. Stream the warm job's journal → server.bytes_streamed.
+    let events = client.events(&warm.id).unwrap();
+    assert!(!events.is_empty());
+
+    let metrics = client.metrics().unwrap();
+    let mut counters = std::collections::BTreeMap::new();
+    let mut timers = Vec::new();
+    for line in metrics.lines().filter(|l| l.contains("\"name\":\"server.")) {
+        let name = field_str(line, "name").unwrap();
+        match field_str(line, "kind").unwrap().as_str() {
+            "counter" | "gauge" => {
+                counters.insert(name, field_u64(line, "value").unwrap());
+            }
+            "timer" => timers.push((name, field_u64(line, "count").unwrap())),
+            other => panic!("unknown kind `{other}` in {line}"),
+        }
+    }
+
+    // The pinned script outcome. A schema change here is a deliberate,
+    // reviewed event — update the script comment above alongside it.
+    let expected: &[(&str, u64)] = &[
+        ("server.jobs.accepted", 3),
+        ("server.jobs.rejected", 1),
+        ("server.jobs.completed", 2),
+        ("server.jobs.cancelled", 1),
+        ("server.cache.hits", 1),
+        ("server.cache.misses", 1),
+        ("server.queue.depth", 0),
+    ];
+    for &(name, value) in expected {
+        assert_eq!(counters.get(name), Some(&value), "{name}: got {counters:?}");
+    }
+    let streamed = counters.get("server.bytes_streamed").copied().unwrap();
+    assert!(streamed > 0, "events streaming counts bytes");
+
+    assert_eq!(
+        timers,
+        vec![("server.cache.build".to_owned(), 1)],
+        "one artifact build for one distinct circuit"
+    );
+
+    server.shutdown();
+}

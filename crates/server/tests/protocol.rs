@@ -1,0 +1,147 @@
+//! Protocol conformance: the server's refusal paths, pinned.
+//!
+//! Each case drives a real `Server` over a real socket — the same code
+//! path production traffic takes — and asserts both the HTTP status and
+//! the structured error body. The taxonomy cases additionally pin the
+//! `code` field to the CLI exit code, which is the contract that lets a
+//! client treat API errors and local `scanft` failures uniformly.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use scanft_server::{Server, ServerConfig, TenantQuota};
+
+fn temp_dir(tag: &str) -> String {
+    let dir =
+        std::env::temp_dir().join(format!("scanft-server-proto-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.to_string_lossy().into_owned()
+}
+
+fn start(tag: &str, mutate: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        campaign_threads: 1,
+        read_timeout: Duration::from_secs(2),
+        journal_dir: temp_dir(tag),
+        ..ServerConfig::default()
+    };
+    mutate(&mut config);
+    Server::start(config).unwrap()
+}
+
+/// One raw HTTP exchange; returns (status, body).
+fn raw(server: &Server, request: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let (head, body) = text.split_once("\r\n\r\n").expect("full response");
+    let status = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    (status, body.to_owned())
+}
+
+#[test]
+fn oversized_body_is_413_before_the_body_is_read() {
+    let server = start("413", |c| c.max_body_bytes = 64);
+    // Declare a huge body but never send it: the server must refuse on the
+    // Content-Length alone instead of waiting for bytes.
+    let (status, body) = raw(
+        &server,
+        b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 1048576\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+    assert!(body.contains("\"class\":\"http\""), "{body}");
+    assert!(body.contains("exceeds the 64-byte limit"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_kiss2_is_the_fsm_taxonomy_code() {
+    let server = start("fsm", |_| {});
+    let garbage = ".i 1\n.o 1\nthis is not a kiss2 transition line\n";
+    let request = format!(
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{garbage}",
+        garbage.len()
+    );
+    let (status, body) = raw(&server, request.as_bytes());
+    assert_eq!(status, 400);
+    // Exactly the `scanft` exit-code numbering: fsm failures are code 3.
+    assert!(body.contains("\"code\":3"), "{body}");
+    assert!(body.contains("\"class\":\"fsm\""), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_test_section_is_the_test_format_taxonomy_code() {
+    let server = start("tests", |_| {});
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("lion").unwrap());
+    let body = format!("{kiss}.tests\n.circuit lion\nnot | a | test | line | at all\n");
+    let request = format!(
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, response) = raw(&server, request.as_bytes());
+    assert_eq!(status, 400);
+    assert!(response.contains("\"code\":7"), "{response}");
+    assert!(response.contains("\"class\":\"test-format\""), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_are_404() {
+    let server = start("404", |_| {});
+    let (status, body) = raw(&server, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"class\":\"http\""), "{body}");
+
+    let (status, _) = raw(&server, b"GET /jobs/job-999 HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404, "unknown job id");
+
+    let (status, _) = raw(&server, b"PUT /jobs HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404, "unsupported method on a known path");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_connection_is_timed_out_with_408() {
+    let server = start("408", |c| c.read_timeout = Duration::from_millis(100));
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send half a request line and stall.
+    stream.write_all(b"GET /jo").unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quota_rejects_with_429() {
+    let server = start("429", |c| {
+        c.quota = TenantQuota {
+            max_active: 0,
+            max_units: None,
+        };
+    });
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("lion").unwrap());
+    let request = format!(
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{kiss}",
+        kiss.len()
+    );
+    let (status, body) = raw(&server, request.as_bytes());
+    assert_eq!(status, 429);
+    assert!(body.contains("\"class\":\"quota\""), "{body}");
+    server.shutdown();
+}

@@ -351,9 +351,8 @@ pub fn run_parallel(
     let config = SupervisedConfig {
         num_threads,
         observe_scan_out,
-        budget: Budget::unlimited(),
         label: "run_parallel".to_owned(),
-        kernel: Kernel::Narrow,
+        ..SupervisedConfig::default()
     };
     run_supervised(netlist, tests, order, faults, &config, None, None, None)
         .expect("no journal attached, so supervised run cannot fail")
@@ -413,6 +412,11 @@ pub struct SupervisedConfig {
     /// Which simulation kernel to run on. Verdicts and journal layout are
     /// identical across kernels; only throughput differs.
     pub kernel: Kernel,
+    /// Pre-built gate arena for the wide kernel. `None` builds one per run;
+    /// a caching caller (the `scanft serve` artifact cache) passes a shared
+    /// arena so repeat campaigns on the same netlist skip the rebuild. The
+    /// arena carries no per-run state, so sharing cannot change verdicts.
+    pub arena: Option<Arc<GateArena>>,
 }
 
 impl Default for SupervisedConfig {
@@ -423,6 +427,7 @@ impl Default for SupervisedConfig {
             budget: Budget::unlimited(),
             label: "campaign".to_owned(),
             kernel: Kernel::Narrow,
+            arena: None,
         }
     }
 }
@@ -623,7 +628,10 @@ pub fn run_supervised(
             )
         }
         Kernel::Wide => {
-            let arena = Arc::new(GateArena::build(netlist));
+            let arena = config
+                .arena
+                .clone()
+                .unwrap_or_else(|| Arc::new(GateArena::build(netlist)));
             let mut traces: Vec<Option<GoodTrace>> = vec![None; tests.len()];
             {
                 let mut evaluator = Evaluator::with_arena(netlist, Arc::clone(&arena));

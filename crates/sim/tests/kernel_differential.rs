@@ -203,6 +203,7 @@ fn journal_lines(
         budget,
         label: name.to_owned(),
         kernel,
+        arena: None,
     };
     let (writer, buffer) = JournalWriter::in_memory();
     let partial = campaign::run_supervised(
