@@ -15,10 +15,12 @@
 //!    inputs, missing UIO preconditions, nondeterministic or incomplete
 //!    tables), all reporting through one [`Diagnostic`] model with a
 //!    deny/warn/allow [`LintLevels`] table.
-//! 3. **Static learning** ([`Implications`], [`Dominators`]) — an
+//! 3. **Static learning** ([`Implications`], [`Requirements`]) — an
 //!    implication engine with SOCRATES-style contrapositive learning over
-//!    the netlist's literal graph, plus post-dominator chains for every
-//!    net. The closure yields constant and equivalent nets (two lints),
+//!    the netlist's literal graph, plus necessary-assignment extraction
+//!    from the netlist layer's post-dominator tree. The closure yields
+//!    constant and equivalent nets (surfaced as [`ConstFacts`], the one
+//!    fact set shared by the lints and the `scanft-opt` rewriter),
 //!    FIRE-style fault-independent untestability proofs, and the necessary
 //!    assignments that guide PODEM's search in `scanft-atpg`.
 //! 4. **Static pruning** ([`prune_untestable`], [`prune_untestable_with`])
@@ -35,15 +37,16 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod diag;
-pub mod dominators;
+pub mod facts;
 pub mod fsm_lints;
 pub mod implications;
 pub mod netlist_lints;
 pub mod prune;
+pub mod requirements;
 pub mod scoap;
 
 pub use diag::{Diagnostic, LintCode, LintLevels, LintReport, Severity, ALL_LINTS};
-pub use dominators::Dominators;
+pub use facts::ConstFacts;
 pub use fsm_lints::{lint_kiss_source, lint_state_table, FsmLintConfig};
 pub use implications::Implications;
 pub use netlist_lints::{lint_import_error, lint_netlist, NetlistLintConfig};
@@ -51,6 +54,7 @@ pub use prune::{
     is_fire_untestable, is_statically_untestable, is_statically_untestable_with, prune_untestable,
     prune_untestable_with, PruneResult,
 };
+pub use requirements::Requirements;
 pub use scoap::{Scoap, ScoapSummary, INFINITE};
 
 use scanft_netlist::Netlist;
@@ -63,8 +67,9 @@ pub struct Analysis {
     pub scoap: Scoap,
     /// The static implication closure (direct + learned).
     pub implications: Implications,
-    /// Post-dominator chains and fanout-cone reachability.
-    pub dominators: Dominators,
+    /// Necessary-requirement extraction over the post-dominator tree and
+    /// fanout-cone reachability.
+    pub requirements: Requirements,
 }
 
 impl Analysis {
@@ -74,7 +79,7 @@ impl Analysis {
         Analysis {
             scoap: Scoap::new(netlist),
             implications: Implications::new(netlist),
-            dominators: Dominators::new(netlist),
+            requirements: Requirements::new(netlist),
         }
     }
 }

@@ -11,6 +11,7 @@
 use scanft_netlist::{GateKind, NetId, Netlist, NetlistError};
 
 use crate::diag::{Diagnostic, LintCode, LintLevels, LintReport, Severity};
+use crate::facts::ConstFacts;
 use crate::Analysis;
 
 /// Knobs for a netlist lint run.
@@ -168,10 +169,12 @@ pub fn lint_netlist(
         }
     }
 
-    // Implication-proven constant nets. SCOAP-uncontrollable nets are
-    // already denied above; this catches the reconvergence-made constants
-    // SCOAP cannot see.
-    for (net, value) in analysis.implications.constants() {
+    // Implication-proven constant nets, read through the same fact set
+    // (`ConstFacts`) the `scanft-opt` rewriter folds, so lint and optimizer
+    // cannot disagree. SCOAP-uncontrollable nets are already denied above;
+    // this catches the reconvergence-made constants SCOAP cannot see.
+    let facts = ConstFacts::of(analysis);
+    for &(net, value) in facts.constants() {
         if !netlist.is_connected(net) || scoap.is_uncontrollable(net, !value) {
             continue; // already dangling or uncontrollable
         }
@@ -192,7 +195,7 @@ pub fn lint_netlist(
     // Implication-proven equivalent nets: duplicated logic, one finding per
     // equivalence class. Plain buffer copies of another class member are
     // deliberate repeaters and dropped before judging the class.
-    for class in analysis.implications.equivalence_classes() {
+    for class in facts.classes() {
         let members: Vec<NetId> = class
             .iter()
             .copied()

@@ -14,7 +14,7 @@
 //! implication check ([`is_fire_untestable`]). Every test detecting a fault
 //! must satisfy a set of *necessary* good-value literals — the activation
 //! value plus non-controlling side inputs at every dominator gate
-//! ([`crate::Dominators::requirements`]). If the implication closure
+//! ([`crate::Requirements::requirements`]). If the implication closure
 //! ([`crate::Implications`]) shows those literals mutually inconsistent, no
 //! test exists and the fault is untestable without any search.
 //!
@@ -28,8 +28,8 @@
 use scanft_netlist::Netlist;
 use scanft_sim::faults::{FaultSite, StuckFault};
 
-use crate::dominators::Dominators;
 use crate::implications::Implications;
+use crate::requirements::Requirements;
 use crate::scoap::Scoap;
 use crate::Analysis;
 
@@ -78,7 +78,7 @@ pub fn is_statically_untestable(netlist: &Netlist, scoap: &Scoap, fault: &StuckF
 
 /// Whether `fault` is provably undetectable by the FIRE-style implication
 /// argument: the necessary good-value literals of any detecting test (see
-/// [`Dominators::requirements`]) are mutually inconsistent under the
+/// [`Requirements::requirements`]) are mutually inconsistent under the
 /// implication closure.
 ///
 /// Sound, not complete — a `false` answer proves nothing.
@@ -86,16 +86,16 @@ pub fn is_statically_untestable(netlist: &Netlist, scoap: &Scoap, fault: &StuckF
 pub fn is_fire_untestable(
     netlist: &Netlist,
     implications: &Implications,
-    dominators: &Dominators,
+    requirements: &Requirements,
     fault: &StuckFault,
 ) -> bool {
-    let Some(requirements) = dominators.requirements(netlist, fault) else {
+    let Some(required) = requirements.requirements(netlist, fault) else {
         // Structurally dead (no path to an output) or a single net required
         // at both values.
         return true;
     };
     let mut forced: Vec<Option<bool>> = vec![None; netlist.num_nets()];
-    for &(net, v) in &requirements {
+    for &(net, v) in &required {
         if implications.infeasible(net, v) {
             return true;
         }
@@ -120,7 +120,12 @@ pub fn is_statically_untestable_with(
     fault: &StuckFault,
 ) -> bool {
     is_statically_untestable(netlist, &analysis.scoap, fault)
-        || is_fire_untestable(netlist, &analysis.implications, &analysis.dominators, fault)
+        || is_fire_untestable(
+            netlist,
+            &analysis.implications,
+            &analysis.requirements,
+            fault,
+        )
 }
 
 /// Splits `faults` into statically testable and untestable partitions,

@@ -1,6 +1,6 @@
-//! Dominator analysis for fault-effect propagation.
+//! Necessary-requirement extraction from the post-dominator tree.
 //!
-//! The netlist layer computes the raw immediate post-dominator tree
+//! The netlist layer owns the one and only post-dominator implementation
 //! ([`PostDominators`]); this module interprets it for testing. Every
 //! structural path from a fault site to an observation point crosses each
 //! of the site's dominator gates, so a test for the fault **must** set every
@@ -37,7 +37,7 @@ fn non_controlling(kind: GateKind) -> Option<bool> {
 /// # Examples
 ///
 /// ```
-/// use scanft_analyze::Dominators;
+/// use scanft_analyze::Requirements;
 /// use scanft_netlist::{GateKind, NetlistBuilder};
 /// use scanft_sim::faults::{FaultSite, StuckFault};
 ///
@@ -46,7 +46,7 @@ fn non_controlling(kind: GateKind) -> Option<bool> {
 /// let a = b.add_gate(GateKind::Not, &[0])?;
 /// let z = b.add_gate(GateKind::And, &[a, 1])?;
 /// let n = b.finish(vec![z], vec![])?;
-/// let dom = Dominators::new(&n);
+/// let dom = Requirements::new(&n);
 /// let fault = StuckFault { site: FaultSite::Net(a), stuck_at_one: true };
 /// let req = dom.requirements(&n, &fault).expect("observable");
 /// // Activation a=0, plus the AND's side input x2 non-controlling (1).
@@ -56,16 +56,16 @@ fn non_controlling(kind: GateKind) -> Option<bool> {
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct Dominators {
+pub struct Requirements {
     post: PostDominators,
     reach: Reachability,
 }
 
-impl Dominators {
+impl Requirements {
     /// Builds the post-dominator tree and reachability for `netlist`.
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
-        Dominators {
+        Requirements {
             post: PostDominators::new(netlist),
             reach: Reachability::new(netlist),
         }
@@ -178,7 +178,7 @@ mod tests {
         let and = b.add_gate(GateKind::And, &[inv, 1]).unwrap();
         let or = b.add_gate(GateKind::Or, &[and, 2]).unwrap();
         let n = b.finish(vec![or], vec![]).unwrap();
-        let dom = Dominators::new(&n);
+        let dom = Requirements::new(&n);
         let fault = StuckFault {
             site: FaultSite::Net(inv),
             stuck_at_one: false,
@@ -195,7 +195,7 @@ mod tests {
         let and = b.add_gate(GateKind::And, &[0, 1]).unwrap();
         let keep = b.add_gate(GateKind::Buf, &[0]).unwrap();
         let n = b.finish(vec![and, keep], vec![]).unwrap();
-        let dom = Dominators::new(&n);
+        let dom = Requirements::new(&n);
         let fault = StuckFault {
             site: FaultSite::Branch { gate: 0, pin: 0 },
             stuck_at_one: true,
@@ -211,7 +211,7 @@ mod tests {
         let dead = b.add_gate(GateKind::Not, &[0]).unwrap();
         let z = b.add_gate(GateKind::Buf, &[1]).unwrap();
         let n = b.finish(vec![z], vec![]).unwrap();
-        let dom = Dominators::new(&n);
+        let dom = Requirements::new(&n);
         let fault = StuckFault {
             site: FaultSite::Net(dead),
             stuck_at_one: false,
@@ -226,7 +226,7 @@ mod tests {
         let mut b = NetlistBuilder::new(1, 0);
         let and = b.add_gate(GateKind::And, &[0, 0]).unwrap();
         let n = b.finish(vec![and], vec![]).unwrap();
-        let dom = Dominators::new(&n);
+        let dom = Requirements::new(&n);
         let fault = StuckFault {
             site: FaultSite::Branch { gate: 0, pin: 0 },
             stuck_at_one: true,
@@ -243,7 +243,7 @@ mod tests {
         let s = b.add_gate(GateKind::Not, &[0]).unwrap();
         let z = b.add_gate(GateKind::And, &[s, 0]).unwrap();
         let n = b.finish(vec![z], vec![]).unwrap();
-        let dom = Dominators::new(&n);
+        let dom = Requirements::new(&n);
         let fault = StuckFault {
             site: FaultSite::Net(0),
             stuck_at_one: false,

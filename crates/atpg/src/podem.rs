@@ -27,7 +27,7 @@
 //! On top of the classic loop sits **static-implication guidance**
 //! (`AtpgConfig::use_implications`, default on): before the search starts,
 //! the fault's *necessary* literals — activation plus non-controlling side
-//! inputs at every dominator gate ([`scanft_analyze::Dominators`]) — are
+//! inputs at every dominator gate ([`scanft_analyze::Requirements`]) — are
 //! expanded through the learned implication closure
 //! ([`scanft_analyze::Implications`]). A conflict inside that expansion
 //! proves the fault redundant with zero decisions; surviving literals fix
@@ -44,7 +44,7 @@
 //! composes directly with the functional tests of the paper's flow and with
 //! `scanft-sim`'s fault-dropping campaigns.
 
-use scanft_analyze::{Analysis, Dominators, Implications, Scoap};
+use scanft_analyze::{Analysis, Implications, Requirements, Scoap};
 use scanft_harness::Budget;
 use scanft_netlist::{GateKind, NetId, Netlist};
 use scanft_obs::Counter;
@@ -226,7 +226,7 @@ pub struct Atpg<'a> {
     /// Implication closure and dominator pass for the implication-guided
     /// search; built lazily on the first guided call, or shared up front
     /// via [`Atpg::with_analysis`].
-    learned: Option<(Implications, Dominators)>,
+    learned: Option<(Implications, Requirements)>,
     /// Per-net composite value, rebuilt by `imply`.
     values: Vec<V5>,
     /// Per-net X-path flag, rebuilt after every `imply`.
@@ -272,15 +272,15 @@ impl<'a> Atpg<'a> {
         let Analysis {
             scoap,
             implications,
-            dominators,
+            requirements,
         } = analysis;
-        Self::build(netlist, scoap, Some((implications, dominators)))
+        Self::build(netlist, scoap, Some((implications, requirements)))
     }
 
     fn build(
         netlist: &'a Netlist,
         scoap: Scoap,
-        learned: Option<(Implications, Dominators)>,
+        learned: Option<(Implications, Requirements)>,
     ) -> Self {
         let obs = scanft_obs::global();
         let mut is_obs = vec![false; netlist.num_nets()];
@@ -443,7 +443,7 @@ impl<'a> Atpg<'a> {
     ///
     /// Expands the target's necessary literals — activation plus the
     /// non-controlling side inputs of every dominator gate, from
-    /// [`Dominators::requirements`] — through [`Implications::implied`]
+    /// [`Requirements::requirements`] — through [`Implications::implied`]
     /// into `self.required`, and fixes every required *input* directly in
     /// `self.assignment` (a necessary assignment's complement cannot detect
     /// the fault, so it never earns a decision-stack entry). Returns `false`
@@ -453,16 +453,16 @@ impl<'a> Atpg<'a> {
         if self.learned.is_none() {
             self.learned = Some((
                 Implications::new(self.netlist),
-                Dominators::new(self.netlist),
+                Requirements::new(self.netlist),
             ));
         }
-        let Some((implications, dominators)) = self.learned.as_ref() else {
+        let Some((implications, requirements)) = self.learned.as_ref() else {
             return true;
         };
-        let Some(requirements) = dominators.requirements(self.netlist, fault) else {
+        let Some(required) = requirements.requirements(self.netlist, fault) else {
             return false;
         };
-        for &(net, value) in &requirements {
+        for &(net, value) in &required {
             if implications.infeasible(net, value) {
                 return false;
             }

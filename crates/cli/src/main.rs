@@ -5,9 +5,10 @@
 //! scanft show <circuit> [--kiss]
 //! scanft uio <circuit> [--max-len N]
 //! scanft generate <circuit> [--no-transfer] [--uio-cap N]
-//! scanft simulate <circuit> --tests FILE [--threads N] [--deadline SECS] [--journal FILE] [--resume] [--chaos-seed N] [--kernel narrow|wide]
+//! scanft simulate <circuit> --tests FILE [--optimize] [--threads N] [--deadline SECS] [--journal FILE] [--resume] [--chaos-seed N] [--kernel narrow|wide]
 //! scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-//! scanft atpg <circuit> [--budget N] [--deadline SECS] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
+//! scanft optimize <circuit> [--cert FILE]
+//! scanft atpg <circuit> [--budget N] [--deadline SECS] [--optimize] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
 //! scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
 //! scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
 //! ```
@@ -93,15 +94,16 @@ const USAGE: &str = "usage:
   scanft show <circuit> [--kiss]
   scanft uio <circuit> [--max-len N]
   scanft generate <circuit> [--no-transfer] [--uio-cap N] [--out FILE]
-  scanft simulate <circuit> --tests FILE [--threads N] [--deadline SECS]
-                  [--journal FILE] [--resume] [--chaos-seed N]
-                  [--kernel narrow|wide]
+  scanft simulate <circuit> --tests FILE [--optimize] [--threads N]
+                  [--deadline SECS] [--journal FILE] [--resume]
+                  [--chaos-seed N] [--kernel narrow|wide]
   scanft evaluate <circuit> [--functional-only] [--top-up] [--gray]
-  scanft atpg <circuit> [--budget N] [--deadline SECS] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
+  scanft optimize <circuit> [--cert FILE]
+  scanft atpg <circuit> [--budget N] [--deadline SECS] [--optimize] [--no-functional] [--uncollapsed] [--no-implications] [--gray] [--level]
   scanft synth <circuit> [--gray] [--flat] [--dot|--blif]
   scanft lint <circuit>... | --all [--json] [--full] [--deny|--warn|--allow CODE]
   scanft dot <circuit>
-  scanft serve [--addr HOST:PORT] [--workers N] [--threads N]
+  scanft serve [--addr HOST:PORT] [--workers N] [--threads N] [--optimize]
                [--kernel narrow|wide] [--journal-dir DIR] [--cache N]
                [--max-active N] [--max-units N] [--body-limit BYTES]
                [--timeout SECS] [--deadline SECS] [--chaos-seed N]
@@ -136,6 +138,7 @@ fn run(args: &[String]) -> Result<ExitCode, ScanftError> {
         "generate" => cmd_generate(rest),
         "simulate" => cmd_simulate(rest),
         "evaluate" => cmd_evaluate(rest),
+        "optimize" => cmd_optimize(rest),
         "atpg" => cmd_atpg(rest),
         "synth" => cmd_synth(rest),
         "dot" => cmd_dot(rest),
@@ -323,6 +326,21 @@ fn cmd_simulate(rest: &[String]) -> Result<(), ScanftError> {
     if supervised {
         return simulate_supervised(rest, &table, &circuit, &scan_tests);
     }
+    let optimized = if flag(rest, "--optimize") {
+        let opt = scanft_opt::optimize(circuit.netlist());
+        scanft_opt::checker::check(circuit.netlist(), &opt.netlist, &opt.certificate).map_err(
+            |e| ScanftError::Synth {
+                message: format!("optimizer self-check failed — {e}"),
+            },
+        )?;
+        println!(
+            "optimized: {} -> {} gates (certificate: {} steps, validated)",
+            opt.stats.original_gates, opt.stats.reduced_gates, opt.stats.certificate_steps
+        );
+        Some(opt)
+    } else {
+        None
+    };
     let bridges = scanft_sim::faults::enumerate_bridging(circuit.netlist(), 3000);
     if bridges.truncated() {
         println!(
@@ -350,8 +368,21 @@ fn cmd_simulate(rest: &[String]) -> Result<(), ScanftError> {
             )),
         ),
     ] {
-        let report =
-            scanft_sim::campaign::run_decreasing_length(circuit.netlist(), &scan_tests, &faults);
+        // Optimized runs report identical verdicts in the original fault
+        // universe (bridging and delay faults fall back automatically).
+        let report = match &optimized {
+            Some(opt) => scanft_opt::campaign::run_optimized(
+                circuit.netlist(),
+                opt,
+                &scan_tests,
+                &scanft_sim::campaign::decreasing_length_order(&scan_tests),
+                &faults,
+                true,
+            ),
+            None => {
+                scanft_sim::campaign::run_decreasing_length(circuit.netlist(), &scan_tests, &faults)
+            }
+        };
         println!(
             "  {label}: {}/{} detected ({:.2}%), {} effective tests",
             report.detected(),
@@ -429,16 +460,42 @@ fn simulate_supervised(
         None => None,
     };
 
-    let partial = campaign::run_supervised(
-        circuit.netlist(),
-        scan_tests,
-        &order,
-        &fault_list,
-        &config,
-        writer.as_ref(),
-        prior.as_ref(),
-        chaos.as_ref(),
-    )?;
+    // `--optimize` preserves the journal and report contract bit-for-bit
+    // (same units, same records, cross-resumable with unoptimized runs).
+    let partial = if flag(rest, "--optimize") {
+        let opt = scanft_opt::optimize(circuit.netlist());
+        scanft_opt::checker::check(circuit.netlist(), &opt.netlist, &opt.certificate).map_err(
+            |e| ScanftError::Synth {
+                message: format!("optimizer self-check failed — {e}"),
+            },
+        )?;
+        println!(
+            "optimized: {} -> {} gates (certificate: {} steps, validated)",
+            opt.stats.original_gates, opt.stats.reduced_gates, opt.stats.certificate_steps
+        );
+        scanft_opt::campaign::run_supervised_optimized(
+            circuit.netlist(),
+            &opt,
+            scan_tests,
+            &order,
+            &fault_list,
+            &config,
+            writer.as_ref(),
+            prior.as_ref(),
+            chaos.as_ref(),
+        )?
+    } else {
+        campaign::run_supervised(
+            circuit.netlist(),
+            scan_tests,
+            &order,
+            &fault_list,
+            &config,
+            writer.as_ref(),
+            prior.as_ref(),
+            chaos.as_ref(),
+        )?
+    };
 
     println!(
         "supervised stuck-at campaign for {} ({} faults in {} batches, {} thread{}):",
@@ -560,6 +617,58 @@ fn cmd_evaluate(rest: &[String]) -> Result<(), ScanftError> {
     Ok(())
 }
 
+/// `scanft optimize <circuit> [--cert FILE]`: run the certificate-emitting
+/// static optimizer, re-validate the proof log with the independent
+/// checker (always — an unjustified rewrite is a hard error), report the
+/// reduction and the fault-universe classification, and optionally write
+/// the certificate out.
+fn cmd_optimize(rest: &[String]) -> Result<(), ScanftError> {
+    let table = load_circuit(rest)?;
+    let circuit = synthesize(&table, &SynthConfig::default());
+    let n = circuit.netlist();
+    let opt = scanft_opt::optimize(n);
+    scanft_opt::checker::check(n, &opt.netlist, &opt.certificate).map_err(|e| {
+        ScanftError::Synth {
+            message: format!("optimizer self-check failed — {e}"),
+        }
+    })?;
+    let s = &opt.stats;
+    println!("optimized {}:", table.name());
+    println!("  original: {}", n.stats());
+    println!("  reduced:  {}", opt.netlist.stats());
+    let removed_pct =
+        100.0 * (s.original_gates - s.reduced_gates) as f64 / s.original_gates.max(1) as f64;
+    println!(
+        "  gates: {} -> {} ({removed_pct:.1}% removed): {} constants folded, {} merges, {} dead",
+        s.original_gates, s.reduced_gates, s.constants_folded, s.merges, s.gates_removed
+    );
+    println!(
+        "  facts: {} closure constants ({} visible to plain dataflow), {} unproven skipped",
+        s.closure_constants,
+        s.dataflow_constants,
+        s.unproven_constants + s.unproven_equiv
+    );
+    println!(
+        "  certificate: {} steps, {} lemmas, {} bytes — validated by the independent checker",
+        s.certificate_steps, s.certificate_lemmas, s.certificate_bytes
+    );
+    let stuck = scanft_sim::faults::enumerate_stuck(n);
+    let collapsed = scanft_sim::collapse::collapse_stuck(n, &stuck).representatives;
+    let list = scanft_sim::faults::as_fault_list(&collapsed);
+    let plan = scanft_opt::fault_map::FaultPlan::new(n, &opt, &list);
+    let (untestable, fallback, exact) = plan.counts();
+    println!(
+        "  faults: {} collapsed stuck-at -> {untestable} provably untestable, \
+         {exact} exact on the reduced netlist, {fallback} fall back to the original",
+        list.len()
+    );
+    if let Some(path) = string_of(rest, "--cert")? {
+        write_file(&path, opt.certificate.clone())?;
+        println!("  certificate written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_atpg(rest: &[String]) -> Result<(), ScanftError> {
     let table = load_circuit(rest)?;
     let synth_config = SynthConfig {
@@ -594,6 +703,7 @@ fn cmd_atpg(rest: &[String]) -> Result<(), ScanftError> {
         } else {
             scanft_core::top_up::Heuristic::Scoap
         },
+        optimize: flag(rest, "--optimize"),
         ..scanft_core::top_up::TopUpConfig::default()
     };
     let outcome = scanft_core::top_up::top_up_scan(circuit.netlist(), &functional, &config);
@@ -907,6 +1017,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), ScanftError> {
         scanft_harness::silence_chaos_panics();
         config.chaos_seed = Some(seed as u64);
     }
+    config.optimize = flag(rest, "--optimize");
     let deadline = value_of(rest, "--deadline")?;
 
     let journal_dir = config.journal_dir.clone();

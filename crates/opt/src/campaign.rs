@@ -1,0 +1,477 @@
+//! Campaign runners over an optimized netlist that report in the
+//! **original** fault universe.
+//!
+//! [`run_optimized`] partitions the fault list by [`FaultPlan`]: exact
+//! faults simulate on the reduced netlist (translated sites), fallback
+//! faults on the original, untestable faults are reported undetected
+//! without simulation. Per-fault detecting-test verdicts are independent of
+//! how faults are batched (each lane owns its fault and walks the same
+//! ordered test list), so stitching the two runs back together by original
+//! fault index reproduces exactly what a single run on the original netlist
+//! reports — the differential tests pin this bit-for-bit.
+//!
+//! [`run_supervised_optimized`] preserves the supervised contract of
+//! [`scanft_sim::campaign::run_supervised`]: the same 64-fault units over
+//! the same original fault list, the same journal header and per-unit
+//! records (journals are byte-identical and cross-resumable with
+//! unoptimized runs), the same budget, quarantine, resume, and chaos
+//! behaviour. A unit containing any fallback fault simulates wholly on the
+//! original netlist; a pure exact/untestable unit simulates its translated
+//! faults on the reduced netlist in one narrow batch. Units always run on
+//! the narrow kernel even when `config.kernel` is wide — verdicts are
+//! kernel-independent, so the journal and report are unaffected.
+
+use scanft_harness::{
+    run_units, FailurePlan, Journal, JournalHeader, JournalRecord, JournalWriter, ScanftError,
+};
+use scanft_netlist::Netlist;
+use scanft_sim::campaign::{CampaignReport, PartialReport, SupervisedConfig};
+use scanft_sim::engine::{FaultEngine, InjectionPlan};
+use scanft_sim::faults::Fault;
+use scanft_sim::{logic, ScanResponse, ScanTest};
+
+use crate::fault_map::{FaultClass, FaultPlan};
+use crate::Optimized;
+
+/// Simulates `faults` (enumerated on `original`) over the optimized
+/// netlist where sound, the original otherwise, and returns a report in
+/// the original fault universe identical to
+/// [`scanft_sim::campaign::run_ordered_observing`] on `original`.
+///
+/// # Panics
+///
+/// Panics if `order` references a test out of range.
+#[must_use]
+pub fn run_optimized(
+    original: &Netlist,
+    opt: &Optimized,
+    tests: &[ScanTest],
+    order: &[usize],
+    faults: &[Fault],
+    observe_scan_out: bool,
+) -> CampaignReport {
+    let plan = FaultPlan::new(original, opt, faults);
+    let obs = scanft_obs::global();
+    let (untestable, fallback, exact) = plan.counts();
+    obs.counter("opt.campaign.untestable")
+        .add(untestable as u64);
+    obs.counter("opt.campaign.fallback").add(fallback as u64);
+    obs.counter("opt.campaign.exact").add(exact as u64);
+
+    let mut exact_idx = Vec::new();
+    let mut exact_faults = Vec::new();
+    let mut fallback_idx = Vec::new();
+    let mut fallback_faults = Vec::new();
+    for (f, class) in plan.classes.iter().enumerate() {
+        match class {
+            FaultClass::Untestable => {}
+            FaultClass::Fallback => {
+                fallback_idx.push(f);
+                fallback_faults.push(faults[f]);
+            }
+            FaultClass::Exact(translated) => {
+                exact_idx.push(f);
+                exact_faults.push(*translated);
+            }
+        }
+    }
+
+    let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
+    if !exact_faults.is_empty() {
+        let report = scanft_sim::campaign::run_ordered_observing(
+            &opt.netlist,
+            tests,
+            order,
+            &exact_faults,
+            observe_scan_out,
+        );
+        for (&f, verdict) in exact_idx.iter().zip(report.detecting_test) {
+            detecting_test[f] = verdict;
+        }
+    }
+    if !fallback_faults.is_empty() {
+        let report = scanft_sim::campaign::run_ordered_observing(
+            original,
+            tests,
+            order,
+            &fallback_faults,
+            observe_scan_out,
+        );
+        for (&f, verdict) in fallback_idx.iter().zip(report.detecting_test) {
+            detecting_test[f] = verdict;
+        }
+    }
+
+    let mut new_detections = vec![0usize; order.len()];
+    for d in detecting_test.iter().flatten() {
+        new_detections[*d] += 1;
+    }
+    CampaignReport {
+        detecting_test,
+        order: order.to_vec(),
+        new_detections,
+    }
+}
+
+/// One 64-fault batch against the ordered test list with fault dropping on
+/// the narrow kernel (the detecting-test position per lane).
+#[allow(clippy::too_many_arguments)]
+fn sim_unit(
+    engine: &mut FaultEngine<'_>,
+    netlist: &Netlist,
+    tests: &[ScanTest],
+    order: &[usize],
+    responses: &[Option<ScanResponse>],
+    batch: &[Fault],
+    observe_scan_out: bool,
+) -> Vec<Option<usize>> {
+    let mut local: Vec<Option<usize>> = vec![None; batch.len()];
+    if batch.is_empty() {
+        return local;
+    }
+    let plan = InjectionPlan::new(netlist, batch);
+    let mut detected: u64 = 0;
+    let all = plan.lane_mask();
+    for (pos, &t) in order.iter().enumerate() {
+        let response = responses[t].as_ref().expect("response precomputed");
+        let newly =
+            engine.run_test_observing(&tests[t], response, &plan, detected, observe_scan_out);
+        let mut lanes = newly;
+        while lanes != 0 {
+            let lane = lanes.trailing_zeros() as usize;
+            local[lane] = Some(pos);
+            lanes &= lanes - 1;
+        }
+        detected |= newly;
+        if detected == all {
+            break;
+        }
+    }
+    local
+}
+
+/// Supervised campaign over an optimized netlist, reporting and journaling
+/// in the original fault universe (see the module docs for the contract).
+///
+/// # Errors
+///
+/// Returns [`ScanftError::Journal`] when the resume journal does not match
+/// this campaign or a journal write fails.
+///
+/// # Panics
+///
+/// Panics if `config.num_threads == 0` or `order` references a test out of
+/// range.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_optimized(
+    original: &Netlist,
+    opt: &Optimized,
+    tests: &[ScanTest],
+    order: &[usize],
+    faults: &[Fault],
+    config: &SupervisedConfig,
+    journal: Option<&JournalWriter>,
+    resume_from: Option<&Journal>,
+    chaos: Option<&FailurePlan>,
+) -> Result<PartialReport, ScanftError> {
+    assert!(config.num_threads > 0, "num_threads must be positive");
+    let obs = scanft_obs::global();
+    let _span = obs.timer("opt.campaign.supervised").start();
+    obs.counter("sim.campaign.faults").add(faults.len() as u64);
+
+    let fault_plan = FaultPlan::new(original, opt, faults);
+    let batches: Vec<&[Fault]> = faults.chunks(64).collect();
+    let num_units = batches.len();
+    // Same header as the unoptimized runner: journals stay cross-resumable.
+    let header = JournalHeader {
+        label: config.label.clone(),
+        faults: faults.len(),
+        units: num_units,
+        order: order.len(),
+        lanes_per_unit: 64,
+    };
+
+    let mut prior: Vec<Option<&JournalRecord>> = vec![None; num_units];
+    if let Some(journal) = resume_from {
+        journal.validate(&header)?;
+        for record in &journal.records {
+            if record.unit < num_units && record.lanes.len() == batches[record.unit].len() {
+                prior[record.unit] = Some(record);
+            }
+        }
+    }
+    let resumed_units: Vec<usize> = (0..num_units).filter(|&u| prior[u].is_some()).collect();
+    obs.counter("sim.campaign.units_resumed")
+        .add(resumed_units.len() as u64);
+
+    if let (Some(writer), None) = (journal, resume_from) {
+        writer
+            .write_header(&header)
+            .map_err(|e| ScanftError::Journal {
+                message: format!("writing journal header: {e}"),
+            })?;
+    }
+
+    // A unit simulates on the original netlist iff it contains any
+    // fallback fault; otherwise its exact faults run on the reduced one.
+    let unit_falls_back = |unit: usize| -> bool {
+        (unit * 64..(unit * 64 + batches[unit].len()))
+            .any(|f| matches!(fault_plan.classes[f], FaultClass::Fallback))
+    };
+    let pending: Vec<usize> = (0..num_units).filter(|&u| prior[u].is_none()).collect();
+    let needs_original = pending.iter().any(|&u| unit_falls_back(u));
+    let needs_reduced = pending.iter().any(|&u| !unit_falls_back(u));
+    let mut original_responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
+    let mut reduced_responses: Vec<Option<ScanResponse>> = vec![None; tests.len()];
+    for &t in order {
+        if needs_original && original_responses[t].is_none() {
+            original_responses[t] = Some(logic::simulate(original, &tests[t]));
+        }
+        if needs_reduced && reduced_responses[t].is_none() {
+            reduced_responses[t] = Some(logic::simulate(&opt.netlist, &tests[t]));
+        }
+    }
+
+    let batches_run = obs.counter("sim.campaign.batches");
+    let gate_evals = obs.counter("sim.kernel.gate_evals");
+    let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let append_record = |unit: usize, lanes: &[Option<usize>]| {
+        if let Some(writer) = journal {
+            let record = JournalRecord {
+                unit,
+                lanes: lanes.iter().map(|d| d.map(|p| p as u64)).collect(),
+            };
+            if let Err(e) = writer.append(&record) {
+                journal_error
+                    .lock()
+                    .expect("journal error flag poisoned")
+                    .get_or_insert_with(|| e.to_string());
+            }
+        }
+    };
+
+    let outcome = run_units(
+        &pending,
+        config.num_threads,
+        &config.budget,
+        chaos,
+        || (FaultEngine::new(original), FaultEngine::new(&opt.netlist)),
+        |(original_engine, reduced_engine), unit| {
+            batches_run.inc();
+            let batch = batches[unit];
+            let local = if unit_falls_back(unit) {
+                let local = sim_unit(
+                    original_engine,
+                    original,
+                    tests,
+                    order,
+                    &original_responses,
+                    batch,
+                    config.observe_scan_out,
+                );
+                gate_evals.add(original_engine.take_gate_evals());
+                local
+            } else {
+                let mut lanes = Vec::new();
+                let mut translated = Vec::new();
+                for (lane, f) in (unit * 64..unit * 64 + batch.len()).enumerate() {
+                    if let FaultClass::Exact(fault) = fault_plan.classes[f] {
+                        lanes.push(lane);
+                        translated.push(fault);
+                    }
+                }
+                let verdicts = sim_unit(
+                    reduced_engine,
+                    &opt.netlist,
+                    tests,
+                    order,
+                    &reduced_responses,
+                    &translated,
+                    config.observe_scan_out,
+                );
+                gate_evals.add(reduced_engine.take_gate_evals());
+                let mut local: Vec<Option<usize>> = vec![None; batch.len()];
+                for (&lane, verdict) in lanes.iter().zip(verdicts) {
+                    local[lane] = verdict;
+                }
+                local
+            };
+            append_record(unit, &local);
+            local
+        },
+    );
+    if let Some(message) = journal_error
+        .into_inner()
+        .expect("journal error flag poisoned")
+    {
+        return Err(ScanftError::Journal {
+            message: format!("writing journal record: {message}"),
+        });
+    }
+
+    let mut detecting_test: Vec<Option<usize>> = vec![None; faults.len()];
+    for (unit, record) in prior.iter().enumerate() {
+        if let Some(record) = record {
+            for (lane, &pos) in record.lanes.iter().enumerate() {
+                detecting_test[unit * 64 + lane] = pos.map(|p| p as usize);
+            }
+        }
+    }
+    let mut completed_units = resumed_units.clone();
+    for (unit, local) in &outcome.completed {
+        completed_units.push(*unit);
+        for (lane, &verdict) in local.iter().enumerate() {
+            detecting_test[unit * 64 + lane] = verdict;
+        }
+    }
+    completed_units.sort_unstable();
+
+    let mut new_detections = vec![0usize; order.len()];
+    for d in detecting_test.iter().flatten() {
+        new_detections[*d] += 1;
+    }
+    Ok(PartialReport {
+        report: CampaignReport {
+            detecting_test,
+            order: order.to_vec(),
+            new_detections,
+        },
+        completed_units,
+        resumed_units,
+        quarantined: outcome.quarantined,
+        remaining_units: outcome.remaining,
+        stopped: outcome.stopped,
+        num_units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanft_sim::campaign;
+    use scanft_sim::faults;
+    use scanft_synth::{synthesize, SynthConfig};
+
+    fn lion_campaign() -> (
+        scanft_synth::SynthesizedCircuit,
+        Vec<ScanTest>,
+        Vec<usize>,
+        Vec<Fault>,
+    ) {
+        let fsm = scanft_fsm::benchmarks::lion();
+        let c = synthesize(&fsm, &SynthConfig::default());
+        let tests: Vec<ScanTest> = fsm
+            .transitions()
+            .map(|t| ScanTest::new(c.encode_state(t.from), vec![t.input]))
+            .collect();
+        let order = campaign::decreasing_length_order(&tests);
+        let list = faults::as_fault_list(&faults::enumerate_stuck(c.netlist()));
+        (c, tests, order, list)
+    }
+
+    #[test]
+    fn optimized_run_matches_original_bit_for_bit() {
+        let (c, tests, order, list) = lion_campaign();
+        let opt = crate::optimize(c.netlist());
+        for observe in [true, false] {
+            let baseline =
+                campaign::run_ordered_observing(c.netlist(), &tests, &order, &list, observe);
+            let optimized = run_optimized(c.netlist(), &opt, &tests, &order, &list, observe);
+            assert_eq!(
+                optimized.detecting_test, baseline.detecting_test,
+                "{observe}"
+            );
+            assert_eq!(optimized.new_detections, baseline.new_detections);
+            assert_eq!(optimized.order, baseline.order);
+        }
+    }
+
+    #[test]
+    fn supervised_optimized_journal_is_byte_identical() {
+        let (c, tests, order, list) = lion_campaign();
+        let opt = crate::optimize(c.netlist());
+        let config = SupervisedConfig {
+            num_threads: 2,
+            ..SupervisedConfig::default()
+        };
+        let (writer_a, buffer_a) = JournalWriter::in_memory();
+        let baseline = campaign::run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &config,
+            Some(&writer_a),
+            None,
+            None,
+        )
+        .expect("baseline journal");
+        let (writer_b, buffer_b) = JournalWriter::in_memory();
+        let optimized = run_supervised_optimized(
+            c.netlist(),
+            &opt,
+            &tests,
+            &order,
+            &list,
+            &config,
+            Some(&writer_b),
+            None,
+            None,
+        )
+        .expect("optimized journal");
+        assert!(optimized.is_complete());
+        assert_eq!(optimized.report, baseline.report);
+        assert_eq!(optimized.completed_units, baseline.completed_units);
+        // Journals are byte-identical, so either run can resume the other.
+        let bytes_a = scanft_harness::buffer_contents(&buffer_a);
+        let bytes_b = scanft_harness::buffer_contents(&buffer_b);
+        let mut lines_a: Vec<&str> = bytes_a.lines().collect();
+        let mut lines_b: Vec<&str> = bytes_b.lines().collect();
+        // Units may complete in any thread order; compare as sets after the
+        // shared header line.
+        assert_eq!(lines_a.remove(0), lines_b.remove(0));
+        lines_a.sort_unstable();
+        lines_b.sort_unstable();
+        assert_eq!(lines_a, lines_b);
+    }
+
+    #[test]
+    fn optimized_resumes_an_unoptimized_checkpoint() {
+        let (c, tests, order, list) = lion_campaign();
+        let opt = crate::optimize(c.netlist());
+        let uninterrupted = campaign::run_ordered(c.netlist(), &tests, &order, &list);
+        let partial_config = SupervisedConfig {
+            budget: scanft_harness::Budget::unlimited().with_max_units(1),
+            ..SupervisedConfig::default()
+        };
+        let (writer, buffer) = JournalWriter::in_memory();
+        let first = campaign::run_supervised(
+            c.netlist(),
+            &tests,
+            &order,
+            &list,
+            &partial_config,
+            Some(&writer),
+            None,
+            None,
+        )
+        .expect("partial journal");
+        assert_eq!(first.completed_units.len(), 1);
+        let journal = scanft_harness::read_journal(&scanft_harness::buffer_contents(&buffer));
+        let resumed = run_supervised_optimized(
+            c.netlist(),
+            &opt,
+            &tests,
+            &order,
+            &list,
+            &SupervisedConfig::default(),
+            None,
+            Some(&journal),
+            None,
+        )
+        .expect("resume");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed_units, first.completed_units);
+        assert_eq!(resumed.into_complete().expect("complete"), uninterrupted);
+    }
+}

@@ -1,0 +1,255 @@
+//! The machine-checkable certificate: a JSONL proof log.
+//!
+//! Every line is one JSON object with a `"step"` discriminator. The log has
+//! three layers:
+//!
+//! 1. **Shape** — a leading `begin` step pins the original netlist's
+//!    interface (`num_pis`, `num_ppis`, `num_gates`) so a certificate can
+//!    never be replayed against the wrong circuit.
+//! 2. **Facts** — `const` and `lemma` steps, each carrying a *trace*: a
+//!    unit-propagation derivation whose entries are individually
+//!    re-checkable from gate semantics alone. A `const` trace seeds the
+//!    complement of the claimed value and ends in a contradiction (*ex
+//!    falso*); a `lemma` trace seeds the left-hand literal and derives the
+//!    right-hand one. Lemmas are numbered in emission order and may cite
+//!    earlier lemmas (directly or contrapositively) and earlier constants,
+//!    so the log is a valid proof in one forward pass.
+//! 3. **Rewrites** — `const_subst`, `equiv`, `merge`, `drop_pin`, and
+//!    `dead` steps, each justified by facts proven above it (or, for
+//!    `merge` and `dead`, by structure the checker replays itself).
+//!
+//! The checker ([`crate::checker`]) consumes this format without sharing
+//! any code with the emitting side.
+
+use scanft_netlist::NetId;
+
+/// Why a trace entry's assignment is forced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reason {
+    /// The seed literal of this trace.
+    Seed,
+    /// A constant certified earlier in the log (cited by net).
+    Const,
+    /// Forced by the named gate's consistency rules under the assignments
+    /// made so far.
+    Gate(u32),
+    /// Direct application of lemma `k`: its left-hand literal is assigned,
+    /// so its right-hand literal follows.
+    Lemma(u32),
+    /// Contrapositive application of lemma `k`: the complement of its
+    /// right-hand literal is assigned, so the complement of its left-hand
+    /// literal follows.
+    Contra(u32),
+}
+
+/// One assignment of a unit-propagation trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The net assigned.
+    pub net: NetId,
+    /// The value assigned.
+    pub value: bool,
+    /// Why the assignment is forced.
+    pub by: Reason,
+}
+
+/// Accumulates certificate lines and running totals.
+#[derive(Debug, Default)]
+pub struct Certificate {
+    text: String,
+    steps: usize,
+    lemmas: u32,
+}
+
+fn write_trace(out: &mut String, trace: &[TraceEntry]) {
+    out.push_str(",\"trace\":[");
+    for (i, e) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let by = match e.by {
+            Reason::Seed => "\"seed\"".to_owned(),
+            Reason::Const => format!("{{\"const\":{}}}", e.net),
+            Reason::Gate(g) => format!("{{\"gate\":{g}}}"),
+            Reason::Lemma(k) => format!("{{\"lemma\":{k}}}"),
+            Reason::Contra(k) => format!("{{\"contra\":{k}}}"),
+        };
+        out.push_str(&format!(
+            "{{\"net\":{},\"value\":{},\"by\":{by}}}",
+            e.net, e.value
+        ));
+    }
+    out.push_str("]}\n");
+}
+
+impl Certificate {
+    /// Starts a certificate for a netlist with the given interface shape.
+    #[must_use]
+    pub fn begin(num_pis: usize, num_ppis: usize, num_gates: usize) -> Self {
+        let mut cert = Certificate::default();
+        cert.text.push_str(&format!(
+            "{{\"step\":\"begin\",\"num_pis\":{num_pis},\"num_ppis\":{num_ppis},\"num_gates\":{num_gates}}}\n"
+        ));
+        cert.steps += 1;
+        cert
+    }
+
+    /// Records a proven constant: `net` is `value` in every consistent
+    /// assignment, because seeding the complement derives the contradiction
+    /// shown in `trace`.
+    pub fn const_step(&mut self, net: NetId, value: bool, trace: &[TraceEntry]) {
+        self.steps += 1;
+        self.text.push_str(&format!(
+            "{{\"step\":\"const\",\"net\":{net},\"value\":{value}"
+        ));
+        write_trace(&mut self.text, trace);
+    }
+
+    /// Records a proven implication lemma `(net=value) ⇒ (to_net=to_value)`
+    /// and returns its id for later citation.
+    pub fn lemma(
+        &mut self,
+        net: NetId,
+        value: bool,
+        to_net: NetId,
+        to_value: bool,
+        trace: &[TraceEntry],
+    ) -> u32 {
+        let id = self.lemmas;
+        self.lemmas += 1;
+        self.steps += 1;
+        self.text.push_str(&format!(
+            "{{\"step\":\"lemma\",\"id\":{id},\"net\":{net},\"value\":{value},\"to_net\":{to_net},\"to_value\":{to_value}"
+        ));
+        write_trace(&mut self.text, trace);
+        id
+    }
+
+    /// Records a constant-net substitution: every use of `drop` is replaced
+    /// by `keep`; both carry the same certified constant `value`.
+    pub fn const_subst(&mut self, keep: NetId, drop: NetId, value: bool) {
+        self.steps += 1;
+        self.text.push_str(&format!(
+            "{{\"step\":\"const_subst\",\"keep\":{keep},\"drop\":{drop},\"value\":{value}}}\n"
+        ));
+    }
+
+    /// Records an equivalence substitution justified by two lemmas:
+    /// `fwd` proves `drop=1 ⇒ keep=1` and `bwd` proves `keep=1 ⇒ drop=1`.
+    pub fn equiv(&mut self, keep: NetId, drop: NetId, fwd: u32, bwd: u32) {
+        self.steps += 1;
+        self.text.push_str(&format!(
+            "{{\"step\":\"equiv\",\"keep\":{keep},\"drop\":{drop},\"fwd\":{fwd},\"bwd\":{bwd}}}\n"
+        ));
+    }
+
+    /// Records a structural-hash merge: gate `drop` has the same kind and
+    /// the same resolved input list as the earlier gate `keep`, so its
+    /// output net is substituted by `keep`'s output net.
+    pub fn merge(&mut self, keep: u32, drop: u32) {
+        self.steps += 1;
+        self.text.push_str(&format!(
+            "{{\"step\":\"merge\",\"keep\":{keep},\"drop\":{drop}}}\n"
+        ));
+    }
+
+    /// Records removal of input pin `pin` (current position) of gate `gate`:
+    /// the pin's resolved source `net` carries the certified constant
+    /// `value`, which is non-controlling for the gate's kind.
+    pub fn drop_pin(&mut self, gate: u32, pin: u32, net: NetId, value: bool) {
+        self.steps += 1;
+        self.text.push_str(&format!(
+            "{{\"step\":\"drop_pin\",\"gate\":{gate},\"pin\":{pin},\"net\":{net},\"value\":{value}}}\n"
+        ));
+    }
+
+    /// Records removal of gate `gate`: its output has no remaining
+    /// consumers (gate inputs, primary outputs, or next-state lines).
+    pub fn dead(&mut self, gate: u32) {
+        self.steps += 1;
+        self.text
+            .push_str(&format!("{{\"step\":\"dead\",\"gate\":{gate}}}\n"));
+    }
+
+    /// The certificate as JSONL text.
+    #[must_use]
+    pub fn as_text(&self) -> &str {
+        &self.text
+    }
+
+    /// Consumes the certificate, returning the JSONL text.
+    #[must_use]
+    pub fn into_text(self) -> String {
+        self.text
+    }
+
+    /// Number of steps recorded (including `begin`).
+    #[must_use]
+    pub fn num_steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of lemmas recorded.
+    #[must_use]
+    pub fn num_lemmas(&self) -> u32 {
+        self.lemmas
+    }
+
+    /// Size of the log in bytes.
+    #[must_use]
+    pub fn num_bytes(&self) -> usize {
+        self.text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_one_json_object_each() {
+        let mut cert = Certificate::begin(2, 1, 3);
+        cert.const_step(
+            4,
+            false,
+            &[
+                TraceEntry {
+                    net: 4,
+                    value: true,
+                    by: Reason::Seed,
+                },
+                TraceEntry {
+                    net: 0,
+                    value: true,
+                    by: Reason::Gate(1),
+                },
+            ],
+        );
+        let id = cert.lemma(
+            3,
+            true,
+            5,
+            false,
+            &[TraceEntry {
+                net: 3,
+                value: true,
+                by: Reason::Seed,
+            }],
+        );
+        cert.equiv(3, 5, id, id);
+        cert.merge(1, 2);
+        cert.drop_pin(0, 1, 4, false);
+        cert.dead(2);
+        let text = cert.as_text();
+        assert_eq!(text.lines().count(), cert.num_steps());
+        assert_eq!(cert.num_lemmas(), 1);
+        assert_eq!(cert.num_bytes(), text.len());
+        for line in text.lines() {
+            assert!(line.starts_with("{\"step\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(
+            text.starts_with("{\"step\":\"begin\",\"num_pis\":2,\"num_ppis\":1,\"num_gates\":3}")
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Differential pinning against the unoptimized oracle.
+//!
+//! For each pinned MCNC circuit: optimize, validate the certificate with
+//! the independent checker, then simulate the exhaustive transition tests
+//! both ways and require **bit-identical** detection sets (per-fault
+//! detecting-test indices), new-detection profiles, and coverage under
+//! both observation modes. `keyb` (4096 transitions) is pinned by the
+//! release-mode `opt_suite` bench binary that CI's `opt-smoke` job runs.
+
+use scanft_fsm::benchmarks;
+use scanft_opt::campaign::run_optimized;
+use scanft_opt::{checker, optimize};
+use scanft_sim::campaign::run_ordered_observing;
+use scanft_sim::faults::{self, Fault};
+use scanft_sim::ScanTest;
+use scanft_synth::{synthesize, SynthConfig, SynthesizedCircuit};
+
+fn setup(name: &str) -> (SynthesizedCircuit, Vec<ScanTest>, Vec<Fault>) {
+    let table = benchmarks::build(name).expect("registry circuit");
+    let c = synthesize(&table, &SynthConfig::default());
+    let tests = table
+        .transitions()
+        .map(|t| ScanTest::new(c.encode_state(t.from), vec![t.input]))
+        .collect();
+    let list = faults::as_fault_list(&faults::enumerate_stuck(c.netlist()));
+    (c, tests, list)
+}
+
+fn pin_circuit(name: &str) {
+    let (c, tests, list) = setup(name);
+    let n = c.netlist();
+    let opt = optimize(n);
+    let report = checker::check(n, &opt.netlist, &opt.certificate)
+        .unwrap_or_else(|e| panic!("{name}: rejected certificate: {e}"));
+    assert_eq!(report.steps, opt.stats.certificate_steps, "{name}");
+    let order: Vec<usize> = (0..tests.len()).collect();
+    for observe_scan_out in [true, false] {
+        let base = run_ordered_observing(n, &tests, &order, &list, observe_scan_out);
+        let fast = run_optimized(n, &opt, &tests, &order, &list, observe_scan_out);
+        assert_eq!(
+            base.detecting_test, fast.detecting_test,
+            "{name}: detection sets diverge (observe_scan_out={observe_scan_out})"
+        );
+        assert_eq!(
+            base.new_detections, fast.new_detections,
+            "{name}: new-detection profiles diverge (observe_scan_out={observe_scan_out})"
+        );
+        assert_eq!(
+            base.detected(),
+            fast.detected(),
+            "{name}: coverage diverges"
+        );
+    }
+}
+
+#[test]
+fn bbtas_detection_sets_are_bit_identical() {
+    pin_circuit("bbtas");
+}
+
+#[test]
+fn dk27_detection_sets_are_bit_identical() {
+    pin_circuit("dk27");
+}
+
+#[test]
+fn mc_detection_sets_are_bit_identical() {
+    pin_circuit("mc");
+}
+
+#[test]
+fn lion_detection_sets_are_bit_identical() {
+    pin_circuit("lion");
+}
+
+/// The property of satellite scope: on every suite circuit with at most 12
+/// scan-chain inputs (PIs + state variables), optimize-then-simulate equals
+/// simulate-on-original — detection sets and coverage — and the
+/// certificate validates.
+#[test]
+fn optimize_then_simulate_equals_simulate() {
+    for spec in benchmarks::CIRCUITS {
+        if spec.num_inputs + spec.num_state_vars > 12 || spec.num_transitions() > 2048 {
+            continue; // the release-mode opt_suite bench covers the rest
+        }
+        pin_circuit(spec.name);
+    }
+}

@@ -70,6 +70,11 @@ pub struct ServerConfig {
     /// panics) seeded here — used by drills to hold a cancellation window
     /// open; never set in production serving.
     pub chaos_seed: Option<u64>,
+    /// Run simulate campaigns on the certificate-backed reduced netlist
+    /// from `scanft-opt`, mapping verdicts back to the original fault
+    /// universe. Reports and journals are identical to unoptimized runs by
+    /// construction; the optimized bundle is cached per content key.
+    pub optimize: bool,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +93,7 @@ impl Default for ServerConfig {
                 .into_owned(),
             cache_capacity: 8,
             chaos_seed: None,
+            optimize: false,
         }
     }
 }
@@ -511,16 +517,33 @@ fn execute(shared: &Shared, job: &Arc<Job>) -> Result<JobStatus, ScanftError> {
                     .with_delay_rate(1, 1, 20_000)
             });
             let writer = JournalWriter::create(&job.journal_path)?;
-            let partial = campaign::run_supervised(
-                artifacts.circuit.netlist(),
-                &scan_tests,
-                &order,
-                &fault_list,
-                &config,
-                Some(&writer),
-                None,
-                chaos.as_ref(),
-            )?;
+            // Optimized runs preserve the journal and report contract
+            // bit-for-bit (see `scanft_opt::campaign`), so this branch is
+            // invisible to clients and to resume.
+            let partial = if shared.config.optimize {
+                scanft_opt::campaign::run_supervised_optimized(
+                    artifacts.circuit.netlist(),
+                    &artifacts.optimized(),
+                    &scan_tests,
+                    &order,
+                    &fault_list,
+                    &config,
+                    Some(&writer),
+                    None,
+                    chaos.as_ref(),
+                )?
+            } else {
+                campaign::run_supervised(
+                    artifacts.circuit.netlist(),
+                    &scan_tests,
+                    &order,
+                    &fault_list,
+                    &config,
+                    Some(&writer),
+                    None,
+                    chaos.as_ref(),
+                )?
+            };
             if partial.stopped == Some(StopReason::Cancelled) {
                 return Ok(JobStatus::Cancelled);
             }

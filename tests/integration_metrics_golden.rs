@@ -215,6 +215,46 @@ fn atpg_lion_implication_counters_golden() {
     }
 }
 
+/// Exact counters for the certificate-emitting optimizer: `optimize lion`
+/// proves one equivalence merge (two cited lemmas), sweeps one dead gate,
+/// and self-checks the proof log — so the certificate's exact shape is
+/// pinned here, byte count included.
+#[test]
+fn optimize_lion_counters_golden() {
+    let lines = run_with_metrics(&["optimize", "lion"]);
+    let mut values: BTreeMap<String, u64> = BTreeMap::new();
+    let mut timers: Vec<String> = Vec::new();
+    for line in &lines {
+        let kind = string_field(line, "kind");
+        let name = string_field(line, "name");
+        if kind == "timer" {
+            timers.push(name);
+        } else {
+            values.insert(name, field(line, "value").parse().unwrap());
+        }
+    }
+    let expected: &[(&str, u64)] = &[
+        // lion: one pair of equivalent AND gates merges through the
+        // closure, leaving the duplicate's generator dead; nothing is
+        // constant, so nothing folds.
+        ("opt.constants_folded", 0),
+        ("opt.merges", 1),
+        ("opt.gates_removed", 1),
+        // begin + two equivalence lemmas + equiv + dead = 5 steps. The
+        // byte count pins the lazy lemma emission: only the two cited
+        // lemmas reach the log, not the full learned closure.
+        ("opt.certificate_steps", 5),
+        ("opt.certificate_bytes", 601),
+    ];
+    for &(name, value) in expected {
+        assert_eq!(values.get(name), Some(&value), "{name}");
+    }
+    assert!(
+        timers.iter().any(|t| t == "opt.optimize_secs"),
+        "timer `opt.optimize_secs` exported"
+    );
+}
+
 /// `--metrics` without a file streams the export to stdout after the
 /// command output; `SCANFT_METRICS` is the flag-less equivalent.
 #[test]
