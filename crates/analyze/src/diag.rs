@@ -86,6 +86,22 @@ pub enum LintCode {
     /// A source file that failed to parse for a reason not covered by a
     /// more specific code.
     MalformedSource,
+    /// Rust source uses `std::sync` primitives directly instead of the
+    /// `scanft_race::sync` facade (source-invariant lint).
+    RawStdSync,
+    /// Rust source spawns or sleeps via `std::thread` instead of the
+    /// `scanft_race::thread` facade (source-invariant lint).
+    RawThreadSpawn,
+    /// Wall-clock reads (`Instant::now`, `SystemTime::now`) inside a file
+    /// marked `race-lint: deterministic-replay` (source-invariant lint).
+    WallClockInReplay,
+    /// `Ordering::Relaxed` outside the statistics-counter zone
+    /// (source-invariant lint; the policy is documented in DESIGN.md).
+    RelaxedOrderingPolicy,
+    /// `.expect`/`.unwrap` on a lock or condvar-wait result — poisoning
+    /// must not cascade through server/harness request paths
+    /// (source-invariant lint).
+    LockPoisonExpect,
 }
 
 /// All lint codes, in report order.
@@ -105,6 +121,11 @@ pub const ALL_LINTS: &[LintCode] = &[
     LintCode::NoUio,
     LintCode::UnusedInput,
     LintCode::MalformedSource,
+    LintCode::RawStdSync,
+    LintCode::RawThreadSpawn,
+    LintCode::WallClockInReplay,
+    LintCode::RelaxedOrderingPolicy,
+    LintCode::LockPoisonExpect,
 ];
 
 impl LintCode {
@@ -127,6 +148,11 @@ impl LintCode {
             LintCode::NoUio => "no-uio",
             LintCode::UnusedInput => "unused-input",
             LintCode::MalformedSource => "malformed-source",
+            LintCode::RawStdSync => "raw-std-sync",
+            LintCode::RawThreadSpawn => "raw-thread-spawn",
+            LintCode::WallClockInReplay => "wall-clock-in-replay",
+            LintCode::RelaxedOrderingPolicy => "relaxed-ordering-policy",
+            LintCode::LockPoisonExpect => "lock-poison-expect",
         }
     }
 
@@ -141,7 +167,9 @@ impl LintCode {
     /// Structural impossibilities (undriven nets, nondeterministic tables,
     /// a broken scan boundary) deny by default; style- and
     /// testability-degrading findings warn; the expensive UIO precondition
-    /// check is opt-in.
+    /// check is opt-in. The source-invariant concurrency lints all deny:
+    /// they gate CI, and a single violation silently re-opens the schedule
+    /// space the model checker proves over.
     #[must_use]
     pub fn default_level(self) -> Severity {
         match self {
@@ -149,7 +177,12 @@ impl LintCode {
             | LintCode::NondeterministicTable
             | LintCode::ScanChainIntegrity
             | LintCode::Uncontrollable
-            | LintCode::MalformedSource => Severity::Deny,
+            | LintCode::MalformedSource
+            | LintCode::RawStdSync
+            | LintCode::RawThreadSpawn
+            | LintCode::WallClockInReplay
+            | LintCode::RelaxedOrderingPolicy
+            | LintCode::LockPoisonExpect => Severity::Deny,
             LintCode::FloatingInput
             | LintCode::DanglingOutput
             | LintCode::Unobservable

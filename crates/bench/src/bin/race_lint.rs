@@ -1,0 +1,82 @@
+//! `race_lint`: the CI gate for the source-invariant concurrency lints.
+//!
+//! Walks every `.rs` file under `crates/*/src` (production code only —
+//! `tests/`, `benches/` and `#[cfg(test)]` modules are exempt) and runs
+//! the [`scanft_bench::srclint`] rules:
+//!
+//! * `raw-std-sync` / `raw-thread-spawn` — sync and threads go through
+//!   the `scanft_race` facade, so the model checker sees every operation;
+//! * `wall-clock-in-replay` — files marked `race-lint:
+//!   deterministic-replay` must not read real time;
+//! * `relaxed-ordering-policy` — `Ordering::Relaxed` only in files marked
+//!   `race-lint: statistics-counters`;
+//! * `lock-poison-expect` — no `.expect`/`.unwrap` on lock/wait results.
+//!
+//! All five deny by default: any finding exits 1, so CI fails closed.
+//!
+//! Usage: `race_lint [--root DIR] [--json] [--level code=severity]...`
+//! where `DIR` defaults to `crates` (run from the workspace root),
+//! `--json` emits one JSON object per finding (JSONL), and `--level`
+//! retunes one lint (e.g. `--level raw-std-sync=warn`).
+
+use std::path::PathBuf;
+
+use scanft_analyze::{LintCode, LintLevels, LintReport, Severity};
+use scanft_bench::srclint;
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: race_lint [--root DIR] [--json] [--level code=severity]...");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut json = false;
+    let mut root = PathBuf::from("crates");
+    let mut levels = LintLevels::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                root = PathBuf::from(iter.next().unwrap_or_else(|| usage("--root needs a value")));
+            }
+            "--level" => {
+                let spec = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--level needs code=severity"));
+                let Some((name, level)) = spec.split_once('=') else {
+                    usage(&format!("malformed --level {spec}, want code=severity"));
+                };
+                let code =
+                    LintCode::parse(name).unwrap_or_else(|| usage(&format!("unknown lint {name}")));
+                let severity = Severity::parse(level)
+                    .unwrap_or_else(|| usage(&format!("unknown severity {level}")));
+                levels.set(code, severity);
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let (report, files): (LintReport, usize) = srclint::lint_workspace(&root, &levels)
+        .unwrap_or_else(|err| {
+            eprintln!("race_lint: cannot walk {}: {err}", root.display());
+            std::process::exit(2)
+        });
+
+    if json {
+        print!("{}", report.to_jsonl());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+    }
+    eprintln!(
+        "race_lint: {files} files scanned, {} deny, {} warn",
+        report.num_deny(),
+        report.num_warn()
+    );
+    if !report.passes() {
+        std::process::exit(1);
+    }
+}

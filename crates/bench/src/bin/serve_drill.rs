@@ -96,7 +96,7 @@ fn submit_and_wait(client: &Client, table: &StateTable) -> (JobView, Duration) {
         if submitted_at.elapsed() > WAIT {
             panic!("{}: no batch within {WAIT:?}", table.name());
         }
-        std::thread::sleep(Duration::from_micros(200));
+        scanft_race::thread::sleep(Duration::from_micros(200));
     };
     let finished = client.wait(&accepted.id, WAIT).expect("wait");
     (finished, first_batch)
@@ -125,7 +125,7 @@ fn kill_mid_flight(client: &Client, table: &StateTable) -> usize {
                 _ => break,
             }
             assert!(Instant::now() < deadline, "victim stuck queued");
-            std::thread::sleep(Duration::from_millis(1));
+            scanft_race::thread::sleep(Duration::from_millis(1));
         }
         let finished = client.wait(&accepted.id, WAIT).expect("wait victim");
         match finished.status.as_str() {
@@ -217,7 +217,7 @@ fn main() {
     let mut handles = Vec::new();
     for name in survivors {
         let client = client.clone();
-        handles.push(std::thread::spawn(move || {
+        handles.push(scanft_race::thread::spawn(move || {
             let table = benchmarks::build(name).expect("benchmark");
             let (view, first_batch) = submit_and_wait(&client, &table);
             (name, view, first_batch)
@@ -226,7 +226,7 @@ fn main() {
     let killer = {
         let client = client.clone();
         let table = benchmarks::build("bbtas").expect("bbtas");
-        std::thread::spawn(move || kill_mid_flight(&client, &table))
+        scanft_race::thread::spawn(move || kill_mid_flight(&client, &table))
     };
     let cold: Vec<(&str, JobView, Duration)> = handles
         .into_iter()

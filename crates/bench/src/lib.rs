@@ -20,6 +20,7 @@
 
 pub mod harness;
 pub mod paper;
+pub mod srclint;
 
 use scanft_fsm::benchmarks::{CircuitSpec, CIRCUITS};
 

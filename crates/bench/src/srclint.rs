@@ -1,0 +1,458 @@
+//! Source-invariant concurrency lints: the static gate behind `race_lint`.
+//!
+//! The `scanft-race` model checker only proves what the facade sees. One
+//! raw `std::sync::Mutex`, one `std::thread::spawn`, one wall-clock read
+//! in a replayed path silently re-opens the schedule space the model
+//! explores — so those invariants are enforced here, at the source level,
+//! as deny-by-default lints reusing the [`scanft_analyze`] diagnostic
+//! model. The rules:
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | `raw-std-sync` | sync primitives come from `scanft_race::sync`, never `std::sync` |
+//! | `raw-thread-spawn` | threads spawn/sleep/yield via `scanft_race::thread` |
+//! | `wall-clock-in-replay` | no `Instant::now`/`SystemTime::now` in files marked `race-lint: deterministic-replay` |
+//! | `relaxed-ordering-policy` | `Ordering::Relaxed` only in files marked `race-lint: statistics-counters` |
+//! | `lock-poison-expect` | no `.expect`/`.unwrap` on lock or condvar-wait results |
+//!
+//! # Scope and escape hatches
+//!
+//! The scanner is a text-level heuristic, deliberately dependency-free
+//! (no `syn`): string literals and line comments are scrubbed before
+//! matching, `#[cfg(test)]` modules are exempt (tests may race real
+//! threads on purpose), and `crates/race` itself is exempt from the
+//! facade rules (it *is* the facade). A single line can be waived with a
+//! trailing `// race-lint: allow(code-name)` comment; zone markers
+//! (`race-lint: deterministic-replay`, `race-lint: statistics-counters`)
+//! apply file-wide and live in the module doc of the files they govern.
+//! Block comments are not stripped — the workspace style uses line
+//! comments exclusively.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use scanft_analyze::{Diagnostic, LintCode, LintLevels, LintReport, Severity};
+
+/// The lint codes this scanner can emit, in report order.
+pub const RACE_LINTS: &[LintCode] = &[
+    LintCode::RawStdSync,
+    LintCode::RawThreadSpawn,
+    LintCode::WallClockInReplay,
+    LintCode::RelaxedOrderingPolicy,
+    LintCode::LockPoisonExpect,
+];
+
+/// File-wide marker exempting a statistics-counter file from the
+/// `relaxed-ordering-policy` rule.
+pub const STATS_ZONE_MARKER: &str = "race-lint: statistics-counters";
+
+/// File-wide marker putting a file under the `wall-clock-in-replay` rule.
+pub const REPLAY_ZONE_MARKER: &str = "race-lint: deterministic-replay";
+
+/// Replaces the contents of string and char literals with spaces so
+/// pattern matching cannot fire inside literals (and `//` inside a string
+/// is not mistaken for a comment). Lifetimes (`'a`) pass through.
+fn scrub_literals(line: &str) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal ('x', '\n', '\'') vs lifetime ('a).
+                if i + 1 < chars.len() && chars[i + 1] == '\\' {
+                    out.push_str("' '");
+                    i += 2;
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < chars.len() && chars[i + 2] == '\'' {
+                    out.push_str("' '");
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Splits a scrubbed line into code (before `//`) and nothing else we
+/// need: the comment text is consulted on the *raw* line for waivers.
+fn strip_comment(scrubbed: &str) -> &str {
+    match scrubbed.find("//") {
+        Some(pos) => &scrubbed[..pos],
+        None => scrubbed,
+    }
+}
+
+/// Lint codes waived for one line by a `race-lint: allow(a, b)` comment.
+fn line_waivers(raw: &str) -> Vec<LintCode> {
+    const KEY: &str = "race-lint: allow(";
+    let Some(pos) = raw.find(KEY) else {
+        return Vec::new();
+    };
+    let rest = &raw[pos + KEY.len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter_map(|name| LintCode::parse(name.trim()))
+        .collect()
+}
+
+/// `.expect(`/`.unwrap(` chained onto a lock acquisition or condvar wait.
+fn unwraps_poison(code: &str) -> bool {
+    for probe in [".lock()", ".read()", ".write()"] {
+        if let Some(pos) = code.find(probe) {
+            let after = &code[pos + probe.len()..];
+            if after.starts_with(".expect(") || after.starts_with(".unwrap(") {
+                return true;
+            }
+        }
+    }
+    // Condvar waits consume the guard by value: `.wait(guard)`. A call
+    // whose first argument is borrowed (or absent) is some other `wait` —
+    // e.g. the HTTP client's poll — and returns an ordinary Result.
+    if let Some(pos) = code.find(".wait(") {
+        let arg = &code[pos + ".wait(".len()..];
+        if !arg.starts_with('&')
+            && !arg.starts_with(')')
+            && (code.contains(").expect(") || code.contains(").unwrap("))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans one file's text and reports every violation.
+///
+/// `path` labels the diagnostics (`path:line` loci); `crate_name` is the
+/// directory name under `crates/` (the facade crate `race` is exempt from
+/// the facade-usage rules).
+#[must_use]
+pub fn lint_source(path: &str, crate_name: &str, text: &str, levels: &LintLevels) -> LintReport {
+    let mut report = LintReport::default();
+    let facade_crate = crate_name == "race";
+    let replay_zone = text.contains(REPLAY_ZONE_MARKER);
+    let stats_zone = text.contains(STATS_ZONE_MARKER);
+
+    // Brace-depth tracking for the #[cfg(test)] module heuristic: once the
+    // attribute's item opens a brace, everything until the matching close
+    // is test code and exempt.
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut exempt_above: Option<i64> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let scrubbed = scrub_literals(raw);
+        let code = strip_comment(&scrubbed);
+        let delta = code.chars().filter(|&c| c == '{').count() as i64
+            - code.chars().filter(|&c| c == '}').count() as i64;
+
+        if let Some(floor) = exempt_above {
+            depth += delta;
+            if depth <= floor {
+                exempt_above = None;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        if pending_test_attr {
+            if code.contains('{') {
+                let floor = depth;
+                depth += delta;
+                exempt_above = if depth > floor { Some(floor) } else { None };
+                pending_test_attr = false;
+            } else if code.trim_end().ends_with(';') {
+                // `#[cfg(test)] use …;` — gates one braceless item only.
+                pending_test_attr = false;
+                depth += delta;
+            }
+            continue;
+        }
+
+        let waived = line_waivers(raw);
+        let mut emit = |code: LintCode, message: String, suggestion: &str| {
+            if waived.contains(&code) {
+                return;
+            }
+            let severity = levels.level(code);
+            if severity == Severity::Allow {
+                return;
+            }
+            report.push(Diagnostic {
+                severity,
+                code,
+                locus: format!("{path}:{line_no}"),
+                message,
+                suggestion: Some(suggestion.to_owned()),
+            });
+        };
+
+        if !facade_crate && code.contains("std::sync") {
+            emit(
+                LintCode::RawStdSync,
+                "direct `std::sync` use bypasses the scanft-race facade".to_owned(),
+                "import the primitive from `scanft_race::sync` instead",
+            );
+        }
+        if !facade_crate && code.contains("std::thread") {
+            emit(
+                LintCode::RawThreadSpawn,
+                "direct `std::thread` use bypasses the scanft-race facade".to_owned(),
+                "spawn/sleep/yield via `scanft_race::thread` instead",
+            );
+        }
+        if replay_zone && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
+            emit(
+                LintCode::WallClockInReplay,
+                "wall-clock read inside a deterministic-replay file".to_owned(),
+                "replayed paths must not branch on real time; pass timestamps in or derive them from records",
+            );
+        }
+        if !facade_crate && !stats_zone && code.contains("Ordering::Relaxed") {
+            emit(
+                LintCode::RelaxedOrderingPolicy,
+                "`Ordering::Relaxed` outside the statistics-counter zone".to_owned(),
+                "use Acquire/Release (or AcqRel) orderings; only counter-only files marked `race-lint: statistics-counters` may relax",
+            );
+        }
+        if unwraps_poison(code) {
+            emit(
+                LintCode::LockPoisonExpect,
+                "lock or condvar-wait result unwrapped; poisoning would cascade".to_owned(),
+                "the `scanft_race::sync` Mutex/Condvar never poison — drop the `.expect`/`.unwrap`",
+            );
+        }
+
+        depth += delta;
+    }
+    report
+}
+
+/// Every `.rs` file under `<crates_root>/*/src`, tagged with its crate
+/// directory name, in sorted order (stable report output).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn workspace_sources(crates_root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(crates_root)? {
+        let entry = entry?;
+        let src = entry.path().join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_name = entry.file_name().to_string_lossy().into_owned();
+        collect_rs(&src, &crate_name, &mut files)?;
+    }
+    files.sort();
+    Ok(files.into_iter().map(|(_, n, p)| (n, p)).collect())
+}
+
+fn collect_rs(
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, String, PathBuf)>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((path.display().to_string(), crate_name.to_owned(), path));
+        }
+    }
+    Ok(())
+}
+
+/// Lints every source file under `<crates_root>/*/src`; returns the merged
+/// report and the number of files scanned.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or a file read.
+pub fn lint_workspace(crates_root: &Path, levels: &LintLevels) -> io::Result<(LintReport, usize)> {
+    let sources = workspace_sources(crates_root)?;
+    let mut report = LintReport::default();
+    let count = sources.len();
+    for (crate_name, path) in sources {
+        let text = fs::read_to_string(&path)?;
+        report.merge(lint_source(
+            &path.display().to_string(),
+            &crate_name,
+            &text,
+            levels,
+        ));
+    }
+    Ok((report, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(crate_name: &str, text: &str) -> LintReport {
+        lint_source("test.rs", crate_name, text, &LintLevels::default())
+    }
+
+    fn codes(report: &LintReport) -> Vec<LintCode> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn raw_sync_and_spawn_are_denied_outside_the_facade_crate() {
+        let text = "use std::sync::Mutex;\nlet h = std::thread::spawn(|| ());\n";
+        let report = lint("server", text);
+        assert_eq!(
+            codes(&report),
+            vec![LintCode::RawStdSync, LintCode::RawThreadSpawn]
+        );
+        assert_eq!(report.num_deny(), 2);
+        assert_eq!(report.diagnostics[0].locus, "test.rs:1");
+        // The facade crate itself is exempt: it wraps std.
+        assert!(lint("race", text).passes());
+    }
+
+    #[test]
+    fn string_literals_and_comments_do_not_fire() {
+        let text = concat!(
+            "// a comment naming std::sync::Mutex is fine\n",
+            "/// so is a doc comment: std::thread::spawn\n",
+            "let pattern = \"std::sync\"; // literal, scrubbed\n",
+            "let url = \"https://example.com\"; let x = std::marker::PhantomData::<()>;\n",
+        );
+        assert!(lint("server", text).passes());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let text = concat!(
+            "pub fn real() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::sync::Mutex;\n",
+            "    fn helper() { std::thread::spawn(|| ()); }\n",
+            "}\n",
+        );
+        assert!(lint("server", text).passes());
+        // …but code after the test module is linted again.
+        let trailing = format!("{text}use std::sync::Arc;\n");
+        assert_eq!(
+            codes(&lint("server", &trailing)),
+            vec![LintCode::RawStdSync]
+        );
+    }
+
+    #[test]
+    fn line_waiver_suppresses_exactly_the_named_code() {
+        let waived = "use std::sync::Mutex; // race-lint: allow(raw-std-sync)\n";
+        assert!(lint("server", waived).passes());
+        let wrong = "use std::sync::Mutex; // race-lint: allow(raw-thread-spawn)\n";
+        assert_eq!(codes(&lint("server", wrong)), vec![LintCode::RawStdSync]);
+    }
+
+    #[test]
+    fn wall_clock_only_fires_in_replay_zone_files() {
+        let free = "let t = Instant::now();\n";
+        assert!(lint("bench", free).passes());
+        let zoned = format!("//! race-lint: deterministic-replay\n{free}");
+        assert_eq!(
+            codes(&lint("bench", &zoned)),
+            vec![LintCode::WallClockInReplay]
+        );
+    }
+
+    #[test]
+    fn relaxed_ordering_needs_the_statistics_marker() {
+        let bare = "counter.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(
+            codes(&lint("harness", bare)),
+            vec![LintCode::RelaxedOrderingPolicy]
+        );
+        let marked = format!("//! race-lint: statistics-counters\n{bare}");
+        assert!(lint("harness", &marked).passes());
+    }
+
+    #[test]
+    fn poisoning_unwraps_are_caught() {
+        for bad in [
+            "let g = state.lock().expect(\"poisoned\");\n",
+            "let g = state.lock().unwrap();\n",
+            "let g = rw.read().expect(\"poisoned\");\n",
+            "inner = cv.wait(inner).expect(\"poisoned\");\n",
+        ] {
+            assert_eq!(
+                codes(&lint("server", bad)),
+                vec![LintCode::LockPoisonExpect],
+                "{bad}"
+            );
+        }
+        // The facade returns plain guards: no Result, nothing to unwrap.
+        assert!(lint("server", "let g = state.lock();\n").passes());
+        // Non-condvar waits (borrowed or no argument) are fine to unwrap.
+        assert!(lint(
+            "bench",
+            "let done = client.wait(&id, WAIT).expect(\"wait\");\n"
+        )
+        .passes());
+        assert!(lint("bench", "let status = child.wait().expect(\"child\");\n").passes());
+    }
+
+    #[test]
+    fn levels_can_downgrade_a_rule() {
+        let mut levels = LintLevels::default();
+        levels.set(LintCode::RawStdSync, Severity::Warn);
+        let report = lint_source("t.rs", "server", "use std::sync::Arc;\n", &levels);
+        assert_eq!(report.num_deny(), 0);
+        assert_eq!(report.num_warn(), 1);
+        levels.set(LintCode::RawStdSync, Severity::Allow);
+        let report = lint_source("t.rs", "server", "use std::sync::Arc;\n", &levels);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn scrubber_handles_char_literals_and_escapes() {
+        assert_eq!(scrub_literals("'{' => x"), "' ' => x");
+        assert_eq!(scrub_literals("'\\n' => y"), "' ' => y");
+        // Lifetimes survive untouched.
+        assert_eq!(
+            scrub_literals("fn f<'a>(x: &'a str)"),
+            "fn f<'a>(x: &'a str)"
+        );
+        // Unbalanced braces inside strings cannot skew depth tracking.
+        let s = scrub_literals("let j = format!(\"{{\\\"k\\\":1\");");
+        assert!(!s.contains('{'));
+    }
+}

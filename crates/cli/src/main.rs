@@ -1026,12 +1026,12 @@ fn cmd_serve(rest: &[String]) -> Result<(), ScanftError> {
     println!("  journals: {journal_dir}");
     match deadline {
         Some(secs) => {
-            std::thread::sleep(std::time::Duration::from_secs(secs as u64));
+            scanft_race::thread::sleep(std::time::Duration::from_secs(secs as u64));
             println!("scanft serve: deadline reached, shutting down");
             server.shutdown();
         }
         None => loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
+            scanft_race::thread::sleep(std::time::Duration::from_secs(3600));
         },
     }
     Ok(())

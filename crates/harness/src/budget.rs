@@ -13,8 +13,7 @@
 //! as deadlines and unit caps, so a cancelled run degrades exactly like a
 //! budget-stopped one (sound partial results, nothing invented).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use scanft_race::sync::{Arc, AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Why a budgeted run stopped before finishing all of its work.
@@ -55,14 +54,18 @@ impl CancelToken {
     }
 
     /// Requests cancellation. Idempotent.
+    ///
+    /// Release ordering: a worker that observes the flag (acquire) also
+    /// observes everything the canceller wrote before cancelling — e.g.
+    /// the job-registry state transition that triggered the cancel.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.store(true, Ordering::Release);
     }
 
     /// Whether cancellation has been requested.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -175,10 +178,11 @@ impl BudgetClock {
             return Err(reason);
         }
         if let Some(max) = self.max_units {
-            // fetch_update keeps concurrent claims from overshooting the cap.
+            // fetch_update keeps concurrent claims from overshooting the cap;
+            // AcqRel so a claim happens-before the claim that observes it.
             if self
                 .claimed
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                     (n < max).then_some(n + 1)
                 })
                 .is_err()
@@ -186,7 +190,7 @@ impl BudgetClock {
                 return Err(StopReason::UnitCap);
             }
         } else {
-            self.claimed.fetch_add(1, Ordering::Relaxed);
+            self.claimed.fetch_add(1, Ordering::AcqRel);
         }
         Ok(())
     }
@@ -205,7 +209,7 @@ impl BudgetClock {
             }
         }
         if let Some(max) = self.max_units {
-            if self.claimed.load(Ordering::Relaxed) >= max {
+            if self.claimed.load(Ordering::Acquire) >= max {
                 return Some(StopReason::UnitCap);
             }
         }
@@ -223,7 +227,7 @@ impl BudgetClock {
     /// Number of units claimed so far.
     #[must_use]
     pub fn claimed(&self) -> u64 {
-        self.claimed.load(Ordering::Relaxed)
+        self.claimed.load(Ordering::Acquire)
     }
 }
 

@@ -156,7 +156,7 @@ impl FailurePlan {
 /// hook. Call from tests and chaos drivers so intentional failures do not
 /// flood stderr; genuine panics still print as usual.
 pub fn silence_chaos_panics() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
+    static ONCE: scanft_race::sync::Once = scanft_race::sync::Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {

@@ -17,10 +17,14 @@
 //!
 //! Everything is hand-rolled `std`: no serde, in keeping with the
 //! workspace's offline, dependency-free policy.
+//!
+//! race-lint: deterministic-replay — this module is on the journal-replay
+//! path: resume must be a pure function of the journal bytes, so nothing
+//! here may read a wall clock or other ambient nondeterminism.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+
+use scanft_race::sync::{Arc, AtomicU64, Mutex, Ordering};
 
 use crate::chaos::FailurePlan;
 use crate::error::ScanftError;
@@ -247,7 +251,7 @@ impl Sink {
                 w.flush()
             }
             Sink::Memory(buf) => {
-                buf.lock().expect("journal buffer poisoned").extend(bytes);
+                buf.lock().extend(bytes);
                 Ok(())
             }
         }
@@ -326,40 +330,48 @@ impl JournalWriter {
     pub fn write_header(&self, header: &JournalHeader) -> std::io::Result<()> {
         let mut line = header.to_json();
         line.push('\n');
-        self.sink
-            .lock()
-            .expect("journal sink poisoned")
-            .write_all_flush(line.as_bytes())
+        self.sink.lock().write_all_flush(line.as_bytes())
     }
 
     /// Appends one record, possibly torn by the attached chaos plan.
     pub fn append(&self, record: &JournalRecord) -> std::io::Result<()> {
         let mut line = record.to_json();
         line.push('\n');
-        let index = self.records_written.fetch_add(1, Ordering::Relaxed);
+        // AcqRel: pairs with the Acquire in `records_written` so a reader
+        // that observes count N also observes the N writes behind it.
+        let index = self.records_written.fetch_add(1, Ordering::AcqRel);
         let bytes = line.as_bytes();
         let cut = self
             .chaos
             .as_ref()
             .and_then(|plan| plan.truncated_write(index, bytes.len()))
             .unwrap_or(bytes.len());
-        self.sink
-            .lock()
-            .expect("journal sink poisoned")
-            .write_all_flush(&bytes[..cut])
+        self.sink.lock().write_all_flush(&bytes[..cut])
     }
 
     /// Number of records appended so far (torn writes included).
     #[must_use]
     pub fn records_written(&self) -> u64 {
-        self.records_written.load(Ordering::Relaxed)
+        self.records_written.load(Ordering::Acquire)
     }
 }
 
 /// Renders an in-memory journal buffer as text for [`read_journal`].
 #[must_use]
 pub fn buffer_contents(buffer: &Arc<Mutex<Vec<u8>>>) -> String {
-    String::from_utf8_lossy(&buffer.lock().expect("journal buffer poisoned")).into_owned()
+    String::from_utf8_lossy(&buffer.lock()).into_owned()
+}
+
+/// Splits freshly appended journal bytes at the last newline: everything up
+/// through it is consumed (returned as whole lines), the torn tail is left
+/// for a later poll. Shared by [`JournalTailer`] and [`BufferTailer`] so
+/// both followers have identical torn-write behavior.
+fn consume_complete_lines(fresh: &[u8]) -> (usize, Vec<String>) {
+    let Some(last_newline) = fresh.iter().rposition(|&b| b == b'\n') else {
+        return (0, Vec::new());
+    };
+    let text = String::from_utf8_lossy(&fresh[..=last_newline]);
+    (last_newline + 1, text.lines().map(str::to_owned).collect())
 }
 
 /// A non-destructive follower for a journal file that is still being
@@ -436,12 +448,9 @@ impl JournalTailer {
             })?;
         // Consume only up through the last newline; a torn trailing line
         // stays unread until the writer finishes it.
-        let Some(last_newline) = fresh.iter().rposition(|&b| b == b'\n') else {
-            return Ok(Vec::new());
-        };
-        self.offset += last_newline as u64 + 1;
-        let text = String::from_utf8_lossy(&fresh[..=last_newline]);
-        Ok(text.lines().map(str::to_owned).collect())
+        let (consumed, lines) = consume_complete_lines(&fresh);
+        self.offset += consumed as u64;
+        Ok(lines)
     }
 
     /// Like [`JournalTailer::poll`], but parses each complete line as a
@@ -461,6 +470,66 @@ impl JournalTailer {
             }
         }
         Ok((records, skipped))
+    }
+}
+
+/// A non-destructive follower for an in-memory journal buffer (the
+/// [`JournalWriter::in_memory`] sink), with the same torn-write contract as
+/// [`JournalTailer`]: only complete lines are consumed, a record missing
+/// its trailing newline stays invisible until the writer finishes it.
+///
+/// This is the follower the deterministic model tests race against a
+/// writer: the file tailer's semantics, minus the filesystem.
+#[derive(Debug, Clone)]
+pub struct BufferTailer {
+    buffer: Arc<Mutex<Vec<u8>>>,
+    offset: usize,
+}
+
+impl BufferTailer {
+    /// Starts tailing `buffer` from the beginning.
+    #[must_use]
+    pub fn new(buffer: Arc<Mutex<Vec<u8>>>) -> Self {
+        BufferTailer { buffer, offset: 0 }
+    }
+
+    /// Byte offset of the next unread position in the buffer.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Returns every *complete* line appended since the last poll, newline
+    /// terminators stripped; bytes after the final `\n` stay unread.
+    pub fn poll(&mut self) -> Vec<String> {
+        let fresh: Vec<u8> = {
+            let buf = self.buffer.lock();
+            if buf.len() <= self.offset {
+                return Vec::new();
+            }
+            buf[self.offset..].to_vec()
+        };
+        let (consumed, lines) = consume_complete_lines(&fresh);
+        self.offset += consumed;
+        lines
+    }
+
+    /// Like [`BufferTailer::poll`], but parses each complete line as a
+    /// [`JournalRecord`], skipping the header and counting damaged lines.
+    pub fn poll_records(&mut self) -> (Vec<JournalRecord>, usize) {
+        let mut records = Vec::new();
+        let mut skipped = 0;
+        for line in self.poll() {
+            let line = line.trim();
+            if line.is_empty() || parse_header(line).is_some() {
+                continue;
+            }
+            match parse_record(line) {
+                Some(record) => records.push(record),
+                None => skipped += 1,
+            }
+        }
+        (records, skipped)
     }
 }
 
@@ -511,7 +580,7 @@ mod tests {
             .unwrap();
         // Simulate a crash mid-write by hand-truncating the buffer.
         {
-            let mut buf = buffer.lock().unwrap();
+            let mut buf = buffer.lock();
             let keep = buf.len();
             buf.extend(b"{\"unit\":1,\"lanes\":[3,nu");
             assert!(buf.len() > keep);

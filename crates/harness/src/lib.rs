@@ -62,7 +62,7 @@ pub use budget::{Budget, BudgetClock, CancelToken, StopReason};
 pub use chaos::{silence_chaos_panics, ChaosPanic, FailurePlan};
 pub use error::ScanftError;
 pub use journal::{
-    buffer_contents, read_journal, read_journal_file, Journal, JournalHeader, JournalRecord,
-    JournalTailer, JournalWriter,
+    buffer_contents, read_journal, read_journal_file, BufferTailer, Journal, JournalHeader,
+    JournalRecord, JournalTailer, JournalWriter,
 };
 pub use supervisor::{run_units, UnitFailure, WorkOutcome};

@@ -10,8 +10,9 @@
 //! `remaining` — never silently dropped.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use scanft_race::sync::{AtomicUsize, Mutex, Ordering};
+use scanft_race::thread;
 
 use crate::budget::{Budget, StopReason};
 use crate::chaos::{ChaosPanic, FailurePlan};
@@ -102,24 +103,26 @@ where
     let results: Mutex<Vec<(usize, Result<T, String>)>> = Mutex::new(Vec::new());
     let stopped: Mutex<Option<StopReason>> = Mutex::new(None);
 
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for _ in 0..num_threads.min(units.len().max(1)) {
             scope.spawn(|| {
                 let mut state = init();
                 loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    // AcqRel: claiming index k happens-before any worker
+                    // that observes a later index, so the unit list is
+                    // dealt out without duplication or gaps.
+                    let k = next.fetch_add(1, Ordering::AcqRel);
                     let Some(&unit) = units.get(k) else {
                         break;
                     };
                     if let Err(reason) = clock.try_claim() {
-                        let mut stop = stopped.lock().expect("stop flag poisoned");
-                        stop.get_or_insert(reason);
+                        stopped.lock().get_or_insert(reason);
                         break;
                     }
                     if let Some(plan) = chaos {
                         if let Some(delay) = plan.delay(unit) {
                             c_chaos_delays.inc();
-                            std::thread::sleep(delay);
+                            thread::sleep(delay);
                         }
                     }
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -133,15 +136,11 @@ where
                     }));
                     match outcome {
                         Ok(value) => {
-                            results
-                                .lock()
-                                .expect("results poisoned")
-                                .push((unit, Ok(value)));
+                            results.lock().push((unit, Ok(value)));
                         }
                         Err(payload) => {
                             results
                                 .lock()
-                                .expect("results poisoned")
                                 .push((unit, Err(panic_message(payload.as_ref()))));
                             // The panic may have left the scratch state
                             // half-updated; rebuild it from scratch.
@@ -161,7 +160,7 @@ where
         .enumerate()
         .map(|(pos, &unit)| (unit, pos))
         .collect();
-    for (unit, result) in results.into_inner().expect("results poisoned") {
+    for (unit, result) in results.into_inner() {
         done[position[&unit]] = true;
         match result {
             Ok(value) => completed.push((unit, value)),
@@ -178,7 +177,7 @@ where
 
     c_completed.add(completed.len() as u64);
     c_quarantined.add(quarantined.len() as u64);
-    let stopped = stopped.into_inner().expect("stop flag poisoned");
+    let stopped = stopped.into_inner();
     match stopped {
         Some(StopReason::Cancelled) => obs.counter("harness.cancel_hits").inc(),
         Some(StopReason::Deadline) => obs.counter("harness.deadline_hits").inc(),

@@ -1,0 +1,208 @@
+//! Deterministic model checking of the harness's concurrency contracts.
+//!
+//! The dev-dependency on `scanft-race` enables its `model` feature, so
+//! every facade sync op inside the checked closures routes through the
+//! virtual scheduler, which explores the
+//! schedule space exhaustively (bounded) and replays counterexamples.
+//!
+//! Covered here:
+//! - `run_units`: the completed/quarantined/remaining partition is exact
+//!   under every interleaving of a cancel with claims and a panic;
+//! - `JournalWriter` vs `BufferTailer`: a concurrent poll never yields a
+//!   torn record, across all schedules;
+//! - the seeded torn-read bug (acceptance): a naive tailer that consumes
+//!   past the last newline *is* caught, with a deterministic replay.
+#![allow(clippy::unwrap_used)]
+
+use scanft_harness::{run_units, Budget, BufferTailer, CancelToken, JournalRecord, JournalWriter};
+use scanft_race::model::{self, ModelConfig};
+use scanft_race::sync::{Arc, Mutex};
+use scanft_race::thread;
+
+fn cfg() -> ModelConfig {
+    ModelConfig::default()
+}
+
+/// Small schedule spaces explode fast: run_units spawns real workers under
+/// the model, so keep unit counts tiny and cap the DFS.
+fn small_cfg() -> ModelConfig {
+    ModelConfig {
+        max_schedules: 400,
+        random_runs: 8,
+        ..ModelConfig::default()
+    }
+}
+
+#[test]
+fn cancel_racing_claims_always_partitions_exactly() {
+    // A canceller flips the token while two workers claim three units.
+    // Whatever the interleaving: every unit lands in exactly one of
+    // completed/remaining, and a stop reason is only reported if at least
+    // one unit was actually refused.
+    let report = model::check_named("harness-cancel-race", &small_cfg(), || {
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().with_cancel(token.clone());
+        let canceller = thread::spawn(move || token.cancel());
+        let outcome = run_units(&[0, 1, 2], 2, &budget, None, || (), |(), unit| unit);
+        canceller.join().unwrap();
+        let mut seen: Vec<usize> = outcome
+            .completed
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(outcome.remaining.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "partition must be exact");
+        assert!(outcome.quarantined.is_empty());
+        if outcome.stopped.is_some() {
+            assert!(!outcome.remaining.is_empty() || outcome.completed.len() < 3);
+        }
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules >= 2,
+        "expected >= 2 schedules, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn quarantine_vs_budget_claims_stay_consistent() {
+    // One unit panics; a unit cap of 2 races the claims. In every schedule
+    // the cap bounds completed+quarantined, and a quarantined unit is
+    // never also counted completed.
+    scanft_harness::silence_chaos_panics();
+    let report = model::check_named("harness-quarantine-cap", &small_cfg(), || {
+        let outcome = run_units(
+            &[0, 1, 2],
+            2,
+            &Budget::unlimited().with_max_units(2),
+            None,
+            || (),
+            |(), unit| {
+                assert!(unit != 1, "seeded unit failure");
+                unit
+            },
+        );
+        assert!(outcome.completed.len() + outcome.quarantined.len() <= 2);
+        let mut all: Vec<usize> = outcome
+            .completed
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(outcome.quarantined.iter().map(|f| f.unit))
+            .chain(outcome.remaining.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn tailer_never_sees_torn_records_in_any_schedule() {
+    // A writer appends two records while a tailer polls concurrently over
+    // the shared in-memory buffer. The newline-bounded contract: every
+    // polled line parses as a whole record, in order, no duplicates.
+    let report = model::check_named("journal-tailer-clean", &cfg(), || {
+        let (writer, buffer) = JournalWriter::in_memory();
+        let writer = Arc::new(writer);
+        let w = Arc::clone(&writer);
+        let appender = thread::spawn(move || {
+            for unit in 0..2 {
+                w.append(&JournalRecord {
+                    unit,
+                    lanes: vec![Some(7), None],
+                })
+                .unwrap();
+            }
+        });
+        let mut tailer = BufferTailer::new(buffer);
+        let mut seen = Vec::new();
+        let (records, skipped) = tailer.poll_records();
+        assert_eq!(skipped, 0, "no poll may yield a torn record");
+        seen.extend(records);
+        appender.join().unwrap();
+        let (records, skipped) = tailer.poll_records();
+        assert_eq!(skipped, 0);
+        seen.extend(records);
+        let units: Vec<usize> = seen.iter().map(|r| r.unit).collect();
+        assert_eq!(units, vec![0, 1], "all records, in order, exactly once");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+}
+
+/// The seeded torn-read bug (acceptance criterion): a deliberately naive
+/// tailer that consumes *everything* in the buffer — not just up through
+/// the last newline — splices torn prefixes into records. The writer
+/// below appends each record in two separate locked writes (body, then
+/// newline), modeling a torn write in flight; the model checker must find
+/// the schedule where the naive tailer reads between the two halves.
+#[test]
+fn seeded_torn_tailer_bug_is_found_and_replays_deterministically() {
+    let body = || {
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let record = "{\"unit\":0,\"lanes\":[3]}\n";
+        let writer_buf = Arc::clone(&buffer);
+        let writer = thread::spawn(move || {
+            // Torn write: the record body lands first, the newline later.
+            writer_buf.lock().extend(&record.as_bytes()[..10]);
+            writer_buf.lock().extend(&record.as_bytes()[10..]);
+        });
+        // BUG: consume the whole buffer, newline or not.
+        let consumed: Vec<u8> = {
+            let buf = buffer.lock();
+            buf.clone()
+        };
+        writer.join().unwrap();
+        // A correct tailer never observes a torn prefix; the naive one
+        // does in the schedule where it reads between the two writes.
+        let text = String::from_utf8_lossy(&consumed);
+        assert!(
+            text.is_empty() || text.ends_with('\n'),
+            "torn read: consumed {:?} without a newline boundary",
+            text
+        );
+    };
+    let report = model::check_named("seeded-torn-tailer", &cfg(), body);
+    let failure = report.failure.expect("DFS must find the torn read");
+    assert!(!failure.deadlock);
+    assert!(failure.message.contains("torn read"), "{failure}");
+
+    for _ in 0..2 {
+        let replayed = model::replay(&failure.trace, body)
+            .failure
+            .expect("replay must reproduce the torn read");
+        assert_eq!(replayed.message, failure.message);
+        assert_eq!(replayed.trace, failure.trace);
+    }
+}
+
+#[test]
+fn records_written_counter_matches_buffer_in_every_schedule() {
+    let report = model::check_named("journal-counter-coherence", &cfg(), || {
+        let (writer, buffer) = JournalWriter::in_memory();
+        let writer = Arc::new(writer);
+        let handles: Vec<_> = (0..2)
+            .map(|unit| {
+                let w = Arc::clone(&writer);
+                thread::spawn(move || {
+                    w.append(&JournalRecord {
+                        unit,
+                        lanes: vec![None],
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(writer.records_written(), 2);
+        let newlines = buffer.lock().iter().filter(|&&b| b == b'\n').count();
+        assert_eq!(newlines, 2, "every counted record reached the sink");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+}

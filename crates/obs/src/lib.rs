@@ -9,12 +9,16 @@
 //!
 //! # Design
 //!
-//! - **No dependencies.** Everything is built on `std::sync::atomic` and a
-//!   registration-time `Mutex`.
-//! - **No locks on the hot path.** A [`Counter`], [`Gauge`] or [`Timer`] is
-//!   a clonable handle around an `Arc` of atomics; registration takes the
-//!   registry lock once, after which every update is a relaxed atomic
-//!   operation. Fetch handles outside loops.
+//! - **No external dependencies.** Everything is built on atomics and a
+//!   registration-time `Mutex`, both taken from the `scanft-race` sync
+//!   facade so the deterministic model checker can schedule them.
+//! - **No locks on the counter/gauge hot path.** A [`Counter`], [`Gauge`]
+//!   or [`Timer`] is a clonable handle around an `Arc` of atomics;
+//!   registration takes the registry lock once, after which counter and
+//!   gauge updates are single relaxed atomic operations. Timer
+//!   observations serialize on a tiny per-timer writer lock so the
+//!   count/total/min/max/bucket statistics stay mutually coherent (see
+//!   [`Timer::stats`]). Fetch handles outside loops.
 //! - **Deterministic export.** [`Registry::to_jsonl`] emits one JSON object
 //!   per metric, sorted by name, so exports diff cleanly and golden tests
 //!   can pin the schema.
@@ -59,5 +63,5 @@ mod metric;
 mod registry;
 
 pub use export::{escape_json_string, MetricSnapshot, SnapshotValue};
-pub use metric::{Counter, Gauge, Span, Timer, TIMER_BUCKETS};
+pub use metric::{Counter, Gauge, Span, Timer, TimerStats, TIMER_BUCKETS};
 pub use registry::{global, Registry};

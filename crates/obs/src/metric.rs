@@ -1,11 +1,24 @@
 //! The metric primitives: counters, gauges and histogram-style timers.
 //!
-//! Handles are cheap clones of an `Arc` of atomics; every update is a
-//! relaxed atomic operation, so instrumented hot loops pay one indirection
-//! and one atomic RMW per event and never contend on a lock.
+//! Handles are cheap clones of an `Arc` of atomics. Counter and gauge
+//! updates are single relaxed atomic operations, so instrumented hot loops
+//! pay one indirection and one atomic RMW per event and never contend on a
+//! lock. A timer observation updates five statistics that must stay
+//! mutually consistent (count, total, min, max, bucket), so [`Timer::record`]
+//! serializes writers on a tiny per-timer lock; the per-field accessors
+//! remain lock-free relaxed reads, and [`Timer::stats`] takes the same lock
+//! to produce a tear-free cross-field snapshot for export.
+//!
+//! All synchronization goes through the `scanft-race` facade so the timer
+//! write path is visible to the deterministic model scheduler.
+//!
+//! race-lint: statistics-counters — this file is the workspace's one
+//! relaxed-ordering zone: every atomic here is a monotonic statistic whose
+//! readers tolerate staleness (or read under the timer writer lock), so
+//! `Ordering::Relaxed` is policy-compliant. Everywhere else the
+//! `relaxed-ordering-policy` lint denies it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use scanft_race::sync::{Arc, AtomicU64, Mutex, Ordering};
 use std::time::{Duration, Instant};
 
 /// Number of histogram buckets kept by a [`Timer`].
@@ -89,6 +102,10 @@ impl Gauge {
 
 #[derive(Debug)]
 pub(crate) struct TimerCore {
+    /// Serializes [`Timer::record`] so the five statistics below always
+    /// advance together; [`Timer::stats`] holds it while reading so the
+    /// mutex's acquire/release ordering makes the snapshot coherent.
+    write_lock: Mutex<()>,
     count: AtomicU64,
     total_ns: AtomicU64,
     min_ns: AtomicU64,
@@ -99,6 +116,7 @@ pub(crate) struct TimerCore {
 impl Default for TimerCore {
     fn default() -> Self {
         TimerCore {
+            write_lock: Mutex::new(()),
             count: AtomicU64::new(0),
             total_ns: AtomicU64::new(0),
             // Seeded so the first `fetch_min` wins regardless of ordering.
@@ -107,6 +125,27 @@ impl Default for TimerCore {
             buckets: Default::default(),
         }
     }
+}
+
+/// A coherent point-in-time copy of one timer's statistics.
+///
+/// Produced by [`Timer::stats`] under the timer's writer lock, so the
+/// fields are mutually consistent: `total_secs` is exactly the sum of the
+/// observations counted by `count`, and the buckets sum to `count`. The
+/// individual accessors on [`Timer`] are lock-free but can interleave with
+/// a concurrent [`Timer::record`] between fields; exporters must use this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations in seconds.
+    pub total_secs: f64,
+    /// Shortest observation in seconds (0.0 when `count == 0`).
+    pub min_secs: f64,
+    /// Longest observation in seconds (0.0 when `count == 0`).
+    pub max_secs: f64,
+    /// Decade bucket counts (see [`TIMER_BUCKETS`]).
+    pub buckets: [u64; TIMER_BUCKETS],
 }
 
 /// A histogram-style duration accumulator: count, total, min, max and
@@ -133,9 +172,15 @@ impl Timer {
     }
 
     /// Records one observation.
+    ///
+    /// Writers serialize on the timer's writer lock so all five statistics
+    /// advance together; the fields themselves stay relaxed atomics (the
+    /// statistics-counter zone of the ordering policy) because the lock's
+    /// acquire/release edges already order them for [`Timer::stats`].
     pub fn record(&self, elapsed: Duration) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let core = &*self.0;
+        let _writer = core.write_lock.lock();
         core.count.fetch_add(1, Ordering::Relaxed);
         core.total_ns.fetch_add(ns, Ordering::Relaxed);
         core.min_ns.fetch_min(ns, Ordering::Relaxed);
@@ -143,7 +188,38 @@ impl Timer {
         core.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A coherent snapshot of all statistics, taken under the writer lock.
+    ///
+    /// Unlike the individual accessors, the returned fields cannot tear
+    /// against a concurrent [`Timer::record`]: `total_secs` always equals
+    /// the sum of exactly the `count` observations it reports.
+    #[must_use]
+    pub fn stats(&self) -> TimerStats {
+        let core = &*self.0;
+        let _writer = core.write_lock.lock();
+        let count = core.count.load(Ordering::Relaxed);
+        let min_ns = if count == 0 {
+            0
+        } else {
+            core.min_ns.load(Ordering::Relaxed)
+        };
+        let mut buckets = [0; TIMER_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&core.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        TimerStats {
+            count,
+            total_secs: core.total_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            min_secs: min_ns as f64 / 1e9,
+            max_secs: core.max_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            buckets,
+        }
+    }
+
     /// Number of recorded observations.
+    ///
+    /// Lock-free; coherent on its own but may tear against other fields
+    /// read separately — use [`Timer::stats`] for a cross-field snapshot.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
@@ -308,6 +384,42 @@ mod tests {
         assert_eq!(bucket_of(999_999_999), 7);
         assert_eq!(bucket_of(1_000_000_000), 8);
         assert_eq!(bucket_of(u64::MAX), TIMER_BUCKETS - 1);
+    }
+
+    #[test]
+    fn timer_stats_snapshot_is_coherent_under_contention() {
+        // Every observation is exactly 1000 ns, so any coherent snapshot
+        // must satisfy total_ns == 1000 * count; a torn read (count from
+        // after a record, total from before) breaks the equation.
+        let t = Timer::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..5_000 {
+                        t.record(Duration::from_nanos(1_000));
+                    }
+                });
+            }
+            let reader = t.clone();
+            scope.spawn(move || {
+                for _ in 0..2_000 {
+                    let s = reader.stats();
+                    let total_ns = (s.total_secs * 1e9).round() as u64;
+                    assert_eq!(
+                        total_ns,
+                        1_000 * s.count,
+                        "stats() returned a torn snapshot"
+                    );
+                    assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+                }
+            });
+        });
+        let s = t.stats();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.total_secs, 0.02);
+        assert_eq!(s.min_secs, 1e-6);
+        assert_eq!(s.max_secs, 1e-6);
     }
 
     #[test]

@@ -3,9 +3,14 @@
 //! Registration takes a `Mutex` once per `counter`/`gauge`/`timer` call and
 //! returns a lock-free handle; instrumented code fetches handles outside its
 //! hot loops. Names are sorted (`BTreeMap`) so exports are deterministic.
+//!
+//! The lock is the `scanft-race` facade `Mutex`: it never poisons (a
+//! panicking registrant cannot wedge every later metrics export) and its
+//! operations are scheduling points under the deterministic model checker.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+
+use scanft_race::sync::{Mutex, OnceLock};
 
 use crate::export::{MetricSnapshot, SnapshotValue};
 use crate::metric::{Counter, Gauge, Timer};
@@ -48,8 +53,7 @@ impl Registry {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is already registered as a different metric kind,
-    /// or if the registry lock is poisoned.
+    /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
         match self.register(name, || Metric::Counter(Counter::new())) {
@@ -62,8 +66,7 @@ impl Registry {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is already registered as a different metric kind,
-    /// or if the registry lock is poisoned.
+    /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Gauge {
         match self.register(name, || Metric::Gauge(Gauge::new())) {
@@ -76,8 +79,7 @@ impl Registry {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is already registered as a different metric kind,
-    /// or if the registry lock is poisoned.
+    /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn timer(&self, name: &str) -> Timer {
         match self.register(name, || Metric::Timer(Timer::new())) {
@@ -87,18 +89,14 @@ impl Registry {
     }
 
     fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
-        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        let mut metrics = self.metrics.lock();
         metrics.entry(name.to_owned()).or_insert_with(make).clone()
     }
 
     /// Number of registered metrics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.metrics.lock().expect("registry lock poisoned").len()
+        self.metrics.lock().len()
     }
 
     /// Whether no metric has been registered yet.
@@ -107,14 +105,12 @@ impl Registry {
         self.len() == 0
     }
 
-    /// A point-in-time copy of every metric, sorted by name.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the registry lock is poisoned.
+    /// A point-in-time copy of every metric, sorted by name. Timer values
+    /// come from [`crate::TimerStats`] snapshots, so each timer's fields
+    /// are mutually coherent even while other threads keep recording.
     #[must_use]
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
-        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        let metrics = self.metrics.lock();
         metrics
             .iter()
             .map(|(name, metric)| MetricSnapshot {
@@ -122,13 +118,16 @@ impl Registry {
                 value: match metric {
                     Metric::Counter(c) => SnapshotValue::Counter(c.get()),
                     Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
-                    Metric::Timer(t) => SnapshotValue::Timer {
-                        count: t.count(),
-                        total_secs: t.total_secs(),
-                        min_secs: t.min_secs(),
-                        max_secs: t.max_secs(),
-                        buckets: t.buckets(),
-                    },
+                    Metric::Timer(t) => {
+                        let stats = t.stats();
+                        SnapshotValue::Timer {
+                            count: stats.count,
+                            total_secs: stats.total_secs,
+                            min_secs: stats.min_secs,
+                            max_secs: stats.max_secs,
+                            buckets: stats.buckets,
+                        }
+                    }
                 },
             })
             .collect()

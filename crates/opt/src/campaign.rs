@@ -20,6 +20,10 @@
 //! faults on the reduced netlist in one narrow batch. Units always run on
 //! the narrow kernel even when `config.kernel` is wide — verdicts are
 //! kernel-independent, so the journal and report are unaffected.
+//!
+//! race-lint: deterministic-replay — shares the journal/resume contract of
+//! `scanft_sim::campaign`: no wall-clock reads, resume must be a pure
+//! function of the journal bytes.
 
 use scanft_harness::{
     run_units, FailurePlan, Journal, JournalHeader, JournalRecord, JournalWriter, ScanftError,
@@ -234,7 +238,8 @@ pub fn run_supervised_optimized(
 
     let batches_run = obs.counter("sim.campaign.batches");
     let gate_evals = obs.counter("sim.kernel.gate_evals");
-    let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let journal_error: scanft_race::sync::Mutex<Option<String>> =
+        scanft_race::sync::Mutex::new(None);
     let append_record = |unit: usize, lanes: &[Option<usize>]| {
         if let Some(writer) = journal {
             let record = JournalRecord {
@@ -242,10 +247,7 @@ pub fn run_supervised_optimized(
                 lanes: lanes.iter().map(|d| d.map(|p| p as u64)).collect(),
             };
             if let Err(e) = writer.append(&record) {
-                journal_error
-                    .lock()
-                    .expect("journal error flag poisoned")
-                    .get_or_insert_with(|| e.to_string());
+                journal_error.lock().get_or_insert_with(|| e.to_string());
             }
         }
     };
@@ -300,10 +302,7 @@ pub fn run_supervised_optimized(
             local
         },
     );
-    if let Some(message) = journal_error
-        .into_inner()
-        .expect("journal error flag poisoned")
-    {
+    if let Some(message) = journal_error.into_inner() {
         return Err(ScanftError::Journal {
             message: format!("writing journal record: {message}"),
         });

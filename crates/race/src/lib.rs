@@ -1,0 +1,51 @@
+//! Deterministic concurrency analysis layer for the scanft workspace.
+//!
+//! The repo runs real concurrent infrastructure — a `Mutex`+`Condvar` job
+//! registry with cancellation, a parallel campaign worker pool with panic
+//! quarantine, lock-free observability counters, and a journal writer
+//! raced by a tailer — and every correctness claim (bit-identical resume,
+//! deterministic journals, sound partial coverage) rests on the
+//! interleavings those primitives admit. This crate turns hand-reasoned
+//! interleavings into machine-checked evidence, in the same spirit as the
+//! optimizer's rewrite certificates: explored schedules are the proof,
+//! and a bad schedule becomes a replayable counterexample.
+//!
+//! Three pieces:
+//!
+//! - [`sync`] and [`thread`] — a drop-in facade over `std::sync` /
+//!   `std::thread`. In normal builds these are thin wrappers (with one
+//!   deliberate behavioural change: mutexes and condvars **never
+//!   poison** — a panicking holder unwinds, the next locker proceeds).
+//!   Workspace code imports the facade instead of `std`; the source lint
+//!   in `scanft-bench` (`race_lint`) enforces this.
+//! - `model` (behind the `model` feature, so the links below only resolve
+//!   in feature-enabled docs) — a loom-style deterministic scheduler.
+//!   `model::check` runs a closure many times, serializing its threads so
+//!   exactly one runs at a time and exploring the choice of which thread
+//!   proceeds at every facade operation: bounded exhaustive DFS with
+//!   sleep-set pruning, then SplitMix64-seeded random schedules.
+//!   Deadlocks (including missed condvar wakeups) and panics (failed
+//!   assertions) are reported with a [`trace::ScheduleTrace`] that
+//!   `model::replay` reproduces deterministically.
+//! - [`trace`] — the schedule trace format shared by the checker, the
+//!   `SCANFT_RACE_TRACE_DIR` counterexample dump, and replay.
+//!
+//! The facade only models what the workspace actually uses: `Mutex`,
+//! `Condvar` (un-timed waits), `AtomicBool`/`AtomicU64`/`AtomicUsize`,
+//! `spawn`/`scope`/`yield_now`/`sleep`. Under the model scheduler all
+//! atomics are treated as sequentially consistent — the *ordering policy*
+//! (which orderings production code may use where) is enforced
+//! separately, by the source lint, not by the model.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod sync;
+pub mod thread;
+pub mod trace;
+
+#[cfg(feature = "model")]
+pub mod model;
+#[cfg(feature = "model")]
+mod rng;

@@ -1,0 +1,1036 @@
+//! The deterministic virtual scheduler (`model` feature).
+//!
+//! # How a model run works
+//!
+//! [`check`] executes the test closure repeatedly on **real OS threads**
+//! that are serialized by a host lock: at every facade operation (lock,
+//! unlock, condvar wait/notify, atomic access, spawn/join/yield) the
+//! thread *announces* its pending operation and parks; a scheduler picks
+//! which announced operation applies next. Because exactly one thread
+//! runs between scheduling points, the interleaving is fully determined
+//! by the sequence of choices — the [`ScheduleTrace`].
+//!
+//! Exploration is bounded-exhaustive DFS over those choices with
+//! sleep-set (DPOR-lite) pruning, followed by SplitMix64-seeded random
+//! schedules. Enabledness is modeled precisely: a `lock` is only
+//! schedulable while the mutex is free, a condvar re-acquire only after a
+//! notification, a `join` only after the target finished. If every
+//! unfinished thread is blocked the run is a deadlock — which is exactly
+//! what a missed condvar wakeup looks like — and the checker reports it
+//! with the trace that got there. Panics inside the closure (failed
+//! assertions, torn-read detections) are caught and reported the same
+//! way. [`replay`] re-runs a single recorded trace, so counterexamples
+//! reproduce deterministically.
+//!
+//! Atomics are modeled as sequentially consistent; the workspace's
+//! ordering *policy* is enforced by the `race_lint` source pass, not
+//! here. Spurious condvar wakeups are not modeled (workspace code must
+//! tolerate them anyway via recheck loops, but the model only explores
+//! notified wakeups). Both choices shrink the schedule space without
+//! hiding the bug classes this crate exists to catch.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+use crate::rng::SplitMix64;
+use crate::trace::ScheduleTrace;
+
+// ---------------------------------------------------------------------------
+// Public configuration and results
+// ---------------------------------------------------------------------------
+
+/// Exploration bounds for [`check_named`].
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Maximum number of runs (explored + pruned) in the DFS phase.
+    pub max_schedules: usize,
+    /// Maximum scheduling decisions in a single run before the run is
+    /// failed as a livelock.
+    pub max_steps: usize,
+    /// Number of seeded random schedules executed after the DFS phase
+    /// (skipped when DFS already explored the full space or failed).
+    pub random_runs: usize,
+    /// Seed for the random phase.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            max_schedules: 2000,
+            max_steps: 20_000,
+            random_runs: 64,
+            seed: 0x5eed_5eed_5eed_5eed,
+        }
+    }
+}
+
+/// Outcome of a [`check_named`] exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Completed (non-pruned) schedules executed across both phases.
+    pub schedules: usize,
+    /// Runs cut short by sleep-set pruning (their interleaving class was
+    /// already covered by an explored schedule).
+    pub pruned: usize,
+    /// Whether the DFS phase exhausted the entire schedule space within
+    /// `max_schedules`.
+    pub complete: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics with the failure message if any schedule failed. Handy in
+    /// tests that expect a clean exploration.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("model check failed: {f}");
+        }
+    }
+}
+
+/// A failing schedule: what went wrong and the trace to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Human-readable description (deadlock report or panic message).
+    pub message: String,
+    /// The schedule that produced the failure; feed to [`replay`].
+    pub trace: ScheduleTrace,
+    /// Whether the failure is a deadlock (all unfinished threads
+    /// blocked) as opposed to a panic.
+    pub deadlock: bool,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [schedule: {}]", self.message, self.trace)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local execution context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+/// Whether the current thread is executing inside a model run. The
+/// facade probes this on every operation to decide between the scheduler
+/// path and the plain std path.
+#[must_use]
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Clears the context on drop so a panicking run cannot leak model state
+/// into later code on the host thread.
+struct CtxGuard;
+
+impl CtxGuard {
+    fn set(exec: Arc<Execution>, tid: usize) -> CtxGuard {
+        CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec, tid }));
+        CtxGuard
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Fresh id for a facade object (mutex, condvar, atomic). Ids are
+/// process-global so objects created outside a run keep a stable
+/// identity across runs (e.g. the global metrics registry).
+pub(crate) fn new_object_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Panic payload used to unwind model threads when a run is torn down.
+/// Swallowed by the panic hook and the run driver; never user-visible.
+pub(crate) struct ModelAbort;
+
+fn abort_panic() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+/// Unwinds the current thread out of an aborted run. Used by facade
+/// paths that discover mid-operation that the run is over.
+pub(crate) fn abort_now() -> ! {
+    abort_panic()
+}
+
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Panics on model threads are part of exploration (aborts,
+            // seeded assertion failures explored thousands of times);
+            // recording happens via catch_unwind, so stay quiet.
+            if in_model() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Operations and their footprints
+// ---------------------------------------------------------------------------
+
+/// A synchronization operation announced at a scheduling point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First schedulable moment of a spawned thread.
+    Start,
+    /// Voluntary reschedule (`yield_now`, modeled `sleep`).
+    Yield,
+    /// Acquire a mutex; enabled only while it is free.
+    Lock(u64),
+    /// Release a mutex; always enabled.
+    Unlock(u64),
+    /// Atomically release the mutex and park on the condvar. Applying
+    /// this leaves the thread parked with a pending [`Op::CvWake`].
+    CvWait {
+        /// Condvar being waited on.
+        cv: u64,
+        /// Mutex released for the duration of the wait.
+        mutex: u64,
+    },
+    /// Wake from a condvar wait; enabled once notified and the mutex is
+    /// free (the re-acquire is folded in, mirroring std semantics).
+    CvWake {
+        /// Condvar waited on.
+        cv: u64,
+        /// Mutex re-acquired on wake.
+        mutex: u64,
+    },
+    /// `notify_one` / `notify_all`.
+    Notify {
+        /// Condvar notified.
+        cv: u64,
+        /// Whether every current waiter is notified (`notify_all`).
+        all: bool,
+    },
+    /// An atomic access; `write` covers stores and RMWs.
+    Atomic {
+        /// Object id of the atomic.
+        id: u64,
+        /// Whether the access can change the value.
+        write: bool,
+    },
+    /// Wait for a thread to finish; enabled once it has.
+    Join(usize),
+    /// Thread termination.
+    Finish,
+}
+
+/// Object touched by an op, for the independence relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Obj {
+    Sync(u64),
+    Thread(usize),
+}
+
+fn footprint(op: &Op, owner: usize, out: &mut Vec<(Obj, bool)>) {
+    out.clear();
+    match op {
+        Op::Start | Op::Yield => {}
+        Op::Lock(m) | Op::Unlock(m) => out.push((Obj::Sync(*m), true)),
+        Op::CvWait { cv, mutex } | Op::CvWake { cv, mutex } => {
+            out.push((Obj::Sync(*cv), true));
+            out.push((Obj::Sync(*mutex), true));
+        }
+        Op::Notify { cv, .. } => out.push((Obj::Sync(*cv), true)),
+        Op::Atomic { id, write } => out.push((Obj::Sync(*id), *write)),
+        Op::Join(t) => out.push((Obj::Thread(*t), false)),
+        Op::Finish => out.push((Obj::Thread(owner), true)),
+    }
+}
+
+/// Two ops conflict (are dependent) if they touch a common object and at
+/// least one access is a write. Conservative: anything unclear counts as
+/// a conflict, which only costs pruning power, never soundness.
+fn conflicts(a: &Op, a_owner: usize, b: &Op, b_owner: usize) -> bool {
+    let mut fa = Vec::new();
+    let mut fb = Vec::new();
+    footprint(a, a_owner, &mut fa);
+    footprint(b, b_owner, &mut fb);
+    for (oa, wa) in &fa {
+        for (ob, wb) in &fb {
+            if oa == ob && (*wa || *wb) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ThreadRec {
+    pending: Option<Op>,
+    finished: bool,
+}
+
+#[derive(Debug, Default)]
+struct CvState {
+    /// Parked waiters not yet notified, in park order.
+    waiters: Vec<usize>,
+    /// Notified waiters allowed to wake (once their mutex frees up).
+    notified: BTreeSet<usize>,
+}
+
+/// One DFS decision point, persisted across runs.
+#[derive(Debug)]
+struct Decision {
+    /// Enabled threads at this point, ascending tid order.
+    candidates: Vec<usize>,
+    /// Sleep set: entry sleepers plus already-explored siblings.
+    sleep: BTreeSet<usize>,
+    /// Currently explored choice.
+    chosen: usize,
+    /// The op `chosen` performed here (refreshed on each replay; used
+    /// for sleep-set propagation into child nodes).
+    chosen_op: Option<Op>,
+}
+
+enum Mode {
+    Dfs,
+    Random,
+    Replay(Vec<usize>),
+}
+
+struct ExecState {
+    threads: Vec<ThreadRec>,
+    /// The thread allowed to run user code right now; `None` during a
+    /// scheduling decision.
+    current: Option<usize>,
+    mode: Mode,
+    /// Persistent DFS stack (survives across runs; prefix is replayed).
+    path: Vec<Decision>,
+    rng: SplitMix64,
+    trace: Vec<usize>,
+    steps: usize,
+    max_steps: usize,
+    mutexes: HashMap<u64, Option<usize>>,
+    condvars: HashMap<u64, CvState>,
+    /// Per-run display names for objects: global id -> index in order of
+    /// first announcement, so diagnostics are stable across replays.
+    names: HashMap<u64, usize>,
+    /// Child OS threads not yet exited (run teardown waits for zero).
+    live_os: usize,
+    aborted: bool,
+    pruned_run: bool,
+    run_done: bool,
+    failure: Option<String>,
+    deadlock: bool,
+}
+
+enum Applied {
+    /// Thread keeps running user code.
+    Continue,
+    /// Thread parked itself (condvar wait); wait to be chosen again.
+    Rewait,
+    /// Thread finished; leave the scheduler.
+    Finished,
+}
+
+enum RunOutcome {
+    Ok,
+    Pruned,
+    Failed(Failure),
+}
+
+struct Execution {
+    state: Mutex<ExecState>,
+    cond: Condvar,
+}
+
+fn lock_state(m: &Mutex<ExecState>) -> MutexGuard<'_, ExecState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Execution {
+    fn new(cfg: &ModelConfig) -> Arc<Execution> {
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                current: None,
+                mode: Mode::Dfs,
+                path: Vec::new(),
+                rng: SplitMix64::new(cfg.seed),
+                trace: Vec::new(),
+                steps: 0,
+                max_steps: cfg.max_steps,
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                names: HashMap::new(),
+                live_os: 0,
+                aborted: false,
+                pruned_run: false,
+                run_done: false,
+                failure: None,
+                deadlock: false,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn reset_for_run(&self, mode: Mode) {
+        let mut st = lock_state(&self.state);
+        debug_assert_eq!(st.live_os, 0, "previous run left live threads");
+        st.threads.clear();
+        st.threads.push(ThreadRec {
+            pending: None,
+            finished: false,
+        });
+        st.current = Some(0);
+        st.mode = mode;
+        st.trace.clear();
+        st.steps = 0;
+        st.mutexes.clear();
+        st.condvars.clear();
+        st.names.clear();
+        st.aborted = false;
+        st.pruned_run = false;
+        st.run_done = false;
+        st.failure = None;
+        st.deadlock = false;
+    }
+
+    fn feasible(st: &ExecState, tid: usize) -> bool {
+        match &st.threads[tid].pending {
+            None => false,
+            Some(op) => match op {
+                Op::Start
+                | Op::Yield
+                | Op::Unlock(_)
+                | Op::CvWait { .. }
+                | Op::Notify { .. }
+                | Op::Atomic { .. }
+                | Op::Finish => true,
+                Op::Lock(m) => st.mutexes.get(m).copied().flatten().is_none(),
+                Op::CvWake { cv, mutex } => {
+                    let notified = st
+                        .condvars
+                        .get(cv)
+                        .is_some_and(|c| c.notified.contains(&tid));
+                    notified && st.mutexes.get(mutex).copied().flatten().is_none()
+                }
+                Op::Join(t) => st.threads[*t].finished,
+            },
+        }
+    }
+
+    fn describe_blocked(st: &ExecState) -> String {
+        let name = |id: &u64| st.names.get(id).copied().unwrap_or(usize::MAX);
+        let mut parts = Vec::new();
+        for (tid, rec) in st.threads.iter().enumerate() {
+            if rec.finished {
+                continue;
+            }
+            let what = match &rec.pending {
+                Some(Op::Lock(m)) => format!("blocked locking mutex#{}", name(m)),
+                Some(Op::CvWake { cv, .. }) => format!(
+                    "waiting on condvar#{} with no pending notification",
+                    name(cv)
+                ),
+                Some(Op::Join(t)) => format!("joining thread {t}"),
+                Some(op) => format!("blocked at {op:?}"),
+                None => "running".to_owned(),
+            };
+            parts.push(format!("thread {tid} {what}"));
+        }
+        parts.join("; ")
+    }
+
+    /// Assigns per-run display indices to the objects an op touches, in
+    /// first-announcement order (deterministic for a given schedule).
+    fn name_objects(st: &mut ExecState, op: &Op, owner: usize) {
+        let mut fp = Vec::new();
+        footprint(op, owner, &mut fp);
+        for (obj, _) in fp {
+            if let Obj::Sync(id) = obj {
+                if !st.names.contains_key(&id) {
+                    let next = st.names.len();
+                    st.names.insert(id, next);
+                }
+            }
+        }
+    }
+
+    fn fail(&self, st: &mut ExecState, message: String, deadlock: bool) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+            st.deadlock = deadlock;
+        }
+        st.aborted = true;
+        self.cond.notify_all();
+    }
+
+    /// Picks the next thread to run. Called with `current == None` by
+    /// the thread that just announced or parked.
+    fn schedule(&self, st: &mut ExecState) {
+        if st.aborted || st.run_done {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let msg = format!("exceeded max_steps ({}): possible livelock", st.max_steps);
+            self.fail(st, msg, false);
+            return;
+        }
+        if st.threads.iter().all(|t| t.finished) {
+            st.run_done = true;
+            self.cond.notify_all();
+            return;
+        }
+        let candidates: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| !st.threads[t].finished && Self::feasible(st, t))
+            .collect();
+        if candidates.is_empty() {
+            let msg = format!("deadlock: {}", Self::describe_blocked(st));
+            self.fail(st, msg, true);
+            return;
+        }
+        let depth = st.trace.len();
+        // Take `mode` out so its borrow does not pin the whole state
+        // while we read/write other fields.
+        let mut mode = std::mem::replace(&mut st.mode, Mode::Dfs);
+        let chosen = match &mut mode {
+            Mode::Replay(choices) => {
+                if depth < choices.len() {
+                    let c = choices[depth];
+                    if candidates.contains(&c) {
+                        Some(c)
+                    } else {
+                        let msg = format!(
+                            "replay diverged at step {depth}: thread {c} not \
+                             schedulable (candidates {candidates:?})"
+                        );
+                        self.fail(st, msg, false);
+                        None
+                    }
+                } else {
+                    Some(candidates[0])
+                }
+            }
+            Mode::Random => {
+                let i = st.rng.next_below(candidates.len());
+                Some(candidates[i])
+            }
+            Mode::Dfs => {
+                if depth < st.path.len() {
+                    let c = st.path[depth].chosen;
+                    if candidates.contains(&c) {
+                        let op = st.threads[c].pending.clone();
+                        st.path[depth].chosen_op = op;
+                        Some(c)
+                    } else {
+                        let msg = format!(
+                            "nondeterministic execution: DFS prefix chose thread \
+                             {c} at step {depth} but candidates are {candidates:?}"
+                        );
+                        self.fail(st, msg, false);
+                        None
+                    }
+                } else {
+                    let sleep = Self::entry_sleep(st, depth);
+                    match candidates.iter().copied().find(|t| !sleep.contains(t)) {
+                        None => {
+                            // Every enabled thread is asleep: this run's
+                            // continuation is equivalent to one already
+                            // explored. Tear the run down as "pruned".
+                            st.pruned_run = true;
+                            st.aborted = true;
+                            self.cond.notify_all();
+                            None
+                        }
+                        Some(c) => {
+                            let chosen_op = st.threads[c].pending.clone();
+                            st.path.push(Decision {
+                                candidates: candidates.clone(),
+                                sleep,
+                                chosen: c,
+                                chosen_op,
+                            });
+                            Some(c)
+                        }
+                    }
+                }
+            }
+        };
+        st.mode = mode;
+        let Some(chosen) = chosen else { return };
+        st.trace.push(chosen);
+        st.current = Some(chosen);
+        self.cond.notify_all();
+    }
+
+    /// Sleep set for a fresh decision node: the parent's sleepers whose
+    /// pending ops are independent of what the parent's chosen thread
+    /// just did (classic sleep-set propagation).
+    fn entry_sleep(st: &ExecState, depth: usize) -> BTreeSet<usize> {
+        let mut sleep = BTreeSet::new();
+        if depth == 0 {
+            return sleep;
+        }
+        let parent = &st.path[depth - 1];
+        let Some(parent_op) = &parent.chosen_op else {
+            return sleep;
+        };
+        for &s in &parent.sleep {
+            if s == parent.chosen || s >= st.threads.len() || st.threads[s].finished {
+                continue;
+            }
+            if let Some(op) = &st.threads[s].pending {
+                if !conflicts(op, s, parent_op, parent.chosen) {
+                    sleep.insert(s);
+                }
+            }
+        }
+        sleep
+    }
+
+    /// Applies a granted op's effect on the model state.
+    fn apply(&self, st: &mut ExecState, tid: usize, op: Op) -> Applied {
+        match op {
+            Op::Start | Op::Yield | Op::Join(_) | Op::Atomic { .. } => Applied::Continue,
+            Op::Lock(m) => {
+                let slot = st.mutexes.entry(m).or_insert(None);
+                debug_assert!(slot.is_none(), "lock granted while held");
+                *slot = Some(tid);
+                Applied::Continue
+            }
+            Op::Unlock(m) => {
+                st.mutexes.insert(m, None);
+                Applied::Continue
+            }
+            Op::CvWait { cv, mutex } => {
+                st.condvars.entry(cv).or_default().waiters.push(tid);
+                st.mutexes.insert(mutex, None);
+                st.threads[tid].pending = Some(Op::CvWake { cv, mutex });
+                Applied::Rewait
+            }
+            Op::CvWake { cv, mutex } => {
+                st.condvars.entry(cv).or_default().notified.remove(&tid);
+                st.mutexes.insert(mutex, Some(tid));
+                Applied::Continue
+            }
+            Op::Notify { cv, all } => {
+                let state = st.condvars.entry(cv).or_default();
+                if all {
+                    for w in state.waiters.drain(..) {
+                        state.notified.insert(w);
+                    }
+                } else if let Some((i, _)) =
+                    state.waiters.iter().enumerate().min_by_key(|(_, &w)| w)
+                {
+                    let w = state.waiters.remove(i);
+                    state.notified.insert(w);
+                }
+                Applied::Continue
+            }
+            Op::Finish => {
+                st.threads[tid].finished = true;
+                Applied::Finished
+            }
+        }
+    }
+
+    /// Announce `op`, wait to be chosen, apply. The heart of the
+    /// scheduler protocol; every facade operation funnels through here.
+    fn point(&self, tid: usize, op: Op) {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            drop(st);
+            abort_panic();
+        }
+        Self::name_objects(&mut st, &op, tid);
+        st.threads[tid].pending = Some(op);
+        if st.current == Some(tid) {
+            st.current = None;
+            self.schedule(&mut st);
+        }
+        self.wait_and_apply(st, tid);
+    }
+
+    /// Entry point for freshly spawned threads whose `Start` op was
+    /// announced by the parent at registration time.
+    fn start_point(&self, tid: usize) {
+        let st = lock_state(&self.state);
+        self.wait_and_apply(st, tid);
+    }
+
+    fn wait_and_apply(&self, mut st: MutexGuard<'_, ExecState>, tid: usize) {
+        loop {
+            while st.current != Some(tid) && !st.aborted {
+                st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.aborted {
+                drop(st);
+                abort_panic();
+            }
+            let op = st.threads[tid]
+                .pending
+                .take()
+                .expect("scheduled thread has no pending op");
+            match self.apply(&mut st, tid, op) {
+                Applied::Continue => return,
+                Applied::Rewait => {
+                    st.current = None;
+                    self.schedule(&mut st);
+                    if st.aborted {
+                        drop(st);
+                        abort_panic();
+                    }
+                }
+                Applied::Finished => {
+                    st.current = None;
+                    self.schedule(&mut st);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Releases a model mutex during unwind without a scheduling point
+    /// (the run is being torn down, or the holder is panicking).
+    fn force_unlock(&self, id: u64) {
+        let mut st = lock_state(&self.state);
+        st.mutexes.insert(id, None);
+    }
+
+    /// Registers a child thread; the parent is the running thread, so no
+    /// scheduling can happen concurrently.
+    fn register_child(&self) -> usize {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            drop(st);
+            abort_panic();
+        }
+        let tid = st.threads.len();
+        st.threads.push(ThreadRec {
+            pending: Some(Op::Start),
+            finished: false,
+        });
+        st.live_os += 1;
+        tid
+    }
+
+    /// Rolls back a registration whose OS spawn failed.
+    fn unregister_child(&self, tid: usize) {
+        let mut st = lock_state(&self.state);
+        st.threads[tid].pending = None;
+        st.threads[tid].finished = true;
+        st.live_os -= 1;
+        self.cond.notify_all();
+    }
+
+    fn child_exited(&self) {
+        let mut st = lock_state(&self.state);
+        st.live_os -= 1;
+        self.cond.notify_all();
+    }
+
+    /// Records a (non-abort) panic from thread `tid` as the failure.
+    fn fail_from_panic(&self, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+        let mut st = lock_state(&self.state);
+        st.threads[tid].pending = None;
+        st.threads[tid].finished = true;
+        self.fail(&mut st, format!("panic in thread {tid}: {msg}"), false);
+    }
+
+    /// Host-side: wait for the run to finish scheduling and for every
+    /// child OS thread to exit, then harvest the outcome.
+    fn finish_run(&self) -> RunOutcome {
+        let mut st = lock_state(&self.state);
+        while !(st.run_done || st.aborted) {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        while st.live_os > 0 {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(message) = st.failure.take() {
+            RunOutcome::Failed(Failure {
+                message,
+                trace: ScheduleTrace::new(st.trace.clone()),
+                deadlock: st.deadlock,
+            })
+        } else if st.pruned_run {
+            RunOutcome::Pruned
+        } else {
+            RunOutcome::Ok
+        }
+    }
+
+    /// Advances the DFS stack to the next unexplored branch. Returns
+    /// false when the whole space has been explored.
+    fn backtrack(&self) -> bool {
+        let mut st = lock_state(&self.state);
+        loop {
+            let Some(last) = st.path.last_mut() else {
+                return false;
+            };
+            let prev = last.chosen;
+            last.sleep.insert(prev);
+            let next = last
+                .candidates
+                .iter()
+                .copied()
+                .find(|c| !last.sleep.contains(c));
+            match next {
+                Some(c) => {
+                    last.chosen = c;
+                    last.chosen_op = None;
+                    return true;
+                }
+                None => {
+                    st.path.pop();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Facade entry points (crate-internal)
+// ---------------------------------------------------------------------------
+
+/// Scheduling point for the current model thread; no-op outside a run.
+pub(crate) fn point(op: Op) {
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.point(ctx.tid, op);
+    }
+}
+
+/// Atomic access scheduling point; no-op outside a run.
+pub(crate) fn atomic_point(id: u64, write: bool) {
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.point(ctx.tid, Op::Atomic { id, write });
+    }
+}
+
+/// Mutex release from a guard `Drop`. Uses a full scheduling point on
+/// the normal path, but during a panic unwind (quarantined chaos panics,
+/// run teardown) it must not panic again, so it force-releases instead.
+pub(crate) fn unlock_point(id: u64) {
+    let Some(ctx) = current_ctx() else { return };
+    if std::thread::panicking() {
+        ctx.exec.force_unlock(id);
+        return;
+    }
+    {
+        let st = lock_state(&ctx.exec.state);
+        if st.aborted {
+            ctx.exec.force_unlock(id);
+            return;
+        }
+    }
+    ctx.exec.point(ctx.tid, Op::Unlock(id));
+}
+
+/// Registers a child thread with the active execution (the facade then
+/// performs the real OS spawn). Returns the handle pieces the facade
+/// needs: the execution and the child's thread id.
+pub(crate) fn register_child() -> (Execution2, usize) {
+    let ctx = current_ctx().expect("register_child outside a model run");
+    let tid = ctx.exec.register_child();
+    (Execution2(Arc::clone(&ctx.exec)), tid)
+}
+
+/// Opaque execution handle passed back into [`run_child`] by the facade.
+pub(crate) struct Execution2(Arc<Execution>);
+
+impl Clone for Execution2 {
+    fn clone(&self) -> Self {
+        Execution2(Arc::clone(&self.0))
+    }
+}
+
+impl fmt::Debug for Execution2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Execution")
+    }
+}
+
+/// Rolls back [`register_child`] when the OS-level spawn failed.
+pub(crate) fn unregister_child(exec: &Execution2, tid: usize) {
+    exec.0.unregister_child(tid);
+}
+
+/// Body of a model-managed child thread: installs the context, waits for
+/// its `Start` to be scheduled, runs the closure, and reports panics to
+/// the scheduler. Returns `None` when the run was aborted under it.
+pub(crate) fn run_child<F, T>(exec: Execution2, tid: usize, f: F) -> Option<T>
+where
+    F: FnOnce() -> T,
+{
+    let _ctx = CtxGuard::set(Arc::clone(&exec.0), tid);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        exec.0.start_point(tid);
+        let value = f();
+        exec.0.point(tid, Op::Finish);
+        value
+    }));
+    let out = match result {
+        Ok(value) => Some(value),
+        Err(payload) => {
+            if !payload.is::<ModelAbort>() {
+                exec.0.fail_from_panic(tid, payload.as_ref());
+            }
+            None
+        }
+    };
+    exec.0.child_exited();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check / replay drivers
+// ---------------------------------------------------------------------------
+
+fn run_once<F: Fn()>(exec: &Arc<Execution>, mode: Mode, body: &F) -> RunOutcome {
+    exec.reset_for_run(mode);
+    {
+        let _ctx = CtxGuard::set(Arc::clone(exec), 0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            body();
+            exec.point(0, Op::Finish);
+        }));
+        if let Err(payload) = result {
+            if !payload.is::<ModelAbort>() {
+                exec.fail_from_panic(0, payload.as_ref());
+            }
+        }
+    }
+    exec.finish_run()
+}
+
+/// Explores the schedules of `body` with default bounds. See
+/// [`check_named`].
+pub fn check<F: Fn()>(body: F) -> Report {
+    check_named("model", &ModelConfig::default(), body)
+}
+
+/// Explores the schedules of `body`: bounded-exhaustive DFS with
+/// sleep-set pruning, then `random_runs` seeded random schedules.
+/// Stops at the first failing schedule. When `SCANFT_RACE_TRACE_DIR` is
+/// set, the counterexample trace is written to
+/// `<dir>/<name>.trace` for post-mortems and replay.
+///
+/// `body` runs many times and must be deterministic apart from
+/// scheduling: derive all randomness from fixed seeds and keep wall
+/// clocks out of control flow.
+pub fn check_named<F: Fn()>(name: &str, cfg: &ModelConfig, body: F) -> Report {
+    install_quiet_panic_hook();
+    let exec = Execution::new(cfg);
+    let mut report = Report {
+        schedules: 0,
+        pruned: 0,
+        complete: false,
+        failure: None,
+    };
+    while report.schedules + report.pruned < cfg.max_schedules {
+        match run_once(&exec, Mode::Dfs, &body) {
+            RunOutcome::Ok => report.schedules += 1,
+            RunOutcome::Pruned => report.pruned += 1,
+            RunOutcome::Failed(f) => {
+                report.schedules += 1;
+                report.failure = Some(f);
+                break;
+            }
+        }
+        if !exec.backtrack() {
+            report.complete = true;
+            break;
+        }
+    }
+    if report.failure.is_none() && !report.complete {
+        for _ in 0..cfg.random_runs {
+            match run_once(&exec, Mode::Random, &body) {
+                RunOutcome::Ok | RunOutcome::Pruned => report.schedules += 1,
+                RunOutcome::Failed(f) => {
+                    report.schedules += 1;
+                    report.failure = Some(f);
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(f) = &report.failure {
+        dump_trace(name, f);
+    }
+    report
+}
+
+/// Re-executes a single recorded schedule. The returned report has
+/// `schedules == 1` and carries the reproduced failure, if any. Choices
+/// beyond the end of the trace fall back to the lowest schedulable
+/// thread, so a prefix is enough to steer execution to the bug.
+pub fn replay<F: Fn()>(trace: &ScheduleTrace, body: F) -> Report {
+    install_quiet_panic_hook();
+    let cfg = ModelConfig::default();
+    let exec = Execution::new(&cfg);
+    let outcome = run_once(&exec, Mode::Replay(trace.choices.clone()), &body);
+    Report {
+        schedules: 1,
+        pruned: 0,
+        complete: false,
+        failure: match outcome {
+            RunOutcome::Failed(f) => Some(f),
+            RunOutcome::Ok | RunOutcome::Pruned => None,
+        },
+    }
+}
+
+fn dump_trace(name: &str, failure: &Failure) {
+    let Ok(dir) = std::env::var("SCANFT_RACE_TRACE_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let slug: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let _ = std::fs::create_dir_all(&dir);
+    let mut text = format!("# scanft-race counterexample: {name}\n");
+    for line in failure.message.lines() {
+        text.push_str("# ");
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str(&failure.trace.to_string());
+    text.push('\n');
+    let _ = std::fs::write(format!("{dir}/{slug}.trace"), text);
+}

@@ -1,0 +1,37 @@
+//! A private SplitMix64 for seeded random schedule exploration.
+//!
+//! The workspace convention is SplitMix64 everywhere randomness is needed
+//! (`scanft_fsm::rng` is the canonical copy); this crate carries its own
+//! minimal clone because it is dependency-free by policy — pulling in
+//! `scanft-fsm` just for a 10-line generator would put the whole FSM
+//! layer underneath the sync facade.
+
+/// SplitMix64: tiny, fast, and plenty for schedule shuffling.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub(crate) fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        // Multiply-shift reduction; bias is irrelevant for scheduling.
+        let wide = u128::from(self.next_u64()) * bound as u128;
+        (wide >> 64) as usize
+    }
+}

@@ -1,0 +1,504 @@
+//! Drop-in facade over `std::sync`.
+//!
+//! Workspace code imports synchronization primitives from here instead
+//! of `std` (enforced by the `race_lint` source pass). In normal builds
+//! every type is a thin wrapper around its std counterpart with **one**
+//! behavioural change: [`Mutex`] and [`Condvar`] never poison. A thread
+//! that panics while holding a lock unwinds, and the next locker simply
+//! proceeds — for this workspace that is the correct policy, because
+//! panic quarantine (`scanft-harness`) already guarantees that panicking
+//! work units leave shared state consistent, and a poisoned registry
+//! mutex would otherwise turn one quarantined panic into a dead daemon.
+//!
+//! With the `model` feature enabled *and* a `crate::model::check` run
+//! active on the current thread, every operation becomes a scheduling
+//! point of the deterministic scheduler. Outside a model run the `model`
+//! feature costs one thread-local probe per operation and nothing else,
+//! so workspace-wide feature unification (test builds enabling `model`
+//! for everything) cannot change production behaviour.
+//!
+//! Atomics take explicit [`Ordering`] arguments exactly like std. The
+//! *policy* for which orderings are allowed where (`Relaxed` only on
+//! statistics counters) is enforced by `race_lint`, not at runtime; under
+//! the model scheduler all atomics run sequentially consistent.
+
+use std::fmt;
+use std::sync::PoisonError;
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{Arc, Once, OnceLock, Weak};
+
+#[cfg(feature = "model")]
+use crate::model;
+
+/// Effective ordering for a real atomic access: as requested normally,
+/// `SeqCst` inside a model run (the model explores interleavings, not
+/// weak memory).
+fn eff(order: Ordering) -> Ordering {
+    #[cfg(feature = "model")]
+    if model::in_model() {
+        return Ordering::SeqCst;
+    }
+    order
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock that recovers from poisoning: `lock()` returns
+/// the guard directly, and a panic in a previous holder is absorbed
+/// rather than propagated to every future locker.
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "model")]
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex holding `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Mutex {
+            #[cfg(feature = "model")]
+            id: model::new_object_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value (recovering
+    /// from poisoning).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Never panics
+    /// on poisoning. Inside a model run this is a scheduling point and
+    /// the acquisition order is scheduler-controlled.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "model")]
+        {
+            if model::in_model() {
+                model::point(model::Op::Lock(self.id));
+                // The model granted us the lock, so the real acquire
+                // below cannot contend with another model thread.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                return MutexGuard {
+                    mutex: self,
+                    modeled: true,
+                    inner: Some(inner),
+                };
+            }
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            MutexGuard {
+                mutex: self,
+                modeled: false,
+                inner: Some(inner),
+            }
+        }
+        #[cfg(not(feature = "model"))]
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases on drop.
+#[cfg(not(feature = "model"))]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases on drop. Under the
+/// model scheduler the release is itself a scheduling point.
+#[cfg(feature = "model")]
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    /// Whether the model scheduler granted this acquisition (and must be
+    /// told about the release).
+    modeled: bool,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        #[cfg(feature = "model")]
+        {
+            self.inner.as_deref().expect("mutex guard already released")
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            &self.inner
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        #[cfg(feature = "model")]
+        {
+            self.inner
+                .as_deref_mut()
+                .expect("mutex guard already released")
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            &mut self.inner
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(feature = "model")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before announcing the model release so
+        // the next grantee finds it free.
+        if self.inner.take().is_some() && self.modeled {
+            model::unlock_point(self.mutex.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// A condition variable paired with the facade [`Mutex`]. Waits never
+/// report poisoning; under the model scheduler, waits park the thread
+/// until a modeled notification arrives (spurious wakeups are not
+/// modeled — callers must use recheck loops regardless).
+pub struct Condvar {
+    #[cfg(feature = "model")]
+    id: u64,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar {
+            #[cfg(feature = "model")]
+            id: model::new_object_id(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and waits for a notification, then
+    /// re-acquires the lock and returns the guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(feature = "model")]
+        {
+            let mut guard = guard;
+            let real = guard.inner.take().expect("mutex guard already released");
+            if guard.modeled && model::in_model() {
+                // The model performs release-and-park atomically; mark
+                // the guard unmodeled so an abort unwind does not
+                // double-release at the model level.
+                guard.modeled = false;
+                drop(real);
+                model::point(model::Op::CvWait {
+                    cv: self.id,
+                    mutex: guard.mutex.id,
+                });
+                let reacquired = guard
+                    .mutex
+                    .inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.inner = Some(reacquired);
+                guard.modeled = true;
+                guard
+            } else {
+                let real = self
+                    .inner
+                    .wait(real)
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.inner = Some(real);
+                guard
+            }
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            let MutexGuard { inner } = guard;
+            MutexGuard {
+                inner: self
+                    .inner
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+
+    /// Wakes one waiter (the lowest-numbered thread under the model, for
+    /// determinism).
+    pub fn notify_one(&self) {
+        #[cfg(feature = "model")]
+        if model::in_model() {
+            model::point(model::Op::Notify {
+                cv: self.id,
+                all: false,
+            });
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every current waiter.
+    pub fn notify_all(&self) {
+        #[cfg(feature = "model")]
+        if model::in_model() {
+            model::point(model::Op::Notify {
+                cv: self.id,
+                all: true,
+            });
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! facade_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $value:ty) => {
+        $(#[$meta])*
+        pub struct $name {
+            #[cfg(feature = "model")]
+            id: u64,
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic initialized to `value`.
+            #[must_use]
+            pub fn new(value: $value) -> Self {
+                $name {
+                    #[cfg(feature = "model")]
+                    id: model::new_object_id(),
+                    inner: <$std>::new(value),
+                }
+            }
+
+            fn touch(&self, write: bool) {
+                #[cfg(feature = "model")]
+                model::atomic_point(self.id, write);
+                let _ = write;
+            }
+
+            /// Loads the current value.
+            pub fn load(&self, order: Ordering) -> $value {
+                self.touch(false);
+                self.inner.load(eff(order))
+            }
+
+            /// Stores `value`.
+            pub fn store(&self, value: $value, order: Ordering) {
+                self.touch(true);
+                self.inner.store(value, eff(order));
+            }
+
+            /// Swaps in `value`, returning the previous value.
+            pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                self.touch(true);
+                self.inner.swap(value, eff(order))
+            }
+
+            /// Compare-and-exchange; `Ok(previous)` on success,
+            /// `Err(actual)` on mismatch.
+            pub fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$value, $value> {
+                self.touch(true);
+                self.inner
+                    .compare_exchange(current, new, eff(success), eff(failure))
+            }
+
+            /// Retrying read-modify-write via a closure; `Ok(previous)`
+            /// once the closure's value is installed, `Err(previous)` if
+            /// the closure returns `None`.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$value, $value>
+            where
+                F: FnMut($value) -> Option<$value>,
+            {
+                self.touch(true);
+                self.inner.fetch_update(eff(set_order), eff(fetch_order), f)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$value>::default())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+    };
+}
+
+macro_rules! facade_atomic_int {
+    ($name:ident, $value:ty) => {
+        impl $name {
+            /// Adds `n`, wrapping; returns the previous value.
+            pub fn fetch_add(&self, n: $value, order: Ordering) -> $value {
+                self.touch(true);
+                self.inner.fetch_add(n, eff(order))
+            }
+
+            /// Subtracts `n`, wrapping; returns the previous value.
+            pub fn fetch_sub(&self, n: $value, order: Ordering) -> $value {
+                self.touch(true);
+                self.inner.fetch_sub(n, eff(order))
+            }
+
+            /// Stores the minimum of the current value and `n`; returns
+            /// the previous value.
+            pub fn fetch_min(&self, n: $value, order: Ordering) -> $value {
+                self.touch(true);
+                self.inner.fetch_min(n, eff(order))
+            }
+
+            /// Stores the maximum of the current value and `n`; returns
+            /// the previous value.
+            pub fn fetch_max(&self, n: $value, order: Ordering) -> $value {
+                self.touch(true);
+                self.inner.fetch_max(n, eff(order))
+            }
+        }
+    };
+}
+
+facade_atomic!(
+    /// Facade [`std::sync::atomic::AtomicBool`]; a scheduling point
+    /// under the model.
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+facade_atomic!(
+    /// Facade [`std::sync::atomic::AtomicU64`]; a scheduling point under
+    /// the model.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+facade_atomic!(
+    /// Facade [`std::sync::atomic::AtomicUsize`]; a scheduling point
+    /// under the model.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+facade_atomic_int!(AtomicU64, u64);
+facade_atomic_int!(AtomicUsize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(0_u32));
+        let m2 = Arc::clone(&m);
+        let result = std::panic::catch_unwind(move || {
+            let _g = m2.lock();
+            panic!("holder dies");
+        });
+        assert!(result.is_err());
+        // A poisoning std mutex would panic here; the facade recovers.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wait_round_trips_the_guard() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let setter = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        drop(ready);
+        setter.join().unwrap();
+    }
+
+    #[test]
+    fn atomics_expose_the_std_surface() {
+        let n = AtomicU64::new(5);
+        assert_eq!(n.fetch_add(3, Ordering::SeqCst), 5);
+        assert_eq!(n.fetch_min(2, Ordering::SeqCst), 8);
+        assert_eq!(n.swap(9, Ordering::SeqCst), 2);
+        assert_eq!(
+            n.compare_exchange(9, 1, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(9)
+        );
+        assert_eq!(
+            n.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v + 1)),
+            Ok(1)
+        );
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+        let b = AtomicBool::default();
+        assert!(!b.swap(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,324 @@
+//! Drop-in facade over `std::thread`.
+//!
+//! Mirrors the slice of `std::thread` the workspace uses — [`spawn`],
+//! [`spawn_named`] (replacing `Builder::new().name(..).spawn(..)`),
+//! [`scope`], [`yield_now`], [`sleep`] — and registers every spawned
+//! thread with the deterministic scheduler when a model run is active.
+//! Under the model, `sleep` is a plain scheduling point (yield): model
+//! executions have no wall clock, so durations are meaningless there.
+//!
+//! Scoped threads spawned through the facade [`Scope`] are joined at
+//! model level *before* `std::thread::scope`'s implicit join, so the
+//! scheduler always knows who is waiting on whom and a blocked scope
+//! shows up as a modeled deadlock instead of a hung test.
+
+use std::time::Duration;
+
+#[cfg(feature = "model")]
+use crate::model;
+#[cfg(feature = "model")]
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Handle for joining a thread spawned via [`spawn`] / [`spawn_named`].
+pub struct JoinHandle<T> {
+    #[cfg(not(feature = "model"))]
+    inner: std::thread::JoinHandle<T>,
+    #[cfg(feature = "model")]
+    inner: std::thread::JoinHandle<Option<T>>,
+    #[cfg(feature = "model")]
+    target: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model run the join is a scheduling point, enabled only once the
+    /// target thread has finished.
+    pub fn join(self) -> std::thread::Result<T> {
+        #[cfg(feature = "model")]
+        {
+            if let Some(tid) = self.target {
+                if model::in_model() {
+                    model::point(model::Op::Join(tid));
+                }
+            }
+            match self.inner.join() {
+                Ok(Some(value)) => Ok(value),
+                // The child was torn down by an aborted model run;
+                // unwind the joiner the same way.
+                Ok(None) => model::abort_now(),
+                Err(e) => Err(e),
+            }
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            self.inner.join()
+        }
+    }
+
+    /// Whether the thread has finished running.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle")
+    }
+}
+
+/// Spawns a thread, registering it with the model scheduler when a
+/// model run is active on the calling thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(feature = "model")]
+    {
+        if model::in_model() {
+            let (exec, tid) = model::register_child();
+            let inner = std::thread::spawn(move || model::run_child(exec, tid, f));
+            return JoinHandle {
+                inner,
+                target: Some(tid),
+            };
+        }
+        JoinHandle {
+            inner: std::thread::spawn(move || Some(f())),
+            target: None,
+        }
+    }
+    #[cfg(not(feature = "model"))]
+    JoinHandle {
+        inner: std::thread::spawn(f),
+    }
+}
+
+/// Spawns a named thread (the facade's replacement for
+/// `std::thread::Builder::new().name(..).spawn(..)`).
+pub fn spawn_named<F, T>(name: impl Into<String>, f: F) -> std::io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let builder = std::thread::Builder::new().name(name.into());
+    #[cfg(feature = "model")]
+    {
+        if model::in_model() {
+            let (exec, tid) = model::register_child();
+            let exec_rollback = exec.clone();
+            return match builder.spawn(move || model::run_child(exec, tid, f)) {
+                Ok(inner) => Ok(JoinHandle {
+                    inner,
+                    target: Some(tid),
+                }),
+                Err(e) => {
+                    model::unregister_child(&exec_rollback, tid);
+                    Err(e)
+                }
+            };
+        }
+        builder.spawn(move || Some(f())).map(|inner| JoinHandle {
+            inner,
+            target: None,
+        })
+    }
+    #[cfg(not(feature = "model"))]
+    builder.spawn(f).map(|inner| JoinHandle { inner })
+}
+
+/// Yields the processor; a pure scheduling point under the model.
+pub fn yield_now() {
+    #[cfg(feature = "model")]
+    if model::in_model() {
+        model::point(model::Op::Yield);
+        return;
+    }
+    std::thread::yield_now();
+}
+
+/// Sleeps for `duration`; under the model this is a scheduling point
+/// with no time semantics (model runs have no clock).
+pub fn sleep(duration: Duration) {
+    #[cfg(feature = "model")]
+    if model::in_model() {
+        model::point(model::Op::Yield);
+        return;
+    }
+    std::thread::sleep(duration);
+}
+
+/// Facade scope: like [`std::thread::scope`], with model registration
+/// of every spawned thread.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|inner| {
+        let wrapper = Scope {
+            inner,
+            #[cfg(feature = "model")]
+            pending: Arc::new(Mutex::new(Vec::new())),
+        };
+        let out = f(&wrapper);
+        #[cfg(feature = "model")]
+        wrapper.join_pending();
+        out
+    })
+}
+
+/// Scope handle passed to the closure of [`scope`].
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    /// Model thread ids spawned in this scope and not yet joined
+    /// explicitly; joined at model level before the scope exits.
+    #[cfg(feature = "model")]
+    pending: Arc<Mutex<Vec<usize>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; see [`std::thread::Scope::spawn`].
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        #[cfg(feature = "model")]
+        {
+            if model::in_model() {
+                let (exec, tid) = model::register_child();
+                let inner = self.inner.spawn(move || model::run_child(exec, tid, f));
+                self.pending
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(tid);
+                return ScopedJoinHandle {
+                    inner,
+                    target: Some(tid),
+                    pending: Some(Arc::clone(&self.pending)),
+                };
+            }
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || Some(f())),
+                target: None,
+                pending: None,
+            }
+        }
+        #[cfg(not(feature = "model"))]
+        ScopedJoinHandle {
+            inner: self.inner.spawn(f),
+        }
+    }
+
+    /// Model-joins every still-pending scoped thread so the implicit
+    /// std join at scope exit cannot block outside the scheduler.
+    #[cfg(feature = "model")]
+    fn join_pending(&self) {
+        if !model::in_model() {
+            return;
+        }
+        let tids: Vec<usize> = self
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for tid in tids {
+            model::point(model::Op::Join(tid));
+        }
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Scope")
+    }
+}
+
+/// Handle for joining a scoped thread spawned via [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    #[cfg(not(feature = "model"))]
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    #[cfg(feature = "model")]
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    #[cfg(feature = "model")]
+    target: Option<usize>,
+    #[cfg(feature = "model")]
+    pending: Option<Arc<Mutex<Vec<usize>>>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the scoped thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        #[cfg(feature = "model")]
+        {
+            if let Some(tid) = self.target {
+                if model::in_model() {
+                    if let Some(pending) = &self.pending {
+                        pending
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .retain(|&t| t != tid);
+                    }
+                    model::point(model::Op::Join(tid));
+                }
+            }
+            match self.inner.join() {
+                Ok(Some(value)) => Ok(value),
+                Ok(None) => model::abort_now(),
+                Err(e) => Err(e),
+            }
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            self.inner.join()
+        }
+    }
+
+    /// Whether the scoped thread has finished running.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+impl<T> std::fmt::Debug for ScopedJoinHandle<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ScopedJoinHandle")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_join_round_trip() {
+        let h = spawn(|| 21 * 2);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn spawn_named_names_the_thread() {
+        let h = spawn_named("race-test-worker", || {
+            std::thread::current().name().map(str::to_owned)
+        })
+        .unwrap();
+        assert_eq!(h.join().unwrap().as_deref(), Some("race-test-worker"));
+    }
+
+    #[test]
+    fn scoped_spawn_borrows_locals() {
+        let mut values = vec![1_u64, 2, 3];
+        let total = scope(|s| {
+            let h = s.spawn(|| values.iter().sum::<u64>());
+            h.join().unwrap()
+        });
+        assert_eq!(total, 6);
+        values.push(4);
+        yield_now();
+        sleep(Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,102 @@
+//! Replayable schedule traces.
+//!
+//! A trace is the complete record of one explored schedule: the thread id
+//! chosen at every scheduling decision, in order. Feeding the same trace
+//! back through `crate::model::replay` (with the same test body)
+//! re-executes exactly the same interleaving, so a counterexample found
+//! once reproduces forever — the trace is to a schedule what the
+//! optimizer's certificate is to a rewrite.
+//!
+//! The on-disk format (written to `SCANFT_RACE_TRACE_DIR` on failure) is
+//! line-oriented: `#`-prefixed comment lines carrying the test name and
+//! failure message, then one line of whitespace-separated thread ids.
+//! [`ScheduleTrace::parse`] ignores comments, so a dumped file round-trips
+//! through parse unchanged.
+
+use std::fmt;
+
+/// The sequence of scheduling choices (thread ids) of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleTrace {
+    /// Thread id chosen at each scheduling decision, in order. Thread 0
+    /// is always the closure passed to `check` itself; spawned threads
+    /// are numbered in spawn order.
+    pub choices: Vec<usize>,
+}
+
+impl ScheduleTrace {
+    /// Wraps an explicit choice sequence.
+    #[must_use]
+    pub fn new(choices: Vec<usize>) -> Self {
+        ScheduleTrace { choices }
+    }
+
+    /// Parses the textual format: whitespace-separated thread ids, with
+    /// `#`-prefixed lines ignored. Returns `None` on any non-numeric
+    /// token so a corrupted artifact fails loudly rather than replaying
+    /// a different schedule.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut choices = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            for token in line.split_whitespace() {
+                choices.push(token.parse().ok()?);
+            }
+        }
+        Some(ScheduleTrace { choices })
+    }
+
+    /// Number of scheduling decisions recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether the trace is empty (a run with no scheduling decisions).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+}
+
+impl fmt::Display for ScheduleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.choices.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_then_parse_round_trips() {
+        let t = ScheduleTrace::new(vec![0, 1, 0, 2, 1]);
+        let parsed = ScheduleTrace::parse(&t.to_string()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let text = "# scanft-race counterexample: demo\n# deadlock\n\n0 1 1\n0\n";
+        let parsed = ScheduleTrace::parse(text).unwrap();
+        assert_eq!(parsed.choices, vec![0, 1, 1, 0]);
+        assert_eq!(parsed.len(), 4);
+        assert!(!parsed.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ScheduleTrace::parse("0 one 2").is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Scheduler sanity: the model checker must find classic interleaving
+//! bugs, prove small clean programs deadlock-free across their whole
+//! schedule space, prune equivalent interleavings, and replay recorded
+//! counterexamples deterministically.
+//!
+//! Run with `cargo test -p scanft-race --features model`.
+#![cfg(feature = "model")]
+#![allow(clippy::unwrap_used)]
+
+use scanft_race::model::{self, ModelConfig};
+use scanft_race::sync::{Arc, AtomicU64, Condvar, Mutex, Ordering};
+use scanft_race::thread;
+
+fn cfg() -> ModelConfig {
+    ModelConfig::default()
+}
+
+#[test]
+fn clean_counter_explores_multiple_schedules_without_failure() {
+    let report = model::check_named("clean-counter", &cfg(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let a = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+        };
+        let b = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules >= 2,
+        "expected >= 2 schedules, got {}",
+        report.schedules
+    );
+    assert!(report.complete, "small space should be fully explored");
+}
+
+#[test]
+fn mutexed_increments_never_lose_updates() {
+    let report = model::check_named("mutexed-increment", &cfg(), || {
+        let n = Arc::new(Mutex::new(0_u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || *n.lock() += 1)
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock(), 2);
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+    assert!(report.complete);
+}
+
+#[test]
+fn finds_lost_update_through_unlocked_gap_and_replays_it() {
+    // Read under one lock, write under another: the classic lost update.
+    let body = || {
+        let n = Arc::new(Mutex::new(0_u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    let seen = *n.lock();
+                    *n.lock() = seen + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock(), 2, "lost an update");
+    };
+    let report = model::check_named("lost-update", &cfg(), body);
+    let failure = report.failure.expect("DFS must find the lost update");
+    assert!(!failure.deadlock);
+    assert!(failure.message.contains("lost an update"), "{failure}");
+
+    // The recorded schedule reproduces the same failure, twice.
+    for _ in 0..2 {
+        let replayed = model::replay(&failure.trace, body)
+            .failure
+            .expect("replay must reproduce the failure");
+        assert_eq!(replayed.message, failure.message);
+        assert_eq!(replayed.trace, failure.trace);
+    }
+}
+
+#[test]
+fn detects_lock_order_inversion_as_deadlock() {
+    let body = || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+        };
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        t.join().unwrap();
+    };
+    let report = model::check_named("lock-order", &cfg(), body);
+    let failure = report.failure.expect("must find the AB/BA deadlock");
+    assert!(failure.deadlock, "{failure}");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+
+    let replayed = model::replay(&failure.trace, body)
+        .failure
+        .expect("deadlock replays");
+    assert!(replayed.deadlock);
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn condvar_handoff_is_clean_across_all_schedules() {
+    let report = model::check_named("condvar-handoff", &cfg(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let setter = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_one();
+            })
+        };
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        drop(ready);
+        setter.join().unwrap();
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+    assert!(report.complete);
+}
+
+#[test]
+fn seeded_missed_wakeup_bug_is_found_and_replays_deterministically() {
+    // Deliberately reintroduced missed-wakeup: the waiter checks the
+    // flag, *releases the lock*, then re-locks and waits. If the setter
+    // slips its flag-write and notify into that window, the
+    // notification is lost and the waiter sleeps forever. This is the
+    // bug class `JobRegistry::claim`'s recheck loop exists to prevent.
+    let body = || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let setter = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_one();
+            })
+        };
+        let (m, cv) = &*pair;
+        let ready = m.lock();
+        if !*ready {
+            drop(ready); // BUG: window between check and wait
+            let relocked = m.lock();
+            let _guard = cv.wait(relocked);
+        } else {
+            drop(ready);
+        }
+        setter.join().unwrap();
+    };
+    let report = model::check_named("seeded-missed-wakeup", &cfg(), body);
+    let failure = report.failure.expect("must find the missed wakeup");
+    assert!(
+        failure.deadlock,
+        "missed wakeup appears as deadlock: {failure}"
+    );
+    assert!(
+        failure.message.contains("condvar"),
+        "diagnosis names the condvar wait: {failure}"
+    );
+
+    for _ in 0..2 {
+        let replayed = model::replay(&failure.trace, body)
+            .failure
+            .expect("replay must reproduce the missed wakeup");
+        assert!(replayed.deadlock);
+        assert_eq!(replayed.trace, failure.trace);
+        assert_eq!(replayed.message, failure.message);
+    }
+}
+
+#[test]
+fn sleep_sets_prune_independent_interleavings() {
+    let report = model::check_named("independent-mutexes", &cfg(), || {
+        let a = Arc::new(Mutex::new(0_u64));
+        let b = Arc::new(Mutex::new(0_u64));
+        let ta = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || *a.lock() += 1)
+        };
+        let tb = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || *b.lock() += 1)
+        };
+        ta.join().unwrap();
+        tb.join().unwrap();
+    });
+    report.assert_ok();
+    assert!(report.complete);
+    assert!(
+        report.pruned > 0,
+        "independent lock ops should trigger sleep-set pruning \
+         (schedules={}, pruned={})",
+        report.schedules,
+        report.pruned
+    );
+}
+
+#[test]
+fn exploration_is_deterministic_across_invocations() {
+    let run = || {
+        model::check_named("determinism-probe", &cfg(), || {
+            let n = Arc::new(Mutex::new(0_u64));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || *n.lock() += 1)
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.pruned, b.pruned);
+    assert_eq!(a.complete, b.complete);
+    assert!(a.failure.is_none() && b.failure.is_none());
+}
+
+#[test]
+fn scoped_threads_are_modeled() {
+    let report = model::check_named("scoped-threads", &cfg(), || {
+        let n = Mutex::new(0_u64);
+        thread::scope(|s| {
+            s.spawn(|| *n.lock() += 1);
+            s.spawn(|| *n.lock() += 1);
+        });
+        assert_eq!(*n.lock(), 2);
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn counterexample_trace_is_dumped_and_parseable() {
+    let dir = std::env::temp_dir().join(format!("race-trace-{}", std::process::id()));
+    std::env::set_var("SCANFT_RACE_TRACE_DIR", &dir);
+    let report = model::check_named("dumped-trace", &cfg(), || {
+        let n = Arc::new(Mutex::new(0_u64));
+        let t = {
+            let n = Arc::clone(&n);
+            thread::spawn(move || *n.lock() += 1)
+        };
+        let seen = *n.lock();
+        t.join().unwrap();
+        assert_eq!(seen, 1, "raced ahead of the increment");
+    });
+    std::env::remove_var("SCANFT_RACE_TRACE_DIR");
+    let failure = report.failure.expect("the race is real");
+    let text = std::fs::read_to_string(dir.join("dumped-trace.trace")).unwrap();
+    let parsed = scanft_race::trace::ScheduleTrace::parse(&text).unwrap();
+    assert_eq!(parsed, failure.trace);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,8 +17,8 @@
 //! the cached analysis only when the server runs with `--optimize`, and is
 //! then shared by every campaign on the same content key.
 
+use scanft_race::sync::{Arc, Mutex, OnceLock};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
 
 use scanft_analyze::Analysis;
 use scanft_fsm::StateTable;
@@ -133,7 +133,7 @@ impl ArtifactCache {
         obs.counter("server.cache.misses").inc();
         let _span = obs.timer("server.cache.build").start();
         let built = Arc::new(Artifacts::build(table.clone()));
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock();
         let entry = inner
             .entries
             .entry(key)
@@ -153,7 +153,7 @@ impl ArtifactCache {
     /// Looks up `key` and refreshes its recency; `None` on a miss (no
     /// counters touched — this is the internal probe).
     fn touch(&self, key: ContentKey) -> Option<Arc<Artifacts>> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock();
         let found = inner.entries.get(&key).cloned()?;
         inner.order.retain(|&k| k != key);
         inner.order.push(key);
@@ -163,7 +163,7 @@ impl ArtifactCache {
     /// Number of circuits currently cached.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").entries.len()
+        self.inner.lock().entries.len()
     }
 
     /// Whether the cache is empty.

@@ -247,7 +247,7 @@ impl Client {
                     view.status
                 )));
             }
-            std::thread::sleep(Duration::from_millis(20));
+            scanft_race::thread::sleep(Duration::from_millis(20));
         }
     }
 

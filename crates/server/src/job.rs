@@ -15,8 +15,9 @@
 //! failures are 429s and never consume a job id.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+use scanft_race::sync::{Arc, Condvar, Mutex};
 
 use scanft_core::TestSet;
 use scanft_fsm::StateTable;
@@ -185,23 +186,19 @@ impl Job {
     /// Current status (cloned snapshot).
     #[must_use]
     pub fn status(&self) -> JobStatus {
-        self.state
-            .lock()
-            .expect("job state poisoned")
-            .status
-            .clone()
+        self.state.lock().status.clone()
     }
 
     /// Whether the artifact cache served this job (`None` until it ran).
     #[must_use]
     pub fn cache_hit(&self) -> Option<bool> {
-        self.state.lock().expect("job state poisoned").cache_hit
+        self.state.lock().cache_hit
     }
 
     /// Moves the job to a new status; terminal states are sticky (a cancel
     /// racing a completion keeps whichever landed first).
     pub fn set_status(&self, status: JobStatus) {
-        let mut state = self.state.lock().expect("job state poisoned");
+        let mut state = self.state.lock();
         if !state.status.is_terminal() {
             state.status = status;
         }
@@ -209,7 +206,7 @@ impl Job {
 
     /// Records whether the artifact cache hit for this job.
     pub fn set_cache_hit(&self, hit: bool) {
-        self.state.lock().expect("job state poisoned").cache_hit = Some(hit);
+        self.state.lock().cache_hit = Some(hit);
     }
 
     /// Renders the status/result JSON object served by `GET /jobs/:id`.
@@ -304,7 +301,7 @@ impl JobRegistry {
     /// Number of jobs a tenant currently has queued or running.
     #[must_use]
     pub fn active_for(&self, tenant: &str) -> usize {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock();
         inner
             .jobs
             .values()
@@ -317,7 +314,7 @@ impl JobRegistry {
     /// Admits a job: assigns the next id, registers it, and enqueues it.
     /// The caller has already enforced quotas and parsed the submission.
     pub fn admit(&self, build: impl FnOnce(String) -> Job) -> Arc<Job> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.next_id += 1;
         let id = format!("job-{}", inner.next_id);
         let job = Arc::new(build(id.clone()));
@@ -332,19 +329,19 @@ impl JobRegistry {
     /// Looks up a job by id.
     #[must_use]
     pub fn get(&self, id: &str) -> Option<Arc<Job>> {
-        self.inner
-            .lock()
-            .expect("registry poisoned")
-            .jobs
-            .get(id)
-            .cloned()
+        self.inner.lock().jobs.get(id).cloned()
     }
 
     /// Blocks until a job is available (or shutdown), then claims it.
     /// Cancelled-while-queued jobs are marked `Cancelled` and skipped.
     /// Returns `None` on shutdown.
+    ///
+    /// The facade mutex never poisons, so a worker that panicked while
+    /// holding the registry lock (a quarantined campaign bug, say) cannot
+    /// wedge every later `claim` — the old `expect("registry poisoned")`
+    /// here turned one bad request into a dead worker pool.
     pub fn claim(&self) -> Option<Arc<Job>> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         loop {
             if inner.shutdown {
                 return None;
@@ -359,7 +356,7 @@ impl JobRegistry {
                 job.set_status(JobStatus::Running);
                 return Some(job);
             }
-            inner = self.wakeup.wait(inner).expect("registry poisoned");
+            inner = self.wakeup.wait(inner);
         }
     }
 
@@ -368,7 +365,7 @@ impl JobRegistry {
     /// resubmit them); running campaigns are not interrupted here — the
     /// server cancels them separately when shutting down.
     pub fn shutdown(&self) {
-        self.inner.lock().expect("registry poisoned").shutdown = true;
+        self.inner.lock().shutdown = true;
         self.wakeup.notify_all();
     }
 }
@@ -452,5 +449,26 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         registry.shutdown();
         assert!(waiter.join().unwrap().is_none());
+    }
+
+    /// Satellite regression for the old `expect("registry poisoned")`:
+    /// a panic inside `admit`'s build closure unwinds while the registry
+    /// lock is held. With the non-poisoning facade mutex the registry
+    /// stays usable; before the fix every later call died on poisoning.
+    #[test]
+    fn registry_survives_a_panicking_admit_closure() {
+        let registry = JobRegistry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.admit(|_| panic!("submission validation bug"));
+        }));
+        assert!(result.is_err(), "the panic propagates to the submitter");
+
+        // The registry is not wedged: admission and claim still work.
+        let admitted = registry.admit(|id| job(id, "t"));
+        assert_eq!(admitted.status(), JobStatus::Queued);
+        let claimed = registry.claim().unwrap();
+        assert_eq!(claimed.id, admitted.id);
+        registry.shutdown();
+        assert!(registry.claim().is_none());
     }
 }

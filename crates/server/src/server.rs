@@ -1,6 +1,7 @@
 //! The daemon: accept loop, campaign worker pool, and the route table.
 //!
-//! Threading model (all `std::thread`, no async):
+//! Threading model (all real threads via the `scanft-race` facade, no
+//! async):
 //!
 //! - one **accept thread** takes connections off the `TcpListener` and
 //!   spawns a short-lived **connection thread** per request (the server is
@@ -23,9 +24,10 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
+
+use scanft_race::sync::{Arc, AtomicBool, Ordering};
+use scanft_race::thread;
 
 use scanft_core::generate::{generate, GenConfig};
 use scanft_core::top_up::{top_up_scan_with, TopUpConfig};
@@ -105,8 +107,8 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     registry: Arc<JobRegistry>,
-    accept_handle: Option<std::thread::JoinHandle<()>>,
-    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    worker_handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -140,42 +142,37 @@ impl Server {
         for worker in 0..shared.config.workers.max(1) {
             let shared = Arc::clone(&shared);
             worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("scanft-job-worker-{worker}"))
-                    .spawn(move || {
-                        while let Some(job) = shared.registry.claim() {
-                            run_job(&shared, &job);
-                        }
-                    })
-                    .map_err(|e| ScanftError::Io {
-                        path: "job worker".to_owned(),
-                        source: e,
-                    })?,
+                thread::spawn_named(format!("scanft-job-worker-{worker}"), move || {
+                    while let Some(job) = shared.registry.claim() {
+                        run_job(&shared, &job);
+                    }
+                })
+                .map_err(|e| ScanftError::Io {
+                    path: "job worker".to_owned(),
+                    source: e,
+                })?,
             );
         }
 
         let accept_shared = Arc::clone(&shared);
         let accept_stop = Arc::clone(&stop);
-        let accept_handle = std::thread::Builder::new()
-            .name("scanft-accept".to_owned())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let shared = Arc::clone(&accept_shared);
-                    // Connection threads are detached: each one answers a
-                    // single request under the read timeout and exits.
-                    let _ = std::thread::Builder::new()
-                        .name("scanft-conn".to_owned())
-                        .spawn(move || handle_connection(&shared, stream));
+        let accept_handle = thread::spawn_named("scanft-accept", move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
                 }
-            })
-            .map_err(|e| ScanftError::Io {
-                path: "accept loop".to_owned(),
-                source: e,
-            })?;
+                let Ok(stream) = conn else { continue };
+                let shared = Arc::clone(&accept_shared);
+                // Connection threads are detached: each one answers a
+                // single request under the read timeout and exits.
+                let _ =
+                    thread::spawn_named("scanft-conn", move || handle_connection(&shared, stream));
+            }
+        })
+        .map_err(|e| ScanftError::Io {
+            path: "accept loop".to_owned(),
+            source: e,
+        })?;
 
         let registry = Arc::clone(&shared.registry);
         Ok(Server {
@@ -197,7 +194,10 @@ impl Server {
     /// Queued jobs are abandoned; running campaigns finish their current
     /// run (cancel them first for a fast stop).
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        // Release/Acquire pairing with the accept loop's stop check: the
+        // accept thread that sees the flag also sees the shutdown intent
+        // recorded before the throwaway connection below.
+        self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         self.registry.shutdown();
@@ -454,7 +454,7 @@ fn stream_events(job: &Job, stream: &mut TcpStream) {
         if terminal && lines.is_empty() {
             return; // drained after the campaign ended
         }
-        std::thread::sleep(Duration::from_millis(10));
+        thread::sleep(Duration::from_millis(10));
     }
 }
 

@@ -91,7 +91,21 @@ fn server_metrics_schema_and_values_are_pinned() {
             "counter" | "gauge" => {
                 counters.insert(name, field_u64(line, "value").unwrap());
             }
-            "timer" => timers.push((name, field_u64(line, "count").unwrap())),
+            "timer" => {
+                // `Timer::stats` snapshots every field under the writer
+                // lock, so an exported timer line can never tear: the
+                // decade buckets must sum to exactly `count`.
+                let count = field_u64(line, "count").unwrap();
+                let key = "\"buckets\":[";
+                let start = line.find(key).unwrap() + key.len();
+                let end = start + line[start..].find(']').unwrap();
+                let sum: u64 = line[start..end]
+                    .split(',')
+                    .map(|b| b.trim().parse::<u64>().unwrap())
+                    .sum();
+                assert_eq!(sum, count, "torn timer snapshot in {line}");
+                timers.push((name, count));
+            }
             other => panic!("unknown kind `{other}` in {line}"),
         }
     }

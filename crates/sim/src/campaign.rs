@@ -7,8 +7,12 @@
 //! for `lion`, Tables 6 and 7 in aggregate). Dropping a test drops one scan
 //! operation regardless of its length, so pruning short tests shrinks test
 //! application time most.
+//!
+//! race-lint: deterministic-replay — resumed campaigns must merge journal
+//! records into results identical to an uninterrupted run, so this module
+//! must not consult wall clocks or any other ambient nondeterminism.
 
-use std::sync::Arc;
+use scanft_race::sync::Arc;
 
 use scanft_harness::{
     run_units, Budget, FailurePlan, Journal, JournalHeader, JournalRecord, JournalWriter,
@@ -569,7 +573,8 @@ pub fn run_supervised(
     let pending: Vec<usize> = (0..num_units).filter(|&u| prior[u].is_none()).collect();
     let batches_run = obs.counter("sim.campaign.batches");
     let gate_evals = obs.counter("sim.kernel.gate_evals");
-    let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let journal_error: scanft_race::sync::Mutex<Option<String>> =
+        scanft_race::sync::Mutex::new(None);
     let append_record = |unit: usize, lanes: &[Option<usize>]| {
         if let Some(writer) = journal {
             let record = JournalRecord {
@@ -577,10 +582,7 @@ pub fn run_supervised(
                 lanes: lanes.iter().map(|d| d.map(|p| p as u64)).collect(),
             };
             if let Err(e) = writer.append(&record) {
-                journal_error
-                    .lock()
-                    .expect("journal error flag poisoned")
-                    .get_or_insert_with(|| e.to_string());
+                journal_error.lock().get_or_insert_with(|| e.to_string());
             }
         }
     };
@@ -730,10 +732,7 @@ pub fn run_supervised(
             (fresh, quarantined, remaining, outcome.stopped)
         }
     };
-    if let Some(message) = journal_error
-        .into_inner()
-        .expect("journal error flag poisoned")
-    {
+    if let Some(message) = journal_error.into_inner() {
         return Err(ScanftError::Journal {
             message: format!("writing journal record: {message}"),
         });

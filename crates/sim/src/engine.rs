@@ -42,7 +42,7 @@
 //! gate with clean fanins, no stem force and no branch force reproduces the
 //! fault-free output exactly — so skipping it cannot change any lane.
 
-use std::sync::Arc;
+use scanft_race::sync::Arc;
 
 use scanft_netlist::{FaultCone, GateArena, NetId, Netlist};
 

@@ -7,7 +7,7 @@
 //! the fault engine). Evaluation walks the netlist's flattened
 //! [`GateArena`], built once and shared by every evaluator of a campaign.
 
-use std::sync::Arc;
+use scanft_race::sync::Arc;
 
 use scanft_fsm::InputId;
 use scanft_netlist::{GateArena, GateKind, NetId, Netlist};
