@@ -23,8 +23,9 @@
 //!
 //! Failures exit with a per-class code from
 //! [`scanft_harness::ScanftError::exit_code`]: 2 usage, 3 FSM/KISS2,
-//! 4 I/O, 5 netlist, 6 synthesis, 7 test-file format, 8 journal. Exit 1 is
-//! reserved for "ran and reported a negative result" (`lint` deny
+//! 4 I/O, 5 netlist, 6 synthesis, 7 test-file format, 8 journal,
+//! 9 recovery (a `serve --state-dir` WAL that cannot be replayed). Exit 1
+//! is reserved for "ran and reported a negative result" (`lint` deny
 //! findings); 0 is success.
 
 use std::process::ExitCode;
@@ -107,18 +108,26 @@ const USAGE: &str = "usage:
                [--kernel narrow|wide] [--journal-dir DIR] [--cache N]
                [--max-active N] [--max-units N] [--body-limit BYTES]
                [--timeout SECS] [--deadline SECS] [--chaos-seed N]
+               [--state-dir DIR] [--queue-depth N] [--retry-after SECS]
   scanft submit <circuit> --server HOST:PORT [--tests FILE] [--tenant T]
-                [--atpg] [--wait [--timeout SECS]]
-  scanft status <job-id> --server HOST:PORT
-  scanft cancel <job-id> --server HOST:PORT
+                [--atpg] [--idempotency-key KEY] [--retries N]
+                [--wait [--timeout SECS]]
+  scanft status <job-id> --server HOST:PORT [--retries N]
+  scanft cancel <job-id> --server HOST:PORT [--retries N]
   scanft events <job-id> --server HOST:PORT
+  scanft drain --server HOST:PORT [--retries N]
 
 <circuit> is a benchmark name from `scanft list` or a path to a KISS2 file
 (`lint` also accepts BLIF netlist paths). `lint` exits 1 when any deny-level
-diagnostic fires. Any command also accepts --metrics[=FILE] (or
-SCANFT_METRICS=FILE, `-` for stdout) to export the instrumentation registry
-as JSON lines on exit. Errors exit with a per-class code: 2 usage, 3 fsm,
-4 io, 5 netlist, 6 synth, 7 test-format, 8 journal.";
+diagnostic fires. `serve --state-dir` makes the job queue crash-safe: every
+admission is WAL-logged before its 202, and a restarted server replays the
+WAL, re-queues unfinished jobs, and resumes interrupted campaigns from
+their journals. `drain` stops admission (503 + Retry-After) and lets the
+server finish in-flight jobs and exit. Any command also accepts
+--metrics[=FILE] (or SCANFT_METRICS=FILE, `-` for stdout) to export the
+instrumentation registry as JSON lines on exit. Errors exit with a
+per-class code: 2 usage, 3 fsm, 4 io, 5 netlist, 6 synth, 7 test-format,
+8 journal, 9 recovery.";
 
 fn run(args: &[String]) -> Result<ExitCode, ScanftError> {
     let Some(command) = args.first() else {
@@ -131,6 +140,7 @@ fn run(args: &[String]) -> Result<ExitCode, ScanftError> {
         "status" => return cmd_status(rest),
         "cancel" => return cmd_cancel(rest),
         "events" => return cmd_events(rest),
+        "drain" => return cmd_drain(rest),
         "serve" => cmd_serve(rest),
         "list" => cmd_list(),
         "show" => cmd_show(rest),
@@ -1018,21 +1028,44 @@ fn cmd_serve(rest: &[String]) -> Result<(), ScanftError> {
         config.chaos_seed = Some(seed as u64);
     }
     config.optimize = flag(rest, "--optimize");
+    if let Some(dir) = string_of(rest, "--state-dir")? {
+        config.state_dir = Some(dir);
+    }
+    if let Some(depth) = value_of(rest, "--queue-depth")? {
+        config.max_queue_depth = depth;
+    }
+    if let Some(secs) = value_of(rest, "--retry-after")? {
+        config.retry_after_secs = secs as u64;
+    }
     let deadline = value_of(rest, "--deadline")?;
 
     let journal_dir = config.journal_dir.clone();
+    let state_dir = config.state_dir.clone();
     let server = Server::start(config)?;
     println!("scanft serve: listening on {}", server.addr());
     println!("  journals: {journal_dir}");
+    if let Some(dir) = &state_dir {
+        let recovery = server.recovery();
+        println!(
+            "  state: {dir} (wal: {} records, {} torn; recovered: {} re-queued, {} terminal)",
+            recovery.wal_records, recovery.wal_torn, recovery.jobs_requeued, recovery.jobs_terminal
+        );
+    }
     match deadline {
         Some(secs) => {
             scanft_race::thread::sleep(std::time::Duration::from_secs(secs as u64));
             println!("scanft serve: deadline reached, shutting down");
             server.shutdown();
         }
-        None => loop {
-            scanft_race::thread::sleep(std::time::Duration::from_secs(3600));
-        },
+        None => {
+            // Blocks until `POST /admin/drain` (or shutdown) is requested,
+            // then finishes in-flight jobs and exits 0 — the graceful-drain
+            // path a supervisor's SIGTERM handler would drive.
+            server.wait_drain_requested();
+            println!("scanft serve: drain requested, finishing in-flight jobs");
+            server.drain_and_shutdown();
+            println!("scanft serve: drained, exiting");
+        }
     }
     Ok(())
 }
@@ -1046,7 +1079,14 @@ fn server_client(rest: &[String]) -> Result<scanft_server::Client, ScanftError> 
         .ok()
         .and_then(|mut it| it.next())
         .ok_or_else(|| ScanftError::usage(format!("cannot resolve server address `{addr}`")))?;
-    Ok(scanft_server::Client::new(resolved))
+    let mut client = scanft_server::Client::new(resolved);
+    if let Some(retries) = value_of(rest, "--retries")? {
+        client = client.with_retry(scanft_server::RetryPolicy {
+            max_retries: u32::try_from(retries).unwrap_or(u32::MAX),
+            ..scanft_server::RetryPolicy::default()
+        });
+    }
+    Ok(client)
 }
 
 /// Maps a client failure onto the CLI's exit discipline: transport and
@@ -1112,10 +1152,12 @@ fn cmd_submit(rest: &[String]) -> Result<ExitCode, ScanftError> {
         scanft_server::JobKind::Simulate
     };
     let tenant = string_of(rest, "--tenant")?.unwrap_or_else(|| "default".to_owned());
-    let submitted = match client.submit(&body, table.name(), &tenant, kind) {
-        Ok(view) => view,
-        Err(err) => return api_exit(err),
-    };
+    let idem_key = string_of(rest, "--idempotency-key")?;
+    let submitted =
+        match client.submit_with_key(&body, table.name(), &tenant, kind, idem_key.as_deref()) {
+            Ok(view) => view,
+            Err(err) => return api_exit(err),
+        };
     if flag(rest, "--wait") {
         let deadline =
             std::time::Duration::from_secs(value_of(rest, "--timeout")?.unwrap_or(600) as u64);
@@ -1141,7 +1183,12 @@ fn job_id_of(rest: &[String]) -> Result<String, ScanftError> {
         if arg.starts_with("--") {
             skip_value = matches!(
                 arg.as_str(),
-                "--server" | "--timeout" | "--tenant" | "--tests"
+                "--server"
+                    | "--timeout"
+                    | "--tenant"
+                    | "--tests"
+                    | "--retries"
+                    | "--idempotency-key"
             );
             continue;
         }
@@ -1167,6 +1214,17 @@ fn cmd_cancel(rest: &[String]) -> Result<ExitCode, ScanftError> {
     match client.cancel(&id) {
         Ok(()) => {
             println!("{id}: cancellation requested");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(err) => api_exit(err),
+    }
+}
+
+fn cmd_drain(rest: &[String]) -> Result<ExitCode, ScanftError> {
+    let client = server_client(rest)?;
+    match client.drain() {
+        Ok((queued, running)) => {
+            println!("drain requested: {queued} queued, {running} running job(s) to finish");
             Ok(ExitCode::SUCCESS)
         }
         Err(err) => api_exit(err),

@@ -21,6 +21,24 @@ use scanft_fsm::rng::SplitMix64;
 const DOMAIN_PANIC: u64 = 0x70616e69_63000000; // "panic"
 const DOMAIN_DELAY: u64 = 0x64656c61_79000000; // "delay"
 const DOMAIN_TRUNC: u64 = 0x7472756e_63000000; // "trunc"
+const DOMAIN_CRASH: u64 = 0x63726173_68000000; // "crash"
+
+/// Where, relative to a record's flush, an injected process death strikes.
+///
+/// A journal/WAL writer consulting its [`FailurePlan`] simulates the death:
+/// `BeforeFlush` leaves a torn prefix of the record (the bytes the OS
+/// happened to have when the process died), `AfterFlush` leaves the record
+/// whole — and in both cases the writer goes permanently dead, dropping
+/// every later write, exactly as a killed process would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// The process dies before the record's flush lands: the record
+    /// reaches the file torn (a strict prefix).
+    BeforeFlush,
+    /// The process dies just after the flush: the record is durable, but
+    /// nothing after it ever will be.
+    AfterFlush,
+}
 
 /// Payload of a chaos-injected panic: the work unit it was injected into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +66,7 @@ pub struct FailurePlan {
     delay_rate: (u64, u64),
     max_delay_micros: u64,
     truncate_rate: (u64, u64),
+    crash_rate: (u64, u64),
 }
 
 impl FailurePlan {
@@ -61,6 +80,7 @@ impl FailurePlan {
             delay_rate: (1, 4),
             max_delay_micros: 500,
             truncate_rate: (1, 4),
+            crash_rate: (0, 1),
         }
     }
 
@@ -99,6 +119,21 @@ impl FailurePlan {
     pub fn with_truncate_rate(mut self, num: u64, den: u64) -> Self {
         assert!(den > 0, "denominator must be positive");
         self.truncate_rate = (num, den);
+        self
+    }
+
+    /// Overrides the process-crash probability to `num / den` per record.
+    ///
+    /// Crashes default to off (`0 / 1`): unlike torn writes, an injected
+    /// crash kills the writer permanently, so plans must opt in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn with_crash_rate(mut self, num: u64, den: u64) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        self.crash_rate = (num, den);
         self
     }
 
@@ -148,6 +183,27 @@ impl FailurePlan {
         let mut rng = self.rng(DOMAIN_TRUNC, record_index);
         rng.chance(num, den)
             .then(|| rng.next_below(len as u64) as usize)
+    }
+
+    /// Whether the process should "die" while writing the
+    /// `record_index`-th record, and if so at which [`CrashPoint`].
+    ///
+    /// The point is drawn from the same seeded stream as the decision, so a
+    /// given `(seed, index)` always crashes the same way.
+    #[must_use]
+    pub fn crash_point(&self, record_index: u64) -> Option<CrashPoint> {
+        let (num, den) = self.crash_rate;
+        if num == 0 {
+            return None;
+        }
+        let mut rng = self.rng(DOMAIN_CRASH, record_index);
+        rng.chance(num, den).then(|| {
+            if rng.chance(1, 2) {
+                CrashPoint::BeforeFlush
+            } else {
+                CrashPoint::AfterFlush
+            }
+        })
     }
 }
 
@@ -229,6 +285,24 @@ mod tests {
             plan.truncated_write(0, 0).is_none(),
             "empty record untouched"
         );
+    }
+
+    #[test]
+    fn crashes_default_off_and_are_deterministic_when_enabled() {
+        let quiet = FailurePlan::new(3);
+        assert!((0..200).all(|i| quiet.crash_point(i).is_none()));
+
+        let noisy = FailurePlan::new(3).with_crash_rate(1, 4);
+        let again = FailurePlan::new(3).with_crash_rate(1, 4);
+        let fired = (0..400).filter(|&i| noisy.crash_point(i).is_some()).count();
+        assert!(fired > 40 && fired < 250, "{fired} crashes");
+        for i in 0..400 {
+            assert_eq!(noisy.crash_point(i), again.crash_point(i));
+        }
+        // Both points appear somewhere in the stream.
+        let points: Vec<_> = (0..400).filter_map(|i| noisy.crash_point(i)).collect();
+        assert!(points.contains(&CrashPoint::BeforeFlush));
+        assert!(points.contains(&CrashPoint::AfterFlush));
     }
 
     #[test]

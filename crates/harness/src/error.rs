@@ -60,6 +60,15 @@ pub enum ScanftError {
         /// What went wrong.
         message: String,
     },
+    /// A server crash-recovery failure: the durable state directory exists
+    /// but its write-ahead log cannot be replayed into a consistent
+    /// registry (e.g. an admitted job's recorded circuit no longer
+    /// parses). Starting fresh would silently drop accepted work, so the
+    /// server refuses to start instead.
+    Recovery {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl ScanftError {
@@ -82,6 +91,7 @@ impl ScanftError {
             ScanftError::Synth { .. } => 6,
             ScanftError::TestFormat { .. } => 7,
             ScanftError::Journal { .. } => 8,
+            ScanftError::Recovery { .. } => 9,
         }
     }
 
@@ -97,6 +107,7 @@ impl ScanftError {
             ScanftError::Synth { .. } => "synth",
             ScanftError::TestFormat { .. } => "test-format",
             ScanftError::Journal { .. } => "journal",
+            ScanftError::Recovery { .. } => "recovery",
         }
     }
 }
@@ -111,6 +122,7 @@ impl fmt::Display for ScanftError {
             ScanftError::Synth { message } => write!(f, "synthesis failed: {message}"),
             ScanftError::TestFormat { message } => write!(f, "{message}"),
             ScanftError::Journal { message } => write!(f, "journal: {message}"),
+            ScanftError::Recovery { message } => write!(f, "recovery: {message}"),
         }
     }
 }
@@ -163,6 +175,9 @@ mod tests {
             },
             ScanftError::Journal {
                 message: "no header".into(),
+            },
+            ScanftError::Recovery {
+                message: "WAL replay failed".into(),
             },
         ]
     }

@@ -26,7 +26,7 @@ use std::io::Write;
 
 use scanft_race::sync::{Arc, AtomicU64, Mutex, Ordering};
 
-use crate::chaos::FailurePlan;
+use crate::chaos::{CrashPoint, FailurePlan};
 use crate::error::ScanftError;
 
 /// Magic value identifying a campaign journal header line.
@@ -258,30 +258,39 @@ impl Sink {
     }
 }
 
-/// A thread-safe append-only journal writer.
+struct SinkState {
+    sink: Sink,
+    /// A chaos-injected crash struck: the "process" is dead and every
+    /// later write is silently dropped, exactly as a killed process's
+    /// writes would be.
+    dead: bool,
+}
+
+/// A thread-safe flushed-per-line JSONL writer: the shared durability
+/// primitive under the campaign [`JournalWriter`] and the server's job WAL.
 ///
-/// Workers append completed units concurrently; each record is written and
-/// flushed under one lock so lines never interleave. An attached
-/// [`FailurePlan`] makes the writer tear some record writes (for chaos
-/// testing); the header is always written whole, so a chaos-damaged journal
-/// is still attributable to its campaign.
-pub struct JournalWriter {
-    sink: Mutex<Sink>,
-    records_written: AtomicU64,
+/// Each line is written and flushed under one lock so concurrent appenders
+/// never interleave bytes. An attached [`FailurePlan`] can tear individual
+/// line writes ([`FailurePlan::truncated_write`]) or kill the writer
+/// outright at a [`CrashPoint`] — after which every later write, including
+/// "whole" ones, is dropped, modelling the process dying mid-campaign.
+pub struct JsonlWriter {
+    state: Mutex<SinkState>,
+    lines_written: AtomicU64,
     chaos: Option<FailurePlan>,
 }
 
-impl std::fmt::Debug for JournalWriter {
+impl std::fmt::Debug for JsonlWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JournalWriter")
-            .field("records_written", &self.records_written)
+        f.debug_struct("JsonlWriter")
+            .field("lines_written", &self.lines_written)
             .field("chaos", &self.chaos)
             .finish_non_exhaustive()
     }
 }
 
-impl JournalWriter {
-    /// Creates (truncating) a journal file for a fresh campaign.
+impl JsonlWriter {
+    /// Creates (truncating) a JSONL file.
     pub fn create(path: &str) -> Result<Self, ScanftError> {
         let file = std::fs::File::create(path).map_err(|source| ScanftError::Io {
             path: path.to_owned(),
@@ -290,7 +299,7 @@ impl JournalWriter {
         Ok(Self::from_sink(Sink::File(std::io::BufWriter::new(file))))
     }
 
-    /// Opens a journal file for appending (resume).
+    /// Opens a JSONL file for appending, creating it if absent.
     pub fn append_to(path: &str) -> Result<Self, ScanftError> {
         let file = std::fs::OpenOptions::new()
             .append(true)
@@ -303,8 +312,7 @@ impl JournalWriter {
         Ok(Self::from_sink(Sink::File(std::io::BufWriter::new(file))))
     }
 
-    /// Creates an in-memory journal writer plus a handle to its buffer —
-    /// the property tests' way of exercising resume without touching disk.
+    /// Creates an in-memory writer plus a handle to its buffer.
     #[must_use]
     pub fn in_memory() -> (Self, Arc<Mutex<Vec<u8>>>) {
         let buffer = Arc::new(Mutex::new(Vec::new()));
@@ -312,48 +320,178 @@ impl JournalWriter {
     }
 
     fn from_sink(sink: Sink) -> Self {
-        JournalWriter {
-            sink: Mutex::new(sink),
-            records_written: AtomicU64::new(0),
+        JsonlWriter {
+            state: Mutex::new(SinkState { sink, dead: false }),
+            lines_written: AtomicU64::new(0),
             chaos: None,
         }
     }
 
-    /// Attaches a chaos plan: some subsequent record writes will be torn.
+    /// Attaches a chaos plan: some subsequent counted line writes may be
+    /// torn, and (if the plan has a crash rate) the writer may die.
     #[must_use]
     pub fn with_chaos(mut self, plan: FailurePlan) -> Self {
         self.chaos = Some(plan);
         self
     }
 
+    /// Writes `line` plus a newline, whole: never torn and never a crash
+    /// site, and not counted in [`JsonlWriter::lines_written`]. Used for
+    /// header lines, whose loss would orphan the whole file. A dead writer
+    /// silently drops the write.
+    pub fn write_line_whole(&self, line: &str) -> std::io::Result<()> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        let mut state = self.state.lock();
+        if state.dead {
+            return Ok(());
+        }
+        state.sink.write_all_flush(&bytes)
+    }
+
+    /// Appends one counted line (plus newline). The attached chaos plan may
+    /// tear the write or kill the writer at a [`CrashPoint`]; a dead writer
+    /// silently drops the line.
+    pub fn write_line(&self, line: &str) -> std::io::Result<()> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        // AcqRel: pairs with the Acquire in `lines_written` so a reader
+        // that observes count N also observes the N writes behind it.
+        let index = self.lines_written.fetch_add(1, Ordering::AcqRel);
+        let mut state = self.state.lock();
+        if state.dead {
+            return Ok(());
+        }
+        if let Some(plan) = &self.chaos {
+            if let Some(point) = plan.crash_point(index) {
+                state.dead = true;
+                let cut = match point {
+                    // The flush never landed: a deterministic torn prefix
+                    // (drawn from the truncation stream when it fires, half
+                    // the line otherwise) is all the OS kept.
+                    CrashPoint::BeforeFlush => plan
+                        .truncated_write(index, bytes.len())
+                        .unwrap_or(bytes.len() / 2),
+                    // The flush landed; the record is the last durable one.
+                    CrashPoint::AfterFlush => bytes.len(),
+                };
+                return state.sink.write_all_flush(&bytes[..cut]);
+            }
+            if let Some(cut) = plan.truncated_write(index, bytes.len()) {
+                return state.sink.write_all_flush(&bytes[..cut]);
+            }
+        }
+        state.sink.write_all_flush(&bytes)
+    }
+
+    /// Number of counted lines appended so far (torn and post-crash writes
+    /// included).
+    #[must_use]
+    pub fn lines_written(&self) -> u64 {
+        self.lines_written.load(Ordering::Acquire)
+    }
+
+    /// Whether a chaos-injected crash has killed the writer.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.state.lock().dead
+    }
+}
+
+/// A thread-safe append-only journal writer.
+///
+/// Workers append completed units concurrently; each record is written and
+/// flushed under one lock so lines never interleave. An attached
+/// [`FailurePlan`] makes the writer tear some record writes (for chaos
+/// testing); the header is always written whole, so a chaos-damaged journal
+/// is still attributable to its campaign.
+#[derive(Debug)]
+pub struct JournalWriter {
+    inner: JsonlWriter,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal file for a fresh campaign.
+    pub fn create(path: &str) -> Result<Self, ScanftError> {
+        Ok(JournalWriter {
+            inner: JsonlWriter::create(path)?,
+        })
+    }
+
+    /// Opens a journal file for appending (resume).
+    pub fn append_to(path: &str) -> Result<Self, ScanftError> {
+        Ok(JournalWriter {
+            inner: JsonlWriter::append_to(path)?,
+        })
+    }
+
+    /// Creates an in-memory journal writer plus a handle to its buffer —
+    /// the property tests' way of exercising resume without touching disk.
+    #[must_use]
+    pub fn in_memory() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        let (inner, buffer) = JsonlWriter::in_memory();
+        (JournalWriter { inner }, buffer)
+    }
+
+    /// Attaches a chaos plan: some subsequent record writes will be torn.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FailurePlan) -> Self {
+        self.inner = self.inner.with_chaos(plan);
+        self
+    }
+
     /// Writes the header line (never torn by chaos).
     pub fn write_header(&self, header: &JournalHeader) -> std::io::Result<()> {
-        let mut line = header.to_json();
-        line.push('\n');
-        self.sink.lock().write_all_flush(line.as_bytes())
+        self.inner.write_line_whole(&header.to_json())
     }
 
     /// Appends one record, possibly torn by the attached chaos plan.
     pub fn append(&self, record: &JournalRecord) -> std::io::Result<()> {
-        let mut line = record.to_json();
-        line.push('\n');
-        // AcqRel: pairs with the Acquire in `records_written` so a reader
-        // that observes count N also observes the N writes behind it.
-        let index = self.records_written.fetch_add(1, Ordering::AcqRel);
-        let bytes = line.as_bytes();
-        let cut = self
-            .chaos
-            .as_ref()
-            .and_then(|plan| plan.truncated_write(index, bytes.len()))
-            .unwrap_or(bytes.len());
-        self.sink.lock().write_all_flush(&bytes[..cut])
+        self.inner.write_line(&record.to_json())
     }
 
     /// Number of records appended so far (torn writes included).
     #[must_use]
     pub fn records_written(&self) -> u64 {
-        self.records_written.load(Ordering::Acquire)
+        self.inner.lines_written()
     }
+}
+
+/// Repairs a journal file crash-damaged by a torn tail: parses it, and if
+/// any damaged lines were skipped, rewrites the file as exactly the header
+/// plus the intact records (via a temp file + rename so the repair itself
+/// cannot tear). Returns the parsed journal either way.
+///
+/// This is what makes post-crash resume byte-identical to an uninterrupted
+/// run: appending after a torn half-record would otherwise leave the
+/// garbage prefix in the file forever. Files without an intact header are
+/// returned unrepaired — the caller falls back to a fresh run, which
+/// truncates the file anyway.
+pub fn repair_journal(path: &str) -> Result<Journal, ScanftError> {
+    let text = std::fs::read_to_string(path).map_err(|source| ScanftError::Io {
+        path: path.to_owned(),
+        source,
+    })?;
+    let journal = read_journal(&text);
+    let Some(header) = &journal.header else {
+        return Ok(journal);
+    };
+    let mut clean = header.to_json();
+    clean.push('\n');
+    for record in &journal.records {
+        clean.push_str(&record.to_json());
+        clean.push('\n');
+    }
+    if clean != text {
+        let tmp = format!("{path}.repair");
+        let io_err = |source| ScanftError::Io {
+            path: path.to_owned(),
+            source,
+        };
+        std::fs::write(&tmp, clean.as_bytes()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+    }
+    Ok(journal)
 }
 
 /// Renders an in-memory journal buffer as text for [`read_journal`].
@@ -780,6 +918,97 @@ mod tests {
                 lanes: vec![Some(4)],
             }]
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_before_flush_tears_the_line_and_kills_the_writer() {
+        // Find a (seed, index-0) BeforeFlush crash so the test is exact.
+        let plan = (0..)
+            .map(|seed| FailurePlan::new(seed).with_crash_rate(1, 1))
+            .find(|p| p.crash_point(0) == Some(CrashPoint::BeforeFlush))
+            .unwrap();
+        let (writer, buffer) = JsonlWriter::in_memory();
+        let writer = writer.with_chaos(plan);
+        writer.write_line_whole("{\"header\":true}").unwrap();
+        writer
+            .write_line("{\"unit\":0,\"lanes\":[1,2,3,4]}")
+            .unwrap();
+        assert!(writer.is_dead());
+        // Every later write — counted or whole — is dropped.
+        writer.write_line("{\"unit\":1,\"lanes\":[5]}").unwrap();
+        writer.write_line_whole("{\"header\":true}").unwrap();
+        let text = buffer_contents(&buffer);
+        assert!(text.starts_with("{\"header\":true}\n"));
+        let tail = &text["{\"header\":true}\n".len()..];
+        assert!(
+            tail.len() < "{\"unit\":0,\"lanes\":[1,2,3,4]}\n".len(),
+            "crash-before-flush must leave a strict prefix, got {tail:?}"
+        );
+        assert!(!tail.contains("\"unit\":1"), "post-crash writes dropped");
+        assert_eq!(writer.lines_written(), 2, "attempts still counted");
+    }
+
+    #[test]
+    fn crash_after_flush_keeps_the_line_whole_then_kills() {
+        let plan = (0..)
+            .map(|seed| FailurePlan::new(seed).with_crash_rate(1, 1))
+            .find(|p| p.crash_point(0) == Some(CrashPoint::AfterFlush))
+            .unwrap();
+        let (writer, buffer) = JsonlWriter::in_memory();
+        let writer = writer.with_chaos(plan);
+        writer.write_line("{\"unit\":0,\"lanes\":[7]}").unwrap();
+        assert!(writer.is_dead());
+        writer.write_line("{\"unit\":1,\"lanes\":[8]}").unwrap();
+        assert_eq!(buffer_contents(&buffer), "{\"unit\":0,\"lanes\":[7]}\n");
+    }
+
+    #[test]
+    fn repair_rewrites_torn_tail_to_header_plus_intact_records() {
+        let path = temp_path("repair");
+        std::fs::remove_file(&path).ok();
+        let intact = JournalRecord {
+            unit: 0,
+            lanes: vec![Some(3), None],
+        };
+        {
+            let writer = JournalWriter::create(&path).unwrap();
+            writer.write_header(&header()).unwrap();
+            writer.append(&intact).unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            file.write_all(b"{\"unit\":1,\"lanes\":[9,nu").unwrap();
+        }
+        let repaired = repair_journal(&path).unwrap();
+        assert_eq!(repaired.skipped_lines, 1);
+        assert_eq!(repaired.records, vec![intact.clone()]);
+        // The file now round-trips exactly: header + intact records, no
+        // garbage tail, so appending resumes byte-identically.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("9,nu"));
+        let reread = read_journal(&text);
+        assert_eq!(reread.skipped_lines, 0);
+        assert_eq!(reread.records, vec![intact]);
+        assert_eq!(reread.header, Some(header()));
+        // Repairing a clean file is a no-op.
+        let again = repair_journal(&path).unwrap();
+        assert_eq!(again.skipped_lines, 0);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repair_leaves_headerless_files_alone() {
+        let path = temp_path("repair-nohdr");
+        std::fs::write(&path, "garbage line\n").unwrap();
+        let journal = repair_journal(&path).unwrap();
+        assert!(journal.header.is_none());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "garbage line\n");
         std::fs::remove_file(&path).ok();
     }
 

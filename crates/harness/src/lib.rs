@@ -19,9 +19,14 @@
 //!   writes, and validated against the campaign shape before a resume;
 //!   [`JournalTailer`] follows a growing journal without re-reading it,
 //!   yielding only complete lines (the `scanft serve` events feed);
+//!   [`JsonlWriter`] is the raw flushed-per-line writer underneath —
+//!   shared with the server's job WAL — and [`repair_journal`] rewrites a
+//!   crash-torn journal to exactly its intact prefix so a post-crash
+//!   resume stays byte-identical to an uninterrupted run;
 //! - [`FailurePlan`]: deterministic chaos injection (panics, delays, torn
-//!   journal writes) seeded through the workspace's SplitMix64, so every
-//!   recovery path above is provable in CI with a pinned seed;
+//!   journal writes, and [`CrashPoint`] process deaths before/after a
+//!   flush) seeded through the workspace's SplitMix64, so every recovery
+//!   path above is provable in CI with a pinned seed;
 //! - [`ScanftError`]: the workspace error taxonomy with one distinct
 //!   non-zero exit code per failure class.
 //!
@@ -59,10 +64,10 @@ mod journal;
 mod supervisor;
 
 pub use budget::{Budget, BudgetClock, CancelToken, StopReason};
-pub use chaos::{silence_chaos_panics, ChaosPanic, FailurePlan};
+pub use chaos::{silence_chaos_panics, ChaosPanic, CrashPoint, FailurePlan};
 pub use error::ScanftError;
 pub use journal::{
-    buffer_contents, read_journal, read_journal_file, BufferTailer, Journal, JournalHeader,
-    JournalRecord, JournalTailer, JournalWriter,
+    buffer_contents, read_journal, read_journal_file, repair_journal, BufferTailer, Journal,
+    JournalHeader, JournalRecord, JournalTailer, JournalWriter, JsonlWriter,
 };
 pub use supervisor::{run_units, UnitFailure, WorkOutcome};

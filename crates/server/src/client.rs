@@ -1,10 +1,16 @@
 //! A tiny blocking client for the job API.
 //!
 //! Used by `scanft submit` / `scanft status` / `scanft cancel` / `scanft
-//! events` and the `serve_drill` CI drill. One TCP connection per call
-//! (mirroring the server's one-request-per-connection contract); responses
-//! are read to EOF, which is exactly the close-delimited framing the
-//! server emits.
+//! events` and the CI drills. One TCP connection per call (mirroring the
+//! server's one-request-per-connection contract); responses are read to
+//! EOF, which is exactly the close-delimited framing the server emits.
+//!
+//! With [`Client::with_retry`], unit calls retry transparently on
+//! transport errors and on 503/429 refusals, sleeping a capped
+//! exponential backoff with seeded jitter ([`RetryPolicy`]) and honoring
+//! the server's `Retry-After` as a floor. Retries are safe because the
+//! API is idempotent: submissions dedupe on `Idempotency-Key` (or the
+//! content hash), and status/cancel/drain are idempotent by nature.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -12,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use crate::job::JobKind;
 use crate::json::{field_f64, field_str, field_u64};
+use crate::retry::RetryPolicy;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -127,15 +134,18 @@ impl JobView {
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    retry: Option<RetryPolicy>,
 }
 
 impl Client {
-    /// A client for the server at `addr`.
+    /// A client for the server at `addr`. Retries are off until
+    /// [`Client::with_retry`] enables them.
     #[must_use]
     pub fn new(addr: SocketAddr) -> Self {
         Client {
             addr,
             timeout: Duration::from_secs(30),
+            retry: None,
         }
     }
 
@@ -144,6 +154,17 @@ impl Client {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Enables retries: transport errors and 503/429 refusals are retried
+    /// up to `policy.max_retries` times with capped exponential backoff
+    /// and seeded jitter, honoring `Retry-After` as a delay floor.
+    /// Streaming calls ([`Client::events`]) never retry — a resumed
+    /// stream could replay journal lines the caller already consumed.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 
@@ -160,14 +181,37 @@ impl Client {
         tenant: &str,
         kind: JobKind,
     ) -> Result<JobView, ClientError> {
+        self.submit_with_key(body, circuit_name, tenant, kind, None)
+    }
+
+    /// Like [`Client::submit`], with an explicit `Idempotency-Key`. The
+    /// server maps the key to the admitted job *forever*, so a retried or
+    /// duplicated submission returns the original job instead of running
+    /// the campaign twice.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] carries the server's structured refusal.
+    pub fn submit_with_key(
+        &self,
+        body: &str,
+        circuit_name: &str,
+        tenant: &str,
+        kind: JobKind,
+        idempotency_key: Option<&str>,
+    ) -> Result<JobView, ClientError> {
+        let key_header = idempotency_key
+            .map(|key| format!("Idempotency-Key: {key}\r\n"))
+            .unwrap_or_default();
         let request = format!(
-            "POST /jobs?kind={} HTTP/1.1\r\nHost: scanft\r\nX-Scanft-Circuit: {}\r\nX-Scanft-Tenant: {}\r\nContent-Length: {}\r\n\r\n",
+            "POST /jobs?kind={} HTTP/1.1\r\nHost: scanft\r\nX-Scanft-Circuit: {}\r\nX-Scanft-Tenant: {}\r\n{}Content-Length: {}\r\n\r\n",
             kind.name(),
             circuit_name,
             tenant,
+            key_header,
             body.len(),
         );
-        let (status, response) = self.round_trip(&request, Some(body.as_bytes()))?;
+        let (status, response) = self.call(&request, Some(body.as_bytes()))?;
         expect_ok(status, &response)?;
         JobView::parse(&response)
     }
@@ -178,7 +222,7 @@ impl Client {
     ///
     /// [`ClientError::Api`] with class `http` / status 404 for unknown ids.
     pub fn status(&self, id: &str) -> Result<JobView, ClientError> {
-        let (status, response) = self.round_trip(
+        let (status, response) = self.call(
             &format!("GET /jobs/{id} HTTP/1.1\r\nHost: scanft\r\n\r\n"),
             None,
         )?;
@@ -192,12 +236,64 @@ impl Client {
     ///
     /// [`ClientError::Api`] for unknown ids.
     pub fn cancel(&self, id: &str) -> Result<(), ClientError> {
-        let (status, response) = self.round_trip(
+        let (status, response) = self.call(
             &format!("DELETE /jobs/{id} HTTP/1.1\r\nHost: scanft\r\n\r\n"),
             None,
         )?;
         expect_ok(status, &response)?;
         Ok(())
+    }
+
+    /// Asks the server to drain: admission stops (503 + `Retry-After`),
+    /// in-flight jobs finish, and the serve loop exits. Returns the
+    /// `(queued, running)` counts at the moment the drain was requested.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure.
+    pub fn drain(&self) -> Result<(u64, u64), ClientError> {
+        let (status, response) = self.call(
+            "POST /admin/drain HTTP/1.1\r\nHost: scanft\r\nContent-Length: 0\r\n\r\n",
+            None,
+        )?;
+        expect_ok(status, &response)?;
+        Ok((
+            field_u64(&response, "queued").unwrap_or(0),
+            field_u64(&response, "running").unwrap_or(0),
+        ))
+    }
+
+    /// Fetches `GET /healthz` (always 200, even while draining); returns
+    /// the raw JSON body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure. Health checks never
+    /// retry — a probe wants the current answer, not an eventual one.
+    pub fn health(&self) -> Result<String, ClientError> {
+        let (status, _, body) =
+            self.round_trip("GET /healthz HTTP/1.1\r\nHost: scanft\r\n\r\n", None)?;
+        expect_ok(status, &body)?;
+        Ok(body)
+    }
+
+    /// Probes `GET /readyz`: `Ok(true)` while the server accepts work,
+    /// `Ok(false)` when it answers 503 (draining).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure; never retries.
+    pub fn ready(&self) -> Result<bool, ClientError> {
+        let (status, _, body) =
+            self.round_trip("GET /readyz HTTP/1.1\r\nHost: scanft\r\n\r\n", None)?;
+        match status {
+            200 => Ok(true),
+            503 => Ok(false),
+            _ => {
+                expect_ok(status, &body)?;
+                Ok(false)
+            }
+        }
     }
 
     /// Streams the job's journal events until the server closes the
@@ -208,7 +304,8 @@ impl Client {
     ///
     /// [`ClientError::Io`] if the stream stalls past the client timeout.
     pub fn events(&self, id: &str) -> Result<Vec<String>, ClientError> {
-        let (status, body) = self.round_trip(
+        // Deliberately no retry: a replayed stream would duplicate lines.
+        let (status, _, body) = self.round_trip(
             &format!("GET /jobs/{id}/events HTTP/1.1\r\nHost: scanft\r\n\r\n"),
             None,
         )?;
@@ -222,20 +319,23 @@ impl Client {
     ///
     /// [`ClientError::Io`] on transport failure.
     pub fn metrics(&self) -> Result<String, ClientError> {
-        let (status, body) =
-            self.round_trip("GET /metrics HTTP/1.1\r\nHost: scanft\r\n\r\n", None)?;
+        let (status, body) = self.call("GET /metrics HTTP/1.1\r\nHost: scanft\r\n\r\n", None)?;
         expect_ok(status, &body)?;
         Ok(body)
     }
 
     /// Polls [`Client::status`] until the job is terminal or `deadline`
-    /// elapses; returns the final view.
+    /// elapses; returns the final view. Poll intervals follow
+    /// [`RetryPolicy::polling`] — capped exponential backoff with seeded
+    /// jitter — so a fleet of waiting clients does not hammer the server
+    /// in lockstep the way a fixed interval would.
     ///
     /// # Errors
     ///
     /// [`ClientError::Protocol`] when the deadline passes first.
     pub fn wait(&self, id: &str, deadline: Duration) -> Result<JobView, ClientError> {
         let started = Instant::now();
+        let mut backoff = RetryPolicy::polling().backoff();
         loop {
             let view = self.status(id)?;
             if view.is_terminal() {
@@ -247,12 +347,51 @@ impl Client {
                     view.status
                 )));
             }
-            scanft_race::thread::sleep(Duration::from_millis(20));
+            // The polling policy never exhausts; the deadline above bounds us.
+            let delay = backoff.next_delay().unwrap_or(Duration::from_millis(200));
+            scanft_race::thread::sleep(delay);
         }
     }
 
-    /// One request/response exchange; returns (status, body).
-    fn round_trip(&self, head: &str, body: Option<&[u8]>) -> Result<(u16, String), ClientError> {
+    /// One exchange with the retry loop around it: transport errors and
+    /// 503/429 answers are retried (sleeping at least the server's
+    /// `Retry-After`) until the policy is exhausted; the last answer or
+    /// error is returned as-is so callers see the genuine refusal.
+    fn call(&self, head: &str, body: Option<&[u8]>) -> Result<(u16, String), ClientError> {
+        let Some(policy) = self.retry.clone() else {
+            let (status, _, text) = self.round_trip(head, body)?;
+            return Ok((status, text));
+        };
+        let mut backoff = policy.backoff();
+        loop {
+            // Only transport errors and 503/429 are retryable; anything
+            // else (including other errors) is the genuine answer.
+            let (result, retry_after) = match self.round_trip(head, body) {
+                Ok((status, retry_after, text)) if matches!(status, 503 | 429) => {
+                    (Ok((status, text)), retry_after)
+                }
+                Ok((status, _, text)) => return Ok((status, text)),
+                Err(ClientError::Io(err)) => (Err(ClientError::Io(err)), None),
+                Err(other) => return Err(other),
+            };
+            let delay = match retry_after {
+                Some(secs) => backoff.next_delay_at_least(Duration::from_secs(secs)),
+                None => backoff.next_delay(),
+            };
+            // Exhausted: surface the last refusal or transport error as-is.
+            let Some(delay) = delay else { return result };
+            scanft_obs::global().counter("client.retries").inc();
+            scanft_race::thread::sleep(delay);
+        }
+    }
+
+    /// One request/response exchange; returns (status, `Retry-After`
+    /// seconds if present, body).
+    fn round_trip(
+        &self,
+        head: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Option<u64>, String), ClientError> {
         let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout)).ok();
         stream.set_write_timeout(Some(self.timeout)).ok();
@@ -274,7 +413,12 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse::<u16>().ok())
             .ok_or_else(|| ClientError::Protocol(format!("bad status line: {head}")))?;
-        Ok((status, body.to_owned()))
+        let retry_after = head
+            .lines()
+            .filter_map(|line| line.split_once(':'))
+            .find(|(name, _)| name.trim().eq_ignore_ascii_case("retry-after"))
+            .and_then(|(_, value)| value.trim().parse::<u64>().ok());
+        Ok((status, retry_after, body.to_owned()))
     }
 }
 

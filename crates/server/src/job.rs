@@ -21,9 +21,10 @@ use scanft_race::sync::{Arc, Condvar, Mutex};
 
 use scanft_core::TestSet;
 use scanft_fsm::StateTable;
-use scanft_harness::CancelToken;
+use scanft_harness::{CancelToken, ScanftError};
 
 use crate::hash::ContentKey;
+use crate::wal::{WalAdmit, WalWriter};
 
 /// What kind of campaign a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +133,10 @@ pub struct Job {
     pub journal_path: String,
     /// When the job was admitted.
     pub submitted_at: Instant,
+    /// Recovery flag: the job was re-queued from the WAL after a crash, so
+    /// its worker should try to resume the on-disk journal instead of
+    /// truncating it.
+    pub resume: bool,
     state: Mutex<JobState>,
 }
 
@@ -176,6 +181,7 @@ impl Job {
             cancel: CancelToken::new(),
             journal_path: spec.journal_path,
             submitted_at: Instant::now(),
+            resume: false,
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 cache_hit: None,
@@ -275,6 +281,29 @@ impl Default for TenantQuota {
     }
 }
 
+/// How an admission attempt resolved (the guarded path used by
+/// `POST /jobs`).
+#[derive(Debug)]
+pub enum AdmitOutcome {
+    /// A new job was admitted and enqueued.
+    Fresh(
+        /// The admitted job.
+        Arc<Job>,
+    ),
+    /// The idempotency key matched an existing job; nothing was enqueued.
+    Deduped(
+        /// The original job the key maps to.
+        Arc<Job>,
+    ),
+    /// The registry is draining (or shut down); admission refused.
+    Draining,
+    /// The queue is at its depth bound; admission shed.
+    QueueFull(
+        /// The queue depth at refusal time.
+        usize,
+    ),
+}
+
 /// The registry: all jobs by id, plus the FIFO work queue the campaign
 /// workers block on.
 #[derive(Debug, Default)]
@@ -289,6 +318,28 @@ struct RegistryInner {
     queue: VecDeque<Arc<Job>>,
     next_id: u64,
     shutdown: bool,
+    draining: bool,
+    /// Idempotency key → (job id, sticky). Sticky entries (client-supplied
+    /// `Idempotency-Key`) dedupe forever; content-hash entries dedupe only
+    /// while the mapped job is non-terminal, so deliberate warm
+    /// resubmissions still re-run (and hit the artifact cache).
+    idem: HashMap<String, (String, bool)>,
+    /// When set, admissions/claims/cancels/terminal transitions are logged
+    /// (and flushed) before they take effect.
+    wal: Option<Arc<WalWriter>>,
+}
+
+impl RegistryInner {
+    /// Best-effort WAL append: a failed event write is counted, not fatal —
+    /// except at admission, which is handled separately (an unlogged job
+    /// must not be acknowledged).
+    fn wal_log(&self, write: impl FnOnce(&WalWriter) -> std::io::Result<()>) {
+        if let Some(wal) = &self.wal {
+            if write(wal).is_err() {
+                scanft_obs::global().counter("server.wal.errors").inc();
+            }
+        }
+    }
 }
 
 impl JobRegistry {
@@ -296,6 +347,13 @@ impl JobRegistry {
     #[must_use]
     pub fn new() -> Self {
         JobRegistry::default()
+    }
+
+    /// Attaches the durable WAL. Call before serving; recovery restores
+    /// jobs first, then attaches the writer, so replayed events are not
+    /// re-logged.
+    pub fn set_wal(&self, wal: Arc<WalWriter>) {
+        self.inner.lock().wal = Some(wal);
     }
 
     /// Number of jobs a tenant currently has queued or running.
@@ -313,6 +371,10 @@ impl JobRegistry {
 
     /// Admits a job: assigns the next id, registers it, and enqueues it.
     /// The caller has already enforced quotas and parsed the submission.
+    ///
+    /// This is the unguarded path (tests and internal tools): no
+    /// idempotency, no queue bound, no drain refusal, no WAL admit record.
+    /// `POST /jobs` goes through [`JobRegistry::admit_guarded`].
     pub fn admit(&self, build: impl FnOnce(String) -> Job) -> Arc<Job> {
         let mut inner = self.inner.lock();
         inner.next_id += 1;
@@ -322,7 +384,101 @@ impl JobRegistry {
         inner.queue.push_back(Arc::clone(&job));
         scanft_obs::global().gauge("server.queue.depth").add(1);
         drop(inner);
-        self.wakeup.notify_one();
+        // notify_all, not notify_one: the condvar is shared with
+        // `wait_drain_requested`, and a single wakeup could land on a
+        // drain waiter instead of a claimer (lost-wakeup hazard).
+        self.wakeup.notify_all();
+        job
+    }
+
+    /// The `POST /jobs` admission path: drain refusal, queue-depth bound,
+    /// idempotent dedup, WAL logging — all under one registry lock so a
+    /// concurrent duplicate cannot slip between the check and the insert.
+    ///
+    /// `build` constructs the job (given its assigned id) plus the
+    /// canonical submission text `(kiss, tests)` recorded in the WAL admit
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// [`ScanftError::Io`] when the WAL admit append fails — the job is
+    /// *not* admitted (an unlogged admission would vanish on restart
+    /// despite its 202).
+    pub fn admit_guarded(
+        &self,
+        idem_key: &str,
+        sticky: bool,
+        max_queue: usize,
+        build: impl FnOnce(String) -> (Job, String, Option<String>),
+    ) -> Result<AdmitOutcome, ScanftError> {
+        let mut inner = self.inner.lock();
+        if inner.shutdown || inner.draining {
+            return Ok(AdmitOutcome::Draining);
+        }
+        if inner.queue.len() >= max_queue {
+            return Ok(AdmitOutcome::QueueFull(inner.queue.len()));
+        }
+        if let Some((job_id, entry_sticky)) = inner.idem.get(idem_key) {
+            if let Some(job) = inner.jobs.get(job_id) {
+                if *entry_sticky || !job.status().is_terminal() {
+                    return Ok(AdmitOutcome::Deduped(Arc::clone(job)));
+                }
+            }
+        }
+        inner.next_id += 1;
+        let id = format!("job-{}", inner.next_id);
+        let (job, kiss, tests) = build(id.clone());
+        let job = Arc::new(job);
+        if let Some(wal) = &inner.wal {
+            let admit = WalAdmit {
+                id: id.clone(),
+                tenant: job.tenant.clone(),
+                circuit: job.circuit.clone(),
+                kind: job.kind,
+                idem: idem_key.to_owned(),
+                sticky,
+                journal_path: job.journal_path.clone(),
+                kiss,
+                tests,
+            };
+            if let Err(source) = wal.log_admit(&admit) {
+                // Roll the id back so the WAL's ordinals stay dense.
+                inner.next_id -= 1;
+                return Err(ScanftError::Io {
+                    path: "jobs.wal".to_owned(),
+                    source,
+                });
+            }
+        }
+        inner.jobs.insert(id.clone(), Arc::clone(&job));
+        inner.idem.insert(idem_key.to_owned(), (id, sticky));
+        inner.queue.push_back(Arc::clone(&job));
+        scanft_obs::global().gauge("server.queue.depth").add(1);
+        drop(inner);
+        self.wakeup.notify_all();
+        Ok(AdmitOutcome::Fresh(job))
+    }
+
+    /// Recovery-time restore: registers a job replayed from the WAL under
+    /// its original id (bumping the id counter past it), optionally
+    /// re-enqueueing it, and re-establishing its idempotency mapping.
+    /// Never WAL-logged — the events being replayed are already durable.
+    pub fn restore(&self, job: Job, enqueue: bool, idem: Option<(&str, bool)>) -> Arc<Job> {
+        let mut inner = self.inner.lock();
+        if let Some(n) = job.id.strip_prefix("job-").and_then(|s| s.parse().ok()) {
+            inner.next_id = inner.next_id.max(n);
+        }
+        let job = Arc::new(job);
+        inner.jobs.insert(job.id.clone(), Arc::clone(&job));
+        if let Some((key, sticky)) = idem {
+            inner.idem.insert(key.to_owned(), (job.id.clone(), sticky));
+        }
+        if enqueue {
+            inner.queue.push_back(Arc::clone(&job));
+            scanft_obs::global().gauge("server.queue.depth").add(1);
+        }
+        drop(inner);
+        self.wakeup.notify_all();
         job
     }
 
@@ -343,21 +499,79 @@ impl JobRegistry {
     pub fn claim(&self) -> Option<Arc<Job>> {
         let mut inner = self.inner.lock();
         loop {
-            if inner.shutdown {
+            if inner.shutdown || inner.draining {
                 return None;
             }
             if let Some(job) = inner.queue.pop_front() {
                 scanft_obs::global().gauge("server.queue.depth").sub(1);
                 if job.cancel.is_cancelled() {
                     job.set_status(JobStatus::Cancelled);
+                    inner.wal_log(|wal| wal.log_done(&job.id, &JobStatus::Cancelled));
                     scanft_obs::global().counter("server.jobs.cancelled").inc();
                     continue;
                 }
                 job.set_status(JobStatus::Running);
+                inner.wal_log(|wal| wal.log_claim(&job.id));
                 return Some(job);
             }
             inner = self.wakeup.wait(inner);
         }
+    }
+
+    /// WAL-logs a cancellation request (the `DELETE /jobs/:id` handler
+    /// flips the token, then calls this so a restart re-drops the job).
+    pub fn log_cancel(&self, id: &str) {
+        let inner = self.inner.lock();
+        inner.wal_log(|wal| wal.log_cancel(id));
+    }
+
+    /// WAL-logs a job's terminal transition (called by the worker after
+    /// `set_status`).
+    pub fn log_done(&self, id: &str, status: &JobStatus) {
+        let inner = self.inner.lock();
+        inner.wal_log(|wal| wal.log_done(id, status));
+    }
+
+    /// Stops admission and claiming without discarding state: subsequent
+    /// [`JobRegistry::admit_guarded`] calls return
+    /// [`AdmitOutcome::Draining`], [`JobRegistry::claim`] returns `None`
+    /// (queued jobs stay `Queued` in the WAL for the next boot), and
+    /// [`JobRegistry::wait_drain_requested`] waiters wake.
+    pub fn drain(&self) {
+        self.inner.lock().draining = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Whether [`JobRegistry::drain`] (or shutdown) has been requested.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.draining || inner.shutdown
+    }
+
+    /// Blocks until drain or shutdown is requested.
+    pub fn wait_drain_requested(&self) {
+        let mut inner = self.inner.lock();
+        while !inner.draining && !inner.shutdown {
+            inner = self.wakeup.wait(inner);
+        }
+    }
+
+    /// Current queue depth (jobs admitted but not yet claimed).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Number of jobs currently `Running`.
+    #[must_use]
+    pub fn running_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .jobs
+            .values()
+            .filter(|j| matches!(j.status(), JobStatus::Running))
+            .count()
     }
 
     /// Wakes every worker and makes subsequent [`JobRegistry::claim`]
@@ -449,6 +663,96 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         registry.shutdown();
         assert!(waiter.join().unwrap().is_none());
+    }
+
+    fn guarded(registry: &JobRegistry, key: &str, sticky: bool, max_queue: usize) -> AdmitOutcome {
+        registry
+            .admit_guarded(key, sticky, max_queue, |id| {
+                (job(id, "t"), ".i 1\n".to_owned(), None)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn sticky_keys_dedupe_forever_content_keys_only_while_active() {
+        let registry = JobRegistry::new();
+        let AdmitOutcome::Fresh(first) = guarded(&registry, "sticky-k", true, 100) else {
+            panic!("first admission must be fresh")
+        };
+        // Duplicate while queued: deduped either way.
+        assert!(matches!(
+            guarded(&registry, "sticky-k", true, 100),
+            AdmitOutcome::Deduped(j) if j.id == first.id
+        ));
+        first.set_status(JobStatus::Cancelled);
+        // Sticky: still deduped after the job is terminal.
+        assert!(matches!(
+            guarded(&registry, "sticky-k", true, 100),
+            AdmitOutcome::Deduped(j) if j.id == first.id
+        ));
+
+        let AdmitOutcome::Fresh(content) = guarded(&registry, "hash-k", false, 100) else {
+            panic!("fresh")
+        };
+        assert!(matches!(
+            guarded(&registry, "hash-k", false, 100),
+            AdmitOutcome::Deduped(j) if j.id == content.id
+        ));
+        content.set_status(JobStatus::Cancelled);
+        // Content-hash default: a terminal job no longer blocks rerun.
+        assert!(matches!(
+            guarded(&registry, "hash-k", false, 100),
+            AdmitOutcome::Fresh(j) if j.id != content.id
+        ));
+    }
+
+    #[test]
+    fn queue_bound_sheds_and_drain_refuses_admission() {
+        let registry = JobRegistry::new();
+        assert!(matches!(
+            guarded(&registry, "a", false, 1),
+            AdmitOutcome::Fresh(_)
+        ));
+        assert!(matches!(
+            guarded(&registry, "b", false, 1),
+            AdmitOutcome::QueueFull(1)
+        ));
+        registry.drain();
+        assert!(registry.is_draining());
+        assert!(matches!(
+            guarded(&registry, "c", false, 100),
+            AdmitOutcome::Draining
+        ));
+        // Drain leaves queued work queued and stops claiming.
+        assert_eq!(registry.queue_depth(), 1);
+        assert!(registry.claim().is_none());
+        assert_eq!(registry.get("job-1").unwrap().status(), JobStatus::Queued);
+    }
+
+    #[test]
+    fn wait_drain_requested_wakes_on_drain() {
+        let registry = Arc::new(JobRegistry::new());
+        let clone = Arc::clone(&registry);
+        let waiter = std::thread::spawn(move || clone.wait_drain_requested());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        registry.drain();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn restore_bumps_the_id_counter_and_reestablishes_idempotency() {
+        let registry = JobRegistry::new();
+        let restored = registry.restore(job("job-7".into(), "t"), true, Some(("k7", true)));
+        assert_eq!(restored.status(), JobStatus::Queued);
+        assert_eq!(registry.queue_depth(), 1);
+        // The idempotency mapping survives restore.
+        assert!(matches!(
+            guarded(&registry, "k7", true, 100),
+            AdmitOutcome::Deduped(j) if j.id == "job-7"
+        ));
+        // Fresh ids start above the restored ordinal.
+        let fresh = registry.admit(|id| job(id, "t"));
+        assert_eq!(fresh.id, "job-8");
     }
 
     /// Satellite regression for the old `expect("registry poisoned")`:

@@ -25,14 +25,29 @@
 //!
 //!   | endpoint | behaviour |
 //!   |---|---|
-//!   | `POST /jobs` | submit a KISS2 circuit (+ optional `.tests` section) |
+//!   | `POST /jobs` | submit a KISS2 circuit (+ optional `.tests` section); idempotent under `Idempotency-Key` (sticky) or the content-hash default (while active) |
 //!   | `GET /jobs/:id` | job status/result JSON |
 //!   | `GET /jobs/:id/events` | live JSONL progress streamed from the campaign journal |
-//!   | `DELETE /jobs/:id` | cancel via the budget stop path |
+//!   | `DELETE /jobs/:id` | cancel via the budget stop path (WAL-logged) |
+//!   | `POST /admin/drain` | stop admission (503 + `Retry-After`), finish in-flight work, let the serve loop exit |
+//!   | `GET /healthz` | liveness + drain/recovery state, always 200 |
+//!   | `GET /readyz` | 200 while accepting, 503 + `Retry-After` while draining |
 //!   | `GET /metrics` | the `scanft-obs` JSON-lines export |
 //!
+//! - [`wal`]: the durable job write-ahead log behind `serve --state-dir`.
+//!   Admission, claim, cancellation, and terminal transitions are flushed
+//!   (in the harness's torn-write-tolerant JSONL shape) before they are
+//!   acknowledged; startup replay re-queues pending jobs and resumes
+//!   interrupted campaigns from their on-disk journals via the ordinary
+//!   checkpoint/resume path, byte-identical to an uninterrupted run. A WAL
+//!   that cannot be replayed is [`ScanftError::Recovery`] (exit code 9) —
+//!   the server refuses to start rather than drop acknowledged work.
 //! - [`client`]: a tiny blocking client used by `scanft submit` /
-//!   `scanft status` / `scanft cancel` and the `serve_drill` CI drill.
+//!   `scanft status` / `scanft cancel` and the CI drills, with a
+//!   [`retry`] layer: capped exponential backoff + seeded jitter,
+//!   honoring `Retry-After` on 503/429.
+//!
+//! [`ScanftError::Recovery`]: scanft_harness::ScanftError::Recovery
 //!
 //! Structured errors reuse the workspace error taxonomy: the JSON body is
 //! `{"error":{"code":N,"class":"...","message":"..."}}` where `code` and
@@ -54,10 +69,14 @@ pub mod hash;
 pub mod http;
 pub mod job;
 mod json;
+pub mod retry;
 pub mod server;
+pub mod wal;
 
 pub use cache::{ArtifactCache, Artifacts};
 pub use client::{Client, ClientError, JobView};
 pub use hash::ContentKey;
-pub use job::{Job, JobKind, JobRegistry, JobSpec, JobStatus, TenantQuota};
-pub use server::{Server, ServerConfig};
+pub use job::{AdmitOutcome, Job, JobKind, JobRegistry, JobSpec, JobStatus, TenantQuota};
+pub use retry::{Backoff, RetryPolicy};
+pub use server::{RecoverySummary, Server, ServerConfig};
+pub use wal::{read_wal, read_wal_file, replay, Wal, WalAdmit, WalEvent, WalJob, WalWriter};

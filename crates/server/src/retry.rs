@@ -1,0 +1,173 @@
+//! Capped exponential backoff with seeded jitter, shared by the client's
+//! retry layer and its status polling ([`Client::wait`]).
+//!
+//! The old `Client::wait` polled on a fixed 20 ms interval: cheap for one
+//! caller, but N clients polling a busy server synchronize into thundering
+//! herds, and a fixed interval retried failed submissions as fast as they
+//! failed. Backoff here is the textbook shape — delay doubles per attempt
+//! up to a cap, jittered uniformly over `[delay/2, delay]` — but the jitter
+//! is drawn from the workspace's seeded SplitMix64, so any drill or test
+//! that pins a seed replays the exact same retry schedule.
+//!
+//! [`Client::wait`]: crate::client::Client::wait
+
+use std::time::Duration;
+
+use scanft_fsm::rng::SplitMix64;
+
+/// How a client call is retried: attempt count and backoff shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retry).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub cap: Duration,
+    /// Seed for the jitter stream; a fixed seed replays the schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 0x5caf_f7e7,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The polling shape used by `Client::wait`: effectively unbounded
+    /// attempts (the wait deadline bounds them), starting fast and backing
+    /// off to a gentle cap so long campaigns are not hammered.
+    #[must_use]
+    pub fn polling() -> Self {
+        RetryPolicy {
+            max_retries: u32::MAX,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            seed: 0x5caf_f7e7,
+        }
+    }
+
+    /// Overrides the jitter seed (drills pin this for replayable schedules).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Starts a backoff schedule under this policy.
+    #[must_use]
+    pub fn backoff(&self) -> Backoff {
+        Backoff {
+            policy: self.clone(),
+            attempt: 0,
+            rng: SplitMix64::new(self.seed),
+        }
+    }
+}
+
+/// An in-progress backoff schedule: each [`Backoff::next_delay`] yields the
+/// jittered delay before the next retry, or `None` once the policy's
+/// attempts are exhausted.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// Number of delays handed out so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The delay to sleep before the next retry: `min(cap, base << n)`
+    /// jittered uniformly over `[delay/2, delay]`. Returns `None` when the
+    /// policy's `max_retries` is exhausted.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.policy.max_retries {
+            return None;
+        }
+        let exp = self.attempt.min(30);
+        self.attempt += 1;
+        let raw = self
+            .policy
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.policy.cap)
+            .max(Duration::from_micros(1));
+        let raw_micros = u64::try_from(raw.as_micros()).unwrap_or(u64::MAX);
+        let half = raw_micros / 2;
+        let jittered = half + self.rng.next_below(raw_micros - half + 1);
+        Some(Duration::from_micros(jittered))
+    }
+
+    /// Like [`Backoff::next_delay`], but never shorter than `floor` — the
+    /// shape used when the server sent `Retry-After: <seconds>`.
+    pub fn next_delay_at_least(&mut self, floor: Duration) -> Option<Duration> {
+        self.next_delay().map(|d| d.max(floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let mut a = RetryPolicy::default().with_seed(7).backoff();
+        let mut b = RetryPolicy::default().with_seed(7).backoff();
+        for _ in 0..5 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+        assert!(a.next_delay().is_none(), "max_retries exhausts");
+    }
+
+    #[test]
+    fn delays_grow_and_respect_the_cap() {
+        let policy = RetryPolicy {
+            max_retries: 20,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 3,
+        };
+        let mut backoff = policy.backoff();
+        let delays: Vec<Duration> = std::iter::from_fn(|| backoff.next_delay()).collect();
+        assert_eq!(delays.len(), 20);
+        // Every delay is within [base/2, cap] and the tail saturates near
+        // the cap (jitter keeps it in [cap/2, cap]).
+        for d in &delays {
+            assert!(*d >= Duration::from_millis(5), "{d:?}");
+            assert!(*d <= Duration::from_millis(100), "{d:?}");
+        }
+        assert!(delays[19] >= Duration::from_millis(50));
+        // Different seeds give a different schedule somewhere.
+        let mut other = policy.with_seed(4).backoff();
+        let other: Vec<Duration> = std::iter::from_fn(|| other.next_delay()).collect();
+        assert_ne!(delays, other);
+    }
+
+    #[test]
+    fn retry_after_floor_is_honored() {
+        let mut backoff = RetryPolicy::default().with_seed(1).backoff();
+        let floor = Duration::from_secs(3);
+        let d = backoff.next_delay_at_least(floor).unwrap();
+        assert!(d >= floor);
+    }
+
+    #[test]
+    fn polling_policy_never_exhausts_soon() {
+        let mut backoff = RetryPolicy::polling().backoff();
+        for _ in 0..1000 {
+            let d = backoff.next_delay().unwrap();
+            assert!(d <= Duration::from_millis(200));
+        }
+    }
+}

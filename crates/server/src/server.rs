@@ -33,14 +33,17 @@ use scanft_core::generate::{generate, GenConfig};
 use scanft_core::top_up::{top_up_scan_with, TopUpConfig};
 use scanft_fsm::kiss;
 use scanft_fsm::uio::{derive_uios_with, UioConfig};
-use scanft_harness::{Budget, FailurePlan, JournalTailer, JournalWriter, ScanftError, StopReason};
+use scanft_harness::{
+    repair_journal, Budget, FailurePlan, JournalTailer, JournalWriter, ScanftError, StopReason,
+};
 use scanft_sim::campaign::{self, Kernel, SupervisedConfig};
 use scanft_sim::ScanTest;
 
 use crate::cache::{ArtifactCache, Artifacts};
 use crate::hash::ContentKey;
 use crate::http::{self, HttpError, Request};
-use crate::job::{Job, JobKind, JobRegistry, JobSpec, JobStatus, TenantQuota};
+use crate::job::{AdmitOutcome, Job, JobKind, JobRegistry, JobSpec, JobStatus, TenantQuota};
+use crate::wal::{self, WalWriter};
 
 /// Marker line separating the KISS2 section from the test section in a
 /// `POST /jobs` body.
@@ -77,6 +80,22 @@ pub struct ServerConfig {
     /// universe. Reports and journals are identical to unoptimized runs by
     /// construction; the optimized bundle is cached per content key.
     pub optimize: bool,
+    /// Durable state directory. When set, the server keeps a job WAL at
+    /// `<state_dir>/jobs.wal` — every admission/claim/cancel/terminal
+    /// transition is flushed before it is acknowledged — and replays it on
+    /// startup: pending jobs are re-queued, interrupted campaigns resume
+    /// their on-disk journals, finished jobs stay queryable. `None` keeps
+    /// the registry memory-only (the pre-WAL behavior).
+    pub state_dir: Option<String>,
+    /// Queue-depth bound: admissions beyond this many queued jobs are shed
+    /// with 503 + `Retry-After` (same refusal shape as draining).
+    pub max_queue_depth: usize,
+    /// The `Retry-After` value (seconds) sent with 503 refusals.
+    pub retry_after_secs: u64,
+    /// Maximum per-unit artificial delay (µs) of the chaos plan enabled by
+    /// [`ServerConfig::chaos_seed`]. Drills widen this to hold a
+    /// cancellation or kill window open on small circuits.
+    pub chaos_delay_micros: u64,
 }
 
 impl Default for ServerConfig {
@@ -96,8 +115,25 @@ impl Default for ServerConfig {
             cache_capacity: 8,
             chaos_seed: None,
             optimize: false,
+            state_dir: None,
+            max_queue_depth: 256,
+            retry_after_secs: 2,
+            chaos_delay_micros: 20_000,
         }
     }
+}
+
+/// What startup recovery found in the state directory's WAL.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoverySummary {
+    /// Intact WAL events replayed.
+    pub wal_records: usize,
+    /// Damaged WAL lines skipped (torn tail from the crash).
+    pub wal_torn: usize,
+    /// Jobs re-queued (queued or mid-flight at crash time).
+    pub jobs_requeued: usize,
+    /// Jobs restored in a terminal state (still queryable, never re-run).
+    pub jobs_terminal: usize,
 }
 
 /// A running campaign server. Dropping the handle does *not* stop the
@@ -107,21 +143,42 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     registry: Arc<JobRegistry>,
+    recovery: RecoverySummary,
     accept_handle: Option<thread::JoinHandle<()>>,
     worker_handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and accept loop, and returns.
+    /// Binds, spawns the worker pool and accept loop, and returns. With
+    /// [`ServerConfig::state_dir`] set, the state directory's WAL is
+    /// replayed into the registry first — pending jobs re-queued, terminal
+    /// jobs restored queryable — and every subsequent registry transition
+    /// is logged durably.
     ///
     /// # Errors
     ///
-    /// Returns the bind/journal-directory error as [`ScanftError::Io`].
+    /// Returns the bind/journal-directory error as [`ScanftError::Io`],
+    /// and an unreplayable WAL (an admitted job whose recorded submission
+    /// no longer parses) as [`ScanftError::Recovery`] — starting fresh
+    /// would silently drop acknowledged work.
     pub fn start(config: ServerConfig) -> Result<Server, ScanftError> {
         std::fs::create_dir_all(&config.journal_dir).map_err(|e| ScanftError::Io {
             path: config.journal_dir.clone(),
             source: e,
         })?;
+        let registry = Arc::new(JobRegistry::new());
+        let mut recovery = RecoverySummary::default();
+        if let Some(state_dir) = &config.state_dir {
+            std::fs::create_dir_all(state_dir).map_err(|e| ScanftError::Io {
+                path: state_dir.clone(),
+                source: e,
+            })?;
+            let wal_path = format!("{state_dir}/jobs.wal");
+            recovery = recover(&registry, &wal_path)?;
+            // Attach the writer only after replay: restored jobs must not
+            // be re-logged, and new events append after the survivors.
+            registry.set_wal(Arc::new(WalWriter::open(&wal_path)?));
+        }
         let listener = TcpListener::bind(&config.addr).map_err(|e| ScanftError::Io {
             path: config.addr.clone(),
             source: e,
@@ -132,8 +189,9 @@ impl Server {
         })?;
 
         let shared = Arc::new(Shared {
-            registry: Arc::new(JobRegistry::new()),
+            registry,
             cache: ArtifactCache::new(config.cache_capacity),
+            recovery,
             config,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -179,6 +237,7 @@ impl Server {
             addr,
             stop,
             registry,
+            recovery,
             accept_handle: Some(accept_handle),
             worker_handles,
         })
@@ -188,6 +247,41 @@ impl Server {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What startup recovery replayed from the WAL (all zeros without a
+    /// state directory).
+    #[must_use]
+    pub fn recovery(&self) -> RecoverySummary {
+        self.recovery
+    }
+
+    /// Blocks until a drain has been requested (`POST /admin/drain`, or
+    /// [`JobRegistry::drain`] directly). The CLI serve loop parks here,
+    /// then calls [`Server::drain_and_shutdown`].
+    pub fn wait_drain_requested(&self) {
+        self.registry.wait_drain_requested();
+    }
+
+    /// Graceful drain: stops admission and claiming (503 + `Retry-After`
+    /// for new submissions), lets in-flight campaigns finish — status and
+    /// events queries keep being answered meanwhile — then stops the
+    /// accept loop and joins everything. Queued jobs stay `Queued` in the
+    /// WAL for the next boot.
+    pub fn drain_and_shutdown(mut self) {
+        self.registry.drain();
+        scanft_obs::global().counter("server.drain.requests").inc();
+        // In-flight campaigns run to completion (their terminal states are
+        // WAL-logged); the accept loop stays up so clients can poll them.
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        self.registry.shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
     }
 
     /// Stops accepting, drains the worker pool, and joins all threads.
@@ -210,12 +304,103 @@ impl Server {
     }
 }
 
+/// Replays the WAL at `wal_path` into `registry`: terminal jobs are
+/// restored queryable, everything else is re-queued in admission order
+/// (cancelled-but-not-done jobs re-queued pre-cancelled so the ordinary
+/// claim path drops them and logs their terminal state).
+fn recover(registry: &JobRegistry, wal_path: &str) -> Result<RecoverySummary, ScanftError> {
+    let parsed = wal::read_wal_file(wal_path)?;
+    let state = wal::replay(&parsed);
+    // A torn tail can only damage the *last* line, which orphans nothing.
+    // An event whose admit line is missing means a record mid-file was
+    // destroyed — acknowledged work would be dropped, so refuse to start.
+    if state.orphan_events > 0 {
+        return Err(ScanftError::Recovery {
+            message: format!(
+                "{} WAL event(s) in {wal_path} reference a job whose admit \
+                 record did not survive; the WAL is damaged beyond a torn tail",
+                state.orphan_events
+            ),
+        });
+    }
+    let mut summary = RecoverySummary {
+        wal_records: parsed.events.len(),
+        wal_torn: parsed.skipped_lines,
+        ..RecoverySummary::default()
+    };
+    let obs = scanft_obs::global();
+    for recovered in &state.jobs {
+        let admit = &recovered.admit;
+        // The submission text was validated at admission, so a parse
+        // failure here means the WAL (not just its tail) is damaged:
+        // refuse to start rather than silently dropping accepted work.
+        let table = kiss::parse_with(&admit.kiss, &admit.circuit, kiss::Completion::SelfLoop)
+            .map_err(|err| ScanftError::Recovery {
+                message: format!(
+                    "WAL admit record for `{}` no longer parses as KISS2: {err}",
+                    admit.id
+                ),
+            })?;
+        let tests = match &admit.tests {
+            None => None,
+            Some(text) => Some(scanft_core::io::parse_tests(text, &table).map_err(|err| {
+                ScanftError::Recovery {
+                    message: format!(
+                        "WAL admit record for `{}` has an unparseable test section: {err}",
+                        admit.id
+                    ),
+                }
+            })?),
+        };
+        let mut job = Job::new(
+            admit.id.clone(),
+            JobSpec {
+                tenant: admit.tenant.clone(),
+                circuit: admit.circuit.clone(),
+                kind: admit.kind,
+                key: ContentKey::of_table(&table),
+                table,
+                tests,
+                journal_path: admit.journal_path.clone(),
+            },
+        );
+        match &recovered.done {
+            Some(status) => {
+                job.set_status(status.clone());
+                registry.restore(job, false, Some((&admit.idem, admit.sticky)));
+                summary.jobs_terminal += 1;
+            }
+            None => {
+                // Claimed-but-unfinished jobs resume their journal; the
+                // claim is not replayed as `Running` — the job waits its
+                // turn in the queue again.
+                job.resume = recovered.claimed;
+                if recovered.cancelled {
+                    job.cancel.cancel();
+                }
+                registry.restore(job, true, Some((&admit.idem, admit.sticky)));
+                summary.jobs_requeued += 1;
+            }
+        }
+    }
+    obs.counter("server.recovery.wal_records")
+        .add(summary.wal_records as u64);
+    obs.counter("server.recovery.wal_torn")
+        .add(summary.wal_torn as u64);
+    obs.counter("server.recovery.jobs_requeued")
+        .add(summary.jobs_requeued as u64);
+    obs.counter("server.recovery.jobs_terminal")
+        .add(summary.jobs_terminal as u64);
+    Ok(summary)
+}
+
 /// State shared by the accept loop, connection threads, and job workers.
 #[derive(Debug)]
 struct Shared {
     config: ServerConfig,
     registry: Arc<JobRegistry>,
     cache: ArtifactCache,
+    recovery: RecoverySummary,
 }
 
 /// Renders the uniform error body:
@@ -237,6 +422,19 @@ fn taxonomy_body(err: &ScanftError) -> String {
 
 fn respond(stream: &mut TcpStream, status: u16, body: &str) {
     let _ = http::write_response(stream, status, "application/json", body.as_bytes());
+}
+
+/// A 503 refusal with `Retry-After` — the uniform shape for drain and
+/// queue shedding.
+fn respond_unavailable(shared: &Shared, stream: &mut TcpStream, message: &str) {
+    let retry_after = shared.config.retry_after_secs;
+    let _ = http::write_response_with(
+        stream,
+        503,
+        "application/json",
+        &[("Retry-After", retry_after.to_string())],
+        error_body(503, "unavailable", message).as_bytes(),
+    );
 }
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
@@ -275,6 +473,8 @@ fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) {
         ("DELETE", ["jobs", id]) => match shared.registry.get(id) {
             Some(job) => {
                 job.cancel.cancel();
+                // Durable: a restart must re-drop this job, not re-run it.
+                shared.registry.log_cancel(&job.id);
                 respond(
                     stream,
                     200,
@@ -291,6 +491,32 @@ fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) {
                 &error_body(404, "http", &format!("no such job `{id}`")),
             ),
         },
+        ("POST", ["admin", "drain"]) => {
+            // Respond before flipping the flag: the drain wakes the serve
+            // loop, which may tear the whole process down — the
+            // acknowledgement must already be on the wire by then.
+            scanft_obs::global().counter("server.drain.requests").inc();
+            respond(
+                stream,
+                200,
+                &format!(
+                    "{{\"drain\":\"requested\",\"queued\":{},\"running\":{}}}",
+                    shared.registry.queue_depth(),
+                    shared.registry.running_count(),
+                ),
+            );
+            shared.registry.drain();
+        }
+        ("GET", ["healthz"]) => {
+            respond(stream, 200, &health_body(shared));
+        }
+        ("GET", ["readyz"]) => {
+            if shared.registry.is_draining() {
+                respond_unavailable(shared, stream, "draining: not accepting new jobs");
+            } else {
+                respond(stream, 200, "{\"ready\":true}");
+            }
+        }
         ("GET", ["jobs", id, "events"]) => match shared.registry.get(id) {
             Some(job) => stream_events(&job, stream),
             None => respond(
@@ -382,24 +608,74 @@ fn submit(shared: &Shared, request: &Request, stream: &mut TcpStream) {
     }
 
     let key = ContentKey::of_table(&table);
+    // Idempotency: an explicit `Idempotency-Key` header maps to its job
+    // forever (a retried POST returns the original id even after it
+    // finished); without one, the content hash of (tenant, kind, circuit)
+    // dedupes only while the original job is active, so a deliberate warm
+    // resubmission still re-runs and exercises the artifact cache.
+    let (idem_key, sticky) = match request.header("idempotency-key") {
+        Some(user_key) => (format!("user:{tenant}:{user_key}"), true),
+        None => (format!("auto:{tenant}:{}:{key}", kind.name()), false),
+    };
     let journal_dir = shared.config.journal_dir.clone();
     let circuit_name = table.name().to_owned();
-    let job = shared.registry.admit(|id| {
-        Job::new(
-            id.clone(),
-            JobSpec {
-                tenant,
-                circuit: circuit_name.clone(),
-                kind,
-                key,
-                table,
-                tests,
-                journal_path: format!("{journal_dir}/{id}.jsonl"),
-            },
-        )
-    });
-    obs.counter("server.jobs.accepted").inc();
-    respond(stream, 202, &job.to_json());
+    let outcome =
+        shared
+            .registry
+            .admit_guarded(&idem_key, sticky, shared.config.max_queue_depth, |id| {
+                let job = Job::new(
+                    id.clone(),
+                    JobSpec {
+                        tenant,
+                        circuit: circuit_name.clone(),
+                        kind,
+                        key,
+                        table,
+                        tests,
+                        journal_path: format!("{journal_dir}/{id}.jsonl"),
+                    },
+                );
+                (job, kiss_text.to_owned(), tests_text.map(str::to_owned))
+            });
+    match outcome {
+        Ok(AdmitOutcome::Fresh(job)) => {
+            obs.counter("server.jobs.accepted").inc();
+            respond(stream, 202, &job.to_json());
+        }
+        Ok(AdmitOutcome::Deduped(job)) => {
+            obs.counter("server.jobs.deduped").inc();
+            respond(stream, 200, &job.to_json());
+        }
+        Ok(AdmitOutcome::Draining) => {
+            obs.counter("server.drain.rejected").inc();
+            respond_unavailable(shared, stream, "draining: not accepting new jobs");
+        }
+        Ok(AdmitOutcome::QueueFull(depth)) => {
+            obs.counter("server.drain.shed").inc();
+            respond_unavailable(
+                shared,
+                stream,
+                &format!("queue depth {depth} at its bound; retry later"),
+            );
+        }
+        Err(err) => {
+            obs.counter("server.jobs.rejected").inc();
+            respond(stream, 500, &taxonomy_body(&err));
+        }
+    }
+}
+
+/// The `/healthz` body: liveness plus drain/recovery state.
+fn health_body(shared: &Shared) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"draining\":{},\"queued\":{},\"running\":{},\"recovered_requeued\":{},\"recovered_terminal\":{},\"wal_torn\":{}}}",
+        shared.registry.is_draining(),
+        shared.registry.queue_depth(),
+        shared.registry.running_count(),
+        shared.recovery.jobs_requeued,
+        shared.recovery.jobs_terminal,
+        shared.recovery.wal_torn,
+    )
 }
 
 fn kind_of(query: &str) -> Result<JobKind, String> {
@@ -481,6 +757,9 @@ fn run_job(shared: &Shared, job: &Arc<Job>) {
         _ => {}
     }
     job.set_status(status);
+    // Log whatever actually stuck (terminal states are sticky, so a racing
+    // cancel may have won): a restart restores this exact state.
+    shared.registry.log_done(&job.id, &job.status());
 }
 
 /// The campaign body of a job: artifacts from the cache, tests from the
@@ -514,9 +793,27 @@ fn execute(shared: &Shared, job: &Arc<Job>) -> Result<JobStatus, ScanftError> {
                 FailurePlan::new(seed)
                     .with_panic_rate(0, 1)
                     .with_truncate_rate(0, 1)
-                    .with_delay_rate(1, 1, 20_000)
+                    .with_delay_rate(1, 1, shared.config.chaos_delay_micros)
             });
-            let writer = JournalWriter::create(&job.journal_path)?;
+            // Recovery resume: repair the crash-torn journal down to its
+            // intact prefix, then append the missing units via the
+            // ordinary resume path — the finished journal is byte-identical
+            // to an uninterrupted run. Any doubt (no file, no intact
+            // header) falls back to a fresh truncating run, which is
+            // trivially identical too.
+            let (writer, resume) = if job.resume {
+                match repair_journal(&job.journal_path) {
+                    Ok(journal) if journal.header.is_some() => {
+                        scanft_obs::global()
+                            .counter("server.recovery.jobs_resumed")
+                            .inc();
+                        (JournalWriter::append_to(&job.journal_path)?, Some(journal))
+                    }
+                    _ => (JournalWriter::create(&job.journal_path)?, None),
+                }
+            } else {
+                (JournalWriter::create(&job.journal_path)?, None)
+            };
             // Optimized runs preserve the journal and report contract
             // bit-for-bit (see `scanft_opt::campaign`), so this branch is
             // invisible to clients and to resume.
@@ -529,7 +826,7 @@ fn execute(shared: &Shared, job: &Arc<Job>) -> Result<JobStatus, ScanftError> {
                     &fault_list,
                     &config,
                     Some(&writer),
-                    None,
+                    resume.as_ref(),
                     chaos.as_ref(),
                 )?
             } else {
@@ -540,10 +837,15 @@ fn execute(shared: &Shared, job: &Arc<Job>) -> Result<JobStatus, ScanftError> {
                     &fault_list,
                     &config,
                     Some(&writer),
-                    None,
+                    resume.as_ref(),
                     chaos.as_ref(),
                 )?
             };
+            if !partial.resumed_units.is_empty() {
+                scanft_obs::global()
+                    .counter("server.recovery.units_resumed")
+                    .add(partial.resumed_units.len() as u64);
+            }
             if partial.stopped == Some(StopReason::Cancelled) {
                 return Ok(JobStatus::Cancelled);
             }

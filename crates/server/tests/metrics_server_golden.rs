@@ -5,9 +5,12 @@
 //! scripted interaction sequence has deterministic counter values.
 //!
 //! The script: one malformed submission (rejected), one cold submission
-//! (miss, completed), one cancelled-while-queued job, one warm submission
-//! (hit, completed), one events stream. Every `server.*` counter value
-//! below is a consequence of exactly that script.
+//! (miss, completed), one duplicate of the cold job while it is active
+//! (deduped onto it by content hash), one cancelled-while-queued job from
+//! a second tenant (distinct tenant so content-hash dedup cannot merge it
+//! with the active cold job), one warm submission (hit, completed), one
+//! events stream. Every `server.*` counter value below is a consequence
+//! of exactly that script.
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
@@ -60,10 +63,20 @@ fn server_metrics_schema_and_values_are_pinned() {
         .submit(&kiss, "bbtas", "default", JobKind::Simulate)
         .unwrap();
 
-    // 3. A job cancelled while still queued behind the cold one.
-    let doomed = client
+    // 3. The same content from the same tenant while the cold job is
+    //    active → deduped onto it, not run twice.
+    let duplicate = client
         .submit(&kiss, "bbtas", "default", JobKind::Simulate)
         .unwrap();
+    assert_eq!(duplicate.id, cold.id, "active duplicate dedupes");
+
+    // 4. A job cancelled while still queued behind the cold one. A
+    //    different tenant, so the content-hash key cannot merge it with
+    //    the active cold job.
+    let doomed = client
+        .submit(&kiss, "bbtas", "doomed", JobKind::Simulate)
+        .unwrap();
+    assert_ne!(doomed.id, cold.id, "tenants do not share dedup keys");
     client.cancel(&doomed.id).unwrap();
 
     let cold = client.wait(&cold.id, wait).unwrap();
@@ -71,14 +84,19 @@ fn server_metrics_schema_and_values_are_pinned() {
     let doomed = client.wait(&doomed.id, wait).unwrap();
     assert_eq!(doomed.status, "cancelled");
 
-    // 4. Warm submission → cache hit.
+    // 5. Warm submission → cache hit (the cold job is terminal, so the
+    //    content-hash dedup entry has lapsed and this runs fresh).
     let warm = client
         .submit(&kiss, "bbtas", "default", JobKind::Simulate)
         .unwrap();
+    assert_ne!(
+        warm.id, cold.id,
+        "terminal jobs do not absorb resubmissions"
+    );
     let warm = client.wait(&warm.id, wait).unwrap();
     assert_eq!(warm.status, "completed");
 
-    // 5. Stream the warm job's journal → server.bytes_streamed.
+    // 6. Stream the warm job's journal → server.bytes_streamed.
     let events = client.events(&warm.id).unwrap();
     assert!(!events.is_empty());
 
@@ -114,6 +132,7 @@ fn server_metrics_schema_and_values_are_pinned() {
     // reviewed event — update the script comment above alongside it.
     let expected: &[(&str, u64)] = &[
         ("server.jobs.accepted", 3),
+        ("server.jobs.deduped", 1),
         ("server.jobs.rejected", 1),
         ("server.jobs.completed", 2),
         ("server.jobs.cancelled", 1),

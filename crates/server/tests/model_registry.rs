@@ -107,6 +107,91 @@ fn cancel_vs_claim_never_runs_a_cancelled_job_twice() {
 }
 
 #[test]
+fn drain_vs_claim_vs_late_cancel_never_loses_or_doubles_a_job() {
+    // A queued job, two racing claimers, a drain request, and a late
+    // cancel, across every bounded schedule. The invariants: at most one
+    // claimer ever receives the job (no double execution); a job the
+    // drain beat to the queue stays Queued or Cancelled — still in the
+    // registry, never silently dropped (a real drain persists it in the
+    // WAL for the next boot); and once drain is requested no further
+    // claim can succeed.
+    let report = model::check_named("registry-drain-claim-cancel", &cfg(), || {
+        let registry = Arc::new(JobRegistry::new());
+        let admitted = registry.admit(job);
+        let claimers: Vec<_> = (0..2)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || registry.claim().map(|j| j.id.clone()))
+            })
+            .collect();
+        let drainer = {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || registry.drain())
+        };
+        let canceller = {
+            let cancel = admitted.cancel.clone();
+            thread::spawn(move || cancel.cancel())
+        };
+        drainer.join().unwrap();
+        canceller.join().unwrap();
+        let winners: Vec<String> = claimers
+            .into_iter()
+            .filter_map(|c| c.join().unwrap())
+            .collect();
+        assert!(winners.len() <= 1, "job claimed twice: {winners:?}");
+        match winners.first() {
+            Some(id) => {
+                assert_eq!(id, &admitted.id);
+                assert_eq!(admitted.status(), JobStatus::Running);
+            }
+            None => {
+                // Unclaimed: still accounted for, ready to be re-queued
+                // by recovery or terminally cancelled — never vanished.
+                assert!(matches!(
+                    admitted.status(),
+                    JobStatus::Queued | JobStatus::Cancelled
+                ));
+            }
+        }
+        assert!(registry.get(&admitted.id).is_some(), "job never vanishes");
+        // Drain is in effect by now: claims fail fast, in every schedule.
+        assert!(registry.claim().is_none());
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+    assert!(
+        report.failure.is_none(),
+        "no schedule may lose or double a job"
+    );
+}
+
+#[test]
+fn drain_wakes_a_blocked_claimer_in_every_schedule() {
+    // Same missed-wakeup shape as shutdown, for the drain flag: a claimer
+    // blocked on an empty queue must observe a concurrent drain and
+    // return None rather than sleep forever.
+    let report = model::check_named("registry-drain-wakeup", &cfg(), || {
+        let registry = Arc::new(JobRegistry::new());
+        let claimer = {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || registry.claim())
+        };
+        let drainer = {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || registry.drain())
+        };
+        drainer.join().unwrap();
+        assert!(claimer.join().unwrap().is_none());
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 2);
+    assert!(
+        report.failure.is_none(),
+        "no schedule may lose the drain wakeup"
+    );
+}
+
+#[test]
 fn shutdown_wakes_a_blocked_claimer_in_every_schedule() {
     // The classic missed-wakeup shape: a claimer blocks on an empty queue
     // while shutdown flips the flag and notifies. If claim checked the

@@ -34,8 +34,8 @@ fn start(tag: &str, mutate: impl FnOnce(&mut ServerConfig)) -> Server {
     Server::start(config).unwrap()
 }
 
-/// One raw HTTP exchange; returns (status, body).
-fn raw(server: &Server, request: &[u8]) -> (u16, String) {
+/// One raw HTTP exchange; returns (status, head, body).
+fn raw_full(server: &Server, request: &[u8]) -> (u16, String, String) {
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -46,7 +46,13 @@ fn raw(server: &Server, request: &[u8]) -> (u16, String) {
     let text = String::from_utf8_lossy(&response).into_owned();
     let (head, body) = text.split_once("\r\n\r\n").expect("full response");
     let status = head.split_whitespace().nth(1).unwrap().parse().unwrap();
-    (status, body.to_owned())
+    (status, head.to_owned(), body.to_owned())
+}
+
+/// One raw HTTP exchange; returns (status, body).
+fn raw(server: &Server, request: &[u8]) -> (u16, String) {
+    let (status, _, body) = raw_full(server, request);
+    (status, body)
 }
 
 #[test]
@@ -124,6 +130,80 @@ fn stalled_connection_is_timed_out_with_408() {
     stream.read_to_end(&mut response).unwrap();
     let text = String::from_utf8_lossy(&response);
     assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn drain_flips_readiness_and_refuses_submissions_with_retry_after() {
+    let server = start("drain", |_| {});
+
+    // Healthy and ready before the drain.
+    let (status, body) = raw(&server, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"draining\":false"), "{body}");
+    let (status, _) = raw(&server, b"GET /readyz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+
+    // Request the drain.
+    let (status, body) = raw(
+        &server,
+        b"POST /admin/drain HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("\"drain\":\"requested\""), "{body}");
+
+    // Readiness flips to 503 with a Retry-After; liveness stays 200.
+    let (status, head, _) = raw_full(&server, b"GET /readyz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 503);
+    assert!(head.contains("Retry-After:"), "{head}");
+    let (status, body) = raw(&server, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\":true"), "{body}");
+
+    // New submissions are refused 503 + Retry-After, not half-accepted.
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("lion").unwrap());
+    let request = format!(
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{kiss}",
+        kiss.len()
+    );
+    let (status, head, body) = raw_full(&server, request.as_bytes());
+    assert_eq!(status, 503);
+    assert!(head.contains("Retry-After:"), "{head}");
+    assert!(body.contains("\"class\":\"unavailable\""), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn idempotency_key_duplicates_return_the_original_job() {
+    let server = start("idem", |_| {});
+    let kiss = scanft_fsm::kiss::write(&scanft_fsm::benchmarks::build("lion").unwrap());
+    let request = format!(
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nIdempotency-Key: drill-1\r\nContent-Length: {}\r\n\r\n{kiss}",
+        kiss.len()
+    );
+    let (status, body) = raw(&server, request.as_bytes());
+    assert_eq!(status, 202, "{body}");
+    let id = body
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap()
+        .to_owned();
+
+    // Wait for the job to finish: a *sticky* key must keep mapping to the
+    // original job even after it is terminal.
+    let client = scanft_server::Client::new(server.addr());
+    let done = client.wait(&id, Duration::from_secs(120)).unwrap();
+    assert_eq!(done.status, "completed");
+
+    let (status, body) = raw(&server, request.as_bytes());
+    assert_eq!(status, 200, "duplicate answers 200, not 202: {body}");
+    assert!(
+        body.contains(&format!("\"id\":\"{id}\"")),
+        "duplicate returns the original job: {body}"
+    );
+    assert!(body.contains("\"status\":\"completed\""), "{body}");
     server.shutdown();
 }
 
