@@ -242,13 +242,21 @@ enum Sink {
 }
 
 impl Sink {
-    fn write_all_flush(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+    fn write_all_flush(&mut self, bytes: &[u8], fsync: bool) -> std::io::Result<()> {
         match self {
             Sink::File(w) => {
                 w.write_all(bytes)?;
                 // Flush every record: the journal's whole purpose is to
                 // survive the process dying mid-campaign.
-                w.flush()
+                w.flush()?;
+                // Flushing reaches the page cache (kill -9 safe); only an
+                // fsync survives an OS crash or power loss. Opt-in because
+                // it serializes on the disk — the job WAL takes it, the
+                // per-unit campaign journals do not.
+                if fsync {
+                    w.get_ref().sync_data()?;
+                }
+                Ok(())
             }
             Sink::Memory(buf) => {
                 buf.lock().extend(bytes);
@@ -270,14 +278,19 @@ struct SinkState {
 /// primitive under the campaign [`JournalWriter`] and the server's job WAL.
 ///
 /// Each line is written and flushed under one lock so concurrent appenders
-/// never interleave bytes. An attached [`FailurePlan`] can tear individual
-/// line writes ([`FailurePlan::truncated_write`]) or kill the writer
-/// outright at a [`CrashPoint`] — after which every later write, including
-/// "whole" ones, is dropped, modelling the process dying mid-campaign.
+/// never interleave bytes. The default flush-per-line guarantee covers the
+/// *process* dying (the bytes are in the page cache); callers that must
+/// also survive an OS crash or power loss — the job WAL — opt into
+/// [`JsonlWriter::with_fsync`], which `sync_data`s the file after every
+/// line. An attached [`FailurePlan`] can tear individual line writes
+/// ([`FailurePlan::truncated_write`]) or kill the writer outright at a
+/// [`CrashPoint`] — after which every later write, including "whole" ones,
+/// is dropped, modelling the process dying mid-campaign.
 pub struct JsonlWriter {
     state: Mutex<SinkState>,
     lines_written: AtomicU64,
     chaos: Option<FailurePlan>,
+    fsync: bool,
 }
 
 impl std::fmt::Debug for JsonlWriter {
@@ -324,6 +337,7 @@ impl JsonlWriter {
             state: Mutex::new(SinkState { sink, dead: false }),
             lines_written: AtomicU64::new(0),
             chaos: None,
+            fsync: false,
         }
     }
 
@@ -332,6 +346,15 @@ impl JsonlWriter {
     #[must_use]
     pub fn with_chaos(mut self, plan: FailurePlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Upgrades the durability guarantee from flush-per-line (survives the
+    /// process being killed) to fsync-per-line (survives an OS crash or
+    /// power loss). No effect on in-memory sinks.
+    #[must_use]
+    pub fn with_fsync(mut self) -> Self {
+        self.fsync = true;
         self
     }
 
@@ -346,7 +369,7 @@ impl JsonlWriter {
         if state.dead {
             return Ok(());
         }
-        state.sink.write_all_flush(&bytes)
+        state.sink.write_all_flush(&bytes, self.fsync)
     }
 
     /// Appends one counted line (plus newline). The attached chaos plan may
@@ -375,13 +398,13 @@ impl JsonlWriter {
                     // The flush landed; the record is the last durable one.
                     CrashPoint::AfterFlush => bytes.len(),
                 };
-                return state.sink.write_all_flush(&bytes[..cut]);
+                return state.sink.write_all_flush(&bytes[..cut], self.fsync);
             }
             if let Some(cut) = plan.truncated_write(index, bytes.len()) {
-                return state.sink.write_all_flush(&bytes[..cut]);
+                return state.sink.write_all_flush(&bytes[..cut], self.fsync);
             }
         }
-        state.sink.write_all_flush(&bytes)
+        state.sink.write_all_flush(&bytes, self.fsync)
     }
 
     /// Number of counted lines appended so far (torn and post-crash writes

@@ -412,18 +412,23 @@ impl JobRegistry {
         build: impl FnOnce(String) -> (Job, String, Option<String>),
     ) -> Result<AdmitOutcome, ScanftError> {
         let mut inner = self.inner.lock();
-        if inner.shutdown || inner.draining {
-            return Ok(AdmitOutcome::Draining);
-        }
-        if inner.queue.len() >= max_queue {
-            return Ok(AdmitOutcome::QueueFull(inner.queue.len()));
-        }
+        // Dedupe before the drain and queue-depth refusals: returning the
+        // existing job enqueues nothing, so neither bound applies — and a
+        // client retrying its POST during a drain or a saturated queue
+        // (exactly when retries happen) must still recover the original
+        // job id instead of looping on 503 forever.
         if let Some((job_id, entry_sticky)) = inner.idem.get(idem_key) {
             if let Some(job) = inner.jobs.get(job_id) {
                 if *entry_sticky || !job.status().is_terminal() {
                     return Ok(AdmitOutcome::Deduped(Arc::clone(job)));
                 }
             }
+        }
+        if inner.shutdown || inner.draining {
+            return Ok(AdmitOutcome::Draining);
+        }
+        if inner.queue.len() >= max_queue {
+            return Ok(AdmitOutcome::QueueFull(inner.queue.len()));
         }
         inner.next_id += 1;
         let id = format!("job-{}", inner.next_id);
@@ -727,6 +732,37 @@ mod tests {
         assert_eq!(registry.queue_depth(), 1);
         assert!(registry.claim().is_none());
         assert_eq!(registry.get("job-1").unwrap().status(), JobStatus::Queued);
+    }
+
+    /// The retry-during-drain regression: a duplicate POST must be deduped
+    /// to its original job even while the registry is draining or the
+    /// queue is full — those refusals only bound *new* work, and 503ing
+    /// the retry would strand the client without its job id exactly when
+    /// clients retry.
+    #[test]
+    fn dedupe_wins_over_drain_and_queue_full_refusals() {
+        let registry = JobRegistry::new();
+        let AdmitOutcome::Fresh(first) = guarded(&registry, "k", true, 1) else {
+            panic!("fresh")
+        };
+        // Queue is at its bound of 1: fresh keys shed, duplicates dedupe.
+        assert!(matches!(
+            guarded(&registry, "other", false, 1),
+            AdmitOutcome::QueueFull(1)
+        ));
+        assert!(matches!(
+            guarded(&registry, "k", true, 1),
+            AdmitOutcome::Deduped(j) if j.id == first.id
+        ));
+        registry.drain();
+        assert!(matches!(
+            guarded(&registry, "fresh-during-drain", false, 100),
+            AdmitOutcome::Draining
+        ));
+        assert!(matches!(
+            guarded(&registry, "k", true, 100),
+            AdmitOutcome::Deduped(j) if j.id == first.id
+        ));
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub(crate) fn field_f64(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Extracts a string field `"key":"value"` (unescaping `\"` and `\\`).
+/// Extracts a string field `"key":"value"`, decoding every escape
+/// `escape_json_string` can emit — including `\uXXXX`, which it uses for
+/// control characters below 0x20. A submission containing, say, a vertical
+/// tab must round-trip through the WAL, or the admit record would stop
+/// parsing on restart.
 pub(crate) fn field_str(text: &str, key: &str) -> Option<String> {
     let rest = after_key(text, key)?;
     let rest = rest.strip_prefix('"')?;
@@ -42,6 +46,15 @@ pub(crate) fn field_str(text: &str, key: &str) -> Option<String> {
                 'n' => out.push('\n'),
                 't' => out.push('\t'),
                 'r' => out.push('\r'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000c}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
                 other => out.push(other),
             },
             c => out.push(c),
@@ -68,5 +81,26 @@ mod tests {
         assert_eq!(field_str(text, "msg").unwrap(), "a \"b\"\nc");
         assert_eq!(field_u64(text, "missing"), None);
         assert_eq!(field_str(text, "n"), None, "numbers are not strings");
+    }
+
+    #[test]
+    fn every_control_character_round_trips_through_the_escaper() {
+        // escape_json_string emits \u00XX for control chars it has no
+        // short escape for; field_str must decode all of them or a WAL'd
+        // submission containing one poisons recovery.
+        let raw: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let line = format!("{{\"msg\":\"{}\"}}", scanft_obs::escape_json_string(&raw));
+        assert_eq!(field_str(&line, "msg").unwrap(), raw);
+    }
+
+    #[test]
+    fn unicode_escapes_decode_and_malformed_ones_fail_cleanly() {
+        assert_eq!(field_str("{\"m\":\"a\\u000bz\"}", "m").unwrap(), "a\u{000b}z");
+        assert_eq!(field_str("{\"m\":\"\\u0041\"}", "m").unwrap(), "A");
+        assert_eq!(field_str("{\"m\":\"x\\b\\f\"}", "m").unwrap(), "x\u{8}\u{c}");
+        // Truncated hex digits or a lone surrogate: the field (and thus
+        // the WAL line) is treated as damaged, not mis-decoded.
+        assert_eq!(field_str("{\"m\":\"\\u00\"}", "m"), None);
+        assert_eq!(field_str("{\"m\":\"\\ud800x\"}", "m"), None);
     }
 }

@@ -319,10 +319,66 @@ pub struct WalWriter {
 impl WalWriter {
     /// Opens (appending) the WAL at `path`, writing the header line first
     /// when the file is new or empty.
+    ///
+    /// A crash can leave a torn final line (no trailing newline). That
+    /// fragment must be truncated away *before* the first append: writing
+    /// onto it would merge the garbage with the next event onto one line,
+    /// so an acknowledged event would fail to parse on the following
+    /// replay — and its later claim/done events would become orphans that
+    /// make startup refuse forever.
     pub fn open(path: &str) -> Result<Self, ScanftError> {
-        let existing = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let io_err = |source| ScanftError::Io {
+            path: path.to_owned(),
+            source,
+        };
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => {
+                if bytes.last().is_some_and(|&b| b != b'\n') {
+                    let start = bytes
+                        .iter()
+                        .rposition(|&b| b == b'\n')
+                        .map_or(0, |p| p + 1);
+                    // The unterminated tail must be judged exactly the way
+                    // `read_wal` judges it, so repair and replay agree on
+                    // which events exist.
+                    let tail = String::from_utf8_lossy(&bytes[start..]);
+                    let tail = tail.trim();
+                    if parse_wal_header(tail) || parse_event(tail).is_some() {
+                        // The line made it out whole; only its newline was
+                        // lost. Terminate it — truncating would delete an
+                        // event the replay just restored.
+                        use std::io::Write as _;
+                        let mut file = std::fs::OpenOptions::new()
+                            .append(true)
+                            .open(path)
+                            .map_err(io_err)?;
+                        file.write_all(b"\n")
+                            .and_then(|()| file.sync_data())
+                            .map_err(io_err)?;
+                        bytes.len() as u64 + 1
+                    } else {
+                        // Garbage fragment: drop it, keeping the longest
+                        // prefix of complete lines (possibly empty, if
+                        // even the header write was torn).
+                        std::fs::OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .and_then(|file| file.set_len(start as u64))
+                            .map_err(io_err)?;
+                        start as u64
+                    }
+                } else {
+                    bytes.len() as u64
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(source) => return Err(io_err(source)),
+        };
+        // The WAL is the server's source of truth across restarts, so it
+        // takes the fsync-per-event grade: an acknowledged admission must
+        // survive an OS crash, not just a killed process.
         let writer = WalWriter {
-            inner: JsonlWriter::append_to(path)?,
+            inner: JsonlWriter::append_to(path)?.with_fsync(),
         };
         if existing == 0 {
             writer
@@ -471,6 +527,121 @@ mod tests {
         let state = replay(&wal);
         assert_eq!(state.jobs.len(), 1);
         assert!(!state.jobs[0].claimed);
+    }
+
+    /// The high-severity regression: reopening a WAL whose final line was
+    /// torn mid-append must truncate the fragment first. Without the
+    /// repair, the first post-restart event lands on the same line as the
+    /// garbage, the merged line is lost on the next replay, and the torn
+    /// job's other events become startup-refusing orphans.
+    #[test]
+    fn reopening_after_a_torn_tail_truncates_before_appending() {
+        use std::io::Write as _;
+        let path = temp_wal("torn-reopen");
+        std::fs::remove_file(&path).ok();
+        {
+            let wal = WalWriter::open(&path).unwrap();
+            wal.log_admit(&admit("job-1", "k1")).unwrap();
+        }
+        // Crash mid-append: half an admit line, no trailing newline.
+        {
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            file.write_all(b"{\"event\":\"admit\",\"id\":\"jo").unwrap();
+        }
+        // Restart: reopen and append a fresh event.
+        {
+            let wal = WalWriter::open(&path).unwrap();
+            wal.log_admit(&admit("job-2", "k2")).unwrap();
+            wal.log_claim("job-2").unwrap();
+        }
+        let parsed = read_wal_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(parsed.header_ok);
+        assert_eq!(parsed.skipped_lines, 0, "the fragment is gone, not fused");
+        assert_eq!(
+            parsed.events,
+            vec![
+                WalEvent::Admit(admit("job-1", "k1")),
+                WalEvent::Admit(admit("job-2", "k2")),
+                WalEvent::Claim("job-2".into()),
+            ]
+        );
+        let state = replay(&parsed);
+        assert_eq!(state.orphan_events, 0);
+        assert_eq!(state.jobs.len(), 2);
+    }
+
+    /// A final line that survived whole but lost only its trailing newline
+    /// is an event `read_wal` already replays — reopening must terminate
+    /// it, not truncate it (that would delete a restored event from disk).
+    #[test]
+    fn reopening_terminates_a_complete_line_missing_its_newline() {
+        use std::io::Write as _;
+        let path = temp_wal("unterminated");
+        std::fs::remove_file(&path).ok();
+        {
+            let wal = WalWriter::open(&path).unwrap();
+            wal.log_admit(&admit("job-1", "k1")).unwrap();
+        }
+        // Crash right between the event bytes and the newline.
+        {
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            file.flush().unwrap();
+        }
+        {
+            let wal = WalWriter::open(&path).unwrap();
+            wal.log_claim("job-1").unwrap();
+        }
+        let parsed = read_wal_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(parsed.skipped_lines, 0);
+        assert_eq!(
+            parsed.events,
+            vec![
+                WalEvent::Admit(admit("job-1", "k1")),
+                WalEvent::Claim("job-1".into()),
+            ]
+        );
+    }
+
+    /// Even the header write can tear (crash on first boot): reopening
+    /// must truncate to empty and write a fresh header.
+    #[test]
+    fn reopening_after_a_torn_header_starts_clean() {
+        let path = temp_wal("torn-header");
+        std::fs::write(&path, "{\"wal\":\"scanft-ser").unwrap();
+        {
+            let wal = WalWriter::open(&path).unwrap();
+            wal.log_admit(&admit("job-1", "k")).unwrap();
+        }
+        let parsed = read_wal_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(parsed.header_ok, "a fresh header replaces the torn one");
+        assert_eq!(parsed.skipped_lines, 0);
+        assert_eq!(parsed.events.len(), 1);
+    }
+
+    /// WAL round trip over every control character: `escape_json_string`
+    /// emits `\u00XX` for most of them, and the reader must decode that —
+    /// a submission containing a vertical tab used to come back as the
+    /// literal text `u000b` and poison every later startup.
+    #[test]
+    fn control_characters_in_submissions_round_trip() {
+        let raw: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let mut a = admit("job-9", "k");
+        a.kiss = format!(".i 1{raw}\n");
+        a.tests = Some(raw.clone());
+        a.idem = raw.clone();
+        let line = admit_json(&a);
+        assert_eq!(parse_event(&line), Some(WalEvent::Admit(a)));
     }
 
     #[test]

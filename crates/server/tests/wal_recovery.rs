@@ -12,7 +12,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use scanft_fsm::rng::SplitMix64;
-use scanft_server::{read_wal, replay, JobKind, JobStatus, WalAdmit, WalWriter};
+use scanft_server::{read_wal, replay, JobKind, JobStatus, WalAdmit, WalEvent, WalWriter};
 
 fn admit(n: u64, sticky: bool) -> WalAdmit {
     WalAdmit {
@@ -128,6 +128,60 @@ fn recovery_from_random_tail_damage_equals_the_longest_valid_prefix() {
         // restarted server can only assign fresh ids.
         assert_eq!(torn_state.next_id, expected_state.next_id, "case {case}");
     }
+}
+
+/// The append-after-damage half of the durability contract: restarting on
+/// a torn WAL must first truncate the fragment, so post-restart events
+/// land on fresh lines and the *next* replay still equals the intact
+/// prefix plus exactly the new events. Without the truncation the first
+/// new event merges with the fragment and is lost — and its later events
+/// become orphans that refuse startup forever.
+#[test]
+fn appending_after_random_tail_damage_preserves_prefix_plus_new_events() {
+    let path = std::env::temp_dir()
+        .join(format!("scanft-wal-prop-append-{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let text = build_wal(&path);
+    let header_end = text.find('\n').unwrap();
+    let mut rng = SplitMix64::new(0x5eed_ba5e);
+
+    for case in 0..200u64 {
+        let span = (text.len() - header_end) as u64;
+        let cut = header_end + usize::try_from(rng.next_below(span + 1)).unwrap();
+        let mut damaged = text[..cut].to_owned();
+        if rng.chance(1, 2) {
+            damaged.push_str("{\"event\":\"adm\x01it\",garbage");
+        }
+        std::fs::write(&path, &damaged).unwrap();
+        // The binding invariant: `recover()` replays `read_wal` of the
+        // damaged file, so reopening must preserve *exactly* those events
+        // — truncating more would delete restored events from disk,
+        // truncating less would fuse the fragment with the next append.
+        let expected = read_wal(&damaged);
+
+        // Restart: reopen the damaged WAL and acknowledge new work.
+        {
+            let wal = WalWriter::open(&path).unwrap();
+            wal.log_admit(&admit(90, false)).unwrap();
+            wal.log_claim("job-90").unwrap();
+        }
+        let reopened = read_wal(&std::fs::read_to_string(&path).unwrap());
+        assert!(reopened.header_ok, "case {case}");
+        assert_eq!(
+            reopened.skipped_lines, 0,
+            "case {case} (cut {cut}): the torn fragment must be truncated away"
+        );
+        let mut want = expected.events.clone();
+        want.push(WalEvent::Admit(admit(90, false)));
+        want.push(WalEvent::Claim("job-90".to_owned()));
+        assert_eq!(
+            reopened.events, want,
+            "case {case} (cut {cut}): prefix + new events, nothing fused or lost"
+        );
+        assert_eq!(replay(&reopened).orphan_events, 0, "case {case}");
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
